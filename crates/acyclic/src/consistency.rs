@@ -1,0 +1,135 @@
+//! Local (pairwise) and global consistency, and semijoin fixpoints.
+//!
+//! Example 3 of the paper hinges on the distinction: its database is
+//! *locally consistent* — every pairwise semijoin is a no-op — yet wildly
+//! globally inconsistent (`⋈D` has a single tuple), so "it is useless to
+//! apply a semijoin program to this database". These predicates make that
+//! statement executable.
+
+use mjoin_relation::{ops, CostLedger, Database};
+
+/// Whether every pair of relations is consistent: for all `i, j`,
+/// `π_{Xᵢ}(Rᵢ ⋈ Rⱼ) = Rᵢ` — equivalently `Rᵢ ⋉ Rⱼ = Rᵢ`.
+pub fn pairwise_consistent(db: &Database) -> bool {
+    for i in 0..db.len() {
+        for j in 0..db.len() {
+            if i == j {
+                continue;
+            }
+            let reduced = ops::semijoin(db.relation(i), db.relation(j));
+            if reduced.len() != db.relation(i).len() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the database is globally consistent: every relation equals the
+/// projection of `⋈D` onto its scheme (no dangling tuples at all).
+pub fn globally_consistent(db: &Database) -> bool {
+    let full = db.join_all();
+    for rel in db.relations() {
+        let proj = ops::project(&full, rel.schema().attrs())
+            .expect("relation scheme ⊆ join scheme");
+        if proj != *rel {
+            return false;
+        }
+    }
+    true
+}
+
+/// Apply pairwise semijoins until fixpoint (a "semijoin program" in the
+/// classical sense, run to completion), charging each executed semijoin's
+/// head to `ledger`. Returns the reduced database and the number of
+/// semijoins that actually removed tuples.
+///
+/// On acyclic schemes this reaches global consistency; on cyclic schemes it
+/// reaches only pairwise consistency — which, per Example 3, may remove
+/// nothing at all.
+pub fn semijoin_fixpoint(db: &Database, ledger: &mut CostLedger) -> (Database, usize) {
+    let mut rels: Vec<_> = db.relations().to_vec();
+    let mut effective = 0;
+    loop {
+        let mut changed = false;
+        for i in 0..rels.len() {
+            for j in 0..rels.len() {
+                if i == j {
+                    continue;
+                }
+                let before = rels[i].len();
+                let reduced = ops::semijoin(&rels[i], &rels[j]);
+                ledger.charge_generated(format!("R{i} ⋉ R{j}"), reduced.len());
+                if reduced.len() != before {
+                    changed = true;
+                    effective += 1;
+                    rels[i] = reduced;
+                }
+            }
+        }
+        if !changed {
+            return (Database::from_relations(rels), effective);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::{relation_of_ints, Catalog};
+
+    /// Acyclic chain with a dangling tuple in AB.
+    fn dangling_chain() -> Database {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[9, 9]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[2, 3]]).unwrap();
+        Database::from_relations(vec![r, s])
+    }
+
+    #[test]
+    fn dangling_tuple_breaks_both_consistencies() {
+        let db = dangling_chain();
+        assert!(!pairwise_consistent(&db));
+        assert!(!globally_consistent(&db));
+    }
+
+    #[test]
+    fn fixpoint_restores_consistency_on_acyclic() {
+        let db = dangling_chain();
+        let mut ledger = CostLedger::new();
+        let (reduced, effective) = semijoin_fixpoint(&db, &mut ledger);
+        assert!(effective >= 1);
+        assert!(pairwise_consistent(&reduced));
+        assert!(globally_consistent(&reduced));
+        assert_eq!(reduced.relation(0).len(), 1);
+        assert!(ledger.total() > 0);
+    }
+
+    #[test]
+    fn triangle_pairwise_but_not_global() {
+        // Classic 3-cycle: each pair joins consistently, but no tuple
+        // survives the triangle.
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[0, 0], &[1, 1]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[0, 1], &[1, 0]]).unwrap();
+        let t = relation_of_ints(&mut c, "CA", &[&[0, 0], &[1, 1]]).unwrap();
+        let db = Database::from_relations(vec![r, s, t]);
+        assert!(pairwise_consistent(&db));
+        assert!(!globally_consistent(&db));
+        // The fixpoint removes nothing: semijoins are useless here.
+        let mut ledger = CostLedger::new();
+        let (reduced, effective) = semijoin_fixpoint(&db, &mut ledger);
+        assert_eq!(effective, 0);
+        assert_eq!(reduced, db);
+    }
+
+    #[test]
+    fn consistent_database_is_a_fixpoint() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[2, 3]]).unwrap();
+        let db = Database::from_relations(vec![r, s]);
+        assert!(pairwise_consistent(&db));
+        assert!(globally_consistent(&db));
+    }
+}

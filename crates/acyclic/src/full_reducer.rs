@@ -1,0 +1,182 @@
+//! Bernstein–Goodman full reducers for acyclic schemes.
+//!
+//! A *full reducer* is a sequence of semijoins that makes an acyclic
+//! database globally consistent (removes every dangling tuple). It follows
+//! the GYO join forest: one upward pass (each parent reduced by each child,
+//! in elimination order) and one downward pass (each child reduced by its
+//! parent, in reverse). The paper's intro: acyclic schemes are solved by a
+//! full reducer followed by a monotone join expression.
+
+use mjoin_hypergraph::{gyo, DbScheme};
+use mjoin_program::{Program, ProgramBuilder, Reg};
+use mjoin_relation::{ops, CostLedger, Database};
+use std::fmt;
+
+/// Error: the scheme is cyclic, so no full reducer exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CyclicSchemeError;
+
+impl fmt::Display for CyclicSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "full reducers exist only for acyclic database schemes")
+    }
+}
+
+impl std::error::Error for CyclicSchemeError {}
+
+/// Build the full-reducer *program* for an acyclic scheme: pure semijoin
+/// statements over the base relations (legal per §2.2, where a semijoin head
+/// may be a relation scheme of 𝒟). The program's result register is the
+/// root of the (first) join-forest component; what matters is the side
+/// effect of reducing every base register.
+pub fn full_reducer_program(scheme: &DbScheme) -> Result<Program, CyclicSchemeError> {
+    let g = gyo(scheme);
+    if !g.acyclic {
+        return Err(CyclicSchemeError);
+    }
+    let mut b = ProgramBuilder::new(scheme);
+    // Upward pass: in elimination order, the ear reduces its parent
+    // (children are eliminated before parents, so by the time a node is
+    // consumed it has absorbed all its children's constraints).
+    for &(ear, parent) in &g.elimination {
+        if let Some(p) = parent {
+            b.semijoin(Reg::Base(p), Reg::Base(ear));
+        }
+    }
+    // Downward pass: in reverse order, each parent reduces its ear.
+    for &(ear, parent) in g.elimination.iter().rev() {
+        if let Some(p) = parent {
+            b.semijoin(Reg::Base(ear), Reg::Base(p));
+        }
+    }
+    let root = g.roots().first().copied().unwrap_or(0);
+    Ok(b.finish(Reg::Base(root)))
+}
+
+/// Apply the full reducer directly to a database, returning the reduced
+/// database and the cost of the semijoin sequence (each executed semijoin's
+/// head, per §2.3 program costing — inputs are *not* charged here so the
+/// ledger composes with a subsequent join phase).
+pub fn fully_reduce(
+    scheme: &DbScheme,
+    db: &Database,
+) -> Result<(Database, CostLedger), CyclicSchemeError> {
+    let g = gyo(scheme);
+    if !g.acyclic {
+        return Err(CyclicSchemeError);
+    }
+    let mut rels: Vec<_> = db.relations().to_vec();
+    let mut ledger = CostLedger::new();
+    let mut reduce = |rels: &mut Vec<mjoin_relation::Relation>, target: usize, by: usize| {
+        let reduced = ops::semijoin(&rels[target], &rels[by]);
+        ledger.charge_generated(format!("R{target} ⋉ R{by}"), reduced.len());
+        rels[target] = reduced;
+    };
+    for &(ear, parent) in &g.elimination {
+        if let Some(p) = parent {
+            reduce(&mut rels, p, ear);
+        }
+    }
+    for &(ear, parent) in g.elimination.iter().rev() {
+        if let Some(p) = parent {
+            reduce(&mut rels, ear, p);
+        }
+    }
+    Ok((Database::from_relations(rels), ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::globally_consistent;
+    use mjoin_program::{execute, validate};
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn chain() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        // Dangling tuples at both ends.
+        let r1 = relation_of_ints(&mut c, "AB", &[&[1, 2], &[7, 7]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "BC", &[&[2, 3], &[8, 8]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "CD", &[&[3, 4], &[9, 9]]).unwrap();
+        (c, s, Database::from_relations(vec![r1, r2, r3]))
+    }
+
+    /// Execute the reducer and return the reduced database.
+    fn run_reducer(scheme: &DbScheme, db: &Database) -> Database {
+        fully_reduce(scheme, db).unwrap().0
+    }
+
+    #[test]
+    fn reducer_yields_global_consistency() {
+        let (_c, s, db) = chain();
+        assert!(!globally_consistent(&db));
+        let (reduced, ledger) = fully_reduce(&s, &db).unwrap();
+        assert!(globally_consistent(&reduced));
+        // The join is unchanged by reduction.
+        assert_eq!(reduced.join_all(), db.join_all());
+        for i in 0..db.len() {
+            assert_eq!(reduced.relation(i).len(), 1, "relation {i}");
+        }
+        // 4 semijoins charged.
+        assert_eq!(ledger.entries().len(), 4);
+    }
+
+    #[test]
+    fn reducer_program_agrees_with_direct_execution() {
+        let (_c, s, db) = chain();
+        let p = full_reducer_program(&s).unwrap();
+        validate(&p, &s).unwrap();
+        let (reduced, _) = fully_reduce(&s, &db).unwrap();
+        // Check one register's final value through the interpreter.
+        for i in 0..db.len() {
+            let mut p2 = p.clone();
+            p2.result = Reg::Base(i);
+            assert_eq!(execute(&p2, &db).result, *reduced.relation(i));
+        }
+    }
+
+    #[test]
+    fn reducer_statement_count_is_linear() {
+        let (_c, s, _db) = chain();
+        let p = full_reducer_program(&s).unwrap();
+        // 2 · (r − roots) semijoins for a connected acyclic scheme.
+        assert_eq!(p.len(), 4);
+        let (projects, joins, semijoins) = p.kind_counts();
+        assert_eq!((projects, joins), (0, 0));
+        assert_eq!(semijoins, 4);
+    }
+
+    #[test]
+    fn cyclic_scheme_rejected() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CA"]);
+        assert_eq!(full_reducer_program(&s), Err(CyclicSchemeError));
+    }
+
+    #[test]
+    fn star_scheme_reduction() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABX", "XC", "XD"]);
+        let r1 = relation_of_ints(&mut c, "ABX", &[&[1, 2, 5], &[1, 2, 6]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "XC", &[&[5, 3], &[7, 3]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "XD", &[&[5, 4]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2, r3]);
+        let reduced = run_reducer(&s, &db);
+        assert!(globally_consistent(&reduced));
+        assert_eq!(reduced.join_all(), db.join_all());
+    }
+
+    #[test]
+    fn disconnected_forest_reduces_each_component() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "XY"]);
+        let r1 = relation_of_ints(&mut c, "AB", &[&[1, 2], &[5, 5]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "BC", &[&[2, 3]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "XY", &[&[0, 0]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2, r3]);
+        let reduced = run_reducer(&s, &db);
+        assert_eq!(reduced.relation(0).len(), 1);
+        assert_eq!(reduced.relation(2).len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Monotone join expressions for acyclic schemes.
+//!
+//! After a full reducer has made an acyclic database globally consistent,
+//! joining the relations along the join forest — each new relation adjacent
+//! (in the forest) to the already-joined set — guarantees every intermediate
+//! result is a projection-extension of the final join restricted to the
+//! covered schemes, so no intermediate exceeds the final size (Beeri–Fagin–
+//! Maier–Yannakakis). This is the paper's "polynomial for acyclic schemes"
+//! baseline.
+
+use crate::full_reducer::CyclicSchemeError;
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::{gyo, DbScheme};
+
+/// A monotone (left-deep) join order for a **connected, acyclic** scheme:
+/// the reverse GYO elimination order, in which every prefix is connected in
+/// the join tree.
+pub fn monotone_join_tree(scheme: &DbScheme) -> Result<JoinTree, CyclicSchemeError> {
+    let g = gyo(scheme);
+    if !g.acyclic {
+        return Err(CyclicSchemeError);
+    }
+    // Reverse elimination order: the root first, then each ear after its
+    // parent (elimination lists children before parents, so the reverse
+    // lists every parent before its children).
+    let order: Vec<usize> = g.elimination.iter().rev().map(|&(e, _)| e).collect();
+    Ok(JoinTree::left_deep(&order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full_reducer::fully_reduce;
+    use mjoin_expr::evaluate;
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn chain_db() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD", "DE"]);
+        let r1 = relation_of_ints(&mut c, "AB", &[&[1, 2], &[5, 2]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "BC", &[&[2, 3], &[2, 4]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "CD", &[&[3, 6], &[4, 6], &[9, 9]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "DE", &[&[6, 7]]).unwrap();
+        (c, s, Database::from_relations(vec![r1, r2, r3, r4]))
+    }
+
+    #[test]
+    fn monotone_tree_is_cpf_linear_and_exact() {
+        let (_c, s, _db) = chain_db();
+        let t = monotone_join_tree(&s).unwrap();
+        assert!(t.is_linear());
+        assert!(t.is_cpf(&s));
+        assert!(t.is_exactly_over(&s));
+    }
+
+    #[test]
+    fn intermediates_bounded_after_full_reduction() {
+        let (_c, s, db) = chain_db();
+        let (reduced, _) = fully_reduce(&s, &db).unwrap();
+        let t = monotone_join_tree(&s).unwrap();
+        let res = evaluate(&t, &reduced);
+        let final_size = res.relation.len() as u64;
+        assert!(final_size > 0);
+        for entry in res.ledger.entries() {
+            if matches!(entry.kind, mjoin_relation::CostKind::Generated) {
+                assert!(
+                    entry.tuples <= final_size,
+                    "monotone: intermediate {} > final {final_size}",
+                    entry.tuples
+                );
+            }
+        }
+        // And the result is the true join.
+        assert_eq!(res.relation, db.join_all());
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CA"]);
+        assert_eq!(monotone_join_tree(&s), Err(CyclicSchemeError));
+    }
+
+    #[test]
+    fn star_monotone_order() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["XA", "XB", "XC"]);
+        let t = monotone_join_tree(&s).unwrap();
+        assert!(t.is_cpf(&s));
+        assert!(t.is_exactly_over(&s));
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion: Algorithm 1 + Algorithm 2 derivation time vs scheme size.
+//!
+//! The E4 claim in wall-clock form: deriving a program depends only on the
+//! database *scheme* (here: chains and cycles of growing `r`), never on any
+//! data — there is no database in sight in this whole file.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_core::derive;
+use mjoin_expr::JoinTree;
+use mjoin_relation::Catalog;
+use mjoin_workloads::schemes;
+use std::hint::black_box;
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derive");
+    for &r in &[4usize, 8, 16, 32] {
+        for family in ["chain", "cycle"] {
+            let mut catalog = Catalog::new();
+            let scheme = match family {
+                "chain" => schemes::chain(&mut catalog, r),
+                _ => schemes::cycle(&mut catalog, r),
+            };
+            let t1 = JoinTree::left_deep(&(0..r).collect::<Vec<_>>());
+            group.bench_with_input(
+                BenchmarkId::new(family, r),
+                &(&scheme, &t1),
+                |b, (scheme, t1)| {
+                    b.iter(|| black_box(derive(scheme, t1).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_algorithm1_outcomes(c: &mut Criterion) {
+    // Exhaustive enumeration of Algorithm 1's nondeterminism on the paper's
+    // running example (16 outcomes).
+    let mut catalog = Catalog::new();
+    let scheme = mjoin_workloads::Example3::scheme(&mut catalog);
+    let t1 = mjoin_workloads::Example3::optimal_tree();
+    c.bench_function("algorithm1_all_outcomes_paper_cycle", |b| {
+        b.iter(|| black_box(mjoin_core::algorithm1_all_outcomes(&scheme, &t1).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_derivation, bench_algorithm1_outcomes);
+criterion_main!(benches);

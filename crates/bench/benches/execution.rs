@@ -1,0 +1,54 @@
+//! Criterion: wall-clock of the three evaluation strategies on Example 3.
+//!
+//! The W experiment: confirm that the §2.3 tuple-count separation (program ≪
+//! CPF expression) is visible in real time, not just in the cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_core::derive;
+use mjoin_expr::{cost_of, cpf_trees};
+use mjoin_program::execute;
+use mjoin_relation::{Catalog, Database};
+use mjoin_workloads::Example3;
+use std::hint::black_box;
+
+struct Setup {
+    db: Database,
+    program: mjoin_program::Program,
+    bowtie: mjoin_expr::JoinTree,
+    best_cpf: mjoin_expr::JoinTree,
+}
+
+fn setup(m: u64) -> Setup {
+    let ex = Example3::new(m);
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    let db = ex.database(&mut catalog);
+    let bowtie = Example3::optimal_tree();
+    let derivation = derive(&scheme, &bowtie).unwrap();
+    let best_cpf = cpf_trees(&scheme, scheme.all())
+        .into_iter()
+        .min_by_key(|t| ex.tree_cost(&scheme, t))
+        .unwrap();
+    Setup { db, program: derivation.program, bowtie, best_cpf }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example3_execution");
+    group.sample_size(10);
+    for &m in &[5u64, 10] {
+        let s = setup(m);
+        group.bench_with_input(BenchmarkId::new("program", m), &s, |b, s| {
+            b.iter(|| black_box(execute(&s.program, &s.db)));
+        });
+        group.bench_with_input(BenchmarkId::new("bowtie_expr", m), &s, |b, s| {
+            b.iter(|| black_box(cost_of(&s.bowtie, &s.db)));
+        });
+        group.bench_with_input(BenchmarkId::new("best_cpf_expr", m), &s, |b, s| {
+            b.iter(|| black_box(cost_of(&s.best_cpf, &s.db)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

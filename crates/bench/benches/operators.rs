@@ -1,0 +1,70 @@
+//! Criterion: raw operator throughput (hash join, semijoin, projection).
+//!
+//! Wall-clock sanity check behind the paper's §2.3 claim that tuple-count
+//! cost `n` corresponds to an `O(n log n)` best implementation — our
+//! hash-based operators are `O(n)` expected, so wall-clock should track the
+//! tuple counts the experiments report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mjoin_relation::{ops, Catalog, Relation, Schema, Value};
+use std::hint::black_box;
+
+/// `R(A,B)` with `n` tuples: `A = i % keys`, `B = i` — so joining on `A`
+/// against a similar `S(A,C)` fans out `n/keys` ways.
+fn table(catalog: &mut Catalog, scheme: &str, n: usize, keys: usize) -> Relation {
+    let schema = Schema::from_chars(catalog, scheme);
+    let rows = (0..n)
+        .map(|i| {
+            vec![Value::Int((i % keys) as i64), Value::Int(i as i64)].into()
+        })
+        .collect();
+    Relation::from_rows(schema, rows).unwrap()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let mut catalog = Catalog::new();
+        let r = table(&mut catalog, "AB", n, n / 4);
+        let s = table(&mut catalog, "AC", n, n / 4);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ops::join(&r, &s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_semijoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semijoin");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let mut catalog = Catalog::new();
+        let r = table(&mut catalog, "AB", n, n / 4);
+        let s = table(&mut catalog, "AC", n / 2, n / 8);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ops::semijoin(&r, &s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_project(c: &mut Criterion) {
+    let mut group = c.benchmark_group("project");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let mut catalog = Catalog::new();
+        let r = table(&mut catalog, "AB", n, 64);
+        let a = catalog.lookup("A").unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ops::project(&r, &[a]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_semijoin, bench_project);
+criterion_main!(benches);

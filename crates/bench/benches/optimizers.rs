@@ -1,0 +1,57 @@
+//! Criterion: optimizer strategies on a random cyclic scheme (E5's timing
+//! companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_optimizer::{
+    greedy, iterative_improvement, optimize, ExactOracle, IiConfig, SearchSpace,
+};
+use mjoin_relation::{Catalog, Database};
+use mjoin_workloads::{random_database, schemes, DataGenConfig};
+use std::hint::black_box;
+
+fn setup(r: usize) -> (mjoin_hypergraph::DbScheme, Database) {
+    let mut catalog = Catalog::new();
+    let scheme = schemes::cycle(&mut catalog, r);
+    let db = random_database(
+        &scheme,
+        &DataGenConfig { tuples_per_relation: 20, domain: 4, seed: 5, plant_witness: true },
+    );
+    (scheme, db)
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizers");
+    group.sample_size(10);
+    for &r in &[6usize, 8] {
+        let (scheme, db) = setup(r);
+        for (name, space) in [
+            ("dp_all", SearchSpace::All),
+            ("dp_cpf", SearchSpace::Cpf),
+            ("dp_linear", SearchSpace::Linear),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, r), &(&scheme, &db), |b, (s, d)| {
+                b.iter(|| {
+                    let mut oracle = ExactOracle::new(d);
+                    black_box(optimize(s, &mut oracle, space))
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("greedy", r), &(&scheme, &db), |b, (s, d)| {
+            b.iter(|| {
+                let mut oracle = ExactOracle::new(d);
+                black_box(greedy(s, &mut oracle, true))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ii", r), &(&scheme, &db), |b, (s, d)| {
+            b.iter(|| {
+                let mut oracle = ExactOracle::new(d);
+                let cfg = IiConfig { restarts: 3, patience: 20, cpf_only: false, seed: 1 };
+                black_box(iterative_improvement(s, &mut oracle, &cfg))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: end-to-end pipeline wall-clock (optimize → Algorithm 1 →
+//! Algorithm 2 → execute) against evaluating the chosen tree directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_core::{run_pipeline, FirstChoice};
+use mjoin_expr::cost_of;
+use mjoin_optimizer::{optimize, ExactOracle, SearchSpace};
+use mjoin_relation::Catalog;
+use mjoin_workloads::{random_database, schemes, DataGenConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for &r in &[4usize, 6, 8] {
+        let mut catalog = Catalog::new();
+        let scheme = schemes::cycle(&mut catalog, r);
+        let db = random_database(
+            &scheme,
+            &DataGenConfig { tuples_per_relation: 40, domain: 5, seed: 11, plant_witness: true },
+        );
+        let mut oracle = ExactOracle::new(&db);
+        let t1 = optimize(&scheme, &mut oracle, SearchSpace::All).unwrap().tree;
+
+        group.bench_with_input(BenchmarkId::new("derive_and_execute", r), &r, |b, _| {
+            b.iter(|| {
+                black_box(run_pipeline(&scheme, &t1, &db, &mut FirstChoice).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("evaluate_tree", r), &r, |b, _| {
+            b.iter(|| black_box(cost_of(&t1, &db)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

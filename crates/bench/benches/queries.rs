@@ -1,0 +1,51 @@
+//! Criterion: conjunctive-query end-to-end latency (parse + bind + plan +
+//! derive + execute) across plan strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_cq::{execute_query, parse_query, NamedDatabase, PlanStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn graph(n_edges: usize, n_nodes: i64, seed: u64) -> NamedDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = NamedDatabase::new();
+    let edges: Vec<Vec<i64>> = (0..n_edges)
+        .map(|_| vec![rng.gen_range(0..n_nodes), rng.gen_range(0..n_nodes)])
+        .collect();
+    let refs: Vec<&[i64]> = edges.iter().map(|v| v.as_slice()).collect();
+    db.add_relation("edge", &["src", "dst"], &refs).unwrap();
+    db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq");
+    group.sample_size(10);
+    let db = graph(800, 60, 3);
+    for (name, text) in [
+        ("two_hop", "Q(x, z) :- edge(x, y), edge(y, z)."),
+        ("triangle", "Q(x, y, z) :- edge(x, y), edge(y, z), edge(z, x)."),
+        (
+            "four_cycle",
+            "Q(a, c) :- edge(a, b), edge(b, c), edge(c, d), edge(d, a).",
+        ),
+    ] {
+        let q = parse_query(text).unwrap();
+        for (sname, strategy) in [
+            ("greedy", PlanStrategy::Greedy),
+            ("dp", PlanStrategy::DpOptimal),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/{sname}"), 800),
+                &q,
+                |b, q| {
+                    b.iter(|| black_box(execute_query(&db, q, strategy).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

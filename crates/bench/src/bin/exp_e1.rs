@@ -1,0 +1,119 @@
+//! **E1 — Example 3 / Example 6: the cost separation table.**
+//!
+//! For each scale (the paper's `k`, i.e. `m = 10^k`, plus intermediate `m`
+//! values) print the §2.3 cost of:
+//!
+//! * the optimal join expression (the non-CPF bowtie) — paper: `< 10^(4k+1)`;
+//! * the cheapest CPF join expression — paper: `> 2·10^(5k)`;
+//! * the cheapest linear join expression — paper: `> 2·10^(5k)`;
+//! * the program derived by Algorithms 1+2 from the optimal tree — paper
+//!   (Example 6): `< 2·10^(4k)`-order.
+//!
+//! Expression costs are closed-form (validated against execution in the test
+//! suite); the program cost is *measured* by execution where the data fits
+//! in memory (`m ≤ 40` here) and the Theorem 2 bound is shown alongside.
+//!
+//! ```text
+//! cargo run --release -p mjoin-bench --bin exp_e1
+//! ```
+
+use mjoin_bench::fmt_count;
+use mjoin_core::{run_pipeline, FirstChoice};
+use mjoin_relation::Catalog;
+use mjoin_workloads::Example3;
+
+fn main() {
+    println!("# E1: Example 3 cost separation (paper §2.3 Example 3, §3 Example 6)\n");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &m in &[5u64, 10, 20, 40, 100, 1000, 10000] {
+        let ex = Example3::new(m);
+        let mut catalog = Catalog::new();
+        let scheme = Example3::scheme(&mut catalog);
+
+        let optimal = ex.min_overall_cost(&scheme);
+        let cpf = ex.min_cpf_cost(&scheme);
+        let linear = ex.min_linear_cost(&scheme);
+
+        // Measured program cost where the database is materializable.
+        let (program, bound) = if m <= 40 {
+            let db = ex.database(&mut catalog);
+            let run = run_pipeline(&scheme, &Example3::optimal_tree(), &db, &mut FirstChoice)
+                .expect("pipeline runs");
+            assert_eq!(run.exec.result.len(), 1);
+            assert!(run.bound_holds());
+            (
+                fmt_count(run.program_cost() as u128),
+                fmt_count(run.quasi_factor as u128 * run.tree_cost as u128),
+            )
+        } else {
+            ("(too large)".to_string(), fmt_count(52 * optimal))
+        };
+
+        rows.push(vec![
+            m.to_string(),
+            fmt_count(optimal),
+            fmt_count(cpf),
+            fmt_count(linear),
+            program,
+            bound,
+            format!("{:.1}x", cpf as f64 / optimal as f64),
+        ]);
+    }
+    mjoin_bench::print_table(
+        &[
+            "m",
+            "optimal (non-CPF)",
+            "best CPF expr",
+            "best linear expr",
+            "program P (measured)",
+            "Thm2 bound r(a+5)cost(T1)",
+            "CPF/opt",
+        ],
+        &rows,
+    );
+
+    println!("\n## Paper's stated bounds (m = 10^k)\n");
+    let mut rows = Vec::new();
+    for k in 1..=4u32 {
+        let ex = Example3::for_k(k);
+        let mut catalog = Catalog::new();
+        let scheme = Example3::scheme(&mut catalog);
+        let optimal = ex.optimal_cost(&scheme);
+        let cpf = ex.min_cpf_cost(&scheme);
+        let lin = ex.min_linear_cost(&scheme);
+        rows.push(vec![
+            k.to_string(),
+            format!(
+                "{} < {}  [{}]",
+                fmt_count(optimal),
+                fmt_count(ex.paper_optimal_bound()),
+                ok(optimal < ex.paper_optimal_bound())
+            ),
+            format!(
+                "{} > {}  [{}]",
+                fmt_count(cpf),
+                fmt_count(ex.paper_cpf_lower_bound()),
+                ok(cpf > ex.paper_cpf_lower_bound())
+            ),
+            format!(
+                "{} > {}  [{}]",
+                fmt_count(lin),
+                fmt_count(ex.paper_cpf_lower_bound()),
+                ok(lin > ex.paper_cpf_lower_bound())
+            ),
+        ]);
+    }
+    mjoin_bench::print_table(
+        &["k", "optimal < 10^(4k+1)", "CPF > 2*10^(5k)", "linear > 2*10^(5k)"],
+        &rows,
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}

@@ -1,0 +1,70 @@
+//! **E3 — the paper's worked figures: Examples 2, 5 and 6.**
+//!
+//! Regenerates the paper's structural artifacts:
+//!
+//! * Figure 1's tree `(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)` and its properties;
+//! * Example 5: the **16** CPF trees Algorithm 1 can produce from it
+//!   (printed), including Figure 2's tree;
+//! * Example 6: the exact program Algorithm 2 derives from Figure 2's tree,
+//!   and its measured cost on the Example 3 database
+//!   (paper: `< 2·10^(4k)`).
+//!
+//! ```text
+//! cargo run --release -p mjoin-bench --bin exp_e3
+//! ```
+
+use mjoin_core::{algorithm1_all_outcomes, algorithm2};
+use mjoin_expr::parse_join_tree;
+use mjoin_program::{display, execute};
+use mjoin_relation::Catalog;
+use mjoin_workloads::Example3;
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+
+    println!("# E3: the paper's worked examples\n");
+
+    // Figure 1.
+    let t1 = parse_join_tree(&catalog, &scheme, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
+    println!("## Figure 1: T1 = {}", t1.display(&scheme, &catalog));
+    println!("   CPF? {}   linear? {}\n", t1.is_cpf(&scheme), t1.is_linear());
+
+    // Example 5.
+    let outcomes = algorithm1_all_outcomes(&scheme, &t1).unwrap();
+    println!(
+        "## Example 5: Algorithm 1 outcomes across all nondeterministic choices: {} trees (paper: 16)",
+        outcomes.len()
+    );
+    let fig2 = parse_join_tree(&catalog, &scheme, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+    for (i, t) in outcomes.iter().enumerate() {
+        let marker = if *t == fig2 { "   <-- Figure 2" } else { "" };
+        println!("  {:>2}. {}{}", i + 1, t.display(&scheme, &catalog), marker);
+        assert!(t.is_cpf(&scheme));
+    }
+    assert_eq!(outcomes.len(), 16);
+    assert!(outcomes.contains(&fig2));
+
+    // Example 6.
+    println!("\n## Example 6: the program derived from Figure 2's tree");
+    let program = algorithm2(&scheme, &fig2).unwrap();
+    print!("{}", display::render(&program, &scheme, &catalog));
+    println!("({} statements; Claim C bound r(a+5) = {})", program.len(), scheme.quasi_factor());
+
+    println!("\n## Example 6's cost claim on the Example 3 database");
+    for m in [5u64, 10, 20] {
+        let ex = Example3::new(m);
+        let mut c2 = Catalog::new();
+        let _ = Example3::scheme(&mut c2);
+        let db = ex.database(&mut c2);
+        let out = execute(&program, &db);
+        assert_eq!(out.result.len(), 1);
+        println!(
+            "  m = {:>3}: cost(P(D)) = {:>10}   (paper's form 2·m^4 = {:>10}; best CPF expr = {})",
+            m,
+            out.cost(),
+            2 * (m as u128).pow(4),
+            ex.min_cpf_cost(&Example3::scheme(&mut Catalog::new())),
+        );
+    }
+}

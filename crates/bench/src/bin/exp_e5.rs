@@ -1,0 +1,65 @@
+//! **E5 — search-space sizes and DP optimizer timing.**
+//!
+//! The paper's §1/§4 discuss the (exponential) sizes of the join-expression
+//! search space and its CPF/linear subsets. This experiment tabulates the
+//! exact counts per scheme family and the wall-clock of the subset-DP
+//! optimizers against them.
+//!
+//! ```text
+//! cargo run --release -p mjoin-bench --bin exp_e5
+//! ```
+
+use mjoin_bench::{fmt_count, print_table};
+use mjoin_optimizer::{optimize, space_sizes, ExactOracle, SearchSpace};
+use mjoin_relation::Catalog;
+use mjoin_workloads::{random_database, schemes, DataGenConfig};
+use std::time::Instant;
+
+fn main() {
+    println!("# E5: search-space sizes — all vs CPF vs linear\n");
+    let mut rows = Vec::new();
+    for r in 3..=10usize {
+        for family in ["chain", "cycle", "star"] {
+            let mut catalog = Catalog::new();
+            let scheme = match family {
+                "chain" => schemes::chain(&mut catalog, r),
+                "cycle" => schemes::cycle(&mut catalog, r.max(3)),
+                _ => schemes::star(&mut catalog, r - 1),
+            };
+            let sizes = space_sizes(&scheme);
+            rows.push(vec![
+                family.to_string(),
+                sizes.r.to_string(),
+                fmt_count(sizes.all),
+                fmt_count(sizes.cpf),
+                fmt_count(sizes.linear),
+                format!("{:.3}", sizes.cpf_fraction()),
+            ]);
+        }
+    }
+    print_table(
+        &["family", "r", "all trees", "CPF trees", "linear trees", "CPF fraction"],
+        &rows,
+    );
+
+    println!("\n# DP optimizer wall-clock (exact oracle, 20 tuples/relation)\n");
+    let mut rows = Vec::new();
+    for r in [4usize, 6, 8, 10] {
+        let mut catalog = Catalog::new();
+        let scheme = schemes::cycle(&mut catalog, r);
+        let db = random_database(
+            &scheme,
+            &DataGenConfig { tuples_per_relation: 20, domain: 4, seed: 1, plant_witness: true },
+        );
+        let mut cells = vec![r.to_string()];
+        for space in [SearchSpace::All, SearchSpace::Cpf, SearchSpace::Linear] {
+            let mut oracle = ExactOracle::new(&db);
+            let start = Instant::now();
+            let opt = optimize(&scheme, &mut oracle, space).expect("space nonempty");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            cells.push(format!("{:.1}ms (cost {})", ms, opt.cost));
+        }
+        rows.push(cells);
+    }
+    print_table(&["r (cycle)", "DP all", "DP CPF", "DP linear"], &rows);
+}

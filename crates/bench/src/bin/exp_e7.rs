@@ -1,0 +1,120 @@
+//! **E7 — ablations and the §4 open question.**
+//!
+//! 1. Ablate Algorithm 2's output: replace semijoins with joins, replace
+//!    projections with full-scheme copies, or both — quantifying what each
+//!    statement kind contributes to the cost bound (Example 3 data).
+//! 2. The paper's §4 open question: among *linear and CPF* expressions, is
+//!    there always one whose derived program is quasi-optimal? We measure
+//!    the best derived-program cost over every linear-CPF tree of the
+//!    4-cycle and compare with the best over all CPF trees.
+//! 3. Algorithm 1 choice-policy sensitivity: program cost across all 16
+//!    Algorithm 1 outcomes for the bowtie input.
+//!
+//! ```text
+//! cargo run --release -p mjoin-bench --bin exp_e7
+//! ```
+
+use mjoin_bench::print_table;
+use mjoin_core::{ablate_program, algorithm1_all_outcomes, algorithm2, Ablation};
+use mjoin_expr::{cpf_trees, linear_trees};
+use mjoin_program::execute;
+use mjoin_relation::Catalog;
+use mjoin_workloads::Example3;
+
+fn main() {
+    let m = 10u64;
+    let ex = Example3::new(m);
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    let db = ex.database(&mut catalog);
+    let expected = db.join_all();
+
+    // Part 1: ablations on the program derived from Figure 2's tree.
+    println!("# E7.1: statement-kind ablations (Example 3, m = {m})\n");
+    let fig2 = mjoin_expr::parse_join_tree(&catalog, &scheme, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA")
+        .unwrap();
+    let p = algorithm2(&scheme, &fig2).unwrap();
+    let mut rows = Vec::new();
+    let full_cost = execute(&p, &db).cost();
+    rows.push(vec!["full Algorithm 2".into(), p.len().to_string(), full_cost.to_string(), "1.0x".into()]);
+    for (label, ab) in [
+        ("no semijoins (⋉ → ⋈)", Ablation::NoSemijoins),
+        ("no projections (π → copy)", Ablation::NoProjections),
+        ("neither", Ablation::Neither),
+    ] {
+        let q = ablate_program(&p, &scheme, ab);
+        let out = execute(&q, &db);
+        assert_eq!(out.result, expected, "{label} must stay correct");
+        rows.push(vec![
+            label.into(),
+            q.len().to_string(),
+            out.cost().to_string(),
+            format!("{:.1}x", out.cost() as f64 / full_cost as f64),
+        ]);
+    }
+    print_table(&["variant", "statements", "cost(P(D))", "vs full"], &rows);
+
+    // Part 2: §4's open question, measured on the 4-cycle.
+    println!("\n# E7.2: derived-program cost over tree classes (m = {m})\n");
+    let mut best_rows = Vec::new();
+    let all_cpf = cpf_trees(&scheme, scheme.all());
+    let lin_cpf: Vec<_> = linear_trees(scheme.all())
+        .into_iter()
+        .filter(|t| t.is_cpf(&scheme))
+        .collect();
+    for (label, trees) in [("all CPF trees", &all_cpf), ("linear ∩ CPF trees", &lin_cpf)] {
+        let mut best: Option<(u64, String)> = None;
+        for t in trees {
+            let p = algorithm2(&scheme, t).unwrap();
+            let out = execute(&p, &db);
+            assert_eq!(out.result, expected);
+            let c = out.cost();
+            if best.as_ref().is_none_or(|(b, _)| c < *b) {
+                best = Some((c, t.display(&scheme, &catalog).to_string()));
+            }
+        }
+        let (cost, tree) = best.expect("class nonempty");
+        best_rows.push(vec![label.to_string(), trees.len().to_string(), cost.to_string(), tree]);
+    }
+    let opt_cost = ex.optimal_cost(&scheme);
+    print_table(&["class", "trees", "best program cost", "best tree"], &best_rows);
+    println!("\n(optimal join-expression cost for reference: {opt_cost}; best CPF expression: {})",
+        ex.min_cpf_cost(&scheme));
+
+    // Part 3: choice-policy sensitivity.
+    println!("\n# E7.3: program cost across all 16 Algorithm 1 outcomes of the bowtie\n");
+    let t1 = Example3::optimal_tree();
+    let outcomes = algorithm1_all_outcomes(&scheme, &t1).unwrap();
+    let mut costs: Vec<u64> = outcomes
+        .iter()
+        .map(|t2| {
+            let p = algorithm2(&scheme, t2).unwrap();
+            let out = execute(&p, &db);
+            assert_eq!(out.result, expected);
+            out.cost()
+        })
+        .collect();
+    costs.sort_unstable();
+    println!(
+        "{} outcomes; program cost min {} / median {} / max {} (Theorem 2 bound {})",
+        costs.len(),
+        costs.first().unwrap(),
+        costs[costs.len() / 2],
+        costs.last().unwrap(),
+        scheme.quasi_factor() as u128 * ex.optimal_cost(&scheme)
+    );
+
+    // The cost-aware extension policy vs the paper's arbitrary choice.
+    let mut aware = mjoin_core::CostAwareChoice::new(|set| {
+        u64::try_from(ex.subjoin_size(&scheme, set)).unwrap_or(u64::MAX)
+    });
+    let t2 = mjoin_core::algorithm1_with_policy(&scheme, &t1, &mut aware).unwrap();
+    let p = algorithm2(&scheme, &t2).unwrap();
+    let out = execute(&p, &db);
+    assert_eq!(out.result, expected);
+    println!(
+        "cost-aware choice policy (greedy on sub-join sizes): program cost {} (vs min {} above)",
+        out.cost(),
+        costs.first().unwrap()
+    );
+}

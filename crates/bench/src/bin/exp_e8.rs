@@ -1,0 +1,132 @@
+//! **E8 — cardinality-estimation quality and its effect on planning.**
+//!
+//! The optimizer baselines can run from exact sub-join sizes (an oracle no
+//! real system has) or from statistics. This experiment measures, on random
+//! schemes and on Example 3's heavily skewed data:
+//!
+//! 1. q-error distributions of the uniform-independence estimator vs the
+//!    per-bucket histogram estimator, against exact sizes, over every
+//!    connected subset;
+//! 2. the *planning regret*: actual §2.3 cost of the DP tree chosen under
+//!    each estimator, relative to the true optimum.
+//!
+//! ```text
+//! cargo run --release -p mjoin-bench --bin exp_e8
+//! ```
+
+use mjoin_bench::print_table;
+use mjoin_expr::cost_of;
+use mjoin_hypergraph::RelSet;
+use mjoin_optimizer::{
+    optimize, q_error, CostOracle, EstimateOracle, ExactOracle, HistogramOracle, SearchSpace,
+};
+use mjoin_relation::Catalog;
+use mjoin_workloads::{random_database, schemes, DataGenConfig, Example3};
+
+fn quantiles(mut xs: Vec<f64>) -> (f64, f64, f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    (xs[n / 2], xs[n * 9 / 10], xs[n - 1])
+}
+
+fn main() {
+    println!("# E8: estimation quality (q-error) and planning regret\n");
+
+    // Part 1: q-errors over all connected subsets of random cyclic schemes.
+    let mut uniform_q = Vec::new();
+    let mut hist_q = Vec::new();
+    for seed in 0..20u64 {
+        let mut catalog = Catalog::new();
+        let scheme = schemes::random_connected(&mut catalog, 5, 7, 3, seed);
+        let db = random_database(
+            &scheme,
+            &DataGenConfig { tuples_per_relation: 60, domain: 8, seed, plant_witness: true },
+        );
+        let mut exact = ExactOracle::new(&db);
+        let mut unif = EstimateOracle::new(&scheme, &db);
+        let mut hist = HistogramOracle::new(&scheme, &db);
+        for bits in 1u64..(1 << scheme.num_relations()) {
+            let set = RelSet(bits);
+            if set.len() < 2 || !scheme.is_connected(set) {
+                continue;
+            }
+            let truth = exact.subjoin_size(set);
+            uniform_q.push(q_error(unif.subjoin_size(set), truth));
+            hist_q.push(q_error(hist.subjoin_size(set), truth));
+        }
+    }
+    let (um, u9, umax) = quantiles(uniform_q);
+    let (hm, h9, hmax) = quantiles(hist_q);
+    print_table(
+        &["estimator", "median q-error", "p90 q-error", "max q-error"],
+        &[
+            vec!["uniform independence".into(), format!("{um:.2}"), format!("{u9:.2}"), format!("{umax:.1}")],
+            vec!["equi-width histograms".into(), format!("{hm:.2}"), format!("{h9:.2}"), format!("{hmax:.1}")],
+        ],
+    );
+
+    // Part 2: planning regret on random schemes.
+    println!("\n## Planning regret (actual cost of the chosen tree / optimal cost)\n");
+    let mut rows = Vec::new();
+    for (label, which) in [("uniform", 0usize), ("histogram", 1), ("exact", 2)] {
+        let mut worst: f64 = 1.0;
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for seed in 0..20u64 {
+            let mut catalog = Catalog::new();
+            let scheme = schemes::random_connected(&mut catalog, 5, 7, 3, seed);
+            let db = random_database(
+                &scheme,
+                &DataGenConfig { tuples_per_relation: 60, domain: 8, seed, plant_witness: true },
+            );
+            let tree = {
+                let pick = |o: &mut dyn CostOracle| {
+                    optimize(&scheme, o, SearchSpace::All).unwrap().tree
+                };
+                match which {
+                    0 => pick(&mut EstimateOracle::new(&scheme, &db)),
+                    1 => pick(&mut HistogramOracle::new(&scheme, &db)),
+                    _ => pick(&mut ExactOracle::new(&db)),
+                }
+            };
+            let actual = cost_of(&tree, &db) as f64;
+            let optimal = {
+                let mut exact = ExactOracle::new(&db);
+                optimize(&scheme, &mut exact, SearchSpace::All).unwrap().cost as f64
+            };
+            let regret = actual / optimal;
+            worst = worst.max(regret);
+            sum += regret;
+            n += 1;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", sum / n as f64),
+            format!("{worst:.3}"),
+        ]);
+    }
+    print_table(&["planner statistics", "mean regret", "worst regret"], &rows);
+
+    // Part 3: Example 3's skew — where uniform estimation falls apart.
+    println!("\n## Example 3 (m = 10): estimates of the four adjacent pair joins\n");
+    let ex = Example3::new(10);
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    let db = ex.database(&mut catalog);
+    let mut unif = EstimateOracle::new(&scheme, &db);
+    let mut hist = HistogramOracle::new(&scheme, &db);
+    let mut rows = Vec::new();
+    for (i, j) in [(0usize, 1usize), (1, 2), (2, 3), (0, 3)] {
+        let set = RelSet::from_indices([i, j]);
+        let truth = u64::try_from(ex.subjoin_size(&scheme, set)).unwrap();
+        let u = unif.subjoin_size(set);
+        let h = hist.subjoin_size(set);
+        rows.push(vec![
+            format!("R{i} ⋈ R{j}"),
+            truth.to_string(),
+            format!("{u} (q {:.1})", q_error(u, truth)),
+            format!("{h} (q {:.1})", q_error(h, truth)),
+        ]);
+    }
+    print_table(&["pair", "exact", "uniform", "histogram"], &rows);
+}

@@ -1,0 +1,174 @@
+//! Ablations of Algorithm 2's output, for the E7 experiments.
+//!
+//! Algorithm 2 interleaves three statement kinds; the ablations quantify
+//! what each buys. Both transformations preserve Theorem 1 (the result is
+//! still `⋈D`) but forfeit the Theorem 2 cost bound:
+//!
+//! * **semijoins → joins**: every `V := V ⋉ W` becomes `V := V ⋈ W`. The
+//!   filter constraint is still applied (as a full join), so the final
+//!   result is unchanged, but heads now carry `W`'s attributes and grow.
+//! * **projections → copies**: every `F := π_U V` becomes the identity
+//!   projection `F := π_{scheme(V)} V`. `F` then drags every attribute
+//!   along, losing the size reduction projections exist for.
+
+use mjoin_hypergraph::DbScheme;
+use mjoin_program::{Program, Reg, Stmt};
+use mjoin_relation::AttrSet;
+
+/// Which statements to weaken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// Replace semijoins with joins.
+    NoSemijoins,
+    /// Replace projections with full-scheme copies.
+    NoProjections,
+    /// Both weakenings at once.
+    Neither,
+}
+
+/// Apply `ablation` to a program derived by Algorithm 2.
+///
+/// Panics if a semijoin with a base-relation head must be converted (its
+/// head cannot legally become a join head); Algorithm 2 never emits those.
+pub fn ablate_program(program: &Program, scheme: &DbScheme, ablation: Ablation) -> Program {
+    let drop_semijoins = matches!(ablation, Ablation::NoSemijoins | Ablation::Neither);
+    let drop_projections = matches!(ablation, Ablation::NoProjections | Ablation::Neither);
+
+    // Re-simulate register schemes so identity projections know the source's
+    // current scheme, mirroring the validator's bookkeeping.
+    let mut base_schemes: Vec<AttrSet> = scheme.edges().to_vec();
+    let mut temp_schemes: Vec<Option<AttrSet>> = vec![None; program.temp_names.len()];
+    let resolve = |base_schemes: &[AttrSet],
+                   temp_schemes: &[Option<AttrSet>],
+                   program: &Program,
+                   reg: Reg|
+     -> AttrSet {
+        let mut cur = reg;
+        loop {
+            match cur {
+                Reg::Base(i) => return base_schemes[i].clone(),
+                Reg::Temp(t) => match &temp_schemes[t] {
+                    Some(s) => return s.clone(),
+                    None => {
+                        cur = program.temp_init[t].expect("valid program: alias exists");
+                    }
+                },
+            }
+        }
+    };
+
+    let mut stmts = Vec::with_capacity(program.stmts.len());
+    for stmt in &program.stmts {
+        let new_stmt = match stmt {
+            Stmt::Project { dst, src, attrs } => {
+                let attrs = if drop_projections {
+                    resolve(&base_schemes, &temp_schemes, program, *src)
+                } else {
+                    attrs.clone()
+                };
+                Stmt::Project { dst: *dst, src: *src, attrs }
+            }
+            Stmt::Join { .. } => stmt.clone(),
+            Stmt::Semijoin { target, filter } => {
+                if drop_semijoins {
+                    assert!(
+                        target.is_temp(),
+                        "cannot convert a base-head semijoin to a join"
+                    );
+                    Stmt::Join { dst: *target, left: *target, right: *filter }
+                } else {
+                    stmt.clone()
+                }
+            }
+        };
+        // Update the scheme simulation.
+        match &new_stmt {
+            Stmt::Project { dst, attrs, .. } => {
+                if let Reg::Temp(t) = dst {
+                    temp_schemes[*t] = Some(attrs.clone());
+                }
+            }
+            Stmt::Join { dst, left, right } => {
+                let s = resolve(&base_schemes, &temp_schemes, program, *left)
+                    .union(&resolve(&base_schemes, &temp_schemes, program, *right));
+                match dst {
+                    Reg::Temp(t) => temp_schemes[*t] = Some(s),
+                    Reg::Base(i) => base_schemes[*i] = s,
+                }
+            }
+            Stmt::Semijoin { .. } => {}
+        }
+        stmts.push(new_stmt);
+    }
+
+    Program {
+        num_bases: program.num_bases,
+        temp_names: program.temp_names.clone(),
+        temp_init: program.temp_init.clone(),
+        stmts,
+        result: program.result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg2::algorithm2;
+    use mjoin_expr::parse_join_tree;
+    use mjoin_program::{execute, validate};
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn setup() -> (Catalog, DbScheme, Database, Program) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        let t2 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+        let p = algorithm2(&s, &t2).unwrap();
+        let r1 = relation_of_ints(&mut c, "ABC", &[&[1, 2, 3], &[1, 2, 9]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5], &[9, 9, 9]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1]]).unwrap();
+        (c, s, Database::from_relations(vec![r1, r2, r3, r4]), p)
+    }
+
+    #[test]
+    fn ablated_programs_remain_correct() {
+        let (_c, s, db, p) = setup();
+        let expected = db.join_all();
+        for ab in [Ablation::NoSemijoins, Ablation::NoProjections, Ablation::Neither] {
+            let q = ablate_program(&p, &s, ab);
+            validate(&q, &s).unwrap_or_else(|e| panic!("{ab:?}: {e}"));
+            let out = execute(&q, &db);
+            assert_eq!(out.result, expected, "{ab:?}");
+        }
+    }
+
+    #[test]
+    fn ablation_does_not_cheapen() {
+        // On Example 3 data the full algorithm must be at least as cheap as
+        // each ablation (semijoins and projections only ever shrink heads).
+        let ex = mjoin_workloads::Example3::new(5);
+        let mut c = Catalog::new();
+        let s = mjoin_workloads::Example3::scheme(&mut c);
+        let db = ex.database(&mut c);
+        let t2 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+        let p = algorithm2(&s, &t2).unwrap();
+        let full_cost = execute(&p, &db).cost();
+        for ab in [Ablation::NoSemijoins, Ablation::NoProjections, Ablation::Neither] {
+            let q = ablate_program(&p, &s, ab);
+            let cost = execute(&q, &db).cost();
+            assert!(cost >= full_cost, "{ab:?}: {cost} < {full_cost}");
+        }
+    }
+
+    #[test]
+    fn statement_kinds_change_as_expected() {
+        let (_c, s, _db, p) = setup();
+        let (pr, jo, se) = p.kind_counts();
+        assert!(se > 0 && pr > 0);
+        let no_semi = ablate_program(&p, &s, Ablation::NoSemijoins);
+        assert_eq!(no_semi.kind_counts(), (pr, jo + se, 0));
+        let no_proj = ablate_program(&p, &s, Ablation::NoProjections);
+        assert_eq!(no_proj.kind_counts(), (pr, jo, se));
+        assert_eq!(no_proj.len(), p.len());
+    }
+}

@@ -1,0 +1,353 @@
+//! **Algorithm 1** — rewriting an arbitrary join expression tree over a
+//! connected database scheme into a Cartesian-product-free tree.
+//!
+//! The algorithm walks the input tree `T₁` bottom-up keeping a *table* of CPF
+//! trees, one per connected component seen at any node. At an internal node
+//! `𝒰 = ℒ ∪ ℛ`, every component `𝒞` of `𝒰` is a component of `ℒ`, a component
+//! of `ℛ`, or the union of a set `Γ` of such components; in the last case the
+//! components in `Γ` are merged one at a time, always keeping the merged set
+//! connected (step 3), which is possible precisely because `𝒞` is connected.
+//! When the root is processed the table holds a CPF tree over the whole
+//! (connected) scheme.
+
+use crate::choice::{ChoicePolicy, FirstChoice, ScriptedChoice};
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::fxhash::{FxHashMap, FxHashSet};
+use std::fmt;
+
+/// Errors from Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Alg1Error {
+    /// The database scheme is not connected — the paper's precondition.
+    SchemeNotConnected,
+    /// The input tree is not exactly over the scheme (a leaf per occurrence).
+    TreeNotExactlyOver,
+}
+
+impl fmt::Display for Alg1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Alg1Error::SchemeNotConnected => {
+                write!(f, "Algorithm 1 requires a connected database scheme")
+            }
+            Alg1Error::TreeNotExactlyOver => {
+                write!(f, "input tree must be exactly over the database scheme")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Alg1Error {}
+
+fn check_preconditions(scheme: &DbScheme, t1: &JoinTree) -> Result<(), Alg1Error> {
+    if !scheme.fully_connected() {
+        return Err(Alg1Error::SchemeNotConnected);
+    }
+    if !t1.is_exactly_over(scheme) {
+        return Err(Alg1Error::TreeNotExactlyOver);
+    }
+    Ok(())
+}
+
+/// Steps 1–5: merge the components in `gamma` (each present in `table`) into
+/// one CPF tree over their union, consulting `policy` at the two choice
+/// points.
+fn merge_gamma(
+    scheme: &DbScheme,
+    table: &FxHashMap<RelSet, JoinTree>,
+    gamma: &[RelSet],
+    policy: &mut dyn ChoicePolicy,
+) -> JoinTree {
+    debug_assert!(gamma.len() >= 2);
+    let mut remaining: Vec<RelSet> = gamma.to_vec();
+    remaining.sort_unstable();
+
+    // Step 1: delete an arbitrary scheme 𝒳 from Γ.
+    let first = policy.choose(&remaining);
+    let mut x = remaining.remove(first);
+    let mut t = table[&x].clone();
+
+    // Steps 2–5: repeatedly attach a 𝒲 keeping 𝒳 ∪ 𝒲 connected.
+    while !remaining.is_empty() {
+        let candidates: Vec<RelSet> = remaining
+            .iter()
+            .copied()
+            .filter(|&w| scheme.is_connected(x.union(w)))
+            .collect();
+        debug_assert!(
+            !candidates.is_empty(),
+            "a connectable 𝒲 always exists, else ∪Γ would be disconnected"
+        );
+        let pick = candidates[policy.choose_merge(x, &candidates)];
+        let pos = remaining.iter().position(|&w| w == pick).unwrap();
+        remaining.remove(pos);
+        t = JoinTree::join(t, table[&pick].clone());
+        x = x.union(pick);
+    }
+    t
+}
+
+/// Visit the nodes of `t1` bottom-up, filling `table` with a CPF tree per
+/// component encountered. Returns the node's `RelSet`.
+fn visit(
+    scheme: &DbScheme,
+    node: &JoinTree,
+    table: &mut FxHashMap<RelSet, JoinTree>,
+    policy: &mut dyn ChoicePolicy,
+) -> RelSet {
+    match node {
+        JoinTree::Leaf(i) => {
+            let set = RelSet::singleton(*i);
+            table.entry(set).or_insert_with(|| JoinTree::leaf(*i));
+            set
+        }
+        JoinTree::Join(l, r) => {
+            let lset = visit(scheme, l, table, policy);
+            let rset = visit(scheme, r, table, policy);
+            let uset = lset.union(rset);
+            let comps_l = scheme.components(lset);
+            let comps_r = scheme.components(rset);
+            for comp in scheme.components(uset) {
+                if table.contains_key(&comp) {
+                    continue;
+                }
+                // Γ: the components of ℒ and ℛ inside this component.
+                let gamma: Vec<RelSet> = comps_l
+                    .iter()
+                    .chain(comps_r.iter())
+                    .copied()
+                    .filter(|c| c.is_subset(comp))
+                    .collect();
+                debug_assert_eq!(
+                    gamma.iter().fold(RelSet::EMPTY, |a, &b| a.union(b)),
+                    comp
+                );
+                let tree = merge_gamma(scheme, table, &gamma, policy);
+                table.insert(comp, tree);
+            }
+            uset
+        }
+    }
+}
+
+/// Run Algorithm 1 with an explicit choice policy.
+pub fn algorithm1_with_policy(
+    scheme: &DbScheme,
+    t1: &JoinTree,
+    policy: &mut dyn ChoicePolicy,
+) -> Result<JoinTree, Alg1Error> {
+    check_preconditions(scheme, t1)?;
+    let mut table: FxHashMap<RelSet, JoinTree> = FxHashMap::default();
+    let root = visit(scheme, t1, &mut table, policy);
+    debug_assert_eq!(root, scheme.all());
+    Ok(table
+        .remove(&scheme.all())
+        .expect("connected scheme: root component is the whole scheme"))
+}
+
+/// Run Algorithm 1 with the deterministic first-choice policy.
+///
+/// ```
+/// use mjoin_core::algorithm1;
+/// use mjoin_expr::parse_join_tree;
+/// use mjoin_hypergraph::DbScheme;
+/// use mjoin_relation::Catalog;
+///
+/// let mut catalog = Catalog::new();
+/// let scheme = DbScheme::parse(&mut catalog, &["ABC", "CDE", "EFG", "GHA"]);
+/// // Example 2's expression starts with the Cartesian product ABC × EFG…
+/// let t1 = parse_join_tree(&catalog, &scheme, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
+/// assert!(!t1.is_cpf(&scheme));
+/// // …and Algorithm 1 rewrites it Cartesian-product-free.
+/// let t2 = algorithm1(&scheme, &t1).unwrap();
+/// assert!(t2.is_cpf(&scheme));
+/// assert!(t2.is_exactly_over(&scheme));
+/// ```
+pub fn algorithm1(scheme: &DbScheme, t1: &JoinTree) -> Result<JoinTree, Alg1Error> {
+    algorithm1_with_policy(scheme, t1, &mut FirstChoice)
+}
+
+/// Exhaustively enumerate **every** CPF tree Algorithm 1 can produce from
+/// `t1` across all nondeterministic choices (deduplicated).
+///
+/// Exponential in the number of choice points — intended for paper-sized
+/// schemes (Example 5's input yields 16 trees).
+pub fn algorithm1_all_outcomes(
+    scheme: &DbScheme,
+    t1: &JoinTree,
+) -> Result<Vec<JoinTree>, Alg1Error> {
+    check_preconditions(scheme, t1)?;
+    let mut results: FxHashSet<JoinTree> = FxHashSet::default();
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(script) = stack.pop() {
+        let mut policy = ScriptedChoice::new(script.clone());
+        let tree = algorithm1_with_policy(scheme, t1, &mut policy)
+            .expect("preconditions already checked");
+        // Extend the script at the first decision that still has unexplored
+        // alternatives beyond what this run took.
+        for (depth, &(pick, n)) in policy.taken.iter().enumerate() {
+            if depth >= script.len() {
+                // This decision used the fallback (0); queue alternatives.
+                for alt in 1..n {
+                    let mut next = policy.taken[..depth]
+                        .iter()
+                        .map(|&(p, _)| p)
+                        .collect::<Vec<_>>();
+                    next.push(alt);
+                    stack.push(next);
+                }
+            } else {
+                debug_assert_eq!(pick, script[depth]);
+            }
+        }
+        results.insert(tree);
+    }
+    let mut out: Vec<JoinTree> = results.into_iter().collect();
+    out.sort_by_key(|t| format!("{t:?}"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_expr::parse_join_tree;
+    use mjoin_relation::Catalog;
+
+    fn paper() -> (Catalog, DbScheme) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        (c, s)
+    }
+
+    fn fig1_tree(c: &Catalog, s: &DbScheme) -> JoinTree {
+        parse_join_tree(c, s, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap()
+    }
+
+    #[test]
+    fn output_is_cpf_and_exactly_over() {
+        let (c, s) = paper();
+        let t1 = fig1_tree(&c, &s);
+        assert!(!t1.is_cpf(&s));
+        let t2 = algorithm1(&s, &t1).unwrap();
+        assert!(t2.is_cpf(&s), "got {}", t2.display(&s, &c));
+        assert!(t2.is_exactly_over(&s));
+    }
+
+    #[test]
+    fn cpf_input_passes_through_cpf() {
+        let (c, s) = paper();
+        let t1 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+        assert!(t1.is_cpf(&s));
+        let t2 = algorithm1(&s, &t1).unwrap();
+        assert!(t2.is_cpf(&s));
+        assert!(t2.is_exactly_over(&s));
+    }
+
+    #[test]
+    fn example5_produces_16_trees() {
+        let (c, s) = paper();
+        let t1 = fig1_tree(&c, &s);
+        let all = algorithm1_all_outcomes(&s, &t1).unwrap();
+        assert_eq!(all.len(), 16, "Example 5: 16 different CPF trees");
+        for t in &all {
+            assert!(t.is_cpf(&s));
+            assert!(t.is_exactly_over(&s));
+        }
+    }
+
+    #[test]
+    fn example5_specific_outcome_reachable() {
+        // Figure 2's tree: ((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA — select ABC first,
+        // then CDE, EFG, GHA.
+        let (c, s) = paper();
+        let t1 = fig1_tree(&c, &s);
+        let target = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+        let all = algorithm1_all_outcomes(&s, &t1).unwrap();
+        assert!(all.contains(&target), "Figure 2's tree must be reachable");
+    }
+
+    #[test]
+    fn deterministic_policy_is_stable() {
+        let (c, s) = paper();
+        let t1 = fig1_tree(&c, &s);
+        let a = algorithm1(&s, &t1).unwrap();
+        let b = algorithm1(&s, &t1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_policies_stay_cpf() {
+        use crate::choice::SeededChoice;
+        let (c, s) = paper();
+        let t1 = fig1_tree(&c, &s);
+        for seed in 0..25 {
+            let mut p = SeededChoice::new(seed);
+            let t2 = algorithm1_with_policy(&s, &t1, &mut p).unwrap();
+            assert!(t2.is_cpf(&s), "seed {seed}");
+            assert!(t2.is_exactly_over(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cost_aware_policy_picks_a_cheap_outcome() {
+        use crate::choice::CostAwareChoice;
+        let (c, s) = paper();
+        let t1 = fig1_tree(&c, &s);
+        // Example 3 closed-form sizes as the estimator.
+        let ex = mjoin_workloads::Example3::new(10);
+        let scheme2 = {
+            let mut c2 = Catalog::new();
+            mjoin_workloads::Example3::scheme(&mut c2)
+        };
+        let mut policy =
+            CostAwareChoice::new(|set| u64::try_from(ex.subjoin_size(&scheme2, set)).unwrap());
+        let t2 = algorithm1_with_policy(&s, &t1, &mut policy).unwrap();
+        assert!(t2.is_cpf(&s));
+        // It must be one of the 16 enumerable outcomes, and among the
+        // cheapest by the same size function.
+        let all = algorithm1_all_outcomes(&s, &t1).unwrap();
+        assert!(all.contains(&t2));
+        let cost = |t: &JoinTree| ex.tree_cost(&scheme2, t);
+        let min = all.iter().map(&cost).min().unwrap();
+        assert_eq!(cost(&t2), min, "greedy-by-size is optimal on this instance");
+    }
+
+    #[test]
+    fn disconnected_scheme_rejected() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "CD"]);
+        let t1 = JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1));
+        assert_eq!(algorithm1(&s, &t1), Err(Alg1Error::SchemeNotConnected));
+    }
+
+    #[test]
+    fn non_exact_tree_rejected() {
+        let (c, s) = paper();
+        let t1 = parse_join_tree(&c, &s, "ABC ⋈ CDE").unwrap();
+        assert_eq!(algorithm1(&s, &t1), Err(Alg1Error::TreeNotExactlyOver));
+    }
+
+    #[test]
+    fn single_relation_scheme() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB"]);
+        let t1 = JoinTree::leaf(0);
+        let t2 = algorithm1(&s, &t1).unwrap();
+        assert_eq!(t2, JoinTree::leaf(0));
+    }
+
+    #[test]
+    fn two_relation_chain() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC"]);
+        let t1 = JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1));
+        let t2 = algorithm1(&s, &t1).unwrap();
+        assert!(t2.is_cpf(&s));
+        assert_eq!(t2.num_leaves(), 2);
+        let outcomes = algorithm1_all_outcomes(&s, &t1).unwrap();
+        // Only one component merge with two symmetric members: X=AB then
+        // W=BC, or X=BC then W=AB — two distinct (ordered) trees.
+        assert_eq!(outcomes.len(), 2);
+    }
+}

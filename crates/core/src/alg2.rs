@@ -1,0 +1,345 @@
+//! **Algorithm 2** — deriving a join/semijoin/projection program from a CPF
+//! join expression tree.
+//!
+//! The algorithm attaches a register to every leaf, then visits the set `S`
+//! of the root and all internal nodes that are right children, bottom-up.
+//! For each `𝒱 ∈ S` it walks the left spine `𝒱₀, 𝒱₁, …, 𝒱ₙ = 𝒱` (with `𝒲ᵢ`
+//! the right child of `𝒱ᵢ`) and emits statements per steps 1–18 of the
+//! paper. The "complicated" interleaving of joins, projections and semijoins
+//! is exactly what bounds every statement's head by the size of some
+//! `⋈ D[𝒰]` for a node `𝒰` of the *original* tree `T₁` (Theorem 2).
+
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::DbScheme;
+use mjoin_program::{Program, ProgramBuilder, Reg};
+use mjoin_relation::AttrSet;
+use std::fmt;
+
+/// Errors from Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Alg2Error {
+    /// The database scheme is not connected.
+    SchemeNotConnected,
+    /// The input tree is not exactly over the scheme.
+    TreeNotExactlyOver,
+    /// The input tree is not Cartesian-product-free; Algorithm 2 is only
+    /// defined (and its cost bound only holds) for CPF trees.
+    TreeNotCpf,
+}
+
+impl fmt::Display for Alg2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Alg2Error::SchemeNotConnected => {
+                write!(f, "Algorithm 2 requires a connected database scheme")
+            }
+            Alg2Error::TreeNotExactlyOver => {
+                write!(f, "input tree must be exactly over the database scheme")
+            }
+            Alg2Error::TreeNotCpf => {
+                write!(f, "Algorithm 2 requires a Cartesian-product-free tree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Alg2Error {}
+
+struct Deriver<'a> {
+    builder: ProgramBuilder,
+    scheme: &'a DbScheme,
+    next_v: usize,
+    next_f: usize,
+}
+
+impl Deriver<'_> {
+    /// Process a node of `S` (the root, or any right child): returns the
+    /// register attached to it, holding `⋈ D[𝒱]` at runtime.
+    fn process(&mut self, node: &JoinTree) -> Reg {
+        // Leaves were "visited first" in the paper; attaching is just using
+        // the base register.
+        let JoinTree::Join(_, _) = node else {
+            let JoinTree::Leaf(i) = node else { unreachable!() };
+            return Reg::Base(*i);
+        };
+
+        // Walk down the left branch collecting right children 𝒲ₙ … 𝒲₁.
+        let mut ws_rev: Vec<&JoinTree> = Vec::new();
+        let mut cur = node;
+        while let JoinTree::Join(l, r) = cur {
+            ws_rev.push(r);
+            cur = l;
+        }
+        let JoinTree::Leaf(v0) = cur else { unreachable!() };
+
+        // Visit the 𝒲ᵢ (members of S or leaves) bottom-up first.
+        let w_regs: Vec<Reg> = ws_rev
+            .iter()
+            .rev()
+            .map(|w| self.process(w))
+            .collect();
+        let w_attrs: Vec<AttrSet> = w_regs
+            .iter()
+            .map(|&r| self.builder.scheme_of(r).clone())
+            .collect();
+        let n = w_regs.len();
+
+        // Step 1: create V, initialized to R(𝒱₀).
+        self.next_v += 1;
+        let v = self
+            .builder
+            .new_temp_alias(format!("V{}", self.next_v), Reg::Base(*v0));
+
+        // Steps 2–16: the outer for-loop over i = 1..n.
+        for i in 1..=n {
+            let wi = &w_attrs[i - 1];
+            let v_attrs = self.builder.scheme_of(v).clone();
+
+            // Step 3: ℱ = { 𝒲ⱼ | 1 ≤ j < i, 𝒲ⱼ ∩ 𝒲ᵢ ⊄ V }.
+            let f_members: Vec<usize> = (1..i)
+                .filter(|&j| {
+                    let shared = w_attrs[j - 1].intersect(wi);
+                    !shared.is_subset(&v_attrs)
+                })
+                .collect();
+
+            if v_attrs.intersects(wi) {
+                // Steps 5–6.
+                for &j in &f_members {
+                    self.builder.join(v, v, w_regs[j - 1]);
+                }
+                self.builder.semijoin(v, w_regs[i - 1]);
+            } else {
+                // Steps 9–14. For a CPF tree ℱ is nonempty here: 𝒱ᵢ₋₁ and
+                // 𝒲ᵢ share an attribute, and since 𝒱₀'s attributes always
+                // stay inside V the shared attribute lives in some earlier
+                // 𝒲ⱼ not yet absorbed into V.
+                debug_assert!(
+                    !f_members.is_empty(),
+                    "CPF input guarantees a nonempty ℱ in the disjoint case"
+                );
+                let f_union: AttrSet = f_members
+                    .iter()
+                    .fold(AttrSet::new(), |acc, &j| acc.union(&w_attrs[j - 1]));
+                self.next_f += 1;
+                let f = self.builder.new_temp(format!("F{}", self.next_f));
+                // Step 10: R(F) := π_{(∪ℱ) ∩ V} R(V).
+                self.builder.project(f, v, f_union.intersect(&v_attrs));
+                // Step 11: join every 𝒲 ∈ ℱ into F.
+                for &j in &f_members {
+                    self.builder.join(f, f, w_regs[j - 1]);
+                }
+                // Step 12: R(F) := π_{(V ∪ 𝒲ᵢ) ∩ (∪ℱ)} R(F).
+                self.builder
+                    .project(f, f, v_attrs.union(wi).intersect(&f_union));
+                // Step 13: R(F) := R(F) ⋉ R(𝒲ᵢ).
+                self.builder.semijoin(f, w_regs[i - 1]);
+                // Step 14: R(V) := R(V) ⋈ R(F).
+                self.builder.join(v, v, f);
+            }
+        }
+
+        // Step 17: join in every 𝒲ᵢ whose attributes are not yet all in V.
+        for i in 1..=n {
+            let wi = &w_attrs[i - 1];
+            if !wi.is_subset(self.builder.scheme_of(v)) {
+                self.builder.join(v, v, w_regs[i - 1]);
+            }
+        }
+
+        debug_assert_eq!(
+            *self.builder.scheme_of(v),
+            self.scheme.attrs_of_set(node.rel_set()),
+            "after step 17, V covers ∪𝒱"
+        );
+        v
+    }
+}
+
+/// Run Algorithm 2: derive a program from the CPF tree `t2`.
+///
+/// The resulting program, applied to any database `D` over the scheme,
+/// computes `⋈ D` in its result register (Theorem 1).
+///
+/// ```
+/// use mjoin_core::algorithm2;
+/// use mjoin_expr::parse_join_tree;
+/// use mjoin_hypergraph::DbScheme;
+/// use mjoin_program::{display, validate};
+/// use mjoin_relation::Catalog;
+///
+/// let mut catalog = Catalog::new();
+/// let scheme = DbScheme::parse(&mut catalog, &["ABC", "CDE", "EFG", "GHA"]);
+/// // Figure 2's CPF tree yields the paper's Example 6 program verbatim.
+/// let t2 = parse_join_tree(&catalog, &scheme, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+/// let program = algorithm2(&scheme, &t2).unwrap();
+/// assert_eq!(program.len(), 10);
+/// validate(&program, &scheme).unwrap();
+/// let text = display::render(&program, &scheme, &catalog);
+/// assert!(text.starts_with("R(V1) := R(ABC) ⋉ R(CDE)\n"));
+/// ```
+pub fn algorithm2(scheme: &DbScheme, t2: &JoinTree) -> Result<Program, Alg2Error> {
+    if !scheme.fully_connected() {
+        return Err(Alg2Error::SchemeNotConnected);
+    }
+    if !t2.is_exactly_over(scheme) {
+        return Err(Alg2Error::TreeNotExactlyOver);
+    }
+    if !t2.is_cpf(scheme) {
+        return Err(Alg2Error::TreeNotCpf);
+    }
+    let mut d = Deriver {
+        builder: ProgramBuilder::new(scheme),
+        scheme,
+        next_v: 0,
+        next_f: 0,
+    };
+    let result = d.process(t2);
+    Ok(d.builder.finish(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_expr::parse_join_tree;
+    use mjoin_program::{display, execute, validate};
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn paper() -> (Catalog, DbScheme) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        (c, s)
+    }
+
+    /// Figure 2's CPF tree.
+    fn fig2(c: &Catalog, s: &DbScheme) -> JoinTree {
+        parse_join_tree(c, s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap()
+    }
+
+    #[test]
+    fn example6_program_shape() {
+        // The paper's Example 6 derives exactly 10 statements from Figure 2's
+        // tree: ⋉CDE (i=1), then [π_C, ⋈CDE, π_CE, ⋉EFG, ⋈F] (i=2), then
+        // [⋈EFG, ⋉GHA] (i=3), then [⋈CDE, ⋈GHA] from step 17. (GHA renders
+        // as AGH in canonical attribute order.)
+        let (c, s) = paper();
+        let t2 = fig2(&c, &s);
+        let p = algorithm2(&s, &t2).unwrap();
+        let text = display::render(&p, &s, &c);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 10, "Example 6 has 10 statements:\n{text}");
+        // The alias-aware renderer prints V1's first read through its
+        // alias, matching the paper's Example 6 verbatim.
+        assert_eq!(lines[0], "R(V1) := R(ABC) ⋉ R(CDE)");
+        assert_eq!(lines[1], "R(F1) := π_C R(V1)");
+        assert_eq!(lines[2], "R(F1) := R(F1) ⋈ R(CDE)");
+        assert_eq!(lines[3], "R(F1) := π_CE R(F1)");
+        assert_eq!(lines[4], "R(F1) := R(F1) ⋉ R(EFG)");
+        assert_eq!(lines[5], "R(V1) := R(V1) ⋈ R(F1)");
+        assert_eq!(lines[6], "R(V1) := R(V1) ⋈ R(EFG)");
+        assert_eq!(lines[7], "R(V1) := R(V1) ⋉ R(AGH)");
+        assert_eq!(lines[8], "R(V1) := R(V1) ⋈ R(CDE)");
+        assert_eq!(lines[9], "R(V1) := R(V1) ⋈ R(AGH)");
+    }
+
+    #[test]
+    fn derived_program_is_valid_and_computes_join() {
+        let (mut c, s) = paper();
+        let t2 = fig2(&c, &s);
+        let p = algorithm2(&s, &t2).unwrap();
+        let info = validate(&p, &s).unwrap();
+        assert_eq!(info.result_scheme, s.all_attrs());
+
+        // A small consistent database over the 4-cycle.
+        let r1 = relation_of_ints(&mut c, "ABC", &[&[1, 2, 3], &[9, 9, 9]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2, r3, r4]);
+        let out = execute(&p, &db);
+        assert_eq!(out.result, db.join_all());
+        assert_eq!(out.result.len(), 1);
+    }
+
+    #[test]
+    fn statement_count_bound_claim_c() {
+        // Claim C: the number of statements is < r(a+5).
+        let (c, s) = paper();
+        let t2 = fig2(&c, &s);
+        let p = algorithm2(&s, &t2).unwrap();
+        assert!((p.len() as u64) < s.quasi_factor());
+    }
+
+    #[test]
+    fn works_for_every_cpf_tree_of_the_cycle() {
+        let (mut c, s) = paper();
+        let all_cpf = mjoin_expr::cpf_trees(&s, s.all());
+        assert!(!all_cpf.is_empty());
+
+        let r1 = relation_of_ints(&mut c, "ABC", &[&[1, 2, 3]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5], &[3, 0, 5]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1], &[7, 8, 2]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2, r3, r4]);
+        let expected = db.join_all();
+
+        for t2 in &all_cpf {
+            let p = algorithm2(&s, t2).unwrap();
+            validate(&p, &s).unwrap();
+            let out = execute(&p, &db);
+            assert_eq!(out.result, expected, "tree {}", t2.display(&s, &c));
+            assert!((p.len() as u64) < s.quasi_factor());
+        }
+    }
+
+    #[test]
+    fn rejects_non_cpf_tree() {
+        let (c, s) = paper();
+        let t = parse_join_tree(&c, &s, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
+        assert_eq!(algorithm2(&s, &t), Err(Alg2Error::TreeNotCpf));
+    }
+
+    #[test]
+    fn rejects_disconnected_scheme_and_partial_tree() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "CD"]);
+        let t = JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1));
+        assert_eq!(algorithm2(&s, &t), Err(Alg2Error::SchemeNotConnected));
+
+        let (c2, s2) = paper();
+        let partial = parse_join_tree(&c2, &s2, "ABC ⋈ CDE").unwrap();
+        assert_eq!(algorithm2(&s2, &partial), Err(Alg2Error::TreeNotExactlyOver));
+    }
+
+    #[test]
+    fn single_leaf_scheme_yields_empty_program() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB"]);
+        let p = algorithm2(&s, &JoinTree::leaf(0)).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.result, Reg::Base(0));
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
+        let db = Database::from_relations(vec![r]);
+        let out = execute(&p, &db);
+        assert_eq!(out.result, *db.relation(0));
+    }
+
+    #[test]
+    fn right_deep_tree_recursion() {
+        // GHA ⋈ (EFG ⋈ (CDE ⋈ ABC)) — nested right children exercise the
+        // recursive processing of S-nodes.
+        let (mut c, s) = paper();
+        let t = parse_join_tree(&c, &s, "GHA ⋈ (EFG ⋈ (CDE ⋈ ABC))").unwrap();
+        assert!(t.is_cpf(&s));
+        let p = algorithm2(&s, &t).unwrap();
+        validate(&p, &s).unwrap();
+        let r1 = relation_of_ints(&mut c, "ABC", &[&[1, 2, 3]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2, r3, r4]);
+        assert_eq!(execute(&p, &db).result, db.join_all());
+    }
+
+    use mjoin_expr::JoinTree;
+}

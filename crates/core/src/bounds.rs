@@ -1,0 +1,122 @@
+//! Executable forms of the paper's theorems, used by tests and experiments.
+
+use crate::pipeline::{run_pipeline, PipelineError};
+use crate::choice::ChoicePolicy;
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::Database;
+
+/// A Theorem 2 measurement on one `(T₁, D)` pair.
+#[derive(Debug, Clone)]
+pub struct BoundReport {
+    /// `cost(T₁(D))`.
+    pub tree_cost: u64,
+    /// `cost(P(D))` for the derived program.
+    pub program_cost: u64,
+    /// `r(a+5)`.
+    pub quasi_factor: u64,
+    /// Observed ratio `cost(P)/cost(T₁)` (0 when `tree_cost` is 0, which
+    /// cannot happen for nonempty inputs).
+    pub ratio: f64,
+    /// Whether `cost(P(D)) < r(a+5) · cost(T₁(D))`.
+    pub holds: bool,
+    /// Number of statements in the program (Claim C bounds it by `r(a+5)`).
+    pub num_statements: usize,
+}
+
+/// Run the pipeline and check Theorem 2's inequality and Claim C.
+///
+/// The caller is responsible for `⋈D ≠ ∅` — the theorem's hypothesis. (On an
+/// empty join the bound can genuinely fail; Example 3's construction relies
+/// on nonemptiness.)
+pub fn check_theorem2(
+    scheme: &DbScheme,
+    t1: &JoinTree,
+    db: &Database,
+    policy: &mut dyn ChoicePolicy,
+) -> Result<BoundReport, PipelineError> {
+    let run = run_pipeline(scheme, t1, db, policy)?;
+    let tree_cost = run.tree_cost;
+    let program_cost = run.program_cost();
+    let num_statements = run.derivation.program.len();
+    Ok(BoundReport {
+        tree_cost,
+        program_cost,
+        quasi_factor: run.quasi_factor,
+        ratio: if tree_cost == 0 {
+            0.0
+        } else {
+            program_cost as f64 / tree_cost as f64
+        },
+        holds: run.bound_holds(),
+        num_statements,
+    })
+}
+
+/// Theorem 1 as a predicate: the program derived from `t1` computes `⋈D`.
+pub fn check_theorem1(
+    scheme: &DbScheme,
+    t1: &JoinTree,
+    db: &Database,
+    policy: &mut dyn ChoicePolicy,
+) -> Result<bool, PipelineError> {
+    let run = run_pipeline(scheme, t1, db, policy)?;
+    Ok(run.exec.result == db.join_all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{FirstChoice, SeededChoice};
+    use mjoin_expr::parse_join_tree;
+    use mjoin_relation::{relation_of_ints, Catalog};
+
+    fn setup() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        let r1 = relation_of_ints(&mut c, "ABC", &[&[1, 2, 3]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5], &[3, 4, 6]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1]]).unwrap();
+        (c, s, Database::from_relations(vec![r1, r2, r3, r4]))
+    }
+
+    #[test]
+    fn theorems_hold_on_paper_scheme() {
+        let (c, s, db) = setup();
+        assert!(!db.join_all().is_empty(), "test needs ⋈D ≠ ∅");
+        for text in [
+            "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)",
+            "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA",
+            "ABC ⋈ (CDE ⋈ (EFG ⋈ GHA))",
+            "(ABC ⋈ GHA) ⋈ (CDE ⋈ EFG)",
+        ] {
+            let t1 = parse_join_tree(&c, &s, text).unwrap();
+            assert!(check_theorem1(&s, &t1, &db, &mut FirstChoice).unwrap(), "{text}");
+            let report = check_theorem2(&s, &t1, &db, &mut FirstChoice).unwrap();
+            assert!(report.holds, "{text}: {report:?}");
+            assert!((report.num_statements as u64) < report.quasi_factor);
+        }
+    }
+
+    #[test]
+    fn bound_holds_across_policies() {
+        let (c, s, db) = setup();
+        let t1 = parse_join_tree(&c, &s, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
+        for seed in 0..20 {
+            let mut p = SeededChoice::new(seed);
+            let report = check_theorem2(&s, &t1, &db, &mut p).unwrap();
+            assert!(report.holds, "seed {seed}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn report_ratio_is_consistent() {
+        let (c, s, db) = setup();
+        let t1 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+        let r = check_theorem2(&s, &t1, &db, &mut FirstChoice).unwrap();
+        let expect = r.program_cost as f64 / r.tree_cost as f64;
+        assert!((r.ratio - expect).abs() < 1e-12);
+        assert!(r.ratio < r.quasi_factor as f64);
+    }
+}

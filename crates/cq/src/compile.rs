@@ -1,0 +1,433 @@
+//! Compiling and executing conjunctive queries through the paper's pipeline.
+//!
+//! Execution proceeds in four stages:
+//!
+//! 1. **Atom binding** — each body atom becomes a relation over *variable*
+//!    attributes: constants select, repeated variables within an atom filter,
+//!    columns are renamed to their variables.
+//! 2. **Planning** — the bound relations form a database scheme (hyperedges
+//!    = each atom's variable set). Per connected component, an optimizer
+//!    picks a join tree, and Algorithms 1–2 compile it to a program.
+//! 3. **Execution** — the programs run with §2.3 cost accounting; component
+//!    results are combined (a Cartesian product *across* components is
+//!    semantically forced, not an ordering accident).
+//! 4. **Projection** — the full join is projected onto the head variables.
+
+use crate::ast::{Atom, ConjunctiveQuery, Term};
+use crate::storage::NamedDatabase;
+use mjoin_core::{run_pipeline, FirstChoice};
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::DbScheme;
+use mjoin_optimizer::{greedy, optimize, ExactOracle, SearchSpace};
+use mjoin_relation::{
+    ops, AttrId, Catalog, CostLedger, Database, Error, Relation, Result, Row, Schema, Value,
+};
+
+/// How to choose each component's join tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// Greedy smallest-result with the avoid-Cartesian rule (default).
+    Greedy,
+    /// Exact DP over all trees (exponential; small components only).
+    DpOptimal,
+    /// Exact DP over CPF trees.
+    DpCpf,
+}
+
+/// The answer to a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result relation over the head variables' attributes.
+    pub relation: Relation,
+    /// Attribute id of each head variable, in head order.
+    pub head_attrs: Vec<AttrId>,
+    /// The query-side catalog (variable names).
+    pub catalog: Catalog,
+    /// Total §2.3 cost across binding, programs, and projection.
+    pub ledger: CostLedger,
+}
+
+impl QueryResult {
+    /// Result tuples with columns in *head-variable order* (the relation
+    /// itself stores canonical order), sorted for determinism.
+    pub fn rows_in_head_order(&self) -> Vec<Vec<Value>> {
+        let positions: Vec<usize> = self
+            .head_attrs
+            .iter()
+            .map(|&a| self.relation.schema().position(a).expect("head attr in result"))
+            .collect();
+        let mut rows: Vec<Vec<Value>> = self
+            .relation
+            .rows()
+            .iter()
+            .map(|r| positions.iter().map(|&p| r[p].clone()).collect())
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+}
+
+/// Bind one atom: produce a relation over its variables' attributes.
+///
+/// All-constant atoms bind to the nullary unit (condition true) or the empty
+/// nullary relation (condition false).
+fn bind_atom(
+    ndb: &NamedDatabase,
+    atom: &Atom,
+    qcat: &mut Catalog,
+) -> Result<Relation> {
+    let stored = ndb
+        .get(&atom.predicate)
+        .ok_or_else(|| Error::Parse(format!("unknown relation `{}`", atom.predicate)))?;
+    if atom.terms.len() != stored.columns.len() {
+        return Err(Error::ArityMismatch {
+            expected: stored.columns.len(),
+            got: atom.terms.len(),
+        });
+    }
+
+    // For each term, the canonical position of its column in the stored rows.
+    let positions: Vec<usize> = (0..atom.terms.len())
+        .map(|i| stored.canonical_position(i))
+        .collect();
+
+    // Variables in first-use order, with the positions they must agree on.
+    let mut var_attrs: Vec<AttrId> = Vec::new();
+    let mut var_first_pos: Vec<usize> = Vec::new();
+    let mut checks: Vec<(usize, usize)> = Vec::new(); // equal-position pairs
+    let mut const_checks: Vec<(usize, Value)> = Vec::new();
+    let mut seen: Vec<(&str, usize)> = Vec::new();
+    for (i, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => const_checks.push((positions[i], v.clone())),
+            Term::Var(name) => match seen.iter().find(|(n, _)| n == name) {
+                Some(&(_, first)) => checks.push((positions[first], positions[i])),
+                None => {
+                    seen.push((name, i));
+                    var_attrs.push(qcat.intern(name));
+                    var_first_pos.push(positions[i]);
+                }
+            },
+        }
+    }
+
+    let out_schema = Schema::new(var_attrs.clone());
+    // Destination position of each variable's value in the canonical output.
+    let dest: Vec<usize> = var_attrs
+        .iter()
+        .map(|&a| out_schema.position(a).expect("interned"))
+        .collect();
+
+    let mut out_rows: Vec<Row> = Vec::new();
+    'rows: for row in stored.relation.rows() {
+        for (pos, v) in &const_checks {
+            if &row[*pos] != v {
+                continue 'rows;
+            }
+        }
+        for (p1, p2) in &checks {
+            if row[*p1] != row[*p2] {
+                continue 'rows;
+            }
+        }
+        let mut out = vec![Value::Int(0); var_attrs.len()];
+        for (vi, &src) in var_first_pos.iter().enumerate() {
+            out[dest[vi]] = row[src].clone();
+        }
+        out_rows.push(out.into());
+    }
+    Relation::from_rows(out_schema, out_rows)
+}
+
+/// Execute `query` against `ndb`.
+pub fn execute_query(
+    ndb: &NamedDatabase,
+    query: &ConjunctiveQuery,
+    strategy: PlanStrategy,
+) -> Result<QueryResult> {
+    if !query.is_safe() {
+        return Err(Error::Parse("unsafe query".to_string()));
+    }
+    let mut qcat = Catalog::new();
+    let mut ledger = CostLedger::new();
+
+    // Stage 1: bind atoms. Boolean (nullary) bindings fold into a flag.
+    let mut bound: Vec<Relation> = Vec::new();
+    let mut boolean_false = false;
+    for atom in &query.body {
+        let rel = bind_atom(ndb, atom, &mut qcat)?;
+        ledger.charge_input(format!("bind {atom}"), rel.len());
+        if rel.schema().is_empty() {
+            if rel.is_empty() {
+                boolean_false = true;
+            }
+            // A satisfied all-constant atom adds no join constraint.
+        } else {
+            bound.push(rel);
+        }
+    }
+
+    let head_attrs: Vec<AttrId> = query
+        .head_vars
+        .iter()
+        .map(|v| {
+            qcat.lookup(v)
+                .ok_or_else(|| Error::Parse(format!("head variable `{v}` unbound")))
+        })
+        .collect::<Result<_>>()?;
+    let head_schema = Schema::new(head_attrs.clone());
+
+    if boolean_false || bound.iter().any(|r| r.is_empty()) {
+        return Ok(QueryResult {
+            relation: Relation::empty(head_schema),
+            head_attrs,
+            catalog: qcat,
+            ledger,
+        });
+    }
+    if bound.is_empty() {
+        // All atoms were satisfied constants: the answer is the unit.
+        return Ok(QueryResult {
+            relation: Relation::nullary_unit(),
+            head_attrs,
+            catalog: qcat,
+            ledger,
+        });
+    }
+
+    // Stage 2+3: per connected component, plan and run the pipeline.
+    let db = Database::from_relations(bound);
+    let scheme = DbScheme::from_schemas(&db.schemas());
+    let mut full = Relation::nullary_unit();
+    for comp in scheme.components(scheme.all()) {
+        let indices = comp.to_vec();
+        let comp_db = db.restrict(&indices);
+        let comp_scheme = DbScheme::from_schemas(&comp_db.schemas());
+        let comp_result = if indices.len() == 1 {
+            comp_db.relation(0).clone()
+        } else {
+            let tree = pick_tree(&comp_scheme, &comp_db, strategy)?;
+            let run = run_pipeline(&comp_scheme, &tree, &comp_db, &mut FirstChoice)
+                .map_err(|e| Error::Parse(e.to_string()))?;
+            // Program cost minus the inputs (already charged at binding).
+            ledger.charge_generated(
+                format!("program over component {comp}"),
+                (run.program_cost() - comp_db.total_tuples()) as usize,
+            );
+            run.exec.result
+        };
+        // Cross-component combination: a forced Cartesian product.
+        full = ops::join(&full, &comp_result);
+        ledger.charge_generated(format!("combine component {comp}"), full.len());
+    }
+
+    // Stage 4: the head projection.
+    let relation = ops::project(&full, head_schema.attrs())?;
+    ledger.charge_generated("head projection", relation.len());
+    Ok(QueryResult { relation, head_attrs, catalog: qcat, ledger })
+}
+
+/// Reference executor: bind atoms, fold-join them naively (in body order,
+/// Cartesian products and all), project. Used as the differential-testing
+/// oracle for [`execute_query`]; do not use it for anything performance
+/// sensitive.
+pub fn execute_query_naive(
+    ndb: &NamedDatabase,
+    query: &ConjunctiveQuery,
+) -> Result<Relation> {
+    if !query.is_safe() {
+        return Err(Error::Parse("unsafe query".to_string()));
+    }
+    let mut qcat = Catalog::new();
+    let mut acc = Relation::nullary_unit();
+    for atom in &query.body {
+        let rel = bind_atom(ndb, atom, &mut qcat)?;
+        acc = ops::join(&acc, &rel);
+    }
+    let head_attrs: Vec<AttrId> = query
+        .head_vars
+        .iter()
+        .map(|v| {
+            qcat.lookup(v)
+                .ok_or_else(|| Error::Parse(format!("head variable `{v}` unbound")))
+        })
+        .collect::<Result<_>>()?;
+    ops::project(&acc, Schema::new(head_attrs).attrs())
+}
+
+fn pick_tree(
+    scheme: &DbScheme,
+    db: &Database,
+    strategy: PlanStrategy,
+) -> Result<JoinTree> {
+    let mut oracle = ExactOracle::new(db);
+    let tree = match strategy {
+        PlanStrategy::Greedy => greedy(scheme, &mut oracle, true).0,
+        PlanStrategy::DpOptimal => {
+            optimize(scheme, &mut oracle, SearchSpace::All)
+                .ok_or_else(|| Error::Parse("empty search space".to_string()))?
+                .tree
+        }
+        PlanStrategy::DpCpf => {
+            optimize(scheme, &mut oracle, SearchSpace::Cpf)
+                .ok_or_else(|| Error::Parse("empty CPF search space".to_string()))?
+                .tree
+        }
+    };
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn graph_db() -> NamedDatabase {
+        let mut db = NamedDatabase::new();
+        db.add_relation(
+            "edge",
+            &["src", "dst"],
+            &[&[1, 2], &[2, 3], &[3, 4], &[4, 1], &[2, 5]],
+        )
+        .unwrap();
+        db.add_relation("label", &["node", "tag"], &[&[2, 100], &[3, 100], &[5, 200]])
+            .unwrap();
+        db
+    }
+
+    fn run(db: &NamedDatabase, text: &str) -> QueryResult {
+        let q = parse_query(text).unwrap();
+        execute_query(db, &q, PlanStrategy::Greedy).unwrap()
+    }
+
+    #[test]
+    fn two_hop_paths() {
+        let db = graph_db();
+        let res = run(&db, "Q(x, z) :- edge(x, y), edge(y, z).");
+        let rows = res.rows_in_head_order();
+        assert!(rows.contains(&vec![Value::Int(1), Value::Int(3)]));
+        assert!(rows.contains(&vec![Value::Int(1), Value::Int(5)]));
+        assert!(rows.contains(&vec![Value::Int(4), Value::Int(2)]));
+        assert_eq!(rows.len(), 5); // 1→3, 1→5, 2→4, 3→1, 4→2
+    }
+
+    #[test]
+    fn triangle_query_on_cycle() {
+        // The 4-cycle has no triangle.
+        let db = graph_db();
+        let res = run(&db, "Q(x, y, z) :- edge(x, y), edge(y, z), edge(z, x).");
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn four_cycle_query() {
+        let db = graph_db();
+        let res = run(
+            &db,
+            "Q(a, b, c, d) :- edge(a, b), edge(b, c), edge(c, d), edge(d, a).",
+        );
+        assert_eq!(res.len(), 4); // the 4-cycle, from each starting point
+    }
+
+    #[test]
+    fn constants_select() {
+        let db = graph_db();
+        let res = run(&db, "Q(x) :- edge(x, y), label(y, 100).");
+        let rows = res.rows_in_head_order();
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut db = NamedDatabase::new();
+        db.add_relation("r", &["a", "b"], &[&[1, 1], &[1, 2], &[3, 3]]).unwrap();
+        let res = run(&db, "Q(x) :- r(x, x).");
+        assert_eq!(
+            res.rows_in_head_order(),
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn boolean_query() {
+        let db = graph_db();
+        let yes = run(&db, "Q() :- edge(x, y), label(y, 200).");
+        assert_eq!(yes.len(), 1);
+        let no = run(&db, "Q() :- edge(x, y), label(y, 999).");
+        assert!(no.is_empty());
+    }
+
+    #[test]
+    fn all_constant_atom_is_a_condition() {
+        let db = graph_db();
+        let yes = run(&db, "Q(x) :- edge(x, 2), label(2, 100).");
+        assert_eq!(yes.rows_in_head_order(), vec![vec![Value::Int(1)]]);
+        let no = run(&db, "Q(x) :- edge(x, 2), label(2, 999).");
+        assert!(no.is_empty());
+    }
+
+    #[test]
+    fn disconnected_components_cross_product() {
+        let mut db = NamedDatabase::new();
+        db.add_relation("r", &["a"], &[&[1], &[2]]).unwrap();
+        db.add_relation("s", &["b"], &[&[10]]).unwrap();
+        let res = run(&db, "Q(x, y) :- r(x), s(y).");
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let db = graph_db();
+        let q = parse_query("Q(x, z) :- edge(x, y), edge(y, z), label(z, t).").unwrap();
+        let a = execute_query(&db, &q, PlanStrategy::Greedy).unwrap();
+        let b = execute_query(&db, &q, PlanStrategy::DpOptimal).unwrap();
+        let c = execute_query(&db, &q, PlanStrategy::DpCpf).unwrap();
+        assert_eq!(a.rows_in_head_order(), b.rows_in_head_order());
+        assert_eq!(a.rows_in_head_order(), c.rows_in_head_order());
+    }
+
+    #[test]
+    fn unknown_relation_and_bad_arity() {
+        let db = graph_db();
+        let q = parse_query("Q(x) :- nope(x).").unwrap();
+        assert!(execute_query(&db, &q, PlanStrategy::Greedy).is_err());
+        let q = parse_query("Q(x) :- edge(x).").unwrap();
+        assert!(execute_query(&db, &q, PlanStrategy::Greedy).is_err());
+    }
+
+    #[test]
+    fn cost_ledger_populated() {
+        let db = graph_db();
+        let res = run(&db, "Q(x, z) :- edge(x, y), edge(y, z).");
+        assert!(res.ledger.total() > 0);
+        assert!(res.ledger.input_total() >= 10); // two bindings of 5 edges
+    }
+
+    #[test]
+    fn head_order_respected() {
+        let db = graph_db();
+        // Same query, reversed head: columns must come back reversed.
+        let a = run(&db, "Q(x, z) :- edge(x, y), edge(y, z).");
+        let b = run(&db, "Q(z, x) :- edge(x, y), edge(y, z).");
+        let swapped: Vec<Vec<Value>> = {
+            let mut v: Vec<Vec<Value>> = a
+                .rows_in_head_order()
+                .into_iter()
+                .map(|r| vec![r[1].clone(), r[0].clone()])
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(b.rows_in_head_order(), swapped);
+    }
+}

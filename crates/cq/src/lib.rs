@@ -1,0 +1,23 @@
+//! `mjoin-cq` — conjunctive (Datalog-style) queries over named relations,
+//! compiled through the paper's join/semijoin/projection pipeline.
+//!
+//! The paper opens with "computing the natural join of a set of relations
+//! plays an important role in relational and deductive database systems";
+//! this crate is that deductive-database face: parse
+//! `Q(x, z) :- R(x, y), S(y, z), T(y, 3)`, bind atoms against a
+//! [`NamedDatabase`], pick a join tree per connected component, run
+//! Algorithms 1–2, execute, and project onto the head.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod datalog;
+pub mod parse;
+pub mod storage;
+
+pub use ast::{Atom, ConjunctiveQuery, Term};
+pub use compile::{execute_query, execute_query_naive, PlanStrategy, QueryResult};
+pub use datalog::{evaluate_datalog, parse_rules, DatalogResult};
+pub use parse::parse_query;
+pub use storage::{NamedDatabase, StoredRelation};

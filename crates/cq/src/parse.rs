@@ -1,0 +1,245 @@
+//! Parser for the textual query form `Q(x, z) :- R(x, y), S(y, z), T(y, 3).`
+//!
+//! Lexical rules: identifiers are `[A-Za-z_][A-Za-z0-9_]*`; a term is a
+//! variable (identifier starting lowercase or `_`), an integer constant, or
+//! a double-quoted string constant; predicates conventionally start
+//! uppercase but any identifier is accepted. The trailing period is
+//! optional.
+
+use crate::ast::{Atom, ConjunctiveQuery, Term};
+use mjoin_relation::{Error, Result, Value};
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Lexer {
+    fn new(text: &str) -> Self {
+        Lexer { chars: text.chars().collect(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: char) -> Result<()> {
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(Error::Parse(format!(
+                "expected `{expected}`, found {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn eat_str(&mut self, expected: &str) -> Result<()> {
+        self.skip_ws();
+        for c in expected.chars() {
+            if self.chars.get(self.pos) == Some(&c) {
+                self.pos += 1;
+            } else {
+                return Err(Error::Parse(format!(
+                    "expected `{expected}` at offset {}",
+                    self.pos
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_alphabetic() || *c == '_')
+        {
+            self.pos += 1;
+            while self
+                .chars
+                .get(self.pos)
+                .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+            {
+                self.pos += 1;
+            }
+            Ok(self.chars[start..self.pos].iter().collect())
+        } else {
+            Err(Error::Parse(format!("expected identifier at offset {}", self.pos)))
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some('"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.chars.get(self.pos).is_some_and(|&c| c != '"') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.chars.len() {
+                    return Err(Error::Parse("unterminated string constant".into()));
+                }
+                let s: String = self.chars[start..self.pos].iter().collect();
+                self.pos += 1;
+                Ok(Term::Const(Value::str(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| Error::Parse(format!("bad integer `{text}`")))?;
+                Ok(Term::Const(Value::Int(v)))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => Ok(Term::Var(self.ident()?)),
+            other => Err(Error::Parse(format!(
+                "expected term, found {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let predicate = self.ident()?;
+        self.eat('(')?;
+        let mut terms = Vec::new();
+        if self.peek() != Some(')') {
+            loop {
+                terms.push(self.term()?);
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some(')') => break,
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "expected `,` or `)`, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        self.eat(')')?;
+        Ok(Atom { predicate, terms })
+    }
+}
+
+/// Parse a conjunctive query.
+pub fn parse_query(text: &str) -> Result<ConjunctiveQuery> {
+    let mut lx = Lexer::new(text);
+    let head = lx.atom()?;
+    let mut head_vars = Vec::new();
+    for t in &head.terms {
+        match t {
+            Term::Var(v) => head_vars.push(v.clone()),
+            Term::Const(_) => {
+                return Err(Error::Parse(
+                    "head terms must be variables".to_string(),
+                ))
+            }
+        }
+    }
+    lx.eat_str(":-")?;
+    let mut body = vec![lx.atom()?];
+    while lx.peek() == Some(',') {
+        lx.pos += 1;
+        body.push(lx.atom()?);
+    }
+    if lx.peek() == Some('.') {
+        lx.pos += 1;
+    }
+    lx.skip_ws();
+    if lx.pos != lx.chars.len() {
+        return Err(Error::Parse(format!("trailing input at offset {}", lx.pos)));
+    }
+    let q = ConjunctiveQuery { head_name: head.predicate, head_vars, body };
+    if !q.is_safe() {
+        return Err(Error::Parse(
+            "unsafe query: every head variable must occur in the body".to_string(),
+        ));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_query() {
+        let q = parse_query("Q(x, z) :- R(x, y), S(y, z).").unwrap();
+        assert_eq!(q.head_name, "Q");
+        assert_eq!(q.head_vars, vec!["x", "z"]);
+        assert_eq!(q.body.len(), 2);
+        assert_eq!(q.body[1].predicate, "S");
+    }
+
+    #[test]
+    fn parses_constants() {
+        let q = parse_query(r#"Q(x) :- R(x, 3), S(x, "hello")."#).unwrap();
+        assert_eq!(q.body[0].terms[1], Term::Const(Value::Int(3)));
+        assert_eq!(q.body[1].terms[1], Term::Const(Value::str("hello")));
+    }
+
+    #[test]
+    fn negative_integer_constant() {
+        let q = parse_query("Q(x) :- R(x, -5).").unwrap();
+        assert_eq!(q.body[0].terms[1], Term::Const(Value::Int(-5)));
+    }
+
+    #[test]
+    fn optional_period_and_whitespace() {
+        assert!(parse_query("Q(x):-R(x,y)").is_ok());
+        assert!(parse_query("  Q( x ) :- R( x , y ) .  ").is_ok());
+    }
+
+    #[test]
+    fn rejects_unsafe_head() {
+        assert!(parse_query("Q(w) :- R(x, y).").is_err());
+    }
+
+    #[test]
+    fn rejects_constant_in_head() {
+        assert!(parse_query("Q(3) :- R(x, y).").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q(x)").is_err());
+        assert!(parse_query("Q(x) :- ").is_err());
+        assert!(parse_query("Q(x) :- R(x,, y).").is_err());
+        assert!(parse_query("Q(x) :- R(x) extra").is_err());
+        assert!(parse_query(r#"Q(x) :- R(x, "unterminated)."#).is_err());
+    }
+
+    #[test]
+    fn nullary_head_is_boolean_query() {
+        let q = parse_query("Q() :- R(x, y).").unwrap();
+        assert!(q.head_vars.is_empty());
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let text = r#"Q(x, z) :- R(x, y), S(y, z), T(y, 3)."#;
+        let q = parse_query(text).unwrap();
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+    }
+}

@@ -1,0 +1,262 @@
+//! Named relation storage for the query front end.
+//!
+//! A [`NamedDatabase`] maps predicate names to stored relations and — unlike
+//! the bare [`Relation`], whose columns live in canonical attribute order —
+//! remembers each relation's *declared* column order, which is what atom
+//! terms bind to positionally.
+
+use mjoin_relation::fxhash::FxHashMap;
+use mjoin_relation::{tsv, AttrId, Catalog, Error, Relation, Result, Row, Schema, Value};
+
+/// One stored relation with its declared column order.
+#[derive(Debug, Clone)]
+pub struct StoredRelation {
+    /// The predicate name.
+    pub name: String,
+    /// Column attributes in declared (not canonical) order.
+    pub columns: Vec<AttrId>,
+    /// The data.
+    pub relation: Relation,
+}
+
+impl StoredRelation {
+    /// Position of declared column `i` within the canonical schema.
+    pub fn canonical_position(&self, i: usize) -> usize {
+        self.relation
+            .schema()
+            .position(self.columns[i])
+            .expect("declared columns are the schema")
+    }
+}
+
+/// A named collection of stored relations sharing one attribute catalog.
+#[derive(Debug, Clone, Default)]
+pub struct NamedDatabase {
+    catalog: Catalog,
+    relations: Vec<StoredRelation>,
+    index: FxHashMap<String, usize>,
+}
+
+impl NamedDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared attribute catalog (column names are interned here,
+    /// qualified by relation name to keep same-named columns of different
+    /// relations distinct).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Add a relation with named columns and integer tuples (values in
+    /// declared column order).
+    pub fn add_relation(
+        &mut self,
+        name: &str,
+        column_names: &[&str],
+        tuples: &[&[i64]],
+    ) -> Result<()> {
+        let rows: Vec<Vec<Value>> = tuples
+            .iter()
+            .map(|t| t.iter().map(|&v| Value::Int(v)).collect())
+            .collect();
+        self.add_relation_values(name, column_names, rows)
+    }
+
+    /// Insert-or-replace a relation's contents, keeping (or creating) its
+    /// declared column order. Used by the Datalog fixpoint to refresh
+    /// derived predicates between iterations.
+    pub fn set_relation_values(
+        &mut self,
+        name: &str,
+        column_names: &[&str],
+        tuples: Vec<Vec<Value>>,
+    ) -> Result<()> {
+        if let Some(&i) = self.index.get(name) {
+            let existing = &self.relations[i];
+            if existing.columns.len() != column_names.len() {
+                return Err(Error::ArityMismatch {
+                    expected: existing.columns.len(),
+                    got: column_names.len(),
+                });
+            }
+            let columns = existing.columns.clone();
+            let schema = Schema::new(columns.clone());
+            let dest: Vec<usize> = columns
+                .iter()
+                .map(|&a| schema.position(a).expect("interned"))
+                .collect();
+            let mut rows: Vec<Row> = Vec::with_capacity(tuples.len());
+            for t in tuples {
+                if t.len() != columns.len() {
+                    return Err(Error::ArityMismatch { expected: columns.len(), got: t.len() });
+                }
+                let mut row = vec![Value::Int(0); t.len()];
+                for (j, v) in t.into_iter().enumerate() {
+                    row[dest[j]] = v;
+                }
+                rows.push(row.into());
+            }
+            self.relations[i].relation = Relation::from_rows(schema, rows)?;
+            Ok(())
+        } else {
+            self.add_relation_values(name, column_names, tuples)
+        }
+    }
+
+    /// Add a relation with named columns and arbitrary values (in declared
+    /// column order).
+    pub fn add_relation_values(
+        &mut self,
+        name: &str,
+        column_names: &[&str],
+        tuples: Vec<Vec<Value>>,
+    ) -> Result<()> {
+        if self.index.contains_key(name) {
+            return Err(Error::Parse(format!("relation `{name}` already exists")));
+        }
+        // Qualify column names so `R.a` and `S.a` are unrelated attributes;
+        // joins come from query variables, not column-name coincidence.
+        let columns: Vec<AttrId> = column_names
+            .iter()
+            .map(|c| self.catalog.intern(&format!("{name}.{c}")))
+            .collect();
+        {
+            let mut sorted = columns.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != columns.len() {
+                return Err(Error::Parse(format!(
+                    "relation `{name}` repeats a column name"
+                )));
+            }
+        }
+        let schema = Schema::new(columns.clone());
+        // Permute declared-order tuples into canonical positions.
+        let dest: Vec<usize> = columns
+            .iter()
+            .map(|&a| schema.position(a).expect("interned"))
+            .collect();
+        let mut rows: Vec<Row> = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            if t.len() != columns.len() {
+                return Err(Error::ArityMismatch { expected: columns.len(), got: t.len() });
+            }
+            let mut row = vec![Value::Int(0); t.len()];
+            for (i, v) in t.into_iter().enumerate() {
+                row[dest[i]] = v;
+            }
+            rows.push(row.into());
+        }
+        let relation = Relation::from_rows(schema, rows)?;
+        self.index.insert(name.to_string(), self.relations.len());
+        self.relations.push(StoredRelation {
+            name: name.to_string(),
+            columns,
+            relation,
+        });
+        Ok(())
+    }
+
+    /// Add a relation from TSV text (header = declared column order).
+    pub fn add_tsv(&mut self, name: &str, text: &str) -> Result<()> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| Error::Parse("TSV input has no header".to_string()))?;
+        let cols: Vec<&str> = header.split('\t').map(str::trim).collect();
+        // Reuse the TSV row parser by reparsing with a scratch catalog, then
+        // pull rows back out in declared order.
+        let mut scratch = Catalog::new();
+        let rel = tsv::relation_from_tsv(&mut scratch, text)?;
+        let positions: Vec<usize> = cols
+            .iter()
+            .map(|c| {
+                let id = scratch.lookup(c).expect("header interned");
+                rel.schema().position(id).expect("in schema")
+            })
+            .collect();
+        let tuples: Vec<Vec<Value>> = rel
+            .rows()
+            .iter()
+            .map(|row| positions.iter().map(|&p| row[p].clone()).collect())
+            .collect();
+        self.add_relation_values(name, &cols, tuples)
+    }
+
+    /// Look up a stored relation by name.
+    pub fn get(&self, name: &str) -> Option<&StoredRelation> {
+        self.index.get(name).map(|&i| &self.relations[i])
+    }
+
+    /// All stored relations.
+    pub fn relations(&self) -> &[StoredRelation] {
+        &self.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut db = NamedDatabase::new();
+        db.add_relation("edge", &["src", "dst"], &[&[1, 2], &[2, 3]]).unwrap();
+        let stored = db.get("edge").unwrap();
+        assert_eq!(stored.relation.len(), 2);
+        assert_eq!(stored.columns.len(), 2);
+        assert!(db.get("missing").is_none());
+    }
+
+    #[test]
+    fn declared_order_preserved() {
+        let mut db = NamedDatabase::new();
+        // Force canonical order ≠ declared order by declaring (b, a) after
+        // interning is alphabetical-by-insertion anyway; check positions map.
+        db.add_relation("r", &["b", "a"], &[&[10, 20]]).unwrap();
+        let stored = db.get("r").unwrap();
+        let p0 = stored.canonical_position(0); // column `b`
+        let p1 = stored.canonical_position(1); // column `a`
+        let row = &stored.relation.rows()[0];
+        assert_eq!(row[p0], Value::Int(10));
+        assert_eq!(row[p1], Value::Int(20));
+    }
+
+    #[test]
+    fn same_column_name_in_two_relations_is_distinct() {
+        let mut db = NamedDatabase::new();
+        db.add_relation("r", &["a"], &[&[1]]).unwrap();
+        db.add_relation("s", &["a"], &[&[2]]).unwrap();
+        let ra = db.get("r").unwrap().columns[0];
+        let sa = db.get("s").unwrap().columns[0];
+        assert_ne!(ra, sa);
+    }
+
+    #[test]
+    fn duplicate_names_and_bad_arity_rejected() {
+        let mut db = NamedDatabase::new();
+        db.add_relation("r", &["a"], &[&[1]]).unwrap();
+        assert!(db.add_relation("r", &["a"], &[&[1]]).is_err());
+        assert!(db.add_relation("s", &["a", "a"], &[&[1, 2]]).is_err());
+        assert!(db.add_relation("t", &["a", "b"], &[&[1]]).is_err());
+    }
+
+    #[test]
+    fn tsv_import() {
+        let mut db = NamedDatabase::new();
+        db.add_tsv("people", "name\tage\nalice\t30\nbob\t40\n").unwrap();
+        let stored = db.get("people").unwrap();
+        assert_eq!(stored.relation.len(), 2);
+        let p_name = stored.canonical_position(0);
+        let names: Vec<String> = stored
+            .relation
+            .sorted_rows()
+            .iter()
+            .map(|r| r[p_name].to_string())
+            .collect();
+        assert!(names.contains(&"alice".to_string()));
+    }
+}

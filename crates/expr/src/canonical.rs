@@ -1,0 +1,111 @@
+//! Canonical forms of join trees modulo join commutativity.
+//!
+//! Under the §2.3 cost model `E₁ ⋈ E₂` and `E₂ ⋈ E₁` cost the same and
+//! compute the same relation, so analyses often want to treat them as one
+//! tree. The canonical form orders every join's children by their smallest
+//! leaf index; two trees are cost-equivalent-by-commutativity iff their
+//! canonical forms are equal.
+
+use crate::tree::JoinTree;
+
+/// The canonical representative of `tree` modulo commutativity: at every
+/// join, the child containing the smaller minimum leaf index goes left.
+pub fn canonical(tree: &JoinTree) -> JoinTree {
+    match tree {
+        JoinTree::Leaf(i) => JoinTree::leaf(*i),
+        JoinTree::Join(l, r) => {
+            let cl = canonical(l);
+            let cr = canonical(r);
+            let lmin = cl.rel_set().first().expect("nonempty");
+            let rmin = cr.rel_set().first().expect("nonempty");
+            if lmin <= rmin {
+                JoinTree::join(cl, cr)
+            } else {
+                JoinTree::join(cr, cl)
+            }
+        }
+    }
+}
+
+/// Whether two trees are equal up to flipping join operands.
+pub fn commutatively_equal(a: &JoinTree, b: &JoinTree) -> bool {
+    canonical(a) == canonical(b)
+}
+
+/// Deduplicate a collection of trees modulo commutativity, keeping the
+/// canonical representative of each class (order preserved by first
+/// appearance).
+pub fn dedup_commutative(trees: &[JoinTree]) -> Vec<JoinTree> {
+    let mut seen = mjoin_relation::fxhash::FxHashSet::default();
+    let mut out = Vec::new();
+    for t in trees {
+        let c = canonical(t);
+        if seen.insert(c.clone()) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::all_trees;
+    use mjoin_hypergraph::RelSet;
+
+    #[test]
+    fn flip_has_same_canonical_form() {
+        let a = JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1));
+        let b = JoinTree::join(JoinTree::leaf(1), JoinTree::leaf(0));
+        assert_ne!(a, b);
+        assert!(commutatively_equal(&a, &b));
+        assert_eq!(canonical(&b), a);
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        for t in all_trees(RelSet::full(4)) {
+            let c = canonical(&t);
+            assert_eq!(canonical(&c), c);
+            assert!(commutatively_equal(&t, &c));
+        }
+    }
+
+    #[test]
+    fn different_shapes_stay_distinct() {
+        let left_deep = JoinTree::left_deep(&[0, 1, 2]);
+        let right_deep = JoinTree::join(
+            JoinTree::leaf(0),
+            JoinTree::join(JoinTree::leaf(1), JoinTree::leaf(2)),
+        );
+        assert!(!commutatively_equal(&left_deep, &right_deep));
+    }
+
+    #[test]
+    fn enumeration_is_already_commutativity_free() {
+        // `all_trees` uses the anchored partition enumerator, so no two
+        // results should collapse to the same canonical form.
+        for n in 2..=5 {
+            let trees = all_trees(RelSet::full(n));
+            let deduped = dedup_commutative(&trees);
+            assert_eq!(deduped.len(), trees.len(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn nested_flips_normalize() {
+        // ((2 ⋈ 1) ⋈ 0) canonicalizes to (0 ⋈ (1 ⋈ 2)).
+        let t = JoinTree::join(
+            JoinTree::join(JoinTree::leaf(2), JoinTree::leaf(1)),
+            JoinTree::leaf(0),
+        );
+        let c = canonical(&t);
+        assert_eq!(
+            c,
+            JoinTree::join(
+                JoinTree::leaf(0),
+                JoinTree::join(JoinTree::leaf(1), JoinTree::leaf(2)),
+            )
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Enumerating and counting join expression trees.
+//!
+//! The paper's search-space discussion (§1, §4) contrasts the full space of
+//! join expressions with its CPF and linear subsets. This module enumerates
+//! each space (for small schemes) and counts them in closed form or by
+//! subset DP (for larger ones). Trees are *unordered*: `E₁ ⋈ E₂` and
+//! `E₂ ⋈ E₁` have identical cost under §2.3, so each unordered split is
+//! produced once (the anchored [`RelSet::half_partitions`] guarantees this).
+
+use crate::tree::JoinTree;
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::fxhash::FxHashMap;
+
+/// All unordered join expression trees over the occurrences in `set`.
+///
+/// The count is the double factorial `(2n−3)!!` — 1, 3, 15, 105, 945 … for
+/// n = 2, 3, 4, 5, 6 — so keep `n` small (≤ 8 is comfortable).
+pub fn all_trees(set: RelSet) -> Vec<JoinTree> {
+    assert!(!set.is_empty(), "no join trees over an empty scheme");
+    if set.len() == 1 {
+        return vec![JoinTree::leaf(set.first().unwrap())];
+    }
+    let mut out = Vec::new();
+    for (l, r) in set.half_partitions() {
+        for tl in all_trees(l) {
+            for tr in all_trees(r) {
+                out.push(JoinTree::join(tl.clone(), tr.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// All unordered *Cartesian-product-free* trees over `set`.
+///
+/// Every node of a CPF tree is a connected database scheme (§2.4), so both
+/// sides of every split must be connected; if `set` itself is disconnected
+/// there are none.
+pub fn cpf_trees(scheme: &DbScheme, set: RelSet) -> Vec<JoinTree> {
+    assert!(!set.is_empty(), "no join trees over an empty scheme");
+    if set.len() == 1 {
+        return vec![JoinTree::leaf(set.first().unwrap())];
+    }
+    if !scheme.is_connected(set) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (l, r) in set.half_partitions() {
+        if !scheme.is_connected(l) || !scheme.is_connected(r) {
+            continue;
+        }
+        for tl in cpf_trees(scheme, l) {
+            for tr in cpf_trees(scheme, r) {
+                out.push(JoinTree::join(tl.clone(), tr.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// All left-deep (linear) trees over `set`, one per permutation of the
+/// occurrences with the symmetric first pair deduplicated (swapping the two
+/// innermost leaves gives the same unordered tree), i.e. `n!/2` trees.
+pub fn linear_trees(set: RelSet) -> Vec<JoinTree> {
+    assert!(!set.is_empty(), "no join trees over an empty scheme");
+    let items = set.to_vec();
+    if items.len() == 1 {
+        return vec![JoinTree::leaf(items[0])];
+    }
+    let mut out = Vec::new();
+    let mut order = Vec::with_capacity(items.len());
+    let mut used = vec![false; items.len()];
+    permute(&items, &mut used, &mut order, &mut out);
+    out
+}
+
+fn permute(
+    items: &[usize],
+    used: &mut [bool],
+    order: &mut Vec<usize>,
+    out: &mut Vec<JoinTree>,
+) {
+    if order.len() == items.len() {
+        out.push(JoinTree::left_deep(order));
+        return;
+    }
+    for i in 0..items.len() {
+        if used[i] {
+            continue;
+        }
+        // Dedup the symmetric innermost pair: require first < second.
+        if order.len() == 1 && items[i] < order[0] {
+            continue;
+        }
+        used[i] = true;
+        order.push(items[i]);
+        permute(items, used, order, out);
+        order.pop();
+        used[i] = false;
+    }
+}
+
+/// Closed-form count of unordered join trees over `n` leaves:
+/// `(2n−3)!! = 1·3·5·…·(2n−3)` for `n ≥ 2`, and 1 for `n = 1`.
+pub fn count_all_trees(n: usize) -> u128 {
+    if n <= 1 {
+        return 1;
+    }
+    let mut acc: u128 = 1;
+    let mut k: u128 = 1;
+    while k <= (2 * n as u128).saturating_sub(3) {
+        acc = acc.saturating_mul(k);
+        k += 2;
+    }
+    acc
+}
+
+/// Count of left-deep trees (unordered innermost pair): `n!/2` for `n ≥ 2`.
+pub fn count_linear_trees(n: usize) -> u128 {
+    if n <= 1 {
+        return 1;
+    }
+    let fact: u128 = (1..=n as u128).product();
+    fact / 2
+}
+
+/// Count the CPF trees over `set` by subset DP, without materializing them.
+pub fn count_cpf_trees(scheme: &DbScheme, set: RelSet) -> u128 {
+    let mut memo: FxHashMap<RelSet, u128> = FxHashMap::default();
+    count_cpf_rec(scheme, set, &mut memo)
+}
+
+fn count_cpf_rec(
+    scheme: &DbScheme,
+    set: RelSet,
+    memo: &mut FxHashMap<RelSet, u128>,
+) -> u128 {
+    if set.len() <= 1 {
+        return if set.is_empty() { 0 } else { 1 };
+    }
+    if let Some(&c) = memo.get(&set) {
+        return c;
+    }
+    let mut total: u128 = 0;
+    if scheme.is_connected(set) {
+        for (l, r) in set.half_partitions() {
+            if scheme.is_connected(l) && scheme.is_connected(r) {
+                let cl = count_cpf_rec(scheme, l, memo);
+                if cl == 0 {
+                    continue;
+                }
+                let cr = count_cpf_rec(scheme, r, memo);
+                total = total.saturating_add(cl.saturating_mul(cr));
+            }
+        }
+    }
+    memo.insert(set, total);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    fn paper() -> DbScheme {
+        let mut c = Catalog::new();
+        DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"])
+    }
+
+    #[test]
+    fn all_trees_count_matches_double_factorial() {
+        for n in 1..=5 {
+            let trees = all_trees(RelSet::full(n));
+            assert_eq!(trees.len() as u128, count_all_trees(n), "n = {n}");
+            for t in &trees {
+                assert_eq!(t.rel_set(), RelSet::full(n));
+                assert_eq!(t.num_leaves(), n);
+            }
+        }
+        assert_eq!(count_all_trees(4), 15);
+        assert_eq!(count_all_trees(6), 945);
+    }
+
+    #[test]
+    fn all_trees_distinct() {
+        let trees = all_trees(RelSet::full(4));
+        let mut seen = std::collections::HashSet::new();
+        for t in &trees {
+            assert!(seen.insert(format!("{t:?}")), "duplicate tree produced");
+        }
+    }
+
+    #[test]
+    fn cpf_trees_are_cpf_and_complete() {
+        let s = paper();
+        let cpf = cpf_trees(&s, s.all());
+        assert!(!cpf.is_empty());
+        for t in &cpf {
+            assert!(t.is_cpf(&s));
+            assert!(t.is_exactly_over(&s));
+        }
+        // Cross-check against brute force: filter all trees by the CPF
+        // predicate.
+        let brute: Vec<_> = all_trees(s.all())
+            .into_iter()
+            .filter(|t| t.is_cpf(&s))
+            .collect();
+        assert_eq!(cpf.len(), brute.len());
+        assert_eq!(count_cpf_trees(&s, s.all()), cpf.len() as u128);
+    }
+
+    #[test]
+    fn cpf_trees_of_disconnected_set_is_empty() {
+        let s = paper();
+        let disconnected = RelSet::from_indices([0, 2]); // ABC, EFG
+        assert!(cpf_trees(&s, disconnected).is_empty());
+        assert_eq!(count_cpf_trees(&s, disconnected), 0);
+    }
+
+    #[test]
+    fn clique_scheme_has_all_trees_cpf() {
+        // Every pair of schemes shares X, so nothing is a Cartesian product.
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["XA", "XB", "XC", "XD"]);
+        assert_eq!(
+            count_cpf_trees(&s, s.all()),
+            count_all_trees(4),
+            "star scheme: every tree is CPF"
+        );
+    }
+
+    #[test]
+    fn linear_trees_count() {
+        for n in 2..=5 {
+            let trees = linear_trees(RelSet::full(n));
+            assert_eq!(trees.len() as u128, count_linear_trees(n), "n = {n}");
+            for t in &trees {
+                assert!(t.is_linear());
+                assert_eq!(t.rel_set(), RelSet::full(n));
+            }
+        }
+        assert_eq!(count_linear_trees(4), 12);
+    }
+
+    #[test]
+    fn singletons() {
+        let one = RelSet::singleton(3);
+        assert_eq!(all_trees(one), vec![JoinTree::leaf(3)]);
+        assert_eq!(linear_trees(one), vec![JoinTree::leaf(3)]);
+        let s = paper();
+        assert_eq!(cpf_trees(&s, one), vec![JoinTree::leaf(3)]);
+        assert_eq!(count_cpf_trees(&s, one), 1);
+    }
+
+    #[test]
+    fn paper_cycle_cpf_count() {
+        // For the 4-cycle {ABC, CDE, EFG, GHA}: connected pairs are the 4
+        // cycle edges; by symmetry each contributes, and the exhaustive count
+        // is what the brute force says. Pin it as a regression value.
+        let s = paper();
+        let n = count_cpf_trees(&s, s.all());
+        assert_eq!(n, cpf_trees(&s, s.all()).len() as u128);
+        assert!(n < count_all_trees(4));
+    }
+}

@@ -1,0 +1,153 @@
+//! Evaluating join expression trees and costing them per §2.3.
+
+use crate::tree::JoinTree;
+use mjoin_relation::{ops, CostLedger, Database, Relation};
+
+/// The outcome of evaluating a join tree on a database.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The relation computed at the root — `E(D)`.
+    pub relation: Relation,
+    /// The cost account: every leaf's input relation plus every join node's
+    /// result, i.e. the paper's `cost(E(D))`.
+    pub ledger: CostLedger,
+}
+
+impl EvalResult {
+    /// Total tuple-count cost.
+    pub fn cost(&self) -> u64 {
+        self.ledger.total()
+    }
+}
+
+/// Evaluate `tree` on `db`, producing the root relation and the §2.3 cost.
+///
+/// Leaves charge the input relation they reference (each occurrence is
+/// charged once — trees *exactly over* the scheme reference each occurrence
+/// once); every join node charges its result.
+pub fn evaluate(tree: &JoinTree, db: &Database) -> EvalResult {
+    let mut ledger = CostLedger::new();
+    let relation = eval_node(tree, db, &mut ledger);
+    EvalResult { relation, ledger }
+}
+
+fn eval_node(tree: &JoinTree, db: &Database, ledger: &mut CostLedger) -> Relation {
+    match tree {
+        JoinTree::Leaf(i) => {
+            let rel = db.relation(*i);
+            ledger.charge_input(format!("input R{i}"), rel.len());
+            rel.clone()
+        }
+        JoinTree::Join(l, r) => {
+            let lr = eval_node(l, db, ledger);
+            let rr = eval_node(r, db, ledger);
+            let joined = ops::join(&lr, &rr);
+            ledger.charge_generated(
+                format!("join {} ⋈ {}", l.rel_set(), r.rel_set()),
+                joined.len(),
+            );
+            joined
+        }
+    }
+}
+
+/// The cost of `tree` on `db` without keeping the relations around.
+pub fn cost_of(tree: &JoinTree, db: &Database) -> u64 {
+    evaluate(tree, db).cost()
+}
+
+/// `T(D)` in the paper's §2.4: the size of `⋈ D[𝒱]` for every node `𝒱` of the
+/// tree, summed. For a tree representing a join expression exactly over the
+/// scheme this equals `cost(E(D))` — each node's relation *is* the join of
+/// the occurrences below it.
+pub fn tree_application_cost(tree: &JoinTree, db: &Database) -> u64 {
+    tree.node_sets()
+        .iter()
+        .map(|set| db.join_of(&set.to_vec()).len() as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_hypergraph::DbScheme;
+    use mjoin_relation::{relation_of_ints, Catalog};
+
+    /// The triangle R(AB), S(BC), T(CA) with one consistent cycle.
+    fn triangle() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[4, 5]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[2, 3], &[5, 6]]).unwrap();
+        let t = relation_of_ints(&mut c, "CA", &[&[3, 1]]).unwrap();
+        let scheme = DbScheme::parse(&mut c, &["AB", "BC", "CA"]);
+        (c, scheme, Database::from_relations(vec![r, s, t]))
+    }
+
+    #[test]
+    fn evaluation_matches_naive_join() {
+        let (_c, _s, db) = triangle();
+        let t = JoinTree::left_deep(&[0, 1, 2]);
+        let res = evaluate(&t, &db);
+        assert_eq!(res.relation, db.join_all());
+    }
+
+    #[test]
+    fn cost_counts_inputs_and_intermediates() {
+        let (_c, _s, db) = triangle();
+        let t = JoinTree::left_deep(&[0, 1, 2]);
+        let res = evaluate(&t, &db);
+        // inputs: 2 + 2 + 1 = 5; AB⋈BC = 2 tuples; final = 1 tuple.
+        assert_eq!(res.ledger.input_total(), 5);
+        assert_eq!(res.ledger.generated_total(), 3);
+        assert_eq!(res.cost(), 8);
+        assert_eq!(cost_of(&t, &db), 8);
+    }
+
+    #[test]
+    fn different_orders_same_result_different_cost() {
+        let (_c, _s, db) = triangle();
+        let t1 = JoinTree::left_deep(&[0, 1, 2]);
+        // Joining AB with CA first also shares attribute A.
+        let t2 = JoinTree::left_deep(&[0, 2, 1]);
+        let r1 = evaluate(&t1, &db);
+        let r2 = evaluate(&t2, &db);
+        assert_eq!(r1.relation, r2.relation);
+        // AB ⋈ CA = 1 tuple, so t2 is cheaper: 5 + 1 + 1 = 7.
+        assert_eq!(r2.cost(), 7);
+        assert!(r2.cost() < r1.cost());
+    }
+
+    #[test]
+    fn tree_application_cost_equals_eval_cost() {
+        let (_c, _s, db) = triangle();
+        for t in [
+            JoinTree::left_deep(&[0, 1, 2]),
+            JoinTree::left_deep(&[2, 0, 1]),
+            JoinTree::join(
+                JoinTree::leaf(1),
+                JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(2)),
+            ),
+        ] {
+            assert_eq!(tree_application_cost(&t, &db), cost_of(&t, &db));
+        }
+    }
+
+    #[test]
+    fn cartesian_product_node_costs_product() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "A", &[&[1], &[2], &[3]]).unwrap();
+        let s = relation_of_ints(&mut c, "B", &[&[7], &[8]]).unwrap();
+        let db = Database::from_relations(vec![r, s]);
+        let t = JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1));
+        let res = evaluate(&t, &db);
+        assert_eq!(res.relation.len(), 6);
+        assert_eq!(res.cost(), 3 + 2 + 6);
+    }
+
+    #[test]
+    fn single_leaf_cost_is_input_size() {
+        let (_c, _s, db) = triangle();
+        let t = JoinTree::leaf(0);
+        assert_eq!(cost_of(&t, &db), 2);
+    }
+}

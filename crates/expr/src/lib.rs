@@ -1,0 +1,28 @@
+//! `mjoin-expr` — join expression trees (§2.2, §2.4 of the paper).
+//!
+//! * [`JoinTree`]: the tree form of a join expression exactly over a
+//!   database scheme, with the CPF and linearity predicates;
+//! * [`parse_join_tree`]: the paper's textual notation
+//!   (`(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)`);
+//! * [`evaluate`] / [`cost_of`]: evaluation against a database under the
+//!   §2.3 tuple-count cost model;
+//! * [`enumerate`]: exhaustive enumeration and counting of the all/CPF/
+//!   linear search spaces.
+
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod enumerate;
+pub mod eval;
+pub mod parse;
+pub mod spine;
+pub mod tree;
+
+pub use canonical::{canonical, commutatively_equal, dedup_commutative};
+pub use enumerate::{
+    all_trees, count_all_trees, count_cpf_trees, count_linear_trees, cpf_trees, linear_trees,
+};
+pub use eval::{cost_of, evaluate, tree_application_cost, EvalResult};
+pub use parse::parse_join_tree;
+pub use spine::{claim_c_bound, left_spine, s_nodes, Spine};
+pub use tree::JoinTree;

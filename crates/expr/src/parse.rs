@@ -1,0 +1,205 @@
+//! A small parser for join expressions in the paper's notation.
+//!
+//! Grammar (left-associative; `&` is an ASCII alias for `⋈`):
+//!
+//! ```text
+//! expr := term (("⋈" | "&") term)*
+//! term := "(" expr ")" | SCHEME
+//! ```
+//!
+//! `SCHEME` is a run of attribute characters such as `ABC` or `GHA`; it is
+//! resolved *as a set* against the database scheme's occurrences, and when a
+//! scheme occurs several times (a multiset) each mention consumes the next
+//! unused occurrence in index order.
+
+use crate::tree::JoinTree;
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::{AttrSet, Catalog, Error, Result};
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    catalog: &'a Catalog,
+    scheme: &'a DbScheme,
+    used: Vec<bool>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &str, catalog: &'a Catalog, scheme: &'a DbScheme) -> Self {
+        Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+            catalog,
+            scheme,
+            used: vec![false; scheme.num_relations()],
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_expr(&mut self) -> Result<JoinTree> {
+        let mut tree = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some('⋈') | Some('&') => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    tree = JoinTree::join(tree, rhs);
+                }
+                _ => return Ok(tree),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<JoinTree> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                if self.bump() != Some(')') {
+                    return Err(Error::Parse("expected `)`".to_string()));
+                }
+                Ok(inner)
+            }
+            Some(c) if c.is_alphanumeric() => self.parse_scheme(),
+            Some(c) => Err(Error::Parse(format!("unexpected character `{c}`"))),
+            None => Err(Error::Parse("unexpected end of input".to_string())),
+        }
+    }
+
+    fn parse_scheme(&mut self) -> Result<JoinTree> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len() && self.chars[self.pos].is_alphanumeric() {
+            self.pos += 1;
+        }
+        let name: String = self.chars[start..self.pos].iter().collect();
+        let mut want = AttrSet::new();
+        for ch in name.chars() {
+            let id = self.catalog.require(&ch.to_string())?;
+            want.insert(id);
+        }
+        for idx in 0..self.scheme.num_relations() {
+            if !self.used[idx] && *self.scheme.attrs_of(idx) == want {
+                self.used[idx] = true;
+                return Ok(JoinTree::leaf(idx));
+            }
+        }
+        Err(Error::Parse(format!(
+            "no unused occurrence of scheme `{name}` in the database scheme"
+        )))
+    }
+}
+
+/// Parse `text` into a [`JoinTree`] over `scheme`.
+///
+/// Errors if the text is malformed, mentions an unknown scheme, or mentions
+/// one more often than it occurs. It does *not* require the expression to be
+/// exactly over the scheme — use [`JoinTree::is_exactly_over`] if you need
+/// that — but repeats beyond the multiset count are rejected.
+pub fn parse_join_tree(
+    catalog: &Catalog,
+    scheme: &DbScheme,
+    text: &str,
+) -> Result<JoinTree> {
+    let mut p = Parser::new(text, catalog, scheme);
+    let tree = p.parse_expr()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(Error::Parse(format!(
+            "trailing input at offset {}",
+            p.pos
+        )));
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> (Catalog, DbScheme) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        (c, s)
+    }
+
+    #[test]
+    fn parses_example2() {
+        let (c, s) = paper();
+        let t = parse_join_tree(&c, &s, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
+        assert_eq!(t.leaves(), vec![0, 2, 1, 3]);
+        assert!(t.is_exactly_over(&s));
+    }
+
+    #[test]
+    fn ascii_alias_and_left_assoc() {
+        let (c, s) = paper();
+        let t = parse_join_tree(&c, &s, "ABC & CDE & EFG & GHA").unwrap();
+        assert_eq!(t, JoinTree::left_deep(&[0, 1, 2, 3]));
+        assert!(t.is_linear());
+    }
+
+    #[test]
+    fn scheme_matched_as_set() {
+        let (c, s) = paper();
+        // GHA and AGH denote the same attribute set.
+        let t1 = parse_join_tree(&c, &s, "GHA").unwrap();
+        let t2 = parse_join_tree(&c, &s, "AGH").unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(t1, JoinTree::leaf(3));
+    }
+
+    #[test]
+    fn multiset_occurrences_consumed_in_order() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "AB", "BC"]);
+        let t = parse_join_tree(&c, &s, "(AB & BC) & AB").unwrap();
+        assert_eq!(t.leaves(), vec![0, 2, 1]);
+        assert!(parse_join_tree(&c, &s, "AB & AB & AB").is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        let (c, s) = paper();
+        assert!(parse_join_tree(&c, &s, "").is_err());
+        assert!(parse_join_tree(&c, &s, "(ABC").is_err());
+        assert!(parse_join_tree(&c, &s, "ABC )").is_err());
+        assert!(parse_join_tree(&c, &s, "QRS").is_err());
+        assert!(parse_join_tree(&c, &s, "ABD").is_err()); // attrs exist, set doesn't
+        assert!(parse_join_tree(&c, &s, "ABC ⋈").is_err());
+    }
+
+    #[test]
+    fn nested_parens() {
+        let (c, s) = paper();
+        let t = parse_join_tree(&c, &s, "((ABC)) ⋈ (CDE)").unwrap();
+        assert_eq!(t, JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1)));
+    }
+
+    #[test]
+    fn roundtrip_with_display() {
+        let (c, s) = paper();
+        let t = parse_join_tree(&c, &s, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
+        let text = t.display(&s, &c).to_string();
+        let t2 = parse_join_tree(&c, &s, &text).unwrap();
+        assert_eq!(t, t2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Left-spine decomposition of join trees — the structure Algorithm 2 walks
+//! (the paper's Figure 3).
+//!
+//! For a node `𝒱`, following left children down to a leaf gives the spine
+//! `𝒱₀, 𝒱₁, …, 𝒱ₙ = 𝒱`; the right child of each `𝒱ᵢ` is `𝒲ᵢ`. The paper's
+//! set `S` — the root plus every internal node that is a right child — is
+//! exactly the set of nodes that get their own spine walk (and their own
+//! relation scheme variable in the derived program).
+
+use crate::tree::JoinTree;
+
+/// The left spine of a node: the bottom leaf `v0` and the right children
+/// `W₁ … Wₙ` from the bottom up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spine<'a> {
+    /// The leaf `𝒱₀` at the bottom of the left branch.
+    pub v0: usize,
+    /// `𝒲₁ … 𝒲ₙ`: the right child of each spine node, bottom-up.
+    pub rights: Vec<&'a JoinTree>,
+}
+
+impl Spine<'_> {
+    /// `n`, the number of internal nodes on the spine.
+    pub fn len(&self) -> usize {
+        self.rights.len()
+    }
+
+    /// Whether the node was itself a leaf (empty spine).
+    pub fn is_empty(&self) -> bool {
+        self.rights.is_empty()
+    }
+}
+
+/// Decompose `node`'s left spine.
+pub fn left_spine(node: &JoinTree) -> Spine<'_> {
+    let mut rights_rev = Vec::new();
+    let mut cur = node;
+    while let JoinTree::Join(l, r) = cur {
+        rights_rev.push(r.as_ref());
+        cur = l;
+    }
+    let JoinTree::Leaf(v0) = cur else { unreachable!("spine ends at a leaf") };
+    rights_rev.reverse();
+    Spine { v0: *v0, rights: rights_rev }
+}
+
+/// The paper's set `S` for a tree: the root plus every internal node that is
+/// the right child of its parent, in the bottom-up order Algorithm 2 visits
+/// them (every member inside a subtree precedes the subtree's own member).
+pub fn s_nodes(tree: &JoinTree) -> Vec<&JoinTree> {
+    fn collect<'a>(node: &'a JoinTree, out: &mut Vec<&'a JoinTree>) {
+        // Recurse into the spine's right children first (bottom-up), then
+        // emit the node itself.
+        if let JoinTree::Join(_, _) = node {
+            let spine = left_spine(node);
+            for w in spine.rights {
+                if matches!(w, JoinTree::Join(_, _)) {
+                    collect(w, out);
+                }
+            }
+            out.push(node);
+        }
+    }
+    let mut out = Vec::new();
+    collect(tree, &mut out);
+    out
+}
+
+/// Number of statements Algorithm 2 can emit for `tree`, per Claim C's
+/// counting argument: at most `a + 5·n` per member of `S` with spine length
+/// `n`, hence strictly less than `r(a+5)` overall. This is the *static*
+/// bound; the derived program is usually far shorter.
+pub fn claim_c_bound(tree: &JoinTree, num_attrs: usize) -> usize {
+    s_nodes(tree)
+        .iter()
+        .map(|v| num_attrs + 5 * left_spine(v).len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2's tree ((0 ⋈ 1) ⋈ 2) ⋈ 3.
+    fn fig2() -> JoinTree {
+        JoinTree::left_deep(&[0, 1, 2, 3])
+    }
+
+    #[test]
+    fn left_deep_spine() {
+        let t = fig2();
+        let s = left_spine(&t);
+        assert_eq!(s.v0, 0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.rights,
+            vec![&JoinTree::leaf(1), &JoinTree::leaf(2), &JoinTree::leaf(3)]
+        );
+    }
+
+    #[test]
+    fn left_deep_tree_has_single_s_node() {
+        // Every internal node is a left child except the root.
+        let t = fig2();
+        let s = s_nodes(&t);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0], &t);
+    }
+
+    #[test]
+    fn bushy_tree_s_nodes_bottom_up() {
+        // (0 ⋈ 1) ⋈ (2 ⋈ 3): the right child (2 ⋈ 3) is in S, visited
+        // before the root.
+        let right = JoinTree::join(JoinTree::leaf(2), JoinTree::leaf(3));
+        let t = JoinTree::join(
+            JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1)),
+            right.clone(),
+        );
+        let s = s_nodes(&t);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], &right);
+        assert_eq!(s[1], &t);
+    }
+
+    #[test]
+    fn right_deep_tree_every_internal_node_in_s() {
+        // 0 ⋈ (1 ⋈ (2 ⋈ 3)): both nested joins are right children.
+        let t = JoinTree::join(
+            JoinTree::leaf(0),
+            JoinTree::join(
+                JoinTree::leaf(1),
+                JoinTree::join(JoinTree::leaf(2), JoinTree::leaf(3)),
+            ),
+        );
+        let s = s_nodes(&t);
+        assert_eq!(s.len(), 3);
+        // Innermost first.
+        assert_eq!(s[0].num_leaves(), 2);
+        assert_eq!(s[1].num_leaves(), 3);
+        assert_eq!(s[2].num_leaves(), 4);
+    }
+
+    #[test]
+    fn leaf_has_no_s_nodes() {
+        assert!(s_nodes(&JoinTree::leaf(0)).is_empty());
+        let leaf = JoinTree::leaf(7);
+        let s = left_spine(&leaf);
+        assert_eq!(s.v0, 7);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn spine_segments_partition_internal_nodes() {
+        // Across all trees over 5 leaves, the spine lengths of the S-nodes
+        // sum to the number of internal nodes (r − 1) — the fact behind
+        // Claim C's `a|S| + 5r` count.
+        for t in crate::enumerate::all_trees(mjoin_hypergraph::RelSet::full(5)) {
+            let total: usize = s_nodes(&t).iter().map(|v| left_spine(v).len()).sum();
+            assert_eq!(total, t.num_joins(), "tree {t:?}");
+        }
+    }
+
+    #[test]
+    fn claim_c_bound_dominates_real_programs() {
+        // The static count is < r(a+5) whenever |S| ≤ r − 1… with a = attrs.
+        let t = fig2();
+        let bound = claim_c_bound(&t, 8);
+        assert_eq!(bound, 8 + 15);
+        assert!(bound < 4 * (8 + 5));
+    }
+}

@@ -1,0 +1,317 @@
+//! Join expression trees (§2.4).
+//!
+//! A join expression *exactly over* a database scheme has one leaf per
+//! relation-scheme occurrence, so leaves carry occurrence indices and the
+//! tree corresponds one-to-one with a fully parenthesized join expression.
+//! Each node of the paper's "join expression tree" is a database scheme; for
+//! us that is the [`RelSet`] of occurrences below the node, available via
+//! [`JoinTree::rel_set`] / [`JoinTree::node_sets`].
+
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::{Catalog, Schema};
+use std::fmt;
+
+/// A join expression tree: leaves are relation-scheme occurrences, internal
+/// nodes are joins.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinTree {
+    /// A relation-scheme occurrence (index into the database scheme).
+    Leaf(usize),
+    /// A join of two subexpressions.
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// A leaf.
+    pub fn leaf(idx: usize) -> Self {
+        JoinTree::Leaf(idx)
+    }
+
+    /// A join node.
+    pub fn join(left: JoinTree, right: JoinTree) -> Self {
+        JoinTree::Join(Box::new(left), Box::new(right))
+    }
+
+    /// A left-deep (linear) tree joining the occurrences in `order`:
+    /// `(((o₀ ⋈ o₁) ⋈ o₂) ⋈ …)`. Panics on an empty order.
+    pub fn left_deep(order: &[usize]) -> Self {
+        assert!(!order.is_empty(), "a join tree needs at least one leaf");
+        let mut it = order.iter();
+        let mut tree = JoinTree::leaf(*it.next().unwrap());
+        for &idx in it {
+            tree = JoinTree::join(tree, JoinTree::leaf(idx));
+        }
+        tree
+    }
+
+    /// The set of occurrences at the leaves (the database scheme labelling
+    /// this node in the paper's tree).
+    pub fn rel_set(&self) -> RelSet {
+        match self {
+            JoinTree::Leaf(i) => RelSet::singleton(*i),
+            JoinTree::Join(l, r) => l.rel_set().union(r.rel_set()),
+        }
+    }
+
+    /// Leaf occurrence indices in left-to-right order.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            JoinTree::Leaf(i) => out.push(*i),
+            JoinTree::Join(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 1,
+            JoinTree::Join(l, r) => l.num_leaves() + r.num_leaves(),
+        }
+    }
+
+    /// Number of join (internal) nodes — always `num_leaves() − 1`.
+    pub fn num_joins(&self) -> usize {
+        self.num_leaves() - 1
+    }
+
+    /// Height: 0 for a leaf.
+    pub fn height(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Join(l, r) => 1 + l.height().max(r.height()),
+        }
+    }
+
+    /// Whether the tree is *exactly over* the scheme: one occurrence of every
+    /// relation scheme, no repeats (§2.2).
+    pub fn is_exactly_over(&self, scheme: &DbScheme) -> bool {
+        let leaves = self.leaves();
+        leaves.len() == scheme.num_relations()
+            && self.rel_set() == scheme.all()
+    }
+
+    /// The [`RelSet`] of every node, leaves and internal nodes, in postorder.
+    pub fn node_sets(&self) -> Vec<RelSet> {
+        let mut out = Vec::new();
+        self.collect_node_sets(&mut out);
+        out
+    }
+
+    fn collect_node_sets(&self, out: &mut Vec<RelSet>) -> RelSet {
+        let set = match self {
+            JoinTree::Leaf(i) => RelSet::singleton(*i),
+            JoinTree::Join(l, r) => {
+                let ls = l.collect_node_sets(out);
+                let rs = r.collect_node_sets(out);
+                ls.union(rs)
+            }
+        };
+        out.push(set);
+        set
+    }
+
+    /// Whether the join at every internal node is Cartesian-product-free:
+    /// the attribute sets of the two children intersect (§2.2).
+    pub fn is_cpf(&self, scheme: &DbScheme) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join(l, r) => {
+                l.is_cpf(scheme)
+                    && r.is_cpf(scheme)
+                    && scheme
+                        .attrs_of_set(l.rel_set())
+                        .intersects(&scheme.attrs_of_set(r.rel_set()))
+            }
+        }
+    }
+
+    /// Whether the tree is linear (left-deep after flipping: every join has
+    /// at least one leaf child). The paper's linear expressions are
+    /// `(…(R₁ ⋈ R₂) ⋈ …) ⋈ Rₙ`; we accept the mirror-image shapes too since
+    /// join is commutative in this cost model.
+    pub fn is_linear(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join(l, r) => match (l.as_ref(), r.as_ref()) {
+                (JoinTree::Leaf(_), _) => r.is_linear(),
+                (_, JoinTree::Leaf(_)) => l.is_linear(),
+                _ => false,
+            },
+        }
+    }
+
+    /// Render using the scheme's attribute names, e.g.
+    /// `(ABC ⋈ EFG) ⋈ (CDE ⋈ AGH)`.
+    pub fn display<'a>(
+        &'a self,
+        scheme: &'a DbScheme,
+        catalog: &'a Catalog,
+    ) -> JoinTreeDisplay<'a> {
+        JoinTreeDisplay { tree: self, scheme, catalog }
+    }
+}
+
+/// Helper returned by [`JoinTree::display`].
+pub struct JoinTreeDisplay<'a> {
+    tree: &'a JoinTree,
+    scheme: &'a DbScheme,
+    catalog: &'a Catalog,
+}
+
+impl JoinTreeDisplay<'_> {
+    fn fmt_node(&self, tree: &JoinTree, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match tree {
+            JoinTree::Leaf(i) => {
+                let schema = Schema::from_set(self.scheme.attrs_of(*i));
+                write!(f, "{}", schema.display(self.catalog))
+            }
+            JoinTree::Join(l, r) => {
+                let paren = |t: &JoinTree| matches!(t, JoinTree::Join(_, _));
+                if paren(l) {
+                    write!(f, "(")?;
+                    self.fmt_node(l, f)?;
+                    write!(f, ")")?;
+                } else {
+                    self.fmt_node(l, f)?;
+                }
+                write!(f, " ⋈ ")?;
+                if paren(r) {
+                    write!(f, "(")?;
+                    self.fmt_node(r, f)?;
+                    write!(f, ")")?;
+                } else {
+                    self.fmt_node(r, f)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for JoinTreeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_node(self.tree, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_scheme() -> (Catalog, DbScheme) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        (c, s)
+    }
+
+    /// Example 2's expression `(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)`.
+    fn example2_tree() -> JoinTree {
+        JoinTree::join(
+            JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(2)),
+            JoinTree::join(JoinTree::leaf(1), JoinTree::leaf(3)),
+        )
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = example2_tree();
+        assert_eq!(t.num_leaves(), 4);
+        assert_eq!(t.num_joins(), 3);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaves(), vec![0, 2, 1, 3]);
+        assert_eq!(t.rel_set(), RelSet::full(4));
+    }
+
+    #[test]
+    fn example2_is_non_cpf_and_nonlinear() {
+        let (_c, s) = paper_scheme();
+        let t = example2_tree();
+        // ABC and EFG share no attributes: the left join is a Cartesian
+        // product, exactly as the paper says.
+        assert!(!t.is_cpf(&s));
+        assert!(!t.is_linear());
+        assert!(t.is_exactly_over(&s));
+    }
+
+    #[test]
+    fn left_deep_is_linear_and_cpf_here() {
+        let (_c, s) = paper_scheme();
+        // ABC ⋈ CDE ⋈ EFG ⋈ GHA in chain order stays connected.
+        let t = JoinTree::left_deep(&[0, 1, 2, 3]);
+        assert!(t.is_linear());
+        assert!(t.is_cpf(&s));
+        // Linear order that goes disconnected is linear but not CPF.
+        let t2 = JoinTree::left_deep(&[0, 2, 1, 3]);
+        assert!(t2.is_linear());
+        assert!(!t2.is_cpf(&s));
+    }
+
+    #[test]
+    fn mirrored_linear_shapes_count_as_linear() {
+        let t = JoinTree::join(
+            JoinTree::leaf(2),
+            JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1)),
+        );
+        assert!(t.is_linear());
+        let bushy = JoinTree::join(
+            JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(1)),
+            JoinTree::join(JoinTree::leaf(2), JoinTree::leaf(3)),
+        );
+        assert!(!bushy.is_linear());
+    }
+
+    #[test]
+    fn node_sets_postorder() {
+        let t = example2_tree();
+        let sets = t.node_sets();
+        assert_eq!(sets.len(), 7);
+        // Last is the root.
+        assert_eq!(*sets.last().unwrap(), RelSet::full(4));
+        // Leaves are singletons.
+        assert_eq!(sets[0], RelSet::singleton(0));
+        assert_eq!(sets[1], RelSet::singleton(2));
+    }
+
+    #[test]
+    fn exactly_over_detects_repeats_and_omissions() {
+        let (_c, s) = paper_scheme();
+        let missing = JoinTree::left_deep(&[0, 1, 2]);
+        assert!(!missing.is_exactly_over(&s));
+        let repeat = JoinTree::join(
+            JoinTree::left_deep(&[0, 1, 2, 3]),
+            JoinTree::leaf(0),
+        );
+        assert!(!repeat.is_exactly_over(&s));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let (c, s) = paper_scheme();
+        let t = example2_tree();
+        assert_eq!(
+            t.display(&s, &c).to_string(),
+            "(ABC ⋈ EFG) ⋈ (CDE ⋈ AGH)"
+        );
+        let lin = JoinTree::left_deep(&[0, 1, 2]);
+        assert_eq!(lin.display(&s, &c).to_string(), "(ABC ⋈ CDE) ⋈ EFG");
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let (_c, s) = paper_scheme();
+        let t = JoinTree::leaf(1);
+        assert!(t.is_cpf(&s));
+        assert!(t.is_linear());
+        assert_eq!(t.num_joins(), 0);
+        assert_eq!(t.height(), 0);
+    }
+}

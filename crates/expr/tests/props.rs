@@ -1,0 +1,148 @@
+//! Property tests for join expression trees: enumeration completeness,
+//! parser/display roundtrips, and cost-model invariants.
+
+use mjoin_expr::{
+    all_trees, cost_of, count_all_trees, count_cpf_trees, cpf_trees, evaluate, linear_trees,
+    parse_join_tree, tree_application_cost, JoinTree,
+};
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::{AttrId, AttrSet, Catalog, Database, Relation, Schema, Value};
+use proptest::prelude::*;
+
+/// A random connected scheme with 2..=5 edges over attributes 0..6.
+fn connected_scheme() -> impl Strategy<Value = DbScheme> {
+    prop::collection::vec(prop::collection::vec(0u32..6, 1..=3), 2..=5)
+        .prop_map(|edges| {
+            // Stitch connectivity: overlap each edge with its predecessor.
+            let mut sets: Vec<AttrSet> = Vec::new();
+            for (i, attrs) in edges.into_iter().enumerate() {
+                let mut set: AttrSet = attrs.into_iter().map(AttrId).collect();
+                if i > 0 {
+                    let prev_first = sets[i - 1].iter().next().unwrap();
+                    set.insert(prev_first);
+                }
+                sets.push(set);
+            }
+            DbScheme::new(sets)
+        })
+        .prop_filter("connected", |s| s.fully_connected())
+}
+
+/// A random database over the scheme with values 0..4.
+fn db_for(scheme: &DbScheme, seed: u64) -> Database {
+    // Tiny deterministic generator (SplitMix-ish) to avoid extra deps.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let rels = (0..scheme.num_relations())
+        .map(|i| {
+            let schema = Schema::from_set(scheme.attrs_of(i));
+            let rows = (0..12)
+                .map(|_| {
+                    (0..schema.arity())
+                        .map(|_| Value::Int((next() % 4) as i64))
+                        .collect()
+                })
+                .collect();
+            Relation::from_rows(schema, rows).unwrap()
+        })
+        .collect();
+    Database::from_relations(rels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_enumerated_tree_is_well_formed(s in connected_scheme()) {
+        let n = s.num_relations();
+        let trees = all_trees(s.all());
+        prop_assert_eq!(trees.len() as u128, count_all_trees(n));
+        for t in &trees {
+            prop_assert!(t.is_exactly_over(&s));
+            prop_assert_eq!(t.num_joins(), n - 1);
+        }
+    }
+
+    #[test]
+    fn cpf_enumeration_agrees_with_predicate_filter(s in connected_scheme()) {
+        let brute: Vec<JoinTree> = all_trees(s.all())
+            .into_iter()
+            .filter(|t| t.is_cpf(&s))
+            .collect();
+        let direct = cpf_trees(&s, s.all());
+        prop_assert_eq!(direct.len(), brute.len());
+        prop_assert_eq!(count_cpf_trees(&s, s.all()), brute.len() as u128);
+        // CPF trees always exist for a connected scheme.
+        prop_assert!(!direct.is_empty());
+    }
+
+    #[test]
+    fn linear_trees_are_linear_and_minimal_cost_ge_all(
+        s in connected_scheme(),
+        seed in any::<u64>(),
+    ) {
+        let db = db_for(&s, seed);
+        let all_min = all_trees(s.all()).iter().map(|t| cost_of(t, &db)).min().unwrap();
+        let lin_min = linear_trees(s.all()).iter().map(|t| cost_of(t, &db)).min().unwrap();
+        let cpf_min = cpf_trees(&s, s.all()).iter().map(|t| cost_of(t, &db)).min().unwrap();
+        prop_assert!(all_min <= lin_min);
+        prop_assert!(all_min <= cpf_min);
+    }
+
+    #[test]
+    fn every_tree_evaluates_to_the_same_join(
+        s in connected_scheme(),
+        seed in any::<u64>(),
+    ) {
+        let db = db_for(&s, seed);
+        let expected = db.join_all();
+        for t in all_trees(s.all()).into_iter().take(20) {
+            let r = evaluate(&t, &db);
+            prop_assert_eq!(&r.relation, &expected);
+            // Application cost (paper §2.4) equals evaluation cost for
+            // exactly-over trees.
+            prop_assert_eq!(tree_application_cost(&t, &db), r.ledger.total());
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip_single_letter(n in 2usize..5, pick in any::<u64>()) {
+        // Single-letter scheme names so the paper notation applies.
+        let mut c = Catalog::new();
+        let names = ["AB", "BC", "CD", "DE"];
+        let s = DbScheme::parse(&mut c, &names[..n]);
+        let trees = all_trees(s.all());
+        let t = &trees[(pick % trees.len() as u64) as usize];
+        let text = t.display(&s, &c).to_string();
+        let parsed = parse_join_tree(&c, &s, &text).unwrap();
+        prop_assert_eq!(&parsed, t);
+    }
+
+    #[test]
+    fn cost_includes_all_inputs(s in connected_scheme(), seed in any::<u64>()) {
+        let db = db_for(&s, seed);
+        let t = JoinTree::left_deep(&(0..s.num_relations()).collect::<Vec<_>>());
+        let r = evaluate(&t, &db);
+        prop_assert_eq!(r.ledger.input_total(), db.total_tuples());
+        prop_assert!(r.cost() >= db.total_tuples());
+    }
+
+    #[test]
+    fn node_sets_consistent(s in connected_scheme(), pick in any::<u64>()) {
+        let trees = all_trees(s.all());
+        let t = &trees[(pick % trees.len() as u64) as usize];
+        let sets = t.node_sets();
+        prop_assert_eq!(sets.len(), 2 * s.num_relations() - 1);
+        prop_assert_eq!(*sets.last().unwrap(), s.all());
+        // Singleton sets = leaves.
+        let singles = sets.iter().filter(|x| x.len() == 1).count();
+        prop_assert_eq!(singles, s.num_relations());
+        let _ = RelSet::EMPTY;
+    }
+}

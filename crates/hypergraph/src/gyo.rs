@@ -1,0 +1,213 @@
+//! GYO (Graham / Yu–Özsoyoğlu) ear reduction: the classical acyclicity test
+//! for database schemes, and the join forest it yields.
+//!
+//! The paper's intro recalls that *acyclic* schemes are solvable in
+//! polynomial time via a full reducer plus a monotone join expression; the
+//! hard (NP-complete) case it addresses is cyclic schemes. This module
+//! supplies the acyclic machinery: deciding which case we are in and, for
+//! acyclic schemes, producing the join forest that drives the full reducer
+//! and Yannakakis' algorithm (implemented in `mjoin-acyclic`).
+
+use crate::scheme::DbScheme;
+use mjoin_relation::AttrSet;
+
+/// Result of running GYO ear reduction on a database scheme.
+#[derive(Debug, Clone)]
+pub struct GyoResult {
+    /// Whether the scheme is acyclic (the reduction consumed every edge).
+    pub acyclic: bool,
+    /// The ears in elimination order, each with its witness parent:
+    /// `(ear, Some(parent))` when another edge covered the ear's shared
+    /// attributes, `(ear, None)` when the ear was the last edge of its
+    /// component (a root).
+    pub elimination: Vec<(usize, Option<usize>)>,
+}
+
+impl GyoResult {
+    /// The parent of each occurrence in the join forest (roots have `None`).
+    /// Only meaningful when `acyclic`.
+    pub fn parents(&self, num_relations: usize) -> Vec<Option<usize>> {
+        let mut parents = vec![None; num_relations];
+        for &(ear, parent) in &self.elimination {
+            parents[ear] = parent;
+        }
+        parents
+    }
+
+    /// The roots of the join forest. Only meaningful when `acyclic`.
+    pub fn roots(&self) -> Vec<usize> {
+        self.elimination
+            .iter()
+            .filter(|(_, p)| p.is_none())
+            .map(|&(e, _)| e)
+            .collect()
+    }
+}
+
+/// An edge `ear` is an *ear* w.r.t. the remaining edges if every attribute it
+/// shares with any other remaining edge is contained in a single remaining
+/// edge `witness`. Returns such a witness.
+fn find_witness(scheme: &DbScheme, remaining: &[usize], ear: usize) -> Option<usize> {
+    // Attributes of `ear` shared with at least one other remaining edge.
+    let mut shared = AttrSet::new();
+    for &other in remaining {
+        if other != ear {
+            shared.union_with(&scheme.attrs_of(ear).intersect(scheme.attrs_of(other)));
+        }
+    }
+    remaining
+        .iter()
+        .copied()
+        .find(|&w| w != ear && shared.is_subset(scheme.attrs_of(w)))
+}
+
+/// Run GYO ear reduction on `scheme`.
+///
+/// The scheme is acyclic iff repeated ear removal empties it. The returned
+/// elimination order lists children before parents, so iterating it forward
+/// gives the "leaves upward" pass of a full reducer and iterating it backward
+/// gives the "root downward" pass.
+pub fn gyo(scheme: &DbScheme) -> GyoResult {
+    let mut remaining: Vec<usize> = (0..scheme.num_relations()).collect();
+    let mut elimination = Vec::with_capacity(remaining.len());
+
+    loop {
+        if remaining.is_empty() {
+            return GyoResult { acyclic: true, elimination };
+        }
+        if remaining.len() == 1 {
+            elimination.push((remaining[0], None));
+            return GyoResult { acyclic: true, elimination };
+        }
+        // Find any ear. Checking in index order keeps the result
+        // deterministic.
+        let mut progress = false;
+        for pos in 0..remaining.len() {
+            let ear = remaining[pos];
+            if let Some(witness) = find_witness(scheme, &remaining, ear) {
+                // If the ear shares nothing with anyone (isolated edge of a
+                // disconnected scheme) the witness is arbitrary; record the
+                // ear as a root of its own component instead.
+                let shares_anything = remaining
+                    .iter()
+                    .any(|&o| o != ear && scheme.adjacent(ear, o));
+                elimination.push((ear, if shares_anything { Some(witness) } else { None }));
+                remaining.remove(pos);
+                progress = true;
+                break;
+            }
+        }
+        if !progress {
+            return GyoResult { acyclic: false, elimination };
+        }
+    }
+}
+
+/// Convenience: is the scheme acyclic?
+pub fn is_acyclic(scheme: &DbScheme) -> bool {
+    gyo(scheme).acyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    fn scheme(schemes: &[&str]) -> DbScheme {
+        let mut c = Catalog::new();
+        DbScheme::parse(&mut c, schemes)
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let s = scheme(&["AB", "BC", "CD"]);
+        let r = gyo(&s);
+        assert!(r.acyclic);
+        assert_eq!(r.elimination.len(), 3);
+        // Exactly one root.
+        assert_eq!(r.roots().len(), 1);
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let s = scheme(&["ABX", "BY", "AZ", "AW"]);
+        assert!(is_acyclic(&s));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let s = scheme(&["AB", "BC", "CA"]);
+        assert!(!is_acyclic(&s));
+    }
+
+    #[test]
+    fn paper_cycle_is_cyclic() {
+        // Example 1's scheme {ABC, CDE, EFG, GHA} is a 4-cycle.
+        let s = scheme(&["ABC", "CDE", "EFG", "GHA"]);
+        assert!(!is_acyclic(&s));
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        let s = scheme(&["ABC"]);
+        let r = gyo(&s);
+        assert!(r.acyclic);
+        assert_eq!(r.elimination, vec![(0, None)]);
+    }
+
+    #[test]
+    fn subsumed_edge_is_an_ear() {
+        // AB ⊆ ABC, so AB is an ear with witness ABC.
+        let s = scheme(&["AB", "ABC"]);
+        let r = gyo(&s);
+        assert!(r.acyclic);
+        assert_eq!(r.elimination[0], (0, Some(1)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_acyclic() {
+        let s = scheme(&["AB", "AB"]);
+        assert!(is_acyclic(&s));
+    }
+
+    #[test]
+    fn disconnected_acyclic_forest() {
+        let s = scheme(&["AB", "BC", "XY"]);
+        let r = gyo(&s);
+        assert!(r.acyclic);
+        let parents = r.parents(3);
+        // XY is isolated: must be a root.
+        assert_eq!(parents[2], None);
+        // Exactly two roots overall (one per component).
+        assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn parents_form_a_forest_toward_later_eliminated() {
+        let s = scheme(&["AB", "BC", "CD", "DE"]);
+        let r = gyo(&s);
+        assert!(r.acyclic);
+        let order_of: Vec<usize> = {
+            let mut pos = vec![0; 4];
+            for (i, &(e, _)) in r.elimination.iter().enumerate() {
+                pos[e] = i;
+            }
+            pos
+        };
+        for &(e, p) in &r.elimination {
+            if let Some(p) = p {
+                assert!(order_of[p] > order_of[e], "parent eliminated after child");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_with_acyclic_fringe_reports_cyclic() {
+        // Triangle with a pendant edge; reduction strips the pendant then
+        // gets stuck.
+        let s = scheme(&["AB", "BC", "CA", "AX"]);
+        let r = gyo(&s);
+        assert!(!r.acyclic);
+        assert_eq!(r.elimination.len(), 1); // only AX was removable
+    }
+}

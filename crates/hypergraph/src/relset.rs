@@ -1,0 +1,316 @@
+//! Sets of relation-scheme occurrences, as `u64` bitmasks.
+//!
+//! A database scheme is a multiset of relation schemes; we index occurrences
+//! densely (`0..r`) and represent subsets — join-tree nodes, connected
+//! components, DP states — as a [`RelSet`] bitmask. The capacity of 64
+//! occurrences is far beyond what any exhaustive baseline can enumerate
+//! (the number of join trees grows super-exponentially), and constructors
+//! panic loudly rather than wrap silently.
+
+use std::fmt;
+
+/// A subset of the relation-scheme occurrences `0..64` of a database scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelSet(pub u64);
+
+impl RelSet {
+    /// Maximum number of occurrences representable.
+    pub const CAPACITY: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// The set `{idx}`.
+    #[inline]
+    pub fn singleton(idx: usize) -> Self {
+        assert!(idx < Self::CAPACITY, "relation index {idx} exceeds RelSet capacity");
+        RelSet(1u64 << idx)
+    }
+
+    /// The full set `{0, …, n−1}`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "{n} relations exceed RelSet capacity");
+        if n == Self::CAPACITY {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Build from indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut s = RelSet::EMPTY;
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Insert `idx`; returns `true` if newly added.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < Self::CAPACITY);
+        let fresh = self.0 & (1u64 << idx) == 0;
+        self.0 |= 1u64 << idx;
+        fresh
+    }
+
+    /// Remove `idx`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        let present = self.contains(idx);
+        self.0 &= !(1u64 << idx);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, idx: usize) -> bool {
+        idx < Self::CAPACITY && self.0 & (1u64 << idx) != 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union.
+    #[inline]
+    pub fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether the sets are disjoint.
+    #[inline]
+    pub fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// The smallest member, if any.
+    #[inline]
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(self) -> RelSetIter {
+        RelSetIter(self.0)
+    }
+
+    /// Members as a `Vec<usize>`, ascending.
+    pub fn to_vec(self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Iterate over all *proper, nonempty* subsets `S ⊂ self` such that `S`
+    /// contains the smallest member of `self`.
+    ///
+    /// Every 2-partition `{S, self \ S}` of `self` is produced exactly once
+    /// (anchoring the smallest member breaks the `S ↔ complement` symmetry),
+    /// which is exactly what the join-tree DP baselines need.
+    pub fn half_partitions(self) -> HalfPartitions {
+        HalfPartitions::new(self)
+    }
+}
+
+/// Iterator over members of a [`RelSet`].
+pub struct RelSetIter(u64);
+
+impl Iterator for RelSetIter {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(idx)
+        }
+    }
+}
+
+impl FromIterator<usize> for RelSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        RelSet::from_indices(iter)
+    }
+}
+
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, idx) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{idx}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// See [`RelSet::half_partitions`].
+pub struct HalfPartitions {
+    /// Bits of `set` other than the anchor (lowest) bit.
+    rest: u64,
+    /// The anchor bit itself.
+    anchor: u64,
+    /// Current subset of `rest`; `u64::MAX` sentinel marks exhaustion.
+    cursor: u64,
+    done: bool,
+}
+
+impl HalfPartitions {
+    fn new(set: RelSet) -> Self {
+        if set.len() < 2 {
+            // No way to split into two nonempty halves.
+            return HalfPartitions { rest: 0, anchor: 0, cursor: 0, done: true };
+        }
+        let anchor = set.0 & set.0.wrapping_neg();
+        HalfPartitions {
+            rest: set.0 & !anchor,
+            anchor,
+            cursor: 0,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for HalfPartitions {
+    /// `(left, right)` with `left ∪ right = set`, `left ∩ right = ∅`, both
+    /// nonempty, and `left` containing the anchor.
+    type Item = (RelSet, RelSet);
+
+    fn next(&mut self) -> Option<(RelSet, RelSet)> {
+        if self.done {
+            return None;
+        }
+        // `cursor` walks the subsets of `rest`; stop *before* cursor == rest
+        // (that would make the right side empty).
+        let left = RelSet(self.anchor | self.cursor);
+        let right = RelSet(self.rest & !self.cursor);
+        // Advance to next subset of rest.
+        if self.cursor == self.rest {
+            self.done = true;
+            return None;
+        }
+        self.cursor = (self.cursor.wrapping_sub(self.rest)) & self.rest;
+        Some((left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = RelSet::EMPTY;
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_and_singleton() {
+        assert_eq!(RelSet::full(3).to_vec(), vec![0, 1, 2]);
+        assert_eq!(RelSet::full(64).len(), 64);
+        assert_eq!(RelSet::singleton(5).to_vec(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_overflow_panics() {
+        RelSet::singleton(64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RelSet::from_indices([0, 1, 5]);
+        let b = RelSet::from_indices([1, 2]);
+        assert_eq!(a.union(b).to_vec(), vec![0, 1, 2, 5]);
+        assert_eq!(a.intersect(b).to_vec(), vec![1]);
+        assert_eq!(a.difference(b).to_vec(), vec![0, 5]);
+        assert!(RelSet::from_indices([0, 1]).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert!(a.is_disjoint(RelSet::from_indices([3, 4])));
+        assert_eq!(a.first(), Some(0));
+        assert_eq!(RelSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn half_partitions_cover_all_splits_once() {
+        let s = RelSet::from_indices([0, 2, 3]);
+        let parts: Vec<_> = s.half_partitions().collect();
+        // 2^(3-1) - 1 = 3 distinct 2-partitions.
+        assert_eq!(parts.len(), 3);
+        for (l, r) in &parts {
+            assert!(!l.is_empty() && !r.is_empty());
+            assert_eq!(l.union(*r), s);
+            assert!(l.is_disjoint(*r));
+            assert!(l.contains(0), "anchor member must stay left");
+        }
+        // All splits distinct.
+        let mut seen: Vec<_> = parts.iter().map(|(l, _)| l.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn half_partitions_trivial_cases() {
+        assert_eq!(RelSet::EMPTY.half_partitions().count(), 0);
+        assert_eq!(RelSet::singleton(4).half_partitions().count(), 0);
+        assert_eq!(RelSet::from_indices([1, 7]).half_partitions().count(), 1);
+    }
+
+    #[test]
+    fn half_partitions_count_formula() {
+        for n in 2..=6 {
+            let s = RelSet::full(n);
+            assert_eq!(
+                s.half_partitions().count(),
+                (1usize << (n - 1)) - 1,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RelSet::from_indices([2, 0]).to_string(), "{0,2}");
+    }
+}

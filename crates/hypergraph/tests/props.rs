@@ -1,0 +1,131 @@
+//! Property tests for the hypergraph substrate: RelSet algebra, component
+//! structure, and GYO against a brute-force reference.
+
+use mjoin_hypergraph::{gyo, is_acyclic, DbScheme, RelSet};
+use mjoin_relation::{AttrId, AttrSet};
+use proptest::prelude::*;
+
+fn relset() -> impl Strategy<Value = RelSet> {
+    (0u64..(1 << 12)).prop_map(RelSet)
+}
+
+/// A random scheme: 2..=6 edges over attributes 0..8, arity 1..=3.
+fn scheme() -> impl Strategy<Value = DbScheme> {
+    prop::collection::vec(prop::collection::vec(0u32..8, 1..=3), 2..=6).prop_map(|edges| {
+        DbScheme::new(
+            edges
+                .into_iter()
+                .map(|attrs| attrs.into_iter().map(AttrId).collect::<AttrSet>())
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn relset_algebra_laws(a in relset(), b in relset(), c in relset()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        prop_assert_eq!(a.intersect(b.union(c)), a.intersect(b).union(a.intersect(c)));
+        prop_assert_eq!(a.difference(b).union(a.intersect(b)), a);
+        prop_assert!(a.intersect(b).is_subset(a));
+        prop_assert!(a.is_subset(a.union(b)));
+        prop_assert_eq!(a.is_disjoint(b), a.intersect(b).is_empty());
+        prop_assert_eq!(a.len() + b.len(), a.union(b).len() + a.intersect(b).len());
+    }
+
+    #[test]
+    fn relset_iteration_roundtrip(a in relset()) {
+        let v = a.to_vec();
+        prop_assert_eq!(RelSet::from_indices(v.iter().copied()), a);
+        prop_assert_eq!(v.len(), a.len());
+        // Ascending order.
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn half_partitions_complete_and_disjoint(a in relset()) {
+        let parts: Vec<_> = a.half_partitions().collect();
+        if a.len() < 2 {
+            prop_assert!(parts.is_empty());
+        } else {
+            prop_assert_eq!(parts.len(), (1usize << (a.len() - 1)) - 1);
+            let mut seen = std::collections::HashSet::new();
+            for (l, r) in parts {
+                prop_assert!(!l.is_empty() && !r.is_empty());
+                prop_assert_eq!(l.union(r), a);
+                prop_assert!(l.is_disjoint(r));
+                // Each unordered split appears once.
+                prop_assert!(seen.insert((l.0.min(r.0), l.0.max(r.0))));
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_set(s in scheme()) {
+        let all = s.all();
+        let comps = s.components(all);
+        // Disjoint, covering.
+        let mut union = RelSet::EMPTY;
+        for (i, &a) in comps.iter().enumerate() {
+            prop_assert!(!a.is_empty());
+            for &b in &comps[i + 1..] {
+                prop_assert!(a.is_disjoint(b));
+                // Components share no attributes either.
+                prop_assert!(s.attrs_of_set(a).is_disjoint(&s.attrs_of_set(b)));
+            }
+            union = union.union(a);
+        }
+        prop_assert_eq!(union, all);
+        // Each component is internally connected.
+        for &comp in &comps {
+            prop_assert!(s.is_connected(comp));
+        }
+        prop_assert_eq!(comps.len() <= 1, s.fully_connected());
+    }
+
+    #[test]
+    fn components_of_subset_refine_connectivity(s in scheme(), mask in 0u64..64) {
+        let sub = RelSet(mask & s.all().0);
+        for comp in s.components(sub) {
+            prop_assert!(comp.is_subset(sub));
+            prop_assert!(s.is_connected(comp));
+        }
+    }
+
+    #[test]
+    fn gyo_elimination_is_a_permutation_when_acyclic(s in scheme()) {
+        let g = gyo(&s);
+        if g.acyclic {
+            let mut ears: Vec<usize> = g.elimination.iter().map(|&(e, _)| e).collect();
+            ears.sort_unstable();
+            let expect: Vec<usize> = (0..s.num_relations()).collect();
+            prop_assert_eq!(ears, expect);
+            // Parents come later in the elimination than their children.
+            let pos: Vec<usize> = {
+                let mut p = vec![0; s.num_relations()];
+                for (i, &(e, _)) in g.elimination.iter().enumerate() {
+                    p[e] = i;
+                }
+                p
+            };
+            for &(e, parent) in &g.elimination {
+                if let Some(p) = parent {
+                    prop_assert!(pos[p] > pos[e]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subsuming_edge_makes_acyclic(s in scheme()) {
+        // Adding the universal edge makes any scheme acyclic.
+        let mut edges = s.edges().to_vec();
+        edges.push(s.all_attrs());
+        let widened = DbScheme::new(edges);
+        prop_assert!(is_acyclic(&widened));
+    }
+}

@@ -1,0 +1,236 @@
+//! Dynamic-programming optimizers over subsets of the scheme.
+//!
+//! These are the exhaustive baselines the paper's discussion revolves
+//! around: the optimal join expression over *all* trees, the cheapest
+//! Cartesian-product-free tree, and the cheapest linear (left-deep) tree —
+//! each found by subset DP against a [`CostOracle`]. Example 3 is precisely
+//! the database where `Cpf` and `Linear` are exponentially worse than `All`.
+
+use crate::oracle::CostOracle;
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::fxhash::FxHashMap;
+
+/// Which space of join expression trees to search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchSpace {
+    /// All join expression trees (the true optimum).
+    All,
+    /// Cartesian-product-free trees only (every node connected).
+    Cpf,
+    /// Linear (left-deep) trees, Cartesian products allowed.
+    Linear,
+    /// Linear trees that are also CPF — §4's open-question space.
+    LinearCpf,
+}
+
+/// An optimizer result: the cheapest tree found and its §2.3 cost.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The minimizing tree.
+    pub tree: JoinTree,
+    /// Its cost (inputs + all sub-join sizes).
+    pub cost: u64,
+}
+
+/// Find the cheapest tree over `scheme` in `space` under `oracle`.
+///
+/// Returns `None` when the space is empty — e.g. `Cpf` over a disconnected
+/// scheme. Complexity is `O(3^r)` split enumerations plus the oracle calls;
+/// intended for `r ≤ ~12` (`All`) or moderately larger (`Linear`).
+///
+/// ```
+/// use mjoin_hypergraph::DbScheme;
+/// use mjoin_optimizer::{optimize, ExactOracle, SearchSpace};
+/// use mjoin_relation::{relation_of_ints, Catalog, Database};
+///
+/// let mut catalog = Catalog::new();
+/// let scheme = DbScheme::parse(&mut catalog, &["AB", "BC", "CA"]);
+/// let db = Database::from_relations(vec![
+///     relation_of_ints(&mut catalog, "AB", &[&[1, 2], &[4, 5]]).unwrap(),
+///     relation_of_ints(&mut catalog, "BC", &[&[2, 3], &[5, 6]]).unwrap(),
+///     relation_of_ints(&mut catalog, "CA", &[&[3, 1]]).unwrap(),
+/// ]);
+/// let mut oracle = ExactOracle::new(&db);
+/// let best = optimize(&scheme, &mut oracle, SearchSpace::All).unwrap();
+/// assert_eq!(best.cost, mjoin_expr::cost_of(&best.tree, &db));
+/// // The CPF optimum can never beat the unrestricted optimum.
+/// let cpf = optimize(&scheme, &mut oracle, SearchSpace::Cpf).unwrap();
+/// assert!(best.cost <= cpf.cost);
+/// ```
+pub fn optimize(
+    scheme: &DbScheme,
+    oracle: &mut dyn CostOracle,
+    space: SearchSpace,
+) -> Option<Optimized> {
+    let full = scheme.all();
+    let mut memo: FxHashMap<RelSet, Option<(u64, JoinTree)>> = FxHashMap::default();
+    let (cost, tree) = best(scheme, oracle, space, full, &mut memo)?;
+    Some(Optimized { tree, cost })
+}
+
+fn best(
+    scheme: &DbScheme,
+    oracle: &mut dyn CostOracle,
+    space: SearchSpace,
+    set: RelSet,
+    memo: &mut FxHashMap<RelSet, Option<(u64, JoinTree)>>,
+) -> Option<(u64, JoinTree)> {
+    if set.len() == 1 {
+        let i = set.first().unwrap();
+        return Some((oracle.subjoin_size(set), JoinTree::leaf(i)));
+    }
+    if let Some(hit) = memo.get(&set) {
+        return hit.clone();
+    }
+    // CPF spaces require every node to be connected.
+    let connected_needed = matches!(space, SearchSpace::Cpf | SearchSpace::LinearCpf);
+    if connected_needed && !scheme.is_connected(set) {
+        memo.insert(set, None);
+        return None;
+    }
+
+    let here = oracle.subjoin_size(set);
+    let mut result: Option<(u64, JoinTree)> = None;
+    for (l, r) in set.half_partitions() {
+        // Linear spaces: one side must be a single leaf.
+        if matches!(space, SearchSpace::Linear | SearchSpace::LinearCpf)
+            && l.len() != 1
+            && r.len() != 1
+        {
+            continue;
+        }
+        if connected_needed && (!scheme.is_connected(l) || !scheme.is_connected(r)) {
+            continue;
+        }
+        let Some((cl, tl)) = best(scheme, oracle, space, l, memo) else {
+            continue;
+        };
+        let Some((cr, tr)) = best(scheme, oracle, space, r, memo) else {
+            continue;
+        };
+        let total = here.saturating_add(cl).saturating_add(cr);
+        if result.as_ref().is_none_or(|(c, _)| total < *c) {
+            // Keep the non-leaf side on the left so linear trees come out
+            // left-deep, matching the paper's presentation.
+            let tree = if tl.num_leaves() >= tr.num_leaves() {
+                JoinTree::join(tl, tr)
+            } else {
+                JoinTree::join(tr, tl)
+            };
+            result = Some((total, tree));
+        }
+    }
+    memo.insert(set, result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactOracle;
+    use mjoin_expr::{all_trees, cost_of, cpf_trees, linear_trees};
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn paper_db() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        let r1 =
+            relation_of_ints(&mut c, "ABC", &[&[1, 2, 3], &[1, 2, 4], &[9, 9, 9]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5], &[4, 4, 5]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1], &[7, 9, 1]]).unwrap();
+        (c, s, Database::from_relations(vec![r1, r2, r3, r4]))
+    }
+
+    fn brute_force_min(trees: &[JoinTree], db: &Database) -> u64 {
+        trees.iter().map(|t| cost_of(t, db)).min().unwrap()
+    }
+
+    #[test]
+    fn dp_all_matches_brute_force() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let opt = optimize(&s, &mut o, SearchSpace::All).unwrap();
+        let brute = brute_force_min(&all_trees(s.all()), &db);
+        assert_eq!(opt.cost, brute);
+        assert_eq!(cost_of(&opt.tree, &db), opt.cost);
+    }
+
+    #[test]
+    fn dp_cpf_matches_brute_force_and_tree_is_cpf() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let opt = optimize(&s, &mut o, SearchSpace::Cpf).unwrap();
+        let brute = brute_force_min(&cpf_trees(&s, s.all()), &db);
+        assert_eq!(opt.cost, brute);
+        assert!(opt.tree.is_cpf(&s));
+    }
+
+    #[test]
+    fn dp_linear_matches_brute_force_and_tree_is_linear() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let opt = optimize(&s, &mut o, SearchSpace::Linear).unwrap();
+        let brute = brute_force_min(&linear_trees(s.all()), &db);
+        assert_eq!(opt.cost, brute);
+        assert!(opt.tree.is_linear());
+    }
+
+    #[test]
+    fn linear_cpf_is_both() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let opt = optimize(&s, &mut o, SearchSpace::LinearCpf).unwrap();
+        assert!(opt.tree.is_linear());
+        assert!(opt.tree.is_cpf(&s));
+        // Brute force: linear trees filtered to CPF.
+        let brute = linear_trees(s.all())
+            .into_iter()
+            .filter(|t| t.is_cpf(&s))
+            .map(|t| cost_of(&t, &db))
+            .min()
+            .unwrap();
+        assert_eq!(opt.cost, brute);
+    }
+
+    #[test]
+    fn space_ordering() {
+        // All ≤ Cpf ≤ LinearCpf and All ≤ Linear, by inclusion of spaces.
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let all = optimize(&s, &mut o, SearchSpace::All).unwrap().cost;
+        let cpf = optimize(&s, &mut o, SearchSpace::Cpf).unwrap().cost;
+        let lin = optimize(&s, &mut o, SearchSpace::Linear).unwrap().cost;
+        let lincpf = optimize(&s, &mut o, SearchSpace::LinearCpf).unwrap().cost;
+        assert!(all <= cpf);
+        assert!(all <= lin);
+        assert!(cpf <= lincpf);
+        assert!(lin <= lincpf);
+    }
+
+    #[test]
+    fn cpf_over_disconnected_scheme_is_none() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "CD"]);
+        let r1 = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CD", &[&[3, 4]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2]);
+        let mut o = ExactOracle::new(&db);
+        assert!(optimize(&s, &mut o, SearchSpace::Cpf).is_none());
+        // But All still works (it is a Cartesian product).
+        assert!(optimize(&s, &mut o, SearchSpace::All).is_some());
+    }
+
+    #[test]
+    fn single_relation() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB"]);
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap();
+        let db = Database::from_relations(vec![r]);
+        let mut o = ExactOracle::new(&db);
+        let opt = optimize(&s, &mut o, SearchSpace::All).unwrap();
+        assert_eq!(opt.cost, 2);
+        assert_eq!(opt.tree, JoinTree::leaf(0));
+    }
+}

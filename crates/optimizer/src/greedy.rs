@@ -1,0 +1,133 @@
+//! The classical greedy smallest-result heuristic.
+//!
+//! Maintain a forest (initially one leaf per relation); repeatedly join the
+//! pair of roots whose join result the oracle says is smallest; stop when one
+//! tree remains. With `avoid_cartesian` set, Cartesian-product pairs are only
+//! considered when no attribute-sharing pair exists — the common "avoid
+//! Cartesian products" optimizer rule the paper discusses.
+
+use crate::oracle::CostOracle;
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::DbScheme;
+
+/// Greedily build a join tree. Returns the tree and its §2.3 cost.
+pub fn greedy(
+    scheme: &DbScheme,
+    oracle: &mut dyn CostOracle,
+    avoid_cartesian: bool,
+) -> (JoinTree, u64) {
+    let n = scheme.num_relations();
+    assert!(n > 0, "greedy needs at least one relation");
+    let mut forest: Vec<JoinTree> = (0..n).map(JoinTree::leaf).collect();
+    let mut cost: u64 = forest
+        .iter()
+        .map(|t| oracle.subjoin_size(t.rel_set()))
+        .sum();
+
+    while forest.len() > 1 {
+        let mut best: Option<(usize, usize, u64, bool)> = None;
+        for i in 0..forest.len() {
+            for j in (i + 1)..forest.len() {
+                let si = forest[i].rel_set();
+                let sj = forest[j].rel_set();
+                let shares = scheme
+                    .attrs_of_set(si)
+                    .intersects(&scheme.attrs_of_set(sj));
+                let size = oracle.subjoin_size(si.union(sj));
+                let candidate = (i, j, size, shares);
+                best = Some(match best {
+                    None => candidate,
+                    Some(cur) => {
+                        // Prefer attribute-sharing pairs when avoiding
+                        // Cartesian products; break ties by size.
+                        let better = if avoid_cartesian && shares != cur.3 {
+                            shares
+                        } else {
+                            size < cur.2
+                        };
+                        if better {
+                            candidate
+                        } else {
+                            cur
+                        }
+                    }
+                });
+            }
+        }
+        let (i, j, size, _) = best.expect("forest has ≥ 2 trees");
+        cost = cost.saturating_add(size);
+        let right = forest.remove(j);
+        let left = forest.remove(i);
+        forest.push(JoinTree::join(left, right));
+    }
+    (forest.pop().unwrap(), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactOracle;
+    use mjoin_expr::cost_of;
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn chain_db() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        let r1 = relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 2]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "BC", &[&[2, 5]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "CD", &[&[5, 7], &[5, 8], &[9, 9]]).unwrap();
+        (c, s, Database::from_relations(vec![r1, r2, r3]))
+    }
+
+    #[test]
+    fn greedy_builds_full_tree_with_correct_cost() {
+        let (_c, s, db) = chain_db();
+        let mut o = ExactOracle::new(&db);
+        let (tree, cost) = greedy(&s, &mut o, true);
+        assert!(tree.is_exactly_over(&s));
+        assert_eq!(cost, cost_of(&tree, &db));
+    }
+
+    #[test]
+    fn avoid_cartesian_yields_cpf_when_scheme_connected() {
+        let (_c, s, db) = chain_db();
+        let mut o = ExactOracle::new(&db);
+        let (tree, _) = greedy(&s, &mut o, true);
+        assert!(tree.is_cpf(&s));
+    }
+
+    #[test]
+    fn unrestricted_greedy_may_pick_cartesian() {
+        // Two tiny disjoint-ish relations whose product is smaller than any
+        // sharing join: AB has 1 tuple, CD has 1 tuple → product size 1,
+        // while AB⋈BC is large.
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        let r1 = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
+        let r2 = relation_of_ints(
+            &mut c,
+            "BC",
+            &[&[2, 5], &[2, 6], &[2, 7], &[2, 8]],
+        )
+        .unwrap();
+        let r3 = relation_of_ints(&mut c, "CD", &[&[5, 7]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2, r3]);
+        let mut o = ExactOracle::new(&db);
+        let (tree_free, cost_free) = greedy(&s, &mut o, false);
+        let (_tree_cpf, cost_cpf) = greedy(&s, &mut o, true);
+        assert!(!tree_free.is_cpf(&s), "free greedy should take AB × CD here");
+        assert!(cost_free <= cost_cpf);
+    }
+
+    #[test]
+    fn single_relation_greedy() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB"]);
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
+        let db = Database::from_relations(vec![r]);
+        let mut o = ExactOracle::new(&db);
+        let (tree, cost) = greedy(&s, &mut o, true);
+        assert_eq!(tree, JoinTree::leaf(0));
+        assert_eq!(cost, 1);
+    }
+}

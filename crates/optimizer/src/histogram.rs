@@ -1,0 +1,311 @@
+//! Equi-width histograms and a histogram-based cost oracle.
+//!
+//! The [`crate::oracle::EstimateOracle`] assumes uniform values; skewed data
+//! (like Example 3's, where almost all mass sits on two corner values)
+//! breaks that badly. Per-attribute equi-width histograms with per-bucket
+//! containment give the classic one-notch-better estimator; the E8
+//! experiment measures both estimators' q-error against exact sizes.
+
+use crate::oracle::CostOracle;
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::fxhash::{FxHashMap, FxHashSet};
+use mjoin_relation::{AttrId, Database, Relation, Value};
+use std::hash::BuildHasher;
+
+/// Number of buckets per histogram.
+const BUCKETS: usize = 16;
+
+/// An equi-width histogram over one column of one relation.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: i64,
+    hi: i64,
+    /// Tuple count per bucket.
+    counts: [u64; BUCKETS],
+    /// Distinct-value count per bucket.
+    distinct: [u64; BUCKETS],
+    /// Total tuples.
+    total: u64,
+}
+
+/// Map a value to a sortable i64 key: integers are themselves; strings hash
+/// (only relative bucketing matters for strings).
+fn value_key(v: &Value) -> i64 {
+    match v {
+        Value::Int(i) => *i,
+        Value::Str(s) => {
+            let h = mjoin_relation::fxhash::FxBuildHasher::default().hash_one(s);
+            (h as i64).wrapping_abs() % 1_000_003
+        }
+    }
+}
+
+impl Histogram {
+    /// Build from one column of a relation.
+    pub fn build(rel: &Relation, attr: AttrId) -> Option<Histogram> {
+        let pos = rel.schema().position(attr)?;
+        if rel.is_empty() {
+            return Some(Histogram {
+                lo: 0,
+                hi: 0,
+                counts: [0; BUCKETS],
+                distinct: [0; BUCKETS],
+                total: 0,
+            });
+        }
+        let keys: Vec<i64> = rel.rows().iter().map(|r| value_key(&r[pos])).collect();
+        let lo = *keys.iter().min().unwrap();
+        let hi = *keys.iter().max().unwrap();
+        let mut h = Histogram { lo, hi, counts: [0; BUCKETS], distinct: [0; BUCKETS], total: 0 };
+        let mut per_bucket: Vec<FxHashSet<i64>> = vec![FxHashSet::default(); BUCKETS];
+        for k in keys {
+            let b = h.bucket_of(k);
+            h.counts[b] += 1;
+            h.total += 1;
+            per_bucket[b].insert(k);
+        }
+        for (b, set) in per_bucket.iter().enumerate() {
+            h.distinct[b] = set.len() as u64;
+        }
+        Some(h)
+    }
+
+    fn bucket_of(&self, key: i64) -> usize {
+        if self.hi == self.lo {
+            return 0;
+        }
+        let span = (self.hi - self.lo) as i128 + 1;
+        let off = (key - self.lo) as i128;
+        ((off * BUCKETS as i128 / span) as usize).min(BUCKETS - 1)
+    }
+
+    /// Total tuples summarized.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Align another histogram's buckets onto this one's range, returning
+    /// per-bucket `(count, distinct)` pairs for the *union* range. Both
+    /// histograms are re-bucketed on the combined `[lo, hi]`.
+    fn rebucket(&self, lo: i64, hi: i64) -> ([f64; BUCKETS], [f64; BUCKETS]) {
+        let mut counts = [0f64; BUCKETS];
+        let mut distinct = [0f64; BUCKETS];
+        let target = Histogram { lo, hi, counts: [0; BUCKETS], distinct: [0; BUCKETS], total: 0 };
+        for b in 0..BUCKETS {
+            if self.counts[b] == 0 {
+                continue;
+            }
+            // Spread this source bucket's mass over the target buckets its
+            // key range maps into (approximate: assign to the bucket of the
+            // source bucket's midpoint).
+            let span = (self.hi - self.lo).max(0) as i128 + 1;
+            let mid = self.lo as i128 + span * (2 * b as i128 + 1) / (2 * BUCKETS as i128);
+            let tb = target.bucket_of(mid as i64);
+            counts[tb] += self.counts[b] as f64;
+            distinct[tb] += self.distinct[b] as f64;
+        }
+        (counts, distinct)
+    }
+}
+
+/// Join-size estimation across `c ≥ 2` histograms of the same attribute:
+/// per-bucket containment, `Σ_b Π_i f_{i,b} / max_i d_{i,b}^{c−1}`.
+fn multiway_attr_join(hists: &[&Histogram]) -> f64 {
+    let lo = hists.iter().map(|h| h.lo).min().unwrap();
+    let hi = hists.iter().map(|h| h.hi).max().unwrap();
+    let re: Vec<([f64; BUCKETS], [f64; BUCKETS])> =
+        hists.iter().map(|h| h.rebucket(lo, hi)).collect();
+    let mut total = 0f64;
+    for b in 0..BUCKETS {
+        let mut prod = 1f64;
+        let mut max_d = 0f64;
+        let mut nonzero = true;
+        for (counts, distinct) in &re {
+            if counts[b] == 0.0 {
+                nonzero = false;
+                break;
+            }
+            prod *= counts[b];
+            max_d = max_d.max(distinct[b]);
+        }
+        if nonzero && max_d >= 1.0 {
+            total += prod / max_d.powi(hists.len() as i32 - 1);
+        }
+    }
+    total
+}
+
+/// A [`CostOracle`] estimating sub-join sizes from per-column histograms.
+pub struct HistogramOracle {
+    rel_sizes: Vec<u64>,
+    rel_attrs: Vec<Vec<AttrId>>,
+    hists: FxHashMap<(usize, AttrId), Histogram>,
+}
+
+impl HistogramOracle {
+    /// Build the statistics from a concrete database.
+    pub fn new(scheme: &DbScheme, db: &Database) -> Self {
+        let mut hists = FxHashMap::default();
+        let mut rel_attrs = Vec::with_capacity(db.len());
+        for (i, rel) in db.relations().iter().enumerate() {
+            let attrs: Vec<AttrId> = scheme.attrs_of(i).to_vec();
+            for &a in &attrs {
+                if let Some(h) = Histogram::build(rel, a) {
+                    hists.insert((i, a), h);
+                }
+            }
+            rel_attrs.push(attrs);
+        }
+        HistogramOracle {
+            rel_sizes: db.relations().iter().map(|r| r.len() as u64).collect(),
+            rel_attrs,
+            hists,
+        }
+    }
+}
+
+impl CostOracle for HistogramOracle {
+    fn subjoin_size(&mut self, set: RelSet) -> u64 {
+        let rels = set.to_vec();
+        if rels.is_empty() {
+            return 1;
+        }
+        if rels.len() == 1 {
+            return self.rel_sizes[rels[0]];
+        }
+        // Which attributes are shared, and by whom.
+        let mut sharers: FxHashMap<AttrId, Vec<usize>> = FxHashMap::default();
+        for &i in &rels {
+            for &a in &self.rel_attrs[i] {
+                sharers.entry(a).or_default().push(i);
+            }
+        }
+        let mut est: f64 = rels.iter().map(|&i| self.rel_sizes[i].max(1) as f64).product();
+        for (a, who) in sharers {
+            if who.len() < 2 {
+                continue;
+            }
+            let hists: Vec<&Histogram> = who
+                .iter()
+                .filter_map(|&i| self.hists.get(&(i, a)))
+                .collect();
+            if hists.len() != who.len() {
+                continue;
+            }
+            let joined = multiway_attr_join(&hists);
+            let product: f64 = who.iter().map(|&i| self.rel_sizes[i].max(1) as f64).product();
+            let sel = if product > 0.0 { (joined / product).clamp(0.0, 1.0) } else { 0.0 };
+            est *= sel;
+        }
+        if est.is_finite() {
+            est.round().max(0.0) as u64
+        } else {
+            u64::MAX
+        }
+    }
+}
+
+/// The q-error of an estimate against the truth: `max(e/t, t/e)` with both
+/// floored at 1 (the standard accuracy metric for cardinality estimators).
+pub fn q_error(estimate: u64, truth: u64) -> f64 {
+    let e = estimate.max(1) as f64;
+    let t = truth.max(1) as f64;
+    (e / t).max(t / e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{EstimateOracle, ExactOracle};
+    use mjoin_relation::{relation_of_ints, Catalog};
+
+    #[test]
+    fn histogram_counts_and_buckets() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[0, 0], &[1, 0], &[15, 0], &[15, 1]])
+            .unwrap();
+        let a = c.lookup("A").unwrap();
+        let h = Histogram::build(&r, a).unwrap();
+        assert_eq!(h.total(), 4);
+        // 15 appears twice but is one distinct value in its bucket.
+        let b15 = h.bucket_of(15);
+        assert_eq!(h.counts[b15], 2);
+        assert_eq!(h.distinct[b15], 1);
+    }
+
+    #[test]
+    fn missing_attr_yields_none() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
+        let z = c.intern("Z");
+        assert!(Histogram::build(&r, z).is_none());
+    }
+
+    #[test]
+    fn exact_for_equijoin_on_separated_keys() {
+        // Keys far apart land in distinct buckets → per-bucket containment
+        // is exact.
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC"]);
+        let r1 = relation_of_ints(&mut c, "AB", &[&[1, 0], &[2, 0], &[3, 1000]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "BC", &[&[0, 7], &[1000, 8], &[1000, 9]]).unwrap();
+        let db = Database::from_relations(vec![r1, r2]);
+        let mut hist = HistogramOracle::new(&s, &db);
+        let mut exact = ExactOracle::new(&db);
+        let set = RelSet::full(2);
+        let t = exact.subjoin_size(set);
+        let e = hist.subjoin_size(set);
+        assert!(q_error(e, t) <= 1.5, "estimate {e} vs truth {t}");
+    }
+
+    #[test]
+    fn histogram_beats_uniform_on_skew() {
+        // Heavy skew: one B-value holds almost all tuples on both sides. The
+        // uniform-independence estimate dramatically undercounts; the
+        // histogram sees the hot bucket.
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC"]);
+        let mut left = vec![];
+        let mut right = vec![];
+        for i in 0..100i64 {
+            left.push(vec![i, 0]); // all B = 0
+            right.push(vec![0, i]); // all B = 0 on the other side too
+        }
+        left.push(vec![1000, 500]);
+        right.push(vec![500, 1000]);
+        let lrefs: Vec<&[i64]> = left.iter().map(|v| v.as_slice()).collect();
+        let rrefs: Vec<&[i64]> = right.iter().map(|v| v.as_slice()).collect();
+        let r1 = relation_of_ints(&mut c, "AB", &lrefs).unwrap();
+        let r2 = relation_of_ints(&mut c, "BC", &rrefs).unwrap();
+        let db = Database::from_relations(vec![r1, r2]);
+
+        let mut exact = ExactOracle::new(&db);
+        let mut hist = HistogramOracle::new(&s, &db);
+        let mut unif = EstimateOracle::new(&s, &db);
+        let set = RelSet::full(2);
+        let t = exact.subjoin_size(set); // 100·100 = 10,000 (+maybe 1)
+        let qh = q_error(hist.subjoin_size(set), t);
+        let qu = q_error(unif.subjoin_size(set), t);
+        assert!(qh < qu, "histogram q-error {qh} must beat uniform {qu}");
+        assert!(qh < 3.0, "histogram should be close on this skew: {qh}");
+    }
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10, 10), 1.0);
+        assert_eq!(q_error(20, 10), 2.0);
+        assert_eq!(q_error(5, 10), 2.0);
+        assert_eq!(q_error(0, 0), 1.0);
+        assert_eq!(q_error(0, 10), 10.0);
+    }
+
+    #[test]
+    fn empty_relation_histogram() {
+        let mut c = Catalog::new();
+        let schema = mjoin_relation::Schema::from_chars(&mut c, "AB");
+        let r = Relation::empty(schema);
+        let a = c.lookup("A").unwrap();
+        let h = Histogram::build(&r, a).unwrap();
+        assert_eq!(h.total(), 0);
+    }
+}

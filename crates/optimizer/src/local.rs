@@ -1,0 +1,214 @@
+//! Iterative improvement and simulated annealing over join trees.
+//!
+//! These are the statistical optimizers of Swami & Gupta (SIGMOD '88/'89),
+//! which the paper cites as the practical way to search large join queries
+//! after the heuristics have pruned the space. Both walk the neighborhood
+//! defined in [`crate::randomized`].
+
+use crate::oracle::CostOracle;
+use crate::randomized::{random_neighbor, random_tree};
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::DbScheme;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`iterative_improvement`].
+#[derive(Debug, Clone)]
+pub struct IiConfig {
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Consecutive non-improving neighbors before declaring a local minimum.
+    pub patience: usize,
+    /// Restrict the walk to CPF trees.
+    pub cpf_only: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IiConfig {
+    fn default() -> Self {
+        IiConfig { restarts: 10, patience: 50, cpf_only: false, seed: 0 }
+    }
+}
+
+/// Iterative improvement: repeated hill-climbing from random starts.
+pub fn iterative_improvement(
+    scheme: &DbScheme,
+    oracle: &mut dyn CostOracle,
+    config: &IiConfig,
+) -> (JoinTree, u64) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<(JoinTree, u64)> = None;
+    for _ in 0..config.restarts {
+        let mut cur = random_tree(scheme, &mut rng, config.cpf_only);
+        let mut cur_cost = oracle.tree_cost(&cur);
+        let mut stale = 0;
+        while stale < config.patience {
+            match random_neighbor(scheme, &cur, &mut rng, config.cpf_only, 10) {
+                Some(n) => {
+                    let c = oracle.tree_cost(&n);
+                    if c < cur_cost {
+                        cur = n;
+                        cur_cost = c;
+                        stale = 0;
+                    } else {
+                        stale += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        if best.as_ref().is_none_or(|(_, c)| cur_cost < *c) {
+            best = Some((cur, cur_cost));
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// Configuration for [`simulated_annealing`].
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Initial temperature as a fraction of the starting cost.
+    pub initial_temp_factor: f64,
+    /// Geometric cooling rate per stage.
+    pub cooling: f64,
+    /// Moves attempted per temperature stage.
+    pub stage_len: usize,
+    /// Stages with no accepted move before freezing.
+    pub freeze_after: usize,
+    /// Restrict the walk to CPF trees.
+    pub cpf_only: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            initial_temp_factor: 0.1,
+            cooling: 0.9,
+            stage_len: 40,
+            freeze_after: 4,
+            cpf_only: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Simulated annealing with geometric cooling.
+pub fn simulated_annealing(
+    scheme: &DbScheme,
+    oracle: &mut dyn CostOracle,
+    config: &SaConfig,
+) -> (JoinTree, u64) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cur = random_tree(scheme, &mut rng, config.cpf_only);
+    let mut cur_cost = oracle.tree_cost(&cur);
+    let mut best = cur.clone();
+    let mut best_cost = cur_cost;
+    let mut temp = (cur_cost as f64 * config.initial_temp_factor).max(1.0);
+    let mut frozen_stages = 0;
+
+    while frozen_stages < config.freeze_after {
+        let mut accepted = false;
+        for _ in 0..config.stage_len {
+            let Some(n) = random_neighbor(scheme, &cur, &mut rng, config.cpf_only, 10) else {
+                continue;
+            };
+            let c = oracle.tree_cost(&n);
+            let delta = c as f64 - cur_cost as f64;
+            if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+                cur = n;
+                cur_cost = c;
+                accepted = true;
+                if cur_cost < best_cost {
+                    best = cur.clone();
+                    best_cost = cur_cost;
+                }
+            }
+        }
+        frozen_stages = if accepted { 0 } else { frozen_stages + 1 };
+        temp *= config.cooling;
+        if temp < 1e-3 {
+            break;
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{optimize, SearchSpace};
+    use crate::oracle::ExactOracle;
+    use mjoin_expr::cost_of;
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn paper_db() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        let r1 = relation_of_ints(&mut c, "ABC", &[&[1, 2, 3], &[1, 2, 4]]).unwrap();
+        let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5], &[4, 4, 5]]).unwrap();
+        let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
+        let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1]]).unwrap();
+        (c, s, Database::from_relations(vec![r1, r2, r3, r4]))
+    }
+
+    #[test]
+    fn ii_finds_a_valid_tree_with_consistent_cost() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let (tree, cost) = iterative_improvement(&s, &mut o, &IiConfig::default());
+        assert!(tree.is_exactly_over(&s));
+        assert_eq!(cost, cost_of(&tree, &db));
+    }
+
+    #[test]
+    fn ii_cpf_mode_returns_cpf_tree() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let cfg = IiConfig { cpf_only: true, ..Default::default() };
+        let (tree, _) = iterative_improvement(&s, &mut o, &cfg);
+        assert!(tree.is_cpf(&s));
+    }
+
+    #[test]
+    fn ii_reaches_optimum_on_small_scheme() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let opt = optimize(&s, &mut o, SearchSpace::All).unwrap();
+        let cfg = IiConfig { restarts: 20, patience: 60, seed: 7, cpf_only: false };
+        let (_, cost) = iterative_improvement(&s, &mut o, &cfg);
+        assert_eq!(cost, opt.cost, "15-tree space: II with restarts finds the optimum");
+    }
+
+    #[test]
+    fn sa_finds_a_valid_tree() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let (tree, cost) = simulated_annealing(&s, &mut o, &SaConfig::default());
+        assert!(tree.is_exactly_over(&s));
+        assert_eq!(cost, cost_of(&tree, &db));
+        assert!(cost > 0);
+    }
+
+    #[test]
+    fn sa_cpf_mode_returns_cpf_tree() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let cfg = SaConfig { cpf_only: true, ..Default::default() };
+        let (tree, _) = simulated_annealing(&s, &mut o, &cfg);
+        assert!(tree.is_cpf(&s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_c, s, db) = paper_db();
+        let mut o = ExactOracle::new(&db);
+        let cfg = IiConfig { seed: 99, ..Default::default() };
+        let a = iterative_improvement(&s, &mut o, &cfg);
+        let b = iterative_improvement(&s, &mut o, &cfg);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Cost oracles: sources of `|⋈ D[S]|` for subsets `S` of the scheme.
+//!
+//! An optimal join expression minimizes the §2.3 cost, which is determined
+//! entirely by the sizes of sub-joins. The [`ExactOracle`] materializes and
+//! memoizes those sub-joins (the "true" optimum, affordable for small `r`);
+//! the [`EstimateOracle`] uses the classical attribute-independence formula
+//! (System-R style) and is what a real optimizer would use.
+
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::fxhash::FxHashMap;
+use mjoin_relation::{ops, AttrId, Database, Relation};
+
+/// A source of sub-join sizes.
+pub trait CostOracle {
+    /// `|⋈ D[set]|` (exact or estimated).
+    fn subjoin_size(&mut self, set: RelSet) -> u64;
+
+    /// The §2.3 cost of a tree: each leaf's input size plus each internal
+    /// node's sub-join size.
+    fn tree_cost(&mut self, tree: &JoinTree) -> u64 {
+        let mut total = 0u64;
+        for set in tree.node_sets() {
+            total = total.saturating_add(self.subjoin_size(set));
+        }
+        total
+    }
+}
+
+/// Exact sizes by materializing each sub-join once (memoized).
+///
+/// Memory is proportional to the total size of all distinct sub-joins
+/// requested; with the DP baselines that is every subset of the scheme, so
+/// keep `r` small (≤ 12 or so) and inputs laptop-sized.
+pub struct ExactOracle<'a> {
+    db: &'a Database,
+    memo: FxHashMap<RelSet, Relation>,
+}
+
+impl<'a> ExactOracle<'a> {
+    /// An oracle over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        ExactOracle { db, memo: FxHashMap::default() }
+    }
+
+    /// The materialized sub-join for `set`.
+    pub fn subjoin(&mut self, set: RelSet) -> &Relation {
+        if !self.memo.contains_key(&set) {
+            let rel = match set.len() {
+                0 => Relation::nullary_unit(),
+                1 => self.db.relation(set.first().unwrap()).clone(),
+                _ => {
+                    let first = set.first().unwrap();
+                    let rest = set.difference(RelSet::singleton(first));
+                    let sub = self.subjoin(rest).clone();
+                    ops::join(&sub, self.db.relation(first))
+                }
+            };
+            self.memo.insert(set, rel);
+        }
+        &self.memo[&set]
+    }
+
+    /// Number of memoized sub-joins (for tests/metrics).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+impl CostOracle for ExactOracle<'_> {
+    fn subjoin_size(&mut self, set: RelSet) -> u64 {
+        self.subjoin(set).len() as u64
+    }
+}
+
+/// Estimated sizes under the attribute-independence assumption.
+///
+/// For each attribute `A`, the domain size `d_A` is the largest number of
+/// distinct `A`-values in any input relation containing `A`. A sub-join over
+/// relations `R₁…R_k` is estimated as `Π|Rᵢ| / Π_A d_A^(c_A − 1)` where `c_A`
+/// is how many of the `Rᵢ` contain `A` — each extra occurrence of a shared
+/// attribute contributes one `1/d_A` selectivity factor.
+pub struct EstimateOracle {
+    rel_sizes: Vec<u64>,
+    rel_attrs: Vec<Vec<AttrId>>,
+    domain: FxHashMap<AttrId, u64>,
+}
+
+impl EstimateOracle {
+    /// Build the statistics from a concrete database.
+    pub fn new(scheme: &DbScheme, db: &Database) -> Self {
+        let mut domain: FxHashMap<AttrId, u64> = FxHashMap::default();
+        let mut rel_attrs = Vec::with_capacity(db.len());
+        for (i, rel) in db.relations().iter().enumerate() {
+            let attrs: Vec<AttrId> = scheme.attrs_of(i).to_vec();
+            for &a in &attrs {
+                let distinct = distinct_count(rel, a);
+                let e = domain.entry(a).or_insert(1);
+                *e = (*e).max(distinct.max(1));
+            }
+            rel_attrs.push(attrs);
+        }
+        EstimateOracle {
+            rel_sizes: db.relations().iter().map(|r| r.len() as u64).collect(),
+            rel_attrs,
+            domain,
+        }
+    }
+}
+
+fn distinct_count(rel: &Relation, attr: AttrId) -> u64 {
+    let Some(pos) = rel.schema().position(attr) else {
+        return 1;
+    };
+    let mut seen = mjoin_relation::fxhash::FxHashSet::default();
+    for row in rel.rows() {
+        seen.insert(row[pos].clone());
+    }
+    seen.len() as u64
+}
+
+impl CostOracle for EstimateOracle {
+    fn subjoin_size(&mut self, set: RelSet) -> u64 {
+        let mut numerator = 1f64;
+        let mut attr_count: FxHashMap<AttrId, u32> = FxHashMap::default();
+        for i in set.iter() {
+            numerator *= self.rel_sizes[i].max(0) as f64;
+            for &a in &self.rel_attrs[i] {
+                *attr_count.entry(a).or_insert(0) += 1;
+            }
+        }
+        let mut denom = 1f64;
+        for (a, c) in attr_count {
+            if c > 1 {
+                let d = self.domain[&a] as f64;
+                denom *= d.powi(c as i32 - 1);
+            }
+        }
+        let est = numerator / denom;
+        if est.is_finite() {
+            est.round().max(0.0) as u64
+        } else {
+            u64::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::{relation_of_ints, Catalog};
+
+    fn setup() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CA"]);
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[4, 5]]).unwrap();
+        let t = relation_of_ints(&mut c, "BC", &[&[2, 3], &[5, 6]]).unwrap();
+        let u = relation_of_ints(&mut c, "CA", &[&[3, 1]]).unwrap();
+        (c, s, Database::from_relations(vec![r, t, u]))
+    }
+
+    #[test]
+    fn exact_oracle_matches_naive_join() {
+        let (_c, _s, db) = setup();
+        let mut o = ExactOracle::new(&db);
+        for set in [
+            RelSet::singleton(0),
+            RelSet::from_indices([0, 1]),
+            RelSet::from_indices([0, 2]),
+            RelSet::full(3),
+        ] {
+            assert_eq!(
+                o.subjoin_size(set),
+                db.join_of(&set.to_vec()).len() as u64,
+                "set {set}"
+            );
+        }
+        // Memoization: re-asking does not grow the table.
+        let n = o.memo_len();
+        o.subjoin_size(RelSet::full(3));
+        assert_eq!(o.memo_len(), n);
+    }
+
+    #[test]
+    fn exact_oracle_tree_cost_matches_evaluation() {
+        let (_c, _s, db) = setup();
+        let mut o = ExactOracle::new(&db);
+        let t = JoinTree::left_deep(&[0, 1, 2]);
+        assert_eq!(o.tree_cost(&t), mjoin_expr::cost_of(&t, &db));
+        let t2 = JoinTree::left_deep(&[2, 0, 1]);
+        assert_eq!(o.tree_cost(&t2), mjoin_expr::cost_of(&t2, &db));
+    }
+
+    #[test]
+    fn estimate_oracle_reasonable() {
+        let (_c, s, db) = setup();
+        let mut o = EstimateOracle::new(&s, &db);
+        // Singletons estimate exactly.
+        assert_eq!(o.subjoin_size(RelSet::singleton(0)), 2);
+        assert_eq!(o.subjoin_size(RelSet::singleton(2)), 1);
+        // AB ⋈ BC: 2*2 / d_B, d_B = 2 → 2.
+        assert_eq!(o.subjoin_size(RelSet::from_indices([0, 1])), 2);
+        // Estimates are positive and finite.
+        assert!(o.subjoin_size(RelSet::full(3)) < 100);
+    }
+
+    #[test]
+    fn estimate_oracle_cartesian_product_is_product() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "CD"]);
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4], &[5, 6]]).unwrap();
+        let t = relation_of_ints(&mut c, "CD", &[&[1, 2], &[3, 4]]).unwrap();
+        let db = Database::from_relations(vec![r, t]);
+        let mut o = EstimateOracle::new(&s, &db);
+        assert_eq!(o.subjoin_size(RelSet::full(2)), 6);
+    }
+
+    #[test]
+    fn empty_set_is_unit() {
+        let (_c, _s, db) = setup();
+        let mut o = ExactOracle::new(&db);
+        assert_eq!(o.subjoin_size(RelSet::EMPTY), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Search-space statistics for the experiment harness (E5).
+
+use mjoin_expr::{count_all_trees, count_cpf_trees, count_linear_trees};
+use mjoin_hypergraph::DbScheme;
+
+/// Sizes of the three search spaces over one scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSizes {
+    /// Number of relation schemes.
+    pub r: usize,
+    /// All unordered join trees: `(2r−3)!!`.
+    pub all: u128,
+    /// Cartesian-product-free trees (depends on the hypergraph).
+    pub cpf: u128,
+    /// Left-deep trees: `r!/2`.
+    pub linear: u128,
+}
+
+impl SpaceSizes {
+    /// Fraction of all trees that are CPF.
+    pub fn cpf_fraction(&self) -> f64 {
+        if self.all == 0 {
+            0.0
+        } else {
+            self.cpf as f64 / self.all as f64
+        }
+    }
+}
+
+/// Compute the space sizes for `scheme`.
+pub fn space_sizes(scheme: &DbScheme) -> SpaceSizes {
+    let r = scheme.num_relations();
+    SpaceSizes {
+        r,
+        all: count_all_trees(r),
+        cpf: count_cpf_trees(scheme, scheme.all()),
+        linear: count_linear_trees(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    #[test]
+    fn paper_scheme_sizes() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+        let sizes = space_sizes(&s);
+        assert_eq!(sizes.r, 4);
+        assert_eq!(sizes.all, 15);
+        assert_eq!(sizes.linear, 12);
+        assert!(sizes.cpf > 0 && sizes.cpf < 15);
+        assert!(sizes.cpf_fraction() > 0.0 && sizes.cpf_fraction() < 1.0);
+    }
+
+    #[test]
+    fn chain_grows_slower_than_all() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD", "DE", "EF"]);
+        let sizes = space_sizes(&s);
+        assert_eq!(sizes.all, 105);
+        assert!(sizes.cpf < sizes.all);
+    }
+}

@@ -1,0 +1,234 @@
+//! The program interpreter, with §2.3 cost accounting.
+//!
+//! Applying a program `P` to a database `D` (the paper's `P(D)`) assigns each
+//! input relation to its base register, executes the statements in order, and
+//! charges the head relation of every statement. The total cost is
+//! `Σ_{i=1}^{n+m} |Rᵢ|`: the `n` inputs plus the `m` statement heads.
+
+use crate::program::Program;
+use crate::stmt::{Reg, Stmt};
+use mjoin_relation::{ops, CostLedger, Database, Relation, Schema};
+
+/// The outcome of running a program on a database.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The relation in the program's declared result register.
+    pub result: Relation,
+    /// The cost account (inputs + every statement head).
+    pub ledger: CostLedger,
+    /// `|head|` after each statement, in execution order. Used by the
+    /// Theorem 2 experiments to locate the peak intermediate.
+    pub head_sizes: Vec<usize>,
+    /// Peak *resident* tuples: the maximum, over statement boundaries, of
+    /// the total tuples held across all registers at once. The paper
+    /// motivates linear join expressions by their single live temporary;
+    /// this measures the analogous space footprint for programs.
+    pub peak_resident: u64,
+}
+
+impl ExecOutcome {
+    /// Total tuple-count cost `cost(P(D))`.
+    pub fn cost(&self) -> u64 {
+        self.ledger.total()
+    }
+}
+
+struct Machine {
+    bases: Vec<Relation>,
+    temps: Vec<Option<Relation>>,
+}
+
+impl Machine {
+    /// Read a register; unwritten variables read through their alias chain.
+    fn read(&self, program: &Program, reg: Reg) -> Relation {
+        let mut cur = reg;
+        loop {
+            match cur {
+                Reg::Base(i) => return self.bases[i].clone(),
+                Reg::Temp(t) => match &self.temps[t] {
+                    Some(rel) => return rel.clone(),
+                    None => {
+                        cur = program.temp_init[t]
+                            .expect("validated: unwritten variable has an alias");
+                    }
+                },
+            }
+        }
+    }
+
+    fn write(&mut self, reg: Reg, rel: Relation) {
+        match reg {
+            Reg::Base(i) => self.bases[i] = rel,
+            Reg::Temp(t) => self.temps[t] = Some(rel),
+        }
+    }
+}
+
+/// Execute `program` on `db`.
+///
+/// The program should have passed [`crate::validate::validate`]; running an
+/// invalid program may panic (it will not produce wrong answers silently).
+pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
+    assert_eq!(
+        program.num_bases,
+        db.len(),
+        "program and database disagree on the number of relations"
+    );
+    let mut ledger = CostLedger::new();
+    db.charge_inputs(&mut ledger);
+
+    let mut m = Machine {
+        bases: db.relations().to_vec(),
+        temps: vec![None; program.temp_names.len()],
+    };
+    let mut head_sizes = Vec::with_capacity(program.stmts.len());
+    let resident = |m: &Machine| -> u64 {
+        m.bases.iter().map(|r| r.len() as u64).sum::<u64>()
+            + m.temps
+                .iter()
+                .flatten()
+                .map(|r| r.len() as u64)
+                .sum::<u64>()
+    };
+    let mut peak_resident = resident(&m);
+
+    for (i, stmt) in program.stmts.iter().enumerate() {
+        let (head, value) = match stmt {
+            Stmt::Project { dst, src, attrs } => {
+                let src_rel = m.read(program, *src);
+                let schema = Schema::from_set(attrs);
+                let projected = ops::project(&src_rel, schema.attrs())
+                    .expect("validated: projection attrs ⊆ source scheme");
+                (*dst, projected)
+            }
+            Stmt::Join { dst, left, right } => {
+                let l = m.read(program, *left);
+                let r = m.read(program, *right);
+                (*dst, ops::join(&l, &r))
+            }
+            Stmt::Semijoin { target, filter } => {
+                let t = m.read(program, *target);
+                let f = m.read(program, *filter);
+                (*target, ops::semijoin(&t, &f))
+            }
+        };
+        ledger.charge_generated(format!("stmt {i}"), value.len());
+        head_sizes.push(value.len());
+        m.write(head, value);
+        peak_resident = peak_resident.max(resident(&m));
+    }
+
+    let result = m.read(program, program.result);
+    ExecOutcome { result, ledger, head_sizes, peak_resident }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use mjoin_hypergraph::DbScheme;
+    use mjoin_relation::{relation_of_ints, Catalog};
+
+    fn chain_db() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[9, 8]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[2, 3], &[7, 7]]).unwrap();
+        let t = relation_of_ints(&mut c, "CD", &[&[3, 4]]).unwrap();
+        let scheme = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        (c, scheme, Database::from_relations(vec![r, s, t]))
+    }
+
+    #[test]
+    fn join_program_computes_full_join() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let out = execute(&p, &db);
+        assert_eq!(out.result, db.join_all());
+        // cost: inputs 2+2+1 = 5, AB⋈BC = 1, ⋈CD = 1 → 7.
+        assert_eq!(out.cost(), 7);
+        assert_eq!(out.head_sizes, vec![1, 1]);
+    }
+
+    #[test]
+    fn semijoin_reduction_lowers_cost() {
+        let (_c, scheme, db) = chain_db();
+        // Reduce AB by BC before joining: dangling (9,8) disappears early.
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.semijoin(v, Reg::Base(1)); // V := AB ⋉ BC → {(1,2)}
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let out = execute(&p, &db);
+        assert_eq!(out.result, db.join_all());
+        assert_eq!(out.head_sizes, vec![1, 1, 1]);
+        assert_eq!(out.cost(), 5 + 3);
+    }
+
+    #[test]
+    fn alias_reads_through_without_cost() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        let p = b.finish(v);
+        let out = execute(&p, &db);
+        // No statements: result is just R(AB); cost is the inputs only.
+        assert_eq!(out.result, *db.relation(0));
+        assert_eq!(out.cost(), db.total_tuples());
+        assert!(out.head_sizes.is_empty());
+        assert_eq!(out.peak_resident, db.total_tuples());
+    }
+
+    #[test]
+    fn peak_resident_tracks_live_registers() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let out = execute(&p, &db);
+        // Inputs (5 tuples) stay resident; V adds at most 1 tuple.
+        assert_eq!(out.peak_resident, 6);
+        assert!(out.peak_resident <= out.cost());
+    }
+
+    #[test]
+    fn projection_statement() {
+        let (c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        let f = b.new_temp("F");
+        let b_attr = mjoin_relation::AttrSet::singleton(c.lookup("B").unwrap());
+        b.project(f, Reg::Base(0), b_attr);
+        let p = b.finish(f);
+        let out = execute(&p, &db);
+        assert_eq!(out.result.len(), 2); // π_B(AB) = {2, 8}
+        assert_eq!(out.result.schema().arity(), 1);
+    }
+
+    #[test]
+    fn base_register_can_be_reduced_in_place() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        let p = b.finish(Reg::Base(0));
+        let out = execute(&p, &db);
+        assert_eq!(out.result.len(), 1);
+        // Original database untouched.
+        assert_eq!(db.relation(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the number of relations")]
+    fn wrong_database_size_panics() {
+        let (_c, scheme, db) = chain_db();
+        let b = ProgramBuilder::new(&scheme);
+        let p = b.finish(Reg::Base(0));
+        let small = db.restrict(&[0, 1]);
+        execute(&p, &small);
+    }
+}

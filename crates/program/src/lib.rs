@@ -1,0 +1,29 @@
+//! `mjoin-program` — the paper's programs of joins, semijoins, and
+//! projections (§2.2) as an executable IR.
+//!
+//! * [`Stmt`] / [`Reg`]: the three statement forms over base relations and
+//!   relation scheme variables;
+//! * [`Program`] / [`ProgramBuilder`]: straight-line programs with static
+//!   scheme tracking (the builder is what Algorithm 2 in `mjoin-core` talks
+//!   to while emitting statements);
+//! * [`validate`]: static well-formedness per §2.2;
+//! * [`execute`]: the interpreter, charging the §2.3 program cost
+//!   `Σ_{i=1}^{n+m} |Rᵢ|`;
+//! * [`display::render`]: pretty-printing in the paper's notation.
+
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod interp;
+pub mod optimize;
+pub mod parse;
+pub mod program;
+pub mod stmt;
+pub mod validate;
+
+pub use interp::{execute, ExecOutcome};
+pub use optimize::eliminate_dead_code;
+pub use parse::parse_program;
+pub use program::{Program, ProgramBuilder};
+pub use stmt::{Reg, Stmt};
+pub use validate::{validate, ValidateError, ValidationInfo};

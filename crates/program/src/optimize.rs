@@ -1,0 +1,155 @@
+//! Dead-code elimination for programs.
+//!
+//! A program's observable output is its declared result register, so any
+//! statement whose head is overwritten before being read again — or never
+//! read on a path to the result — can be removed without changing `P(D)`.
+//! The §2.3 cost only ever decreases (every removed statement was a charged
+//! head). Algorithm 2's output has no dead statements, but ablated programs
+//! and hand-written ones (e.g. running a full reducer for a single target
+//! relation) do.
+
+use crate::program::Program;
+use crate::stmt::Reg;
+
+/// Remove dead statements: those whose head cannot reach the result.
+///
+/// Standard backward liveness over the straight-line statement list:
+/// the result register is live at the end; a statement with a dead head is
+/// dropped, otherwise its head is killed (destructive assignment — except a
+/// semijoin head, which is also read by the statement itself) and its reads
+/// become live. Unread alias initializations are preserved (they cost
+/// nothing).
+pub fn eliminate_dead_code(program: &Program) -> Program {
+    let mut live: Vec<Reg> = vec![program.result];
+    let mut keep = vec![false; program.stmts.len()];
+
+    let is_live = |live: &[Reg], r: Reg| live.contains(&r);
+    let kill = |live: &mut Vec<Reg>, r: Reg| live.retain(|&x| x != r);
+    let gen = |live: &mut Vec<Reg>, r: Reg| {
+        if !live.contains(&r) {
+            live.push(r);
+        }
+    };
+
+    for (i, stmt) in program.stmts.iter().enumerate().rev() {
+        let head = stmt.head();
+        if !is_live(&live, head) {
+            continue; // dead: value overwritten or never read
+        }
+        keep[i] = true;
+        // Semijoin reads its own head; project/join fully overwrite it.
+        if !stmt.is_semijoin() {
+            kill(&mut live, head);
+        }
+        for r in stmt.reads() {
+            gen(&mut live, r);
+        }
+    }
+
+    // Live registers at entry that are aliased temps keep reading through
+    // their init — the interpreter handles that, nothing to rewrite.
+    let stmts = program
+        .stmts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(s, _)| s.clone())
+        .collect();
+    Program {
+        num_bases: program.num_bases,
+        temp_names: program.temp_names.clone(),
+        temp_init: program.temp_init.clone(),
+        stmts,
+        result: program.result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute;
+    use crate::program::ProgramBuilder;
+    use crate::validate::validate;
+    use mjoin_hypergraph::DbScheme;
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn setup() -> (Catalog, DbScheme, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        let db = Database::from_relations(vec![
+            relation_of_ints(&mut c, "AB", &[&[1, 2], &[8, 9]]).unwrap(),
+            relation_of_ints(&mut c, "BC", &[&[2, 3]]).unwrap(),
+            relation_of_ints(&mut c, "CD", &[&[3, 4]]).unwrap(),
+        ]);
+        (c, s, db)
+    }
+
+    #[test]
+    fn removes_unreachable_statement() {
+        let (_c, s, db) = setup();
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        let w = b.new_temp("W");
+        b.join(w, Reg::Base(1), Reg::Base(2)); // never used afterwards
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let q = eliminate_dead_code(&p);
+        assert_eq!(q.len(), 2);
+        validate(&q, &s).unwrap();
+        assert_eq!(execute(&q, &db).result, execute(&p, &db).result);
+        assert!(execute(&q, &db).cost() < execute(&p, &db).cost());
+    }
+
+    #[test]
+    fn keeps_semijoin_chains() {
+        let (_c, s, db) = setup();
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.semijoin(v, Reg::Base(1)); // reduces V, read by the next join
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let q = eliminate_dead_code(&p);
+        assert_eq!(q.len(), 3, "all statements feed the result");
+        assert_eq!(execute(&q, &db).result, execute(&p, &db).result);
+    }
+
+    #[test]
+    fn removes_overwritten_head() {
+        let (c, s, db) = setup();
+        let mut b = ProgramBuilder::new(&s);
+        let f = b.new_temp("F");
+        let battr = mjoin_relation::AttrSet::singleton(c.lookup("B").unwrap());
+        b.project(f, Reg::Base(0), battr.clone()); // overwritten below, dead
+        b.project(f, Reg::Base(1), battr);
+        let p = b.finish(f);
+        let q = eliminate_dead_code(&p);
+        assert_eq!(q.len(), 1);
+        assert_eq!(execute(&q, &db).result, execute(&p, &db).result);
+    }
+
+    #[test]
+    fn empty_and_fully_live_programs_unchanged() {
+        let (_c, s, _db) = setup();
+        let b = ProgramBuilder::new(&s);
+        let p = b.finish(Reg::Base(0));
+        assert_eq!(eliminate_dead_code(&p), p);
+    }
+
+    #[test]
+    fn dead_base_semijoin_removed_when_result_elsewhere() {
+        // A full-reducer-like program asked only for one relation: the
+        // semijoins into other bases are dead for that query.
+        let (_c, s, db) = setup();
+        let mut b = ProgramBuilder::new(&s);
+        b.semijoin(Reg::Base(1), Reg::Base(0)); // BC ⋉ AB
+        b.semijoin(Reg::Base(2), Reg::Base(1)); // CD ⋉ BC
+        b.semijoin(Reg::Base(0), Reg::Base(1)); // AB ⋉ BC  (feeds result)
+        let p = b.finish(Reg::Base(0));
+        let q = eliminate_dead_code(&p);
+        // CD ⋉ BC cannot affect Base(0); the other two can.
+        assert_eq!(q.len(), 2);
+        assert_eq!(execute(&q, &db).result, execute(&p, &db).result);
+    }
+}

@@ -1,0 +1,238 @@
+//! Programs (§2.2) and a builder that tracks register schemes statically.
+
+use crate::stmt::{Reg, Stmt};
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::AttrSet;
+
+/// A straight-line program over a database scheme.
+///
+/// Besides the statement list, a program records how each relation scheme
+/// variable is *initialized*: Algorithm 2's step 1 "create a new relation
+/// scheme variable named V and set `R(V)` to `R(V₀)`" introduces a variable
+/// as an alias of an existing register without generating a statement (and
+/// hence without cost). Reading an unwritten variable reads through its
+/// alias; the first write breaks it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Number of input relation occurrences (`Reg::Base` range).
+    pub num_bases: usize,
+    /// Display names of variables, e.g. `V1`, `F2`.
+    pub temp_names: Vec<String>,
+    /// Alias initialization of each variable (None = must be written before
+    /// first read).
+    pub temp_init: Vec<Option<Reg>>,
+    /// The statements, executed in order.
+    pub stmts: Vec<Stmt>,
+    /// The register holding the program's result after execution.
+    pub result: Reg,
+}
+
+impl Program {
+    /// Number of statements (`m` in the §2.3 program cost `Σ_{i=1}^{n+m}`).
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the program has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Count of each statement kind `(projects, joins, semijoins)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut p = 0;
+        let mut j = 0;
+        let mut s = 0;
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::Project { .. } => p += 1,
+                Stmt::Join { .. } => j += 1,
+                Stmt::Semijoin { .. } => s += 1,
+            }
+        }
+        (p, j, s)
+    }
+}
+
+/// Incremental program construction with static schema tracking.
+///
+/// The builder knows every register's current scheme (attribute set), so the
+/// algorithm deriving a program (Algorithm 2 in `mjoin-core`) can ask
+/// questions like "does `V ∩ Wᵢ ≠ ∅`?" while emitting statements — exactly
+/// the tests in the paper's steps 3, 4 and 17.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    num_bases: usize,
+    base_schemes: Vec<AttrSet>,
+    temp_names: Vec<String>,
+    temp_init: Vec<Option<Reg>>,
+    temp_schemes: Vec<Option<AttrSet>>,
+    stmts: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// Start a program over `scheme`'s relation occurrences.
+    pub fn new(scheme: &DbScheme) -> Self {
+        ProgramBuilder {
+            num_bases: scheme.num_relations(),
+            base_schemes: scheme.edges().to_vec(),
+            temp_names: Vec::new(),
+            temp_init: Vec::new(),
+            temp_schemes: Vec::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Create an uninitialized variable; it must be written before read.
+    pub fn new_temp(&mut self, name: impl Into<String>) -> Reg {
+        self.temp_names.push(name.into());
+        self.temp_init.push(None);
+        self.temp_schemes.push(None);
+        Reg::Temp(self.temp_names.len() - 1)
+    }
+
+    /// Create a variable aliased to `src` (the paper's "set `R(V)` to
+    /// `R(V₀)`"); it can be read immediately and has `src`'s scheme.
+    pub fn new_temp_alias(&mut self, name: impl Into<String>, src: Reg) -> Reg {
+        let scheme = self.scheme_of(src).clone();
+        self.temp_names.push(name.into());
+        self.temp_init.push(Some(src));
+        self.temp_schemes.push(Some(scheme));
+        Reg::Temp(self.temp_names.len() - 1)
+    }
+
+    /// The current scheme of `reg`. Panics on an unwritten, unaliased
+    /// variable — the validator rejects such reads too.
+    pub fn scheme_of(&self, reg: Reg) -> &AttrSet {
+        match reg {
+            Reg::Base(i) => &self.base_schemes[i],
+            Reg::Temp(i) => self.temp_schemes[i]
+                .as_ref()
+                .expect("read of undefined relation scheme variable"),
+        }
+    }
+
+    fn set_scheme(&mut self, reg: Reg, scheme: AttrSet) {
+        match reg {
+            Reg::Base(i) => self.base_schemes[i] = scheme,
+            Reg::Temp(i) => self.temp_schemes[i] = Some(scheme),
+        }
+    }
+
+    /// Append `R(dst) := π_attrs R(src)`; `dst` becomes scheme `attrs`.
+    pub fn project(&mut self, dst: Reg, src: Reg, attrs: AttrSet) {
+        assert!(dst.is_temp(), "project head must be a variable (§2.2)");
+        debug_assert!(
+            attrs.is_subset(self.scheme_of(src)),
+            "projection attrs must be a subset of the source scheme"
+        );
+        self.stmts.push(Stmt::Project { dst, src, attrs: attrs.clone() });
+        self.set_scheme(dst, attrs);
+    }
+
+    /// Append `R(dst) := R(left) ⋈ R(right)`; `dst` becomes the union scheme.
+    pub fn join(&mut self, dst: Reg, left: Reg, right: Reg) {
+        assert!(dst.is_temp(), "join head must be a variable (§2.2)");
+        let scheme = self.scheme_of(left).union(self.scheme_of(right));
+        self.stmts.push(Stmt::Join { dst, left, right });
+        self.set_scheme(dst, scheme);
+    }
+
+    /// Append `R(target) := R(target) ⋉ R(filter)`; scheme unchanged.
+    pub fn semijoin(&mut self, target: Reg, filter: Reg) {
+        // Reading through scheme_of asserts `target` is defined.
+        let _ = self.scheme_of(target);
+        let _ = self.scheme_of(filter);
+        self.stmts.push(Stmt::Semijoin { target, filter });
+    }
+
+    /// Number of statements appended so far.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether no statement has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Finish, declaring `result` as the register holding `⋈D`.
+    pub fn finish(self, result: Reg) -> Program {
+        Program {
+            num_bases: self.num_bases,
+            temp_names: self.temp_names,
+            temp_init: self.temp_init,
+            stmts: self.stmts,
+            result,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    fn scheme() -> (Catalog, DbScheme) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        (c, s)
+    }
+
+    #[test]
+    fn builder_tracks_schemes() {
+        let (_c, s) = scheme();
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        assert_eq!(b.scheme_of(v), s.attrs_of(0));
+        b.join(v, v, Reg::Base(1)); // V := V ⋈ BC → scheme ABC
+        assert_eq!(b.scheme_of(v).len(), 3);
+        b.semijoin(v, Reg::Base(2)); // scheme unchanged
+        assert_eq!(b.scheme_of(v).len(), 3);
+        let attrs = s.attrs_of(1).clone();
+        b.project(v, v, attrs.clone()); // V := π_BC V
+        assert_eq!(b.scheme_of(v), &attrs);
+        let p = b.finish(v);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.kind_counts(), (1, 1, 1));
+        assert_eq!(p.result, v);
+        assert_eq!(p.temp_init[0], Some(Reg::Base(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "join head must be a variable")]
+    fn join_head_must_be_temp() {
+        let (_c, s) = scheme();
+        let mut b = ProgramBuilder::new(&s);
+        b.join(Reg::Base(0), Reg::Base(0), Reg::Base(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined relation scheme variable")]
+    fn reading_undefined_temp_panics() {
+        let (_c, s) = scheme();
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp("V");
+        b.semijoin(v, Reg::Base(0));
+    }
+
+    #[test]
+    fn semijoin_on_base_head_is_allowed() {
+        let (_c, s) = scheme();
+        let mut b = ProgramBuilder::new(&s);
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        let p = b.finish(Reg::Base(0));
+        assert_eq!(p.len(), 1);
+        assert!(p.stmts[0].is_semijoin());
+    }
+
+    #[test]
+    fn empty_program() {
+        let (_c, s) = scheme();
+        let b = ProgramBuilder::new(&s);
+        assert!(b.is_empty());
+        let p = b.finish(Reg::Base(0));
+        assert!(p.is_empty());
+        assert_eq!(p.num_bases, 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! Static validation of programs against a database scheme.
+//!
+//! Checks the well-formedness rules of §2.2 without touching any data:
+//! project/join heads are variables, projection attributes are subsets of
+//! the (statically inferred) source scheme, every read is of a defined
+//! register, and the declared result register is defined. Returns the
+//! inferred scheme of every register, which callers use to check that a
+//! program's result scheme is `∪𝒟`.
+
+use crate::program::Program;
+use crate::stmt::{Reg, Stmt};
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::AttrSet;
+use std::fmt;
+
+/// A static validation failure, with the offending statement index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Project or join head was a base relation scheme.
+    HeadNotVariable {
+        /// Statement index.
+        stmt: usize,
+    },
+    /// A statement read a variable that is neither written earlier nor
+    /// aliased to a defined register.
+    UndefinedRead {
+        /// Statement index (`usize::MAX` for the result register).
+        stmt: usize,
+        /// The undefined register.
+        reg: Reg,
+    },
+    /// Projection attributes were not a subset of the source scheme.
+    ProjectionNotSubset {
+        /// Statement index.
+        stmt: usize,
+    },
+    /// An alias chain did not resolve to a base relation.
+    BadAlias {
+        /// The variable whose alias is broken.
+        temp: usize,
+    },
+    /// A register index was out of range.
+    OutOfRange {
+        /// Statement index.
+        stmt: usize,
+        /// The offending register.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::HeadNotVariable { stmt } => {
+                write!(f, "statement {stmt}: head of project/join must be a variable")
+            }
+            ValidateError::UndefinedRead { stmt, reg } => {
+                write!(f, "statement {stmt}: read of undefined register {reg:?}")
+            }
+            ValidateError::ProjectionNotSubset { stmt } => {
+                write!(f, "statement {stmt}: projection attributes not ⊆ source scheme")
+            }
+            ValidateError::BadAlias { temp } => {
+                write!(f, "variable {temp}: alias does not resolve to a base relation")
+            }
+            ValidateError::OutOfRange { stmt, reg } => {
+                write!(f, "statement {stmt}: register {reg:?} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Successful validation: the inferred final schemes.
+#[derive(Debug, Clone)]
+pub struct ValidationInfo {
+    /// Final scheme of every base register.
+    pub base_schemes: Vec<AttrSet>,
+    /// Final scheme of every variable (None = never defined).
+    pub temp_schemes: Vec<Option<AttrSet>>,
+    /// Scheme of the declared result register.
+    pub result_scheme: AttrSet,
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    base_schemes: Vec<AttrSet>,
+    temp_schemes: Vec<Option<AttrSet>>,
+}
+
+impl Checker<'_> {
+    fn in_range(&self, reg: Reg) -> bool {
+        match reg {
+            Reg::Base(i) => i < self.base_schemes.len(),
+            Reg::Temp(i) => i < self.temp_schemes.len(),
+        }
+    }
+
+    /// Scheme of `reg` if defined at this point.
+    fn scheme_of(&self, reg: Reg) -> Option<&AttrSet> {
+        match reg {
+            Reg::Base(i) => self.base_schemes.get(i),
+            Reg::Temp(i) => self.temp_schemes.get(i).and_then(|s| s.as_ref()),
+        }
+    }
+
+    /// Resolve `temp`'s alias chain, marking it defined if the chain lands on
+    /// a defined register. Called lazily at first read.
+    fn resolve_alias(&mut self, temp: usize) -> bool {
+        if self.temp_schemes[temp].is_some() {
+            return true;
+        }
+        let mut seen = vec![false; self.temp_schemes.len()];
+        let mut cur = temp;
+        loop {
+            if seen[cur] {
+                return false; // alias cycle
+            }
+            seen[cur] = true;
+            match self.program.temp_init[cur] {
+                None => return false,
+                Some(Reg::Base(b)) => {
+                    if b >= self.base_schemes.len() {
+                        return false;
+                    }
+                    self.temp_schemes[temp] = Some(self.base_schemes[b].clone());
+                    return true;
+                }
+                Some(Reg::Temp(t)) => {
+                    if t >= self.temp_schemes.len() {
+                        return false;
+                    }
+                    if let Some(s) = &self.temp_schemes[t] {
+                        self.temp_schemes[temp] = Some(s.clone());
+                        return true;
+                    }
+                    cur = t;
+                }
+            }
+        }
+    }
+
+    fn check_read(&mut self, stmt: usize, reg: Reg) -> Result<AttrSet, ValidateError> {
+        if !self.in_range(reg) {
+            return Err(ValidateError::OutOfRange { stmt, reg });
+        }
+        if let Reg::Temp(t) = reg {
+            if !self.resolve_alias(t) {
+                return Err(ValidateError::UndefinedRead { stmt, reg });
+            }
+        }
+        Ok(self.scheme_of(reg).expect("checked above").clone())
+    }
+}
+
+/// Validate `program` against `scheme`.
+pub fn validate(program: &Program, scheme: &DbScheme) -> Result<ValidationInfo, ValidateError> {
+    assert_eq!(
+        program.num_bases,
+        scheme.num_relations(),
+        "program and scheme disagree on the number of relations"
+    );
+    let mut ck = Checker {
+        program,
+        base_schemes: scheme.edges().to_vec(),
+        temp_schemes: vec![None; program.temp_names.len()],
+    };
+
+    for (i, stmt) in program.stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Project { dst, src, attrs } => {
+                if !dst.is_temp() {
+                    return Err(ValidateError::HeadNotVariable { stmt: i });
+                }
+                if !ck.in_range(*dst) {
+                    return Err(ValidateError::OutOfRange { stmt: i, reg: *dst });
+                }
+                let src_scheme = ck.check_read(i, *src)?;
+                if !attrs.is_subset(&src_scheme) {
+                    return Err(ValidateError::ProjectionNotSubset { stmt: i });
+                }
+                if let Reg::Temp(t) = dst {
+                    ck.temp_schemes[*t] = Some(attrs.clone());
+                }
+            }
+            Stmt::Join { dst, left, right } => {
+                if !dst.is_temp() {
+                    return Err(ValidateError::HeadNotVariable { stmt: i });
+                }
+                if !ck.in_range(*dst) {
+                    return Err(ValidateError::OutOfRange { stmt: i, reg: *dst });
+                }
+                let ls = ck.check_read(i, *left)?;
+                let rs = ck.check_read(i, *right)?;
+                if let Reg::Temp(t) = dst {
+                    ck.temp_schemes[*t] = Some(ls.union(&rs));
+                }
+            }
+            Stmt::Semijoin { target, filter } => {
+                ck.check_read(i, *target)?;
+                ck.check_read(i, *filter)?;
+                // Scheme of target is unchanged.
+            }
+        }
+    }
+
+    let result_scheme = ck
+        .check_read(usize::MAX, program.result)
+        .map_err(|_| ValidateError::UndefinedRead {
+            stmt: usize::MAX,
+            reg: program.result,
+        })?;
+
+    Ok(ValidationInfo {
+        base_schemes: ck.base_schemes,
+        temp_schemes: ck.temp_schemes,
+        result_scheme,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use mjoin_relation::Catalog;
+
+    fn scheme() -> DbScheme {
+        let mut c = Catalog::new();
+        DbScheme::parse(&mut c, &["AB", "BC", "CD"])
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let s = scheme();
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let info = validate(&p, &s).unwrap();
+        assert_eq!(info.result_scheme, s.all_attrs());
+    }
+
+    #[test]
+    fn undefined_read_rejected() {
+        let s = scheme();
+        let p = Program {
+            num_bases: 3,
+            temp_names: vec!["V".into()],
+            temp_init: vec![None],
+            stmts: vec![Stmt::Semijoin { target: Reg::Temp(0), filter: Reg::Base(0) }],
+            result: Reg::Temp(0),
+        };
+        assert!(matches!(
+            validate(&p, &s),
+            Err(ValidateError::UndefinedRead { stmt: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn head_must_be_variable() {
+        let s = scheme();
+        let p = Program {
+            num_bases: 3,
+            temp_names: vec![],
+            temp_init: vec![],
+            stmts: vec![Stmt::Join { dst: Reg::Base(0), left: Reg::Base(0), right: Reg::Base(1) }],
+            result: Reg::Base(0),
+        };
+        assert!(matches!(
+            validate(&p, &s),
+            Err(ValidateError::HeadNotVariable { stmt: 0 })
+        ));
+    }
+
+    #[test]
+    fn projection_subset_enforced() {
+        let s = scheme();
+        let p = Program {
+            num_bases: 3,
+            temp_names: vec!["V".into()],
+            temp_init: vec![None],
+            stmts: vec![Stmt::Project {
+                dst: Reg::Temp(0),
+                src: Reg::Base(0),
+                attrs: s.attrs_of(2).clone(), // CD ⊄ AB
+            }],
+            result: Reg::Temp(0),
+        };
+        assert!(matches!(
+            validate(&p, &s),
+            Err(ValidateError::ProjectionNotSubset { stmt: 0 })
+        ));
+    }
+
+    #[test]
+    fn alias_chains_resolve() {
+        let s = scheme();
+        let p = Program {
+            num_bases: 3,
+            temp_names: vec!["V".into(), "W".into()],
+            temp_init: vec![Some(Reg::Base(1)), Some(Reg::Temp(0))],
+            stmts: vec![],
+            result: Reg::Temp(1),
+        };
+        let info = validate(&p, &s).unwrap();
+        assert_eq!(info.result_scheme, *s.attrs_of(1));
+    }
+
+    #[test]
+    fn alias_cycle_rejected() {
+        let s = scheme();
+        let p = Program {
+            num_bases: 3,
+            temp_names: vec!["V".into(), "W".into()],
+            temp_init: vec![Some(Reg::Temp(1)), Some(Reg::Temp(0))],
+            stmts: vec![],
+            result: Reg::Temp(0),
+        };
+        assert!(validate(&p, &s).is_err());
+    }
+
+    #[test]
+    fn out_of_range_register() {
+        let s = scheme();
+        let p = Program {
+            num_bases: 3,
+            temp_names: vec!["V".into()],
+            temp_init: vec![None],
+            stmts: vec![Stmt::Join { dst: Reg::Temp(0), left: Reg::Base(9), right: Reg::Base(0) }],
+            result: Reg::Temp(0),
+        };
+        assert!(matches!(
+            validate(&p, &s),
+            Err(ValidateError::OutOfRange { stmt: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn semijoin_keeps_scheme() {
+        let s = scheme();
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.semijoin(v, Reg::Base(1));
+        let p = b.finish(v);
+        let info = validate(&p, &s).unwrap();
+        assert_eq!(info.result_scheme, *s.attrs_of(0));
+    }
+}

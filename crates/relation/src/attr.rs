@@ -1,0 +1,161 @@
+//! Attributes and the attribute catalog.
+//!
+//! The paper works with named attributes (`A`, `B`, `C`, …). We intern names
+//! into dense `u32` identifiers so that schemas, bitsets, and hash keys all
+//! operate on machine integers; the [`Catalog`] maps back to names only when
+//! formatting output.
+
+use crate::error::{Error, Result};
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// A dense identifier for an interned attribute name.
+///
+/// Ids are assigned consecutively from 0 by the [`Catalog`] that interned the
+/// name, so they can index bitsets and vectors directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Interner mapping attribute names to dense [`AttrId`]s and back.
+///
+/// A `Catalog` is the naming context for one database scheme; every API that
+/// prints attributes takes a `&Catalog`. Interning the same name twice
+/// returns the same id.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    names: Vec<String>,
+    index: FxHashMap<String, AttrId>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = AttrId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Intern every character of `s` as a single-letter attribute, in order.
+    ///
+    /// This mirrors the paper's convention where a relation scheme `ABC` is
+    /// the attribute set `{A, B, C}`.
+    pub fn intern_chars(&mut self, s: &str) -> Vec<AttrId> {
+        s.chars().map(|c| self.intern(&c.to_string())).collect()
+    }
+
+    /// Look up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<AttrId> {
+        self.index.get(name).copied()
+    }
+
+    /// Look up an already-interned name, or return an error naming it.
+    pub fn require(&self, name: &str) -> Result<AttrId> {
+        self.lookup(name)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_string()))
+    }
+
+    /// The name of an id. Panics if the id was not issued by this catalog.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no attribute has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut c = Catalog::new();
+        let a1 = c.intern("A");
+        let b = c.intern("B");
+        let a2 = c.intern("A");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_order() {
+        let mut c = Catalog::new();
+        assert_eq!(c.intern("X"), AttrId(0));
+        assert_eq!(c.intern("Y"), AttrId(1));
+        assert_eq!(c.intern("Z"), AttrId(2));
+        assert_eq!(c.name(AttrId(1)), "Y");
+    }
+
+    #[test]
+    fn intern_chars_matches_paper_convention() {
+        let mut c = Catalog::new();
+        let ids = c.intern_chars("ABC");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(c.name(ids[0]), "A");
+        assert_eq!(c.name(ids[2]), "C");
+        // Re-interning shares ids.
+        let ids2 = c.intern_chars("CDE");
+        assert_eq!(ids2[0], ids[2]);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn lookup_and_require() {
+        let mut c = Catalog::new();
+        c.intern("A");
+        assert_eq!(c.lookup("A"), Some(AttrId(0)));
+        assert_eq!(c.lookup("Q"), None);
+        assert!(c.require("A").is_ok());
+        assert!(matches!(
+            c.require("Q"),
+            Err(Error::UnknownAttribute(n)) if n == "Q"
+        ));
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut c = Catalog::new();
+        c.intern_chars("AB");
+        let pairs: Vec<_> = c.iter().map(|(i, n)| (i.0, n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "A".to_string()), (1, "B".to_string())]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Dynamic bitsets over attribute ids.
+//!
+//! Relation schemes and the hypergraph algorithms manipulate attribute *sets*
+//! constantly (union when joining, intersection to find shared attributes,
+//! subset tests in Algorithm 2's steps 3/17). An `AttrSet` is a growable
+//! `u64`-block bitset indexed by [`AttrId`], so none of those operations
+//! allocate per-element or depend on the number of tuples.
+
+use crate::attr::AttrId;
+use std::fmt;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A set of attributes, represented as a bitset over [`AttrId`]s.
+///
+/// The set grows automatically on insert; trailing zero blocks are trimmed so
+/// that equality and hashing are canonical regardless of insertion history.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrSet {
+    blocks: Vec<u64>,
+}
+
+impl AttrSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set containing exactly `id`.
+    pub fn singleton(id: AttrId) -> Self {
+        let mut s = Self::new();
+        s.insert(id);
+        s
+    }
+
+    /// Build a set from an iterator of ids.
+    pub fn from_iter_ids<I: IntoIterator<Item = AttrId>>(ids: I) -> Self {
+        let mut s = Self::new();
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    fn trim(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+
+    /// Insert `id`; returns `true` if it was newly added.
+    pub fn insert(&mut self, id: AttrId) -> bool {
+        let (blk, bit) = (id.index() / BITS, id.index() % BITS);
+        if blk >= self.blocks.len() {
+            self.blocks.resize(blk + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.blocks[blk] & mask == 0;
+        self.blocks[blk] |= mask;
+        fresh
+    }
+
+    /// Remove `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: AttrId) -> bool {
+        let (blk, bit) = (id.index() / BITS, id.index() % BITS);
+        if blk >= self.blocks.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let present = self.blocks[blk] & mask != 0;
+        self.blocks[blk] &= !mask;
+        self.trim();
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: AttrId) -> bool {
+        let (blk, bit) = (id.index() / BITS, id.index() % BITS);
+        blk < self.blocks.len() && self.blocks[blk] & (1u64 << bit) != 0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        let (long, short) = if self.blocks.len() >= other.blocks.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut blocks = long.blocks.clone();
+        for (b, s) in blocks.iter_mut().zip(&short.blocks) {
+            *b |= s;
+        }
+        Self { blocks }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (b, s) in self.blocks.iter_mut().zip(&other.blocks) {
+            *b |= s;
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let n = self.blocks.len().min(other.blocks.len());
+        let mut blocks: Vec<u64> = self.blocks[..n]
+            .iter()
+            .zip(&other.blocks[..n])
+            .map(|(a, b)| a & b)
+            .collect();
+        while blocks.last() == Some(&0) {
+            blocks.pop();
+        }
+        Self { blocks }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut blocks = self.blocks.clone();
+        for (b, o) in blocks.iter_mut().zip(&other.blocks) {
+            *b &= !o;
+        }
+        let mut s = Self { blocks };
+        s.trim();
+        s
+    }
+
+    /// Whether the two sets share at least one attribute.
+    ///
+    /// `E1 ⋈ E2` is a Cartesian product exactly when this is `false` for
+    /// their schemes (paper §2.2).
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            // Trimmed representation: longer means a high bit is set.
+            return false;
+        }
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the sets are disjoint.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Iterate over member ids in increasing order.
+    pub fn iter(&self) -> AttrSetIter<'_> {
+        AttrSetIter {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collect the members into a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<AttrId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        Self::from_iter_ids(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the ids in an [`AttrSet`].
+pub struct AttrSetIter<'a> {
+    set: &'a AttrSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for AttrSetIter<'_> {
+    type Item = AttrId;
+
+    fn next(&mut self) -> Option<AttrId> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(AttrId((self.block * BITS + bit) as u32));
+            }
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AttrSet::new();
+        assert!(s.insert(AttrId(3)));
+        assert!(!s.insert(AttrId(3)));
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.contains(AttrId(4)));
+        assert!(s.remove(AttrId(3)));
+        assert!(!s.remove(AttrId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn canonical_after_remove() {
+        // Removing a high bit must shrink the block vector so equality holds.
+        let mut s = set(&[1, 200]);
+        s.remove(AttrId(200));
+        assert_eq!(s, set(&[1]));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = set(&[0, 1, 70]);
+        let b = set(&[1, 2]);
+        assert_eq!(a.union(&b), set(&[0, 1, 2, 70]));
+        assert_eq!(a.intersect(&b), set(&[1]));
+        assert_eq!(a.difference(&b), set(&[0, 70]));
+        assert_eq!(b.difference(&a), set(&[2]));
+    }
+
+    #[test]
+    fn union_with_grows() {
+        let mut a = set(&[0]);
+        a.union_with(&set(&[130]));
+        assert_eq!(a, set(&[0, 130]));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = set(&[1, 2]);
+        let b = set(&[1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(AttrSet::new().is_subset(&a));
+        assert!(set(&[9]).is_disjoint(&a));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.intersects(&b));
+        // Differently sized block vectors.
+        assert!(!set(&[1, 100]).is_subset(&set(&[1])));
+    }
+
+    #[test]
+    fn iteration_in_order_across_blocks() {
+        let s = set(&[5, 64, 3, 128]);
+        let v: Vec<u32> = s.iter().map(|a| a.0).collect();
+        assert_eq!(v, vec![3, 5, 64, 128]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(set(&[2, 0]).to_string(), "{#0,#2}");
+        assert_eq!(AttrSet::new().to_string(), "{}");
+    }
+}

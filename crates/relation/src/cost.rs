@@ -1,0 +1,185 @@
+//! The paper's cost model (§2.3), as an accounting ledger.
+//!
+//! > "We simply use as the cost measure the number of tuples that appear in
+//! > the input relations and the relations generated."
+//!
+//! `cost(E(D))` charges each input relation once plus every intermediate
+//! join result; `cost(P(D))` charges each input relation once plus the head
+//! relation of every executed statement. Evaluators thread a [`CostLedger`]
+//! and call [`CostLedger::charge_input`] / [`CostLedger::charge_generated`];
+//! the ledger keeps a per-step breakdown so experiments can show *where*
+//! tuples were spent.
+
+use std::fmt;
+
+/// Whether a charge was for an input relation or a generated (intermediate)
+/// relation. The paper's total sums both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// A relation of the input database (charged once per occurrence used).
+    Input,
+    /// A relation produced during evaluation (one per join node or program
+    /// statement).
+    Generated,
+}
+
+/// One line of the cost breakdown.
+#[derive(Debug, Clone)]
+pub struct CostEntry {
+    /// Input or generated.
+    pub kind: CostKind,
+    /// Human-readable origin, e.g. `R(ABC)` or `stmt 3: V := V ⋉ W`.
+    pub label: String,
+    /// `|R|` for the relation charged.
+    pub tuples: u64,
+}
+
+/// Accumulates tuple-count cost with a per-step breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    entries: Vec<CostEntry>,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge an input relation of `tuples` tuples.
+    pub fn charge_input(&mut self, label: impl Into<String>, tuples: usize) {
+        self.entries.push(CostEntry {
+            kind: CostKind::Input,
+            label: label.into(),
+            tuples: tuples as u64,
+        });
+    }
+
+    /// Charge a generated (intermediate or final) relation.
+    pub fn charge_generated(&mut self, label: impl Into<String>, tuples: usize) {
+        self.entries.push(CostEntry {
+            kind: CostKind::Generated,
+            label: label.into(),
+            tuples: tuples as u64,
+        });
+    }
+
+    /// Total cost: inputs plus generated, per the paper.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|e| e.tuples).sum()
+    }
+
+    /// Sum of input charges only.
+    pub fn input_total(&self) -> u64 {
+        self.sum(CostKind::Input)
+    }
+
+    /// Sum of generated charges only (the part an optimizer can influence).
+    pub fn generated_total(&self) -> u64 {
+        self.sum(CostKind::Generated)
+    }
+
+    fn sum(&self, kind: CostKind) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.tuples)
+            .sum()
+    }
+
+    /// The individual charges, in the order incurred.
+    pub fn entries(&self) -> &[CostEntry] {
+        &self.entries
+    }
+
+    /// The largest single generated relation (peak intermediate size).
+    pub fn peak_generated(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == CostKind::Generated)
+            .map(|e| e.tuples)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of charges recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another ledger's entries into this one.
+    pub fn absorb(&mut self, other: CostLedger) {
+        self.entries.extend(other.entries);
+    }
+}
+
+impl fmt::Display for CostLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            let tag = match e.kind {
+                CostKind::Input => "input",
+                CostKind::Generated => "gen  ",
+            };
+            writeln!(f, "  [{tag}] {:>12}  {}", e.tuples, e.label)?;
+        }
+        write!(
+            f,
+            "  total = {} (inputs {} + generated {})",
+            self.total(),
+            self.input_total(),
+            self.generated_total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_split_by_kind() {
+        let mut l = CostLedger::new();
+        l.charge_input("R1", 10);
+        l.charge_input("R2", 5);
+        l.charge_generated("R1⋈R2", 50);
+        assert_eq!(l.total(), 65);
+        assert_eq!(l.input_total(), 15);
+        assert_eq!(l.generated_total(), 50);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.peak_generated(), 50);
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let l = CostLedger::new();
+        assert!(l.is_empty());
+        assert_eq!(l.total(), 0);
+        assert_eq!(l.peak_generated(), 0);
+    }
+
+    #[test]
+    fn absorb_concatenates() {
+        let mut a = CostLedger::new();
+        a.charge_input("R", 1);
+        let mut b = CostLedger::new();
+        b.charge_generated("S", 2);
+        a.absorb(b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.entries().len(), 2);
+    }
+
+    #[test]
+    fn display_contains_breakdown() {
+        let mut l = CostLedger::new();
+        l.charge_input("R1", 10);
+        l.charge_generated("J", 3);
+        let s = l.to_string();
+        assert!(s.contains("R1"));
+        assert!(s.contains("total = 13 (inputs 10 + generated 3)"));
+    }
+}

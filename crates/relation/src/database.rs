@@ -1,0 +1,180 @@
+//! Databases: an assignment of concrete relations to the (indexed) relation
+//! schemes of a database scheme.
+//!
+//! The paper's database scheme is a *multiset* of relation schemes, so we
+//! identify scheme occurrences by dense index (`0..n`) rather than by scheme
+//! value; two occurrences of the same scheme hold independent relations.
+
+use crate::cost::CostLedger;
+use crate::ops::join;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// A database `D` over an (implicit, indexed) database scheme: relation `i`
+/// is the instance assigned to scheme occurrence `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// A database over zero relation schemes.
+    pub fn new() -> Self {
+        Database { relations: Vec::new() }
+    }
+
+    /// Build from the relations in scheme order.
+    pub fn from_relations(relations: Vec<Relation>) -> Self {
+        Database { relations }
+    }
+
+    /// Append a relation, returning its index.
+    pub fn push(&mut self, rel: Relation) -> usize {
+        self.relations.push(rel);
+        self.relations.len() - 1
+    }
+
+    /// The relation assigned to scheme occurrence `idx`.
+    pub fn relation(&self, idx: usize) -> &Relation {
+        &self.relations[idx]
+    }
+
+    /// All relations in scheme order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Number of relation schemes (`r` in Theorem 2).
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The schemes of the relations, in order.
+    pub fn schemas(&self) -> Vec<Schema> {
+        self.relations.iter().map(|r| r.schema().clone()).collect()
+    }
+
+    /// Total tuples across all input relations (the input part of any cost).
+    pub fn total_tuples(&self) -> u64 {
+        self.relations.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// The restriction `D[𝒟']` to the scheme occurrences in `indices`.
+    pub fn restrict(&self, indices: &[usize]) -> Database {
+        Database {
+            relations: indices.iter().map(|&i| self.relations[i].clone()).collect(),
+        }
+    }
+
+    /// `⋈ D` — the natural join of every relation, evaluated naively as a
+    /// left-deep fold in index order. This is the *specification* the fancier
+    /// evaluators are tested against, not a strategy anyone should cost.
+    ///
+    /// An empty database joins to the nullary unit relation (the join
+    /// identity).
+    pub fn join_all(&self) -> Relation {
+        let mut acc = Relation::nullary_unit();
+        for rel in &self.relations {
+            acc = join(&acc, rel);
+        }
+        acc
+    }
+
+    /// `⋈ D[indices]` — the natural join of the selected occurrences.
+    pub fn join_of(&self, indices: &[usize]) -> Relation {
+        let mut acc = Relation::nullary_unit();
+        for &i in indices {
+            acc = join(&acc, &self.relations[i]);
+        }
+        acc
+    }
+
+    /// Charge every input relation to `ledger`, labelled by index.
+    ///
+    /// Both join-expression evaluation and program execution start their cost
+    /// accounts this way (§2.3 counts each input relation's tuples).
+    pub fn charge_inputs(&self, ledger: &mut CostLedger) {
+        for (i, rel) in self.relations.iter().enumerate() {
+            ledger.charge_input(format!("input R{i}"), rel.len());
+        }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::value::Value;
+
+    fn rel(c: &mut Catalog, scheme: &str, tuples: &[&[i64]]) -> Relation {
+        crate::relation_of_ints(c, scheme, tuples).unwrap()
+    }
+
+    fn triangle() -> (Catalog, Database) {
+        // R(AB), S(BC), T(CA): a cyclic (triangle) scheme.
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 2], &[4, 5]]);
+        let s = rel(&mut c, "BC", &[&[2, 3], &[5, 6]]);
+        let t = rel(&mut c, "CA", &[&[3, 1]]);
+        (c, Database::from_relations(vec![r, s, t]))
+    }
+
+    #[test]
+    fn join_all_triangle() {
+        let (c, d) = triangle();
+        let j = d.join_all();
+        assert_eq!(j.schema().display(&c).to_string(), "ABC");
+        assert_eq!(j.len(), 1);
+        assert!(j.contains_row(&[Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn join_of_subset() {
+        let (_c, d) = triangle();
+        let j = d.join_of(&[0, 1]);
+        assert_eq!(j.len(), 2);
+        // Restriction + join_all agrees with join_of.
+        assert_eq!(d.restrict(&[0, 1]).join_all(), j);
+    }
+
+    #[test]
+    fn empty_database_joins_to_unit() {
+        let d = Database::new();
+        let j = d.join_all();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.schema().arity(), 0);
+    }
+
+    #[test]
+    fn totals_and_charges() {
+        let (_c, d) = triangle();
+        assert_eq!(d.total_tuples(), 5);
+        let mut ledger = CostLedger::new();
+        d.charge_inputs(&mut ledger);
+        assert_eq!(ledger.total(), 5);
+        assert_eq!(ledger.input_total(), 5);
+        assert_eq!(ledger.entries().len(), 3);
+    }
+
+    #[test]
+    fn push_and_access() {
+        let (mut c, _) = triangle();
+        let mut d = Database::new();
+        let idx = d.push(rel(&mut c, "XY", &[&[1, 1]]));
+        assert_eq!(idx, 0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.relation(0).len(), 1);
+        assert!(!d.is_empty());
+    }
+}

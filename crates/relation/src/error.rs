@@ -1,0 +1,69 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by relation construction, operators, and the TSV loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A tuple's arity did not match its relation's schema.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// An attribute name was not present in the catalog.
+    UnknownAttribute(String),
+    /// A projection or key extraction referenced an attribute that is not in
+    /// the source schema.
+    AttributeNotInSchema(String),
+    /// A parse error in textual input (TSV rows, scheme strings, join
+    /// expressions), with a human-readable description.
+    Parse(String),
+}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            Error::AttributeNotInSchema(name) => {
+                write!(f, "attribute `{name}` is not part of the source schema")
+            }
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::ArityMismatch { expected: 3, got: 2 };
+        assert_eq!(e.to_string(), "tuple arity 2 does not match schema arity 3");
+        assert_eq!(
+            Error::UnknownAttribute("Q".into()).to_string(),
+            "unknown attribute `Q`"
+        );
+        assert_eq!(
+            Error::AttributeNotInSchema("B".into()).to_string(),
+            "attribute `B` is not part of the source schema"
+        );
+        assert_eq!(Error::Parse("bad".into()).to_string(), "parse error: bad");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Parse("x".into()));
+    }
+}

@@ -1,0 +1,35 @@
+//! Relational operators: natural join, semijoin, projection, selection, and
+//! the set operations.
+//!
+//! All operators are hash-based and operate positionally: attribute-name
+//! resolution happens once per operator call, never per tuple. Each operator
+//! documents its relationship to the paper's statements (§2.2) and cost model
+//! (§2.3); cost accounting itself lives in [`crate::cost`] and is done by the
+//! callers that orchestrate evaluation.
+
+mod join;
+mod merge_join;
+mod par_join;
+mod project;
+mod rename;
+mod select;
+mod semijoin;
+mod setops;
+
+pub use join::{join, join_key_positions};
+pub use merge_join::merge_join;
+pub use par_join::par_join;
+pub use project::project;
+pub use rename::rename;
+pub use select::{select_eq, select_where};
+pub use semijoin::semijoin;
+pub use setops::{difference, intersection, union};
+
+use crate::relation::Row;
+use crate::value::Value;
+
+/// Extract the values at `positions` from `row` as a hash key.
+#[inline]
+pub(crate) fn key_at(row: &Row, positions: &[usize]) -> Box<[Value]> {
+    positions.iter().map(|&p| row[p].clone()).collect()
+}

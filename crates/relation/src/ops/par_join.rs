@@ -1,0 +1,171 @@
+//! Partitioned parallel hash join.
+//!
+//! Classic radix-style parallelism: both inputs are partitioned by the hash
+//! of their natural-join key, partitions are joined independently on scoped
+//! threads, and the partition outputs are concatenated. Because partitions
+//! are key-disjoint, the union of the partition joins *is* the join, and the
+//! outputs are disjoint (no deduplication needed). Semantically identical to
+//! [`super::join`]; the test suite checks them against each other.
+
+use super::join::{join, join_key_positions};
+use crate::fxhash::FxBuildHasher;
+use crate::relation::{Relation, Row};
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Parallel natural join over `threads` partitions (clamped to ≥ 1).
+///
+/// Falls back to the sequential join when either input is small (the
+/// partitioning overhead dominates below a few thousand rows) or when the
+/// join is a Cartesian product (there is no key to partition on; the probe
+/// side is chunked instead).
+pub fn par_join(left: &Relation, right: &Relation, threads: usize) -> Relation {
+    let threads = threads.max(1);
+    const SMALL: usize = 4096;
+    if threads == 1 || (left.len() < SMALL && right.len() < SMALL) {
+        return join(left, right);
+    }
+    let (lkey, rkey) = join_key_positions(left.schema(), right.schema());
+    if lkey.is_empty() {
+        return par_cartesian(left, right, threads);
+    }
+
+    let hash_row = |row: &Row, positions: &[usize]| -> usize {
+        let mut h = FxBuildHasher::default().build_hasher();
+        for &p in positions {
+            row[p].hash(&mut h);
+        }
+        (h.finish() as usize) % threads
+    };
+
+    let partition = |rel: &Relation, positions: &[usize]| -> Vec<Vec<Row>> {
+        let mut parts: Vec<Vec<Row>> = vec![Vec::new(); threads];
+        for row in rel.rows() {
+            parts[hash_row(row, positions)].push(row.clone());
+        }
+        parts
+    };
+
+    let lparts = partition(left, &lkey);
+    let rparts = partition(right, &rkey);
+    let lschema = left.schema().clone();
+    let rschema = right.schema().clone();
+
+    let mut outputs: Vec<Vec<Row>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = lparts
+            .into_iter()
+            .zip(rparts)
+            .map(|(lp, rp)| {
+                let lschema = lschema.clone();
+                let rschema = rschema.clone();
+                scope.spawn(move |_| {
+                    let l = Relation::from_distinct_rows(lschema, lp);
+                    let r = Relation::from_distinct_rows(rschema, rp);
+                    join(&l, &r).into_rows()
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("partition join panicked"));
+        }
+    })
+    .expect("thread scope");
+
+    let out_schema = left.schema().union(right.schema());
+    let rows: Vec<Row> = outputs.into_iter().flatten().collect();
+    Relation::from_distinct_rows(out_schema, rows)
+}
+
+/// Cartesian product with the probe side chunked across threads.
+fn par_cartesian(left: &Relation, right: &Relation, threads: usize) -> Relation {
+    let (build, probe) = if left.len() <= right.len() {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let chunk = probe.len().div_ceil(threads).max(1);
+    let out_schema = left.schema().union(right.schema());
+    let mut outputs: Vec<Vec<Row>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = probe
+            .rows()
+            .chunks(chunk)
+            .map(|rows| {
+                let pschema = probe.schema().clone();
+                scope.spawn(move |_| {
+                    let part = Relation::from_distinct_rows(pschema, rows.to_vec());
+                    join(build, &part).into_rows()
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("cartesian chunk panicked"));
+        }
+    })
+    .expect("thread scope");
+    Relation::from_distinct_rows(out_schema, outputs.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::relation_of_ints;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn big(c: &mut Catalog, scheme: &str, n: i64, fanout: i64) -> Relation {
+        let schema = Schema::from_chars(c, scheme);
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i % fanout), Value::Int(i)].into())
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_sequential_join_large() {
+        let mut c = Catalog::new();
+        let r = big(&mut c, "AB", 6000, 500);
+        let s = big(&mut c, "AC", 6000, 500);
+        let seq = join(&r, &s);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_join(&r, &s, threads), seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_take_fallback() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[2, 5]]).unwrap();
+        assert_eq!(par_join(&r, &s, 8), join(&r, &s));
+    }
+
+    #[test]
+    fn parallel_cartesian_product() {
+        let mut c = Catalog::new();
+        let schema_a = Schema::from_chars(&mut c, "A");
+        let schema_b = Schema::from_chars(&mut c, "B");
+        let r = Relation::from_rows(
+            schema_a,
+            (0..5000).map(|i| vec![Value::Int(i)].into()).collect(),
+        )
+        .unwrap();
+        let s = Relation::from_rows(
+            schema_b,
+            (0..3).map(|i| vec![Value::Int(i)].into()).collect(),
+        )
+        .unwrap();
+        let p = par_join(&r, &s, 4);
+        assert_eq!(p.len(), 15000);
+        assert_eq!(p, join(&r, &s));
+    }
+
+    #[test]
+    fn empty_side() {
+        let mut c = Catalog::new();
+        let r = big(&mut c, "AB", 6000, 10);
+        let empty = Relation::empty(Schema::from_chars(&mut c, "BC"));
+        assert!(par_join(&r, &empty, 4).is_empty());
+    }
+}

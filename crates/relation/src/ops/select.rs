@@ -1,0 +1,91 @@
+//! Selection (`σ`). Not used by the paper's algorithms themselves, but part
+//! of any adoptable relational substrate and handy for building workloads.
+
+use crate::attr::AttrId;
+use crate::error::{Error, Result};
+use crate::relation::{Relation, Row};
+use crate::value::Value;
+
+/// Select the tuples whose `attr` column equals `value`.
+pub fn select_eq(rel: &Relation, attr: AttrId, value: &Value) -> Result<Relation> {
+    let pos = rel
+        .schema()
+        .position(attr)
+        .ok_or_else(|| Error::AttributeNotInSchema(attr.to_string()))?;
+    let rows: Vec<Row> = rel
+        .rows()
+        .iter()
+        .filter(|r| &r[pos] == value)
+        .cloned()
+        .collect();
+    Ok(Relation::from_distinct_rows(rel.schema().clone(), rows))
+}
+
+/// Select the tuples satisfying an arbitrary predicate over the whole row.
+///
+/// The predicate sees values in the relation's canonical column order.
+pub fn select_where(rel: &Relation, pred: impl Fn(&[Value]) -> bool) -> Relation {
+    let rows: Vec<Row> = rel
+        .rows()
+        .iter()
+        .filter(|r| pred(r))
+        .cloned()
+        .collect();
+    Relation::from_distinct_rows(rel.schema().clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::schema::Schema;
+
+    fn rel(c: &mut Catalog, scheme: &str, tuples: &[&[i64]]) -> Relation {
+        let schema = Schema::from_chars(c, scheme);
+        Relation::from_tuples(
+            schema,
+            tuples
+                .iter()
+                .map(|t| t.iter().map(|&v| Value::Int(v)).collect())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_eq_filters() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10], &[2, 10], &[3, 30]]);
+        let b = c.lookup("B").unwrap();
+        let s = select_eq(&r, b, &Value::Int(10)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.schema(), r.schema());
+    }
+
+    #[test]
+    fn select_eq_unknown_attr_errors() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10]]);
+        let z = c.intern("Z");
+        assert!(select_eq(&r, z, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn select_where_predicate() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10], &[5, 2], &[7, 7]]);
+        let s = select_where(&r, |row| row[0].as_int().unwrap() > row[1].as_int().unwrap());
+        assert_eq!(s.len(), 1);
+        assert!(s.contains_row(&[Value::Int(5), Value::Int(2)]));
+    }
+
+    #[test]
+    fn selection_is_subset() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "A", &[&[1], &[2], &[3]]);
+        let s = select_where(&r, |_| true);
+        assert_eq!(s, r);
+        let none = select_where(&r, |_| false);
+        assert!(none.is_empty());
+    }
+}

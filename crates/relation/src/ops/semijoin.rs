@@ -1,0 +1,131 @@
+//! Semijoin (`⋉`), the reducer used by Algorithm 2 and by full reducers.
+
+use super::key_at;
+use crate::fxhash::FxHashSet;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Semijoin `left ⋉ right`: the tuples of `left` that join with at least one
+/// tuple of `right`. Equivalently `π_{scheme(left)}(left ⋈ right)`.
+///
+/// The result schema is `left`'s schema — a semijoin statement in a program
+/// never widens the head's scheme (§2.2). When the schemas are disjoint the
+/// definition degenerates to `left` if `right` is nonempty and the empty
+/// relation otherwise.
+pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
+    let common = left.schema().intersect(right.schema());
+    if common.is_empty() {
+        return if right.is_empty() {
+            Relation::empty(left.schema().clone())
+        } else {
+            left.clone()
+        };
+    }
+    let lpos = left
+        .schema()
+        .positions_of(common.attrs())
+        .expect("common attrs in left");
+    let rpos = right
+        .schema()
+        .positions_of(common.attrs())
+        .expect("common attrs in right");
+
+    let mut keys: FxHashSet<Box<[Value]>> = FxHashSet::default();
+    keys.reserve(right.len());
+    for row in right.rows() {
+        keys.insert(key_at(row, &rpos));
+    }
+
+    let rows = left
+        .rows()
+        .iter()
+        .filter(|row| keys.contains(&key_at(row, &lpos)))
+        .cloned()
+        .collect();
+    Relation::from_distinct_rows(left.schema().clone(), rows)
+}
+
+#[allow(dead_code)]
+fn _schema_note(_s: &Schema) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::ops::{join, project};
+    use crate::value::Value;
+
+    fn rel(c: &mut Catalog, scheme: &str, tuples: &[&[i64]]) -> Relation {
+        let schema = Schema::from_chars(c, scheme);
+        Relation::from_tuples(
+            schema,
+            tuples
+                .iter()
+                .map(|t| t.iter().map(|&v| Value::Int(v)).collect())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filters_dangling_tuples() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10], &[2, 20], &[3, 30]]);
+        let s = rel(&mut c, "BC", &[&[10, 0], &[30, 0]]);
+        let sj = semijoin(&r, &s);
+        assert_eq!(sj.len(), 2);
+        assert_eq!(sj.schema(), r.schema());
+        assert!(sj.contains_row(&[Value::Int(1), Value::Int(10)]));
+        assert!(sj.contains_row(&[Value::Int(3), Value::Int(30)]));
+    }
+
+    #[test]
+    fn equals_projection_of_join() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10], &[2, 20], &[3, 30]]);
+        let s = rel(&mut c, "BC", &[&[10, 0], &[10, 1], &[30, 0]]);
+        let via_join = project(&join(&r, &s), r.schema().attrs()).unwrap();
+        assert_eq!(semijoin(&r, &s), via_join);
+    }
+
+    #[test]
+    fn disjoint_nonempty_right_is_identity() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 2]]);
+        let s = rel(&mut c, "CD", &[&[9, 9]]);
+        assert_eq!(semijoin(&r, &s), r);
+    }
+
+    #[test]
+    fn disjoint_empty_right_empties_left() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 2]]);
+        let s = Relation::empty(Schema::from_chars(&mut c, "CD"));
+        let sj = semijoin(&r, &s);
+        assert!(sj.is_empty());
+        assert_eq!(sj.schema(), r.schema());
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10], &[2, 20]]);
+        let s = rel(&mut c, "BC", &[&[10, 5]]);
+        let once = semijoin(&r, &s);
+        let twice = semijoin(&once, &s);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn reduces_to_subset_of_left() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10], &[2, 20]]);
+        let s = rel(&mut c, "B", &[&[10], &[20], &[99]]);
+        let sj = semijoin(&r, &s);
+        assert_eq!(sj, r); // every left tuple matches
+        for row in sj.rows() {
+            assert!(r.contains_row(row));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Relations: set-semantics collections of tuples over a [`Schema`].
+//!
+//! The paper's model is pure set semantics — a relation is a set of tuples —
+//! and its cost measure counts tuples. `Relation` therefore maintains the
+//! invariant that rows are distinct; every constructor deduplicates.
+
+use crate::attr::Catalog;
+use crate::error::{Error, Result};
+use crate::fxhash::FxHashSet;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: values aligned positionally with the owning relation's schema.
+pub type Row = Box<[Value]>;
+
+/// A set of tuples over a fixed [`Schema`].
+///
+/// Row order is an implementation detail (it depends on build order and hash
+/// layout); equality, hashing-free comparison and display all canonicalize by
+/// sorting. Use [`Relation::sorted_rows`] when deterministic order matters.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// The empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// The relation over the empty schema containing the single nullary
+    /// tuple. It is the identity of natural join.
+    pub fn nullary_unit() -> Self {
+        Relation {
+            schema: Schema::empty(),
+            rows: vec![Box::from([])],
+        }
+    }
+
+    /// Build from rows, checking arity and removing duplicates.
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        let mut seen: FxHashSet<Row> = FxHashSet::default();
+        seen.reserve(rows.len());
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != schema.arity() {
+                return Err(Error::ArityMismatch {
+                    expected: schema.arity(),
+                    got: row.len(),
+                });
+            }
+            if seen.insert(row.clone()) {
+                out.push(row);
+            }
+        }
+        Ok(Relation { schema, rows: out })
+    }
+
+    /// Build from `Vec<Vec<Value>>` tuples (convenience for tests/examples).
+    pub fn from_tuples(schema: Schema, tuples: Vec<Vec<Value>>) -> Result<Self> {
+        Self::from_rows(schema, tuples.into_iter().map(Into::into).collect())
+    }
+
+    /// Build from rows that are already known to be distinct and of the right
+    /// arity (used by operators that dedup as they produce output).
+    ///
+    /// Debug builds verify the invariants.
+    pub(crate) fn from_distinct_rows(schema: Schema, rows: Vec<Row>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.arity()));
+        debug_assert_eq!(
+            rows.iter().collect::<FxHashSet<_>>().len(),
+            rows.len(),
+            "rows must be distinct"
+        );
+        Relation { schema, rows }
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples — `|R|` in the paper's cost model.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, in unspecified order.
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consume the relation, yielding its rows (still distinct).
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Membership test (linear scan; intended for tests and small relations).
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.rows.iter().any(|r| r.as_ref() == row)
+    }
+
+    /// The rows sorted into canonical order (for deterministic output).
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Render as an aligned table using `catalog` for the header.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> RelationDisplay<'a> {
+        RelationDisplay { rel: self, catalog }
+    }
+}
+
+/// Set equality: same schema and the same set of rows, regardless of order.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.rows.len() == other.rows.len()
+            && self.sorted_rows() == other.sorted_rows()
+    }
+}
+
+impl Eq for Relation {}
+
+/// Helper returned by [`Relation::display`].
+pub struct RelationDisplay<'a> {
+    rel: &'a Relation,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for RelationDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let header: Vec<String> = self
+            .rel
+            .schema
+            .attrs()
+            .iter()
+            .map(|&a| self.catalog.name(a).to_string())
+            .collect();
+        let rows = self.rel.sorted_rows();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        write!(f, "({} tuples)", self.rel.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+
+    fn schema_ab() -> (Catalog, Schema) {
+        let mut c = Catalog::new();
+        let s = Schema::from_chars(&mut c, "AB");
+        (c, s)
+    }
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn from_rows_dedups() {
+        let (_c, s) = schema_ab();
+        let r = Relation::from_rows(s, vec![row(&[1, 2]), row(&[1, 2]), row(&[3, 4])]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains_row(&[Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (_c, s) = schema_ab();
+        let err = Relation::from_rows(s, vec![row(&[1])]).unwrap_err();
+        assert_eq!(err, Error::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let (_c, s) = schema_ab();
+        let r1 =
+            Relation::from_rows(s.clone(), vec![row(&[1, 2]), row(&[3, 4])]).unwrap();
+        let r2 = Relation::from_rows(s, vec![row(&[3, 4]), row(&[1, 2])]).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn inequality_on_rows_and_schema() {
+        let (_c, s) = schema_ab();
+        let r1 = Relation::from_rows(s.clone(), vec![row(&[1, 2])]).unwrap();
+        let r2 = Relation::from_rows(s.clone(), vec![row(&[1, 3])]).unwrap();
+        assert_ne!(r1, r2);
+        let mut c2 = Catalog::new();
+        let other_schema = Schema::from_chars(&mut c2, "AC");
+        // Same ids can exist in another catalog, so compare within one.
+        let _ = other_schema;
+        assert_ne!(r1, Relation::empty(s));
+    }
+
+    #[test]
+    fn nullary_unit() {
+        let u = Relation::nullary_unit();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.schema().arity(), 0);
+        assert!(u.contains_row(&[]));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let (c, s) = schema_ab();
+        let r = Relation::from_rows(s, vec![row(&[10, 2])]).unwrap();
+        let text = r.display(&c).to_string();
+        assert!(text.contains("| A  | B |"), "got:\n{text}");
+        assert!(text.contains("| 10 | 2 |"), "got:\n{text}");
+        assert!(text.ends_with("(1 tuples)"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Minimal TSV import/export for relations.
+//!
+//! The first line is a tab-separated attribute-name header; each subsequent
+//! non-empty line is a tuple. Values that parse as `i64` become integers,
+//! everything else is a string. This keeps example programs and ad-hoc
+//! experiments self-contained without pulling in a serialization framework.
+
+use crate::attr::Catalog;
+use crate::error::{Error, Result};
+use crate::relation::{Relation, Row};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Parse a relation from TSV text, interning attribute names into `catalog`.
+///
+/// Column order in the file may differ from canonical schema order; values
+/// are permuted into place.
+pub fn relation_from_tsv(catalog: &mut Catalog, text: &str) -> Result<Relation> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Parse("TSV input has no header line".to_string()))?;
+    let col_names: Vec<&str> = header.split('\t').map(str::trim).collect();
+    if col_names.iter().any(|n| n.is_empty()) {
+        return Err(Error::Parse("empty attribute name in TSV header".to_string()));
+    }
+    let col_ids: Vec<_> = col_names.iter().map(|n| catalog.intern(n)).collect();
+    {
+        let mut sorted = col_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != col_ids.len() {
+            return Err(Error::Parse("duplicate attribute in TSV header".to_string()));
+        }
+    }
+    let schema = Schema::new(col_ids.clone());
+    // Position of each file column in the canonical schema.
+    let dest: Vec<usize> = col_ids
+        .iter()
+        .map(|&id| schema.position(id).expect("interned above"))
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() != col_ids.len() {
+            return Err(Error::Parse(format!(
+                "line {}: expected {} values, found {}",
+                lineno + 2,
+                col_ids.len(),
+                cells.len()
+            )));
+        }
+        let mut row: Vec<Value> = vec![Value::Int(0); cells.len()];
+        for (i, cell) in cells.iter().enumerate() {
+            row[dest[i]] = Value::parse(cell.trim());
+        }
+        rows.push(row.into());
+    }
+    Relation::from_rows(schema, rows)
+}
+
+/// Render a relation as TSV (canonical column order, sorted rows).
+pub fn relation_to_tsv(catalog: &Catalog, rel: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|&a| catalog.name(a))
+        .collect();
+    out.push_str(&names.join("\t"));
+    out.push('\n');
+    for row in rel.sorted_rows() {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut c = Catalog::new();
+        let text = "A\tB\n1\t2\n3\thello\n";
+        let rel = relation_from_tsv(&mut c, text).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains_row(&[Value::Int(1), Value::Int(2)]));
+        assert!(rel.contains_row(&[Value::Int(3), Value::str("hello")]));
+        let rendered = relation_to_tsv(&c, &rel);
+        let rel2 = relation_from_tsv(&mut c, &rendered).unwrap();
+        assert_eq!(rel, rel2);
+    }
+
+    #[test]
+    fn permuted_header_columns_land_canonically() {
+        let mut c = Catalog::new();
+        c.intern("A"); // make A have the smaller id
+        c.intern("B");
+        let rel = relation_from_tsv(&mut c, "B\tA\n2\t1\n").unwrap();
+        // Canonical order is A, B.
+        assert!(rel.contains_row(&[Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn errors() {
+        let mut c = Catalog::new();
+        assert!(relation_from_tsv(&mut c, "").is_err());
+        assert!(relation_from_tsv(&mut c, "A\tA\n1\t2\n").is_err());
+        assert!(relation_from_tsv(&mut c, "A\tB\n1\n").is_err());
+        assert!(relation_from_tsv(&mut c, "A\t\n1\t2\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_ignored_and_dedup() {
+        let mut c = Catalog::new();
+        let rel = relation_from_tsv(&mut c, "A\n\n1\n1\n\n2\n").unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Random database generation with a planted witness tuple.
+//!
+//! Theorem 2 assumes `⋈D ≠ ∅`; random data over a cyclic scheme is very
+//! likely to have an empty join, so the generator plants one global witness
+//! assignment (attribute → value) and inserts its restriction into every
+//! relation, guaranteeing `⋈D` contains at least the witness tuple.
+
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::{Database, Relation, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_database`].
+#[derive(Debug, Clone)]
+pub struct DataGenConfig {
+    /// Tuples per relation (before deduplication; the planted witness is
+    /// added on top).
+    pub tuples_per_relation: usize,
+    /// Attribute values are drawn uniformly from `0..domain`.
+    pub domain: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether to plant the all-witness tuple (value `domain` in every
+    /// attribute, outside the random range so it joins only with itself).
+    pub plant_witness: bool,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        DataGenConfig {
+            tuples_per_relation: 50,
+            domain: 8,
+            seed: 0,
+            plant_witness: true,
+        }
+    }
+}
+
+/// Generate a random database over `scheme`.
+pub fn random_database(scheme: &DbScheme, config: &DataGenConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rels = Vec::with_capacity(scheme.num_relations());
+    for i in 0..scheme.num_relations() {
+        let schema = Schema::from_set(scheme.attrs_of(i));
+        let mut rows: Vec<Row> = Vec::with_capacity(config.tuples_per_relation + 1);
+        if config.plant_witness {
+            rows.push(vec![Value::Int(config.domain); schema.arity()].into());
+        }
+        for _ in 0..config.tuples_per_relation {
+            let row: Row = (0..schema.arity())
+                .map(|_| Value::Int(rng.gen_range(0..config.domain)))
+                .collect();
+            rows.push(row);
+        }
+        rels.push(Relation::from_rows(schema, rows).expect("arity correct"));
+    }
+    Database::from_relations(rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{chain, cycle};
+    use mjoin_relation::Catalog;
+
+    #[test]
+    fn witness_guarantees_nonempty_join() {
+        let mut c = Catalog::new();
+        let s = cycle(&mut c, 4);
+        for seed in 0..10 {
+            let db = random_database(
+                &s,
+                &DataGenConfig { seed, tuples_per_relation: 30, domain: 5, plant_witness: true },
+            );
+            assert!(!db.join_all().is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn without_witness_cycle_join_often_empty() {
+        let mut c = Catalog::new();
+        let s = cycle(&mut c, 5);
+        let empties = (0..10)
+            .filter(|&seed| {
+                let db = random_database(
+                    &s,
+                    &DataGenConfig {
+                        seed,
+                        tuples_per_relation: 5,
+                        domain: 50,
+                        plant_witness: false,
+                    },
+                );
+                db.join_all().is_empty()
+            })
+            .count();
+        assert!(empties >= 7, "sparse random cycles should mostly be empty");
+    }
+
+    #[test]
+    fn sizes_respected_up_to_dedup() {
+        let mut c = Catalog::new();
+        let s = chain(&mut c, 3);
+        let db = random_database(
+            &s,
+            &DataGenConfig { tuples_per_relation: 40, domain: 100, seed: 1, plant_witness: true },
+        );
+        for rel in db.relations() {
+            assert!(rel.len() <= 41);
+            assert!(rel.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut c = Catalog::new();
+        let s = chain(&mut c, 3);
+        let cfg = DataGenConfig { seed: 9, ..Default::default() };
+        let a = random_database(&s, &cfg);
+        let b = random_database(&s, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,343 @@
+//! The paper's **Example 3** database family, reconstructed.
+//!
+//! Over the 4-cycle scheme `{ABC, CDE, EFG, GHA}` the paper exhibits, for
+//! every `k ≥ 1`, a database that is *pairwise consistent* (semijoins remove
+//! nothing) yet whose full join has exactly **one** tuple, such that:
+//!
+//! * the optimal join expression is the non-CPF, nonlinear "bowtie"
+//!   `(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)`, with cost `< 10^(4k+1)`;
+//! * every CPF join expression costs `> 2·10^(5k)`;
+//! * every linear join expression costs `> 2·10^(5k)`;
+//! * the program Algorithm 2 derives (Example 6) costs `< 2·10^(4k)`-ish —
+//!   orders of magnitude below every CPF/linear expression.
+//!
+//! Our reconstruction (the paper's concrete table is not reproduced in the
+//! text) uses a scale parameter `m` (the paper's `10^k`):
+//!
+//! * corner attributes `A, C, E, G` carry a *spine* value `0` and two *mass*
+//!   values `{1, 2}`; private attributes `B, D, F, H` carry multiplicity;
+//! * `ABC` holds the spine `(0,0,0)` plus `(α, j, α)` for `α ∈ {1,2}`,
+//!   `j ∈ 1..=m³` — so `|ABC| = 2m³ + 1`; similarly `CDE` with `m²`, `EFG`
+//!   with `m`, `GHA` with `m²`;
+//! * `GHA`'s mass is `(γ, j, flip(γ))` with `flip(1)=2, flip(2)=1`: the
+//!   parity break that stops the mass from closing the cycle, so
+//!   `⋈D = {(0,…,0)}`.
+//!
+//! Every *connected proper* subset of the cycle joins its mass fully
+//! (size `2·Π qᵢ + 1`); disconnected subsets multiply per component; the full
+//! cycle collapses to 1. Hence adjacent pairs/triples containing `ABC` cost
+//! `~2m⁵`, while the bowtie's two Cartesian products cost `~4m⁴` each —
+//! reproducing the paper's separation exactly (`m = 10^k`: CPF `> 2·10^5k`,
+//! optimal `< 10^(4k+1)`).
+
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::{Catalog, Database, Relation, Schema, Value};
+
+/// Generator for the Example 3 family at scale `m` (the paper's `10^k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Example3 {
+    /// Scale parameter; the paper's construction is `m = 10^k`. Must be ≥ 5
+    /// for the bowtie to be the strict optimum (below that the crossover
+    /// constants interfere).
+    pub m: u64,
+}
+
+impl Example3 {
+    /// The family member at scale `m`.
+    pub fn new(m: u64) -> Self {
+        assert!(m >= 1, "scale must be positive");
+        Example3 { m }
+    }
+
+    /// The paper's member for a given `k`: `m = 10^k`.
+    pub fn for_k(k: u32) -> Self {
+        Example3::new(10u64.pow(k))
+    }
+
+    /// The database scheme `{ABC, CDE, EFG, GHA}` (Example 1).
+    pub fn scheme(catalog: &mut Catalog) -> DbScheme {
+        DbScheme::parse(catalog, &["ABC", "CDE", "EFG", "GHA"])
+    }
+
+    /// Mass multiplicity `qᵢ` of relation `i`: `(m³, m², m, m²)`.
+    pub fn q(&self, i: usize) -> u64 {
+        match i {
+            0 => self.m * self.m * self.m,
+            1 => self.m * self.m,
+            2 => self.m,
+            3 => self.m * self.m,
+            _ => panic!("Example 3 has 4 relations"),
+        }
+    }
+
+    /// `|Rᵢ| = 2qᵢ + 1`.
+    pub fn relation_size(&self, i: usize) -> u64 {
+        2 * self.q(i) + 1
+    }
+
+    /// Materialize the database. Memory is `Θ(m³)` tuples — `m = 10` (k=1)
+    /// is a few thousand, `m = 100` (k=2) is about two million.
+    pub fn database(&self, catalog: &mut Catalog) -> Database {
+        let flip = |g: i64| -> i64 {
+            match g {
+                1 => 2,
+                2 => 1,
+                other => other,
+            }
+        };
+        let mut rels = Vec::with_capacity(4);
+        for (i, scheme_str) in ["ABC", "CDE", "EFG", "GHA"].iter().enumerate() {
+            let written_ids = catalog.intern_chars(scheme_str);
+            let schema = Schema::new(written_ids.clone());
+            let dest: Vec<usize> = written_ids
+                .iter()
+                .map(|&id| schema.position(id).expect("interned"))
+                .collect();
+            let q = self.q(i);
+            let mut rows = Vec::with_capacity(2 * q as usize + 1);
+            let push = |vals: [i64; 3], rows: &mut Vec<mjoin_relation::Row>| {
+                let mut row = vec![Value::Int(0); 3];
+                for (w, &v) in vals.iter().enumerate() {
+                    row[dest[w]] = Value::Int(v);
+                }
+                rows.push(row.into());
+            };
+            // Spine tuple: all corners 0.
+            push([0, 0, 0], &mut rows);
+            // Mass tuples.
+            for alpha in 1..=2i64 {
+                for j in 1..=q as i64 {
+                    let vals = if i == 3 {
+                        // GHA written (G, H, A): A = flip(G).
+                        [alpha, j, flip(alpha)]
+                    } else {
+                        // (corner, private, corner).
+                        [alpha, j, alpha]
+                    };
+                    push(vals, &mut rows);
+                }
+            }
+            rels.push(Relation::from_rows(schema, rows).expect("distinct by construction"));
+        }
+        Database::from_relations(rels)
+    }
+
+    /// Closed-form `|⋈ D[set]|`, validated against execution in the tests.
+    ///
+    /// Per connected component `C` of `set`: `2·Π_{i∈C} qᵢ + 1` if `C` is a
+    /// proper subset of the cycle, `1` for the full cycle (the parity break);
+    /// components multiply.
+    pub fn subjoin_size(&self, scheme: &DbScheme, set: RelSet) -> u128 {
+        if set.is_empty() {
+            return 1;
+        }
+        let mut total: u128 = 1;
+        for comp in scheme.components(set) {
+            let f: u128 = if comp == scheme.all() {
+                1
+            } else {
+                2 * comp.iter().map(|i| self.q(i) as u128).product::<u128>() + 1
+            };
+            total = total.saturating_mul(f);
+        }
+        total
+    }
+
+    /// Closed-form §2.3 cost of a tree (leaves + internal nodes).
+    pub fn tree_cost(&self, scheme: &DbScheme, tree: &JoinTree) -> u128 {
+        tree.node_sets()
+            .iter()
+            .map(|&s| self.subjoin_size(scheme, s))
+            .sum()
+    }
+
+    /// The paper's optimal expression: `(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)`.
+    pub fn optimal_tree() -> JoinTree {
+        JoinTree::join(
+            JoinTree::join(JoinTree::leaf(0), JoinTree::leaf(2)),
+            JoinTree::join(JoinTree::leaf(1), JoinTree::leaf(3)),
+        )
+    }
+
+    /// Closed-form cost of the optimal (bowtie) expression.
+    pub fn optimal_cost(&self, scheme: &DbScheme) -> u128 {
+        self.tree_cost(scheme, &Self::optimal_tree())
+    }
+
+    /// The paper's upper bound on the optimal cost, `10^(4k+1) = 10·m⁴`
+    /// (stated for `m = 10^k`; for other `m` we use the same `10·m⁴` form).
+    pub fn paper_optimal_bound(&self) -> u128 {
+        10 * (self.m as u128).pow(4)
+    }
+
+    /// The paper's lower bound on every CPF/linear expression, `2·10^(5k) =
+    /// 2·m⁵`.
+    pub fn paper_cpf_lower_bound(&self) -> u128 {
+        2 * (self.m as u128).pow(5)
+    }
+
+    /// Minimum cost over **all** CPF trees (closed-form enumeration of the
+    /// 15-tree space, filtered to CPF).
+    pub fn min_cpf_cost(&self, scheme: &DbScheme) -> u128 {
+        mjoin_expr::cpf_trees(scheme, scheme.all())
+            .iter()
+            .map(|t| self.tree_cost(scheme, t))
+            .min()
+            .expect("the 4-cycle has CPF trees")
+    }
+
+    /// Minimum cost over all linear trees.
+    pub fn min_linear_cost(&self, scheme: &DbScheme) -> u128 {
+        mjoin_expr::linear_trees(scheme.all())
+            .iter()
+            .map(|t| self.tree_cost(scheme, t))
+            .min()
+            .expect("linear trees exist")
+    }
+
+    /// Minimum cost over all trees (the true optimum).
+    pub fn min_overall_cost(&self, scheme: &DbScheme) -> u128 {
+        mjoin_expr::all_trees(scheme.all())
+            .iter()
+            .map(|t| self.tree_cost(scheme, t))
+            .min()
+            .expect("trees exist")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_expr::cost_of;
+
+    #[test]
+    fn sizes_match_formula() {
+        let ex = Example3::new(5);
+        let mut c = Catalog::new();
+        let db = ex.database(&mut c);
+        for i in 0..4 {
+            assert_eq!(db.relation(i).len() as u64, ex.relation_size(i), "R{i}");
+        }
+        assert_eq!(ex.relation_size(0), 2 * 125 + 1);
+        assert_eq!(ex.relation_size(2), 11);
+    }
+
+    #[test]
+    fn join_is_single_tuple() {
+        let ex = Example3::new(5);
+        let mut c = Catalog::new();
+        let db = ex.database(&mut c);
+        let j = db.join_all();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains_row(&vec![Value::Int(0); 8]));
+    }
+
+    #[test]
+    fn pairwise_consistent_but_not_global() {
+        // The paper: "D is locally (pairwise) consistent … but not globally
+        // consistent; actually ⋈D has only one tuple."
+        let ex = Example3::new(5);
+        let mut c = Catalog::new();
+        let db = ex.database(&mut c);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                let reduced =
+                    mjoin_relation::ops::semijoin(db.relation(i), db.relation(j));
+                assert_eq!(
+                    reduced.len(),
+                    db.relation(i).len(),
+                    "semijoin R{i} ⋉ R{j} must be a no-op"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_execution() {
+        let ex = Example3::new(5);
+        let mut c = Catalog::new();
+        let scheme = Example3::scheme(&mut c);
+        let db = ex.database(&mut c);
+        // Every subset of the 4 relations.
+        for bits in 1u64..16 {
+            let set = RelSet(bits);
+            let actual = db.join_of(&set.to_vec()).len() as u128;
+            assert_eq!(
+                ex.subjoin_size(&scheme, set),
+                actual,
+                "subset {set} closed form vs execution"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_cost_closed_form_matches_evaluation() {
+        let ex = Example3::new(5);
+        let mut c = Catalog::new();
+        let scheme = Example3::scheme(&mut c);
+        let db = ex.database(&mut c);
+        for tree in [
+            Example3::optimal_tree(),
+            JoinTree::left_deep(&[0, 1, 2, 3]),
+            JoinTree::left_deep(&[2, 1, 3, 0]),
+        ] {
+            assert_eq!(
+                ex.tree_cost(&scheme, &tree),
+                cost_of(&tree, &db) as u128,
+                "tree {tree:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bowtie_is_the_overall_optimum() {
+        let ex = Example3::new(6);
+        let mut c = Catalog::new();
+        let scheme = Example3::scheme(&mut c);
+        let opt = ex.min_overall_cost(&scheme);
+        assert_eq!(opt, ex.optimal_cost(&scheme));
+        // And it is strictly better than every CPF and linear tree.
+        assert!(opt < ex.min_cpf_cost(&scheme));
+        assert!(opt < ex.min_linear_cost(&scheme));
+    }
+
+    #[test]
+    fn paper_bounds_hold_at_paper_scale() {
+        // k = 1 → m = 10: optimal < 10^(4k+1), CPF and linear > 2·10^(5k).
+        let ex = Example3::for_k(1);
+        let mut c = Catalog::new();
+        let scheme = Example3::scheme(&mut c);
+        assert!(ex.optimal_cost(&scheme) < ex.paper_optimal_bound());
+        assert!(ex.min_cpf_cost(&scheme) > ex.paper_cpf_lower_bound());
+        assert!(ex.min_linear_cost(&scheme) > ex.paper_cpf_lower_bound());
+    }
+
+    #[test]
+    fn separation_grows_linearly_in_m() {
+        let mut c = Catalog::new();
+        let scheme = Example3::scheme(&mut c);
+        let r10 = {
+            let ex = Example3::new(10);
+            ex.min_cpf_cost(&scheme) as f64 / ex.optimal_cost(&scheme) as f64
+        };
+        let r40 = {
+            let ex = Example3::new(40);
+            ex.min_cpf_cost(&scheme) as f64 / ex.optimal_cost(&scheme) as f64
+        };
+        assert!(r40 > 3.0 * r10, "CPF/optimal gap must grow ~m: {r10} → {r40}");
+    }
+
+    #[test]
+    fn optimal_tree_is_non_cpf_nonlinear() {
+        let mut c = Catalog::new();
+        let scheme = Example3::scheme(&mut c);
+        let t = Example3::optimal_tree();
+        assert!(!t.is_cpf(&scheme));
+        assert!(!t.is_linear());
+        assert!(t.is_exactly_over(&scheme));
+    }
+}

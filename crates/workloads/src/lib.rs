@@ -1,0 +1,24 @@
+//! `mjoin-workloads` — synthetic schemes and databases for tests, examples,
+//! and the experiment harness.
+//!
+//! * [`Example3`]: the paper's Example 3 family — pairwise consistent,
+//!   single-tuple join, every CPF/linear expression `~m` times worse than
+//!   the non-CPF optimum — with closed-form sub-join sizes for scales where
+//!   materialization is infeasible;
+//! * [`schemes`]: chain / cycle / star / clique / grid / random connected
+//!   scheme generators;
+//! * [`datagen`]: random databases with a planted witness (`⋈D ≠ ∅`, as
+//!   Theorem 2 requires).
+
+#![warn(missing_docs)]
+
+pub mod cycle_gap;
+pub mod datagen;
+pub mod example3;
+pub mod schemes;
+pub mod star_schema;
+
+pub use datagen::{random_database, DataGenConfig};
+pub use cycle_gap::CycleGap;
+pub use example3::Example3;
+pub use star_schema::{star_schema, StarSchemaConfig};

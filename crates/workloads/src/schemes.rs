@@ -1,0 +1,203 @@
+//! Database-scheme generators: the standard query-shape families plus random
+//! connected schemes.
+
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::{AttrSet, Catalog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn attr(catalog: &mut Catalog, name: String) -> mjoin_relation::AttrId {
+    catalog.intern(&name)
+}
+
+/// Chain `R₁(x₀x₁), R₂(x₁x₂), …` — acyclic, the easiest shape.
+pub fn chain(catalog: &mut Catalog, n: usize) -> DbScheme {
+    assert!(n >= 1);
+    let xs: Vec<_> = (0..=n).map(|i| attr(catalog, format!("x{i}"))).collect();
+    DbScheme::new(
+        (0..n)
+            .map(|i| AttrSet::from_iter_ids([xs[i], xs[i + 1]]))
+            .collect(),
+    )
+}
+
+/// Cycle `R₁(x₀x₁), …, Rₙ(xₙ₋₁x₀)` — the minimal cyclic shape; `n = 4` with
+/// widened edges is the paper's running example.
+pub fn cycle(catalog: &mut Catalog, n: usize) -> DbScheme {
+    assert!(n >= 3, "a cycle needs at least 3 edges");
+    let xs: Vec<_> = (0..n).map(|i| attr(catalog, format!("x{i}"))).collect();
+    DbScheme::new(
+        (0..n)
+            .map(|i| AttrSet::from_iter_ids([xs[i], xs[(i + 1) % n]]))
+            .collect(),
+    )
+}
+
+/// Star: a fact scheme `(k₁ … kₙ)` plus one dimension scheme `(kᵢ dᵢ)` per
+/// key — acyclic, the warehouse shape.
+pub fn star(catalog: &mut Catalog, n: usize) -> DbScheme {
+    assert!(n >= 1);
+    let keys: Vec<_> = (0..n).map(|i| attr(catalog, format!("k{i}"))).collect();
+    let mut edges = vec![AttrSet::from_iter_ids(keys.iter().copied())];
+    for (i, &k) in keys.iter().enumerate() {
+        let d = attr(catalog, format!("d{i}"));
+        edges.push(AttrSet::from_iter_ids([k, d]));
+    }
+    DbScheme::new(edges)
+}
+
+/// Clique: one scheme `(xᵢ xⱼ)` per unordered pair — maximally cyclic.
+pub fn clique(catalog: &mut Catalog, n: usize) -> DbScheme {
+    assert!(n >= 2);
+    let xs: Vec<_> = (0..n).map(|i| attr(catalog, format!("x{i}"))).collect();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push(AttrSet::from_iter_ids([xs[i], xs[j]]));
+        }
+    }
+    DbScheme::new(edges)
+}
+
+/// Grid: one scheme per grid edge of a `w × h` node lattice — cyclic for
+/// `w, h ≥ 2`, with treewidth `min(w, h)`.
+pub fn grid(catalog: &mut Catalog, w: usize, h: usize) -> DbScheme {
+    assert!(w >= 1 && h >= 1 && w * h >= 2);
+    let node = |catalog: &mut Catalog, x: usize, y: usize| attr(catalog, format!("g{x}_{y}"));
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let a = node(catalog, x, y);
+            if x + 1 < w {
+                let b = node(catalog, x + 1, y);
+                edges.push(AttrSet::from_iter_ids([a, b]));
+            }
+            if y + 1 < h {
+                let b = node(catalog, x, y + 1);
+                edges.push(AttrSet::from_iter_ids([a, b]));
+            }
+        }
+    }
+    DbScheme::new(edges)
+}
+
+/// A random connected scheme: `n` relation schemes of `2..=max_arity`
+/// attributes drawn from a pool of `num_attrs`, rejection-sampled (with a
+/// spanning-chain fallback) to be connected.
+pub fn random_connected(
+    catalog: &mut Catalog,
+    n: usize,
+    num_attrs: usize,
+    max_arity: usize,
+    seed: u64,
+) -> DbScheme {
+    assert!(n >= 1 && num_attrs >= 2 && max_arity >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<_> = (0..num_attrs)
+        .map(|i| attr(catalog, format!("a{i}")))
+        .collect();
+    for _ in 0..200 {
+        let edges: Vec<AttrSet> = (0..n)
+            .map(|_| {
+                let arity = rng.gen_range(2..=max_arity.min(num_attrs));
+                let mut set = AttrSet::new();
+                while set.len() < arity {
+                    set.insert(pool[rng.gen_range(0..pool.len())]);
+                }
+                set
+            })
+            .collect();
+        let scheme = DbScheme::new(edges);
+        if scheme.fully_connected() {
+            return scheme;
+        }
+    }
+    // Fallback: stitch a connected scheme deterministically by overlapping
+    // consecutive attribute pairs.
+    let edges: Vec<AttrSet> = (0..n)
+        .map(|i| {
+            AttrSet::from_iter_ids([
+                pool[i % pool.len()],
+                pool[(i + 1) % pool.len()],
+            ])
+        })
+        .collect();
+    DbScheme::new(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_hypergraph::is_acyclic;
+
+    #[test]
+    fn chain_shape() {
+        let mut c = Catalog::new();
+        let s = chain(&mut c, 5);
+        assert_eq!(s.num_relations(), 5);
+        assert_eq!(s.num_attrs(), 6);
+        assert!(s.fully_connected());
+        assert!(is_acyclic(&s));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let mut c = Catalog::new();
+        let s = cycle(&mut c, 4);
+        assert_eq!(s.num_relations(), 4);
+        assert_eq!(s.num_attrs(), 4);
+        assert!(s.fully_connected());
+        assert!(!is_acyclic(&s));
+    }
+
+    #[test]
+    fn star_shape() {
+        let mut c = Catalog::new();
+        let s = star(&mut c, 3);
+        assert_eq!(s.num_relations(), 4);
+        assert_eq!(s.num_attrs(), 6);
+        assert!(s.fully_connected());
+        assert!(is_acyclic(&s));
+    }
+
+    #[test]
+    fn clique_shape() {
+        let mut c = Catalog::new();
+        let s = clique(&mut c, 4);
+        assert_eq!(s.num_relations(), 6);
+        assert_eq!(s.num_attrs(), 4);
+        assert!(s.fully_connected());
+        assert!(!is_acyclic(&s));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let mut c = Catalog::new();
+        let s = grid(&mut c, 3, 2);
+        // Edges: horizontal 2·2=4? For w=3,h=2: horizontal (w−1)·h = 4,
+        // vertical w·(h−1) = 3 → 7.
+        assert_eq!(s.num_relations(), 7);
+        assert_eq!(s.num_attrs(), 6);
+        assert!(s.fully_connected());
+        assert!(!is_acyclic(&s));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..10 {
+            let mut c = Catalog::new();
+            let s = random_connected(&mut c, 5, 8, 3, seed);
+            assert_eq!(s.num_relations(), 5);
+            assert!(s.fully_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_connected_deterministic_per_seed() {
+        let mut c1 = Catalog::new();
+        let s1 = random_connected(&mut c1, 5, 8, 3, 7);
+        let mut c2 = Catalog::new();
+        let s2 = random_connected(&mut c2, 5, 8, 3, 7);
+        assert_eq!(s1, s2);
+    }
+}

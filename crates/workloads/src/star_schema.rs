@@ -1,0 +1,166 @@
+//! A warehouse-style star-schema workload: one fact relation joined to many
+//! dimension relations, with optional key skew.
+//!
+//! Star schemes are acyclic (the fact scheme is a universal witness for GYO),
+//! so they are the classical method's home turf — a useful realistic
+//! counterpoint to Example 3's adversarial cycle. Skewed foreign keys make
+//! the workload interesting for the estimators (E8) and for join ordering
+//! (dimension selectivity varies).
+
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::{Catalog, Database, Relation, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`star_schema`].
+#[derive(Debug, Clone)]
+pub struct StarSchemaConfig {
+    /// Number of dimension relations.
+    pub dimensions: usize,
+    /// Rows in the fact relation.
+    pub fact_rows: usize,
+    /// Rows in each dimension relation (also the key domain size).
+    pub dim_rows: usize,
+    /// Fraction of dimension keys the fact actually references (selectivity
+    /// of the dimension joins): 1.0 = every key, 0.1 = a hot 10%.
+    pub key_coverage: f64,
+    /// Power-law skew exponent for fact foreign keys: 0.0 = uniform; larger
+    /// values concentrate references on low keys.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StarSchemaConfig {
+    fn default() -> Self {
+        StarSchemaConfig {
+            dimensions: 3,
+            fact_rows: 500,
+            dim_rows: 50,
+            key_coverage: 1.0,
+            skew: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate the scheme and database. Relation 0 is the fact
+/// `F(k₀, …, k_{d−1}, m)` (with a unique measure column `m`); relation
+/// `1 + i` is dimension `Dᵢ(kᵢ, aᵢ)`.
+pub fn star_schema(catalog: &mut Catalog, config: &StarSchemaConfig) -> (DbScheme, Database) {
+    assert!(config.dimensions >= 1);
+    assert!(config.dim_rows >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let keys: Vec<_> = (0..config.dimensions)
+        .map(|i| catalog.intern(&format!("k{i}")))
+        .collect();
+    let measure = catalog.intern("m");
+
+    // Fact relation.
+    let usable = ((config.dim_rows as f64 * config.key_coverage).ceil() as usize)
+        .clamp(1, config.dim_rows);
+    let draw_key = |rng: &mut StdRng| -> i64 {
+        let u: f64 = rng.gen();
+        // Power-law toward 0 for skew > 0.
+        let x = u.powf(1.0 + config.skew);
+        ((x * usable as f64) as usize).min(usable - 1) as i64
+    };
+    let fact_schema = Schema::new(keys.iter().copied().chain([measure]).collect());
+    let mpos = fact_schema.position(measure).expect("measure in schema");
+    let fact_rows: Vec<Row> = (0..config.fact_rows)
+        .map(|i| {
+            let mut row = vec![Value::Int(0); fact_schema.arity()];
+            for &k in &keys {
+                let pos = fact_schema.position(k).expect("key in schema");
+                row[pos] = Value::Int(draw_key(&mut rng));
+            }
+            row[mpos] = Value::Int(i as i64); // unique measure: no dedup
+            row.into()
+        })
+        .collect();
+    let fact = Relation::from_rows(fact_schema, fact_rows).expect("arity ok");
+
+    // Dimensions: key + one attribute column.
+    let mut relations = vec![fact];
+    for (i, &k) in keys.iter().enumerate() {
+        let attr = catalog.intern(&format!("d{i}"));
+        let schema = Schema::new(vec![k, attr]);
+        let kpos = schema.position(k).unwrap();
+        let apos = schema.position(attr).unwrap();
+        let rows: Vec<Row> = (0..config.dim_rows)
+            .map(|key| {
+                let mut row = vec![Value::Int(0); 2];
+                row[kpos] = Value::Int(key as i64);
+                row[apos] = Value::Int(rng.gen_range(0..1000));
+                row.into()
+            })
+            .collect();
+        relations.push(Relation::from_rows(schema, rows).expect("arity ok"));
+    }
+
+    let db = Database::from_relations(relations);
+    let scheme = DbScheme::from_schemas(&db.schemas());
+    (scheme, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_hypergraph::is_acyclic;
+
+    #[test]
+    fn shape_and_sizes() {
+        let mut c = Catalog::new();
+        let cfg = StarSchemaConfig { dimensions: 4, fact_rows: 200, dim_rows: 30, ..Default::default() };
+        let (scheme, db) = star_schema(&mut c, &cfg);
+        assert_eq!(scheme.num_relations(), 5);
+        assert_eq!(db.relation(0).len(), 200); // unique measures: no dedup
+        for i in 1..=4 {
+            assert_eq!(db.relation(i).len(), 30);
+        }
+        assert!(scheme.fully_connected());
+        assert!(is_acyclic(&scheme));
+    }
+
+    #[test]
+    fn every_fact_row_survives_full_coverage_join() {
+        let mut c = Catalog::new();
+        let cfg = StarSchemaConfig { key_coverage: 1.0, ..Default::default() };
+        let (_s, db) = star_schema(&mut c, &cfg);
+        let j = db.join_all();
+        // Every fact key exists in its dimension, so the join has exactly
+        // one row per fact row.
+        assert_eq!(j.len(), db.relation(0).len());
+    }
+
+    #[test]
+    fn skew_concentrates_keys() {
+        let mut c = Catalog::new();
+        let cfg = StarSchemaConfig { skew: 3.0, fact_rows: 1000, dim_rows: 100, ..Default::default() };
+        let (_s, db) = star_schema(&mut c, &cfg);
+        let fact = db.relation(0);
+        let k0 = c.lookup("k0").unwrap();
+        let pos = fact.schema().position(k0).unwrap();
+        let low = fact
+            .rows()
+            .iter()
+            .filter(|r| r[pos].as_int().unwrap() < 10)
+            .count();
+        assert!(
+            low > fact.len() / 2,
+            "with skew 3.0, most keys should be in the lowest decile (got {low}/{})",
+            fact.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut c1 = Catalog::new();
+        let mut c2 = Catalog::new();
+        let cfg = StarSchemaConfig { seed: 42, ..Default::default() };
+        let (_s1, d1) = star_schema(&mut c1, &cfg);
+        let (_s2, d2) = star_schema(&mut c2, &cfg);
+        assert_eq!(d1, d2);
+    }
+}

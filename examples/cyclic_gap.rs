@@ -1,0 +1,79 @@
+//! Example 3's exponential gap, measured.
+//!
+//! ```text
+//! cargo run --release --example cyclic_gap [max_m]
+//! ```
+//!
+//! For the paper's Example 3 family: sweep the scale `m` (the paper's
+//! `10^k`) and print the cost of the optimal (non-CPF) expression, the best
+//! CPF expression, the best linear expression, and the program the paper's
+//! pipeline derives — demonstrating that the program tracks the optimum
+//! while every CPF/linear *expression* falls behind by a factor growing
+//! linearly in `m`.
+
+use mjoin::prelude::*;
+
+fn main() {
+    let max_m: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    println!("Example 3 family (paper scale m = 10^k); closed-form costs + measured program\n");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "m", "optimal", "best CPF", "best linear", "program P", "CPF/opt"
+    );
+
+    let mut m = 5u64;
+    while m <= max_m {
+        let ex = Example3::new(m);
+        let mut catalog = Catalog::new();
+        let scheme = Example3::scheme(&mut catalog);
+
+        // Closed-form expression costs (exact; validated against execution
+        // in the test suite).
+        let optimal = ex.min_overall_cost(&scheme);
+        let best_cpf = ex.min_cpf_cost(&scheme);
+        let best_linear = ex.min_linear_cost(&scheme);
+
+        // Measured program cost: derive from the optimal tree and execute.
+        let db = ex.database(&mut catalog);
+        let t1 = Example3::optimal_tree();
+        let run = run_pipeline(&scheme, &t1, &db, &mut FirstChoice).unwrap();
+        assert_eq!(run.exec.result.len(), 1, "⋈D is the single all-zero tuple");
+        assert!(run.bound_holds(), "Theorem 2 must hold");
+
+        println!(
+            "{:>6} {:>14} {:>14} {:>14} {:>14} {:>9.1}x",
+            m,
+            optimal,
+            best_cpf,
+            best_linear,
+            run.program_cost(),
+            best_cpf as f64 / optimal as f64
+        );
+
+        m = if m < 10 { 10 } else { m + 10 };
+    }
+
+    println!("\npaper bounds at m = 10 (k = 1):");
+    let ex = Example3::for_k(1);
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    println!(
+        "  optimal {} < 10^(4k+1) = {}",
+        ex.optimal_cost(&scheme),
+        ex.paper_optimal_bound()
+    );
+    println!(
+        "  best CPF {} > 2·10^(5k) = {}",
+        ex.min_cpf_cost(&scheme),
+        ex.paper_cpf_lower_bound()
+    );
+    println!(
+        "  best linear {} > 2·10^(5k) = {}",
+        ex.min_linear_cost(&scheme),
+        ex.paper_cpf_lower_bound()
+    );
+}

@@ -1,0 +1,189 @@
+//! `mjoin_cli` — join a set of TSV relations with the paper's pipeline.
+//!
+//! ```text
+//! mjoin_cli analyze  R1.tsv R2.tsv …            # scheme diagnostics
+//! mjoin_cli plan     [--optimizer X] R1.tsv …   # show tree + program
+//! mjoin_cli run      [--optimizer X] R1.tsv …   # execute, TSV on stdout
+//! mjoin_cli query "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …   # conjunctive query
+//! ```
+//!
+//! For `query`, each TSV file defines a predicate named by its file stem
+//! (`edges.tsv` → `edges`), with columns bound positionally in header order.
+//!
+//! Each TSV file holds one relation: a tab-separated header of attribute
+//! names, then one tuple per line. The optimizer picks the input tree `T₁`
+//! (`greedy` default; `dp`, `dp-cpf`, `dp-linear` for the exact DP optima);
+//! Algorithms 1 and 2 then derive the program that is executed.
+//!
+//! Costs (the paper's §2.3 tuple counts) go to stderr so stdout stays a
+//! clean TSV.
+
+use mjoin::prelude::*;
+use mjoin::program::display;
+use mjoin::relation::tsv;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    optimizer: String,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut optimizer = "greedy".to_string();
+    let mut files = Vec::new();
+    while let Some(arg) = argv.next() {
+        if arg == "--optimizer" {
+            optimizer = argv.next().ok_or("--optimizer needs a value")?;
+        } else if let Some(rest) = arg.strip_prefix("--optimizer=") {
+            optimizer = rest.to_string();
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            files.push(arg);
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok(Args { command, optimizer, files })
+}
+
+fn usage() -> String {
+    "usage: mjoin_cli <analyze|plan|run|query> [--optimizer greedy|dp|dp-cpf|dp-linear] [\"Q(x) :- …\"] <relation.tsv>…"
+        .to_string()
+}
+
+fn load(files: &[String]) -> Result<(Catalog, DbScheme, Database), String> {
+    let mut catalog = Catalog::new();
+    let mut relations = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let rel = tsv::relation_from_tsv(&mut catalog, &text)
+            .map_err(|e| format!("`{path}`: {e}"))?;
+        relations.push(rel);
+    }
+    let db = Database::from_relations(relations);
+    let scheme = DbScheme::from_schemas(&db.schemas());
+    Ok((catalog, scheme, db))
+}
+
+fn pick_tree(
+    name: &str,
+    scheme: &DbScheme,
+    db: &Database,
+) -> Result<(JoinTree, u64), String> {
+    let mut oracle = ExactOracle::new(db);
+    let space = match name {
+        "greedy" => {
+            let (tree, cost) = greedy(scheme, &mut oracle, true);
+            return Ok((tree, cost));
+        }
+        "dp" => SearchSpace::All,
+        "dp-cpf" => SearchSpace::Cpf,
+        "dp-linear" => SearchSpace::Linear,
+        other => return Err(format!("unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)")),
+    };
+    let opt = optimize(scheme, &mut oracle, space)
+        .ok_or_else(|| format!("optimizer `{name}`: search space is empty for this scheme"))?;
+    Ok((opt.tree, opt.cost))
+}
+
+fn analyze(catalog: &Catalog, scheme: &DbScheme, db: &Database) {
+    println!("relations: {}", scheme.num_relations());
+    println!("attributes: {}", scheme.num_attrs());
+    println!("scheme: {}", scheme.display(catalog));
+    println!("connected: {}", scheme.fully_connected());
+    println!("acyclic (GYO): {}", is_acyclic(scheme));
+    println!("quasi-optimality factor r(a+5): {}", scheme.quasi_factor());
+    println!("input tuples: {}", db.total_tuples());
+    println!("pairwise consistent: {}", pairwise_consistent(db));
+}
+
+fn run(args: &Args, execute_it: bool) -> Result<(), String> {
+    let (catalog, scheme, db) = load(&args.files)?;
+    if !scheme.fully_connected() {
+        return Err(
+            "the input relations' scheme is disconnected; the result would be a Cartesian \
+             product across components — join each component separately"
+                .to_string(),
+        );
+    }
+    let (t1, t1_cost) = pick_tree(&args.optimizer, &scheme, &db)?;
+    eprintln!("T1 ({}, cost {}): {}", args.optimizer, t1_cost, t1.display(&scheme, &catalog));
+
+    let d = derive(&scheme, &t1).map_err(|e| e.to_string())?;
+    eprintln!("T2 (CPF): {}", d.cpf_tree.display(&scheme, &catalog));
+    eprintln!("program ({} statements):", d.program.len());
+    eprint!("{}", display::render(&d.program, &scheme, &catalog));
+
+    if execute_it {
+        let run = run_pipeline(&scheme, &t1, &db, &mut FirstChoice).map_err(|e| e.to_string())?;
+        eprintln!("cost(T1(D)) = {}", run.tree_cost);
+        eprintln!("cost(P(D))  = {} (peak resident {})", run.program_cost(), run.exec.peak_resident);
+        eprintln!("result: {} tuples", run.exec.result.len());
+        print!("{}", tsv::relation_to_tsv(&catalog, &run.exec.result));
+    }
+    Ok(())
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    let (query_text, files) = args
+        .files
+        .split_first()
+        .ok_or("query needs a query string and at least one TSV file")?;
+    let mut ndb = NamedDatabase::new();
+    for path in files {
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a predicate name from `{path}`"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        ndb.add_tsv(stem, &text).map_err(|e| format!("`{path}`: {e}"))?;
+    }
+    let q = parse_query(query_text).map_err(|e| e.to_string())?;
+    let strategy = match args.optimizer.as_str() {
+        "greedy" => PlanStrategy::Greedy,
+        "dp" => PlanStrategy::DpOptimal,
+        "dp-cpf" => PlanStrategy::DpCpf,
+        other => return Err(format!("unknown optimizer `{other}` for query (try greedy|dp|dp-cpf)")),
+    };
+    let res = execute_query(&ndb, &q, strategy).map_err(|e| e.to_string())?;
+    eprintln!("{q}");
+    eprintln!("{} answers, cost {} tuples", res.len(), res.ledger.total());
+    println!("{}", q.head_vars.join("\t"));
+    for row in res.rows_in_head_order() {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match args.command.as_str() {
+        "analyze" => load(&args.files).map(|(c, s, d)| analyze(&c, &s, &d)),
+        "plan" => run(&args, false),
+        "run" => run(&args, true),
+        "query" => query(&args),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end tests of the `mjoin_cli` binary: every command, over real TSV
+//! files, checking stdout is clean TSV and diagnostics land on stderr.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+fn write_tsv(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mjoin_cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+struct Fixture {
+    _dir: tempdir::TempDir,
+    files: Vec<String>,
+}
+
+/// Minimal tempdir (std-only) so the test has no extra dependencies.
+mod tempdir {
+    pub struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        pub fn new(tag: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!(
+                "mjoin-cli-test-{tag}-{}-{}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+        pub fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+fn triangle_fixture() -> Fixture {
+    let dir = tempdir::TempDir::new("tri");
+    let files = vec![
+        write_tsv(dir.path(), "r1.tsv", "A\tB\n1\t2\n1\t3\n9\t9\n"),
+        write_tsv(dir.path(), "r2.tsv", "B\tC\n2\t5\n3\t6\n"),
+        write_tsv(dir.path(), "r3.tsv", "C\tA\n5\t1\n6\t1\n"),
+    ]
+    .into_iter()
+    .map(|p| p.to_string_lossy().into_owned())
+    .collect();
+    Fixture { _dir: dir, files }
+}
+
+#[test]
+fn analyze_reports_scheme_facts() {
+    let fx = triangle_fixture();
+    let args: Vec<&str> = std::iter::once("analyze")
+        .chain(fx.files.iter().map(String::as_str))
+        .collect();
+    let out = cli(&args);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("relations: 3"));
+    assert!(text.contains("connected: true"));
+    assert!(text.contains("acyclic (GYO): false"));
+}
+
+#[test]
+fn run_emits_tsv_on_stdout_and_costs_on_stderr() {
+    let fx = triangle_fixture();
+    let args: Vec<&str> = std::iter::once("run")
+        .chain(fx.files.iter().map(String::as_str))
+        .collect();
+    let out = cli(&args);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // stdout: header + the 2 join tuples.
+    assert_eq!(stdout.lines().count(), 3, "stdout:\n{stdout}");
+    assert!(stdout.starts_with("A\tB\tC\n"));
+    assert!(stdout.contains("1\t2\t5"));
+    assert!(stdout.contains("1\t3\t6"));
+    // stderr carries the plan and the costs.
+    assert!(stderr.contains("program"));
+    assert!(stderr.contains("cost(P(D))"));
+}
+
+#[test]
+fn run_with_dp_optimizer() {
+    let fx = triangle_fixture();
+    let mut args = vec!["run", "--optimizer", "dp"];
+    args.extend(fx.files.iter().map(String::as_str));
+    let out = cli(&args);
+    assert!(out.status.success());
+}
+
+#[test]
+fn plan_does_not_execute() {
+    let fx = triangle_fixture();
+    let args: Vec<&str> = std::iter::once("plan")
+        .chain(fx.files.iter().map(String::as_str))
+        .collect();
+    let out = cli(&args);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "plan must not write result TSV");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("T2 (CPF)"));
+}
+
+#[test]
+fn query_command_answers() {
+    let fx = triangle_fixture();
+    let mut args = vec!["query", "Q(x, z) :- r1(x, y), r2(y, z)"];
+    args.extend(fx.files.iter().map(String::as_str));
+    let out = cli(&args);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("x\tz\n"));
+    assert!(stdout.contains("1\t5"));
+    assert!(stdout.contains("1\t6"));
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    // Unknown command.
+    let out = cli(&["frobnicate", "x.tsv"]);
+    assert!(!out.status.success());
+    // Missing file.
+    let out = cli(&["run", "/nonexistent/never.tsv"]);
+    assert!(!out.status.success());
+    // Bad optimizer name.
+    let fx = triangle_fixture();
+    let mut args = vec!["run", "--optimizer", "quantum"];
+    args.extend(fx.files.iter().map(String::as_str));
+    let out = cli(&args);
+    assert!(!out.status.success());
+    // No args at all.
+    let out = cli(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn disconnected_inputs_rejected_with_message() {
+    let dir = tempdir::TempDir::new("disc");
+    let f1 = write_tsv(dir.path(), "a.tsv", "A\tB\n1\t2\n");
+    let f2 = write_tsv(dir.path(), "b.tsv", "X\tY\n3\t4\n");
+    let out = cli(&["run", f1.to_str().unwrap(), f2.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("disconnected"));
+}

@@ -1,0 +1,159 @@
+//! Integration test: the paper's quantitative claims, end to end.
+//!
+//! This is the executable record behind EXPERIMENTS.md — every inequality
+//! the paper states about Examples 3, 5 and 6 and Theorems 1–2 is asserted
+//! here at reproducible scales.
+
+use mjoin::prelude::*;
+use mjoin::program::display;
+
+/// Example 3 at k = 1 (m = 10): the three cost inequalities of §2.3.
+#[test]
+fn example3_cost_inequalities_at_k1() {
+    let ex = Example3::for_k(1);
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+
+    let optimal = ex.min_overall_cost(&scheme);
+    // The optimal tree is the bowtie, non-CPF and nonlinear.
+    assert_eq!(optimal, ex.optimal_cost(&scheme));
+    assert!(!Example3::optimal_tree().is_cpf(&scheme));
+    assert!(!Example3::optimal_tree().is_linear());
+
+    // "cost(E(D)) is less than 10^(4k+1)"
+    assert!(optimal < ex.paper_optimal_bound());
+    // "If we apply to D any CPF join expression exactly over D, the cost
+    //  exceeds 2·10^(5k)."
+    assert!(ex.min_cpf_cost(&scheme) > ex.paper_cpf_lower_bound());
+    // "The cost of any linear join expression applied to D also becomes
+    //  greater than 2·10^(5k)."
+    assert!(ex.min_linear_cost(&scheme) > ex.paper_cpf_lower_bound());
+}
+
+/// The closed forms extend the claims to k = 2..4 where materialization is
+/// impossible.
+#[test]
+fn example3_cost_inequalities_scale_with_k() {
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    for k in 1..=4u32 {
+        let ex = Example3::for_k(k);
+        assert!(ex.optimal_cost(&scheme) < ex.paper_optimal_bound(), "k={k}");
+        assert!(ex.min_cpf_cost(&scheme) > ex.paper_cpf_lower_bound(), "k={k}");
+        assert!(ex.min_linear_cost(&scheme) > ex.paper_cpf_lower_bound(), "k={k}");
+    }
+}
+
+/// Example 3's consistency facts: pairwise consistent, not globally
+/// consistent, ⋈D a single tuple, semijoin fixpoint a no-op.
+#[test]
+fn example3_consistency_facts() {
+    let ex = Example3::new(5);
+    let mut catalog = Catalog::new();
+    let db = ex.database(&mut catalog);
+    assert!(pairwise_consistent(&db));
+    assert!(!globally_consistent(&db));
+    assert_eq!(db.join_all().len(), 1);
+    let mut ledger = CostLedger::new();
+    let (reduced, effective) = semijoin_fixpoint(&db, &mut ledger);
+    assert_eq!(effective, 0, "the paper: semijoin programs are useless here");
+    assert_eq!(reduced, db);
+}
+
+/// Example 5: Algorithm 1 produces exactly 16 CPF trees from Figure 1's
+/// expression, one of which is Figure 2's.
+#[test]
+fn example5_sixteen_cpf_trees() {
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    let t1 = parse_join_tree(&catalog, &scheme, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
+    let outcomes = algorithm1_all_outcomes(&scheme, &t1).unwrap();
+    assert_eq!(outcomes.len(), 16);
+    let fig2 = parse_join_tree(&catalog, &scheme, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+    assert!(outcomes.contains(&fig2));
+    for t in &outcomes {
+        assert!(t.is_cpf(&scheme));
+        assert!(t.is_exactly_over(&scheme));
+    }
+}
+
+/// Example 6: the exact statement sequence, and its cost on Example 3's
+/// database — the same order as the paper's 2·10^(4k) (we assert the scaling
+/// shape: Θ(m⁴), i.e. quartic growth and far below the CPF lower bound).
+#[test]
+fn example6_program_and_cost() {
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    let fig2 = parse_join_tree(&catalog, &scheme, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+    let program = algorithm2(&scheme, &fig2).unwrap();
+
+    let text = display::render(&program, &scheme, &catalog);
+    assert_eq!(
+        text.lines().count(),
+        10,
+        "Example 6's derivation has 10 statements:\n{text}"
+    );
+    // The first statement is the semijoin of Example 6.
+    assert!(text.lines().next().unwrap().contains("⋉ R(CDE)"));
+
+    let mut costs = Vec::new();
+    for m in [5u64, 10, 20] {
+        let ex = Example3::new(m);
+        let mut c2 = Catalog::new();
+        let _ = Example3::scheme(&mut c2);
+        let db = ex.database(&mut c2);
+        let out = execute(&program, &db);
+        assert_eq!(out.result.len(), 1, "P(D) = ⋈D (Theorem 1)");
+        // Far below the CPF expression lower bound at the same scale.
+        assert!(
+            (out.cost() as u128) < ex.paper_cpf_lower_bound(),
+            "m={m}: program {} !< CPF bound {}",
+            out.cost(),
+            ex.paper_cpf_lower_bound()
+        );
+        costs.push(out.cost());
+    }
+    // Quartic-ish growth: doubling m multiplies cost by ~16 (not ~32 = m⁵).
+    let ratio = costs[2] as f64 / costs[1] as f64;
+    assert!(
+        (8.0..24.0).contains(&ratio),
+        "program cost must scale ~m⁴, got ratio {ratio}"
+    );
+}
+
+/// The headline: from the optimal join expression, the derived program is
+/// quasi-optimal (Theorem 2), and it beats every CPF and linear expression
+/// on Example 3.
+#[test]
+fn quasi_optimal_program_beats_cpf_expressions() {
+    let ex = Example3::for_k(1);
+    let mut catalog = Catalog::new();
+    let scheme = Example3::scheme(&mut catalog);
+    let db = ex.database(&mut catalog);
+
+    let run = run_pipeline(&scheme, &Example3::optimal_tree(), &db, &mut FirstChoice).unwrap();
+    assert_eq!(run.exec.result, db.join_all());
+    assert!(run.bound_holds());
+
+    let program_cost = run.program_cost() as u128;
+    assert!(program_cost < ex.min_cpf_cost(&scheme));
+    assert!(program_cost < ex.min_linear_cost(&scheme));
+    // On this database the program even beats the optimal expression.
+    assert!(program_cost < ex.optimal_cost(&scheme));
+}
+
+/// Theorem 2's hypothesis matters: the bound is stated for ⋈D ≠ ∅. With an
+/// empty join the pipeline still computes the correct (empty) result.
+#[test]
+fn empty_join_still_correct() {
+    let mut catalog = Catalog::new();
+    let scheme = DbScheme::parse(&mut catalog, &["AB", "BC"]);
+    let db = Database::from_relations(vec![
+        relation_of_ints(&mut catalog, "AB", &[&[1, 2]]).unwrap(),
+        relation_of_ints(&mut catalog, "BC", &[&[9, 9]]).unwrap(),
+    ]);
+    assert!(db.join_all().is_empty());
+    let t = JoinTree::left_deep(&[0, 1]);
+    let run = run_pipeline(&scheme, &t, &db, &mut FirstChoice).unwrap();
+    assert!(run.exec.result.is_empty());
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the paper's pipeline: Theorems 1 and 2 as
+//! executable properties over random schemes, databases, trees, and
+//! Algorithm 1 choice policies.
+
+use mjoin::optimizer::random_tree;
+use mjoin::prelude::*;
+use mjoin::workloads::schemes;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A connected scheme drawn from the named families (so shrinking lands on
+/// readable cases).
+fn any_scheme() -> impl Strategy<Value = (Catalog, DbScheme)> {
+    (0usize..5, 3usize..6).prop_map(|(family, n)| {
+        let mut c = Catalog::new();
+        let s = match family {
+            0 => schemes::chain(&mut c, n),
+            1 => schemes::cycle(&mut c, n),
+            2 => schemes::star(&mut c, n - 1),
+            3 => schemes::clique(&mut c, 3),
+            _ => schemes::random_connected(&mut c, n, n + 2, 3, n as u64 * 31),
+        };
+        (c, s)
+    })
+}
+
+fn db_for(scheme: &DbScheme, seed: u64) -> Database {
+    random_database(
+        scheme,
+        &DataGenConfig { tuples_per_relation: 20, domain: 4, seed, plant_witness: true },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algorithm1_output_is_cpf_for_any_policy(
+        (..) in Just(()),
+        (catalog, scheme) in any_scheme(),
+        tree_seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let _ = catalog;
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let mut policy = SeededChoice::new(policy_seed);
+        let t2 = algorithm1_with_policy(&scheme, &t1, &mut policy).unwrap();
+        prop_assert!(t2.is_cpf(&scheme));
+        prop_assert!(t2.is_exactly_over(&scheme));
+    }
+
+    #[test]
+    fn theorem1_program_computes_the_join(
+        (catalog, scheme) in any_scheme(),
+        db_seed in any::<u64>(),
+        tree_seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let _ = catalog;
+        let db = db_for(&scheme, db_seed);
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let mut policy = SeededChoice::new(policy_seed);
+        let run = run_pipeline(&scheme, &t1, &db, &mut policy).unwrap();
+        prop_assert_eq!(run.exec.result, db.join_all());
+    }
+
+    #[test]
+    fn theorem2_bound_never_violated(
+        (catalog, scheme) in any_scheme(),
+        db_seed in any::<u64>(),
+        tree_seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let _ = catalog;
+        let db = db_for(&scheme, db_seed);
+        prop_assume!(!db.join_all().is_empty()); // theorem hypothesis
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let mut policy = SeededChoice::new(policy_seed);
+        let report = check_theorem2(&scheme, &t1, &db, &mut policy).unwrap();
+        prop_assert!(
+            report.holds,
+            "cost(P)={} vs bound {}·{}",
+            report.program_cost, report.quasi_factor, report.tree_cost
+        );
+        prop_assert!((report.num_statements as u64) < report.quasi_factor);
+    }
+
+    #[test]
+    fn derived_programs_validate_statically(
+        (catalog, scheme) in any_scheme(),
+        tree_seed in any::<u64>(),
+    ) {
+        let _ = catalog;
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let d = derive(&scheme, &t1).unwrap();
+        let info = validate(&d.program, &scheme).unwrap();
+        prop_assert_eq!(info.result_scheme, scheme.all_attrs());
+    }
+
+    #[test]
+    fn dp_spaces_are_ordered(
+        (catalog, scheme) in any_scheme(),
+        db_seed in any::<u64>(),
+    ) {
+        let _ = catalog;
+        let db = db_for(&scheme, db_seed);
+        let mut oracle = ExactOracle::new(&db);
+        let all = optimize(&scheme, &mut oracle, SearchSpace::All).unwrap().cost;
+        let cpf = optimize(&scheme, &mut oracle, SearchSpace::Cpf).unwrap().cost;
+        let lin = optimize(&scheme, &mut oracle, SearchSpace::Linear).unwrap().cost;
+        prop_assert!(all <= cpf);
+        prop_assert!(all <= lin);
+        // Heuristics can't beat the DP optimum.
+        let (gt, gc) = greedy(&scheme, &mut oracle, true);
+        prop_assert!(gc >= all);
+        prop_assert_eq!(gc, cost_of(&gt, &db));
+    }
+
+    #[test]
+    fn tree_eval_matches_restricted_naive_join(
+        (catalog, scheme) in any_scheme(),
+        db_seed in any::<u64>(),
+        tree_seed in any::<u64>(),
+    ) {
+        let _ = catalog;
+        let db = db_for(&scheme, db_seed);
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t = random_tree(&scheme, &mut rng, false);
+        let res = evaluate(&t, &db);
+        prop_assert_eq!(res.relation, db.join_all());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for program transformations: dead-code elimination and
+//! the statement-kind ablations must preserve `P(D) = ⋈D` while only ever
+//! moving cost in the documented direction.
+
+use mjoin::core::{ablate_program, Ablation};
+use mjoin::optimizer::random_tree;
+use mjoin::prelude::*;
+use mjoin::program::eliminate_dead_code;
+use mjoin::workloads::schemes;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scheme_and_db(family: usize, n: usize, seed: u64) -> (DbScheme, Database) {
+    let mut c = Catalog::new();
+    let scheme = match family {
+        0 => schemes::chain(&mut c, n),
+        1 => schemes::cycle(&mut c, n.max(3)),
+        _ => schemes::star(&mut c, n.max(2) - 1),
+    };
+    let db = random_database(
+        &scheme,
+        &DataGenConfig { tuples_per_relation: 15, domain: 4, seed, plant_witness: true },
+    );
+    (scheme, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dce_preserves_results_and_never_raises_cost(
+        family in 0usize..3,
+        n in 3usize..6,
+        db_seed in any::<u64>(),
+        tree_seed in any::<u64>(),
+    ) {
+        let (scheme, db) = scheme_and_db(family, n, db_seed);
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let d = derive(&scheme, &t1).unwrap();
+        let pruned = eliminate_dead_code(&d.program);
+        prop_assert!(pruned.len() <= d.program.len());
+        validate(&pruned, &scheme).unwrap();
+        let before = execute(&d.program, &db);
+        let after = execute(&pruned, &db);
+        prop_assert!(after.cost() <= before.cost());
+        prop_assert_eq!(before.result, after.result);
+    }
+
+    #[test]
+    fn algorithm2_output_has_no_dead_code(
+        family in 0usize..3,
+        n in 3usize..6,
+        tree_seed in any::<u64>(),
+    ) {
+        // Every statement Algorithm 2 emits feeds the result.
+        let (scheme, _db) = scheme_and_db(family, n, 0);
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let d = derive(&scheme, &t1).unwrap();
+        let pruned = eliminate_dead_code(&d.program);
+        prop_assert_eq!(pruned.len(), d.program.len());
+    }
+
+    #[test]
+    fn ablations_stay_correct_and_no_cheaper(
+        family in 0usize..3,
+        n in 3usize..5,
+        db_seed in any::<u64>(),
+        tree_seed in any::<u64>(),
+        which in 0usize..3,
+    ) {
+        let (scheme, db) = scheme_and_db(family, n, db_seed);
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let d = derive(&scheme, &t1).unwrap();
+        let ablation = [Ablation::NoSemijoins, Ablation::NoProjections, Ablation::Neither][which];
+        let weakened = ablate_program(&d.program, &scheme, ablation);
+        validate(&weakened, &scheme).unwrap();
+        let full = execute(&d.program, &db);
+        let weak = execute(&weakened, &db);
+        prop_assert_eq!(&full.result, &db.join_all());
+        prop_assert_eq!(&weak.result, &full.result);
+        prop_assert!(weak.cost() >= full.cost());
+    }
+
+    #[test]
+    fn render_parse_roundtrip_on_derived_programs(
+        n in 3usize..6,
+        tree_seed in any::<u64>(),
+        db_seed in any::<u64>(),
+    ) {
+        // Chains give single-letter-free attribute names? No — schemes::chain
+        // uses x0..xn names, which the program parser cannot resolve (it
+        // needs single-character attributes). Use a paper-style scheme.
+        let mut c = Catalog::new();
+        let names = ["AB", "BC", "CD", "DE", "EF"];
+        let scheme = DbScheme::parse(&mut c, &names[..n]);
+        let db = random_database(
+            &scheme,
+            &DataGenConfig { tuples_per_relation: 10, domain: 4, seed: db_seed, plant_witness: true },
+        );
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let d = derive(&scheme, &t1).unwrap();
+        let text = mjoin::program::display::render(&d.program, &scheme, &c);
+        let reparsed = mjoin::program::parse_program(&c, &scheme, &text).unwrap();
+        validate(&reparsed, &scheme).unwrap();
+        let a = execute(&d.program, &db);
+        let b = execute(&reparsed, &db);
+        prop_assert_eq!(a.cost(), b.cost());
+        prop_assert_eq!(a.result, b.result);
+    }
+}
