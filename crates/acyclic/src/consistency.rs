@@ -30,8 +30,8 @@ pub fn pairwise_consistent(db: &Database) -> bool {
 pub fn globally_consistent(db: &Database) -> bool {
     let full = db.join_all();
     for rel in db.relations() {
-        let proj = ops::project(&full, rel.schema().attrs())
-            .expect("relation scheme ⊆ join scheme");
+        let proj =
+            ops::project(&full, rel.schema().attrs()).expect("relation scheme ⊆ join scheme");
         if proj != *rel {
             return false;
         }

@@ -132,7 +132,7 @@ mod tests {
         for i in 0..db.len() {
             let mut p2 = p.clone();
             p2.result = Reg::Base(i);
-            assert_eq!(execute(&p2, &db).result, *reduced.relation(i));
+            assert_eq!(*execute(&p2, &db).result, *reduced.relation(i));
         }
     }
 

@@ -59,16 +59,10 @@ pub fn yannakakis(
                     }
                 }
                 let schema = Schema::from_set(&needed);
-                let projected = ops::project(&joined, schema.attrs())
-                    .expect("needed ⊆ joined scheme");
-                ledger.charge_generated(
-                    format!("merge R{ear} into R{p}"),
-                    joined.len(),
-                );
-                ledger.charge_generated(
-                    format!("project at R{p}"),
-                    projected.len(),
-                );
+                let projected =
+                    ops::project(&joined, schema.attrs()).expect("needed ⊆ joined scheme");
+                ledger.charge_generated(format!("merge R{ear} into R{p}"), joined.len());
+                ledger.charge_generated(format!("project at R{p}"), projected.len());
                 acc[p] = projected;
                 folded[p] = merged_attrs;
                 alive[ear] = false;

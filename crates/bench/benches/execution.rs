@@ -29,7 +29,12 @@ fn setup(m: u64) -> Setup {
         .into_iter()
         .min_by_key(|t| ex.tree_cost(&scheme, t))
         .unwrap();
-    Setup { db, program: derivation.program, bowtie, best_cpf }
+    Setup {
+        db,
+        program: derivation.program,
+        bowtie,
+        best_cpf,
+    }
 }
 
 fn bench_strategies(c: &mut Criterion) {

@@ -14,9 +14,7 @@ use std::hint::black_box;
 fn table(catalog: &mut Catalog, scheme: &str, n: usize, keys: usize) -> Relation {
     let schema = Schema::from_chars(catalog, scheme);
     let rows = (0..n)
-        .map(|i| {
-            vec![Value::Int((i % keys) as i64), Value::Int(i as i64)].into()
-        })
+        .map(|i| vec![Value::Int((i % keys) as i64), Value::Int(i as i64)].into())
         .collect();
     Relation::from_rows(schema, rows).unwrap()
 }

@@ -14,7 +14,12 @@ fn setup(r: usize) -> (mjoin_hypergraph::DbScheme, Database) {
     let scheme = schemes::cycle(&mut catalog, r);
     let db = random_database(
         &scheme,
-        &DataGenConfig { tuples_per_relation: 20, domain: 4, seed: 5, plant_witness: true },
+        &DataGenConfig {
+            tuples_per_relation: 20,
+            domain: 4,
+            seed: 5,
+            plant_witness: true,
+        },
     );
     (scheme, db)
 }
@@ -36,16 +41,25 @@ fn bench_optimizers(c: &mut Criterion) {
                 });
             });
         }
-        group.bench_with_input(BenchmarkId::new("greedy", r), &(&scheme, &db), |b, (s, d)| {
-            b.iter(|| {
-                let mut oracle = ExactOracle::new(d);
-                black_box(greedy(s, &mut oracle, true))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy", r),
+            &(&scheme, &db),
+            |b, (s, d)| {
+                b.iter(|| {
+                    let mut oracle = ExactOracle::new(d);
+                    black_box(greedy(s, &mut oracle, true))
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("ii", r), &(&scheme, &db), |b, (s, d)| {
             b.iter(|| {
                 let mut oracle = ExactOracle::new(d);
-                let cfg = IiConfig { restarts: 3, patience: 20, cpf_only: false, seed: 1 };
+                let cfg = IiConfig {
+                    restarts: 3,
+                    patience: 20,
+                    cpf_only: false,
+                    seed: 1,
+                };
                 black_box(iterative_improvement(s, &mut oracle, &cfg))
             });
         });

@@ -17,15 +17,20 @@ fn bench_pipeline(c: &mut Criterion) {
         let scheme = schemes::cycle(&mut catalog, r);
         let db = random_database(
             &scheme,
-            &DataGenConfig { tuples_per_relation: 40, domain: 5, seed: 11, plant_witness: true },
+            &DataGenConfig {
+                tuples_per_relation: 40,
+                domain: 5,
+                seed: 11,
+                plant_witness: true,
+            },
         );
         let mut oracle = ExactOracle::new(&db);
-        let t1 = optimize(&scheme, &mut oracle, SearchSpace::All).unwrap().tree;
+        let t1 = optimize(&scheme, &mut oracle, SearchSpace::All)
+            .unwrap()
+            .tree;
 
         group.bench_with_input(BenchmarkId::new("derive_and_execute", r), &r, |b, _| {
-            b.iter(|| {
-                black_box(run_pipeline(&scheme, &t1, &db, &mut FirstChoice).unwrap())
-            });
+            b.iter(|| black_box(run_pipeline(&scheme, &t1, &db, &mut FirstChoice).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("evaluate_tree", r), &r, |b, _| {
             b.iter(|| black_box(cost_of(&t1, &db)));

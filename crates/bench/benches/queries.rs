@@ -24,7 +24,10 @@ fn bench_queries(c: &mut Criterion) {
     let db = graph(800, 60, 3);
     for (name, text) in [
         ("two_hop", "Q(x, z) :- edge(x, y), edge(y, z)."),
-        ("triangle", "Q(x, y, z) :- edge(x, y), edge(y, z), edge(z, x)."),
+        (
+            "triangle",
+            "Q(x, y, z) :- edge(x, y), edge(y, z), edge(z, x).",
+        ),
         (
             "four_cycle",
             "Q(a, c) :- edge(a, b), edge(b, c), edge(c, d), edge(d, a).",

@@ -105,7 +105,12 @@ fn main() {
         ]);
     }
     mjoin_bench::print_table(
-        &["k", "optimal < 10^(4k+1)", "CPF > 2*10^(5k)", "linear > 2*10^(5k)"],
+        &[
+            "k",
+            "optimal < 10^(4k+1)",
+            "CPF > 2*10^(5k)",
+            "linear > 2*10^(5k)",
+        ],
         &rows,
     );
 }

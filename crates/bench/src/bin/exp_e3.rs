@@ -28,7 +28,11 @@ fn main() {
     // Figure 1.
     let t1 = parse_join_tree(&catalog, &scheme, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
     println!("## Figure 1: T1 = {}", t1.display(&scheme, &catalog));
-    println!("   CPF? {}   linear? {}\n", t1.is_cpf(&scheme), t1.is_linear());
+    println!(
+        "   CPF? {}   linear? {}\n",
+        t1.is_cpf(&scheme),
+        t1.is_linear()
+    );
 
     // Example 5.
     let outcomes = algorithm1_all_outcomes(&scheme, &t1).unwrap();
@@ -49,7 +53,11 @@ fn main() {
     println!("\n## Example 6: the program derived from Figure 2's tree");
     let program = algorithm2(&scheme, &fig2).unwrap();
     print!("{}", display::render(&program, &scheme, &catalog));
-    println!("({} statements; Claim C bound r(a+5) = {})", program.len(), scheme.quasi_factor());
+    println!(
+        "({} statements; Claim C bound r(a+5) = {})",
+        program.len(),
+        scheme.quasi_factor()
+    );
 
     println!("\n## Example 6's cost claim on the Example 3 database");
     for m in [5u64, 10, 20] {

@@ -69,7 +69,14 @@ fn main() {
         }
     }
     print_table(
-        &["family", "r", "a", "statements", "r(a+5) bound", "derive time (us)"],
+        &[
+            "family",
+            "r",
+            "a",
+            "statements",
+            "r(a+5) bound",
+            "derive time (us)",
+        ],
         &rows,
     );
 

@@ -38,7 +38,14 @@ fn main() {
         }
     }
     print_table(
-        &["family", "r", "all trees", "CPF trees", "linear trees", "CPF fraction"],
+        &[
+            "family",
+            "r",
+            "all trees",
+            "CPF trees",
+            "linear trees",
+            "CPF fraction",
+        ],
         &rows,
     );
 
@@ -49,7 +56,12 @@ fn main() {
         let scheme = schemes::cycle(&mut catalog, r);
         let db = random_database(
             &scheme,
-            &DataGenConfig { tuples_per_relation: 20, domain: 4, seed: 1, plant_witness: true },
+            &DataGenConfig {
+                tuples_per_relation: 20,
+                domain: 4,
+                seed: 1,
+                plant_witness: true,
+            },
         );
         let mut cells = vec![r.to_string()];
         for space in [SearchSpace::All, SearchSpace::Cpf, SearchSpace::Linear] {

@@ -71,11 +71,19 @@ fn main() {
     let scheme = schemes::chain(&mut catalog, 6);
     let db = random_database(
         &scheme,
-        &DataGenConfig { tuples_per_relation: 30, domain: 40, seed: 3, plant_witness: true },
+        &DataGenConfig {
+            tuples_per_relation: 30,
+            domain: 40,
+            seed: 3,
+            plant_witness: true,
+        },
     );
     let (reduced, red_ledger) = fully_reduce(&scheme, &db).unwrap();
     let removed = db.total_tuples() - reduced.total_tuples();
-    println!("full reducer: removed {removed} dangling tuples (cost {})", red_ledger.total());
+    println!(
+        "full reducer: removed {removed} dangling tuples (cost {})",
+        red_ledger.total()
+    );
     assert!(globally_consistent(&reduced));
 
     let mono = mjoin_acyclic::monotone_join_tree(&scheme).unwrap();
@@ -90,7 +98,11 @@ fn main() {
     assert!(smart.ledger.peak_generated() <= smart.relation.len() as u64);
 
     let (proj, yan_ledger) = yannakakis(&scheme, &db, &scheme.all_attrs()).unwrap();
-    println!("Yannakakis full join: {} tuples, total cost {}", proj.len(), yan_ledger.total());
+    println!(
+        "Yannakakis full join: {} tuples, total cost {}",
+        proj.len(),
+        yan_ledger.total()
+    );
     assert_eq!(proj, db.join_all());
 
     // The paper pipeline on the same acyclic input for comparison.
@@ -100,5 +112,5 @@ fn main() {
         run.program_cost(),
         yan_ledger.total()
     );
-    assert_eq!(run.exec.result, db.join_all());
+    assert_eq!(*run.exec.result, db.join_all());
 }

@@ -31,12 +31,16 @@ fn main() {
 
     // Part 1: ablations on the program derived from Figure 2's tree.
     println!("# E7.1: statement-kind ablations (Example 3, m = {m})\n");
-    let fig2 = mjoin_expr::parse_join_tree(&catalog, &scheme, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA")
-        .unwrap();
+    let fig2 = mjoin_expr::parse_join_tree(&catalog, &scheme, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
     let p = algorithm2(&scheme, &fig2).unwrap();
     let mut rows = Vec::new();
     let full_cost = execute(&p, &db).cost();
-    rows.push(vec!["full Algorithm 2".into(), p.len().to_string(), full_cost.to_string(), "1.0x".into()]);
+    rows.push(vec![
+        "full Algorithm 2".into(),
+        p.len().to_string(),
+        full_cost.to_string(),
+        "1.0x".into(),
+    ]);
     for (label, ab) in [
         ("no semijoins (⋉ → ⋈)", Ablation::NoSemijoins),
         ("no projections (π → copy)", Ablation::NoProjections),
@@ -44,7 +48,7 @@ fn main() {
     ] {
         let q = ablate_program(&p, &scheme, ab);
         let out = execute(&q, &db);
-        assert_eq!(out.result, expected, "{label} must stay correct");
+        assert_eq!(*out.result, expected, "{label} must stay correct");
         rows.push(vec![
             label.into(),
             q.len().to_string(),
@@ -62,24 +66,37 @@ fn main() {
         .into_iter()
         .filter(|t| t.is_cpf(&scheme))
         .collect();
-    for (label, trees) in [("all CPF trees", &all_cpf), ("linear ∩ CPF trees", &lin_cpf)] {
+    for (label, trees) in [
+        ("all CPF trees", &all_cpf),
+        ("linear ∩ CPF trees", &lin_cpf),
+    ] {
         let mut best: Option<(u64, String)> = None;
         for t in trees {
             let p = algorithm2(&scheme, t).unwrap();
             let out = execute(&p, &db);
-            assert_eq!(out.result, expected);
+            assert_eq!(*out.result, expected);
             let c = out.cost();
             if best.as_ref().is_none_or(|(b, _)| c < *b) {
                 best = Some((c, t.display(&scheme, &catalog).to_string()));
             }
         }
         let (cost, tree) = best.expect("class nonempty");
-        best_rows.push(vec![label.to_string(), trees.len().to_string(), cost.to_string(), tree]);
+        best_rows.push(vec![
+            label.to_string(),
+            trees.len().to_string(),
+            cost.to_string(),
+            tree,
+        ]);
     }
     let opt_cost = ex.optimal_cost(&scheme);
-    print_table(&["class", "trees", "best program cost", "best tree"], &best_rows);
-    println!("\n(optimal join-expression cost for reference: {opt_cost}; best CPF expression: {})",
-        ex.min_cpf_cost(&scheme));
+    print_table(
+        &["class", "trees", "best program cost", "best tree"],
+        &best_rows,
+    );
+    println!(
+        "\n(optimal join-expression cost for reference: {opt_cost}; best CPF expression: {})",
+        ex.min_cpf_cost(&scheme)
+    );
 
     // Part 3: choice-policy sensitivity.
     println!("\n# E7.3: program cost across all 16 Algorithm 1 outcomes of the bowtie\n");
@@ -90,7 +107,7 @@ fn main() {
         .map(|t2| {
             let p = algorithm2(&scheme, t2).unwrap();
             let out = execute(&p, &db);
-            assert_eq!(out.result, expected);
+            assert_eq!(*out.result, expected);
             out.cost()
         })
         .collect();
@@ -111,7 +128,7 @@ fn main() {
     let t2 = mjoin_core::algorithm1_with_policy(&scheme, &t1, &mut aware).unwrap();
     let p = algorithm2(&scheme, &t2).unwrap();
     let out = execute(&p, &db);
-    assert_eq!(out.result, expected);
+    assert_eq!(*out.result, expected);
     println!(
         "cost-aware choice policy (greedy on sub-join sizes): program cost {} (vs min {} above)",
         out.cost(),

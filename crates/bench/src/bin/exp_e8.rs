@@ -40,7 +40,12 @@ fn main() {
         let scheme = schemes::random_connected(&mut catalog, 5, 7, 3, seed);
         let db = random_database(
             &scheme,
-            &DataGenConfig { tuples_per_relation: 60, domain: 8, seed, plant_witness: true },
+            &DataGenConfig {
+                tuples_per_relation: 60,
+                domain: 8,
+                seed,
+                plant_witness: true,
+            },
         );
         let mut exact = ExactOracle::new(&db);
         let mut unif = EstimateOracle::new(&scheme, &db);
@@ -60,8 +65,18 @@ fn main() {
     print_table(
         &["estimator", "median q-error", "p90 q-error", "max q-error"],
         &[
-            vec!["uniform independence".into(), format!("{um:.2}"), format!("{u9:.2}"), format!("{umax:.1}")],
-            vec!["equi-width histograms".into(), format!("{hm:.2}"), format!("{h9:.2}"), format!("{hmax:.1}")],
+            vec![
+                "uniform independence".into(),
+                format!("{um:.2}"),
+                format!("{u9:.2}"),
+                format!("{umax:.1}"),
+            ],
+            vec![
+                "equi-width histograms".into(),
+                format!("{hm:.2}"),
+                format!("{h9:.2}"),
+                format!("{hmax:.1}"),
+            ],
         ],
     );
 
@@ -77,12 +92,16 @@ fn main() {
             let scheme = schemes::random_connected(&mut catalog, 5, 7, 3, seed);
             let db = random_database(
                 &scheme,
-                &DataGenConfig { tuples_per_relation: 60, domain: 8, seed, plant_witness: true },
+                &DataGenConfig {
+                    tuples_per_relation: 60,
+                    domain: 8,
+                    seed,
+                    plant_witness: true,
+                },
             );
             let tree = {
-                let pick = |o: &mut dyn CostOracle| {
-                    optimize(&scheme, o, SearchSpace::All).unwrap().tree
-                };
+                let pick =
+                    |o: &mut dyn CostOracle| optimize(&scheme, o, SearchSpace::All).unwrap().tree;
                 match which {
                     0 => pick(&mut EstimateOracle::new(&scheme, &db)),
                     1 => pick(&mut HistogramOracle::new(&scheme, &db)),
@@ -92,7 +111,9 @@ fn main() {
             let actual = cost_of(&tree, &db) as f64;
             let optimal = {
                 let mut exact = ExactOracle::new(&db);
-                optimize(&scheme, &mut exact, SearchSpace::All).unwrap().cost as f64
+                optimize(&scheme, &mut exact, SearchSpace::All)
+                    .unwrap()
+                    .cost as f64
             };
             let regret = actual / optimal;
             worst = worst.max(regret);
@@ -105,7 +126,10 @@ fn main() {
             format!("{worst:.3}"),
         ]);
     }
-    print_table(&["planner statistics", "mean regret", "worst regret"], &rows);
+    print_table(
+        &["planner statistics", "mean regret", "worst regret"],
+        &rows,
+    );
 
     // Part 3: Example 3's skew — where uniform estimation falls apart.
     println!("\n## Example 3 (m = 10): estimates of the four adjacent pair joins\n");

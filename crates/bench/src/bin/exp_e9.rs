@@ -75,9 +75,15 @@ fn main() {
                 },
             );
             let mut oracle = ExactOracle::new(&db);
-            let all = optimize(&scheme, &mut oracle, SearchSpace::All).unwrap().cost;
-            let cpf = optimize(&scheme, &mut oracle, SearchSpace::Cpf).unwrap().cost;
-            let lin = optimize(&scheme, &mut oracle, SearchSpace::Linear).unwrap().cost;
+            let all = optimize(&scheme, &mut oracle, SearchSpace::All)
+                .unwrap()
+                .cost;
+            let cpf = optimize(&scheme, &mut oracle, SearchSpace::Cpf)
+                .unwrap()
+                .cost;
+            let lin = optimize(&scheme, &mut oracle, SearchSpace::Linear)
+                .unwrap()
+                .cost;
             let rc = cpf as f64 / all as f64;
             let rl = lin as f64 / all as f64;
             st.n += 1;

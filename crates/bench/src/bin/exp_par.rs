@@ -1,0 +1,455 @@
+//! `exp_par` — the parallel zero-copy executor benchmark.
+//!
+//! Runs three program workloads — Example 3, a star schema, and a cycle-gap
+//! family member — through:
+//!
+//! * the **seed baseline**: deep-clone registers + sequential operators
+//!   ([`mjoin_bench::baseline::execute_deep_clone`]), i.e. the interpreter
+//!   exactly as it stood before this change; and
+//! * the **new executor**: `Arc`-shared registers, DAG-levelled statement
+//!   scheduling, and pool-partitioned operators
+//!   (`mjoin_program::execute_parallel`) at 1, 2, 4 and 8 threads.
+//!
+//! Every run is checked for result equality against the baseline before its
+//! time is accepted. Results land in `BENCH_parallel_exec.json` at the repo
+//! root (or the path given as the first CLI argument), with the host's true
+//! parallelism recorded so single-core CI numbers read honestly: on a 1-CPU
+//! host the speedup is the zero-copy/allocation win, not core scaling.
+
+use mjoin_bench::baseline::execute_deep_clone;
+use mjoin_bench::print_table;
+use mjoin_core::derive;
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::DbScheme;
+use mjoin_program::{execute_parallel, schedule, Program, ProgramBuilder, Reg};
+use mjoin_relation::{Catalog, Database};
+use mjoin_workloads::{star_schema, CycleGap, Example3, StarSchemaConfig};
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 5;
+
+struct Workload {
+    name: &'static str,
+    db: Database,
+    program: Program,
+}
+
+fn left_deep(n: usize) -> JoinTree {
+    let mut t = JoinTree::leaf(0);
+    for i in 1..n {
+        t = JoinTree::join(t, JoinTree::leaf(i));
+    }
+    t
+}
+
+fn derived(name: &'static str, scheme: &DbScheme, db: Database, t1: &JoinTree) -> Workload {
+    let program = derive(scheme, t1).expect("derivation").program;
+    Workload { name, db, program }
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+
+    // Example 3 (the paper's adversarial cycle), scaled until the derived
+    // program moves ~10⁵ tuples per statement.
+    {
+        let mut c = Catalog::new();
+        let ex = Example3::new(30);
+        let scheme = Example3::scheme(&mut c);
+        let db = ex.database(&mut c);
+        out.push(derived(
+            "example3_m30",
+            &scheme,
+            db,
+            &Example3::optimal_tree(),
+        ));
+    }
+
+    // Star schema: acyclic, so Algorithm 2 emits a full-reducer semijoin
+    // program — reads of the big fact relation dominate, the worst case for
+    // deep-clone registers.
+    let star = {
+        let mut c = Catalog::new();
+        let cfg = StarSchemaConfig {
+            dimensions: 6,
+            fact_rows: 60_000,
+            dim_rows: 2_000,
+            key_coverage: 1.0,
+            skew: 0.0,
+            seed: 42,
+        };
+        let (scheme, db) = star_schema(&mut c, &cfg);
+        let n = scheme.num_relations();
+        out.push(derived("star_d6_f60k", &scheme, db.clone(), &left_deep(n)));
+        (scheme, db)
+    };
+
+    // Cycle-gap: a cyclic scheme with one weak edge, sized likewise.
+    {
+        let mut c = Catalog::new();
+        let cg = CycleGap::new(6, 40);
+        let scheme = cg.scheme(&mut c);
+        let db = cg.database(&mut c);
+        let n = scheme.num_relations();
+        out.push(derived("cycle_gap_n6_m40", &scheme, db, &left_deep(n)));
+    }
+
+    // Algorithm 2's programs are serial chains (schedule width 1), so the
+    // three workloads above never hand the DAG scheduler an actually-wide
+    // level. This hand-built star program does: one independent key
+    // projection per dimension (a width-6 level), then the semijoin
+    // reductions of the fact by each projected key set.
+    {
+        let (scheme, db) = star;
+        let d = scheme.num_relations() - 1;
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        let keys: Vec<Reg> = (0..d)
+            .map(|i| {
+                let dim = Reg::Base(1 + i);
+                let key_attrs = scheme.attrs_of(0).intersect(scheme.attrs_of(1 + i));
+                let x = b.new_temp(format!("K{i}"));
+                b.project(x, dim, key_attrs);
+                x
+            })
+            .collect();
+        for x in keys {
+            b.semijoin(v, x);
+        }
+        let program = b.finish(v);
+        out.push(Workload {
+            name: "star_wide_reducer",
+            db,
+            program,
+        });
+    }
+
+    // The register-traffic stress: a wide (12-attribute) 150k-row relation
+    // swept by ten single-attribute semijoin filters that never shrink it.
+    // Each statement's operator work is one cheap probe per tuple, but the
+    // seed interpreter also deep-copies all 150k wide rows per read — the
+    // access pattern the Arc registers eliminate outright.
+    {
+        use mjoin_relation::{Relation, Row, Schema, Value};
+        let mut c = Catalog::new();
+        const WIDTH: usize = 12;
+        const ROWS: i64 = 150_000;
+        const FILTERS: usize = 10;
+        let attrs: Vec<_> = (0..WIDTH).map(|i| c.intern(&format!("a{i}"))).collect();
+        let base_schema = Schema::new(attrs.clone());
+        let rows: Vec<Row> = (0..ROWS)
+            .map(|i| {
+                (0..WIDTH as i64)
+                    .map(|j| Value::Int(if j == 0 { i } else { (i * 31 + j) % 1000 }))
+                    .collect::<Vec<_>>()
+                    .into()
+            })
+            .collect();
+        let base = Relation::from_rows(base_schema.clone(), rows).unwrap();
+        // Filter i covers attribute a_{1+i}'s full value range, so V's
+        // 150k tuples all survive every statement.
+        let filters: Vec<Relation> = (0..FILTERS)
+            .map(|i| {
+                let schema = Schema::new(vec![attrs[1 + i]]);
+                let rows: Vec<Row> = (0..1000).map(|v| vec![Value::Int(v)].into()).collect();
+                Relation::from_rows(schema, rows).unwrap()
+            })
+            .collect();
+        let mut rels = vec![base];
+        rels.extend(filters);
+        let scheme =
+            DbScheme::from_schemas(&rels.iter().map(|r| r.schema().clone()).collect::<Vec<_>>());
+        let db = Database::from_relations(rels);
+
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        for i in 0..FILTERS {
+            b.semijoin(v, Reg::Base(1 + i));
+        }
+        let program = b.finish(v);
+        out.push(Workload {
+            name: "wide_filter_sweep",
+            db,
+            program,
+        });
+    }
+
+    // Selective fan-out probes: twelve independent joins of tiny key lists
+    // against one wide 300k-row base — the point-lookup access pattern. The
+    // outputs are ~100 rows each, so the operator work is one hash-probe
+    // miss per base tuple and the seed interpreter's deep clone of the wide
+    // base is the dominant cost by far. The twelve probes are mutually
+    // independent, giving the scheduler a width-12 level.
+    {
+        use mjoin_relation::{Relation, Row, Schema, Value};
+        let mut c = Catalog::new();
+        const WIDTH: usize = 16;
+        const ROWS: i64 = 300_000;
+        const PROBES: usize = 12;
+        const HITS: i64 = 100;
+        let attrs: Vec<_> = (0..WIDTH).map(|i| c.intern(&format!("a{i}"))).collect();
+        let base_schema = Schema::new(attrs.clone());
+        let rows: Vec<Row> = (0..ROWS)
+            .map(|i| {
+                (0..WIDTH as i64)
+                    .map(|j| Value::Int(if j == 0 { i } else { i * 17 + j }))
+                    .collect::<Vec<_>>()
+                    .into()
+            })
+            .collect();
+        let base = Relation::from_rows(base_schema, rows).unwrap();
+        let probes: Vec<Relation> = (0..PROBES as i64)
+            .map(|i| {
+                let b_attr = c.intern(&format!("b{i}"));
+                let schema = Schema::new(vec![attrs[0], b_attr]);
+                let rows: Vec<Row> = (0..HITS)
+                    .map(|j| vec![Value::Int((i * 1009 + j * 2003) % ROWS), Value::Int(j)].into())
+                    .collect();
+                Relation::from_rows(schema, rows).unwrap()
+            })
+            .collect();
+        let mut rels = vec![base];
+        rels.extend(probes);
+        let scheme =
+            DbScheme::from_schemas(&rels.iter().map(|r| r.schema().clone()).collect::<Vec<_>>());
+        let db = Database::from_relations(rels);
+
+        let mut b = ProgramBuilder::new(&scheme);
+        let hits: Vec<Reg> = (0..PROBES)
+            .map(|i| {
+                let w = b.new_temp(format!("W{i}"));
+                b.join(w, Reg::Base(0), Reg::Base(1 + i));
+                w
+            })
+            .collect();
+        for i in 1..PROBES {
+            b.join(hits[0], hits[0], hits[i]);
+        }
+        let program = b.finish(hits[0]);
+        out.push(Workload {
+            name: "selective_probe_fanout",
+            db,
+            program,
+        });
+    }
+
+    out
+}
+
+/// One timed call of `f`, in milliseconds.
+fn time_once<F: FnMut()>(f: &mut F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+struct Measurement {
+    name: &'static str,
+    relations: usize,
+    input_tuples: usize,
+    stmts: usize,
+    schedule_depth: usize,
+    schedule_width: usize,
+    result_tuples: usize,
+    baseline_ms: f64,
+    parallel_ms: Vec<(usize, f64)>,
+}
+
+impl Measurement {
+    fn speedup_at(&self, threads: usize) -> f64 {
+        let t = self
+            .parallel_ms
+            .iter()
+            .find(|(n, _)| *n == threads)
+            .map(|(_, ms)| *ms)
+            .unwrap_or(f64::INFINITY);
+        self.baseline_ms / t
+    }
+}
+
+fn measure(w: &Workload) -> Measurement {
+    let program = &w.program;
+    let sched = schedule(program);
+    let input_tuples: usize = w.db.relations().iter().map(|r| r.len()).sum();
+
+    // Correctness gate first: the baseline is the oracle.
+    let oracle = execute_deep_clone(program, &w.db);
+    for threads in THREADS {
+        let par = execute_parallel(program, &w.db, threads);
+        assert_eq!(
+            *par.result, oracle.result,
+            "{}: parallel result diverged at {threads} threads",
+            w.name
+        );
+        assert_eq!(
+            par.head_sizes, oracle.head_sizes,
+            "{}: head sizes diverged",
+            w.name
+        );
+    }
+
+    // Interleave configurations round-robin across reps so ambient host
+    // slowness (this often runs on shared 1-CPU CI) biases every
+    // configuration equally, then keep each configuration's best rep.
+    let mut run_base = || {
+        let out = execute_deep_clone(program, &w.db);
+        std::hint::black_box(out.result.len());
+    };
+    let mut baseline_ms = f64::INFINITY;
+    let mut best_par = vec![f64::INFINITY; THREADS.len()];
+    for _ in 0..REPS {
+        baseline_ms = baseline_ms.min(time_once(&mut run_base));
+        for (slot, &threads) in best_par.iter_mut().zip(THREADS.iter()) {
+            let mut run_par = || {
+                let out = execute_parallel(program, &w.db, threads);
+                std::hint::black_box(out.result.len());
+            };
+            *slot = slot.min(time_once(&mut run_par));
+        }
+    }
+    let parallel_ms: Vec<(usize, f64)> = THREADS.iter().copied().zip(best_par).collect();
+
+    Measurement {
+        name: w.name,
+        relations: w.db.len(),
+        input_tuples,
+        stmts: program.stmts.len(),
+        schedule_depth: sched.depth(),
+        schedule_width: sched.width(),
+        result_tuples: oracle.result.len(),
+        baseline_ms,
+        parallel_ms,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Measurement]) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"experiment\": \"parallel_exec\",\n");
+    j.push_str("  \"command\": \"cargo run --release -p mjoin-bench --bin exp_par\",\n");
+    j.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    j.push_str(&format!("  \"pool_threads\": {pool_threads},\n"));
+    j.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
+    j.push_str(
+        "  \"baseline\": \"seed interpreter: deep-clone registers, sequential operators\",\n",
+    );
+    j.push_str(
+        "  \"note\": \"on a 1-CPU host the speedup measures the zero-copy Arc registers and allocation fixes, not core scaling; results are asserted equal to the baseline before timing\",\n",
+    );
+    j.push_str("  \"workloads\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        j.push_str("    {\n");
+        j.push_str(&format!("      \"name\": \"{}\",\n", json_escape(m.name)));
+        j.push_str(&format!("      \"relations\": {},\n", m.relations));
+        j.push_str(&format!("      \"input_tuples\": {},\n", m.input_tuples));
+        j.push_str(&format!("      \"result_tuples\": {},\n", m.result_tuples));
+        j.push_str(&format!("      \"program_stmts\": {},\n", m.stmts));
+        j.push_str(&format!(
+            "      \"schedule_depth\": {},\n",
+            m.schedule_depth
+        ));
+        j.push_str(&format!(
+            "      \"schedule_width\": {},\n",
+            m.schedule_width
+        ));
+        j.push_str(&format!(
+            "      \"baseline_deep_clone_ms\": {:.3},\n",
+            m.baseline_ms
+        ));
+        j.push_str("      \"parallel_ms\": {");
+        let cells: Vec<String> = m
+            .parallel_ms
+            .iter()
+            .map(|(t, v)| format!("\"{t}\": {v:.3}"))
+            .collect();
+        j.push_str(&cells.join(", "));
+        j.push_str("},\n");
+        j.push_str("      \"speedup_vs_baseline\": {");
+        let cells: Vec<String> = m
+            .parallel_ms
+            .iter()
+            .map(|(t, _)| format!("\"{t}\": {:.2}", m.speedup_at(*t)))
+            .collect();
+        j.push_str(&cells.join(", "));
+        j.push_str("}\n");
+        j.push_str(if i + 1 == ms.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(path, j).expect("write BENCH_parallel_exec.json");
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel_exec.json".into());
+    // Fail on an unwritable output path *before* the minutes-long run.
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        eprintln!("exp_par: cannot open output path {path}: {e}");
+        std::process::exit(1);
+    }
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    mjoin_pool::ensure_at_least(*THREADS.iter().max().unwrap());
+    let pool_threads = mjoin_pool::current_num_threads();
+    println!(
+        "exp_par: host parallelism {host_parallelism}, pool threads {pool_threads}, best of {REPS}\n"
+    );
+
+    let ws = workloads();
+    let measurements: Vec<Measurement> = ws
+        .iter()
+        .map(|w| {
+            println!("running {} ...", w.name);
+            measure(w)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for m in &measurements {
+        let mut row = vec![
+            m.name.to_string(),
+            m.input_tuples.to_string(),
+            m.stmts.to_string(),
+            format!("{}×{}", m.schedule_depth, m.schedule_width),
+            format!("{:.1}", m.baseline_ms),
+        ];
+        for (_, ms) in &m.parallel_ms {
+            row.push(format!("{ms:.1}"));
+        }
+        row.push(format!("{:.2}×", m.speedup_at(4)));
+        rows.push(row);
+    }
+    println!();
+    print_table(
+        &[
+            "workload",
+            "input",
+            "stmts",
+            "depth×width",
+            "seed ms",
+            "t=1",
+            "t=2",
+            "t=4",
+            "t=8",
+            "speedup@4",
+        ],
+        &rows,
+    );
+
+    write_json(&path, pool_threads, host_parallelism, &measurements);
+    println!("\nwrote {path}");
+}

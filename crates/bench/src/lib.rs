@@ -1,5 +1,7 @@
-//! Shared helpers for the experiment binaries (`exp_e1` … `exp_e7`) and the
-//! Criterion benches.
+//! Shared helpers for the experiment binaries (`exp_e1` … `exp_e9`,
+//! `exp_par`) and the Criterion benches.
+
+pub mod baseline;
 
 use mjoin_expr::JoinTree;
 use mjoin_hypergraph::{DbScheme, RelSet};
@@ -59,7 +61,7 @@ pub fn fmt_count(n: u128) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -85,7 +87,10 @@ mod tests {
         let mut c = Catalog::new();
         let scheme = Example3::scheme(&mut c);
         let ex = Example3::new(7);
-        let mut o = Example3Oracle { ex, scheme: &scheme };
+        let mut o = Example3Oracle {
+            ex,
+            scheme: &scheme,
+        };
         assert_eq!(
             o.subjoin_size(RelSet::from_indices([0, 1])) as u128,
             ex.subjoin_size(&scheme, RelSet::from_indices([0, 1]))

@@ -66,7 +66,11 @@ pub fn ablate_program(program: &Program, scheme: &DbScheme, ablation: Ablation) 
                 } else {
                     attrs.clone()
                 };
-                Stmt::Project { dst: *dst, src: *src, attrs }
+                Stmt::Project {
+                    dst: *dst,
+                    src: *src,
+                    attrs,
+                }
             }
             Stmt::Join { .. } => stmt.clone(),
             Stmt::Semijoin { target, filter } => {
@@ -75,7 +79,11 @@ pub fn ablate_program(program: &Program, scheme: &DbScheme, ablation: Ablation) 
                         target.is_temp(),
                         "cannot convert a base-head semijoin to a join"
                     );
-                    Stmt::Join { dst: *target, left: *target, right: *filter }
+                    Stmt::Join {
+                        dst: *target,
+                        left: *target,
+                        right: *filter,
+                    }
                 } else {
                     stmt.clone()
                 }
@@ -89,8 +97,12 @@ pub fn ablate_program(program: &Program, scheme: &DbScheme, ablation: Ablation) 
                 }
             }
             Stmt::Join { dst, left, right } => {
-                let s = resolve(&base_schemes, &temp_schemes, program, *left)
-                    .union(&resolve(&base_schemes, &temp_schemes, program, *right));
+                let s = resolve(&base_schemes, &temp_schemes, program, *left).union(&resolve(
+                    &base_schemes,
+                    &temp_schemes,
+                    program,
+                    *right,
+                ));
                 match dst {
                     Reg::Temp(t) => temp_schemes[*t] = Some(s),
                     Reg::Base(i) => base_schemes[*i] = s,
@@ -134,11 +146,15 @@ mod tests {
     fn ablated_programs_remain_correct() {
         let (_c, s, db, p) = setup();
         let expected = db.join_all();
-        for ab in [Ablation::NoSemijoins, Ablation::NoProjections, Ablation::Neither] {
+        for ab in [
+            Ablation::NoSemijoins,
+            Ablation::NoProjections,
+            Ablation::Neither,
+        ] {
             let q = ablate_program(&p, &s, ab);
             validate(&q, &s).unwrap_or_else(|e| panic!("{ab:?}: {e}"));
             let out = execute(&q, &db);
-            assert_eq!(out.result, expected, "{ab:?}");
+            assert_eq!(*out.result, expected, "{ab:?}");
         }
     }
 
@@ -153,7 +169,11 @@ mod tests {
         let t2 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
         let p = algorithm2(&s, &t2).unwrap();
         let full_cost = execute(&p, &db).cost();
-        for ab in [Ablation::NoSemijoins, Ablation::NoProjections, Ablation::Neither] {
+        for ab in [
+            Ablation::NoSemijoins,
+            Ablation::NoProjections,
+            Ablation::Neither,
+        ] {
             let q = ablate_program(&p, &s, ab);
             let cost = execute(&q, &db).cost();
             assert!(cost >= full_cost, "{ab:?}: {cost} < {full_cost}");

@@ -119,10 +119,7 @@ fn visit(
                     .copied()
                     .filter(|c| c.is_subset(comp))
                     .collect();
-                debug_assert_eq!(
-                    gamma.iter().fold(RelSet::EMPTY, |a, &b| a.union(b)),
-                    comp
-                );
+                debug_assert_eq!(gamma.iter().fold(RelSet::EMPTY, |a, &b| a.union(b)), comp);
                 let tree = merge_gamma(scheme, table, &gamma, policy);
                 table.insert(comp, tree);
             }
@@ -182,8 +179,8 @@ pub fn algorithm1_all_outcomes(
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
     while let Some(script) = stack.pop() {
         let mut policy = ScriptedChoice::new(script.clone());
-        let tree = algorithm1_with_policy(scheme, t1, &mut policy)
-            .expect("preconditions already checked");
+        let tree =
+            algorithm1_with_policy(scheme, t1, &mut policy).expect("preconditions already checked");
         // Extend the script at the first decision that still has unexplored
         // alternatives beyond what this run took.
         for (depth, &(pick, n)) in policy.taken.iter().enumerate() {

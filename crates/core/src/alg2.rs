@@ -59,7 +59,9 @@ impl Deriver<'_> {
         // Leaves were "visited first" in the paper; attaching is just using
         // the base register.
         let JoinTree::Join(_, _) = node else {
-            let JoinTree::Leaf(i) = node else { unreachable!() };
+            let JoinTree::Leaf(i) = node else {
+                unreachable!()
+            };
             return Reg::Base(*i);
         };
 
@@ -70,14 +72,12 @@ impl Deriver<'_> {
             ws_rev.push(r);
             cur = l;
         }
-        let JoinTree::Leaf(v0) = cur else { unreachable!() };
+        let JoinTree::Leaf(v0) = cur else {
+            unreachable!()
+        };
 
         // Visit the 𝒲ᵢ (members of S or leaves) bottom-up first.
-        let w_regs: Vec<Reg> = ws_rev
-            .iter()
-            .rev()
-            .map(|w| self.process(w))
-            .collect();
+        let w_regs: Vec<Reg> = ws_rev.iter().rev().map(|w| self.process(w)).collect();
         let w_attrs: Vec<AttrSet> = w_regs
             .iter()
             .map(|&r| self.builder.scheme_of(r).clone())
@@ -257,7 +257,7 @@ mod tests {
         let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1]]).unwrap();
         let db = Database::from_relations(vec![r1, r2, r3, r4]);
         let out = execute(&p, &db);
-        assert_eq!(out.result, db.join_all());
+        assert_eq!(*out.result, db.join_all());
         assert_eq!(out.result.len(), 1);
     }
 
@@ -287,7 +287,7 @@ mod tests {
             let p = algorithm2(&s, t2).unwrap();
             validate(&p, &s).unwrap();
             let out = execute(&p, &db);
-            assert_eq!(out.result, expected, "tree {}", t2.display(&s, &c));
+            assert_eq!(*out.result, expected, "tree {}", t2.display(&s, &c));
             assert!((p.len() as u64) < s.quasi_factor());
         }
     }
@@ -308,7 +308,10 @@ mod tests {
 
         let (c2, s2) = paper();
         let partial = parse_join_tree(&c2, &s2, "ABC ⋈ CDE").unwrap();
-        assert_eq!(algorithm2(&s2, &partial), Err(Alg2Error::TreeNotExactlyOver));
+        assert_eq!(
+            algorithm2(&s2, &partial),
+            Err(Alg2Error::TreeNotExactlyOver)
+        );
     }
 
     #[test]
@@ -321,7 +324,7 @@ mod tests {
         let r = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
         let db = Database::from_relations(vec![r]);
         let out = execute(&p, &db);
-        assert_eq!(out.result, *db.relation(0));
+        assert_eq!(*out.result, *db.relation(0));
     }
 
     #[test]
@@ -338,7 +341,7 @@ mod tests {
         let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
         let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1]]).unwrap();
         let db = Database::from_relations(vec![r1, r2, r3, r4]);
-        assert_eq!(execute(&p, &db).result, db.join_all());
+        assert_eq!(*execute(&p, &db).result, db.join_all());
     }
 
     use mjoin_expr::JoinTree;

@@ -1,7 +1,7 @@
 //! Executable forms of the paper's theorems, used by tests and experiments.
 
-use crate::pipeline::{run_pipeline, PipelineError};
 use crate::choice::ChoicePolicy;
+use crate::pipeline::{run_pipeline, PipelineError};
 use mjoin_expr::JoinTree;
 use mjoin_hypergraph::DbScheme;
 use mjoin_relation::Database;
@@ -61,7 +61,7 @@ pub fn check_theorem1(
     policy: &mut dyn ChoicePolicy,
 ) -> Result<bool, PipelineError> {
     let run = run_pipeline(scheme, t1, db, policy)?;
-    Ok(run.exec.result == db.join_all())
+    Ok(*run.exec.result == db.join_all())
 }
 
 #[cfg(test)]
@@ -92,7 +92,10 @@ mod tests {
             "(ABC ⋈ GHA) ⋈ (CDE ⋈ EFG)",
         ] {
             let t1 = parse_join_tree(&c, &s, text).unwrap();
-            assert!(check_theorem1(&s, &t1, &db, &mut FirstChoice).unwrap(), "{text}");
+            assert!(
+                check_theorem1(&s, &t1, &db, &mut FirstChoice).unwrap(),
+                "{text}"
+            );
             let report = check_theorem2(&s, &t1, &db, &mut FirstChoice).unwrap();
             assert!(report.holds, "{text}: {report:?}");
             assert!((report.num_statements as u64) < report.quasi_factor);

@@ -116,7 +116,11 @@ pub struct ScriptedChoice {
 impl ScriptedChoice {
     /// A policy that replays `script`.
     pub fn new(script: Vec<usize>) -> Self {
-        ScriptedChoice { script, cursor: 0, taken: Vec::new() }
+        ScriptedChoice {
+            script,
+            cursor: 0,
+            taken: Vec::new(),
+        }
     }
 }
 

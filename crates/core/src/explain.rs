@@ -66,7 +66,11 @@ fn render_report(
         run.quasi_factor,
         run.tree_cost,
         run.quasi_factor as u128 * run.tree_cost as u128,
-        if run.bound_holds() { "holds" } else { "VIOLATED" }
+        if run.bound_holds() {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
     let _ = writeln!(out, "result tuples = {}", run.exec.result.len());
     out

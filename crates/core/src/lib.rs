@@ -27,6 +27,9 @@ pub use ablate::{ablate_program, Ablation};
 pub use alg1::{algorithm1, algorithm1_all_outcomes, algorithm1_with_policy, Alg1Error};
 pub use alg2::{algorithm2, Alg2Error};
 pub use bounds::{check_theorem1, check_theorem2, BoundReport};
-pub use explain::explain;
 pub use choice::{ChoicePolicy, CostAwareChoice, FirstChoice, ScriptedChoice, SeededChoice};
-pub use pipeline::{derive, derive_with_policy, run_pipeline, Derivation, PipelineError, PipelineRun};
+pub use explain::explain;
+pub use pipeline::{
+    derive, derive_with_policy, run_pipeline, run_pipeline_parallel, Derivation, PipelineError,
+    PipelineRun,
+};

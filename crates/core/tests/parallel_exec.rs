@@ -1,0 +1,206 @@
+//! Differential oracle: the parallel DAG-scheduled executor must be
+//! observably identical to the sequential interpreter — same result
+//! relation, same cost ledger entry-for-entry, same per-statement head
+//! sizes, same peak-resident footprint — on randomized databases, across
+//! thread counts, including Cartesian-product and empty-relation edge cases.
+
+use mjoin_core::{run_pipeline, run_pipeline_parallel, FirstChoice};
+use mjoin_expr::JoinTree;
+use mjoin_hypergraph::DbScheme;
+use mjoin_program::{execute, execute_parallel, ProgramBuilder, Reg};
+use mjoin_relation::{Catalog, Database, Relation, Schema};
+use mjoin_workloads::{random_database, DataGenConfig};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn left_deep(n: usize) -> JoinTree {
+    let mut t = JoinTree::leaf(0);
+    for i in 1..n {
+        t = JoinTree::join(t, JoinTree::leaf(i));
+    }
+    t
+}
+
+/// Assert every observable of the two executions matches.
+fn assert_outcomes_match(scheme: &DbScheme, t1: &JoinTree, db: &Database, label: &str) {
+    let seq = run_pipeline(scheme, t1, db, &mut FirstChoice).expect("sequential pipeline");
+    for threads in THREADS {
+        let par = run_pipeline_parallel(scheme, t1, db, &mut FirstChoice, threads)
+            .expect("parallel pipeline");
+        assert_eq!(
+            *par.exec.result, *seq.exec.result,
+            "{label}: result differs at {threads} threads"
+        );
+        assert_eq!(
+            par.exec.head_sizes, seq.exec.head_sizes,
+            "{label}: head sizes differ at {threads} threads"
+        );
+        assert_eq!(
+            par.exec.ledger, seq.exec.ledger,
+            "{label}: ledger differs at {threads} threads"
+        );
+        assert_eq!(
+            par.exec.peak_resident, seq.exec.peak_resident,
+            "{label}: peak resident differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn chain_workloads_agree() {
+    let mut c = Catalog::new();
+    let s = mjoin_workloads::schemes::chain(&mut c, 5);
+    for seed in 0..4 {
+        let db = random_database(
+            &s,
+            &DataGenConfig {
+                tuples_per_relation: 60,
+                domain: 7,
+                seed,
+                plant_witness: true,
+            },
+        );
+        assert_outcomes_match(&s, &left_deep(5), &db, &format!("chain seed {seed}"));
+    }
+}
+
+#[test]
+fn cycle_workloads_agree() {
+    let mut c = Catalog::new();
+    let s = mjoin_workloads::schemes::cycle(&mut c, 4);
+    for seed in 0..4 {
+        let db = random_database(
+            &s,
+            &DataGenConfig {
+                tuples_per_relation: 40,
+                domain: 6,
+                seed,
+                plant_witness: true,
+            },
+        );
+        assert_outcomes_match(&s, &left_deep(4), &db, &format!("cycle seed {seed}"));
+    }
+}
+
+#[test]
+fn star_workloads_agree() {
+    let mut c = Catalog::new();
+    let s = mjoin_workloads::schemes::star(&mut c, 4);
+    for seed in 0..3 {
+        let db = random_database(
+            &s,
+            &DataGenConfig {
+                tuples_per_relation: 50,
+                domain: 8,
+                seed,
+                plant_witness: true,
+            },
+        );
+        assert_outcomes_match(
+            &s,
+            &left_deep(s.num_relations()),
+            &db,
+            &format!("star seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn unplanted_sparse_cycles_agree_even_when_join_is_empty() {
+    // Without a planted witness, sparse cyclic data usually joins to ∅ — the
+    // executors must agree on the empty outcome (and on every intermediate).
+    let mut c = Catalog::new();
+    let s = mjoin_workloads::schemes::cycle(&mut c, 5);
+    for seed in 0..4 {
+        let db = random_database(
+            &s,
+            &DataGenConfig {
+                tuples_per_relation: 6,
+                domain: 40,
+                seed,
+                plant_witness: false,
+            },
+        );
+        assert_outcomes_match(&s, &left_deep(5), &db, &format!("sparse cycle seed {seed}"));
+    }
+}
+
+#[test]
+fn empty_input_relation_agrees() {
+    let mut c = Catalog::new();
+    let s = mjoin_workloads::schemes::chain(&mut c, 3);
+    let cfg = DataGenConfig {
+        tuples_per_relation: 30,
+        domain: 5,
+        seed: 11,
+        plant_witness: true,
+    };
+    let db = random_database(&s, &cfg);
+    // Empty out the middle relation: every semijoin/join touching it
+    // collapses, exercising the empty paths of all three operators.
+    let mut rels: Vec<Relation> = db.relations().to_vec();
+    rels[1] = Relation::empty(rels[1].schema().clone());
+    let db = Database::from_relations(rels);
+    assert_outcomes_match(&s, &left_deep(3), &db, "chain with empty middle");
+}
+
+#[test]
+fn cartesian_product_program_agrees() {
+    // A hand-built program whose join statement has no shared attributes:
+    // the executor must route through the chunked parallel Cartesian path
+    // and still match the sequential interpreter exactly.
+    let mut c = Catalog::new();
+    let scheme = DbScheme::parse(&mut c, &["AB", "CD"]);
+    let a_rows: Vec<Vec<i64>> = (0..40).map(|i| vec![i, i + 100]).collect();
+    let a_slices: Vec<&[i64]> = a_rows.iter().map(|v| &v[..]).collect();
+    let ra = mjoin_relation::relation_of_ints(&mut c, "AB", &a_slices).unwrap();
+    let b_rows: Vec<Vec<i64>> = (0..25).map(|i| vec![i, i + 200]).collect();
+    let b_slices: Vec<&[i64]> = b_rows.iter().map(|v| &v[..]).collect();
+    let rb = mjoin_relation::relation_of_ints(&mut c, "CD", &b_slices).unwrap();
+    let db = Database::from_relations(vec![ra, rb]);
+
+    let mut b = ProgramBuilder::new(&scheme);
+    let v = b.new_temp_alias("V", Reg::Base(0));
+    b.join(v, v, Reg::Base(1));
+    let p = b.finish(v);
+
+    let seq = execute(&p, &db);
+    assert_eq!(seq.result.len(), 40 * 25);
+    for threads in THREADS {
+        let par = execute_parallel(&p, &db, threads);
+        assert_eq!(*par.result, *seq.result, "{threads} threads");
+        assert_eq!(par.head_sizes, seq.head_sizes);
+        assert_eq!(par.ledger, seq.ledger);
+        assert_eq!(par.peak_resident, seq.peak_resident);
+    }
+}
+
+#[test]
+fn projection_statements_agree() {
+    // A program that projects a wide base down to each of its attributes,
+    // with independent heads — the levels run concurrently.
+    let mut c = Catalog::new();
+    let scheme = DbScheme::parse(&mut c, &["ABC"]);
+    let rows: Vec<Vec<i64>> = (0..300).map(|i| vec![i % 9, i % 13, i % 7]).collect();
+    let slices: Vec<&[i64]> = rows.iter().map(|v| &v[..]).collect();
+    let r = mjoin_relation::relation_of_ints(&mut c, "ABC", &slices).unwrap();
+    let db = Database::from_relations(vec![r]);
+    let schema_ab = Schema::from_chars(&mut c, "AB");
+    let schema_bc = Schema::from_chars(&mut c, "BC");
+
+    let mut b = ProgramBuilder::new(&scheme);
+    let x = b.new_temp("X");
+    let y = b.new_temp("Y");
+    b.project(x, Reg::Base(0), schema_ab.to_set());
+    b.project(y, Reg::Base(0), schema_bc.to_set());
+    b.join(x, x, y);
+    let p = b.finish(x);
+
+    let seq = execute(&p, &db);
+    for threads in THREADS {
+        let par = execute_parallel(&p, &db, threads);
+        assert_eq!(*par.result, *seq.result, "{threads} threads");
+        assert_eq!(par.ledger, seq.ledger);
+        assert_eq!(par.peak_resident, seq.peak_resident);
+    }
+}

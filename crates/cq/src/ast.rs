@@ -181,10 +181,7 @@ mod tests {
 
     #[test]
     fn display_roundtrips_visually() {
-        assert_eq!(
-            q().to_string(),
-            "Q(x, z) :- R(x, y), S(y, z), T(y, 3)."
-        );
+        assert_eq!(q().to_string(), "Q(x, z) :- R(x, y), S(y, z), T(y, 3).");
     }
 
     #[test]

@@ -54,7 +54,12 @@ impl QueryResult {
         let positions: Vec<usize> = self
             .head_attrs
             .iter()
-            .map(|&a| self.relation.schema().position(a).expect("head attr in result"))
+            .map(|&a| {
+                self.relation
+                    .schema()
+                    .position(a)
+                    .expect("head attr in result")
+            })
             .collect();
         let mut rows: Vec<Vec<Value>> = self
             .relation
@@ -81,11 +86,7 @@ impl QueryResult {
 ///
 /// All-constant atoms bind to the nullary unit (condition true) or the empty
 /// nullary relation (condition false).
-fn bind_atom(
-    ndb: &NamedDatabase,
-    atom: &Atom,
-    qcat: &mut Catalog,
-) -> Result<Relation> {
+fn bind_atom(ndb: &NamedDatabase, atom: &Atom, qcat: &mut Catalog) -> Result<Relation> {
     let stored = ndb
         .get(&atom.predicate)
         .ok_or_else(|| Error::Parse(format!("unknown relation `{}`", atom.predicate)))?;
@@ -214,7 +215,7 @@ pub fn execute_query(
         let comp_db = db.restrict(&indices);
         let comp_scheme = DbScheme::from_schemas(&comp_db.schemas());
         let comp_result = if indices.len() == 1 {
-            comp_db.relation(0).clone()
+            std::sync::Arc::new(comp_db.relation(0).clone())
         } else {
             let tree = pick_tree(&comp_scheme, &comp_db, strategy)?;
             let run = run_pipeline(&comp_scheme, &tree, &comp_db, &mut FirstChoice)
@@ -234,17 +235,19 @@ pub fn execute_query(
     // Stage 4: the head projection.
     let relation = ops::project(&full, head_schema.attrs())?;
     ledger.charge_generated("head projection", relation.len());
-    Ok(QueryResult { relation, head_attrs, catalog: qcat, ledger })
+    Ok(QueryResult {
+        relation,
+        head_attrs,
+        catalog: qcat,
+        ledger,
+    })
 }
 
 /// Reference executor: bind atoms, fold-join them naively (in body order,
 /// Cartesian products and all), project. Used as the differential-testing
 /// oracle for [`execute_query`]; do not use it for anything performance
 /// sensitive.
-pub fn execute_query_naive(
-    ndb: &NamedDatabase,
-    query: &ConjunctiveQuery,
-) -> Result<Relation> {
+pub fn execute_query_naive(ndb: &NamedDatabase, query: &ConjunctiveQuery) -> Result<Relation> {
     if !query.is_safe() {
         return Err(Error::Parse("unsafe query".to_string()));
     }
@@ -265,11 +268,7 @@ pub fn execute_query_naive(
     ops::project(&acc, Schema::new(head_attrs).attrs())
 }
 
-fn pick_tree(
-    scheme: &DbScheme,
-    db: &Database,
-    strategy: PlanStrategy,
-) -> Result<JoinTree> {
+fn pick_tree(scheme: &DbScheme, db: &Database, strategy: PlanStrategy) -> Result<JoinTree> {
     let mut oracle = ExactOracle::new(db);
     let tree = match strategy {
         PlanStrategy::Greedy => greedy(scheme, &mut oracle, true).0,
@@ -300,8 +299,12 @@ mod tests {
             &[&[1, 2], &[2, 3], &[3, 4], &[4, 1], &[2, 5]],
         )
         .unwrap();
-        db.add_relation("label", &["node", "tag"], &[&[2, 100], &[3, 100], &[5, 200]])
-            .unwrap();
+        db.add_relation(
+            "label",
+            &["node", "tag"],
+            &[&[2, 100], &[3, 100], &[5, 200]],
+        )
+        .unwrap();
         db
     }
 
@@ -350,7 +353,8 @@ mod tests {
     #[test]
     fn repeated_variable_in_atom() {
         let mut db = NamedDatabase::new();
-        db.add_relation("r", &["a", "b"], &[&[1, 1], &[1, 2], &[3, 3]]).unwrap();
+        db.add_relation("r", &["a", "b"], &[&[1, 1], &[1, 2], &[3, 3]])
+            .unwrap();
         let res = run(&db, "Q(x) :- r(x, x).");
         assert_eq!(
             res.rows_in_head_order(),

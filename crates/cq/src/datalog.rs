@@ -33,7 +33,10 @@ pub struct DatalogResult {
 impl DatalogResult {
     /// Facts of one predicate (empty slice if it derived nothing).
     pub fn facts_of(&self, predicate: &str) -> &[Vec<Value>] {
-        self.facts.get(predicate).map(|v| v.as_slice()).unwrap_or(&[])
+        self.facts
+            .get(predicate)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 }
 
@@ -155,7 +158,10 @@ pub fn evaluate_datalog(
         for row in res.rows_in_head_order() {
             let row: Row = row.into();
             if !facts[&rule.head_name].contains(&row) {
-                new_delta.entry(rule.head_name.clone()).or_default().push(row);
+                new_delta
+                    .entry(rule.head_name.clone())
+                    .or_default()
+                    .push(row);
             }
         }
     }
@@ -218,7 +224,11 @@ pub fn evaluate_datalog(
         v.sort_unstable();
         out.insert(p, v);
     }
-    Ok(DatalogResult { facts: out, iterations, total_cost })
+    Ok(DatalogResult {
+        facts: out,
+        iterations,
+        total_cost,
+    })
 }
 
 /// Parse a multi-rule program: one rule per `.`-terminated statement.
@@ -258,10 +268,7 @@ mod tests {
     #[test]
     fn transitive_closure_on_chain() {
         let db = chain_edb(6); // 0→1→2→3→4→5
-        let rules = parse_rules(
-            "t(x, y) :- e(x, y). t(x, z) :- t(x, y), e(y, z).",
-        )
-        .unwrap();
+        let rules = parse_rules("t(x, y) :- e(x, y). t(x, z) :- t(x, y), e(y, z).").unwrap();
         let res = evaluate_datalog(&db, &rules, PlanStrategy::Greedy).unwrap();
         // Closure of a 6-node chain: C(6,2) = 15 pairs.
         assert_eq!(res.facts_of("t").len(), 15);
@@ -276,9 +283,9 @@ mod tests {
     #[test]
     fn transitive_closure_on_cycle_saturates() {
         let mut db = NamedDatabase::new();
-        db.add_relation("e", &["s", "d"], &[&[0, 1], &[1, 2], &[2, 0]]).unwrap();
-        let rules =
-            parse_rules("t(x, y) :- e(x, y). t(x, z) :- t(x, y), e(y, z).").unwrap();
+        db.add_relation("e", &["s", "d"], &[&[0, 1], &[1, 2], &[2, 0]])
+            .unwrap();
+        let rules = parse_rules("t(x, y) :- e(x, y). t(x, z) :- t(x, y), e(y, z).").unwrap();
         let res = evaluate_datalog(&db, &rules, PlanStrategy::Greedy).unwrap();
         // Strongly connected 3-cycle: all 9 pairs.
         assert_eq!(res.facts_of("t").len(), 9);
@@ -299,12 +306,8 @@ mod tests {
         // parent(p, c); sg(x, y) if x and y are at the same depth below a
         // common ancestor structure.
         let mut db = NamedDatabase::new();
-        db.add_relation(
-            "parent",
-            &["p", "c"],
-            &[&[0, 1], &[0, 2], &[1, 3], &[2, 4]],
-        )
-        .unwrap();
+        db.add_relation("parent", &["p", "c"], &[&[0, 1], &[0, 2], &[1, 3], &[2, 4]])
+            .unwrap();
         let rules = parse_rules(
             "sg(x, y) :- parent(p, x), parent(p, y). \
              sg(x, y) :- parent(px, x), sg(px, py), parent(py, y).",
@@ -351,8 +354,7 @@ mod tests {
     #[test]
     fn strategies_agree_on_closure() {
         let db = chain_edb(6);
-        let rules =
-            parse_rules("t(x, y) :- e(x, y). t(x, z) :- t(x, y), e(y, z).").unwrap();
+        let rules = parse_rules("t(x, y) :- e(x, y). t(x, z) :- t(x, y), e(y, z).").unwrap();
         let a = evaluate_datalog(&db, &rules, PlanStrategy::Greedy).unwrap();
         let b = evaluate_datalog(&db, &rules, PlanStrategy::DpOptimal).unwrap();
         assert_eq!(a.facts_of("t"), b.facts_of("t"));
@@ -378,10 +380,7 @@ mod tests {
     fn constants_in_recursive_rules() {
         let db = chain_edb(6);
         // Reachability from node 0 only.
-        let rules = parse_rules(
-            "r(y) :- e(0, y). r(z) :- r(y), e(y, z).",
-        )
-        .unwrap();
+        let rules = parse_rules("r(y) :- e(0, y). r(z) :- r(y), e(y, z).").unwrap();
         let res = evaluate_datalog(&db, &rules, PlanStrategy::Greedy).unwrap();
         let vals: Vec<i64> = res
             .facts_of("r")

@@ -16,7 +16,10 @@ struct Lexer {
 
 impl Lexer {
     fn new(text: &str) -> Self {
-        Lexer { chars: text.chars().collect(), pos: 0 }
+        Lexer {
+            chars: text.chars().collect(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -76,7 +79,10 @@ impl Lexer {
             }
             Ok(self.chars[start..self.pos].iter().collect())
         } else {
-            Err(Error::Parse(format!("expected identifier at offset {}", self.pos)))
+            Err(Error::Parse(format!(
+                "expected identifier at offset {}",
+                self.pos
+            )))
         }
     }
 
@@ -148,11 +154,7 @@ pub fn parse_query(text: &str) -> Result<ConjunctiveQuery> {
     for t in &head.terms {
         match t {
             Term::Var(v) => head_vars.push(v.clone()),
-            Term::Const(_) => {
-                return Err(Error::Parse(
-                    "head terms must be variables".to_string(),
-                ))
-            }
+            Term::Const(_) => return Err(Error::Parse("head terms must be variables".to_string())),
         }
     }
     lx.eat_str(":-")?;
@@ -168,7 +170,11 @@ pub fn parse_query(text: &str) -> Result<ConjunctiveQuery> {
     if lx.pos != lx.chars.len() {
         return Err(Error::Parse(format!("trailing input at offset {}", lx.pos)));
     }
-    let q = ConjunctiveQuery { head_name: head.predicate, head_vars, body };
+    let q = ConjunctiveQuery {
+        head_name: head.predicate,
+        head_vars,
+        body,
+    };
     if !q.is_safe() {
         return Err(Error::Parse(
             "unsafe query: every head variable must occur in the body".to_string(),

@@ -91,7 +91,10 @@ impl NamedDatabase {
             let mut rows: Vec<Row> = Vec::with_capacity(tuples.len());
             for t in tuples {
                 if t.len() != columns.len() {
-                    return Err(Error::ArityMismatch { expected: columns.len(), got: t.len() });
+                    return Err(Error::ArityMismatch {
+                        expected: columns.len(),
+                        got: t.len(),
+                    });
                 }
                 let mut row = vec![Value::Int(0); t.len()];
                 for (j, v) in t.into_iter().enumerate() {
@@ -142,7 +145,10 @@ impl NamedDatabase {
         let mut rows: Vec<Row> = Vec::with_capacity(tuples.len());
         for t in tuples {
             if t.len() != columns.len() {
-                return Err(Error::ArityMismatch { expected: columns.len(), got: t.len() });
+                return Err(Error::ArityMismatch {
+                    expected: columns.len(),
+                    got: t.len(),
+                });
             }
             let mut row = vec![Value::Int(0); t.len()];
             for (i, v) in t.into_iter().enumerate() {
@@ -204,7 +210,8 @@ mod tests {
     #[test]
     fn add_and_get() {
         let mut db = NamedDatabase::new();
-        db.add_relation("edge", &["src", "dst"], &[&[1, 2], &[2, 3]]).unwrap();
+        db.add_relation("edge", &["src", "dst"], &[&[1, 2], &[2, 3]])
+            .unwrap();
         let stored = db.get("edge").unwrap();
         assert_eq!(stored.relation.len(), 2);
         assert_eq!(stored.columns.len(), 2);
@@ -247,7 +254,8 @@ mod tests {
     #[test]
     fn tsv_import() {
         let mut db = NamedDatabase::new();
-        db.add_tsv("people", "name\tage\nalice\t30\nbob\t40\n").unwrap();
+        db.add_tsv("people", "name\tage\nalice\t30\nbob\t40\n")
+            .unwrap();
         let stored = db.get("people").unwrap();
         assert_eq!(stored.relation.len(), 2);
         let p_name = stored.canonical_position(0);

@@ -74,12 +74,7 @@ pub fn linear_trees(set: RelSet) -> Vec<JoinTree> {
     out
 }
 
-fn permute(
-    items: &[usize],
-    used: &mut [bool],
-    order: &mut Vec<usize>,
-    out: &mut Vec<JoinTree>,
-) {
+fn permute(items: &[usize], used: &mut [bool], order: &mut Vec<usize>, out: &mut Vec<JoinTree>) {
     if order.len() == items.len() {
         out.push(JoinTree::left_deep(order));
         return;
@@ -130,11 +125,7 @@ pub fn count_cpf_trees(scheme: &DbScheme, set: RelSet) -> u128 {
     count_cpf_rec(scheme, set, &mut memo)
 }
 
-fn count_cpf_rec(
-    scheme: &DbScheme,
-    set: RelSet,
-    memo: &mut FxHashMap<RelSet, u128>,
-) -> u128 {
+fn count_cpf_rec(scheme: &DbScheme, set: RelSet, memo: &mut FxHashMap<RelSet, u128>) -> u128 {
     if set.len() <= 1 {
         return if set.is_empty() { 0 } else { 1 };
     }

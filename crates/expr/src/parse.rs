@@ -114,19 +114,12 @@ impl<'a> Parser<'a> {
 /// one more often than it occurs. It does *not* require the expression to be
 /// exactly over the scheme — use [`JoinTree::is_exactly_over`] if you need
 /// that — but repeats beyond the multiset count are rejected.
-pub fn parse_join_tree(
-    catalog: &Catalog,
-    scheme: &DbScheme,
-    text: &str,
-) -> Result<JoinTree> {
+pub fn parse_join_tree(catalog: &Catalog, scheme: &DbScheme, text: &str) -> Result<JoinTree> {
     let mut p = Parser::new(text, catalog, scheme);
     let tree = p.parse_expr()?;
     p.skip_ws();
     if p.pos != p.chars.len() {
-        return Err(Error::Parse(format!(
-            "trailing input at offset {}",
-            p.pos
-        )));
+        return Err(Error::Parse(format!("trailing input at offset {}", p.pos)));
     }
     Ok(tree)
 }

@@ -39,9 +39,14 @@ pub fn left_spine(node: &JoinTree) -> Spine<'_> {
         rights_rev.push(r.as_ref());
         cur = l;
     }
-    let JoinTree::Leaf(v0) = cur else { unreachable!("spine ends at a leaf") };
+    let JoinTree::Leaf(v0) = cur else {
+        unreachable!("spine ends at a leaf")
+    };
     rights_rev.reverse();
-    Spine { v0: *v0, rights: rights_rev }
+    Spine {
+        v0: *v0,
+        rights: rights_rev,
+    }
 }
 
 /// The paper's set `S` for a tree: the root plus every internal node that is

@@ -95,8 +95,7 @@ impl JoinTree {
     /// relation scheme, no repeats (§2.2).
     pub fn is_exactly_over(&self, scheme: &DbScheme) -> bool {
         let leaves = self.leaves();
-        leaves.len() == scheme.num_relations()
-            && self.rel_set() == scheme.all()
+        leaves.len() == scheme.num_relations() && self.rel_set() == scheme.all()
     }
 
     /// The [`RelSet`] of every node, leaves and internal nodes, in postorder.
@@ -156,7 +155,11 @@ impl JoinTree {
         scheme: &'a DbScheme,
         catalog: &'a Catalog,
     ) -> JoinTreeDisplay<'a> {
-        JoinTreeDisplay { tree: self, scheme, catalog }
+        JoinTreeDisplay {
+            tree: self,
+            scheme,
+            catalog,
+        }
     }
 }
 
@@ -286,10 +289,7 @@ mod tests {
         let (_c, s) = paper_scheme();
         let missing = JoinTree::left_deep(&[0, 1, 2]);
         assert!(!missing.is_exactly_over(&s));
-        let repeat = JoinTree::join(
-            JoinTree::left_deep(&[0, 1, 2, 3]),
-            JoinTree::leaf(0),
-        );
+        let repeat = JoinTree::join(JoinTree::left_deep(&[0, 1, 2, 3]), JoinTree::leaf(0));
         assert!(!repeat.is_exactly_over(&s));
     }
 
@@ -297,10 +297,7 @@ mod tests {
     fn display_matches_paper_notation() {
         let (c, s) = paper_scheme();
         let t = example2_tree();
-        assert_eq!(
-            t.display(&s, &c).to_string(),
-            "(ABC ⋈ EFG) ⋈ (CDE ⋈ AGH)"
-        );
+        assert_eq!(t.display(&s, &c).to_string(), "(ABC ⋈ EFG) ⋈ (CDE ⋈ AGH)");
         let lin = JoinTree::left_deep(&[0, 1, 2]);
         assert_eq!(lin.display(&s, &c).to_string(), "(ABC ⋈ CDE) ⋈ EFG");
     }

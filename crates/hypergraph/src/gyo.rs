@@ -73,11 +73,17 @@ pub fn gyo(scheme: &DbScheme) -> GyoResult {
 
     loop {
         if remaining.is_empty() {
-            return GyoResult { acyclic: true, elimination };
+            return GyoResult {
+                acyclic: true,
+                elimination,
+            };
         }
         if remaining.len() == 1 {
             elimination.push((remaining[0], None));
-            return GyoResult { acyclic: true, elimination };
+            return GyoResult {
+                acyclic: true,
+                elimination,
+            };
         }
         // Find any ear. Checking in index order keeps the result
         // deterministic.
@@ -98,7 +104,10 @@ pub fn gyo(scheme: &DbScheme) -> GyoResult {
             }
         }
         if !progress {
-            return GyoResult { acyclic: false, elimination };
+            return GyoResult {
+                acyclic: false,
+                elimination,
+            };
         }
     }
 }

@@ -23,7 +23,10 @@ impl RelSet {
     /// The set `{idx}`.
     #[inline]
     pub fn singleton(idx: usize) -> Self {
-        assert!(idx < Self::CAPACITY, "relation index {idx} exceeds RelSet capacity");
+        assert!(
+            idx < Self::CAPACITY,
+            "relation index {idx} exceeds RelSet capacity"
+        );
         RelSet(1u64 << idx)
     }
 
@@ -194,7 +197,12 @@ impl HalfPartitions {
     fn new(set: RelSet) -> Self {
         if set.len() < 2 {
             // No way to split into two nonempty halves.
-            return HalfPartitions { rest: 0, anchor: 0, cursor: 0, done: true };
+            return HalfPartitions {
+                rest: 0,
+                anchor: 0,
+                cursor: 0,
+                done: true,
+            };
         }
         let anchor = set.0 & set.0.wrapping_neg();
         HalfPartitions {

@@ -151,7 +151,10 @@ impl DbScheme {
 
     /// Render with attribute names, e.g. `{ABC, CDE, EFG, GHA}`.
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> DbSchemeDisplay<'a> {
-        DbSchemeDisplay { scheme: self, catalog }
+        DbSchemeDisplay {
+            scheme: self,
+            catalog,
+        }
     }
 }
 
@@ -258,10 +261,7 @@ mod tests {
         let (c, s) = paper_scheme();
         let set = RelSet::from_indices([0, 1]);
         let attrs = s.attrs_of_set(set);
-        assert_eq!(
-            Schema::from_set(&attrs).display(&c).to_string(),
-            "ABCDE"
-        );
+        assert_eq!(Schema::from_set(&attrs).display(&c).to_string(), "ABCDE");
     }
 
     #[test]

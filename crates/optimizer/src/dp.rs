@@ -135,8 +135,7 @@ mod tests {
     fn paper_db() -> (Catalog, DbScheme, Database) {
         let mut c = Catalog::new();
         let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
-        let r1 =
-            relation_of_ints(&mut c, "ABC", &[&[1, 2, 3], &[1, 2, 4], &[9, 9, 9]]).unwrap();
+        let r1 = relation_of_ints(&mut c, "ABC", &[&[1, 2, 3], &[1, 2, 4], &[9, 9, 9]]).unwrap();
         let r2 = relation_of_ints(&mut c, "CDE", &[&[3, 4, 5], &[4, 4, 5]]).unwrap();
         let r3 = relation_of_ints(&mut c, "EFG", &[&[5, 6, 7]]).unwrap();
         let r4 = relation_of_ints(&mut c, "GHA", &[&[7, 8, 1], &[7, 9, 1]]).unwrap();

@@ -30,9 +30,7 @@ pub fn greedy(
             for j in (i + 1)..forest.len() {
                 let si = forest[i].rel_set();
                 let sj = forest[j].rel_set();
-                let shares = scheme
-                    .attrs_of_set(si)
-                    .intersects(&scheme.attrs_of_set(sj));
+                let shares = scheme.attrs_of_set(si).intersects(&scheme.attrs_of_set(sj));
                 let size = oracle.subjoin_size(si.union(sj));
                 let candidate = (i, j, size, shares);
                 best = Some(match best {
@@ -104,18 +102,16 @@ mod tests {
         let mut c = Catalog::new();
         let s = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
         let r1 = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
-        let r2 = relation_of_ints(
-            &mut c,
-            "BC",
-            &[&[2, 5], &[2, 6], &[2, 7], &[2, 8]],
-        )
-        .unwrap();
+        let r2 = relation_of_ints(&mut c, "BC", &[&[2, 5], &[2, 6], &[2, 7], &[2, 8]]).unwrap();
         let r3 = relation_of_ints(&mut c, "CD", &[&[5, 7]]).unwrap();
         let db = Database::from_relations(vec![r1, r2, r3]);
         let mut o = ExactOracle::new(&db);
         let (tree_free, cost_free) = greedy(&s, &mut o, false);
         let (_tree_cpf, cost_cpf) = greedy(&s, &mut o, true);
-        assert!(!tree_free.is_cpf(&s), "free greedy should take AB × CD here");
+        assert!(
+            !tree_free.is_cpf(&s),
+            "free greedy should take AB × CD here"
+        );
         assert!(cost_free <= cost_cpf);
     }
 

@@ -56,7 +56,13 @@ impl Histogram {
         let keys: Vec<i64> = rel.rows().iter().map(|r| value_key(&r[pos])).collect();
         let lo = *keys.iter().min().unwrap();
         let hi = *keys.iter().max().unwrap();
-        let mut h = Histogram { lo, hi, counts: [0; BUCKETS], distinct: [0; BUCKETS], total: 0 };
+        let mut h = Histogram {
+            lo,
+            hi,
+            counts: [0; BUCKETS],
+            distinct: [0; BUCKETS],
+            total: 0,
+        };
         let mut per_bucket: Vec<FxHashSet<i64>> = vec![FxHashSet::default(); BUCKETS];
         for k in keys {
             let b = h.bucket_of(k);
@@ -90,7 +96,13 @@ impl Histogram {
     fn rebucket(&self, lo: i64, hi: i64) -> ([f64; BUCKETS], [f64; BUCKETS]) {
         let mut counts = [0f64; BUCKETS];
         let mut distinct = [0f64; BUCKETS];
-        let target = Histogram { lo, hi, counts: [0; BUCKETS], distinct: [0; BUCKETS], total: 0 };
+        let target = Histogram {
+            lo,
+            hi,
+            counts: [0; BUCKETS],
+            distinct: [0; BUCKETS],
+            total: 0,
+        };
         for b in 0..BUCKETS {
             if self.counts[b] == 0 {
                 continue;
@@ -180,7 +192,10 @@ impl CostOracle for HistogramOracle {
                 sharers.entry(a).or_default().push(i);
             }
         }
-        let mut est: f64 = rels.iter().map(|&i| self.rel_sizes[i].max(1) as f64).product();
+        let mut est: f64 = rels
+            .iter()
+            .map(|&i| self.rel_sizes[i].max(1) as f64)
+            .product();
         for (a, who) in sharers {
             if who.len() < 2 {
                 continue;
@@ -193,8 +208,15 @@ impl CostOracle for HistogramOracle {
                 continue;
             }
             let joined = multiway_attr_join(&hists);
-            let product: f64 = who.iter().map(|&i| self.rel_sizes[i].max(1) as f64).product();
-            let sel = if product > 0.0 { (joined / product).clamp(0.0, 1.0) } else { 0.0 };
+            let product: f64 = who
+                .iter()
+                .map(|&i| self.rel_sizes[i].max(1) as f64)
+                .product();
+            let sel = if product > 0.0 {
+                (joined / product).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             est *= sel;
         }
         if est.is_finite() {
@@ -222,8 +244,7 @@ mod tests {
     #[test]
     fn histogram_counts_and_buckets() {
         let mut c = Catalog::new();
-        let r = relation_of_ints(&mut c, "AB", &[&[0, 0], &[1, 0], &[15, 0], &[15, 1]])
-            .unwrap();
+        let r = relation_of_ints(&mut c, "AB", &[&[0, 0], &[1, 0], &[15, 0], &[15, 1]]).unwrap();
         let a = c.lookup("A").unwrap();
         let h = Histogram::build(&r, a).unwrap();
         assert_eq!(h.total(), 4);

@@ -27,7 +27,12 @@ pub struct IiConfig {
 
 impl Default for IiConfig {
     fn default() -> Self {
-        IiConfig { restarts: 10, patience: 50, cpf_only: false, seed: 0 }
+        IiConfig {
+            restarts: 10,
+            patience: 50,
+            cpf_only: false,
+            seed: 0,
+        }
     }
 }
 
@@ -167,7 +172,10 @@ mod tests {
     fn ii_cpf_mode_returns_cpf_tree() {
         let (_c, s, db) = paper_db();
         let mut o = ExactOracle::new(&db);
-        let cfg = IiConfig { cpf_only: true, ..Default::default() };
+        let cfg = IiConfig {
+            cpf_only: true,
+            ..Default::default()
+        };
         let (tree, _) = iterative_improvement(&s, &mut o, &cfg);
         assert!(tree.is_cpf(&s));
     }
@@ -177,9 +185,17 @@ mod tests {
         let (_c, s, db) = paper_db();
         let mut o = ExactOracle::new(&db);
         let opt = optimize(&s, &mut o, SearchSpace::All).unwrap();
-        let cfg = IiConfig { restarts: 20, patience: 60, seed: 7, cpf_only: false };
+        let cfg = IiConfig {
+            restarts: 20,
+            patience: 60,
+            seed: 7,
+            cpf_only: false,
+        };
         let (_, cost) = iterative_improvement(&s, &mut o, &cfg);
-        assert_eq!(cost, opt.cost, "15-tree space: II with restarts finds the optimum");
+        assert_eq!(
+            cost, opt.cost,
+            "15-tree space: II with restarts finds the optimum"
+        );
     }
 
     #[test]
@@ -196,7 +212,10 @@ mod tests {
     fn sa_cpf_mode_returns_cpf_tree() {
         let (_c, s, db) = paper_db();
         let mut o = ExactOracle::new(&db);
-        let cfg = SaConfig { cpf_only: true, ..Default::default() };
+        let cfg = SaConfig {
+            cpf_only: true,
+            ..Default::default()
+        };
         let (tree, _) = simulated_annealing(&s, &mut o, &cfg);
         assert!(tree.is_cpf(&s));
     }
@@ -205,7 +224,10 @@ mod tests {
     fn deterministic_given_seed() {
         let (_c, s, db) = paper_db();
         let mut o = ExactOracle::new(&db);
-        let cfg = IiConfig { seed: 99, ..Default::default() };
+        let cfg = IiConfig {
+            seed: 99,
+            ..Default::default()
+        };
         let a = iterative_improvement(&s, &mut o, &cfg);
         let b = iterative_improvement(&s, &mut o, &cfg);
         assert_eq!(a.0, b.0);

@@ -40,7 +40,10 @@ pub struct ExactOracle<'a> {
 impl<'a> ExactOracle<'a> {
     /// An oracle over `db`.
     pub fn new(db: &'a Database) -> Self {
-        ExactOracle { db, memo: FxHashMap::default() }
+        ExactOracle {
+            db,
+            memo: FxHashMap::default(),
+        }
     }
 
     /// The materialized sub-join for `set`.
@@ -124,7 +127,7 @@ impl CostOracle for EstimateOracle {
         let mut numerator = 1f64;
         let mut attr_count: FxHashMap<AttrId, u32> = FxHashMap::default();
         for i in set.iter() {
-            numerator *= self.rel_sizes[i].max(0) as f64;
+            numerator *= self.rel_sizes[i] as f64;
             for &a in &self.rel_attrs[i] {
                 *attr_count.entry(a).or_insert(0) += 1;
             }

@@ -34,7 +34,10 @@ pub fn random_tree<R: Rng>(scheme: &DbScheme, rng: &mut R, cpf_only: bool) -> Jo
                         .intersects(&scheme.attrs_of_set(forest[j].rel_set()))
             })
             .collect();
-        debug_assert!(!pairs.is_empty(), "connected scheme always has a sharing pair");
+        debug_assert!(
+            !pairs.is_empty(),
+            "connected scheme always has a sharing pair"
+        );
         let (i, j) = pairs[rng.gen_range(0..pairs.len())];
         let right = forest.remove(j);
         let left = forest.remove(i);
@@ -64,7 +67,11 @@ pub fn random_neighbor<R: Rng>(
     tries: usize,
 ) -> Option<JoinTree> {
     for _ in 0..tries {
-        let mv = if rng.gen_bool(0.5) { Move::LeafSwap } else { Move::Rotate };
+        let mv = if rng.gen_bool(0.5) {
+            Move::LeafSwap
+        } else {
+            Move::Rotate
+        };
         let cand = apply_move(tree, rng, mv);
         if let Some(t) = cand {
             if !cpf_only || t.is_cpf(scheme) {

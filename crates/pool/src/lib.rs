@@ -1,0 +1,395 @@
+//! `mjoin-pool` — a single shared thread pool for every heavy operator in
+//! the workspace.
+//!
+//! The parallel operators (`par_join`, `par_semijoin`, `par_project`) and the
+//! DAG-scheduled program executor all submit work here instead of spawning
+//! ad-hoc scoped threads per call. Workers are started once and reused, so
+//! the per-call cost of going parallel is a queue push, not a `clone(2)`.
+//! Like the in-tree `fxhash`, this is implemented on `std` alone to stay
+//! within the sanctioned dependency set (the container image has no cargo
+//! registry access); the API is a deliberately small rayon-style surface:
+//! [`scope`], [`par_map`], and [`par_map_slices`].
+//!
+//! Deadlock freedom: a thread that waits for a scope to finish *helps* — it
+//! pops and runs queued tasks while it waits — so nested parallelism (a
+//! parallel operator inside a parallel executor level) always makes
+//! progress, even on a single-core host.
+//!
+//! Determinism: all helpers return results in submission order, regardless
+//! of which worker ran what, so parallel operators built on them produce
+//! bit-identical output across runs and thread counts.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A queued unit of work: a lifetime-erased closure plus the scope that is
+/// waiting on it. See the safety argument on [`Scope::spawn`].
+struct Task {
+    run: Box<dyn FnOnce() + Send>,
+    scope: Arc<ScopeState>,
+}
+
+/// Completion tracking for one [`scope`] call.
+struct ScopeState {
+    /// Tasks spawned but not yet finished.
+    pending: AtomicUsize,
+    /// First panic payload from any task, re-thrown at scope exit.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signaled when the queue gains a task or any task completes.
+    cv: Condvar,
+    /// Number of worker threads started so far.
+    workers: AtomicUsize,
+}
+
+/// The process-wide pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+}
+
+/// Default worker count: `MJOIN_THREADS` if set, else the host parallelism.
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("MJOIN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The global pool, started on first use.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let pool = ThreadPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                workers: AtomicUsize::new(0),
+            }),
+        };
+        pool.add_workers(default_workers());
+        pool
+    })
+}
+
+/// Number of workers in the global pool (the caller thread helps too, so
+/// effective parallelism is one more than this while a scope waits).
+pub fn current_num_threads() -> usize {
+    global().shared.workers.load(Ordering::Relaxed)
+}
+
+/// Grow the global pool to at least `n` workers (used by benchmarks sweeping
+/// thread counts above the host parallelism). Never shrinks.
+pub fn ensure_at_least(n: usize) {
+    let pool = global();
+    let have = pool.shared.workers.load(Ordering::Relaxed);
+    if n > have {
+        pool.add_workers(n - have);
+    }
+}
+
+impl ThreadPool {
+    fn add_workers(&self, n: usize) {
+        for _ in 0..n {
+            let shared = Arc::clone(&self.shared);
+            let idx = self.shared.workers.fetch_add(1, Ordering::Relaxed);
+            thread::Builder::new()
+                .name(format!("mjoin-pool-{idx}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = shared.cv.wait(q).expect("pool queue poisoned");
+            }
+        };
+        run_task(shared, task);
+    }
+}
+
+fn run_task(shared: &Shared, task: Task) {
+    let Task { run, scope } = task;
+    let result = panic::catch_unwind(AssertUnwindSafe(run));
+    if let Err(payload) = result {
+        let mut slot = scope.panic.lock().expect("panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+    // Decrement under the queue lock so a waiter that just checked `pending`
+    // cannot miss the notification.
+    let _guard = shared.queue.lock().expect("pool queue poisoned");
+    scope.pending.fetch_sub(1, Ordering::SeqCst);
+    shared.cv.notify_all();
+}
+
+/// A handle for spawning tasks that may borrow from the enclosing stack
+/// frame; all tasks are complete when [`scope`] returns.
+pub struct Scope<'env> {
+    state: Arc<ScopeState>,
+    shared: &'env Shared,
+    /// Invariant over `'env`, as in `std::thread::scope`.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queue `f` on the pool. It may borrow anything that outlives the
+    /// `scope` call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: `scope` does not return (and therefore `'env` borrows stay
+        // live) until `pending` drops to zero, i.e. until this closure has
+        // finished running. Erasing the lifetime is the standard scoped-pool
+        // technique; the wait in `wait_scope` is unconditional (it runs even
+        // if the scope body panics).
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        let task = Task {
+            run: boxed,
+            scope: Arc::clone(&self.state),
+        };
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        q.push_back(task);
+        self.shared.cv.notify_one();
+    }
+}
+
+/// Wait for every task of `state` to finish, helping with queued work (ours
+/// or anyone's) while waiting.
+fn wait_scope(shared: &Shared, state: &Arc<ScopeState>) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if state.pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break Some(t);
+                }
+                q = shared.cv.wait(q).expect("pool queue poisoned");
+            }
+        };
+        if let Some(t) = task {
+            run_task(shared, t);
+        }
+    }
+}
+
+/// Run `f` with a [`Scope`]; returns once every spawned task has finished.
+/// The first panic from any task (or from `f` itself) is propagated.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let pool = global();
+    let state = Arc::new(ScopeState::new());
+    let s = Scope {
+        state: Arc::clone(&state),
+        shared: &pool.shared,
+        _marker: PhantomData,
+    };
+    let body = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    wait_scope(&pool.shared, &state);
+    let task_panic = state.panic.lock().expect("panic slot poisoned").take();
+    match body {
+        Ok(r) => {
+            if let Some(p) = task_panic {
+                panic::resume_unwind(p);
+            }
+            r
+        }
+        Err(p) => panic::resume_unwind(p),
+    }
+}
+
+/// Apply `f` to each item of `items` in parallel (one task per item),
+/// returning results in input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || Mutex::new(None));
+    {
+        let slots = &slots;
+        let f = &f;
+        scope(|s| {
+            for (i, item) in items.into_iter().enumerate() {
+                s.spawn(move || {
+                    let r = f(item);
+                    *slots[i].lock().expect("slot poisoned") = Some(r);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("task completed")
+        })
+        .collect()
+}
+
+/// Split `items` into at most `pieces` contiguous slices and apply `f` to
+/// each in parallel. `f` receives the piece index and the slice; results
+/// come back in slice order. With `pieces <= 1` (or a single-item input)
+/// everything runs inline on the caller.
+pub fn par_map_slices<T, R, F>(items: &[T], pieces: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let pieces = pieces.clamp(1, items.len().max(1));
+    let chunk = items.len().div_ceil(pieces).max(1);
+    if pieces <= 1 {
+        return items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    let n_chunks = items.len().div_ceil(chunk);
+    let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || Mutex::new(None));
+    {
+        let slots = &slots;
+        let f = &f;
+        scope(|s| {
+            for (i, piece) in items.chunks(chunk).enumerate() {
+                s.spawn(move || {
+                    let r = f(i, piece);
+                    *slots[i].lock().expect("slot poisoned") = Some(r);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("task completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_slices_covers_everything_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for pieces in [1, 2, 3, 7, 16, 1000, 5000] {
+            let sums = par_map_slices(&items, pieces, |_, s| s.iter().sum::<u64>());
+            assert_eq!(sums.iter().sum::<u64>(), items.iter().sum::<u64>());
+        }
+        let idx = par_map_slices(&items, 4, |i, _| i);
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let data: Vec<u64> = (0..64).collect();
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for chunk in data.chunks(8) {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let out = par_map((0..8).collect::<Vec<u64>>(), |x| {
+            par_map((0..8).collect::<Vec<u64>>(), move |y| x * y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8).map(|x| x * 28).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let r = panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        });
+        assert!(r.is_err());
+        // Pool is still usable afterwards.
+        assert_eq!(par_map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ensure_at_least_grows() {
+        let before = current_num_threads();
+        ensure_at_least(before + 1);
+        assert!(current_num_threads() > before);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7], |x| x * 3), vec![21]);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(
+            par_map_slices(&empty, 4, |_, s| s.len()),
+            Vec::<usize>::new()
+        );
+    }
+}

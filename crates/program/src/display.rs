@@ -122,7 +122,11 @@ mod tests {
         assert_eq!(lines[1], "R(F) := π_C R(V)");
         assert_eq!(lines[2], "R(V) := R(V) ⋈ R(F)");
         // Display adapter agrees.
-        let d = ProgramDisplay { program: &p, scheme: &scheme, catalog: &c };
+        let d = ProgramDisplay {
+            program: &p,
+            scheme: &scheme,
+            catalog: &c,
+        };
         assert_eq!(d.to_string(), text);
     }
 }

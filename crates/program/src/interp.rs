@@ -4,25 +4,46 @@
 //! input relation to its base register, executes the statements in order, and
 //! charges the head relation of every statement. The total cost is
 //! `Σ_{i=1}^{n+m} |Rᵢ|`: the `n` inputs plus the `m` statement heads.
+//!
+//! Registers hold `Arc<Relation>`, so reading a register — including the
+//! common "reduce a base relation, then join it" pattern where one value is
+//! read many times — is a reference-count bump, never a deep copy of the
+//! tuples. Statement heads still *assign* fresh relations, matching the
+//! paper's destructive-assignment semantics.
+//!
+//! [`execute_parallel`] runs the same programs level-by-level over the
+//! dependence DAG of [`crate::schedule`], executing each level's
+//! hazard-free statements concurrently on the shared [`mjoin_pool`] and
+//! using the partitioned parallel operators inside each statement. Its
+//! observable outcome (result, ledger, `head_sizes`, `peak_resident`) is
+//! byte-identical to [`execute`]'s; the differential tests in `mjoin-core`
+//! enforce this on randomized databases.
 
 use crate::program::Program;
+use crate::schedule::schedule;
 use crate::stmt::{Reg, Stmt};
 use mjoin_relation::{ops, CostLedger, Database, Relation, Schema};
+use std::sync::Arc;
 
 /// The outcome of running a program on a database.
 #[derive(Debug, Clone)]
 pub struct ExecOutcome {
-    /// The relation in the program's declared result register.
-    pub result: Relation,
+    /// The relation in the program's declared result register. Shared, not
+    /// copied, out of the interpreter's register file: deref (or clone the
+    /// `Arc`) to use it.
+    pub result: Arc<Relation>,
     /// The cost account (inputs + every statement head).
     pub ledger: CostLedger,
-    /// `|head|` after each statement, in execution order. Used by the
+    /// `|head|` after each statement, in statement order. Used by the
     /// Theorem 2 experiments to locate the peak intermediate.
     pub head_sizes: Vec<usize>,
-    /// Peak *resident* tuples: the maximum, over statement boundaries, of
-    /// the total tuples held across all registers at once. The paper
-    /// motivates linear join expressions by their single live temporary;
-    /// this measures the analogous space footprint for programs.
+    /// Peak *resident* tuples: the maximum, over statement boundaries of
+    /// the sequential execution order, of the total tuples held across all
+    /// registers at once. The paper motivates linear join expressions by
+    /// their single live temporary; this measures the analogous space
+    /// footprint for programs. `execute_parallel` reports the same number
+    /// (it is a property of the program, kept comparable across executors),
+    /// though a parallel run may transiently hold more.
     pub peak_resident: u64,
 }
 
@@ -33,20 +54,30 @@ impl ExecOutcome {
     }
 }
 
+/// The register file: shared-ownership relations, so reads are cheap and
+/// concurrent statement evaluation can hold operands without copying.
 struct Machine {
-    bases: Vec<Relation>,
-    temps: Vec<Option<Relation>>,
+    bases: Vec<Arc<Relation>>,
+    temps: Vec<Option<Arc<Relation>>>,
 }
 
 impl Machine {
+    fn new(program: &Program, db: &Database) -> Self {
+        Machine {
+            bases: db.relations().iter().cloned().map(Arc::new).collect(),
+            temps: vec![None; program.temp_names.len()],
+        }
+    }
+
     /// Read a register; unwritten variables read through their alias chain.
-    fn read(&self, program: &Program, reg: Reg) -> Relation {
+    /// Costs one `Arc` clone (a reference-count bump), not a relation copy.
+    fn read(&self, program: &Program, reg: Reg) -> Arc<Relation> {
         let mut cur = reg;
         loop {
             match cur {
-                Reg::Base(i) => return self.bases[i].clone(),
+                Reg::Base(i) => return Arc::clone(&self.bases[i]),
                 Reg::Temp(t) => match &self.temps[t] {
-                    Some(rel) => return rel.clone(),
+                    Some(rel) => return Arc::clone(rel),
                     None => {
                         cur = program.temp_init[t]
                             .expect("validated: unwritten variable has an alias");
@@ -56,70 +87,161 @@ impl Machine {
         }
     }
 
-    fn write(&mut self, reg: Reg, rel: Relation) {
+    fn write(&mut self, reg: Reg, rel: Arc<Relation>) {
         match reg {
             Reg::Base(i) => self.bases[i] = rel,
             Reg::Temp(t) => self.temps[t] = Some(rel),
         }
     }
+
+    /// Total tuples currently held across all registers.
+    fn resident(&self) -> u64 {
+        self.bases.iter().map(|r| r.len() as u64).sum::<u64>()
+            + self
+                .temps
+                .iter()
+                .flatten()
+                .map(|r| r.len() as u64)
+                .sum::<u64>()
+    }
 }
 
-/// Execute `program` on `db`.
-///
-/// The program should have passed [`crate::validate::validate`]; running an
-/// invalid program may panic (it will not produce wrong answers silently).
-pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
+/// Evaluate one statement's body against the current register file. With
+/// `threads == 1` the partitioned operators take their sequential paths, so
+/// this is also the sequential interpreter's evaluation step.
+fn eval_stmt(program: &Program, m: &Machine, stmt: &Stmt, threads: usize) -> (Reg, Relation) {
+    match stmt {
+        Stmt::Project { dst, src, attrs } => {
+            let src_rel = m.read(program, *src);
+            let schema = Schema::from_set(attrs);
+            let projected = ops::par_project(&src_rel, schema.attrs(), threads)
+                .expect("validated: projection attrs ⊆ source scheme");
+            (*dst, projected)
+        }
+        Stmt::Join { dst, left, right } => {
+            let l = m.read(program, *left);
+            let r = m.read(program, *right);
+            (*dst, ops::par_join(&l, &r, threads))
+        }
+        Stmt::Semijoin { target, filter } => {
+            let t = m.read(program, *target);
+            let f = m.read(program, *filter);
+            (*target, ops::par_semijoin(&t, &f, threads))
+        }
+    }
+}
+
+fn check_arity(program: &Program, db: &Database) {
     assert_eq!(
         program.num_bases,
         db.len(),
         "program and database disagree on the number of relations"
     );
+}
+
+/// Execute `program` on `db`, one statement at a time in program order.
+///
+/// The program should have passed [`crate::validate::validate`]; running an
+/// invalid program may panic (it will not produce wrong answers silently).
+pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
+    check_arity(program, db);
     let mut ledger = CostLedger::new();
     db.charge_inputs(&mut ledger);
 
-    let mut m = Machine {
-        bases: db.relations().to_vec(),
-        temps: vec![None; program.temp_names.len()],
-    };
+    let mut m = Machine::new(program, db);
     let mut head_sizes = Vec::with_capacity(program.stmts.len());
-    let resident = |m: &Machine| -> u64 {
-        m.bases.iter().map(|r| r.len() as u64).sum::<u64>()
-            + m.temps
-                .iter()
-                .flatten()
-                .map(|r| r.len() as u64)
-                .sum::<u64>()
-    };
-    let mut peak_resident = resident(&m);
+    let mut peak_resident = m.resident();
 
     for (i, stmt) in program.stmts.iter().enumerate() {
-        let (head, value) = match stmt {
-            Stmt::Project { dst, src, attrs } => {
-                let src_rel = m.read(program, *src);
-                let schema = Schema::from_set(attrs);
-                let projected = ops::project(&src_rel, schema.attrs())
-                    .expect("validated: projection attrs ⊆ source scheme");
-                (*dst, projected)
-            }
-            Stmt::Join { dst, left, right } => {
-                let l = m.read(program, *left);
-                let r = m.read(program, *right);
-                (*dst, ops::join(&l, &r))
-            }
-            Stmt::Semijoin { target, filter } => {
-                let t = m.read(program, *target);
-                let f = m.read(program, *filter);
-                (*target, ops::semijoin(&t, &f))
-            }
-        };
+        let (head, value) = eval_stmt(program, &m, stmt, 1);
         ledger.charge_generated(format!("stmt {i}"), value.len());
         head_sizes.push(value.len());
-        m.write(head, value);
-        peak_resident = peak_resident.max(resident(&m));
+        m.write(head, Arc::new(value));
+        peak_resident = peak_resident.max(m.resident());
     }
 
     let result = m.read(program, program.result);
-    ExecOutcome { result, ledger, head_sizes, peak_resident }
+    ExecOutcome {
+        result,
+        ledger,
+        head_sizes,
+        peak_resident,
+    }
+}
+
+/// Execute `program` on `db` with statement-level and operator-level
+/// parallelism on the shared pool.
+///
+/// Statements are grouped into the hazard-free levels of
+/// [`crate::schedule::schedule`] and each level is evaluated concurrently
+/// against the register file as left by the previous level; because
+/// same-level statements touch disjoint registers, every statement reads
+/// exactly the values it would read under sequential execution, so the
+/// computed relations are identical. The ledger, `head_sizes`, and
+/// `peak_resident` are then reconstructed in *statement* order (the sizes of
+/// all heads are known once execution finishes), which makes the whole
+/// [`ExecOutcome`] byte-identical to [`execute`]'s.
+pub fn execute_parallel(program: &Program, db: &Database, threads: usize) -> ExecOutcome {
+    check_arity(program, db);
+    let threads = threads.max(1);
+    let mut ledger = CostLedger::new();
+    db.charge_inputs(&mut ledger);
+
+    let mut m = Machine::new(program, db);
+    let n = program.stmts.len();
+    let mut sizes = vec![0usize; n];
+
+    for level in &schedule(program).levels {
+        let computed: Vec<(usize, (Reg, Relation))> = if threads == 1 || level.len() == 1 {
+            level
+                .iter()
+                .map(|&i| (i, eval_stmt(program, &m, &program.stmts[i], threads)))
+                .collect()
+        } else {
+            mjoin_pool::par_map(level.clone(), |i| {
+                (i, eval_stmt(program, &m, &program.stmts[i], threads))
+            })
+        };
+        for (i, (head, value)) in computed {
+            sizes[i] = value.len();
+            m.write(head, Arc::new(value));
+        }
+    }
+
+    let mut head_sizes = Vec::with_capacity(n);
+    for (i, &size) in sizes.iter().enumerate() {
+        ledger.charge_generated(format!("stmt {i}"), size);
+        head_sizes.push(size);
+    }
+
+    let result = m.read(program, program.result);
+    ExecOutcome {
+        result,
+        ledger,
+        head_sizes,
+        peak_resident: simulate_peak_resident(program, db, &sizes),
+    }
+}
+
+/// Replay register sizes in statement order to recover the sequential
+/// executor's `peak_resident`. Head sizes determine the whole trajectory:
+/// each statement replaces its head register's size with `sizes[i]`, and
+/// the footprint is sampled at every statement boundary.
+fn simulate_peak_resident(program: &Program, db: &Database, sizes: &[usize]) -> u64 {
+    let mut base_sizes: Vec<u64> = db.relations().iter().map(|r| r.len() as u64).collect();
+    let mut temp_sizes: Vec<u64> = vec![0; program.temp_names.len()];
+    let mut resident: u64 = base_sizes.iter().sum();
+    let mut peak = resident;
+    for (stmt, &size) in program.stmts.iter().zip(sizes) {
+        let slot = match stmt.head() {
+            Reg::Base(i) => &mut base_sizes[i],
+            Reg::Temp(t) => &mut temp_sizes[t],
+        };
+        resident = resident - *slot + size as u64;
+        *slot = size as u64;
+        peak = peak.max(resident);
+    }
+    peak
 }
 
 #[cfg(test)]
@@ -147,7 +269,7 @@ mod tests {
         b.join(v, v, Reg::Base(2));
         let p = b.finish(v);
         let out = execute(&p, &db);
-        assert_eq!(out.result, db.join_all());
+        assert_eq!(*out.result, db.join_all());
         // cost: inputs 2+2+1 = 5, AB⋈BC = 1, ⋈CD = 1 → 7.
         assert_eq!(out.cost(), 7);
         assert_eq!(out.head_sizes, vec![1, 1]);
@@ -164,7 +286,7 @@ mod tests {
         b.join(v, v, Reg::Base(2));
         let p = b.finish(v);
         let out = execute(&p, &db);
-        assert_eq!(out.result, db.join_all());
+        assert_eq!(*out.result, db.join_all());
         assert_eq!(out.head_sizes, vec![1, 1, 1]);
         assert_eq!(out.cost(), 5 + 3);
     }
@@ -177,7 +299,7 @@ mod tests {
         let p = b.finish(v);
         let out = execute(&p, &db);
         // No statements: result is just R(AB); cost is the inputs only.
-        assert_eq!(out.result, *db.relation(0));
+        assert_eq!(*out.result, *db.relation(0));
         assert_eq!(out.cost(), db.total_tuples());
         assert!(out.head_sizes.is_empty());
         assert_eq!(out.peak_resident, db.total_tuples());
@@ -230,5 +352,51 @@ mod tests {
         let p = b.finish(Reg::Base(0));
         let small = db.restrict(&[0, 1]);
         execute(&p, &small);
+    }
+
+    #[test]
+    fn reading_a_register_shares_rather_than_copies() {
+        let (_c, scheme, db) = chain_db();
+        let b = ProgramBuilder::new(&scheme);
+        let p = b.finish(Reg::Base(0));
+        let m = Machine::new(&p, &db);
+        let first = m.read(&p, Reg::Base(0));
+        let second = m.read(&p, Reg::Base(0));
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "read must return the same shared allocation"
+        );
+    }
+
+    #[test]
+    fn parallel_outcome_matches_sequential_exactly() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        // Mix of parallelizable reductions and a serial join chain.
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        b.semijoin(Reg::Base(2), Reg::Base(1));
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let seq = execute(&p, &db);
+        for threads in [1, 2, 4] {
+            let par = execute_parallel(&p, &db, threads);
+            assert_eq!(*par.result, *seq.result, "threads = {threads}");
+            assert_eq!(par.head_sizes, seq.head_sizes, "threads = {threads}");
+            assert_eq!(par.peak_resident, seq.peak_resident, "threads = {threads}");
+            assert_eq!(par.ledger, seq.ledger, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_empty_program() {
+        let (_c, scheme, db) = chain_db();
+        let b = ProgramBuilder::new(&scheme);
+        let p = b.finish(Reg::Base(2));
+        let seq = execute(&p, &db);
+        let par = execute_parallel(&p, &db, 4);
+        assert_eq!(*par.result, *seq.result);
+        assert_eq!(par.peak_resident, seq.peak_resident);
     }
 }

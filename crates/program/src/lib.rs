@@ -9,6 +9,8 @@
 //! * [`validate`]: static well-formedness per §2.2;
 //! * [`execute`]: the interpreter, charging the §2.3 program cost
 //!   `Σ_{i=1}^{n+m} |Rᵢ|`;
+//! * [`execute_parallel`]: the same semantics and cost accounting, run
+//!   level-parallel over the statement dependence DAG of [`schedule`];
 //! * [`display::render`]: pretty-printing in the paper's notation.
 
 #![warn(missing_docs)]
@@ -18,12 +20,14 @@ pub mod interp;
 pub mod optimize;
 pub mod parse;
 pub mod program;
+pub mod schedule;
 pub mod stmt;
 pub mod validate;
 
-pub use interp::{execute, ExecOutcome};
+pub use interp::{execute, execute_parallel, ExecOutcome};
 pub use optimize::eliminate_dead_code;
 pub use parse::parse_program;
 pub use program::{Program, ProgramBuilder};
+pub use schedule::{schedule, Schedule};
 pub use stmt::{Reg, Stmt};
 pub use validate::{validate, ValidateError, ValidationInfo};

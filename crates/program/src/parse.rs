@@ -91,11 +91,7 @@ fn parse_reg_token(text: &str) -> Result<(&str, &str)> {
 /// Parse a program in display notation. `result` defaults to the last
 /// statement's head; an empty input is an error (there is no way to name a
 /// result register).
-pub fn parse_program(
-    catalog: &Catalog,
-    scheme: &DbScheme,
-    text: &str,
-) -> Result<Program> {
+pub fn parse_program(catalog: &Catalog, scheme: &DbScheme, text: &str) -> Result<Program> {
     let mut names = Names {
         catalog,
         scheme,
@@ -121,9 +117,7 @@ pub fn parse_program(
             .trim_start();
 
         // Projection?
-        let proj_prefix = ["π_", "pi_"]
-            .iter()
-            .find_map(|p| rest.strip_prefix(p));
+        let proj_prefix = ["π_", "pi_"].iter().find_map(|p| rest.strip_prefix(p));
         if let Some(after) = proj_prefix {
             let after = after.trim_start();
             let split = after
@@ -213,8 +207,8 @@ pub fn parse_program(
                         }
                         _ => {
                             return Err(Error::Parse(format!(
-                                "semijoin head `{head_name}` must equal its left operand `{left_name}`"
-                            )))
+                            "semijoin head `{head_name}` must equal its left operand `{left_name}`"
+                        )))
                         }
                     }
                 };
@@ -281,7 +275,7 @@ R(V) := R(V) ⋈ R(GHA)
         assert_eq!(p.len(), 10);
         validate(&p, &s).unwrap();
         let out = execute(&p, &db);
-        assert_eq!(out.result, db.join_all());
+        assert_eq!(*out.result, db.join_all());
     }
 
     #[test]
@@ -291,7 +285,7 @@ R(V) := R(V) ⋈ R(GHA)
         let text = render(&p, &s, &c);
         let p2 = parse_program(&c, &s, &text).unwrap();
         assert_eq!(p.stmts, p2.stmts);
-        assert_eq!(execute(&p2, &db).result, db.join_all());
+        assert_eq!(*execute(&p2, &db).result, db.join_all());
     }
 
     #[test]
@@ -304,7 +298,7 @@ R(V) := R(V) |x| R(EFG)
 R(V) := R(V) |x| R(GHA)
 ";
         let p = parse_program(&c, &s, text).unwrap();
-        assert_eq!(execute(&p, &db).result, db.join_all());
+        assert_eq!(*execute(&p, &db).result, db.join_all());
     }
 
     #[test]

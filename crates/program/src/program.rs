@@ -126,7 +126,11 @@ impl ProgramBuilder {
             attrs.is_subset(self.scheme_of(src)),
             "projection attrs must be a subset of the source scheme"
         );
-        self.stmts.push(Stmt::Project { dst, src, attrs: attrs.clone() });
+        self.stmts.push(Stmt::Project {
+            dst,
+            src,
+            attrs: attrs.clone(),
+        });
         self.set_scheme(dst, attrs);
     }
 

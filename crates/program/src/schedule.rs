@@ -1,0 +1,211 @@
+//! Static dependence analysis and level scheduling for programs.
+//!
+//! A program is a straight-line sequence of statements, but most programs —
+//! the full reducers of Algorithm 2 in particular — have far less true
+//! ordering than their textual order suggests: the semijoin reductions of
+//! unrelated subtrees commute. This module recovers that freedom statically.
+//!
+//! Two statements must stay ordered iff they exhibit a classic hazard on
+//! some register: read-after-write (true dependence), write-after-read
+//! (anti-dependence), or write-after-write (output dependence). Everything
+//! else may run concurrently. Statements are assigned to *levels* — stmt `i`
+//! gets `1 + max(level(j))` over its dependences `j` — so every statement in
+//! a level is pairwise independent of the others, and executing levels in
+//! order with an intra-level barrier computes exactly the sequential
+//! machine states (see [`crate::interp::execute_parallel`]).
+//!
+//! Read sets are conservative: a register's read set includes its whole
+//! alias chain (`temp_init`), because the interpreter reads *through* the
+//! chain while a variable is unwritten. Over-approximating reads can only
+//! add edges, never unsound parallelism.
+
+use crate::program::Program;
+use crate::stmt::Reg;
+
+/// The level assignment of a program's statements.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// `levels[k]` holds the statement indices of level `k`, ascending.
+    /// Statements within a level are pairwise hazard-free.
+    pub levels: Vec<Vec<usize>>,
+    /// `level_of[i]` is the 1-based level of statement `i`.
+    pub level_of: Vec<usize>,
+}
+
+impl Schedule {
+    /// Number of levels — the critical-path length of the dependence DAG.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The largest level — an upper bound on exploitable statement-level
+    /// parallelism.
+    pub fn width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// The conservative static read set of register `reg`: the register itself
+/// plus its full `temp_init` alias chain (the interpreter reads through the
+/// chain while a variable is unwritten, so any writer along it is a
+/// potential dependence source). Alias cycles — rejected by
+/// [`crate::validate::validate`] — are tolerated here by terminating on the
+/// first repeated register.
+pub fn read_closure(program: &Program, reg: Reg, out: &mut Vec<Reg>) {
+    let mut cur = reg;
+    loop {
+        if out.contains(&cur) {
+            return;
+        }
+        out.push(cur);
+        match cur {
+            Reg::Base(_) => return,
+            Reg::Temp(t) => match program.temp_init[t] {
+                Some(next) => cur = next,
+                None => return,
+            },
+        }
+    }
+}
+
+/// Compute the level schedule of `program` (see the module docs).
+pub fn schedule(program: &Program) -> Schedule {
+    let n = program.stmts.len();
+    let reads: Vec<Vec<Reg>> = program
+        .stmts
+        .iter()
+        .map(|stmt| {
+            let mut set = Vec::new();
+            for r in stmt.reads() {
+                read_closure(program, r, &mut set);
+            }
+            set
+        })
+        .collect();
+    let writes: Vec<Reg> = program.stmts.iter().map(|s| s.head()).collect();
+
+    let mut level_of = vec![0usize; n];
+    for i in 0..n {
+        let mut lv = 1;
+        for j in 0..i {
+            let raw = reads[i].contains(&writes[j]);
+            let war = reads[j].contains(&writes[i]);
+            let waw = writes[i] == writes[j];
+            if raw || war || waw {
+                lv = lv.max(level_of[j] + 1);
+            }
+        }
+        level_of[i] = lv;
+    }
+
+    let depth = level_of.iter().copied().max().unwrap_or(0);
+    let mut levels = vec![Vec::new(); depth];
+    for (i, &lv) in level_of.iter().enumerate() {
+        levels[lv - 1].push(i);
+    }
+    Schedule { levels, level_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use mjoin_hypergraph::DbScheme;
+    use mjoin_relation::Catalog;
+
+    fn scheme(schemes: &[&str]) -> DbScheme {
+        let mut c = Catalog::new();
+        DbScheme::parse(&mut c, schemes)
+    }
+
+    #[test]
+    fn independent_semijoins_share_a_level() {
+        // Reduce R0 by R1 and R2 by R3: no shared registers → one level.
+        let s = scheme(&["AB", "BC", "DE", "EF"]);
+        let mut b = ProgramBuilder::new(&s);
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        b.semijoin(Reg::Base(2), Reg::Base(3));
+        let p = b.finish(Reg::Base(0));
+        let sched = schedule(&p);
+        assert_eq!(sched.depth(), 1);
+        assert_eq!(sched.levels[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn chain_of_joins_is_fully_serial() {
+        let s = scheme(&["AB", "BC", "CD"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let sched = schedule(&p);
+        assert_eq!(sched.depth(), 2);
+        assert_eq!(sched.width(), 1);
+        assert_eq!(sched.level_of, vec![1, 2]);
+    }
+
+    #[test]
+    fn war_hazard_orders_a_later_writer_after_a_reader() {
+        // stmt0 reads Base(1); stmt1 writes Base(1): WAR forces level 2.
+        let s = scheme(&["AB", "BC", "CD"]);
+        let mut b = ProgramBuilder::new(&s);
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        b.semijoin(Reg::Base(1), Reg::Base(2));
+        let p = b.finish(Reg::Base(0));
+        let sched = schedule(&p);
+        assert_eq!(sched.level_of, vec![1, 2]);
+    }
+
+    #[test]
+    fn waw_hazard_orders_writers_of_one_register() {
+        let s = scheme(&["AB", "BC", "CD"]);
+        let mut b = ProgramBuilder::new(&s);
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        b.semijoin(Reg::Base(0), Reg::Base(2));
+        let p = b.finish(Reg::Base(0));
+        let sched = schedule(&p);
+        assert_eq!(sched.level_of, vec![1, 2]);
+    }
+
+    #[test]
+    fn alias_chain_counts_as_a_read() {
+        // V aliases Base(0); stmt0 joins V (reading through to Base(0)),
+        // stmt1 reduces Base(0) in place: the alias read must order them.
+        let s = scheme(&["AB", "BC", "CD"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.semijoin(Reg::Base(0), Reg::Base(2));
+        let p = b.finish(v);
+        let sched = schedule(&p);
+        assert_eq!(sched.level_of, vec![1, 2]);
+    }
+
+    #[test]
+    fn two_reducer_arms_then_final_join() {
+        // Arms over disjoint registers parallelize; the combining joins
+        // serialize after them.
+        let s = scheme(&["AB", "BC", "DE", "CD"]);
+        let mut b = ProgramBuilder::new(&s);
+        b.semijoin(Reg::Base(0), Reg::Base(1)); // level 1
+        b.semijoin(Reg::Base(2), Reg::Base(3)); // level 1
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1)); // level 2 (reads Base(0) via alias)
+        b.join(v, v, Reg::Base(3)); // level 3 (reads V)
+        let p = b.finish(v);
+        let sched = schedule(&p);
+        assert_eq!(sched.level_of, vec![1, 1, 2, 3]);
+        assert_eq!(sched.width(), 2);
+    }
+
+    #[test]
+    fn empty_program_schedules_trivially() {
+        let s = scheme(&["AB"]);
+        let b = ProgramBuilder::new(&s);
+        let p = b.finish(Reg::Base(0));
+        let sched = schedule(&p);
+        assert_eq!(sched.depth(), 0);
+        assert_eq!(sched.width(), 0);
+    }
+}

@@ -52,16 +52,25 @@ impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateError::HeadNotVariable { stmt } => {
-                write!(f, "statement {stmt}: head of project/join must be a variable")
+                write!(
+                    f,
+                    "statement {stmt}: head of project/join must be a variable"
+                )
             }
             ValidateError::UndefinedRead { stmt, reg } => {
                 write!(f, "statement {stmt}: read of undefined register {reg:?}")
             }
             ValidateError::ProjectionNotSubset { stmt } => {
-                write!(f, "statement {stmt}: projection attributes not ⊆ source scheme")
+                write!(
+                    f,
+                    "statement {stmt}: projection attributes not ⊆ source scheme"
+                )
             }
             ValidateError::BadAlias { temp } => {
-                write!(f, "variable {temp}: alias does not resolve to a base relation")
+                write!(
+                    f,
+                    "variable {temp}: alias does not resolve to a base relation"
+                )
             }
             ValidateError::OutOfRange { stmt, reg } => {
                 write!(f, "statement {stmt}: register {reg:?} out of range")
@@ -205,12 +214,12 @@ pub fn validate(program: &Program, scheme: &DbScheme) -> Result<ValidationInfo, 
         }
     }
 
-    let result_scheme = ck
-        .check_read(usize::MAX, program.result)
-        .map_err(|_| ValidateError::UndefinedRead {
-            stmt: usize::MAX,
-            reg: program.result,
-        })?;
+    let result_scheme =
+        ck.check_read(usize::MAX, program.result)
+            .map_err(|_| ValidateError::UndefinedRead {
+                stmt: usize::MAX,
+                reg: program.result,
+            })?;
 
     Ok(ValidationInfo {
         base_schemes: ck.base_schemes,
@@ -249,7 +258,10 @@ mod tests {
             num_bases: 3,
             temp_names: vec!["V".into()],
             temp_init: vec![None],
-            stmts: vec![Stmt::Semijoin { target: Reg::Temp(0), filter: Reg::Base(0) }],
+            stmts: vec![Stmt::Semijoin {
+                target: Reg::Temp(0),
+                filter: Reg::Base(0),
+            }],
             result: Reg::Temp(0),
         };
         assert!(matches!(
@@ -265,7 +277,11 @@ mod tests {
             num_bases: 3,
             temp_names: vec![],
             temp_init: vec![],
-            stmts: vec![Stmt::Join { dst: Reg::Base(0), left: Reg::Base(0), right: Reg::Base(1) }],
+            stmts: vec![Stmt::Join {
+                dst: Reg::Base(0),
+                left: Reg::Base(0),
+                right: Reg::Base(1),
+            }],
             result: Reg::Base(0),
         };
         assert!(matches!(
@@ -328,7 +344,11 @@ mod tests {
             num_bases: 3,
             temp_names: vec!["V".into()],
             temp_init: vec![None],
-            stmts: vec![Stmt::Join { dst: Reg::Temp(0), left: Reg::Base(9), right: Reg::Base(0) }],
+            stmts: vec![Stmt::Join {
+                dst: Reg::Temp(0),
+                left: Reg::Base(9),
+                right: Reg::Base(0),
+            }],
             result: Reg::Temp(0),
         };
         assert!(matches!(

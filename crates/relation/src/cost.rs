@@ -24,7 +24,7 @@ pub enum CostKind {
 }
 
 /// One line of the cost breakdown.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostEntry {
     /// Input or generated.
     pub kind: CostKind,
@@ -34,8 +34,10 @@ pub struct CostEntry {
     pub tuples: u64,
 }
 
-/// Accumulates tuple-count cost with a per-step breakdown.
-#[derive(Debug, Clone, Default)]
+/// Accumulates tuple-count cost with a per-step breakdown. Equality is
+/// entry-by-entry (kind, label, and tuples), which the differential tests
+/// use to check that executors agree on the whole charge sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CostLedger {
     entries: Vec<CostEntry>,
 }

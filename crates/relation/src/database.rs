@@ -20,7 +20,9 @@ pub struct Database {
 impl Database {
     /// A database over zero relation schemes.
     pub fn new() -> Self {
-        Database { relations: Vec::new() }
+        Database {
+            relations: Vec::new(),
+        }
     }
 
     /// Build from the relations in scheme order.

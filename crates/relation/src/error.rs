@@ -29,7 +29,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             Error::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             Error::AttributeNotInSchema(name) => {
@@ -48,7 +51,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::ArityMismatch { expected: 3, got: 2 };
+        let e = Error::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert_eq!(e.to_string(), "tuple arity 2 does not match schema arity 3");
         assert_eq!(
             Error::UnknownAttribute("Q".into()).to_string(),

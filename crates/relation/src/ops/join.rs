@@ -31,60 +31,104 @@ pub fn join_key_positions(left: &Schema, right: &Schema) -> (Vec<usize>, Vec<usi
 /// likewise for `right`, so distinct input pairs produce distinct outputs.
 pub fn join(left: &Relation, right: &Relation) -> Relation {
     let out_schema = left.schema().union(right.schema());
+    let lrows: Vec<&Row> = left.rows().iter().collect();
+    let rrows: Vec<&Row> = right.rows().iter().collect();
+    let out_rows = hash_join_rows(left.schema(), &lrows, right.schema(), &rrows, &out_schema);
+    Relation::from_distinct_rows(out_schema, out_rows)
+}
 
-    // Build on the smaller side; the splice plan below is direction-aware.
-    let (build, probe, build_is_left) = if left.len() <= right.len() {
-        (left, right, true)
-    } else {
-        (right, left, false)
-    };
+/// Where an output column comes from when splicing a build row with a probe
+/// row. Probe-side columns win ties (key attributes are equal anyway).
+#[derive(Clone, Copy)]
+enum Src {
+    Build(usize),
+    Probe(usize),
+}
 
-    let (bpos, ppos) = {
-        let (lpos, rpos) = join_key_positions(build.schema(), probe.schema());
-        (lpos, rpos)
-    };
+/// A built hash-join: the build side's table plus the splice plan, ready to
+/// be probed — once, by the sequential [`join`], or concurrently over probe
+/// chunks by [`super::par_join`] (the table is read-only during probing, so
+/// sharing it across pool tasks is safe).
+pub(crate) struct JoinKernel<'a> {
+    build: &'a [&'a Row],
+    plan: Vec<Src>,
+    ppos: Vec<usize>,
+    table: FxHashMap<Box<[Value]>, Vec<usize>>,
+}
 
-    // Splice plan: for each output column, where does it come from?
-    // Probe-side columns win ties (key attributes are equal anyway).
-    #[derive(Clone, Copy)]
-    enum Src {
-        Build(usize),
-        Probe(usize),
-    }
-    let plan: Vec<Src> = out_schema
-        .attrs()
-        .iter()
-        .map(|&a| match probe.schema().position(a) {
-            Some(p) => Src::Probe(p),
-            None => Src::Build(build.schema().position(a).expect("attr from one side")),
-        })
-        .collect();
-
-    let mut table: FxHashMap<Box<[Value]>, Vec<usize>> = FxHashMap::default();
-    table.reserve(build.len());
-    for (i, row) in build.rows().iter().enumerate() {
-        table.entry(key_at(row, &bpos)).or_default().push(i);
-    }
-
-    let mut out_rows: Vec<Row> = Vec::new();
-    for prow in probe.rows() {
-        let key = key_at(prow, &ppos);
-        if let Some(matches) = table.get(&key) {
-            for &bi in matches {
-                let brow = &build.rows()[bi];
-                let row: Row = plan
-                    .iter()
-                    .map(|src| match *src {
-                        Src::Build(p) => brow[p].clone(),
-                        Src::Probe(p) => prow[p].clone(),
-                    })
-                    .collect();
-                out_rows.push(row);
-            }
+impl<'a> JoinKernel<'a> {
+    pub(crate) fn new(
+        build_schema: &Schema,
+        build: &'a [&'a Row],
+        probe_schema: &Schema,
+        out_schema: &Schema,
+    ) -> Self {
+        let (bpos, ppos) = join_key_positions(build_schema, probe_schema);
+        let plan: Vec<Src> = out_schema
+            .attrs()
+            .iter()
+            .map(|&a| match probe_schema.position(a) {
+                Some(p) => Src::Probe(p),
+                None => Src::Build(build_schema.position(a).expect("attr from one side")),
+            })
+            .collect();
+        let mut table: FxHashMap<Box<[Value]>, Vec<usize>> = FxHashMap::default();
+        table.reserve(build.len());
+        for (i, row) in build.iter().enumerate() {
+            table.entry(key_at(row, &bpos)).or_default().push(i);
+        }
+        JoinKernel {
+            build,
+            plan,
+            ppos,
+            table,
         }
     }
-    let _ = build_is_left; // direction folded into the splice plan
-    Relation::from_distinct_rows(out_schema, out_rows)
+
+    /// Join every row of `prows` against the built table.
+    pub(crate) fn probe_rows<'r>(&self, prows: impl IntoIterator<Item = &'r Row>) -> Vec<Row> {
+        let mut out_rows: Vec<Row> = Vec::new();
+        for prow in prows {
+            let key = key_at(prow, &self.ppos);
+            if let Some(matches) = self.table.get(&key) {
+                for &bi in matches {
+                    let brow = &self.build[bi];
+                    let row: Row = self
+                        .plan
+                        .iter()
+                        .map(|src| match *src {
+                            Src::Build(p) => brow[p].clone(),
+                            Src::Probe(p) => prow[p].clone(),
+                        })
+                        .collect();
+                    out_rows.push(row);
+                }
+            }
+        }
+        out_rows
+    }
+}
+
+/// The hash-join kernel on borrowed rows: joins `lrows` (over `lschema`)
+/// with `rrows` (over `rschema`) into rows of `out_schema`, building on the
+/// smaller side.
+///
+/// Shared by [`join`] and by the partitioned [`super::par_join`], whose
+/// partitions borrow from the input relations instead of copying them —
+/// key-disjoint partitions can each run this kernel and concatenate.
+pub(crate) fn hash_join_rows(
+    lschema: &Schema,
+    lrows: &[&Row],
+    rschema: &Schema,
+    rrows: &[&Row],
+    out_schema: &Schema,
+) -> Vec<Row> {
+    let (build_schema, build, probe_schema, probe) = if lrows.len() <= rrows.len() {
+        (lschema, lrows, rschema, rrows)
+    } else {
+        (rschema, rrows, lschema, lrows)
+    };
+    JoinKernel::new(build_schema, build, probe_schema, out_schema).probe_rows(probe.iter().copied())
 }
 
 #[cfg(test)]
@@ -170,12 +214,7 @@ mod tests {
         let s = rel(&mut c, "BCD", &[&[2, 3, 7], &[2, 4, 8]]).unwrap();
         let j = join(&r, &s);
         assert_eq!(j.len(), 2);
-        assert!(j.contains_row(&[
-            Value::Int(1),
-            Value::Int(2),
-            Value::Int(3),
-            Value::Int(7)
-        ]));
+        assert!(j.contains_row(&[Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(7)]));
     }
 
     #[test]

@@ -30,35 +30,43 @@ pub fn merge_join(left: &Relation, right: &Relation) -> Relation {
         return Relation::from_distinct_rows(out_schema, rows);
     }
 
-    // Sort row indices of each side by key.
-    let key_of = |rel: &Relation, positions: &[usize], idx: usize| -> Vec<Value> {
-        positions.iter().map(|&p| rel.rows()[idx][p].clone()).collect()
+    // Decorate-sort-undecorate: materialize each row's key once, instead of
+    // re-collecting a fresh `Vec<Value>` on every comparison inside the sort
+    // and again on every run-boundary probe of the merge loop (the old code
+    // allocated O(n log n) transient keys; this allocates exactly n).
+    let decorate = |rel: &Relation, positions: &[usize]| -> Vec<(Box<[Value]>, usize)> {
+        let mut keyed: Vec<(Box<[Value]>, usize)> = rel
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(idx, row)| (positions.iter().map(|&p| row[p].clone()).collect(), idx))
+            .collect();
+        keyed.sort_unstable();
+        keyed
     };
-    let mut lidx: Vec<usize> = (0..left.len()).collect();
-    let mut ridx: Vec<usize> = (0..right.len()).collect();
-    lidx.sort_by(|&a, &b| key_of(left, &lkey, a).cmp(&key_of(left, &lkey, b)));
-    ridx.sort_by(|&a, &b| key_of(right, &rkey, a).cmp(&key_of(right, &rkey, b)));
+    let lkeyed = decorate(left, &lkey);
+    let rkeyed = decorate(right, &rkey);
 
     let plan = splice_plan(left, right, &out_schema);
     let mut rows: Vec<Row> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
-    while i < lidx.len() && j < ridx.len() {
-        let lk = key_of(left, &lkey, lidx[i]);
-        let rk = key_of(right, &rkey, ridx[j]);
-        match lk.cmp(&rk) {
+    while i < lkeyed.len() && j < rkeyed.len() {
+        let lk = &lkeyed[i].0;
+        let rk = &rkeyed[j].0;
+        match lk.cmp(rk) {
             Ordering::Less => i += 1,
             Ordering::Greater => j += 1,
             Ordering::Equal => {
                 // Find the runs of equal keys on both sides.
-                let i_end = (i..lidx.len())
-                    .find(|&x| key_of(left, &lkey, lidx[x]) != lk)
-                    .unwrap_or(lidx.len());
-                let j_end = (j..ridx.len())
-                    .find(|&x| key_of(right, &rkey, ridx[x]) != rk)
-                    .unwrap_or(ridx.len());
-                for &li in &lidx[i..i_end] {
-                    for &rj in &ridx[j..j_end] {
-                        rows.push(splice(&left.rows()[li], &right.rows()[rj], &plan));
+                let i_end = (i..lkeyed.len())
+                    .find(|&x| lkeyed[x].0 != *lk)
+                    .unwrap_or(lkeyed.len());
+                let j_end = (j..rkeyed.len())
+                    .find(|&x| rkeyed[x].0 != *rk)
+                    .unwrap_or(rkeyed.len());
+                for (_, li) in &lkeyed[i..i_end] {
+                    for (_, rj) in &rkeyed[j..j_end] {
+                        rows.push(splice(&left.rows()[*li], &right.rows()[*rj], &plan));
                     }
                 }
                 i = i_end;
@@ -124,8 +132,7 @@ mod tests {
     fn duplicate_key_runs() {
         let mut c = Catalog::new();
         // 3 left rows and 2 right rows share B = 1 → 6 outputs.
-        let r =
-            relation_of_ints(&mut c, "AB", &[&[1, 1], &[2, 1], &[3, 1], &[4, 9]]).unwrap();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 1], &[2, 1], &[3, 1], &[4, 9]]).unwrap();
         let s = relation_of_ints(&mut c, "BC", &[&[1, 10], &[1, 11]]).unwrap();
         let m = merge_join(&r, &s);
         assert_eq!(m.len(), 6);

@@ -19,17 +19,51 @@ mod setops;
 pub use join::{join, join_key_positions};
 pub use merge_join::merge_join;
 pub use par_join::par_join;
-pub use project::project;
+pub use project::{par_project, project};
 pub use rename::rename;
 pub use select::{select_eq, select_where};
-pub use semijoin::semijoin;
+pub use semijoin::{par_semijoin, semijoin};
 pub use setops::{difference, intersection, union};
 
+use crate::fxhash::FxBuildHasher;
 use crate::relation::Row;
 use crate::value::Value;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Below this row count the parallel operators fall back to their sequential
+/// counterparts: partitioning and task-queue overhead dominate until inputs
+/// reach a few thousand rows.
+pub const SMALL: usize = 4096;
 
 /// Extract the values at `positions` from `row` as a hash key.
 #[inline]
 pub(crate) fn key_at(row: &Row, positions: &[usize]) -> Box<[Value]> {
     positions.iter().map(|&p| row[p].clone()).collect()
+}
+
+/// Hash the values at `positions` of `row` (the partition key).
+#[inline]
+pub(crate) fn hash_at(row: &Row, positions: &[usize]) -> u64 {
+    let mut h = FxBuildHasher::default().build_hasher();
+    for &p in positions {
+        row[p].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Split `rows` into `parts` key-disjoint groups by hashing the values at
+/// `positions`. Zero-copy: the groups borrow the input rows. Rows that agree
+/// on the key always land in the same group, so per-group operator results
+/// can be concatenated without cross-group deduplication.
+pub(crate) fn hash_partition<'a>(
+    rows: &'a [Row],
+    positions: &[usize],
+    parts: usize,
+) -> Vec<Vec<&'a Row>> {
+    let parts = parts.max(1);
+    let mut out: Vec<Vec<&Row>> = vec![Vec::new(); parts];
+    for row in rows {
+        out[(hash_at(row, positions) as usize) % parts].push(row);
+    }
+    out
 }

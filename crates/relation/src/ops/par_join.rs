@@ -1,108 +1,78 @@
-//! Partitioned parallel hash join.
+//! Partitioned parallel hash join on the shared operator pool.
 //!
-//! Classic radix-style parallelism: both inputs are partitioned by the hash
-//! of their natural-join key, partitions are joined independently on scoped
-//! threads, and the partition outputs are concatenated. Because partitions
-//! are key-disjoint, the union of the partition joins *is* the join, and the
-//! outputs are disjoint (no deduplication needed). Semantically identical to
-//! [`super::join`]; the test suite checks them against each other.
+//! Two strategies, chosen by build-side size:
+//!
+//! * **Shared-table chunked probe** (build side below [`SMALL`]): build the
+//!   hash table once, sequentially, then probe contiguous chunks of the big
+//!   side concurrently against the shared read-only table. No partitioning
+//!   pass touches the probed side at all, so the per-tuple overhead versus
+//!   the sequential join is essentially zero.
+//! * **Radix-style co-partitioning** (both sides large): both inputs are
+//!   partitioned by the hash of their natural-join key and the partitions
+//!   are joined independently, parallelizing the *build* as well as the
+//!   probe. Because partitions are key-disjoint, the union of the partition
+//!   joins *is* the join, and the outputs are disjoint (no deduplication
+//!   needed).
+//!
+//! Semantically both are identical to [`super::join`]; the test suite
+//! checks them against each other.
+//!
+//! Unlike the earlier crossbeam-scoped version, partitioning is zero-copy:
+//! the partitions hold `&Row` borrows into the input relations, and only the
+//! joined output rows are materialized. Output row *order* is deterministic
+//! for a given `threads` value (chunks/partitions are concatenated in index
+//! order) but differs across thread counts; `Relation` equality is
+//! order-blind.
 
-use super::join::{join, join_key_positions};
-use crate::fxhash::FxBuildHasher;
+use super::join::{hash_join_rows, join, join_key_positions, JoinKernel};
+use super::{hash_partition, SMALL};
 use crate::relation::{Relation, Row};
-use std::hash::{BuildHasher, Hash, Hasher};
 
 /// Parallel natural join over `threads` partitions (clamped to ≥ 1).
 ///
 /// Falls back to the sequential join when either input is small (the
-/// partitioning overhead dominates below a few thousand rows) or when the
-/// join is a Cartesian product (there is no key to partition on; the probe
-/// side is chunked instead).
+/// partitioning overhead dominates below a few thousand rows); Cartesian
+/// products (no key to partition on) always take the chunked-probe path.
 pub fn par_join(left: &Relation, right: &Relation, threads: usize) -> Relation {
     let threads = threads.max(1);
-    const SMALL: usize = 4096;
     if threads == 1 || (left.len() < SMALL && right.len() < SMALL) {
         return join(left, right);
     }
-    let (lkey, rkey) = join_key_positions(left.schema(), right.schema());
-    if lkey.is_empty() {
-        return par_cartesian(left, right, threads);
-    }
-
-    let hash_row = |row: &Row, positions: &[usize]| -> usize {
-        let mut h = FxBuildHasher::default().build_hasher();
-        for &p in positions {
-            row[p].hash(&mut h);
-        }
-        (h.finish() as usize) % threads
-    };
-
-    let partition = |rel: &Relation, positions: &[usize]| -> Vec<Vec<Row>> {
-        let mut parts: Vec<Vec<Row>> = vec![Vec::new(); threads];
-        for row in rel.rows() {
-            parts[hash_row(row, positions)].push(row.clone());
-        }
-        parts
-    };
-
-    let lparts = partition(left, &lkey);
-    let rparts = partition(right, &rkey);
-    let lschema = left.schema().clone();
-    let rschema = right.schema().clone();
-
-    let mut outputs: Vec<Vec<Row>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = lparts
-            .into_iter()
-            .zip(rparts)
-            .map(|(lp, rp)| {
-                let lschema = lschema.clone();
-                let rschema = rschema.clone();
-                scope.spawn(move |_| {
-                    let l = Relation::from_distinct_rows(lschema, lp);
-                    let r = Relation::from_distinct_rows(rschema, rp);
-                    join(&l, &r).into_rows()
-                })
-            })
-            .collect();
-        for h in handles {
-            outputs.push(h.join().expect("partition join panicked"));
-        }
-    })
-    .expect("thread scope");
-
-    let out_schema = left.schema().union(right.schema());
-    let rows: Vec<Row> = outputs.into_iter().flatten().collect();
-    Relation::from_distinct_rows(out_schema, rows)
-}
-
-/// Cartesian product with the probe side chunked across threads.
-fn par_cartesian(left: &Relation, right: &Relation, threads: usize) -> Relation {
     let (build, probe) = if left.len() <= right.len() {
         (left, right)
     } else {
         (right, left)
     };
-    let chunk = probe.len().div_ceil(threads).max(1);
+    let (lkey, rkey) = join_key_positions(left.schema(), right.schema());
+    if build.len() < SMALL || lkey.is_empty() {
+        return chunked_probe_join(build, probe, threads);
+    }
+
     let out_schema = left.schema().union(right.schema());
-    let mut outputs: Vec<Vec<Row>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = probe
-            .rows()
-            .chunks(chunk)
-            .map(|rows| {
-                let pschema = probe.schema().clone();
-                scope.spawn(move |_| {
-                    let part = Relation::from_distinct_rows(pschema, rows.to_vec());
-                    join(build, &part).into_rows()
-                })
-            })
-            .collect();
-        for h in handles {
-            outputs.push(h.join().expect("cartesian chunk panicked"));
-        }
-    })
-    .expect("thread scope");
+    let lparts = hash_partition(left.rows(), &lkey, threads);
+    let rparts = hash_partition(right.rows(), &rkey, threads);
+    let pairs: Vec<(Vec<&Row>, Vec<&Row>)> = lparts.into_iter().zip(rparts).collect();
+
+    let outputs = mjoin_pool::par_map(pairs, |(lp, rp)| {
+        hash_join_rows(left.schema(), &lp, right.schema(), &rp, &out_schema)
+    });
+
+    Relation::from_distinct_rows(out_schema, outputs.into_iter().flatten().collect())
+}
+
+/// Build once on `build` (the smaller side), then probe contiguous chunks
+/// of `probe` concurrently against the shared read-only table. Also the
+/// Cartesian-product path: with no join key, every row maps to the empty
+/// key, so each probe row matches all build rows.
+fn chunked_probe_join(build: &Relation, probe: &Relation, threads: usize) -> Relation {
+    let out_schema = build.schema().union(probe.schema());
+    let brows: Vec<&Row> = build.rows().iter().collect();
+    let kernel = JoinKernel::new(build.schema(), &brows, probe.schema(), &out_schema);
+
+    let outputs = mjoin_pool::par_map_slices(probe.rows(), threads, |_, chunk| {
+        kernel.probe_rows(chunk.iter())
+    });
+
     Relation::from_distinct_rows(out_schema, outputs.into_iter().flatten().collect())
 }
 
@@ -167,5 +137,24 @@ mod tests {
         let r = big(&mut c, "AB", 6000, 10);
         let empty = Relation::empty(Schema::from_chars(&mut c, "BC"));
         assert!(par_join(&r, &empty, 4).is_empty());
+    }
+
+    #[test]
+    fn multi_attribute_key_agrees() {
+        let mut c = Catalog::new();
+        let schema_l = Schema::from_chars(&mut c, "ABX");
+        let schema_r = Schema::from_chars(&mut c, "ABY");
+        let mk = |schema: Schema, n: i64| {
+            Relation::from_rows(
+                schema,
+                (0..n)
+                    .map(|i| vec![Value::Int(i % 40), Value::Int(i % 70), Value::Int(i)].into())
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let l = mk(schema_l, 6000);
+        let r = mk(schema_r, 5000);
+        assert_eq!(par_join(&l, &r, 4), join(&l, &r));
     }
 }

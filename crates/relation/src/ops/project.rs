@@ -1,5 +1,6 @@
 //! Projection (`π`), with set-semantics deduplication.
 
+use super::{hash_partition, SMALL};
 use crate::attr::AttrId;
 use crate::error::Result;
 use crate::fxhash::FxHashSet;
@@ -30,6 +31,47 @@ pub fn project(rel: &Relation, attrs: &[AttrId]) -> Result<Relation> {
         }
     }
     Ok(Relation::from_distinct_rows(out_schema, rows))
+}
+
+/// Parallel projection with partition-then-merge deduplication.
+///
+/// Input rows are partitioned by the hash of the *projected* values, so all
+/// rows that project to the same tuple land in the same partition; each
+/// partition projects and deduplicates independently on the shared pool, and
+/// the merge step is plain concatenation (no cross-partition duplicates are
+/// possible). Row order is unspecified but deterministic for a given
+/// `threads` value; `Relation` equality is order-blind.
+pub fn par_project(rel: &Relation, attrs: &[AttrId], threads: usize) -> Result<Relation> {
+    let threads = threads.max(1);
+    if threads == 1 || rel.len() < SMALL {
+        return project(rel, attrs);
+    }
+    let out_schema = Schema::new(attrs.to_vec());
+    let positions = rel.schema().positions_of(out_schema.attrs())?;
+
+    if out_schema == *rel.schema() {
+        // Identity projection: nothing to do (rows are already distinct).
+        return Ok(rel.clone());
+    }
+
+    let parts = hash_partition(rel.rows(), &positions, threads);
+    let outputs = mjoin_pool::par_map(parts, |part| {
+        let mut seen: FxHashSet<Row> = FxHashSet::default();
+        seen.reserve(part.len());
+        let mut rows: Vec<Row> = Vec::new();
+        for row in part {
+            let out: Row = positions.iter().map(|&p| row[p].clone()).collect();
+            if seen.insert(out.clone()) {
+                rows.push(out);
+            }
+        }
+        rows
+    });
+
+    Ok(Relation::from_distinct_rows(
+        out_schema,
+        outputs.into_iter().flatten().collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -100,6 +142,33 @@ mod tests {
         let p = project(&r, &[cc, a]).unwrap();
         assert_eq!(p.schema().display(&c).to_string(), "AC");
         assert!(p.contains_row(&[Value::Int(1), Value::Int(3)]));
+    }
+
+    #[test]
+    fn par_project_agrees_with_sequential() {
+        let mut c = Catalog::new();
+        let schema = Schema::from_chars(&mut c, "ABC");
+        let r = Relation::from_rows(
+            schema,
+            (0..8000)
+                .map(|i| vec![Value::Int(i % 90), Value::Int(i % 130), Value::Int(i)].into())
+                .collect(),
+        )
+        .unwrap();
+        let a = c.lookup("A").unwrap();
+        let b = c.lookup("B").unwrap();
+        let seq = project(&r, &[a, b]).unwrap();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                par_project(&r, &[a, b], threads).unwrap(),
+                seq,
+                "threads = {threads}"
+            );
+        }
+        // Identity and error paths mirror the sequential operator.
+        assert_eq!(par_project(&r, r.schema().attrs(), 4).unwrap(), r);
+        let z = c.intern("Z");
+        assert!(par_project(&r, &[z], 4).is_err());
     }
 
     #[test]

@@ -25,12 +25,7 @@ pub fn select_eq(rel: &Relation, attr: AttrId, value: &Value) -> Result<Relation
 ///
 /// The predicate sees values in the relation's canonical column order.
 pub fn select_where(rel: &Relation, pred: impl Fn(&[Value]) -> bool) -> Relation {
-    let rows: Vec<Row> = rel
-        .rows()
-        .iter()
-        .filter(|r| pred(r))
-        .cloned()
-        .collect();
+    let rows: Vec<Row> = rel.rows().iter().filter(|r| pred(r)).cloned().collect();
     Relation::from_distinct_rows(rel.schema().clone(), rows)
 }
 
@@ -74,7 +69,9 @@ mod tests {
     fn select_where_predicate() {
         let mut c = Catalog::new();
         let r = rel(&mut c, "AB", &[&[1, 10], &[5, 2], &[7, 7]]);
-        let s = select_where(&r, |row| row[0].as_int().unwrap() > row[1].as_int().unwrap());
+        let s = select_where(&r, |row| {
+            row[0].as_int().unwrap() > row[1].as_int().unwrap()
+        });
         assert_eq!(s.len(), 1);
         assert!(s.contains_row(&[Value::Int(5), Value::Int(2)]));
     }

@@ -1,8 +1,8 @@
 //! Semijoin (`⋉`), the reducer used by Algorithm 2 and by full reducers.
 
-use super::key_at;
+use super::{key_at, SMALL};
 use crate::fxhash::FxHashSet;
-use crate::relation::Relation;
+use crate::relation::{Relation, Row};
 use crate::schema::Schema;
 use crate::value::Value;
 
@@ -44,6 +44,56 @@ pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
         .cloned()
         .collect();
     Relation::from_distinct_rows(left.schema().clone(), rows)
+}
+
+/// Parallel semijoin on the shared pool: build the filter's key set once,
+/// then probe chunks of `left` concurrently against it.
+///
+/// Unlike a join, a semijoin never combines tuples, so there is no need to
+/// co-partition the two sides by key hash — a single read-only key set
+/// shared by every probe task does the same work with no partitioning pass
+/// over the (typically much larger) probed side. Chunks are contiguous
+/// slices of `left`, so concatenating the per-chunk survivors reproduces
+/// the sequential output order exactly.
+///
+/// Falls back to [`semijoin`] for small inputs, a single thread, or the
+/// disjoint-schema degenerate case (which does no per-tuple work).
+pub fn par_semijoin(left: &Relation, right: &Relation, threads: usize) -> Relation {
+    let threads = threads.max(1);
+    if threads == 1 || (left.len() < SMALL && right.len() < SMALL) {
+        return semijoin(left, right);
+    }
+    let common = left.schema().intersect(right.schema());
+    if common.is_empty() {
+        return semijoin(left, right);
+    }
+    let lpos = left
+        .schema()
+        .positions_of(common.attrs())
+        .expect("common attrs in left");
+    let rpos = right
+        .schema()
+        .positions_of(common.attrs())
+        .expect("common attrs in right");
+
+    let mut keys: FxHashSet<Box<[Value]>> = FxHashSet::default();
+    keys.reserve(right.len());
+    for row in right.rows() {
+        keys.insert(key_at(row, &rpos));
+    }
+
+    let outputs = mjoin_pool::par_map_slices(left.rows(), threads, |_, chunk| {
+        chunk
+            .iter()
+            .filter(|row| keys.contains(&key_at(row, &lpos)))
+            .cloned()
+            .collect::<Vec<Row>>()
+    });
+
+    Relation::from_distinct_rows(
+        left.schema().clone(),
+        outputs.into_iter().flatten().collect(),
+    )
 }
 
 #[allow(dead_code)]
@@ -115,6 +165,41 @@ mod tests {
         let once = semijoin(&r, &s);
         let twice = semijoin(&once, &s);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn par_semijoin_agrees_with_sequential() {
+        let mut c = Catalog::new();
+        let schema_l = Schema::from_chars(&mut c, "AB");
+        let schema_r = Schema::from_chars(&mut c, "BC");
+        let l = Relation::from_rows(
+            schema_l,
+            (0..6000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 700)].into())
+                .collect(),
+        )
+        .unwrap();
+        let r = Relation::from_rows(
+            schema_r,
+            (0..5000)
+                .map(|i| vec![Value::Int(i % 350), Value::Int(i)].into())
+                .collect(),
+        )
+        .unwrap();
+        let seq = semijoin(&l, &r);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_semijoin(&l, &r, threads), seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_semijoin_small_and_degenerate_fallbacks() {
+        let mut c = Catalog::new();
+        let r = rel(&mut c, "AB", &[&[1, 10], &[2, 20]]);
+        let s = rel(&mut c, "BC", &[&[10, 5]]);
+        assert_eq!(par_semijoin(&r, &s, 8), semijoin(&r, &s));
+        let disjoint = rel(&mut c, "DE", &[&[9, 9]]);
+        assert_eq!(par_semijoin(&r, &disjoint, 8), r);
     }
 
     #[test]

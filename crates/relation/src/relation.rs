@@ -28,7 +28,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation over `schema`.
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The relation over the empty schema containing the single nullary
@@ -40,23 +43,25 @@ impl Relation {
         }
     }
 
-    /// Build from rows, checking arity and removing duplicates.
+    /// Build from rows, checking arity and removing duplicates (keeping each
+    /// row's first occurrence, in order). Above the [`crate::ops::SMALL`]
+    /// cutoff the deduplication runs as a parallel partition-then-merge on
+    /// the shared pool; the result is byte-identical to the sequential path.
     pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Result<Self> {
-        let mut seen: FxHashSet<Row> = FxHashSet::default();
-        seen.reserve(rows.len());
-        let mut out = Vec::with_capacity(rows.len());
-        for row in rows {
+        for row in &rows {
             if row.len() != schema.arity() {
                 return Err(Error::ArityMismatch {
                     expected: schema.arity(),
                     got: row.len(),
                 });
             }
-            if seen.insert(row.clone()) {
-                out.push(row);
-            }
         }
-        Ok(Relation { schema, rows: out })
+        let rows = if rows.len() < crate::ops::SMALL {
+            dedup_sequential(rows)
+        } else {
+            dedup_parallel(rows)
+        };
+        Ok(Relation { schema, rows })
     }
 
     /// Build from `Vec<Vec<Value>>` tuples (convenience for tests/examples).
@@ -127,6 +132,47 @@ impl Relation {
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> RelationDisplay<'a> {
         RelationDisplay { rel: self, catalog }
     }
+}
+
+fn dedup_sequential(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    seen.reserve(rows.len());
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if seen.insert(row.clone()) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Partition-then-merge deduplication on the shared pool. Rows are
+/// partitioned by their full-tuple hash, so duplicates always collide in the
+/// same partition and per-partition dedup needs no cross-partition merge;
+/// the final sort by original index restores first-occurrence order, making
+/// the output byte-identical to [`dedup_sequential`].
+fn dedup_parallel(rows: Vec<Row>) -> Vec<Row> {
+    use crate::fxhash::FxBuildHasher;
+    use std::hash::BuildHasher;
+
+    let parts_n = mjoin_pool::current_num_threads().clamp(1, 64);
+    if parts_n == 1 {
+        return dedup_sequential(rows);
+    }
+    let mut parts: Vec<Vec<(usize, Row)>> = vec![Vec::new(); parts_n];
+    for (i, row) in rows.into_iter().enumerate() {
+        parts[(FxBuildHasher::default().hash_one(&row) as usize) % parts_n].push((i, row));
+    }
+    let deduped = mjoin_pool::par_map(parts, |part| {
+        let mut seen: FxHashSet<Row> = FxHashSet::default();
+        seen.reserve(part.len());
+        part.into_iter()
+            .filter(|(_, row)| seen.insert(row.clone()))
+            .collect::<Vec<_>>()
+    });
+    let mut all: Vec<(usize, Row)> = deduped.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|&(i, _)| i);
+    all.into_iter().map(|(_, row)| row).collect()
 }
 
 /// Set equality: same schema and the same set of rows, regardless of order.
@@ -210,17 +256,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_dedup_matches_sequential_order() {
+        let (_c, s) = schema_ab();
+        // Enough duplicated rows to cross the SMALL cutoff.
+        let rows: Vec<Row> = (0..10_000).map(|i| row(&[i % 997, i % 31])).collect();
+        let seq = dedup_sequential(rows.clone());
+        let par = Relation::from_rows(s, rows).unwrap();
+        assert_eq!(par.rows(), &seq[..], "first-occurrence order preserved");
+    }
+
+    #[test]
     fn arity_checked() {
         let (_c, s) = schema_ab();
         let err = Relation::from_rows(s, vec![row(&[1])]).unwrap_err();
-        assert_eq!(err, Error::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            Error::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn set_equality_ignores_order() {
         let (_c, s) = schema_ab();
-        let r1 =
-            Relation::from_rows(s.clone(), vec![row(&[1, 2]), row(&[3, 4])]).unwrap();
+        let r1 = Relation::from_rows(s.clone(), vec![row(&[1, 2]), row(&[3, 4])]).unwrap();
         let r2 = Relation::from_rows(s, vec![row(&[3, 4]), row(&[1, 2])]).unwrap();
         assert_eq!(r1, r2);
     }

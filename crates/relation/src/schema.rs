@@ -34,7 +34,9 @@ impl Schema {
     /// empty relation or the single nullary tuple — the two relational
     /// constants.
     pub fn empty() -> Self {
-        Schema { attrs: Arc::from([]) }
+        Schema {
+            attrs: Arc::from([]),
+        }
     }
 
     /// Build a schema by interning one single-letter attribute per character,
@@ -51,7 +53,9 @@ impl Schema {
     /// Build a schema from an [`AttrSet`].
     pub fn from_set(set: &AttrSet) -> Self {
         // AttrSet already iterates in sorted order.
-        Schema { attrs: set.to_vec().into() }
+        Schema {
+            attrs: set.to_vec().into(),
+        }
     }
 
     /// The attributes, sorted.
@@ -135,7 +139,9 @@ impl Schema {
             .copied()
             .filter(|a| !other.contains(*a))
             .collect();
-        Schema { attrs: attrs.into() }
+        Schema {
+            attrs: attrs.into(),
+        }
     }
 
     /// Whether the two schemas share no attributes — i.e. joining relations
@@ -152,7 +158,10 @@ impl Schema {
     /// Render with attribute names from `catalog`, e.g. `ABC` for
     /// single-letter names or `{a,b,c}` otherwise.
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> SchemaDisplay<'a> {
-        SchemaDisplay { schema: self, catalog }
+        SchemaDisplay {
+            schema: self,
+            catalog,
+        }
     }
 }
 
@@ -213,10 +222,7 @@ mod tests {
         let (_c, s) = abc();
         assert_eq!(s.position(AttrId(1)), Some(1));
         assert_eq!(s.position(AttrId(9)), None);
-        assert_eq!(
-            s.positions_of(&[AttrId(2), AttrId(0)]).unwrap(),
-            vec![2, 0]
-        );
+        assert_eq!(s.positions_of(&[AttrId(2), AttrId(0)]).unwrap(), vec![2, 0]);
         assert!(s.positions_of(&[AttrId(9)]).is_err());
     }
 

@@ -22,7 +22,9 @@ pub fn relation_from_tsv(catalog: &mut Catalog, text: &str) -> Result<Relation> 
         .ok_or_else(|| Error::Parse("TSV input has no header line".to_string()))?;
     let col_names: Vec<&str> = header.split('\t').map(str::trim).collect();
     if col_names.iter().any(|n| n.is_empty()) {
-        return Err(Error::Parse("empty attribute name in TSV header".to_string()));
+        return Err(Error::Parse(
+            "empty attribute name in TSV header".to_string(),
+        ));
     }
     let col_ids: Vec<_> = col_names.iter().map(|n| catalog.intern(n)).collect();
     {
@@ -30,7 +32,9 @@ pub fn relation_from_tsv(catalog: &mut Catalog, text: &str) -> Result<Relation> 
         sorted.sort_unstable();
         sorted.dedup();
         if sorted.len() != col_ids.len() {
-            return Err(Error::Parse("duplicate attribute in TSV header".to_string()));
+            return Err(Error::Parse(
+                "duplicate attribute in TSV header".to_string(),
+            ));
         }
     }
     let schema = Schema::new(col_ids.clone());

@@ -92,7 +92,7 @@ impl CycleGap {
             );
             let q = self.q(i);
             let mut rows: Vec<Row> = Vec::with_capacity(2 * q as usize + 1);
-            let mut push = |cin: i64, pad: i64, cout: i64, rows: &mut Vec<Row>| {
+            let push = |cin: i64, pad: i64, cout: i64, rows: &mut Vec<Row>| {
                 let mut row = vec![Value::Int(0); 3];
                 row[pi] = Value::Int(cin);
                 row[pp] = Value::Int(pad);
@@ -197,7 +197,10 @@ mod tests {
         let r_small = cpf_s as f64 / opt_s as f64;
         let r_big = cpf_b as f64 / opt_b as f64;
         assert!(r_small > 1.05);
-        assert!(r_big > 1.5 * r_small, "n = 4 gap grows: {r_small} → {r_big}");
+        assert!(
+            r_big > 1.5 * r_small,
+            "n = 4 gap grows: {r_small} → {r_big}"
+        );
 
         // n = 5, 6: every (n−1)-subset is connected, so the dominant cost is
         // unavoidable and the CPF penalty stays within lower-order terms —

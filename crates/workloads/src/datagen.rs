@@ -70,7 +70,12 @@ mod tests {
         for seed in 0..10 {
             let db = random_database(
                 &s,
-                &DataGenConfig { seed, tuples_per_relation: 30, domain: 5, plant_witness: true },
+                &DataGenConfig {
+                    seed,
+                    tuples_per_relation: 30,
+                    domain: 5,
+                    plant_witness: true,
+                },
             );
             assert!(!db.join_all().is_empty(), "seed {seed}");
         }
@@ -103,7 +108,12 @@ mod tests {
         let s = chain(&mut c, 3);
         let db = random_database(
             &s,
-            &DataGenConfig { tuples_per_relation: 40, domain: 100, seed: 1, plant_witness: true },
+            &DataGenConfig {
+                tuples_per_relation: 40,
+                domain: 100,
+                seed: 1,
+                plant_witness: true,
+            },
         );
         for rel in db.relations() {
             assert!(rel.len() <= 41);
@@ -115,7 +125,10 @@ mod tests {
     fn deterministic_per_seed() {
         let mut c = Catalog::new();
         let s = chain(&mut c, 3);
-        let cfg = DataGenConfig { seed: 9, ..Default::default() };
+        let cfg = DataGenConfig {
+            seed: 9,
+            ..Default::default()
+        };
         let a = random_database(&s, &cfg);
         let b = random_database(&s, &cfg);
         assert_eq!(a, b);

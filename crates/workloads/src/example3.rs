@@ -245,8 +245,7 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let reduced =
-                    mjoin_relation::ops::semijoin(db.relation(i), db.relation(j));
+                let reduced = mjoin_relation::ops::semijoin(db.relation(i), db.relation(j));
                 assert_eq!(
                     reduced.len(),
                     db.relation(i).len(),
@@ -328,7 +327,10 @@ mod tests {
             let ex = Example3::new(40);
             ex.min_cpf_cost(&scheme) as f64 / ex.optimal_cost(&scheme) as f64
         };
-        assert!(r40 > 3.0 * r10, "CPF/optimal gap must grow ~m: {r10} → {r40}");
+        assert!(
+            r40 > 3.0 * r10,
+            "CPF/optimal gap must grow ~m: {r10} → {r40}"
+        );
     }
 
     #[test]

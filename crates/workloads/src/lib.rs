@@ -18,7 +18,7 @@ pub mod example3;
 pub mod schemes;
 pub mod star_schema;
 
-pub use datagen::{random_database, DataGenConfig};
 pub use cycle_gap::CycleGap;
+pub use datagen::{random_database, DataGenConfig};
 pub use example3::Example3;
 pub use star_schema::{star_schema, StarSchemaConfig};

@@ -115,12 +115,7 @@ pub fn random_connected(
     // Fallback: stitch a connected scheme deterministically by overlapping
     // consecutive attribute pairs.
     let edges: Vec<AttrSet> = (0..n)
-        .map(|i| {
-            AttrSet::from_iter_ids([
-                pool[i % pool.len()],
-                pool[(i + 1) % pool.len()],
-            ])
-        })
+        .map(|i| AttrSet::from_iter_ids([pool[i % pool.len()], pool[(i + 1) % pool.len()]]))
         .collect();
     DbScheme::new(edges)
 }

@@ -58,8 +58,8 @@ pub fn star_schema(catalog: &mut Catalog, config: &StarSchemaConfig) -> (DbSchem
     let measure = catalog.intern("m");
 
     // Fact relation.
-    let usable = ((config.dim_rows as f64 * config.key_coverage).ceil() as usize)
-        .clamp(1, config.dim_rows);
+    let usable =
+        ((config.dim_rows as f64 * config.key_coverage).ceil() as usize).clamp(1, config.dim_rows);
     let draw_key = |rng: &mut StdRng| -> i64 {
         let u: f64 = rng.gen();
         // Power-law toward 0 for skew > 0.
@@ -112,7 +112,12 @@ mod tests {
     #[test]
     fn shape_and_sizes() {
         let mut c = Catalog::new();
-        let cfg = StarSchemaConfig { dimensions: 4, fact_rows: 200, dim_rows: 30, ..Default::default() };
+        let cfg = StarSchemaConfig {
+            dimensions: 4,
+            fact_rows: 200,
+            dim_rows: 30,
+            ..Default::default()
+        };
         let (scheme, db) = star_schema(&mut c, &cfg);
         assert_eq!(scheme.num_relations(), 5);
         assert_eq!(db.relation(0).len(), 200); // unique measures: no dedup
@@ -126,7 +131,10 @@ mod tests {
     #[test]
     fn every_fact_row_survives_full_coverage_join() {
         let mut c = Catalog::new();
-        let cfg = StarSchemaConfig { key_coverage: 1.0, ..Default::default() };
+        let cfg = StarSchemaConfig {
+            key_coverage: 1.0,
+            ..Default::default()
+        };
         let (_s, db) = star_schema(&mut c, &cfg);
         let j = db.join_all();
         // Every fact key exists in its dimension, so the join has exactly
@@ -137,7 +145,12 @@ mod tests {
     #[test]
     fn skew_concentrates_keys() {
         let mut c = Catalog::new();
-        let cfg = StarSchemaConfig { skew: 3.0, fact_rows: 1000, dim_rows: 100, ..Default::default() };
+        let cfg = StarSchemaConfig {
+            skew: 3.0,
+            fact_rows: 1000,
+            dim_rows: 100,
+            ..Default::default()
+        };
         let (_s, db) = star_schema(&mut c, &cfg);
         let fact = db.relation(0);
         let k0 = c.lookup("k0").unwrap();
@@ -158,7 +171,10 @@ mod tests {
     fn deterministic_per_seed() {
         let mut c1 = Catalog::new();
         let mut c2 = Catalog::new();
-        let cfg = StarSchemaConfig { seed: 42, ..Default::default() };
+        let cfg = StarSchemaConfig {
+            seed: 42,
+            ..Default::default()
+        };
         let (_s1, d1) = star_schema(&mut c1, &cfg);
         let (_s2, d2) = star_schema(&mut c2, &cfg);
         assert_eq!(d1, d2);

@@ -27,12 +27,23 @@ fn main() {
         relation_of_ints(&mut catalog, "CD", &[&[4, 5], &[70, 70]]).unwrap(),
         relation_of_ints(&mut catalog, "DE", &[&[5, 6], &[5, 7]]).unwrap(),
     ]);
-    println!("inputs: {} tuples total; globally consistent? {}", db.total_tuples(), globally_consistent(&db));
+    println!(
+        "inputs: {} tuples total; globally consistent? {}",
+        db.total_tuples(),
+        globally_consistent(&db)
+    );
 
     // 1. Full reducer.
     let (reduced, red_ledger) = fully_reduce(&scheme, &db).unwrap();
-    println!("\nfull reducer: {} semijoins, cost {} tuples", red_ledger.entries().len(), red_ledger.total());
-    println!("after reduction: globally consistent? {}", globally_consistent(&reduced));
+    println!(
+        "\nfull reducer: {} semijoins, cost {} tuples",
+        red_ledger.entries().len(),
+        red_ledger.total()
+    );
+    println!(
+        "after reduction: globally consistent? {}",
+        globally_consistent(&reduced)
+    );
 
     // 2. Monotone join expression on the reduced database.
     let mono = monotone_join_tree(&scheme).unwrap();
@@ -50,7 +61,11 @@ fn main() {
     let e = catalog.lookup("E").unwrap();
     let out = AttrSet::from_iter_ids([a, e]);
     let (proj, yan_ledger) = yannakakis(&scheme, &db, &out).unwrap();
-    println!("\nYannakakis π_AE(⋈D): {} tuples, cost {}", proj.len(), yan_ledger.total());
+    println!(
+        "\nYannakakis π_AE(⋈D): {} tuples, cost {}",
+        proj.len(),
+        yan_ledger.total()
+    );
     println!("{}", proj.display(&catalog));
 
     // 4. The paper's pipeline on the same data (works on any connected
@@ -63,7 +78,7 @@ fn main() {
         run.tree_cost,
         run.program_cost()
     );
-    assert_eq!(run.exec.result, db.join_all());
+    assert_eq!(*run.exec.result, db.join_all());
 
     // 5. Where the classical toolkit stops: Example 3's cyclic database is
     //    pairwise consistent, so the semijoin fixpoint removes nothing.

@@ -19,9 +19,14 @@ fn main() {
         "follows",
         &["src", "dst"],
         &[
-            &[1, 2], &[2, 3], &[3, 1], // a triangle
-            &[3, 4], &[4, 5], &[5, 3], // a second triangle sharing node 3
-            &[1, 5], &[2, 5],
+            &[1, 2],
+            &[2, 3],
+            &[3, 1], // a triangle
+            &[3, 4],
+            &[4, 5],
+            &[5, 3], // a second triangle sharing node 3
+            &[1, 5],
+            &[2, 5],
         ],
     )
     .unwrap();
@@ -64,10 +69,9 @@ fn main() {
     // Recursive Datalog: transitive closure of `follows`, via semi-naive
     // fixpoint evaluation — every iteration's rule bodies run through the
     // paper's pipeline.
-    let rules = parse_rules(
-        "reach(x, y) :- follows(x, y). reach(x, z) :- reach(x, y), follows(y, z).",
-    )
-    .unwrap();
+    let rules =
+        parse_rules("reach(x, y) :- follows(x, y). reach(x, z) :- reach(x, y), follows(y, z).")
+            .unwrap();
     let closure = evaluate_datalog(&db, &rules, PlanStrategy::Greedy).unwrap();
     println!(
         "transitive closure: {} facts in {} semi-naive iterations (total cost {})",
@@ -78,8 +82,10 @@ fn main() {
     for row in closure.facts_of("reach").iter().take(5) {
         println!("    reach({}, {})", row[0], row[1]);
     }
-    println!("    ...
-");
+    println!(
+        "    ...
+"
+    );
 
     // Strategy comparison on the cyclic triangle query.
     let q = parse_query("Tri(x, y, z) :- follows(x, y), follows(y, z), follows(z, x).").unwrap();

@@ -24,7 +24,12 @@ fn main() {
     println!("random scheme (seed {seed}): {}", scheme.display(&catalog));
     let db = random_database(
         &scheme,
-        &DataGenConfig { tuples_per_relation: 60, domain: 6, seed, plant_witness: true },
+        &DataGenConfig {
+            tuples_per_relation: 60,
+            domain: 6,
+            seed,
+            plant_witness: true,
+        },
     );
     println!(
         "database: {} relations, {} tuples total, ⋈D = {} tuples\n",
@@ -43,27 +48,65 @@ fn main() {
         ("DP best linear+CPF", SearchSpace::LinearCpf),
     ] {
         if let Some(opt) = optimize(&scheme, &mut oracle, space) {
-            rows.push((name.to_string(), opt.cost, opt.tree.display(&scheme, &catalog).to_string()));
+            rows.push((
+                name.to_string(),
+                opt.cost,
+                opt.tree.display(&scheme, &catalog).to_string(),
+            ));
         }
     }
 
     let (gt, gc) = greedy(&scheme, &mut oracle, true);
-    rows.push(("greedy (avoid ×)".into(), gc, gt.display(&scheme, &catalog).to_string()));
+    rows.push((
+        "greedy (avoid ×)".into(),
+        gc,
+        gt.display(&scheme, &catalog).to_string(),
+    ));
     let (gt2, gc2) = greedy(&scheme, &mut oracle, false);
-    rows.push(("greedy (free)".into(), gc2, gt2.display(&scheme, &catalog).to_string()));
+    rows.push((
+        "greedy (free)".into(),
+        gc2,
+        gt2.display(&scheme, &catalog).to_string(),
+    ));
 
-    let (iit, iic) = iterative_improvement(&scheme, &mut oracle, &IiConfig { seed, ..Default::default() });
-    rows.push(("iterative improvement".into(), iic, iit.display(&scheme, &catalog).to_string()));
+    let (iit, iic) = iterative_improvement(
+        &scheme,
+        &mut oracle,
+        &IiConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    rows.push((
+        "iterative improvement".into(),
+        iic,
+        iit.display(&scheme, &catalog).to_string(),
+    ));
 
-    let (sat, sac) = simulated_annealing(&scheme, &mut oracle, &SaConfig { seed, ..Default::default() });
-    rows.push(("simulated annealing".into(), sac, sat.display(&scheme, &catalog).to_string()));
+    let (sat, sac) = simulated_annealing(
+        &scheme,
+        &mut oracle,
+        &SaConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    rows.push((
+        "simulated annealing".into(),
+        sac,
+        sat.display(&scheme, &catalog).to_string(),
+    ));
 
     // Estimate-driven DP: plan with statistics, then cost the chosen tree
     // with the exact oracle (what a real optimizer experiences).
     let mut est = EstimateOracle::new(&scheme, &db);
     if let Some(opt) = optimize(&scheme, &mut est, SearchSpace::All) {
         let actual = cost_of(&opt.tree, &db);
-        rows.push(("DP on estimates (actual cost)".into(), actual, opt.tree.display(&scheme, &catalog).to_string()));
+        rows.push((
+            "DP on estimates (actual cost)".into(),
+            actual,
+            opt.tree.display(&scheme, &catalog).to_string(),
+        ));
     }
 
     println!("{:<30} {:>12}  tree", "strategy", "cost");
@@ -80,6 +123,6 @@ fn main() {
         run.program_cost(),
         run.quasi_factor * run.tree_cost
     );
-    assert_eq!(run.exec.result, db.join_all());
+    assert_eq!(*run.exec.result, db.join_all());
     println!("P(D) = ⋈D verified.");
 }

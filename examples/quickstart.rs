@@ -17,7 +17,12 @@ fn main() {
     let mut catalog = Catalog::new();
     let scheme = DbScheme::parse(&mut catalog, &["ABC", "CDE", "EFG", "GHA"]);
     println!("scheme 𝒟 = {}", scheme.display(&catalog));
-    println!("r = {}, a = {}, r(a+5) = {}\n", scheme.num_relations(), scheme.num_attrs(), scheme.quasi_factor());
+    println!(
+        "r = {}, a = {}, r(a+5) = {}\n",
+        scheme.num_relations(),
+        scheme.num_attrs(),
+        scheme.quasi_factor()
+    );
 
     let db = Database::from_relations(vec![
         relation_of_ints(&mut catalog, "ABC", &[&[1, 2, 3], &[1, 5, 3], &[4, 4, 4]]).unwrap(),
@@ -28,7 +33,10 @@ fn main() {
 
     // 2. A join expression — Example 2's non-CPF, nonlinear one.
     let t1 = parse_join_tree(&catalog, &scheme, "(ABC ⋈ EFG) ⋈ (CDE ⋈ GHA)").unwrap();
-    println!("input join expression T₁ = {}", t1.display(&scheme, &catalog));
+    println!(
+        "input join expression T₁ = {}",
+        t1.display(&scheme, &catalog)
+    );
     println!("  CPF? {}   linear? {}", t1.is_cpf(&scheme), t1.is_linear());
 
     // 3. Algorithm 1: make it Cartesian-product-free.
@@ -50,7 +58,7 @@ fn main() {
     println!("cost(P(D))  = {}", run.program_cost());
     println!(
         "Theorem 1: P(D) = ⋈D?  {}",
-        run.exec.result == db.join_all()
+        *run.exec.result == db.join_all()
     );
     println!(
         "Theorem 2: cost(P(D)) < r(a+5)·cost(T₁(D))?  {} ({} < {})",

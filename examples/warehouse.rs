@@ -35,7 +35,11 @@ fn main() {
 
     // 1. Yannakakis (classical polynomial method for acyclic schemes).
     let (yan, yan_ledger) = yannakakis(&scheme, &db, &scheme.all_attrs()).unwrap();
-    println!("Yannakakis:            {} tuples, cost {}", yan.len(), yan_ledger.total());
+    println!(
+        "Yannakakis:            {} tuples, cost {}",
+        yan.len(),
+        yan_ledger.total()
+    );
 
     // 2. Full reducer + monotone join.
     let (reduced, red_ledger) = fully_reduce(&scheme, &db).unwrap();
@@ -58,13 +62,16 @@ fn main() {
     );
 
     // 4. The paper's pipeline from that tree.
-    let report = mjoin::core::explain(&scheme, &best.tree, &db, &mut FirstChoice, &catalog)
-        .unwrap();
+    let report =
+        mjoin::core::explain(&scheme, &best.tree, &db, &mut FirstChoice, &catalog).unwrap();
     println!("\n{report}");
 
     // All four agree.
     let run = run_pipeline(&scheme, &best.tree, &db, &mut FirstChoice).unwrap();
-    assert_eq!(run.exec.result, yan);
+    assert_eq!(*run.exec.result, yan);
     assert_eq!(mono_eval.relation, yan);
-    println!("all four strategies computed the same {}-tuple join.", yan.len());
+    println!(
+        "all four strategies computed the same {}-tuple join.",
+        yan.len()
+    );
 }

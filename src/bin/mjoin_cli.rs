@@ -48,7 +48,11 @@ fn parse_args() -> Result<Args, String> {
     if files.is_empty() {
         return Err("no input files".to_string());
     }
-    Ok(Args { command, optimizer, files })
+    Ok(Args {
+        command,
+        optimizer,
+        files,
+    })
 }
 
 fn usage() -> String {
@@ -60,10 +64,10 @@ fn load(files: &[String]) -> Result<(Catalog, DbScheme, Database), String> {
     let mut catalog = Catalog::new();
     let mut relations = Vec::new();
     for path in files {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        let rel = tsv::relation_from_tsv(&mut catalog, &text)
-            .map_err(|e| format!("`{path}`: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let rel =
+            tsv::relation_from_tsv(&mut catalog, &text).map_err(|e| format!("`{path}`: {e}"))?;
         relations.push(rel);
     }
     let db = Database::from_relations(relations);
@@ -71,11 +75,7 @@ fn load(files: &[String]) -> Result<(Catalog, DbScheme, Database), String> {
     Ok((catalog, scheme, db))
 }
 
-fn pick_tree(
-    name: &str,
-    scheme: &DbScheme,
-    db: &Database,
-) -> Result<(JoinTree, u64), String> {
+fn pick_tree(name: &str, scheme: &DbScheme, db: &Database) -> Result<(JoinTree, u64), String> {
     let mut oracle = ExactOracle::new(db);
     let space = match name {
         "greedy" => {
@@ -85,7 +85,11 @@ fn pick_tree(
         "dp" => SearchSpace::All,
         "dp-cpf" => SearchSpace::Cpf,
         "dp-linear" => SearchSpace::Linear,
-        other => return Err(format!("unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)")),
+        other => {
+            return Err(format!(
+                "unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)"
+            ))
+        }
     };
     let opt = optimize(scheme, &mut oracle, space)
         .ok_or_else(|| format!("optimizer `{name}`: search space is empty for this scheme"))?;
@@ -113,7 +117,12 @@ fn run(args: &Args, execute_it: bool) -> Result<(), String> {
         );
     }
     let (t1, t1_cost) = pick_tree(&args.optimizer, &scheme, &db)?;
-    eprintln!("T1 ({}, cost {}): {}", args.optimizer, t1_cost, t1.display(&scheme, &catalog));
+    eprintln!(
+        "T1 ({}, cost {}): {}",
+        args.optimizer,
+        t1_cost,
+        t1.display(&scheme, &catalog)
+    );
 
     let d = derive(&scheme, &t1).map_err(|e| e.to_string())?;
     eprintln!("T2 (CPF): {}", d.cpf_tree.display(&scheme, &catalog));
@@ -123,7 +132,11 @@ fn run(args: &Args, execute_it: bool) -> Result<(), String> {
     if execute_it {
         let run = run_pipeline(&scheme, &t1, &db, &mut FirstChoice).map_err(|e| e.to_string())?;
         eprintln!("cost(T1(D)) = {}", run.tree_cost);
-        eprintln!("cost(P(D))  = {} (peak resident {})", run.program_cost(), run.exec.peak_resident);
+        eprintln!(
+            "cost(P(D))  = {} (peak resident {})",
+            run.program_cost(),
+            run.exec.peak_resident
+        );
         eprintln!("result: {} tuples", run.exec.result.len());
         print!("{}", tsv::relation_to_tsv(&catalog, &run.exec.result));
     }
@@ -141,16 +154,21 @@ fn query(args: &Args) -> Result<(), String> {
             .file_stem()
             .and_then(|s| s.to_str())
             .ok_or_else(|| format!("cannot derive a predicate name from `{path}`"))?;
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        ndb.add_tsv(stem, &text).map_err(|e| format!("`{path}`: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        ndb.add_tsv(stem, &text)
+            .map_err(|e| format!("`{path}`: {e}"))?;
     }
     let q = parse_query(query_text).map_err(|e| e.to_string())?;
     let strategy = match args.optimizer.as_str() {
         "greedy" => PlanStrategy::Greedy,
         "dp" => PlanStrategy::DpOptimal,
         "dp-cpf" => PlanStrategy::DpCpf,
-        other => return Err(format!("unknown optimizer `{other}` for query (try greedy|dp|dp-cpf)")),
+        other => {
+            return Err(format!(
+                "unknown optimizer `{other}` for query (try greedy|dp|dp-cpf)"
+            ))
+        }
     };
     let res = execute_query(&ndb, &q, strategy).map_err(|e| e.to_string())?;
     eprintln!("{q}");

@@ -40,7 +40,7 @@
 //! // … and run the paper's pipeline: Algorithm 1 → CPF tree → Algorithm 2
 //! // → program → execute.
 //! let run = run_pipeline(&scheme, &t1, &db, &mut FirstChoice).unwrap();
-//! assert_eq!(run.exec.result, db.join_all());          // Theorem 1
+//! assert_eq!(*run.exec.result, db.join_all());          // Theorem 1
 //! assert!(run.bound_holds());                          // Theorem 2
 //! ```
 
@@ -60,27 +60,29 @@ pub mod prelude {
         full_reducer_program, fully_reduce, globally_consistent, monotone_join_tree,
         pairwise_consistent, semijoin_fixpoint, yannakakis,
     };
-    pub use mjoin_cq::{
-        evaluate_datalog, execute_query, parse_query, parse_rules, ConjunctiveQuery,
-        NamedDatabase, PlanStrategy,
-    };
     pub use mjoin_core::{
-        algorithm1, algorithm1_all_outcomes, algorithm1_with_policy, algorithm2,
-        check_theorem1, check_theorem2, derive, derive_with_policy, run_pipeline,
+        algorithm1, algorithm1_all_outcomes, algorithm1_with_policy, algorithm2, check_theorem1,
+        check_theorem2, derive, derive_with_policy, run_pipeline, run_pipeline_parallel,
         ChoicePolicy, Derivation, FirstChoice, PipelineRun, SeededChoice,
+    };
+    pub use mjoin_cq::{
+        evaluate_datalog, execute_query, parse_query, parse_rules, ConjunctiveQuery, NamedDatabase,
+        PlanStrategy,
     };
     pub use mjoin_expr::{
         all_trees, cost_of, cpf_trees, evaluate, linear_trees, parse_join_tree, JoinTree,
     };
     pub use mjoin_hypergraph::{gyo, is_acyclic, DbScheme, RelSet};
     pub use mjoin_optimizer::{
-        greedy, iterative_improvement, optimize, simulated_annealing, CostOracle,
-        EstimateOracle, ExactOracle, IiConfig, SaConfig, SearchSpace,
+        greedy, iterative_improvement, optimize, simulated_annealing, CostOracle, EstimateOracle,
+        ExactOracle, IiConfig, SaConfig, SearchSpace,
     };
-    pub use mjoin_program::{execute, validate, Program, ProgramBuilder, Reg, Stmt};
+    pub use mjoin_program::{
+        execute, execute_parallel, schedule, validate, Program, ProgramBuilder, Reg, Stmt,
+    };
     pub use mjoin_relation::{
-        ops, relation_of_ints, AttrId, AttrSet, Catalog, CostLedger, Database, Relation,
-        Schema, Value,
+        ops, relation_of_ints, AttrId, AttrSet, Catalog, CostLedger, Database, Relation, Schema,
+        Value,
     };
     pub use mjoin_workloads::{random_database, DataGenConfig, Example3};
 }
@@ -99,6 +101,6 @@ mod tests {
         ]);
         let t = JoinTree::left_deep(&[0, 1]);
         let run = run_pipeline(&scheme, &t, &db, &mut FirstChoice).unwrap();
-        assert_eq!(run.exec.result, db.join_all());
+        assert_eq!(*run.exec.result, db.join_all());
     }
 }

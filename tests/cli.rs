@@ -126,7 +126,11 @@ fn query_command_answers() {
     let mut args = vec!["query", "Q(x, z) :- r1(x, y), r2(y, z)"];
     args.extend(fx.files.iter().map(String::as_str));
     let out = cli(&args);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.starts_with("x\tz\n"));
     assert!(stdout.contains("1\t5"));

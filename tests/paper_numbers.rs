@@ -39,8 +39,14 @@ fn example3_cost_inequalities_scale_with_k() {
     for k in 1..=4u32 {
         let ex = Example3::for_k(k);
         assert!(ex.optimal_cost(&scheme) < ex.paper_optimal_bound(), "k={k}");
-        assert!(ex.min_cpf_cost(&scheme) > ex.paper_cpf_lower_bound(), "k={k}");
-        assert!(ex.min_linear_cost(&scheme) > ex.paper_cpf_lower_bound(), "k={k}");
+        assert!(
+            ex.min_cpf_cost(&scheme) > ex.paper_cpf_lower_bound(),
+            "k={k}"
+        );
+        assert!(
+            ex.min_linear_cost(&scheme) > ex.paper_cpf_lower_bound(),
+            "k={k}"
+        );
     }
 }
 
@@ -56,7 +62,10 @@ fn example3_consistency_facts() {
     assert_eq!(db.join_all().len(), 1);
     let mut ledger = CostLedger::new();
     let (reduced, effective) = semijoin_fixpoint(&db, &mut ledger);
-    assert_eq!(effective, 0, "the paper: semijoin programs are useless here");
+    assert_eq!(
+        effective, 0,
+        "the paper: semijoin programs are useless here"
+    );
     assert_eq!(reduced, db);
 }
 
@@ -132,7 +141,7 @@ fn quasi_optimal_program_beats_cpf_expressions() {
     let db = ex.database(&mut catalog);
 
     let run = run_pipeline(&scheme, &Example3::optimal_tree(), &db, &mut FirstChoice).unwrap();
-    assert_eq!(run.exec.result, db.join_all());
+    assert_eq!(*run.exec.result, db.join_all());
     assert!(run.bound_holds());
 
     let program_cost = run.program_cost() as u128;

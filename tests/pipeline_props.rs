@@ -28,7 +28,12 @@ fn any_scheme() -> impl Strategy<Value = (Catalog, DbScheme)> {
 fn db_for(scheme: &DbScheme, seed: u64) -> Database {
     random_database(
         scheme,
-        &DataGenConfig { tuples_per_relation: 20, domain: 4, seed, plant_witness: true },
+        &DataGenConfig {
+            tuples_per_relation: 20,
+            domain: 4,
+            seed,
+            plant_witness: true,
+        },
     )
 }
 
@@ -64,7 +69,7 @@ proptest! {
         let t1 = random_tree(&scheme, &mut rng, false);
         let mut policy = SeededChoice::new(policy_seed);
         let run = run_pipeline(&scheme, &t1, &db, &mut policy).unwrap();
-        prop_assert_eq!(run.exec.result, db.join_all());
+        prop_assert_eq!(&*run.exec.result, &db.join_all());
     }
 
     #[test]

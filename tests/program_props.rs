@@ -20,7 +20,12 @@ fn scheme_and_db(family: usize, n: usize, seed: u64) -> (DbScheme, Database) {
     };
     let db = random_database(
         &scheme,
-        &DataGenConfig { tuples_per_relation: 15, domain: 4, seed, plant_witness: true },
+        &DataGenConfig {
+            tuples_per_relation: 15,
+            domain: 4,
+            seed,
+            plant_witness: true,
+        },
     );
     (scheme, db)
 }
@@ -80,7 +85,7 @@ proptest! {
         validate(&weakened, &scheme).unwrap();
         let full = execute(&d.program, &db);
         let weak = execute(&weakened, &db);
-        prop_assert_eq!(&full.result, &db.join_all());
+        prop_assert_eq!(&*full.result, &db.join_all());
         prop_assert_eq!(&weak.result, &full.result);
         prop_assert!(weak.cost() >= full.cost());
     }
