@@ -254,6 +254,11 @@ struct Measurement {
     result_tuples: usize,
     baseline_ms: f64,
     parallel_ms: Vec<(usize, f64)>,
+    /// Aggregated spans from one traced (untimed) parallel run: key is
+    /// `name[strategy]`, value is `(calls, total_ms)`.
+    trace_ops: Vec<(String, u64, f64)>,
+    /// Counters from the same traced run (pool and scheduler metrics).
+    trace_counters: Vec<(String, u64)>,
 }
 
 impl Measurement {
@@ -310,6 +315,35 @@ fn measure(w: &Workload) -> Measurement {
     }
     let parallel_ms: Vec<(usize, f64)> = THREADS.iter().copied().zip(best_par).collect();
 
+    // One extra traced run, after timing, so the JSON records which operator
+    // strategies actually fired and how the pool behaved. The timed reps run
+    // with tracing off, so the recorded milliseconds stay honest.
+    mjoin_trace::clear();
+    mjoin_trace::set_enabled(true);
+    {
+        let out = execute_parallel(program, &w.db, 4);
+        std::hint::black_box(out.result.len());
+    }
+    mjoin_trace::set_enabled(false);
+    let trace = mjoin_trace::take();
+    let trace_ops: Vec<(String, u64, f64)> = trace
+        .aggregate()
+        .into_iter()
+        .filter(|row| row.key.starts_with("op/"))
+        .map(|row| {
+            (
+                row.key.trim_start_matches("op/").to_string(),
+                row.count,
+                row.total_us as f64 / 1e3,
+            )
+        })
+        .collect();
+    let trace_counters: Vec<(String, u64)> = trace
+        .counters
+        .iter()
+        .map(|(n, v)| (n.to_string(), *v))
+        .collect();
+
     Measurement {
         name: w.name,
         relations: w.db.len(),
@@ -320,6 +354,8 @@ fn measure(w: &Workload) -> Measurement {
         result_tuples: oracle.result.len(),
         baseline_ms,
         parallel_ms,
+        trace_ops,
+        trace_counters,
     }
 }
 
@@ -376,7 +412,32 @@ fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Me
             .map(|(t, _)| format!("\"{t}\": {:.2}", m.speedup_at(*t)))
             .collect();
         j.push_str(&cells.join(", "));
+        j.push_str("},\n");
+        // From one traced (untimed) run at 4 threads: which operator
+        // strategies actually fired, plus the pool counters behind them.
+        j.push_str("      \"trace_summary\": {\n");
+        j.push_str("        \"ops\": {");
+        let cells: Vec<String> = m
+            .trace_ops
+            .iter()
+            .map(|(k, calls, total_ms)| {
+                format!(
+                    "\"{}\": {{\"calls\": {calls}, \"total_ms\": {total_ms:.3}}}",
+                    json_escape(k)
+                )
+            })
+            .collect();
+        j.push_str(&cells.join(", "));
+        j.push_str("},\n");
+        j.push_str("        \"counters\": {");
+        let cells: Vec<String> = m
+            .trace_counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .collect();
+        j.push_str(&cells.join(", "));
         j.push_str("}\n");
+        j.push_str("      }\n");
         j.push_str(if i + 1 == ms.len() {
             "    }\n"
         } else {

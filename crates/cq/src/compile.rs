@@ -32,6 +32,8 @@ pub enum PlanStrategy {
     DpOptimal,
     /// Exact DP over CPF trees.
     DpCpf,
+    /// Exact DP over linear (left-deep) trees.
+    DpLinear,
 }
 
 /// The answer to a query.
@@ -282,6 +284,11 @@ fn pick_tree(scheme: &DbScheme, db: &Database, strategy: PlanStrategy) -> Result
                 .ok_or_else(|| Error::Parse("empty CPF search space".to_string()))?
                 .tree
         }
+        PlanStrategy::DpLinear => {
+            optimize(scheme, &mut oracle, SearchSpace::Linear)
+                .ok_or_else(|| Error::Parse("empty linear search space".to_string()))?
+                .tree
+        }
     };
     Ok(tree)
 }
@@ -396,8 +403,10 @@ mod tests {
         let a = execute_query(&db, &q, PlanStrategy::Greedy).unwrap();
         let b = execute_query(&db, &q, PlanStrategy::DpOptimal).unwrap();
         let c = execute_query(&db, &q, PlanStrategy::DpCpf).unwrap();
+        let d = execute_query(&db, &q, PlanStrategy::DpLinear).unwrap();
         assert_eq!(a.rows_in_head_order(), b.rows_in_head_order());
         assert_eq!(a.rows_in_head_order(), c.rows_in_head_order());
+        assert_eq!(a.rows_in_head_order(), d.rows_in_head_order());
     }
 
     #[test]

@@ -63,9 +63,19 @@ pub fn optimize(
     oracle: &mut dyn CostOracle,
     space: SearchSpace,
 ) -> Option<Optimized> {
+    let mut sp = mjoin_trace::span("plan", "optimize_dp");
     let full = scheme.all();
     let mut memo: FxHashMap<RelSet, Option<(u64, JoinTree)>> = FxHashMap::default();
-    let (cost, tree) = best(scheme, oracle, space, full, &mut memo)?;
+    let found = best(scheme, oracle, space, full, &mut memo);
+    if sp.is_active() {
+        sp.arg("relations", scheme.num_relations());
+        sp.arg("space", format!("{space:?}"));
+        sp.arg("subproblems", memo.len());
+        if let Some((cost, _)) = &found {
+            sp.arg("cost", *cost);
+        }
+    }
+    let (cost, tree) = found?;
     Some(Optimized { tree, cost })
 }
 
@@ -83,6 +93,7 @@ fn best(
     if let Some(hit) = memo.get(&set) {
         return hit.clone();
     }
+    mjoin_trace::add("optimizer.dp_subproblems", 1);
     // CPF spaces require every node to be connected.
     let connected_needed = matches!(space, SearchSpace::Cpf | SearchSpace::LinearCpf);
     if connected_needed && !scheme.is_connected(set) {

@@ -18,6 +18,11 @@ pub fn greedy(
 ) -> (JoinTree, u64) {
     let n = scheme.num_relations();
     assert!(n > 0, "greedy needs at least one relation");
+    let mut sp = mjoin_trace::span("plan", "optimize_greedy");
+    if sp.is_active() {
+        sp.arg("relations", n);
+        sp.arg("avoid_cartesian", i64::from(avoid_cartesian));
+    }
     let mut forest: Vec<JoinTree> = (0..n).map(JoinTree::leaf).collect();
     let mut cost: u64 = forest
         .iter()
@@ -58,6 +63,7 @@ pub fn greedy(
         let left = forest.remove(i);
         forest.push(JoinTree::join(left, right));
     }
+    sp.arg("cost", cost);
     (forest.pop().unwrap(), cost)
 }
 

@@ -72,6 +72,7 @@ impl<'a> ExactOracle<'a> {
 
 impl CostOracle for ExactOracle<'_> {
     fn subjoin_size(&mut self, set: RelSet) -> u64 {
+        mjoin_trace::add("optimizer.oracle_calls", 1);
         self.subjoin(set).len() as u64
     }
 }
@@ -124,6 +125,7 @@ fn distinct_count(rel: &Relation, attr: AttrId) -> u64 {
 
 impl CostOracle for EstimateOracle {
     fn subjoin_size(&mut self, set: RelSet) -> u64 {
+        mjoin_trace::add("optimizer.oracle_calls", 1);
         let mut numerator = 1f64;
         let mut attr_count: FxHashMap<AttrId, u32> = FxHashMap::default();
         for i in set.iter() {

@@ -34,6 +34,9 @@ use std::thread;
 struct Task {
     run: Box<dyn FnOnce() + Send>,
     scope: Arc<ScopeState>,
+    /// Enqueue time, recorded only while tracing is enabled (queue wait =
+    /// dequeue − enqueue).
+    queued_at: Option<std::time::Instant>,
 }
 
 /// Completion tracking for one [`scope`] call.
@@ -59,6 +62,10 @@ struct Shared {
     cv: Condvar,
     /// Number of worker threads started so far.
     workers: AtomicUsize,
+    /// Serializes pool growth: [`ThreadPool::ensure_at_least`] must read
+    /// `workers` and spawn the difference atomically, or two concurrent
+    /// callers both see the old count and over-spawn.
+    grow: Mutex<()>,
 }
 
 /// The process-wide pool.
@@ -83,13 +90,7 @@ static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 /// The global pool, started on first use.
 pub fn global() -> &'static ThreadPool {
     GLOBAL.get_or_init(|| {
-        let pool = ThreadPool {
-            shared: Arc::new(Shared {
-                queue: Mutex::new(VecDeque::new()),
-                cv: Condvar::new(),
-                workers: AtomicUsize::new(0),
-            }),
-        };
+        let pool = ThreadPool::empty();
         pool.add_workers(default_workers());
         pool
     })
@@ -104,14 +105,32 @@ pub fn current_num_threads() -> usize {
 /// Grow the global pool to at least `n` workers (used by benchmarks sweeping
 /// thread counts above the host parallelism). Never shrinks.
 pub fn ensure_at_least(n: usize) {
-    let pool = global();
-    let have = pool.shared.workers.load(Ordering::Relaxed);
-    if n > have {
-        pool.add_workers(n - have);
-    }
+    global().ensure_at_least(n);
 }
 
 impl ThreadPool {
+    fn empty() -> Self {
+        ThreadPool {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                workers: AtomicUsize::new(0),
+                grow: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Grow this pool to at least `n` workers; never shrinks. The
+    /// read-and-grow is serialized under a lock so concurrent callers can
+    /// never over-spawn past the largest request.
+    pub fn ensure_at_least(&self, n: usize) {
+        let _g = self.shared.grow.lock().expect("pool grow lock poisoned");
+        let have = self.shared.workers.load(Ordering::Relaxed);
+        if n > have {
+            self.add_workers(n - have);
+        }
+    }
+
     fn add_workers(&self, n: usize) {
         for _ in 0..n {
             let shared = Arc::clone(&self.shared);
@@ -135,13 +154,32 @@ fn worker_loop(shared: &Shared) {
                 q = shared.cv.wait(q).expect("pool queue poisoned");
             }
         };
-        run_task(shared, task);
+        run_task(shared, task, false);
     }
 }
 
-fn run_task(shared: &Shared, task: Task) {
-    let Task { run, scope } = task;
+/// Run one dequeued task; `helper` marks a waiting scope stealing work
+/// instead of a dedicated worker (the distinction matters for trace data:
+/// a high steal count means the workers were outnumbered by the load).
+fn run_task(shared: &Shared, task: Task, helper: bool) {
+    let Task {
+        run,
+        scope,
+        queued_at,
+    } = task;
+    let mut sp = mjoin_trace::span("pool", "task");
+    if sp.is_active() {
+        let wait_us = queued_at.map_or(0, |t| t.elapsed().as_micros() as u64);
+        sp.arg("wait_us", wait_us);
+        sp.arg("helper", i64::from(helper));
+        mjoin_trace::add("pool.tasks", 1);
+        mjoin_trace::add("pool.task_wait_us", wait_us);
+        if helper {
+            mjoin_trace::add("pool.helper_steals", 1);
+        }
+    }
     let result = panic::catch_unwind(AssertUnwindSafe(run));
+    drop(sp);
     if let Err(payload) = result {
         let mut slot = scope.panic.lock().expect("panic slot poisoned");
         slot.get_or_insert(payload);
@@ -180,9 +218,13 @@ impl<'env> Scope<'env> {
         let task = Task {
             run: boxed,
             scope: Arc::clone(&self.state),
+            queued_at: mjoin_trace::enabled().then(std::time::Instant::now),
         };
         let mut q = self.shared.queue.lock().expect("pool queue poisoned");
         q.push_back(task);
+        if mjoin_trace::enabled() {
+            mjoin_trace::record_max("pool.max_queue_depth", q.len() as u64);
+        }
         self.shared.cv.notify_one();
     }
 }
@@ -204,7 +246,7 @@ fn wait_scope(shared: &Shared, state: &Arc<ScopeState>) {
             }
         };
         if let Some(t) = task {
-            run_task(shared, t);
+            run_task(shared, t, true);
         }
     }
 }
@@ -380,6 +422,23 @@ mod tests {
         let before = current_num_threads();
         ensure_at_least(before + 1);
         assert!(current_num_threads() > before);
+    }
+
+    /// Regression: `ensure_at_least` used to read `workers` outside any lock
+    /// and then spawn the difference, so N concurrent callers each saw the
+    /// old count and the pool over-spawned up to N times the request. The
+    /// read-and-grow must be atomic. Uses a standalone pool because other
+    /// tests grow the global one concurrently.
+    #[test]
+    fn concurrent_ensure_at_least_never_over_spawns() {
+        let pool = ThreadPool::empty();
+        let target = 6;
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| pool.ensure_at_least(target));
+            }
+        });
+        assert_eq!(pool.shared.workers.load(Ordering::Relaxed), target);
     }
 
     #[test]

@@ -131,6 +131,33 @@ fn eval_stmt(program: &Program, m: &Machine, stmt: &Stmt, threads: usize) -> (Re
     }
 }
 
+fn stmt_kind(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::Project { .. } => "project",
+        Stmt::Join { .. } => "join",
+        Stmt::Semijoin { .. } => "semijoin",
+    }
+}
+
+/// [`eval_stmt`] wrapped in an `exec/stmt` span carrying the statement
+/// index, kind, and output cardinality (the data EXPLAIN ANALYZE reports).
+fn eval_stmt_traced(
+    program: &Program,
+    m: &Machine,
+    stmt: &Stmt,
+    index: usize,
+    threads: usize,
+) -> (Reg, Relation) {
+    let mut sp = mjoin_trace::span("exec", "stmt");
+    let (head, value) = eval_stmt(program, m, stmt, threads);
+    if sp.is_active() {
+        sp.arg("index", index);
+        sp.arg("kind", stmt_kind(stmt));
+        sp.arg("out_rows", value.len());
+    }
+    (head, value)
+}
+
 fn check_arity(program: &Program, db: &Database) {
     assert_eq!(
         program.num_bases,
@@ -145,6 +172,11 @@ fn check_arity(program: &Program, db: &Database) {
 /// invalid program may panic (it will not produce wrong answers silently).
 pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
     check_arity(program, db);
+    let mut sp = mjoin_trace::span("exec", "execute");
+    if sp.is_active() {
+        sp.arg("stmts", program.stmts.len());
+        sp.arg("threads", 1usize);
+    }
     let mut ledger = CostLedger::new();
     db.charge_inputs(&mut ledger);
 
@@ -153,7 +185,7 @@ pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
     let mut peak_resident = m.resident();
 
     for (i, stmt) in program.stmts.iter().enumerate() {
-        let (head, value) = eval_stmt(program, &m, stmt, 1);
+        let (head, value) = eval_stmt_traced(program, &m, stmt, i, 1);
         ledger.charge_generated(format!("stmt {i}"), value.len());
         head_sizes.push(value.len());
         m.write(head, Arc::new(value));
@@ -191,15 +223,36 @@ pub fn execute_parallel(program: &Program, db: &Database, threads: usize) -> Exe
     let n = program.stmts.len();
     let mut sizes = vec![0usize; n];
 
-    for level in &schedule(program).levels {
+    let sched = schedule(program);
+    let mut sp = mjoin_trace::span("exec", "execute_parallel");
+    if sp.is_active() {
+        sp.arg("stmts", n);
+        sp.arg("threads", threads);
+        sp.arg("depth", sched.depth());
+        sp.arg("width", sched.width());
+    }
+    for (lv, level) in sched.levels.iter().enumerate() {
+        let mut level_sp = mjoin_trace::span("exec", "level");
+        if level_sp.is_active() {
+            level_sp.arg("level", lv + 1);
+            level_sp.arg("stmts", level.len());
+        }
         let computed: Vec<(usize, (Reg, Relation))> = if threads == 1 || level.len() == 1 {
             level
                 .iter()
-                .map(|&i| (i, eval_stmt(program, &m, &program.stmts[i], threads)))
+                .map(|&i| {
+                    (
+                        i,
+                        eval_stmt_traced(program, &m, &program.stmts[i], i, threads),
+                    )
+                })
                 .collect()
         } else {
             mjoin_pool::par_map(level.clone(), |i| {
-                (i, eval_stmt(program, &m, &program.stmts[i], threads))
+                (
+                    i,
+                    eval_stmt_traced(program, &m, &program.stmts[i], i, threads),
+                )
             })
         };
         for (i, (head, value)) in computed {
@@ -207,6 +260,7 @@ pub fn execute_parallel(program: &Program, db: &Database, threads: usize) -> Exe
             m.write(head, Arc::new(value));
         }
     }
+    drop(sp);
 
     let mut head_sizes = Vec::with_capacity(n);
     for (i, &size) in sizes.iter().enumerate() {

@@ -35,8 +35,17 @@ use crate::relation::{Relation, Row};
 /// products (no key to partition on) always take the chunked-probe path.
 pub fn par_join(left: &Relation, right: &Relation, threads: usize) -> Relation {
     let threads = threads.max(1);
+    let mut sp = mjoin_trace::span("op", "join");
+    if sp.is_active() {
+        sp.arg("left_rows", left.len());
+        sp.arg("right_rows", right.len());
+        sp.arg("threads", threads);
+    }
     if threads == 1 || (left.len() < SMALL && right.len() < SMALL) {
-        return join(left, right);
+        let out = join(left, right);
+        sp.arg("strategy", "sequential");
+        sp.arg("out_rows", out.len());
+        return out;
     }
     let (build, probe) = if left.len() <= right.len() {
         (left, right)
@@ -45,19 +54,29 @@ pub fn par_join(left: &Relation, right: &Relation, threads: usize) -> Relation {
     };
     let (lkey, rkey) = join_key_positions(left.schema(), right.schema());
     if build.len() < SMALL || lkey.is_empty() {
-        return chunked_probe_join(build, probe, threads);
+        let out = chunked_probe_join(build, probe, threads);
+        sp.arg("strategy", "shared_build_probe");
+        sp.arg("build_rows", build.len());
+        sp.arg("probe_rows", probe.len());
+        sp.arg("out_rows", out.len());
+        return out;
     }
 
     let out_schema = left.schema().union(right.schema());
     let lparts = hash_partition(left.rows(), &lkey, threads);
     let rparts = hash_partition(right.rows(), &rkey, threads);
     let pairs: Vec<(Vec<&Row>, Vec<&Row>)> = lparts.into_iter().zip(rparts).collect();
+    let partitions = pairs.len();
 
     let outputs = mjoin_pool::par_map(pairs, |(lp, rp)| {
         hash_join_rows(left.schema(), &lp, right.schema(), &rp, &out_schema)
     });
 
-    Relation::from_distinct_rows(out_schema, outputs.into_iter().flatten().collect())
+    let out = Relation::from_distinct_rows(out_schema, outputs.into_iter().flatten().collect());
+    sp.arg("strategy", "radix_copartition");
+    sp.arg("partitions", partitions);
+    sp.arg("out_rows", out.len());
+    out
 }
 
 /// Build once on `build` (the smaller side), then probe contiguous chunks

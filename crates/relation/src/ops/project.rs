@@ -43,18 +43,30 @@ pub fn project(rel: &Relation, attrs: &[AttrId]) -> Result<Relation> {
 /// `threads` value; `Relation` equality is order-blind.
 pub fn par_project(rel: &Relation, attrs: &[AttrId], threads: usize) -> Result<Relation> {
     let threads = threads.max(1);
+    let mut sp = mjoin_trace::span("op", "project");
+    if sp.is_active() {
+        sp.arg("in_rows", rel.len());
+        sp.arg("threads", threads);
+    }
     if threads == 1 || rel.len() < SMALL {
-        return project(rel, attrs);
+        let out = project(rel, attrs)?;
+        sp.arg("strategy", "sequential");
+        sp.arg("out_rows", out.len());
+        sp.arg("dedup_dropped", rel.len().saturating_sub(out.len()));
+        return Ok(out);
     }
     let out_schema = Schema::new(attrs.to_vec());
     let positions = rel.schema().positions_of(out_schema.attrs())?;
 
     if out_schema == *rel.schema() {
         // Identity projection: nothing to do (rows are already distinct).
+        sp.arg("strategy", "identity");
+        sp.arg("out_rows", rel.len());
         return Ok(rel.clone());
     }
 
     let parts = hash_partition(rel.rows(), &positions, threads);
+    let partitions = parts.len();
     let outputs = mjoin_pool::par_map(parts, |part| {
         let mut seen: FxHashSet<Row> = FxHashSet::default();
         seen.reserve(part.len());
@@ -68,10 +80,12 @@ pub fn par_project(rel: &Relation, attrs: &[AttrId], threads: usize) -> Result<R
         rows
     });
 
-    Ok(Relation::from_distinct_rows(
-        out_schema,
-        outputs.into_iter().flatten().collect(),
-    ))
+    let out = Relation::from_distinct_rows(out_schema, outputs.into_iter().flatten().collect());
+    sp.arg("strategy", "partitioned");
+    sp.arg("partitions", partitions);
+    sp.arg("out_rows", out.len());
+    sp.arg("dedup_dropped", rel.len().saturating_sub(out.len()));
+    Ok(out)
 }
 
 #[cfg(test)]

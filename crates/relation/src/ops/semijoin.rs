@@ -60,12 +60,24 @@ pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
 /// disjoint-schema degenerate case (which does no per-tuple work).
 pub fn par_semijoin(left: &Relation, right: &Relation, threads: usize) -> Relation {
     let threads = threads.max(1);
+    let mut sp = mjoin_trace::span("op", "semijoin");
+    if sp.is_active() {
+        sp.arg("left_rows", left.len());
+        sp.arg("right_rows", right.len());
+        sp.arg("threads", threads);
+    }
     if threads == 1 || (left.len() < SMALL && right.len() < SMALL) {
-        return semijoin(left, right);
+        let out = semijoin(left, right);
+        sp.arg("strategy", "sequential");
+        sp.arg("out_rows", out.len());
+        return out;
     }
     let common = left.schema().intersect(right.schema());
     if common.is_empty() {
-        return semijoin(left, right);
+        let out = semijoin(left, right);
+        sp.arg("strategy", "disjoint");
+        sp.arg("out_rows", out.len());
+        return out;
     }
     let lpos = left
         .schema()
@@ -90,10 +102,14 @@ pub fn par_semijoin(left: &Relation, right: &Relation, threads: usize) -> Relati
             .collect::<Vec<Row>>()
     });
 
-    Relation::from_distinct_rows(
+    let out = Relation::from_distinct_rows(
         left.schema().clone(),
         outputs.into_iter().flatten().collect(),
-    )
+    );
+    sp.arg("strategy", "chunked_probe");
+    sp.arg("build_keys", keys.len());
+    sp.arg("out_rows", out.len());
+    out
 }
 
 #[allow(dead_code)]

@@ -4,6 +4,15 @@
 //! non-empty line is a tuple. Values that parse as `i64` become integers,
 //! everything else is a string. This keeps example programs and ad-hoc
 //! experiments self-contained without pulling in a serialization framework.
+//!
+//! String values are escaped on export so that every relation round-trips:
+//! `\` `⇥` `␊` `␍` become `\\` `\t` `\n` `\r`, and strings that the plain
+//! reader would mangle — ones that re-parse as an integer (`"007"`), are
+//! empty, or carry leading/trailing whitespace — get a `\s` marker prefix
+//! forcing the verbatim-string path. Cells without a backslash keep the
+//! historical trim-and-sniff behavior, so hand-written files are unaffected;
+//! cells with one are unescaped exactly, and an unknown escape is a parse
+//! error rather than silent corruption.
 
 use crate::attr::Catalog;
 use crate::error::{Error, Result};
@@ -57,11 +66,71 @@ pub fn relation_from_tsv(catalog: &mut Catalog, text: &str) -> Result<Relation> 
         }
         let mut row: Vec<Value> = vec![Value::Int(0); cells.len()];
         for (i, cell) in cells.iter().enumerate() {
-            row[dest[i]] = Value::parse(cell.trim());
+            row[dest[i]] = cell_from_tsv(cell, lineno + 2)?;
         }
         rows.push(row.into());
     }
     Relation::from_rows(schema, rows)
+}
+
+/// Decode one TSV cell. A cell without a backslash takes the historical
+/// path (trim, then sniff for an integer); a cell with one is an escaped
+/// string and decodes verbatim — no trim, no integer sniffing.
+fn cell_from_tsv(cell: &str, lineno: usize) -> Result<Value> {
+    if !cell.contains('\\') {
+        return Ok(Value::parse(cell.trim()));
+    }
+    let body = cell.strip_prefix("\\s").unwrap_or(cell);
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                let what = other.map_or("at end of cell".to_string(), |c| format!("`\\{c}`"));
+                return Err(Error::Parse(format!(
+                    "line {lineno}: unknown TSV escape {what}"
+                )));
+            }
+        }
+    }
+    Ok(Value::str(out))
+}
+
+/// Encode one value as a TSV cell, escaping whatever would corrupt the file
+/// (tabs and newlines inside strings) or mis-decode on re-import (strings
+/// that look like integers, empty strings, surrounding whitespace).
+fn cell_to_tsv(v: &Value) -> String {
+    let s = match v {
+        Value::Int(i) => return i.to_string(),
+        Value::Str(s) => s,
+    };
+    let needs_marker = s.is_empty() || s.trim().len() != s.len() || s.parse::<i64>().is_ok();
+    let needs_escape = s.contains(['\\', '\t', '\n', '\r']);
+    if !needs_marker && !needs_escape {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    if needs_marker {
+        out.push_str("\\s");
+    }
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Render a relation as TSV (canonical column order, sorted rows).
@@ -76,7 +145,7 @@ pub fn relation_to_tsv(catalog: &Catalog, rel: &Relation) -> String {
     out.push_str(&names.join("\t"));
     out.push('\n');
     for row in rel.sorted_rows() {
-        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        let cells: Vec<String> = row.iter().map(cell_to_tsv).collect();
         out.push_str(&cells.join("\t"));
         out.push('\n');
     }
@@ -124,5 +193,55 @@ mod tests {
         let mut c = Catalog::new();
         let rel = relation_from_tsv(&mut c, "A\n\n1\n1\n\n2\n").unwrap();
         assert_eq!(rel.len(), 2);
+    }
+
+    /// Regression: strings containing tabs or newlines used to be written
+    /// verbatim, silently corrupting the file's row/column structure.
+    #[test]
+    fn hostile_strings_roundtrip() {
+        let mut c = Catalog::new();
+        let schema = Schema::from_chars(&mut c, "AB");
+        let hostile = [
+            "tab\there",
+            "line\nbreak",
+            "cr\rhere",
+            "back\\slash",
+            "\\t not a tab",
+            "007",        // would re-parse as Int(7)
+            "-0",         // would re-parse as Int(0)
+            "",           // empty string ≠ missing value
+            "  padded  ", // trim would eat the spaces
+            " \t mixed \n ",
+        ];
+        let rows = hostile
+            .iter()
+            .enumerate()
+            .map(|(i, s)| vec![Value::Int(i as i64), Value::str(*s)].into())
+            .collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let text = relation_to_tsv(&c, &rel);
+        // The payload never leaks a raw tab/newline into the file body: every
+        // data line has exactly one tab (the A/B separator).
+        for line in text.lines().skip(1) {
+            assert_eq!(line.matches('\t').count(), 1, "corrupt line: {line:?}");
+        }
+        let back = relation_from_tsv(&mut c, &text).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn plain_cells_keep_trim_and_int_sniffing() {
+        let mut c = Catalog::new();
+        let rel = relation_from_tsv(&mut c, "A\tB\n 1 \t hello \n").unwrap();
+        assert!(rel.contains_row(&[Value::Int(1), Value::str("hello")]));
+    }
+
+    #[test]
+    fn unknown_escape_is_rejected() {
+        let mut c = Catalog::new();
+        let err = relation_from_tsv(&mut c, "A\nfoo\\qbar\n").unwrap_err();
+        assert!(err.to_string().contains("unknown TSV escape"), "{err}");
+        // A trailing lone backslash is rejected too.
+        assert!(relation_from_tsv(&mut c, "A\nfoo\\\n").is_err());
     }
 }

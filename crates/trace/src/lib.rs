@@ -1,0 +1,596 @@
+//! `mjoin-trace` — cheap, thread-safe execution tracing for the whole
+//! workspace.
+//!
+//! Like `mjoin-pool` and the in-tree `fxhash`, this crate is `std`-only and
+//! depends on nothing else in the workspace, so every layer — relational
+//! operators, the thread pool, the program executors, the optimizers — can
+//! record into one shared sink without dependency cycles.
+//!
+//! The design is a miniature of the usual production tracing split:
+//!
+//! * **Spans** ([`span`]) are timed regions with a static category/name and
+//!   a handful of key→value args (operator strategy, cardinalities, …).
+//!   They are recorded on drop into a process-wide sink.
+//! * **Counters** ([`add`], [`record_max`]) are named monotonic totals and
+//!   high-water marks for things too frequent or too small to span
+//!   (oracle calls, DP subproblems, pool queue depth).
+//!
+//! Everything is gated on one relaxed atomic load ([`enabled`]): when
+//! tracing is off — the default — a span is a `None` and costs a branch, no
+//! clock read, no allocation, no lock. Tracing turns on either explicitly
+//! ([`set_enabled`], used by `mjoin_cli --explain-analyze`) or implicitly
+//! when the `MJOIN_TRACE` environment variable is set to a non-empty value
+//! (the conventional value is the path the Chrome-trace JSON should be
+//! written to; this crate only reads the variable's presence — writing the
+//! file is the caller's job via [`Trace::to_chrome_json`]).
+//!
+//! Collected data is drained with [`take`], which returns a [`Trace`]:
+//! the raw [`Event`]s plus the counter totals, with helpers to aggregate
+//! ([`Trace::aggregate`]) and export ([`Trace::to_chrome_json`]).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// The enabled flag.
+
+/// 0 = uninitialized, 1 = disabled, 2 = enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether tracing is currently on. One relaxed atomic load on the fast
+/// path; the first call consults the `MJOIN_TRACE` environment variable.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var_os("MJOIN_TRACE").is_some_and(|v| !v.is_empty());
+    // Keep an explicit set_enabled() that raced us; only claim the
+    // uninitialized slot.
+    let _ = STATE.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Turn tracing on or off explicitly (overrides the environment).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Clock and thread identity.
+
+/// Process-wide trace epoch; all timestamps are microseconds since it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small dense thread ids (Chrome's UI sorts them numerically).
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+// ---------------------------------------------------------------------------
+// Events and args.
+
+/// A span argument value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An integer (cardinalities, indices, microseconds).
+    Int(i64),
+    /// A short string (strategy names and the like).
+    Str(String),
+}
+
+impl ArgValue {
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ArgValue::Int(v) => Some(*v),
+            ArgValue::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ArgValue::Int(_) => None,
+            ArgValue::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Category (`"op"`, `"exec"`, `"plan"`, `"pool"`).
+    pub cat: &'static str,
+    /// Name within the category (`"join"`, `"stmt"`, …).
+    pub name: &'static str,
+    /// Start, µs since the trace epoch.
+    pub ts_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Recording thread (small dense id).
+    pub tid: u64,
+    /// Key→value details.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// Look up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Integer argument by key.
+    pub fn int_arg(&self, key: &str) -> Option<i64> {
+        self.arg(key).and_then(ArgValue::as_int)
+    }
+
+    /// String argument by key.
+    pub fn str_arg(&self, key: &str) -> Option<&str> {
+        self.arg(key).and_then(ArgValue::as_str)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sink.
+
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+
+fn push_event(e: Event) {
+    EVENTS.lock().expect("trace sink poisoned").push(e);
+}
+
+/// Add `delta` to the named counter. No-op when tracing is disabled.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut c = COUNTERS.lock().expect("trace counters poisoned");
+    *c.entry(name).or_insert(0) += delta;
+}
+
+/// Raise the named high-water mark to at least `value`. No-op when tracing
+/// is disabled.
+#[inline]
+pub fn record_max(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut c = COUNTERS.lock().expect("trace counters poisoned");
+    let e = c.entry(name).or_insert(0);
+    *e = (*e).max(value);
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+/// An in-flight timed region; records an [`Event`] when dropped. Inactive
+/// (and free) when tracing is disabled.
+#[must_use = "a span measures the region it is alive for"]
+pub struct Span(Option<SpanInner>);
+
+struct SpanInner {
+    cat: &'static str,
+    name: &'static str,
+    start: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Open a span. When tracing is disabled this returns an inactive span:
+/// no clock read, no allocation.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    // Touch the epoch before taking the start time so the first span's
+    // timestamp is not negative.
+    epoch();
+    Span(Some(SpanInner {
+        cat,
+        name,
+        start: Instant::now(),
+        args: Vec::new(),
+    }))
+}
+
+impl Span {
+    /// Whether the span is recording (lets callers skip building costly
+    /// arg values when tracing is off).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attach a key→value detail. No-op on an inactive span.
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(inner) = &mut self.0 {
+            inner.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            let ts_us = inner
+                .start
+                .saturating_duration_since(epoch())
+                .as_micros()
+                .min(u64::MAX as u128) as u64;
+            let dur_us = inner.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            push_event(Event {
+                cat: inner.cat,
+                name: inner.name,
+                ts_us,
+                dur_us,
+                tid: thread_id(),
+                args: inner.args,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Draining and export.
+
+/// Everything collected since the last [`take`]: raw events plus counter
+/// totals.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completed spans, in completion order.
+    pub events: Vec<Event>,
+    /// Counter totals / high-water marks, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Drain the sink: returns all events and counters recorded so far and
+/// resets both.
+pub fn take() -> Trace {
+    let events = std::mem::take(&mut *EVENTS.lock().expect("trace sink poisoned"));
+    let counters = std::mem::take(&mut *COUNTERS.lock().expect("trace counters poisoned"))
+        .into_iter()
+        .collect();
+    Trace { events, counters }
+}
+
+/// Discard everything recorded so far.
+pub fn clear() {
+    let _ = take();
+}
+
+/// One row of [`Trace::aggregate`]: spans grouped by category, name, and
+/// (when present) their `strategy` arg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggRow {
+    /// `cat/name` or `cat/name[strategy]`.
+    pub key: String,
+    /// Number of spans in the group.
+    pub count: u64,
+    /// Total duration, µs.
+    pub total_us: u64,
+    /// Longest single span, µs.
+    pub max_us: u64,
+}
+
+impl Trace {
+    /// Counter value by name, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Group spans by `cat/name` (plus the `strategy` arg when present) and
+    /// total their durations. Rows come back sorted by total time,
+    /// descending.
+    pub fn aggregate(&self) -> Vec<AggRow> {
+        let mut groups: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        for e in &self.events {
+            let key = match e.str_arg("strategy") {
+                Some(s) => format!("{}/{}[{}]", e.cat, e.name, s),
+                None => format!("{}/{}", e.cat, e.name),
+            };
+            let g = groups.entry(key).or_insert((0, 0, 0));
+            g.0 += 1;
+            g.1 += e.dur_us;
+            g.2 = g.2.max(e.dur_us);
+        }
+        let mut rows: Vec<AggRow> = groups
+            .into_iter()
+            .map(|(key, (count, total_us, max_us))| AggRow {
+                key,
+                count,
+                total_us,
+                max_us,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then_with(|| a.key.cmp(&b.key)));
+        rows
+    }
+
+    /// Render the trace as Chrome trace format JSON (the `chrome://tracing`
+    /// / Perfetto "JSON Array with metadata" flavor): spans become complete
+    /// (`"ph": "X"`) events, counters become one final counter event each.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                json_escape(e.name),
+                json_escape(e.cat),
+                e.ts_us,
+                e.dur_us,
+                e.tid
+            );
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    match v {
+                        ArgValue::Int(n) => {
+                            let _ = write!(out, "\"{}\":{}", json_escape(k), n);
+                        }
+                        ArgValue::Str(s) => {
+                            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(s));
+                        }
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        let end_ts = self
+            .events
+            .iter()
+            .map(|e| e.ts_us + e.dur_us)
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{end_ts},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+                json_escape(name),
+            );
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// A compact human-readable summary: aggregated spans, then counters.
+    /// Generic (no knowledge of programs or schedules); `mjoin_cli` builds
+    /// its richer `EXPLAIN ANALYZE` report on top of the raw events.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        for row in self.aggregate() {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>6} calls  {:>10.3} ms total  {:>9.3} ms max",
+                row.key,
+                row.count,
+                row.total_us as f64 / 1e3,
+                row.max_us as f64 / 1e3,
+            );
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:<40} {value:>6}");
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sink and the enabled flag are process-global, so every test that
+    /// toggles them must hold this lock.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        clear();
+        {
+            let mut sp = span("op", "join");
+            assert!(!sp.is_active());
+            sp.arg("rows", 5usize);
+        }
+        add("x", 3);
+        record_max("y", 9);
+        let t = take();
+        assert!(t.events.is_empty());
+        assert!(t.counters.is_empty());
+    }
+
+    #[test]
+    fn spans_and_counters_round_trip() {
+        let _g = guard();
+        set_enabled(true);
+        clear();
+        {
+            let mut sp = span("op", "join");
+            assert!(sp.is_active());
+            sp.arg("strategy", "radix");
+            sp.arg("out_rows", 42usize);
+        }
+        add("optimizer.oracle_calls", 2);
+        add("optimizer.oracle_calls", 3);
+        record_max("pool.max_queue_depth", 4);
+        record_max("pool.max_queue_depth", 2);
+        let t = take();
+        set_enabled(false);
+        assert_eq!(t.events.len(), 1);
+        let e = &t.events[0];
+        assert_eq!((e.cat, e.name), ("op", "join"));
+        assert_eq!(e.str_arg("strategy"), Some("radix"));
+        assert_eq!(e.int_arg("out_rows"), Some(42));
+        assert_eq!(t.counter("optimizer.oracle_calls"), Some(5));
+        assert_eq!(t.counter("pool.max_queue_depth"), Some(4));
+        // Drained: a second take is empty.
+        assert!(take().events.is_empty());
+    }
+
+    #[test]
+    fn aggregate_groups_by_strategy() {
+        let _g = guard();
+        set_enabled(true);
+        clear();
+        for strat in ["radix", "radix", "probe"] {
+            let mut sp = span("op", "join");
+            sp.arg("strategy", strat);
+        }
+        let _ = span("exec", "stmt");
+        let t = take();
+        set_enabled(false);
+        let rows = t.aggregate();
+        let find = |key: &str| rows.iter().find(|r| r.key == key).map(|r| r.count);
+        assert_eq!(find("op/join[radix]"), Some(2));
+        assert_eq!(find("op/join[probe]"), Some(1));
+        assert_eq!(find("exec/stmt"), Some(1));
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let _g = guard();
+        set_enabled(true);
+        clear();
+        {
+            let mut sp = span("op", "semijoin");
+            sp.arg("strategy", "chunked_probe");
+            sp.arg("left_rows", 10usize);
+        }
+        add("pool.tasks", 7);
+        let t = take();
+        set_enabled(false);
+        let json = t.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"semijoin\""));
+        assert!(json.contains("\"strategy\":\"chunked_probe\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"pool.tasks\""));
+        // Balanced braces/brackets (cheap structural sanity without a JSON
+        // parser in the dependency set).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn spans_record_across_threads() {
+        let _g = guard();
+        set_enabled(true);
+        clear();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _ = span("exec", "stmt");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = take();
+        set_enabled(false);
+        assert_eq!(t.events.len(), 4);
+    }
+}

@@ -16,26 +16,46 @@
 //! Algorithms 1 and 2 then derive the program that is executed.
 //!
 //! Costs (the paper's §2.3 tuple counts) go to stderr so stdout stays a
-//! clean TSV.
+//! clean TSV. `--explain-analyze` additionally prints an EXPLAIN ANALYZE
+//! report (per-statement wall time, chosen operator strategies, schedule
+//! depth/width) on stderr, and setting `MJOIN_TRACE=<path>` writes the raw
+//! span data as Chrome trace format JSON for `chrome://tracing`/Perfetto.
 
 use mjoin::prelude::*;
 use mjoin::program::display;
 use mjoin::relation::tsv;
+use mjoin::trace as mjoin_trace;
 use std::process::ExitCode;
 
 struct Args {
     command: String,
     optimizer: String,
+    explain: bool,
     files: Vec<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// Either a normal invocation or an explicit request for the usage text
+/// (which is *not* an error: `--help` must exit successfully).
+enum Parsed {
+    Help,
+    Run(Args),
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
+    if matches!(command.as_str(), "--help" | "-h" | "help") {
+        return Ok(Parsed::Help);
+    }
     let mut optimizer = "greedy".to_string();
+    let mut explain = false;
     let mut files = Vec::new();
     while let Some(arg) = argv.next() {
-        if arg == "--optimizer" {
+        if arg == "--help" || arg == "-h" {
+            return Ok(Parsed::Help);
+        } else if arg == "--explain-analyze" {
+            explain = true;
+        } else if arg == "--optimizer" {
             optimizer = argv.next().ok_or("--optimizer needs a value")?;
         } else if let Some(rest) = arg.strip_prefix("--optimizer=") {
             optimizer = rest.to_string();
@@ -48,16 +68,45 @@ fn parse_args() -> Result<Args, String> {
     if files.is_empty() {
         return Err("no input files".to_string());
     }
-    Ok(Args {
+    Ok(Parsed::Run(Args {
         command,
         optimizer,
+        explain,
         files,
-    })
+    }))
 }
 
 fn usage() -> String {
-    "usage: mjoin_cli <analyze|plan|run|query> [--optimizer greedy|dp|dp-cpf|dp-linear] [\"Q(x) :- …\"] <relation.tsv>…"
+    "usage: mjoin_cli <analyze|plan|run|query> [--optimizer greedy|dp|dp-cpf|dp-linear] \
+     [--explain-analyze] [\"Q(x) :- …\"] <relation.tsv>…\n\
+     \n\
+     --optimizer        join-tree search: greedy (default) or exact DP over\n\
+     \u{20}                  all / CPF / linear trees\n\
+     --explain-analyze  print per-statement timings, operator strategies and\n\
+     \u{20}                  schedule shape on stderr after execution\n\
+     --help, -h         this text\n\
+     \n\
+     environment: MJOIN_TRACE=<path> writes Chrome trace format JSON there"
         .to_string()
+}
+
+/// The one optimizer-name parser, shared by `plan`/`run` (join trees) and
+/// `query` (plan strategies) so the two command families cannot drift.
+enum Optimizer {
+    Greedy,
+    Dp(SearchSpace),
+}
+
+fn parse_optimizer(name: &str) -> Result<Optimizer, String> {
+    match name {
+        "greedy" => Ok(Optimizer::Greedy),
+        "dp" => Ok(Optimizer::Dp(SearchSpace::All)),
+        "dp-cpf" => Ok(Optimizer::Dp(SearchSpace::Cpf)),
+        "dp-linear" => Ok(Optimizer::Dp(SearchSpace::Linear)),
+        other => Err(format!(
+            "unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)"
+        )),
+    }
 }
 
 fn load(files: &[String]) -> Result<(Catalog, DbScheme, Database), String> {
@@ -77,19 +126,12 @@ fn load(files: &[String]) -> Result<(Catalog, DbScheme, Database), String> {
 
 fn pick_tree(name: &str, scheme: &DbScheme, db: &Database) -> Result<(JoinTree, u64), String> {
     let mut oracle = ExactOracle::new(db);
-    let space = match name {
-        "greedy" => {
+    let space = match parse_optimizer(name)? {
+        Optimizer::Greedy => {
             let (tree, cost) = greedy(scheme, &mut oracle, true);
             return Ok((tree, cost));
         }
-        "dp" => SearchSpace::All,
-        "dp-cpf" => SearchSpace::Cpf,
-        "dp-linear" => SearchSpace::Linear,
-        other => {
-            return Err(format!(
-                "unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)"
-            ))
-        }
+        Optimizer::Dp(space) => space,
     };
     let opt = optimize(scheme, &mut oracle, space)
         .ok_or_else(|| format!("optimizer `{name}`: search space is empty for this scheme"))?;
@@ -107,7 +149,29 @@ fn analyze(catalog: &Catalog, scheme: &DbScheme, db: &Database) {
     println!("pairwise consistent: {}", pairwise_consistent(db));
 }
 
-fn run(args: &Args, execute_it: bool) -> Result<(), String> {
+/// Program shape handed to the EXPLAIN ANALYZE renderer: statement texts in
+/// statement order plus the level schedule.
+struct ExplainInfo {
+    stmt_names: Vec<String>,
+    level_of: Vec<usize>,
+    depth: usize,
+    width: usize,
+}
+
+impl ExplainInfo {
+    fn of(program: &Program, scheme: &DbScheme, catalog: &Catalog) -> Self {
+        let rendered = display::render(program, scheme, catalog);
+        let sched = schedule(program);
+        ExplainInfo {
+            stmt_names: rendered.lines().map(str::to_string).collect(),
+            depth: sched.depth(),
+            width: sched.width(),
+            level_of: sched.level_of,
+        }
+    }
+}
+
+fn run(args: &Args, execute_it: bool) -> Result<Option<ExplainInfo>, String> {
     let (catalog, scheme, db) = load(&args.files)?;
     if !scheme.fully_connected() {
         return Err(
@@ -128,6 +192,7 @@ fn run(args: &Args, execute_it: bool) -> Result<(), String> {
     eprintln!("T2 (CPF): {}", d.cpf_tree.display(&scheme, &catalog));
     eprintln!("program ({} statements):", d.program.len());
     eprint!("{}", display::render(&d.program, &scheme, &catalog));
+    let info = ExplainInfo::of(&d.program, &scheme, &catalog);
 
     if execute_it {
         let run = run_pipeline(&scheme, &t1, &db, &mut FirstChoice).map_err(|e| e.to_string())?;
@@ -140,10 +205,10 @@ fn run(args: &Args, execute_it: bool) -> Result<(), String> {
         eprintln!("result: {} tuples", run.exec.result.len());
         print!("{}", tsv::relation_to_tsv(&catalog, &run.exec.result));
     }
-    Ok(())
+    Ok(Some(info))
 }
 
-fn query(args: &Args) -> Result<(), String> {
+fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
     let (query_text, files) = args
         .files
         .split_first()
@@ -160,15 +225,11 @@ fn query(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("`{path}`: {e}"))?;
     }
     let q = parse_query(query_text).map_err(|e| e.to_string())?;
-    let strategy = match args.optimizer.as_str() {
-        "greedy" => PlanStrategy::Greedy,
-        "dp" => PlanStrategy::DpOptimal,
-        "dp-cpf" => PlanStrategy::DpCpf,
-        other => {
-            return Err(format!(
-                "unknown optimizer `{other}` for query (try greedy|dp|dp-cpf)"
-            ))
-        }
+    let strategy = match parse_optimizer(&args.optimizer)? {
+        Optimizer::Greedy => PlanStrategy::Greedy,
+        Optimizer::Dp(SearchSpace::All) => PlanStrategy::DpOptimal,
+        Optimizer::Dp(SearchSpace::Cpf) => PlanStrategy::DpCpf,
+        Optimizer::Dp(SearchSpace::Linear | SearchSpace::LinearCpf) => PlanStrategy::DpLinear,
     };
     let res = execute_query(&ndb, &q, strategy).map_err(|e| e.to_string())?;
     eprintln!("{q}");
@@ -178,27 +239,98 @@ fn query(args: &Args) -> Result<(), String> {
         let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         println!("{}", cells.join("\t"));
     }
-    Ok(())
+    Ok(None)
+}
+
+/// Drain the trace sink once and surface it: the EXPLAIN ANALYZE report on
+/// stderr (when requested) and/or a Chrome trace JSON file (when
+/// `MJOIN_TRACE` names a path). Stdout is never touched — it stays a TSV.
+fn emit_trace_outputs(explain: bool, info: Option<&ExplainInfo>) {
+    let trace = mjoin_trace::take();
+    if explain {
+        eprintln!();
+        eprintln!("== EXPLAIN ANALYZE ==");
+        if let Some(info) = info {
+            eprintln!(
+                "schedule: {} statements, depth {} (levels), width {} (max statements/level)",
+                info.stmt_names.len(),
+                info.depth,
+                info.width
+            );
+            let mut stmt_events: Vec<Option<&mjoin_trace::Event>> =
+                vec![None; info.stmt_names.len()];
+            for ev in &trace.events {
+                if ev.cat == "exec" && ev.name == "stmt" {
+                    if let Some(i) = ev.int_arg("index") {
+                        if let Some(slot) = stmt_events.get_mut(i as usize) {
+                            *slot = Some(ev);
+                        }
+                    }
+                }
+            }
+            for (i, name) in info.stmt_names.iter().enumerate() {
+                match stmt_events[i] {
+                    Some(ev) => eprintln!(
+                        "  stmt {:>3}  level {:>2}  {:>9.3} ms  {:>9} rows  {}",
+                        i,
+                        info.level_of[i],
+                        ev.dur_us as f64 / 1e3,
+                        ev.int_arg("out_rows").unwrap_or(-1),
+                        name
+                    ),
+                    None => eprintln!(
+                        "  stmt {:>3}  level {:>2}  (not executed)  {}",
+                        i, info.level_of[i], name
+                    ),
+                }
+            }
+        }
+        eprint!("{}", trace.render_summary());
+    }
+    if let Ok(path) = std::env::var("MJOIN_TRACE") {
+        if !path.trim().is_empty() {
+            match std::fs::write(&path, trace.to_chrome_json()) {
+                Ok(()) => eprintln!("trace: wrote Chrome trace JSON to {path}"),
+                Err(e) => eprintln!("trace: cannot write `{path}`: {e}"),
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Parsed::Help) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Ok(Parsed::Run(a)) => a,
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", usage());
             return ExitCode::FAILURE;
         }
     };
+    if args.explain {
+        mjoin_trace::set_enabled(true);
+    }
+    let tracing = mjoin_trace::enabled();
     let outcome = match args.command.as_str() {
-        "analyze" => load(&args.files).map(|(c, s, d)| analyze(&c, &s, &d)),
+        "analyze" => load(&args.files).map(|(c, s, d)| {
+            analyze(&c, &s, &d);
+            None
+        }),
         "plan" => run(&args, false),
         "run" => run(&args, true),
         "query" => query(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match outcome {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(info) => {
+            if tracing {
+                emit_trace_outputs(args.explain, info.as_ref());
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -52,6 +52,7 @@ pub use mjoin_hypergraph as hypergraph;
 pub use mjoin_optimizer as optimizer;
 pub use mjoin_program as program;
 pub use mjoin_relation as relation;
+pub use mjoin_trace as trace;
 pub use mjoin_workloads as workloads;
 
 /// One-stop imports for examples and downstream users.

@@ -18,6 +18,15 @@ fn cli(args: &[&str]) -> Output {
         .expect("binary runs")
 }
 
+fn cli_env(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mjoin_cli"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("binary runs")
+}
+
 struct Fixture {
     _dir: tempdir::TempDir,
     files: Vec<String>,
@@ -135,6 +144,82 @@ fn query_command_answers() {
     assert!(stdout.starts_with("x\tz\n"));
     assert!(stdout.contains("1\t5"));
     assert!(stdout.contains("1\t6"));
+}
+
+#[test]
+fn help_exits_success() {
+    // `--help`, `-h` and the bare `help` command all print usage to stdout
+    // and exit 0 — asking for help is not an error.
+    for args in [&["--help"][..], &["-h"], &["help"], &["run", "--help"]] {
+        let out = cli(args);
+        assert!(out.status.success(), "help must exit 0 for {args:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("usage"), "stdout:\n{stdout}");
+        assert!(stdout.contains("--explain-analyze"));
+    }
+}
+
+#[test]
+fn query_accepts_dp_linear_optimizer() {
+    let fx = triangle_fixture();
+    let mut args = vec![
+        "query",
+        "--optimizer",
+        "dp-linear",
+        "Q(x, z) :- r1(x, y), r2(y, z)",
+    ];
+    args.extend(fx.files.iter().map(String::as_str));
+    let out = cli(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1\t5"));
+    assert!(stdout.contains("1\t6"));
+}
+
+#[test]
+fn explain_analyze_reports_on_stderr_keeps_stdout_clean() {
+    let fx = triangle_fixture();
+    let mut args = vec!["run", "--explain-analyze"];
+    args.extend(fx.files.iter().map(String::as_str));
+    let out = cli(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // stdout stays machine-readable TSV: header + 2 result tuples.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 3, "stdout:\n{stdout}");
+    assert!(stdout.starts_with("A\tB\tC\n"));
+    // The report lands on stderr, with per-statement rows and the schedule.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("EXPLAIN ANALYZE"), "stderr:\n{stderr}");
+    assert!(stderr.contains("schedule:"));
+    assert!(stderr.contains("stmt   0"));
+    assert!(stderr.contains("rows"));
+}
+
+#[test]
+fn mjoin_trace_env_writes_chrome_trace_json() {
+    let fx = triangle_fixture();
+    let dir = tempdir::TempDir::new("trace");
+    let trace_path = dir.path().join("out.json");
+    let args: Vec<&str> = std::iter::once("run")
+        .chain(fx.files.iter().map(String::as_str))
+        .collect();
+    let out = cli_env(&args, &[("MJOIN_TRACE", trace_path.to_str().unwrap())]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(json.contains("\"traceEvents\""), "trace:\n{json}");
+    assert!(json.contains("\"ph\":\"X\""), "no span events:\n{json}");
 }
 
 #[test]
