@@ -21,7 +21,9 @@ use mjoin_bench::print_table;
 use mjoin_core::derive;
 use mjoin_expr::JoinTree;
 use mjoin_hypergraph::DbScheme;
-use mjoin_program::{execute_parallel, schedule, Program, ProgramBuilder, Reg};
+use mjoin_program::{
+    execute_parallel, execute_with, schedule, ExecConfig, Program, ProgramBuilder, Reg,
+};
 use mjoin_relation::{Catalog, Database};
 use mjoin_workloads::{star_schema, CycleGap, Example3, StarSchemaConfig};
 use std::time::Instant;
@@ -234,6 +236,68 @@ fn workloads() -> Vec<Workload> {
         });
     }
 
+    // The join-index-cache showcase: a full-reducer-style program over a
+    // hub-and-spoke scheme. Ten spokes are each reduced by the same 150k-row
+    // hub at the same key — one shared hub index serves the whole width-10
+    // level — then the spokes' projected keys are intersected down a deep
+    // chain and folded back into the hub. Without the cache every spoke
+    // reduction rebuilds the hub's build table from scratch.
+    {
+        use mjoin_relation::{Relation, Row, Schema, Value};
+        let mut c = Catalog::new();
+        const HUB_ROWS: i64 = 150_000;
+        const B_DOMAIN: i64 = 3_000;
+        const SPOKES: usize = 10;
+        const SPOKE_ROWS: i64 = 6_000;
+        let a = c.intern("A");
+        let b_attr = c.intern("B");
+        let hub_rows: Vec<Row> = (0..HUB_ROWS)
+            .map(|i| vec![Value::Int(i), Value::Int(i % B_DOMAIN)].into())
+            .collect();
+        let hub = Relation::from_rows(Schema::new(vec![a, b_attr]), hub_rows).unwrap();
+        let spokes: Vec<Relation> = (0..SPOKES as i64)
+            .map(|i| {
+                let ci = c.intern(&format!("C{i}"));
+                let rows: Vec<Row> = (0..SPOKE_ROWS)
+                    .map(|j| vec![Value::Int((j * 97 + i * 13) % B_DOMAIN), Value::Int(j)].into())
+                    .collect();
+                Relation::from_rows(Schema::new(vec![b_attr, ci]), rows).unwrap()
+            })
+            .collect();
+        let mut rels = vec![hub];
+        rels.extend(spokes);
+        let scheme =
+            DbScheme::from_schemas(&rels.iter().map(|r| r.schema().clone()).collect::<Vec<_>>());
+        let db = Database::from_relations(rels);
+
+        let mut b = ProgramBuilder::new(&scheme);
+        // Width-10 level: every spoke reduced by the hub — one shared index.
+        for i in 0..SPOKES {
+            b.semijoin(Reg::Base(1 + i), Reg::Base(0));
+        }
+        // Each spoke's surviving hub keys…
+        let keys: Vec<Reg> = (0..SPOKES)
+            .map(|i| {
+                let key_attrs = scheme.attrs_of(0).intersect(scheme.attrs_of(1 + i));
+                let x = b.new_temp(format!("K{i}"));
+                b.project(x, Reg::Base(1 + i), key_attrs);
+                x
+            })
+            .collect();
+        // …intersected down a deep chain (same-schema join = intersection)…
+        for i in 1..SPOKES {
+            b.join(keys[0], keys[0], keys[i]);
+        }
+        // …and folded back into the hub.
+        b.semijoin(Reg::Base(0), keys[0]);
+        let program = b.finish(Reg::Base(0));
+        out.push(Workload {
+            name: "hub_fanout_reducer",
+            db,
+            program,
+        });
+    }
+
     out
 }
 
@@ -254,6 +318,8 @@ struct Measurement {
     result_tuples: usize,
     baseline_ms: f64,
     parallel_ms: Vec<(usize, f64)>,
+    /// Same executor with the join-index cache disabled: the pre-cache path.
+    parallel_nocache_ms: Vec<(usize, f64)>,
     /// Aggregated spans from one traced (untimed) parallel run: key is
     /// `name[strategy]`, value is `(calls, total_ms)`.
     trace_ops: Vec<(String, u64, f64)>,
@@ -292,6 +358,16 @@ fn measure(w: &Workload) -> Measurement {
             "{}: head sizes diverged",
             w.name
         );
+        let nocache = execute_with(
+            program,
+            &w.db,
+            &ExecConfig::with_threads(threads).without_cache(),
+        );
+        assert_eq!(
+            *nocache.result, oracle.result,
+            "{}: cache-off result diverged at {threads} threads",
+            w.name
+        );
     }
 
     // Interleave configurations round-robin across reps so ambient host
@@ -303,6 +379,7 @@ fn measure(w: &Workload) -> Measurement {
     };
     let mut baseline_ms = f64::INFINITY;
     let mut best_par = vec![f64::INFINITY; THREADS.len()];
+    let mut best_nocache = vec![f64::INFINITY; THREADS.len()];
     for _ in 0..REPS {
         baseline_ms = baseline_ms.min(time_once(&mut run_base));
         for (slot, &threads) in best_par.iter_mut().zip(THREADS.iter()) {
@@ -312,8 +389,18 @@ fn measure(w: &Workload) -> Measurement {
             };
             *slot = slot.min(time_once(&mut run_par));
         }
+        for (slot, &threads) in best_nocache.iter_mut().zip(THREADS.iter()) {
+            let cfg = ExecConfig::with_threads(threads).without_cache();
+            let mut run_nc = || {
+                let out = execute_with(program, &w.db, &cfg);
+                std::hint::black_box(out.result.len());
+            };
+            *slot = slot.min(time_once(&mut run_nc));
+        }
     }
     let parallel_ms: Vec<(usize, f64)> = THREADS.iter().copied().zip(best_par).collect();
+    let parallel_nocache_ms: Vec<(usize, f64)> =
+        THREADS.iter().copied().zip(best_nocache).collect();
 
     // One extra traced run, after timing, so the JSON records which operator
     // strategies actually fired and how the pool behaved. The timed reps run
@@ -354,6 +441,7 @@ fn measure(w: &Workload) -> Measurement {
         result_tuples: oracle.result.len(),
         baseline_ms,
         parallel_ms,
+        parallel_nocache_ms,
         trace_ops,
         trace_counters,
     }
@@ -405,11 +493,30 @@ fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Me
             .collect();
         j.push_str(&cells.join(", "));
         j.push_str("},\n");
+        j.push_str("      \"parallel_nocache_ms\": {");
+        let cells: Vec<String> = m
+            .parallel_nocache_ms
+            .iter()
+            .map(|(t, v)| format!("\"{t}\": {v:.3}"))
+            .collect();
+        j.push_str(&cells.join(", "));
+        j.push_str("},\n");
         j.push_str("      \"speedup_vs_baseline\": {");
         let cells: Vec<String> = m
             .parallel_ms
             .iter()
             .map(|(t, _)| format!("\"{t}\": {:.2}", m.speedup_at(*t)))
+            .collect();
+        j.push_str(&cells.join(", "));
+        j.push_str("},\n");
+        // cache-off ms / cache-on ms at the same thread count: the
+        // before/after effect of the cross-statement join-index cache alone.
+        j.push_str("      \"index_cache_speedup\": {");
+        let cells: Vec<String> = m
+            .parallel_ms
+            .iter()
+            .zip(m.parallel_nocache_ms.iter())
+            .map(|((t, on), (_, off))| format!("\"{t}\": {:.2}", off / on))
             .collect();
         j.push_str(&cells.join(", "));
         j.push_str("},\n");
@@ -448,9 +555,101 @@ fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Me
     std::fs::write(path, j).expect("write BENCH_parallel_exec.json");
 }
 
+/// CI regression gate (`--check-strategies`): one traced 4-thread run per
+/// workload, asserting that the operator strategies the planner is supposed
+/// to pick actually fired. Catches two failure modes silently invisible to
+/// correctness tests: wide workloads falling off the partitioned
+/// par_join/par_semijoin paths, and the join-index cache going cold on the
+/// workloads built to exercise it.
+fn check_strategies(ws: &[Workload]) -> bool {
+    // (workload, required `name[strategy]` ops, required minimum counters)
+    type Expectation = (
+        &'static str,
+        &'static [&'static str],
+        &'static [(&'static str, u64)],
+    );
+    let expect: &[Expectation] = &[
+        (
+            "example3_m30",
+            &["join[shared_build_probe]", "semijoin[chunked_probe]"],
+            &[],
+        ),
+        (
+            "star_d6_f60k",
+            &["join[shared_build_probe]", "semijoin[chunked_probe]"],
+            &[],
+        ),
+        ("cycle_gap_n6_m40", &["join[shared_build_probe]"], &[]),
+        ("star_wide_reducer", &["semijoin[chunked_probe]"], &[]),
+        ("wide_filter_sweep", &["semijoin[chunked_probe]"], &[]),
+        (
+            "selective_probe_fanout",
+            &["join[indexed_probe]"],
+            &[("index_cache.hit", 1)],
+        ),
+        (
+            "hub_fanout_reducer",
+            &["semijoin[indexed_probe]", "semijoin[chunked_probe]"],
+            &[("index_cache.hit", 9), ("index_cache.insert", 1)],
+        ),
+    ];
+    let mut ok = true;
+    for w in ws {
+        let Some((_, ops_req, ctr_req)) = expect.iter().find(|(n, _, _)| *n == w.name) else {
+            println!("check-strategies: {} has no expectations, skipping", w.name);
+            continue;
+        };
+        mjoin_trace::clear();
+        mjoin_trace::set_enabled(true);
+        {
+            let out = execute_parallel(&w.program, &w.db, 4);
+            std::hint::black_box(out.result.len());
+        }
+        mjoin_trace::set_enabled(false);
+        let trace = mjoin_trace::take();
+        let seen: Vec<String> = trace
+            .aggregate()
+            .into_iter()
+            .filter(|row| row.key.starts_with("op/"))
+            .map(|row| row.key.trim_start_matches("op/").to_string())
+            .collect();
+        for req in *ops_req {
+            if seen.iter().any(|k| k == req) {
+                println!("  ok   {}: {req}", w.name);
+            } else {
+                println!("  FAIL {}: expected strategy {req}, saw {:?}", w.name, seen);
+                ok = false;
+            }
+        }
+        for (name, min) in *ctr_req {
+            let got = trace.counter(name).unwrap_or(0);
+            if got >= *min {
+                println!("  ok   {}: {name} = {got} (>= {min})", w.name);
+            } else {
+                println!("  FAIL {}: {name} = {got}, expected >= {min}", w.name);
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check-strategies") {
+        mjoin_pool::ensure_at_least(*THREADS.iter().max().unwrap());
+        let ws = workloads();
+        println!("exp_par --check-strategies: {} workloads\n", ws.len());
+        if check_strategies(&ws) {
+            println!("\ncheck-strategies: all strategy expectations held");
+            return;
+        }
+        eprintln!("\ncheck-strategies: strategy mix regressed (see FAIL lines above)");
+        std::process::exit(1);
+    }
+    let path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_parallel_exec.json".into());
     // Fail on an unwritable output path *before* the minutes-long run.
     if let Err(e) = std::fs::OpenOptions::new()
@@ -491,6 +690,13 @@ fn main() {
         for (_, ms) in &m.parallel_ms {
             row.push(format!("{ms:.1}"));
         }
+        let nc4 = m
+            .parallel_nocache_ms
+            .iter()
+            .find(|(t, _)| *t == 4)
+            .map(|(_, ms)| *ms)
+            .unwrap_or(f64::INFINITY);
+        row.push(format!("{nc4:.1}"));
         row.push(format!("{:.2}×", m.speedup_at(4)));
         rows.push(row);
     }
@@ -506,6 +712,7 @@ fn main() {
             "t=2",
             "t=4",
             "t=8",
+            "nocache t=4",
             "speedup@4",
         ],
         &rows,

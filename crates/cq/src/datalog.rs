@@ -114,6 +114,11 @@ pub fn evaluate_datalog(
     strategy: PlanStrategy,
 ) -> Result<DatalogResult> {
     let arities = idb_arities(edb, rules)?;
+    let mut fix_sp = mjoin_trace::span("datalog", "fixpoint");
+    if fix_sp.is_active() {
+        fix_sp.arg("rules", rules.len());
+        fix_sp.arg("idb_predicates", arities.len());
+    }
     let idb_names: Vec<String> = {
         let mut v: Vec<String> = arities.keys().cloned().collect();
         v.sort();
@@ -152,17 +157,26 @@ pub fn evaluate_datalog(
     // Seed round: every rule evaluated as-is (recursive rules contribute
     // nothing yet because IDB relations are empty).
     let mut new_delta: FxHashMap<String, Vec<Row>> = FxHashMap::default();
-    for rule in rules {
-        let res = execute_query(&work, rule, strategy)?;
-        total_cost += res.ledger.total();
-        for row in res.rows_in_head_order() {
-            let row: Row = row.into();
-            if !facts[&rule.head_name].contains(&row) {
-                new_delta
-                    .entry(rule.head_name.clone())
-                    .or_default()
-                    .push(row);
+    {
+        let mut sp = mjoin_trace::span("datalog", "iteration");
+        for rule in rules {
+            let res = execute_query(&work, rule, strategy)?;
+            total_cost += res.ledger.total();
+            for row in res.rows_in_head_order() {
+                let row: Row = row.into();
+                if !facts[&rule.head_name].contains(&row) {
+                    new_delta
+                        .entry(rule.head_name.clone())
+                        .or_default()
+                        .push(row);
+                }
             }
+        }
+        if sp.is_active() {
+            sp.arg("iteration", 0usize);
+            sp.arg("rules_fired", rules.len());
+            sp.arg("delta_rows", 0usize);
+            sp.arg("new_rows", new_delta.values().map(Vec::len).sum::<usize>());
         }
     }
 
@@ -189,9 +203,11 @@ pub fn evaluate_datalog(
         if iterations > 1_000_000 {
             return Err(Error::Parse("datalog fixpoint did not converge".into()));
         }
+        let mut sp = mjoin_trace::span("datalog", "iteration");
         refresh(&mut work, &facts, &delta, &arities)?;
 
         // Semi-naive round: one rewrite per recursive body atom.
+        let mut rules_fired = 0usize;
         new_delta = FxHashMap::default();
         for rule in rules {
             for (i, atom) in rule.body.iter().enumerate() {
@@ -204,6 +220,7 @@ pub fn evaluate_datalog(
                 let mut rewritten = rule.clone();
                 rewritten.body[i].predicate = delta_name(&atom.predicate);
                 let res = execute_query(&work, &rewritten, strategy)?;
+                rules_fired += 1;
                 total_cost += res.ledger.total();
                 for row in res.rows_in_head_order() {
                     let row: Row = row.into();
@@ -216,6 +233,12 @@ pub fn evaluate_datalog(
                 }
             }
         }
+        if sp.is_active() {
+            sp.arg("iteration", iterations);
+            sp.arg("rules_fired", rules_fired);
+            sp.arg("delta_rows", delta.values().map(Vec::len).sum::<usize>());
+            sp.arg("new_rows", new_delta.values().map(Vec::len).sum::<usize>());
+        }
     }
 
     let mut out: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
@@ -223,6 +246,11 @@ pub fn evaluate_datalog(
         let mut v: Vec<Vec<Value>> = rows.into_iter().map(|r| r.to_vec()).collect();
         v.sort_unstable();
         out.insert(p, v);
+    }
+    if fix_sp.is_active() {
+        fix_sp.arg("iterations", iterations);
+        fix_sp.arg("total_cost", total_cost);
+        fix_sp.arg("facts", out.values().map(Vec::len).sum::<usize>());
     }
     Ok(DatalogResult {
         facts: out,

@@ -22,8 +22,182 @@
 use crate::program::Program;
 use crate::schedule::schedule;
 use crate::stmt::{Reg, Stmt};
-use mjoin_relation::{ops, CostLedger, Database, Relation, Schema};
+use mjoin_relation::fxhash::FxHashMap;
+use mjoin_relation::ops::{
+    self, join_key_positions, par_join_indexed, par_semijoin_indexed, JoinIndex, SMALL,
+};
+use mjoin_relation::{CostLedger, Database, Relation, Schema};
 use std::sync::Arc;
+
+/// Execution knobs for [`execute_with`]. [`execute`] and
+/// [`execute_parallel`] use the defaults (cache on) at their respective
+/// thread counts.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads for the partitioned operators and level parallelism.
+    /// `1` selects the sequential interpreter.
+    pub threads: usize,
+    /// Whether to memoize build-side [`JoinIndex`]es across statements.
+    pub index_cache: bool,
+    /// Cache budget: the cache evicts least-recently-used indices once the
+    /// total tuples resident in cached indices exceed this.
+    pub cache_budget_tuples: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 1,
+            index_cache: true,
+            cache_budget_tuples: 4 << 20,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Defaults at `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+            ..ExecConfig::default()
+        }
+    }
+
+    /// The same configuration with the index cache disabled — the
+    /// pre-cache execution path, kept callable for differential tests and
+    /// benchmarks.
+    pub fn without_cache(mut self) -> Self {
+        self.index_cache = false;
+        self
+    }
+}
+
+/// Cache key: the identity of an `Arc<Relation>` plus the key positions an
+/// index was built over. Safe against pointer reuse because every cached
+/// [`JoinIndex`] holds its relation's `Arc` — the allocation cannot be
+/// freed (and its address recycled) while the entry exists.
+type IndexKey = (usize, Box<[usize]>);
+
+fn index_key(rel: &Arc<Relation>, key_pos: &[usize]) -> IndexKey {
+    (Arc::as_ptr(rel) as usize, key_pos.into())
+}
+
+struct CacheEntry {
+    index: Arc<JoinIndex>,
+    last_used: u64,
+}
+
+/// The cross-statement join-index cache. Algorithm-2 programs read the same
+/// head relations many times (a semijoin sweep down the CPF tree, a join
+/// sweep back up); memoizing the build-side table turns every re-read into
+/// a probe-only statement. Bounded by resident tuples with LRU eviction;
+/// entries for a register's old value are dropped when the register is
+/// rewritten.
+struct IndexCache {
+    enabled: bool,
+    budget_tuples: u64,
+    map: FxHashMap<IndexKey, CacheEntry>,
+    resident_tuples: u64,
+    tick: u64,
+}
+
+impl IndexCache {
+    fn new(cfg: &ExecConfig) -> Self {
+        IndexCache {
+            enabled: cfg.index_cache,
+            budget_tuples: cfg.cache_budget_tuples,
+            map: FxHashMap::default(),
+            resident_tuples: 0,
+            tick: 0,
+        }
+    }
+
+    /// Look up an index without touching the hit/miss counters (a join
+    /// peeks both of its sides before deciding which lookup "counts").
+    fn peek(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<JoinIndex>> {
+        if !self.enabled {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&index_key(rel, key_pos)).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.index)
+        })
+    }
+
+    /// Record a statement that reused a cached index: the build pass — and
+    /// the table's heap allocation — it did not pay for.
+    fn note_hit(index: &JoinIndex) {
+        mjoin_trace::add("index_cache.hit", 1);
+        mjoin_trace::add("index_cache.bytes_not_allocated", index.heap_bytes() as u64);
+    }
+
+    /// Record a statement that had an index opportunity but found no entry.
+    fn note_miss() {
+        mjoin_trace::add("index_cache.miss", 1);
+    }
+
+    /// Cache a freshly built index, evicting least-recently-used entries
+    /// until the resident-tuple budget holds. Indices larger than the whole
+    /// budget are not cached (they would only flush everything else).
+    fn insert(&mut self, index: Arc<JoinIndex>) {
+        if !self.enabled || index.tuples() as u64 > self.budget_tuples {
+            return;
+        }
+        let key = index_key(index.relation(), index.key_positions());
+        self.tick += 1;
+        self.resident_tuples += index.tuples() as u64;
+        if let Some(old) = self.map.insert(
+            key.clone(),
+            CacheEntry {
+                index,
+                last_used: self.tick,
+            },
+        ) {
+            self.resident_tuples -= old.index.tuples() as u64;
+        }
+        mjoin_trace::add("index_cache.insert", 1);
+        while self.resident_tuples > self.budget_tuples && self.map.len() > 1 {
+            let lru = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("map has a non-newest entry");
+            let gone = self.map.remove(&lru).expect("key just found");
+            self.resident_tuples -= gone.index.tuples() as u64;
+            mjoin_trace::add("index_cache.evict", 1);
+        }
+    }
+
+    /// Drop every index over `rel` — called when a register holding it is
+    /// rewritten. (Another register may still alias the same value; the
+    /// cost of over-invalidating is a rebuild, never a wrong answer — all
+    /// relations are immutable.)
+    fn invalidate(&mut self, rel: &Arc<Relation>) {
+        if !self.enabled {
+            return;
+        }
+        let ptr = Arc::as_ptr(rel) as usize;
+        let stale: Vec<IndexKey> = self
+            .map
+            .keys()
+            .filter(|(p, _)| *p == ptr)
+            .cloned()
+            .collect();
+        for key in stale {
+            let gone = self.map.remove(&key).expect("key just listed");
+            self.resident_tuples -= gone.index.tuples() as u64;
+        }
+    }
+}
+
+/// Prebuilt indices visible to one parallel level: resolved before the
+/// level runs, then probed concurrently by its statements (the cache itself
+/// is only mutated between levels).
+type ResolvedIndices = FxHashMap<IndexKey, Arc<JoinIndex>>;
 
 /// The outcome of running a program on a database.
 #[derive(Debug, Clone)]
@@ -87,10 +261,12 @@ impl Machine {
         }
     }
 
-    fn write(&mut self, reg: Reg, rel: Arc<Relation>) {
+    /// Write a register, returning the value it previously held (if any) so
+    /// the caller can invalidate indices built over it.
+    fn write(&mut self, reg: Reg, rel: Arc<Relation>) -> Option<Arc<Relation>> {
         match reg {
-            Reg::Base(i) => self.bases[i] = rel,
-            Reg::Temp(t) => self.temps[t] = Some(rel),
+            Reg::Base(i) => Some(std::mem::replace(&mut self.bases[i], rel)),
+            Reg::Temp(t) => self.temps[t].replace(rel),
         }
     }
 
@@ -106,10 +282,58 @@ impl Machine {
     }
 }
 
+/// Where the evaluator may find (or leave) prebuilt join indices.
+enum IndexMode<'a> {
+    /// Cache disabled: always the plain partitioned operators.
+    Off,
+    /// Sequential execution: consult the cache, build-and-insert on a miss
+    /// when the build pass is work the plain kernel would do anyway.
+    Cache(&'a mut IndexCache),
+    /// One parallel level: probe the level's prebuilt indices; never mutate
+    /// (misses fall through to the plain operators).
+    Resolved(&'a ResolvedIndices),
+}
+
+impl IndexMode<'_> {
+    /// A usable index for `(rel, key_pos)`, bumping LRU state in
+    /// [`IndexMode::Cache`] mode. No hit/miss counters — callers decide
+    /// which lookup counts (a join peeks both sides).
+    fn peek(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<JoinIndex>> {
+        match self {
+            IndexMode::Off => None,
+            IndexMode::Cache(cache) => cache.peek(rel, key_pos),
+            IndexMode::Resolved(resolved) => resolved.get(&index_key(rel, key_pos)).map(Arc::clone),
+        }
+    }
+
+    /// Whether missed statements should build (and cache) an index instead
+    /// of running the plain kernel.
+    fn builds_on_miss(&self) -> bool {
+        matches!(self, IndexMode::Cache(_))
+    }
+
+    fn insert(&mut self, index: Arc<JoinIndex>) {
+        if let IndexMode::Cache(cache) = self {
+            cache.insert(index);
+        }
+    }
+
+    /// Whether this statement evaluation participates in hit/miss counting.
+    fn counts(&self) -> bool {
+        !matches!(self, IndexMode::Off)
+    }
+}
+
 /// Evaluate one statement's body against the current register file. With
 /// `threads == 1` the partitioned operators take their sequential paths, so
 /// this is also the sequential interpreter's evaluation step.
-fn eval_stmt(program: &Program, m: &Machine, stmt: &Stmt, threads: usize) -> (Reg, Relation) {
+fn eval_stmt(
+    program: &Program,
+    m: &Machine,
+    stmt: &Stmt,
+    threads: usize,
+    mut idx: IndexMode<'_>,
+) -> (Reg, Relation) {
     match stmt {
         Stmt::Project { dst, src, attrs } => {
             let src_rel = m.read(program, *src);
@@ -121,11 +345,78 @@ fn eval_stmt(program: &Program, m: &Machine, stmt: &Stmt, threads: usize) -> (Re
         Stmt::Join { dst, left, right } => {
             let l = m.read(program, *left);
             let r = m.read(program, *right);
+            let (lpos, rpos) = join_key_positions(l.schema(), r.schema());
+            if lpos.is_empty() {
+                // Cartesian product: an index (one bucket chain holding
+                // everything) buys nothing.
+                return (*dst, ops::par_join(&l, &r, threads));
+            }
+            // Peek both sides; with a choice, keep the index on the larger
+            // side so the smaller side does the probing.
+            let hit = match (idx.peek(&l, &lpos), idx.peek(&r, &rpos)) {
+                (Some(li), Some(ri)) => Some(if li.tuples() >= ri.tuples() {
+                    (li, Arc::clone(&r))
+                } else {
+                    (ri, Arc::clone(&l))
+                }),
+                (Some(li), None) => Some((li, Arc::clone(&r))),
+                (None, Some(ri)) => Some((ri, Arc::clone(&l))),
+                (None, None) => None,
+            };
+            if let Some((index, probe)) = hit {
+                IndexCache::note_hit(&index);
+                return (*dst, par_join_indexed(&index, &probe, threads));
+            }
+            if idx.counts() {
+                IndexCache::note_miss();
+            }
+            // On a sequential miss, building the smaller side as a
+            // first-class index is the same work the plain kernel's build
+            // pass does — so do that and keep the index for later
+            // statements. Parallel big-build joins keep the partitioned
+            // paths (radix co-partitioning beats one shared build there).
+            let small_is_left = l.len() <= r.len();
+            if idx.builds_on_miss() && (threads == 1 || l.len().min(r.len()) < SMALL) {
+                let (small, spos, big) = if small_is_left {
+                    (Arc::clone(&l), lpos, r)
+                } else {
+                    (Arc::clone(&r), rpos, l)
+                };
+                let index = Arc::new(JoinIndex::build(small, spos));
+                let out = par_join_indexed(&index, &big, threads);
+                idx.insert(index);
+                return (*dst, out);
+            }
             (*dst, ops::par_join(&l, &r, threads))
         }
         Stmt::Semijoin { target, filter } => {
             let t = m.read(program, *target);
             let f = m.read(program, *filter);
+            let common = t.schema().intersect(f.schema());
+            if common.is_empty() {
+                // Degenerate case: no per-tuple work to index.
+                return (*target, ops::par_semijoin(&t, &f, threads));
+            }
+            let fpos = f
+                .schema()
+                .positions_of(common.attrs())
+                .expect("common attrs in filter");
+            if let Some(index) = idx.peek(&f, &fpos) {
+                IndexCache::note_hit(&index);
+                return (*target, par_semijoin_indexed(&t, &index, threads));
+            }
+            if idx.counts() {
+                IndexCache::note_miss();
+            }
+            if idx.builds_on_miss() {
+                // The filter-side build is exactly the plain kernel's key
+                // set; building it as an index costs the same and is
+                // reusable by every later statement filtering through `f`.
+                let index = Arc::new(JoinIndex::build(Arc::clone(&f), fpos));
+                let out = par_semijoin_indexed(&t, &index, threads);
+                idx.insert(index);
+                return (*target, out);
+            }
             (*target, ops::par_semijoin(&t, &f, threads))
         }
     }
@@ -147,9 +438,10 @@ fn eval_stmt_traced(
     stmt: &Stmt,
     index: usize,
     threads: usize,
+    idx: IndexMode<'_>,
 ) -> (Reg, Relation) {
     let mut sp = mjoin_trace::span("exec", "stmt");
-    let (head, value) = eval_stmt(program, m, stmt, threads);
+    let (head, value) = eval_stmt(program, m, stmt, threads, idx);
     if sp.is_active() {
         sp.arg("index", index);
         sp.arg("kind", stmt_kind(stmt));
@@ -166,29 +458,57 @@ fn check_arity(program: &Program, db: &Database) {
     );
 }
 
-/// Execute `program` on `db`, one statement at a time in program order.
+/// Execute `program` on `db`, one statement at a time in program order,
+/// with the default [`ExecConfig`] (index cache on, one thread).
 ///
 /// The program should have passed [`crate::validate::validate`]; running an
 /// invalid program may panic (it will not produce wrong answers silently).
 pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
+    execute_seq(program, db, &ExecConfig::default())
+}
+
+/// Execute `program` on `db` under an explicit [`ExecConfig`]:
+/// `threads == 1` runs the sequential interpreter, more threads the
+/// level-parallel one. Either way the observable [`ExecOutcome`] depends
+/// only on the program and database — never on the thread count or on
+/// whether the index cache is enabled (the differential tests in
+/// `mjoin-core` enforce this).
+pub fn execute_with(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcome {
+    if cfg.threads <= 1 {
+        execute_seq(program, db, cfg)
+    } else {
+        execute_level(program, db, cfg)
+    }
+}
+
+fn execute_seq(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcome {
     check_arity(program, db);
     let mut sp = mjoin_trace::span("exec", "execute");
     if sp.is_active() {
         sp.arg("stmts", program.stmts.len());
         sp.arg("threads", 1usize);
+        sp.arg("index_cache", u64::from(cfg.index_cache));
     }
     let mut ledger = CostLedger::new();
     db.charge_inputs(&mut ledger);
 
     let mut m = Machine::new(program, db);
+    let mut cache = IndexCache::new(cfg);
     let mut head_sizes = Vec::with_capacity(program.stmts.len());
     let mut peak_resident = m.resident();
 
     for (i, stmt) in program.stmts.iter().enumerate() {
-        let (head, value) = eval_stmt_traced(program, &m, stmt, i, 1);
+        let idx = if cfg.index_cache {
+            IndexMode::Cache(&mut cache)
+        } else {
+            IndexMode::Off
+        };
+        let (head, value) = eval_stmt_traced(program, &m, stmt, i, 1, idx);
         ledger.charge_generated(format!("stmt {i}"), value.len());
         head_sizes.push(value.len());
-        m.write(head, Arc::new(value));
+        if let Some(old) = m.write(head, Arc::new(value)) {
+            cache.invalidate(&old);
+        }
         peak_resident = peak_resident.max(m.resident());
     }
 
@@ -214,12 +534,98 @@ pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
 /// all heads are known once execution finishes), which makes the whole
 /// [`ExecOutcome`] byte-identical to [`execute`]'s.
 pub fn execute_parallel(program: &Program, db: &Database, threads: usize) -> ExecOutcome {
+    execute_level(program, db, &ExecConfig::with_threads(threads))
+}
+
+/// The index opportunities of one statement: `(relation, key positions)`
+/// pairs an index could serve. Joins contribute both sides at the
+/// natural-join key; semijoins their filter side. Degenerate statements
+/// (projections, Cartesian joins, disjoint semijoins) contribute nothing.
+fn stmt_index_candidates(
+    program: &Program,
+    m: &Machine,
+    stmt: &Stmt,
+) -> Vec<(Arc<Relation>, Vec<usize>)> {
+    match stmt {
+        Stmt::Project { .. } => Vec::new(),
+        Stmt::Join { left, right, .. } => {
+            let l = m.read(program, *left);
+            let r = m.read(program, *right);
+            let (lpos, rpos) = join_key_positions(l.schema(), r.schema());
+            if lpos.is_empty() {
+                Vec::new()
+            } else {
+                vec![(l, lpos), (r, rpos)]
+            }
+        }
+        Stmt::Semijoin { target, filter } => {
+            let t = m.read(program, *target);
+            let f = m.read(program, *filter);
+            let common = t.schema().intersect(f.schema());
+            if common.is_empty() {
+                return Vec::new();
+            }
+            let fpos = f
+                .schema()
+                .positions_of(common.attrs())
+                .expect("common attrs in filter");
+            vec![(f, fpos)]
+        }
+    }
+}
+
+/// Resolve the indices one parallel level will probe, mutating the cache
+/// only here — before the level's statements run concurrently. Cached
+/// entries resolve directly; a `(relation, key)` pair wanted by two or more
+/// statements in the level is built once, shared across all of them, and
+/// cached for later levels. Pairs wanted once stay unresolved (their
+/// statements run the plain partitioned operators).
+fn prefetch_level_indices(
+    program: &Program,
+    m: &Machine,
+    cache: &mut IndexCache,
+    level: &[usize],
+) -> ResolvedIndices {
+    let mut resolved = ResolvedIndices::default();
+    if !cache.enabled {
+        return resolved;
+    }
+    let mut wanted: Vec<(Arc<Relation>, Vec<usize>)> = Vec::new();
+    for &i in level {
+        wanted.extend(stmt_index_candidates(program, m, &program.stmts[i]));
+    }
+    let mut demand: FxHashMap<IndexKey, usize> = FxHashMap::default();
+    for (rel, pos) in &wanted {
+        *demand.entry(index_key(rel, pos)).or_insert(0) += 1;
+    }
+    for (rel, pos) in wanted {
+        let key = index_key(&rel, &pos);
+        if resolved.contains_key(&key) {
+            continue;
+        }
+        if let Some(index) = cache.peek(&rel, &pos) {
+            resolved.insert(key, index);
+        } else if demand[&key] >= 2 {
+            // Shared across the level: one build, many probes. Counts as
+            // the one miss its build represents; each statement that probes
+            // it then counts a hit.
+            IndexCache::note_miss();
+            let index = Arc::new(JoinIndex::build(rel, pos));
+            cache.insert(Arc::clone(&index));
+            resolved.insert(key, index);
+        }
+    }
+    resolved
+}
+
+fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcome {
     check_arity(program, db);
-    let threads = threads.max(1);
+    let threads = cfg.threads.max(1);
     let mut ledger = CostLedger::new();
     db.charge_inputs(&mut ledger);
 
     let mut m = Machine::new(program, db);
+    let mut cache = IndexCache::new(cfg);
     let n = program.stmts.len();
     let mut sizes = vec![0usize; n];
 
@@ -230,6 +636,7 @@ pub fn execute_parallel(program: &Program, db: &Database, threads: usize) -> Exe
         sp.arg("threads", threads);
         sp.arg("depth", sched.depth());
         sp.arg("width", sched.width());
+        sp.arg("index_cache", u64::from(cfg.index_cache));
     }
     for (lv, level) in sched.levels.iter().enumerate() {
         let mut level_sp = mjoin_trace::span("exec", "level");
@@ -237,27 +644,40 @@ pub fn execute_parallel(program: &Program, db: &Database, threads: usize) -> Exe
             level_sp.arg("level", lv + 1);
             level_sp.arg("stmts", level.len());
         }
+        let resolved = prefetch_level_indices(program, &m, &mut cache, level);
         let computed: Vec<(usize, (Reg, Relation))> = if threads == 1 || level.len() == 1 {
             level
                 .iter()
                 .map(|&i| {
+                    let idx = if cfg.index_cache {
+                        IndexMode::Resolved(&resolved)
+                    } else {
+                        IndexMode::Off
+                    };
                     (
                         i,
-                        eval_stmt_traced(program, &m, &program.stmts[i], i, threads),
+                        eval_stmt_traced(program, &m, &program.stmts[i], i, threads, idx),
                     )
                 })
                 .collect()
         } else {
             mjoin_pool::par_map(level.clone(), |i| {
+                let idx = if cfg.index_cache {
+                    IndexMode::Resolved(&resolved)
+                } else {
+                    IndexMode::Off
+                };
                 (
                     i,
-                    eval_stmt_traced(program, &m, &program.stmts[i], i, threads),
+                    eval_stmt_traced(program, &m, &program.stmts[i], i, threads, idx),
                 )
             })
         };
         for (i, (head, value)) in computed {
             sizes[i] = value.len();
-            m.write(head, Arc::new(value));
+            if let Some(old) = m.write(head, Arc::new(value)) {
+                cache.invalidate(&old);
+            }
         }
     }
     drop(sp);

@@ -24,7 +24,7 @@ pub mod schedule;
 pub mod stmt;
 pub mod validate;
 
-pub use interp::{execute, execute_parallel, ExecOutcome};
+pub use interp::{execute, execute_parallel, execute_with, ExecConfig, ExecOutcome};
 pub use optimize::eliminate_dead_code;
 pub use parse::parse_program;
 pub use program::{Program, ProgramBuilder};

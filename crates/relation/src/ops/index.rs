@@ -1,0 +1,309 @@
+//! `JoinIndex` — an owned, shareable build-side hash index over an
+//! `Arc<Relation>`, plus the operator variants that probe one.
+//!
+//! Programs derived by the paper's Algorithm 2 read the same head relations
+//! over and over: a full-reducer-style semijoin sweep down the CPF tree,
+//! then a join sweep back up. Every such statement used to rebuild its
+//! build-side hash table from scratch. A `JoinIndex` is that build table
+//! made first-class: it pins the relation (`Arc<Relation>`) and the key
+//! positions it was built for, so the program interpreter can memoize it
+//! across statements — cache hits skip the whole build pass — and a level
+//! of concurrent statements can probe one shared index instead of building
+//! one table per statement.
+//!
+//! Probing is allocation-lean like the rest of the kernels: hashes come
+//! from [`hash_at`], and collisions resolve by comparing `row[pos]` slices
+//! positionally ([`keys_eq`]) — no key materialization on either side.
+
+use super::hashtable::RawTable;
+use super::join::join_key_positions;
+use super::{hash_at, keys_eq, SMALL};
+use crate::relation::{Relation, Row};
+use std::sync::Arc;
+
+/// A build-side hash table for a `(Arc<Relation>, key positions)` pair.
+///
+/// The index holds the relation alive, so a raw-pointer cache key derived
+/// from `Arc::as_ptr(relation)` cannot be reused by a different relation
+/// while the index exists (no ABA).
+#[derive(Debug)]
+pub struct JoinIndex {
+    rel: Arc<Relation>,
+    key_pos: Box<[usize]>,
+    table: RawTable,
+}
+
+impl JoinIndex {
+    /// Build the index: one hash pass over the relation, no per-row key
+    /// allocation.
+    pub fn build(rel: Arc<Relation>, key_pos: Vec<usize>) -> Self {
+        let mut table = RawTable::with_capacity(rel.len());
+        for (i, row) in rel.rows().iter().enumerate() {
+            table.insert(hash_at(row, &key_pos), i as u32);
+        }
+        JoinIndex {
+            rel,
+            key_pos: key_pos.into(),
+            table,
+        }
+    }
+
+    /// The indexed relation.
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.rel
+    }
+
+    /// The key positions (into the indexed relation's rows) this index was
+    /// built over.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_pos
+    }
+
+    /// Resident tuples — what the interpreter's cache budget counts.
+    pub fn tuples(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// Heap bytes of the table itself (excluding the shared relation): the
+    /// allocation a cache hit avoids rebuilding.
+    pub fn heap_bytes(&self) -> usize {
+        self.table.heap_bytes()
+    }
+
+    /// The indexed rows matching `probe` at `probe_pos` (positionally
+    /// aligned with this index's key positions).
+    #[inline]
+    pub fn matching<'a>(
+        &'a self,
+        probe: &'a Row,
+        probe_pos: &'a [usize],
+    ) -> impl Iterator<Item = &'a Row> + 'a {
+        let rows = self.rel.rows();
+        self.table
+            .candidates(hash_at(probe, probe_pos))
+            .map(move |i| &rows[i])
+            .filter(move |brow| keys_eq(brow, &self.key_pos, probe, probe_pos))
+    }
+
+    /// Whether any indexed row matches `probe` at `probe_pos`.
+    #[inline]
+    pub fn contains(&self, probe: &Row, probe_pos: &[usize]) -> bool {
+        self.matching(probe, probe_pos).next().is_some()
+    }
+}
+
+/// Where an output column comes from when splicing an indexed build row
+/// with a probe row (probe wins the shared key attributes — they are equal
+/// anyway).
+fn splice_plan(index: &JoinIndex, probe: &Relation) -> (Vec<(bool, usize)>, Vec<usize>) {
+    let build_schema = index.relation().schema();
+    let out_schema = build_schema.union(probe.schema());
+    let plan: Vec<(bool, usize)> = out_schema
+        .attrs()
+        .iter()
+        .map(|&a| match probe.schema().position(a) {
+            Some(p) => (false, p),
+            None => (true, build_schema.position(a).expect("attr from one side")),
+        })
+        .collect();
+    let (bpos, ppos) = join_key_positions(build_schema, probe.schema());
+    debug_assert_eq!(
+        &bpos,
+        index.key_positions(),
+        "index key positions must be the natural-join key of its relation"
+    );
+    (plan, ppos)
+}
+
+/// Natural join `index.relation() ⋈ probe` against a prebuilt index.
+///
+/// Unlike [`super::par_join`], the build side is fixed by the index — even
+/// when it is the *larger* side. That is the point: with the build pass
+/// already paid for (or shared across statements), probing with the smaller
+/// side wins regardless of which side is bigger.
+pub fn par_join_indexed(index: &JoinIndex, probe: &Relation, threads: usize) -> Relation {
+    let threads = threads.max(1);
+    let mut sp = mjoin_trace::span("op", "join");
+    if sp.is_active() {
+        sp.arg("left_rows", index.tuples());
+        sp.arg("right_rows", probe.len());
+        sp.arg("threads", threads);
+        sp.arg("strategy", "indexed_probe");
+    }
+    let (plan, ppos) = splice_plan(index, probe);
+    let out_schema = index.relation().schema().union(probe.schema());
+
+    let probe_chunk = |chunk: &[Row]| -> Vec<Row> {
+        let mut out = Vec::new();
+        for prow in chunk {
+            for brow in index.matching(prow, &ppos) {
+                let row: Row = plan
+                    .iter()
+                    .map(|&(from_build, p)| {
+                        if from_build {
+                            brow[p].clone()
+                        } else {
+                            prow[p].clone()
+                        }
+                    })
+                    .collect();
+                out.push(row);
+            }
+        }
+        out
+    };
+
+    let rows = if threads == 1 || probe.len() < SMALL {
+        probe_chunk(probe.rows())
+    } else {
+        mjoin_pool::par_map_slices(probe.rows(), threads, |_, chunk| probe_chunk(chunk))
+            .into_iter()
+            .flatten()
+            .collect()
+    };
+    let out = Relation::from_distinct_rows(out_schema, rows);
+    sp.arg("out_rows", out.len());
+    out
+}
+
+/// Semijoin `target ⋉ index.relation()` against a prebuilt index over the
+/// filter side.
+pub fn par_semijoin_indexed(target: &Relation, index: &JoinIndex, threads: usize) -> Relation {
+    let threads = threads.max(1);
+    let mut sp = mjoin_trace::span("op", "semijoin");
+    if sp.is_active() {
+        sp.arg("left_rows", target.len());
+        sp.arg("right_rows", index.tuples());
+        sp.arg("threads", threads);
+        sp.arg("strategy", "indexed_probe");
+    }
+    let common = target.schema().intersect(index.relation().schema());
+    let tpos = target
+        .schema()
+        .positions_of(common.attrs())
+        .expect("common attrs in target");
+    debug_assert_eq!(
+        index
+            .relation()
+            .schema()
+            .positions_of(common.attrs())
+            .expect("common attrs in filter"),
+        index.key_positions(),
+        "index key positions must be the semijoin key of its relation"
+    );
+
+    let rows: Vec<Row> = if threads == 1 || target.len() < SMALL {
+        target
+            .rows()
+            .iter()
+            .filter(|row| index.contains(row, &tpos))
+            .cloned()
+            .collect()
+    } else {
+        mjoin_pool::par_map_slices(target.rows(), threads, |_, chunk| {
+            chunk
+                .iter()
+                .filter(|row| index.contains(row, &tpos))
+                .cloned()
+                .collect::<Vec<Row>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    let out = Relation::from_distinct_rows(target.schema().clone(), rows);
+    sp.arg("out_rows", out.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{join, semijoin};
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::relation_of_ints;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn key_of(rel: &Relation, other: &Relation) -> Vec<usize> {
+        join_key_positions(rel.schema(), other.schema()).0
+    }
+
+    #[test]
+    fn indexed_join_matches_plain_join() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 10], &[2, 20], &[3, 20]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[20, 5], &[20, 6], &[99, 7]]).unwrap();
+        let idx = JoinIndex::build(Arc::new(r.clone()), key_of(&r, &s));
+        for threads in [1, 4] {
+            assert_eq!(par_join_indexed(&idx, &s, threads), join(&r, &s));
+        }
+        // And with the index on the other (probe-heavy) side.
+        let idx_s = JoinIndex::build(Arc::new(s.clone()), key_of(&s, &r));
+        assert_eq!(par_join_indexed(&idx_s, &r, 2), join(&r, &s));
+    }
+
+    #[test]
+    fn indexed_join_cartesian_empty_key() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "A", &[&[1], &[2]]).unwrap();
+        let s = relation_of_ints(&mut c, "B", &[&[10], &[20], &[30]]).unwrap();
+        let idx = JoinIndex::build(Arc::new(r.clone()), vec![]);
+        let out = par_join_indexed(&idx, &s, 2);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out, join(&r, &s));
+    }
+
+    #[test]
+    fn indexed_semijoin_matches_plain_semijoin() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 10], &[2, 20], &[3, 30]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[10, 0], &[10, 1], &[30, 0]]).unwrap();
+        let idx = JoinIndex::build(Arc::new(s.clone()), key_of(&s, &r));
+        for threads in [1, 4] {
+            assert_eq!(par_semijoin_indexed(&r, &idx, threads), semijoin(&r, &s));
+        }
+    }
+
+    #[test]
+    fn indexed_paths_agree_on_large_inputs() {
+        let mut c = Catalog::new();
+        let schema_l = Schema::from_chars(&mut c, "AB");
+        let schema_r = Schema::from_chars(&mut c, "BC");
+        let l = Relation::from_rows(
+            schema_l,
+            (0..6000)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 700)].into())
+                .collect(),
+        )
+        .unwrap();
+        let r = Relation::from_rows(
+            schema_r,
+            (0..5000)
+                .map(|i| vec![Value::Int(i % 350), Value::Int(i)].into())
+                .collect(),
+        )
+        .unwrap();
+        let idx = JoinIndex::build(Arc::new(l.clone()), key_of(&l, &r));
+        let expect_join = join(&l, &r);
+        let expect_semi = semijoin(&l, &r);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(par_join_indexed(&idx, &r, threads), expect_join);
+            let idx_r = JoinIndex::build(Arc::new(r.clone()), key_of(&r, &l));
+            assert_eq!(par_semijoin_indexed(&l, &idx_r, threads), expect_semi);
+        }
+    }
+
+    #[test]
+    fn index_pins_its_relation() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2]]).unwrap();
+        let arc = Arc::new(r);
+        let ptr = Arc::as_ptr(&arc);
+        let idx = JoinIndex::build(Arc::clone(&arc), vec![0]);
+        drop(arc);
+        assert_eq!(Arc::as_ptr(idx.relation()), ptr);
+        assert_eq!(idx.tuples(), 1);
+        assert!(idx.heap_bytes() > 0);
+    }
+}

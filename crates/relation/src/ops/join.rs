@@ -1,10 +1,9 @@
 //! Natural join (`⋈`), the paper's central operator.
 
-use super::key_at;
-use crate::fxhash::FxHashMap;
+use super::hashtable::RawTable;
+use super::{hash_at, keys_eq};
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
-use crate::value::Value;
 
 /// The positions, in `left` and `right`, of their shared attributes (the
 /// natural-join key), in the shared attributes' canonical order.
@@ -52,8 +51,9 @@ enum Src {
 pub(crate) struct JoinKernel<'a> {
     build: &'a [&'a Row],
     plan: Vec<Src>,
+    bpos: Vec<usize>,
     ppos: Vec<usize>,
-    table: FxHashMap<Box<[Value]>, Vec<usize>>,
+    table: RawTable,
 }
 
 impl<'a> JoinKernel<'a> {
@@ -72,37 +72,41 @@ impl<'a> JoinKernel<'a> {
                 None => Src::Build(build_schema.position(a).expect("attr from one side")),
             })
             .collect();
-        let mut table: FxHashMap<Box<[Value]>, Vec<usize>> = FxHashMap::default();
-        table.reserve(build.len());
+        // Precomputed-hash entries over the borrowed build rows — no
+        // per-row key materialization; duplicate keys chain in one bucket.
+        let mut table = RawTable::with_capacity(build.len());
         for (i, row) in build.iter().enumerate() {
-            table.entry(key_at(row, &bpos)).or_default().push(i);
+            table.insert(hash_at(row, &bpos), i as u32);
         }
         JoinKernel {
             build,
             plan,
+            bpos,
             ppos,
             table,
         }
     }
 
-    /// Join every row of `prows` against the built table.
+    /// Join every row of `prows` against the built table. Probing hashes
+    /// the probe row in place and verifies candidates positionally — no
+    /// key allocation per probe row either.
     pub(crate) fn probe_rows<'r>(&self, prows: impl IntoIterator<Item = &'r Row>) -> Vec<Row> {
         let mut out_rows: Vec<Row> = Vec::new();
         for prow in prows {
-            let key = key_at(prow, &self.ppos);
-            if let Some(matches) = self.table.get(&key) {
-                for &bi in matches {
-                    let brow = &self.build[bi];
-                    let row: Row = self
-                        .plan
-                        .iter()
-                        .map(|src| match *src {
-                            Src::Build(p) => brow[p].clone(),
-                            Src::Probe(p) => prow[p].clone(),
-                        })
-                        .collect();
-                    out_rows.push(row);
+            for bi in self.table.candidates(hash_at(prow, &self.ppos)) {
+                let brow = &self.build[bi];
+                if !keys_eq(brow, &self.bpos, prow, &self.ppos) {
+                    continue;
                 }
+                let row: Row = self
+                    .plan
+                    .iter()
+                    .map(|src| match *src {
+                        Src::Build(p) => brow[p].clone(),
+                        Src::Probe(p) => prow[p].clone(),
+                    })
+                    .collect();
+                out_rows.push(row);
             }
         }
         out_rows

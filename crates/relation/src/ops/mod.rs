@@ -7,6 +7,8 @@
 //! (§2.3); cost accounting itself lives in [`crate::cost`] and is done by the
 //! callers that orchestrate evaluation.
 
+mod hashtable;
+mod index;
 mod join;
 mod merge_join;
 mod par_join;
@@ -16,6 +18,7 @@ mod select;
 mod semijoin;
 mod setops;
 
+pub use index::{par_join_indexed, par_semijoin_indexed, JoinIndex};
 pub use join::{join, join_key_positions};
 pub use merge_join::merge_join;
 pub use par_join::par_join;
@@ -27,7 +30,6 @@ pub use setops::{difference, intersection, union};
 
 use crate::fxhash::FxBuildHasher;
 use crate::relation::Row;
-use crate::value::Value;
 use std::hash::{BuildHasher, Hash, Hasher};
 
 /// Below this row count the parallel operators fall back to their sequential
@@ -35,13 +37,10 @@ use std::hash::{BuildHasher, Hash, Hasher};
 /// reach a few thousand rows.
 pub const SMALL: usize = 4096;
 
-/// Extract the values at `positions` from `row` as a hash key.
-#[inline]
-pub(crate) fn key_at(row: &Row, positions: &[usize]) -> Box<[Value]> {
-    positions.iter().map(|&p| row[p].clone()).collect()
-}
-
-/// Hash the values at `positions` of `row` (the partition key).
+/// Hash the values at `positions` of `row` (the partition and join key).
+/// The kernels never materialize keys: this hash plus the positional
+/// comparison of [`keys_eq`] replace `Box<[Value]>` key allocation on both
+/// the build and probe sides.
 #[inline]
 pub(crate) fn hash_at(row: &Row, positions: &[usize]) -> u64 {
     let mut h = FxBuildHasher::default().build_hasher();
@@ -49,6 +48,15 @@ pub(crate) fn hash_at(row: &Row, positions: &[usize]) -> u64 {
         row[p].hash(&mut h);
     }
     h.finish()
+}
+
+/// Whether `a` restricted to `apos` equals `b` restricted to `bpos`
+/// (positionally aligned key comparison; the collision check behind
+/// [`hashtable::RawTable`] candidates).
+#[inline]
+pub(crate) fn keys_eq(a: &Row, apos: &[usize], b: &Row, bpos: &[usize]) -> bool {
+    debug_assert_eq!(apos.len(), bpos.len());
+    apos.iter().zip(bpos).all(|(&i, &j)| a[i] == b[j])
 }
 
 /// Split `rows` into `parts` key-disjoint groups by hashing the values at

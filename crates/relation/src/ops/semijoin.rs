@@ -1,10 +1,43 @@
 //! Semijoin (`⋉`), the reducer used by Algorithm 2 and by full reducers.
 
-use super::{key_at, SMALL};
-use crate::fxhash::FxHashSet;
+use super::hashtable::RawTable;
+use super::{hash_at, keys_eq, SMALL};
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
-use crate::value::Value;
+
+/// Build a key-deduplicated filter table over `rows` at `rpos`: one entry
+/// per distinct key, each pointing at a representative row. Probing then
+/// needs only "is there any hash-and-key match", never a chain walk over
+/// duplicates. No key materialization on either side.
+fn build_filter(rows: &[Row], rpos: &[usize]) -> RawTable {
+    let mut table = RawTable::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let h = hash_at(row, rpos);
+        if table
+            .candidates(h)
+            .any(|j| keys_eq(&rows[j], rpos, row, rpos))
+        {
+            continue;
+        }
+        table.insert(h, i as u32);
+    }
+    table
+}
+
+/// Whether `row` (at `lpos`) matches any filter key in `table` (over
+/// `rrows` at `rpos`).
+#[inline]
+fn filter_contains(
+    table: &RawTable,
+    rrows: &[Row],
+    rpos: &[usize],
+    row: &Row,
+    lpos: &[usize],
+) -> bool {
+    table
+        .candidates(hash_at(row, lpos))
+        .any(|j| keys_eq(&rrows[j], rpos, row, lpos))
+}
 
 /// Semijoin `left ⋉ right`: the tuples of `left` that join with at least one
 /// tuple of `right`. Equivalently `π_{scheme(left)}(left ⋈ right)`.
@@ -31,16 +64,12 @@ pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
         .positions_of(common.attrs())
         .expect("common attrs in right");
 
-    let mut keys: FxHashSet<Box<[Value]>> = FxHashSet::default();
-    keys.reserve(right.len());
-    for row in right.rows() {
-        keys.insert(key_at(row, &rpos));
-    }
+    let table = build_filter(right.rows(), &rpos);
 
     let rows = left
         .rows()
         .iter()
-        .filter(|row| keys.contains(&key_at(row, &lpos)))
+        .filter(|row| filter_contains(&table, right.rows(), &rpos, row, &lpos))
         .cloned()
         .collect();
     Relation::from_distinct_rows(left.schema().clone(), rows)
@@ -88,16 +117,12 @@ pub fn par_semijoin(left: &Relation, right: &Relation, threads: usize) -> Relati
         .positions_of(common.attrs())
         .expect("common attrs in right");
 
-    let mut keys: FxHashSet<Box<[Value]>> = FxHashSet::default();
-    keys.reserve(right.len());
-    for row in right.rows() {
-        keys.insert(key_at(row, &rpos));
-    }
+    let table = build_filter(right.rows(), &rpos);
 
     let outputs = mjoin_pool::par_map_slices(left.rows(), threads, |_, chunk| {
         chunk
             .iter()
-            .filter(|row| keys.contains(&key_at(row, &lpos)))
+            .filter(|row| filter_contains(&table, right.rows(), &rpos, row, &lpos))
             .cloned()
             .collect::<Vec<Row>>()
     });
@@ -107,7 +132,7 @@ pub fn par_semijoin(left: &Relation, right: &Relation, threads: usize) -> Relati
         outputs.into_iter().flatten().collect(),
     );
     sp.arg("strategy", "chunked_probe");
-    sp.arg("build_keys", keys.len());
+    sp.arg("build_keys", table.len());
     sp.arg("out_rows", out.len());
     out
 }

@@ -159,9 +159,11 @@ fn dedup_parallel(rows: Vec<Row>) -> Vec<Row> {
     if parts_n == 1 {
         return dedup_sequential(rows);
     }
+    // One BuildHasher for the whole partition pass, not one per row.
+    let hasher = FxBuildHasher::default();
     let mut parts: Vec<Vec<(usize, Row)>> = vec![Vec::new(); parts_n];
     for (i, row) in rows.into_iter().enumerate() {
-        parts[(FxBuildHasher::default().hash_one(&row) as usize) % parts_n].push((i, row));
+        parts[(hasher.hash_one(&row) as usize) % parts_n].push((i, row));
     }
     let deduped = mjoin_pool::par_map(parts, |part| {
         let mut seen: FxHashSet<Row> = FxHashSet::default();

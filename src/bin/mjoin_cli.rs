@@ -5,10 +5,14 @@
 //! mjoin_cli plan     [--optimizer X] R1.tsv …   # show tree + program
 //! mjoin_cli run      [--optimizer X] R1.tsv …   # execute, TSV on stdout
 //! mjoin_cli query "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …   # conjunctive query
+//! mjoin_cli datalog "t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)." E.tsv …
 //! ```
 //!
-//! For `query`, each TSV file defines a predicate named by its file stem
-//! (`edges.tsv` → `edges`), with columns bound positionally in header order.
+//! For `query` and `datalog`, each TSV file defines a predicate named by its
+//! file stem (`edges.tsv` → `edges`), with columns bound positionally in
+//! header order. `datalog` runs the semi-naive fixpoint; with
+//! `--explain-analyze` each iteration reports its delta size, rules fired,
+//! and new facts.
 //!
 //! Each TSV file holds one relation: a tab-separated header of attribute
 //! names, then one tuple per line. The optimizer picks the input tree `T₁`
@@ -77,7 +81,7 @@ fn parse_args() -> Result<Parsed, String> {
 }
 
 fn usage() -> String {
-    "usage: mjoin_cli <analyze|plan|run|query> [--optimizer greedy|dp|dp-cpf|dp-linear] \
+    "usage: mjoin_cli <analyze|plan|run|query|datalog> [--optimizer greedy|dp|dp-cpf|dp-linear] \
      [--explain-analyze] [\"Q(x) :- …\"] <relation.tsv>…\n\
      \n\
      --optimizer        join-tree search: greedy (default) or exact DP over\n\
@@ -208,11 +212,8 @@ fn run(args: &Args, execute_it: bool) -> Result<Option<ExplainInfo>, String> {
     Ok(Some(info))
 }
 
-fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
-    let (query_text, files) = args
-        .files
-        .split_first()
-        .ok_or("query needs a query string and at least one TSV file")?;
+/// Load each TSV file as a predicate named by its file stem.
+fn load_named(files: &[String]) -> Result<NamedDatabase, String> {
     let mut ndb = NamedDatabase::new();
     for path in files {
         let stem = std::path::Path::new(path)
@@ -224,13 +225,26 @@ fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
         ndb.add_tsv(stem, &text)
             .map_err(|e| format!("`{path}`: {e}"))?;
     }
-    let q = parse_query(query_text).map_err(|e| e.to_string())?;
-    let strategy = match parse_optimizer(&args.optimizer)? {
+    Ok(ndb)
+}
+
+fn plan_strategy(name: &str) -> Result<PlanStrategy, String> {
+    Ok(match parse_optimizer(name)? {
         Optimizer::Greedy => PlanStrategy::Greedy,
         Optimizer::Dp(SearchSpace::All) => PlanStrategy::DpOptimal,
         Optimizer::Dp(SearchSpace::Cpf) => PlanStrategy::DpCpf,
         Optimizer::Dp(SearchSpace::Linear | SearchSpace::LinearCpf) => PlanStrategy::DpLinear,
-    };
+    })
+}
+
+fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
+    let (query_text, files) = args
+        .files
+        .split_first()
+        .ok_or("query needs a query string and at least one TSV file")?;
+    let ndb = load_named(files)?;
+    let q = parse_query(query_text).map_err(|e| e.to_string())?;
+    let strategy = plan_strategy(&args.optimizer)?;
     let res = execute_query(&ndb, &q, strategy).map_err(|e| e.to_string())?;
     eprintln!("{q}");
     eprintln!("{} answers, cost {} tuples", res.len(), res.ledger.total());
@@ -238,6 +252,36 @@ fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
     for row in res.rows_in_head_order() {
         let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         println!("{}", cells.join("\t"));
+    }
+    Ok(None)
+}
+
+/// Evaluate a Datalog rule program to its least fixpoint and print each
+/// derived predicate's facts.
+fn datalog(args: &Args) -> Result<Option<ExplainInfo>, String> {
+    let (rules_text, files) = args
+        .files
+        .split_first()
+        .ok_or("datalog needs a rules string and at least one TSV file")?;
+    let ndb = load_named(files)?;
+    let rules = parse_rules(rules_text).map_err(|e| e.to_string())?;
+    let strategy = plan_strategy(&args.optimizer)?;
+    let res = evaluate_datalog(&ndb, &rules, strategy).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} rules, fixpoint after {} iterations, cost {} tuples",
+        rules.len(),
+        res.iterations,
+        res.total_cost
+    );
+    let mut preds: Vec<&String> = res.facts.keys().collect();
+    preds.sort();
+    for p in preds {
+        let facts = res.facts_of(p);
+        println!("# {p} ({} facts)", facts.len());
+        for row in facts {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("{}", cells.join("\t"));
+        }
     }
     Ok(None)
 }
@@ -322,6 +366,7 @@ fn main() -> ExitCode {
         "plan" => run(&args, false),
         "run" => run(&args, true),
         "query" => query(&args),
+        "datalog" => datalog(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match outcome {

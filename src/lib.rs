@@ -79,7 +79,8 @@ pub mod prelude {
         ExactOracle, IiConfig, SaConfig, SearchSpace,
     };
     pub use mjoin_program::{
-        execute, execute_parallel, schedule, validate, Program, ProgramBuilder, Reg, Stmt,
+        execute, execute_parallel, execute_with, schedule, validate, ExecConfig, Program,
+        ProgramBuilder, Reg, Stmt,
     };
     pub use mjoin_relation::{
         ops, relation_of_ints, AttrId, AttrSet, Catalog, CostLedger, Database, Relation, Schema,

@@ -251,3 +251,29 @@ fn disconnected_inputs_rejected_with_message() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("disconnected"));
 }
+
+#[test]
+fn datalog_command_computes_fixpoint_and_traces_iterations() {
+    let dir = tempdir::TempDir::new("datalog");
+    let edges = write_tsv(dir.path(), "e.tsv", "s\td\n0\t1\n1\t2\n2\t3\n");
+    let out = cli(&[
+        "datalog",
+        "--explain-analyze",
+        "t(x, y) :- e(x, y). t(x, z) :- t(x, y), e(y, z).",
+        edges.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Transitive closure of the 4-node chain: C(4,2) = 6 pairs.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("# t (6 facts)"), "stdout:\n{stdout}");
+    assert!(stdout.contains("0\t3"));
+    // Fixpoint diagnostics and per-iteration spans land on stderr.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fixpoint after"), "stderr:\n{stderr}");
+    assert!(stderr.contains("datalog/iteration"), "stderr:\n{stderr}");
+    assert!(stderr.contains("datalog/fixpoint"), "stderr:\n{stderr}");
+}
