@@ -1,0 +1,291 @@
+//! The lint passes.
+//!
+//! Every pass reads the shared [`AnalysisCx`] and appends
+//! [`Diagnostic`]s; passes never mutate the program and never re-derive a
+//! dataflow fact the context already holds. The default battery
+//! ([`default_passes`]) checks exactly the invariants the paper's pipeline
+//! guarantees, so any warning on an Algorithm-2 or optimizer output is a
+//! bug in the pipeline, not in the program's author.
+
+use crate::cx::{AnalysisCx, ExprKey};
+use crate::diagnostic::{Diagnostic, Severity};
+use mjoin_program::schedule::audit_schedule;
+use mjoin_program::Stmt;
+
+/// One lint pass over an analyzed program.
+pub trait Pass {
+    /// The pass's stable kebab-case name; every diagnostic it emits uses
+    /// this as its lint name.
+    fn name(&self) -> &'static str;
+    /// Run the pass, appending findings to `out`.
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The full default battery, in reporting order.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(CartesianJoin),
+        Box::new(NoopSemijoin),
+        Box::new(NoopProject),
+        Box::new(DeadStore),
+        Box::new(RedundantRecompute),
+        Box::new(ClaimCBound),
+        Box::new(ScheduleAudit),
+    ]
+}
+
+fn diag(
+    cx: &AnalysisCx<'_>,
+    severity: Severity,
+    lint: &'static str,
+    stmt: usize,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        severity,
+        lint,
+        stmt: Some(stmt),
+        message,
+        excerpt: cx.excerpt(stmt),
+    }
+}
+
+/// Flags joins whose operands share no attribute — exactly the Cartesian
+/// products the whole paper exists to avoid — and semijoins whose operands
+/// share no attribute, which degenerate to "keep everything or nothing".
+pub struct CartesianJoin;
+
+impl Pass for CartesianJoin {
+    fn name(&self) -> &'static str {
+        "cartesian-join"
+    }
+
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, stmt) in cx.program.stmts.iter().enumerate() {
+            let f = &cx.stmts[i];
+            if f.operand_schemes.len() != 2 {
+                continue;
+            }
+            if f.operand_schemes[0].is_disjoint(&f.operand_schemes[1]) {
+                let (l, r) = (
+                    cx.attrs_name(&f.operand_schemes[0]),
+                    cx.attrs_name(&f.operand_schemes[1]),
+                );
+                let message = if stmt.is_join() {
+                    format!("Cartesian product: join operands R({l}) and R({r}) share no attribute")
+                } else {
+                    format!(
+                        "degenerate semijoin: R({l}) and R({r}) share no attribute, so it keeps \
+                         every tuple or none"
+                    )
+                };
+                out.push(diag(cx, Severity::Warn, self.name(), i, message));
+            }
+        }
+    }
+}
+
+/// Flags semijoins that provably cannot remove a tuple:
+///
+/// * `V ⋉ V` — the filter *is* the target;
+/// * `V ⋉ W` where `V` currently holds `X ⋈ W` (or `W ⋈ X`) — every tuple
+///   of a join already matches both operands;
+/// * `V ⋉ W` where `V` currently holds `X ⋉ W` — semijoin by the same
+///   filter value is idempotent.
+pub struct NoopSemijoin;
+
+impl Pass for NoopSemijoin {
+    fn name(&self) -> &'static str {
+        "noop-semijoin"
+    }
+
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, stmt) in cx.program.stmts.iter().enumerate() {
+            if !stmt.is_semijoin() {
+                continue;
+            }
+            let f = &cx.stmts[i];
+            let (vt, vf) = (f.operand_vns[0], f.operand_vns[1]);
+            let reason = if vt == vf {
+                Some("the filter holds the same value as the target")
+            } else {
+                match cx.def_of.get(&vt) {
+                    Some(ExprKey::Join(a, b)) if *a == vf || *b == vf => {
+                        Some("the target is a join whose operands include the filter's value")
+                    }
+                    Some(ExprKey::Semijoin(_, prev_f)) if *prev_f == vf => {
+                        Some("the target was already semijoined by the same filter value")
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(why) = reason {
+                out.push(diag(
+                    cx,
+                    Severity::Warn,
+                    self.name(),
+                    i,
+                    format!("semijoin cannot remove any tuple: {why}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Flags identity projections: `V := π_X(W)` where `X` is exactly `W`'s
+/// scheme at that point, so the statement copies its operand unchanged.
+///
+/// This is a note, not a warning: Algorithm 2's Steps 10/12 faithfully
+/// emit an identity projection whenever the attributes a subtree must
+/// deliver happen to equal the variable's whole scheme (the analyzer's
+/// own corpus tests demonstrate it on 4-relation chains), so warning here
+/// would indict correct pipeline output. The `NoProjections` ablation
+/// turns *every* projection into this shape, which the note count makes
+/// visible.
+pub struct NoopProject;
+
+impl Pass for NoopProject {
+    fn name(&self) -> &'static str {
+        "noop-project"
+    }
+
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, stmt) in cx.program.stmts.iter().enumerate() {
+            let Stmt::Project { attrs, .. } = stmt else {
+                continue;
+            };
+            let f = &cx.stmts[i];
+            if *attrs == f.operand_schemes[0] {
+                out.push(diag(
+                    cx,
+                    Severity::Note,
+                    self.name(),
+                    i,
+                    format!(
+                        "identity projection: the operand already has scheme {}",
+                        cx.attrs_name(attrs)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Flags statements whose result is never observed — the report-only twin
+/// of `eliminate_dead_code`, driven by the *same* liveness analysis, so
+/// the lint and the optimizer agree by construction.
+pub struct DeadStore;
+
+impl Pass for DeadStore {
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, live) in cx.liveness.live_stmts.iter().enumerate() {
+            if !live {
+                out.push(diag(
+                    cx,
+                    Severity::Warn,
+                    self.name(),
+                    i,
+                    "dead store: the value written here is never read and does not reach the \
+                     result"
+                        .into(),
+                ));
+            }
+        }
+    }
+}
+
+/// Flags statements that recompute a value an earlier statement already
+/// produced (available expressions over value numbers, join commutativity
+/// normalized away).
+pub struct RedundantRecompute;
+
+impl Pass for RedundantRecompute {
+    fn name(&self) -> &'static str {
+        "redundant-recompute"
+    }
+
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, f) in cx.stmts.iter().enumerate() {
+            if let Some(j) = f.redundant_with {
+                out.push(diag(
+                    cx,
+                    Severity::Warn,
+                    self.name(),
+                    i,
+                    format!("recomputes the value statement {j} already produced"),
+                ));
+            }
+        }
+    }
+}
+
+/// Checks the program against the paper's Claim C: a program derived from
+/// a CPF join expression has fewer than `r(a+5)` statements, and its
+/// result covers every attribute of the database scheme. The length bound
+/// is a warning (a generated program must satisfy it); a narrower result
+/// scheme is only a note, since hand-written programs legitimately compute
+/// partial joins.
+pub struct ClaimCBound;
+
+impl Pass for ClaimCBound {
+    fn name(&self) -> &'static str {
+        "claim-c-bound"
+    }
+
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>) {
+        let bound = cx.scheme.quasi_factor();
+        let len = cx.program.stmts.len() as u64;
+        if len >= bound {
+            out.push(Diagnostic {
+                severity: Severity::Warn,
+                lint: self.name(),
+                stmt: None,
+                message: format!(
+                    "program has {len} statements, at or above the Claim C bound r(a+5) = {bound}"
+                ),
+                excerpt: None,
+            });
+        }
+        let all = cx.scheme.all_attrs();
+        if cx.info.result_scheme != all {
+            out.push(Diagnostic {
+                severity: Severity::Note,
+                lint: self.name(),
+                stmt: None,
+                message: format!(
+                    "result scheme {} does not cover the full database scheme {}",
+                    cx.attrs_name(&cx.info.result_scheme),
+                    cx.attrs_name(&all)
+                ),
+                excerpt: None,
+            });
+        }
+    }
+}
+
+/// Runs the independent double-entry schedule auditor over the level
+/// schedule the executor would use; any finding means parallel execution
+/// could race, which is an error.
+pub struct ScheduleAudit;
+
+impl Pass for ScheduleAudit {
+    fn name(&self) -> &'static str {
+        "schedule-audit"
+    }
+
+    fn run(&self, cx: &AnalysisCx<'_>, out: &mut Vec<Diagnostic>) {
+        if let Err(e) = audit_schedule(cx.program, &cx.schedule) {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                lint: self.name(),
+                stmt: None,
+                message: format!("level schedule fails its audit: {e}"),
+                excerpt: None,
+            });
+        }
+    }
+}

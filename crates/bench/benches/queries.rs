@@ -13,7 +13,7 @@ fn graph(n_edges: usize, n_nodes: i64, seed: u64) -> NamedDatabase {
     let edges: Vec<Vec<i64>> = (0..n_edges)
         .map(|_| vec![rng.gen_range(0..n_nodes), rng.gen_range(0..n_nodes)])
         .collect();
-    let refs: Vec<&[i64]> = edges.iter().map(|v| v.as_slice()).collect();
+    let refs: Vec<&[i64]> = edges.iter().map(std::vec::Vec::as_slice).collect();
     db.add_relation("edge", &["src", "dst"], &refs).unwrap();
     db
 }

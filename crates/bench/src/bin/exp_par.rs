@@ -333,8 +333,7 @@ impl Measurement {
             .parallel_ms
             .iter()
             .find(|(n, _)| *n == threads)
-            .map(|(_, ms)| *ms)
-            .unwrap_or(f64::INFINITY);
+            .map_or(f64::INFINITY, |(_, ms)| *ms);
         self.baseline_ms / t
     }
 }
@@ -342,7 +341,11 @@ impl Measurement {
 fn measure(w: &Workload) -> Measurement {
     let program = &w.program;
     let sched = schedule(program);
-    let input_tuples: usize = w.db.relations().iter().map(|r| r.len()).sum();
+    let input_tuples: usize =
+        w.db.relations()
+            .iter()
+            .map(mjoin_relation::Relation::len)
+            .sum();
 
     // Correctness gate first: the baseline is the oracle.
     let oracle = execute_deep_clone(program, &w.db);
@@ -660,9 +663,8 @@ fn main() {
         eprintln!("exp_par: cannot open output path {path}: {e}");
         std::process::exit(1);
     }
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_parallelism =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     mjoin_pool::ensure_at_least(*THREADS.iter().max().unwrap());
     let pool_threads = mjoin_pool::current_num_threads();
     println!(
@@ -694,8 +696,7 @@ fn main() {
             .parallel_nocache_ms
             .iter()
             .find(|(t, _)| *t == 4)
-            .map(|(_, ms)| *ms)
-            .unwrap_or(f64::INFINITY);
+            .map_or(f64::INFINITY, |(_, ms)| *ms);
         row.push(format!("{nc4:.1}"));
         row.push(format!("{:.2}×", m.speedup_at(4)));
         rows.push(row);

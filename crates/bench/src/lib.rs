@@ -48,7 +48,12 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .collect();
         println!("| {} |", parts.join(" | "));
     };
-    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &headers
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", sep.join("-|-"));
     for row in rows {

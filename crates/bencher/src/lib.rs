@@ -80,7 +80,7 @@ impl BenchmarkGroup<'_> {
     {
         let name = format!("{}/{}", self.group, id.0);
         run_one(&name, self.sample_size, self.throughput, &mut |b| {
-            f(b, input)
+            f(b, input);
         });
         self
     }

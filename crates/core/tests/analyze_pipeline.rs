@@ -1,0 +1,193 @@
+//! The analyzer as a pipeline oracle: every program Algorithm 2 derives
+//! must be lint-clean (the passes check exactly the invariants the
+//! derivation guarantees), hand-ablated programs must trip the expected
+//! lints, and the `dead-store` lint must agree statement-for-statement
+//! with `eliminate_dead_code`.
+
+use mjoin_analyze::{analyze, Severity};
+use mjoin_core::{ablate_program, algorithm2, derive, Ablation};
+use mjoin_expr::{all_trees, parse_join_tree};
+use mjoin_hypergraph::DbScheme;
+use mjoin_program::{eliminate_dead_code, validate, Program, ProgramBuilder, Reg};
+use mjoin_relation::Catalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn running_example() -> (Catalog, DbScheme) {
+    let mut c = Catalog::new();
+    let s = DbScheme::parse(&mut c, &["ABC", "CDE", "EFG", "GHA"]);
+    (c, s)
+}
+
+#[test]
+fn example6_program_is_lint_clean() {
+    let (c, s) = running_example();
+    let t2 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+    let p = algorithm2(&s, &t2).unwrap();
+    let report = analyze(&p, &s, &c);
+    assert!(
+        report.diagnostics.is_empty(),
+        "Example 6 must be diagnostic-free, got:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn derived_programs_are_clean_for_every_tree_shape() {
+    // Exhaustive over input trees on the named small families: Algorithm 1
+    // may reshape the tree arbitrarily, and every derived program must
+    // still carry zero diagnostics (notes included — the result always
+    // covers the full scheme).
+    let mut families: Vec<(Catalog, DbScheme)> = Vec::new();
+    for build in [
+        (|c: &mut Catalog| mjoin_workloads::schemes::chain(c, 4)) as fn(&mut Catalog) -> DbScheme,
+        |c| mjoin_workloads::schemes::cycle(c, 4),
+        |c| mjoin_workloads::schemes::star(c, 3),
+        |c| mjoin_workloads::schemes::clique(c, 3),
+        |c| mjoin_workloads::schemes::random_connected(c, 5, 7, 3, 42),
+    ] {
+        let mut c = Catalog::new();
+        let s = build(&mut c);
+        families.push((c, s));
+    }
+    let mut checked = 0usize;
+    for (c, s) in &families {
+        for t1 in all_trees(s.all()) {
+            let d = derive(s, &t1).expect("derivation succeeds");
+            let report = analyze(&d.program, s, c);
+            assert!(
+                report.is_clean(),
+                "derived program must be free of errors and warnings for tree {} over {}, \
+                 got:\n{}",
+                t1.display(s, c),
+                s.display(c),
+                report.render_text()
+            );
+            // The only benign note Algorithm 2 emits is the identity
+            // self-projection its Steps 10/12 occasionally produce.
+            for diag in &report.diagnostics {
+                assert_eq!(diag.lint, "noop-project", "{}", report.render_text());
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "only {checked} derivations checked");
+}
+
+#[test]
+fn ablated_programs_trip_the_expected_lints() {
+    let (c, s) = running_example();
+    let t2 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+    let p = algorithm2(&s, &t2).unwrap();
+    let (projections, _, semijoins) = p.kind_counts();
+    assert!(projections > 0 && semijoins > 0);
+
+    // projections → identity copies: every projection becomes a noop.
+    // (noop-project is a note — Algorithm 2 can emit identity projections
+    // legitimately — so the ablation shows up as `projections` notes.)
+    let no_proj = ablate_program(&p, &s, Ablation::NoProjections);
+    let report = analyze(&no_proj, &s, &c);
+    assert_eq!(
+        report.by_lint("noop-project").len(),
+        projections,
+        "every ablated projection must be flagged:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.count(Severity::Note), projections);
+    assert!(!report.clean_at(Severity::Note));
+
+    // semijoins → joins: still a valid, error-free program (the cost bound
+    // is forfeited, not correctness), and no schedule or validity errors.
+    let no_semi = ablate_program(&p, &s, Ablation::NoSemijoins);
+    let report = analyze(&no_semi, &s, &c);
+    assert_eq!(report.count(Severity::Error), 0, "{}", report.render_text());
+
+    // Both at once trips at least the projection lints.
+    let neither = ablate_program(&p, &s, Ablation::Neither);
+    let report = analyze(&neither, &s, &c);
+    assert_eq!(report.by_lint("noop-project").len(), projections);
+    assert_eq!(report.count(Severity::Error), 0);
+}
+
+/// A random valid program over a 5-relation chain: joins, semijoins and
+/// projections over a mutating register file, with alias temps, so dead
+/// statements arise naturally from overwrites.
+fn random_program(scheme: &DbScheme, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new(scheme);
+    let mut regs: Vec<Reg> = (0..scheme.num_relations()).map(Reg::Base).collect();
+    for i in 0..3 {
+        let src = regs[rng.gen_range(0..regs.len())];
+        regs.push(b.new_temp_alias(format!("T{i}"), src));
+    }
+    let n = rng.gen_range(4..25);
+    for i in 0..n {
+        let a = regs[rng.gen_range(0..regs.len())];
+        let d = regs[rng.gen_range(0..regs.len())];
+        match rng.gen_range(0..4usize) {
+            0 if d.is_temp() => b.join(d, a, regs[rng.gen_range(0..regs.len())]),
+            1 => b.semijoin(a, regs[rng.gen_range(0..regs.len())]),
+            2 if d.is_temp() => {
+                // Project onto a nonempty prefix of the source's attributes.
+                let attrs = b.scheme_of(a).clone();
+                let keep = rng.gen_range(1..=attrs.len());
+                let sub: mjoin_relation::AttrSet =
+                    mjoin_relation::AttrSet::from_iter_ids(attrs.iter().take(keep));
+                b.project(d, a, sub);
+            }
+            _ => {
+                let t = b.new_temp(format!("J{i}"));
+                b.join(t, a, regs[rng.gen_range(0..regs.len())]);
+                regs.push(t);
+            }
+        }
+    }
+    let result = regs[rng.gen_range(0..regs.len())];
+    b.finish(result)
+}
+
+#[test]
+fn dead_store_lint_matches_eliminate_dead_code_exactly() {
+    let mut c = Catalog::new();
+    let s = mjoin_workloads::schemes::chain(&mut c, 5);
+    for seed in 0..60u64 {
+        let p = random_program(&s, seed);
+        validate(&p, &s).expect("generator only builds valid programs");
+        let report = analyze(&p, &s, &c);
+        let dead: Vec<usize> = report
+            .by_lint("dead-store")
+            .iter()
+            .map(|d| d.stmt.expect("dead-store names a statement"))
+            .collect();
+        // The optimizer must drop exactly the flagged statements, in order.
+        let kept: Vec<_> = p
+            .stmts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dead.contains(i))
+            .map(|(_, st)| st.clone())
+            .collect();
+        let optimized = eliminate_dead_code(&p);
+        assert_eq!(
+            optimized.stmts, kept,
+            "seed {seed}: lint and optimizer disagree on dead statements"
+        );
+    }
+}
+
+#[test]
+fn optimized_programs_stay_clean_of_dead_stores() {
+    // After eliminate_dead_code, the dead-store lint must have nothing
+    // left to say (other lints may still fire on these random programs).
+    let mut c = Catalog::new();
+    let s = mjoin_workloads::schemes::chain(&mut c, 5);
+    for seed in 0..30u64 {
+        let p = eliminate_dead_code(&random_program(&s, seed));
+        let report = analyze(&p, &s, &c);
+        assert!(
+            report.by_lint("dead-store").is_empty(),
+            "seed {seed}:\n{}",
+            report.render_text()
+        );
+    }
+}

@@ -190,7 +190,7 @@ pub fn execute_query(
         .collect::<Result<_>>()?;
     let head_schema = Schema::new(head_attrs.clone());
 
-    if boolean_false || bound.iter().any(|r| r.is_empty()) {
+    if boolean_false || bound.iter().any(mjoin_relation::Relation::is_empty) {
         return Ok(QueryResult {
             relation: Relation::empty(head_schema),
             head_attrs,

@@ -33,10 +33,7 @@ pub struct DatalogResult {
 impl DatalogResult {
     /// Facts of one predicate (empty slice if it derived nothing).
     pub fn facts_of(&self, predicate: &str) -> &[Vec<Value>] {
-        self.facts
-            .get(predicate)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.facts.get(predicate).map_or(&[], |v| v.as_slice())
     }
 }
 
@@ -282,7 +279,7 @@ mod tests {
     fn chain_edb(n: i64) -> NamedDatabase {
         let mut db = NamedDatabase::new();
         let edges: Vec<Vec<i64>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
-        let refs: Vec<&[i64]> = edges.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[i64]> = edges.iter().map(std::vec::Vec::as_slice).collect();
         db.add_relation("e", &["s", "d"], &refs).unwrap();
         db
     }

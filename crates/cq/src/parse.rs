@@ -104,7 +104,7 @@ impl Lexer {
             Some(c) if c.is_ascii_digit() || c == '-' => {
                 let start = self.pos;
                 self.pos += 1;
-                while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+                while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
                     self.pos += 1;
                 }
                 let text: String = self.chars[start..self.pos].iter().collect();

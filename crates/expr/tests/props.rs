@@ -25,7 +25,7 @@ fn connected_scheme() -> impl Strategy<Value = DbScheme> {
             }
             DbScheme::new(sets)
         })
-        .prop_filter("connected", |s| s.fully_connected())
+        .prop_filter("connected", DbScheme::fully_connected)
 }
 
 /// A random database over the scheme with values 0..4.

@@ -47,7 +47,7 @@ impl DbScheme {
 
     /// Build from [`Schema`]s (e.g. those of a concrete database).
     pub fn from_schemas(schemas: &[Schema]) -> Self {
-        Self::new(schemas.iter().map(|s| s.to_set()).collect())
+        Self::new(schemas.iter().map(mjoin_relation::Schema::to_set).collect())
     }
 
     /// Number of relation schemes, `r` in Theorem 2.

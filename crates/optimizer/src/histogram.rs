@@ -294,8 +294,8 @@ mod tests {
         }
         left.push(vec![1000, 500]);
         right.push(vec![500, 1000]);
-        let lrefs: Vec<&[i64]> = left.iter().map(|v| v.as_slice()).collect();
-        let rrefs: Vec<&[i64]> = right.iter().map(|v| v.as_slice()).collect();
+        let lrefs: Vec<&[i64]> = left.iter().map(std::vec::Vec::as_slice).collect();
+        let rrefs: Vec<&[i64]> = right.iter().map(std::vec::Vec::as_slice).collect();
         let r1 = relation_of_ints(&mut c, "AB", &lrefs).unwrap();
         let r2 = relation_of_ints(&mut c, "BC", &rrefs).unwrap();
         let db = Database::from_relations(vec![r1, r2]);

@@ -1,0 +1,239 @@
+//! Shared dataflow infrastructure over programs: dense register bitsets and
+//! backward liveness.
+//!
+//! Registers of a program form a small dense space — `num_bases` input
+//! occurrences followed by the relation scheme variables — so dataflow facts
+//! ("which registers are live here") pack into a handful of `u64` words.
+//! [`eliminate_dead_code`](crate::optimize::eliminate_dead_code) and the
+//! passes of `mjoin-analyze` both consume the [`Liveness`] computed here, so
+//! the rewriter and the report-only lint can never disagree about which
+//! statements are dead.
+//!
+//! Liveness is seeded and propagated through *read closures*: reading an
+//! unwritten variable reads through its `temp_init` alias chain at run time,
+//! so every register along the chain is conservatively treated as read (see
+//! [`crate::schedule::read_closure`]). The historical `Vec::contains`
+//! implementation seeded only the result register itself, which dropped
+//! statements feeding an alias-only result — the closure-based analysis is
+//! sound for those programs too (and identical on programs whose reads never
+//! resolve through an alias chain).
+
+use crate::program::Program;
+use crate::schedule::read_closure;
+use crate::stmt::Reg;
+
+/// A fixed-capacity set of register indices, packed 64 per word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set with capacity for indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Insert `idx`; returns whether it was newly inserted.
+    pub fn insert(&mut self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, idx % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Remove `idx`; returns whether it was present.
+    pub fn remove(&mut self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, idx % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, idx % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∪= other`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    /// Whether the two sets share an element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterate over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Number of registers a program addresses (bases then temps), i.e. the
+/// capacity every per-program [`BitSet`] needs.
+pub fn num_regs(program: &Program) -> usize {
+    program.num_bases + program.temp_init.len()
+}
+
+/// Dense index of a register: base occurrences first, then variables.
+pub fn reg_index(program: &Program, reg: Reg) -> usize {
+    match reg {
+        Reg::Base(i) => i,
+        Reg::Temp(t) => program.num_bases + t,
+    }
+}
+
+/// The conservative read set of one statement as a [`BitSet`]: the read
+/// registers plus their full alias-chain closures.
+pub fn stmt_read_set(program: &Program, stmt_idx: usize) -> BitSet {
+    let mut regs = Vec::new();
+    for r in program.stmts[stmt_idx].reads() {
+        read_closure(program, r, &mut regs);
+    }
+    let mut set = BitSet::new(num_regs(program));
+    for r in regs {
+        set.insert(reg_index(program, r));
+    }
+    set
+}
+
+/// Backward liveness over a straight-line program.
+///
+/// Computed in one backward sweep (straight-line code needs no fixpoint):
+/// the result register's read closure is live at exit; a statement whose
+/// head is dead at its exit point is itself dead and transfers nothing; a
+/// live statement kills its head (destructive assignment — except a
+/// semijoin, whose head is also one of its reads) and generates its read
+/// closure.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_out[i]`: registers live immediately *after* statement `i`
+    /// (indexed by [`reg_index`]).
+    pub live_out: Vec<BitSet>,
+    /// `live_stmts[i]`: whether statement `i`'s head is live at its exit —
+    /// the exact keep/drop decision of
+    /// [`eliminate_dead_code`](crate::optimize::eliminate_dead_code).
+    pub live_stmts: Vec<bool>,
+}
+
+impl Liveness {
+    /// Compute liveness for `program`.
+    pub fn compute(program: &Program) -> Self {
+        let n = program.stmts.len();
+        let regs = num_regs(program);
+        let mut live = BitSet::new(regs);
+        let mut closure = Vec::new();
+        read_closure(program, program.result, &mut closure);
+        for r in closure {
+            live.insert(reg_index(program, r));
+        }
+
+        let mut live_out = vec![BitSet::new(0); n];
+        let mut live_stmts = vec![false; n];
+        for (i, stmt) in program.stmts.iter().enumerate().rev() {
+            live_out[i] = live.clone();
+            let head = reg_index(program, stmt.head());
+            if !live.contains(head) {
+                continue; // dead: overwritten later or never read
+            }
+            live_stmts[i] = true;
+            if !stmt.is_semijoin() {
+                live.remove(head);
+            }
+            live.union_with(&stmt_read_set(program, i));
+        }
+        Liveness {
+            live_out,
+            live_stmts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use mjoin_hypergraph::DbScheme;
+    use mjoin_relation::Catalog;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+
+        let mut t = BitSet::new(130);
+        t.insert(5);
+        assert!(!t.intersects(&s));
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s));
+        assert!(t.intersects(&s));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn liveness_marks_dead_stores() {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        let w = b.new_temp("W");
+        b.join(w, Reg::Base(1), Reg::Base(2)); // dead: never read
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let lv = Liveness::compute(&p);
+        assert_eq!(lv.live_stmts, vec![false, true, true]);
+        // After the last statement only the result chain is live.
+        assert!(lv.live_out[2].contains(reg_index(&p, v)));
+    }
+
+    #[test]
+    fn liveness_seeds_through_result_alias_chain() {
+        // The result is an unwritten variable aliasing Base(0): a statement
+        // reducing Base(0) in place is live even though no statement reads
+        // or writes the variable itself.
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        let p = b.finish(v);
+        let lv = Liveness::compute(&p);
+        assert_eq!(lv.live_stmts, vec![true]);
+    }
+}

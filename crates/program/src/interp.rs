@@ -82,6 +82,16 @@ fn index_key(rel: &Arc<Relation>, key_pos: &[usize]) -> IndexKey {
     (Arc::as_ptr(rel) as usize, key_pos.into())
 }
 
+/// Fallback cache key: the relation's structural [`Relation::fingerprint`]
+/// plus the key positions. Two `Arc`s holding the same set of tuples — an
+/// original and its TSV round-trip reload, say — share this key even though
+/// their pointer-identity [`IndexKey`]s differ.
+type FingerprintKey = (u128, Box<[usize]>);
+
+fn fingerprint_key(rel: &Relation, key_pos: &[usize]) -> FingerprintKey {
+    (rel.fingerprint(), key_pos.into())
+}
+
 struct CacheEntry {
     index: Arc<JoinIndex>,
     last_used: u64,
@@ -97,6 +107,10 @@ struct IndexCache {
     enabled: bool,
     budget_tuples: u64,
     map: FxHashMap<IndexKey, CacheEntry>,
+    /// Structural fallback directory: fingerprint key → primary key of a
+    /// live entry over content-identical tuples. Entries can dangle after
+    /// eviction/invalidation; lookups drop dangling ones lazily.
+    by_fingerprint: FxHashMap<FingerprintKey, IndexKey>,
     resident_tuples: u64,
     tick: u64,
 }
@@ -107,6 +121,7 @@ impl IndexCache {
             enabled: cfg.index_cache,
             budget_tuples: cfg.cache_budget_tuples,
             map: FxHashMap::default(),
+            by_fingerprint: FxHashMap::default(),
             resident_tuples: 0,
             tick: 0,
         }
@@ -114,16 +129,41 @@ impl IndexCache {
 
     /// Look up an index without touching the hit/miss counters (a join
     /// peeks both of its sides before deciding which lookup "counts").
+    ///
+    /// A pointer-identity miss falls back to the structural fingerprint, so
+    /// a semantically identical relation reloaded into a fresh `Arc` (the
+    /// TSV round-trip case) still reuses the cached index. The fallback
+    /// re-checks schema and tuple count against the cached relation; the
+    /// remaining exposure is a full 128-bit hash collision between
+    /// same-shape relations, which we accept for the reuse it buys.
     fn peek(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<JoinIndex>> {
         if !self.enabled {
             return None;
         }
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(&index_key(rel, key_pos)).map(|e| {
+        if let Some(e) = self.map.get_mut(&index_key(rel, key_pos)) {
             e.last_used = tick;
-            Arc::clone(&e.index)
-        })
+            return Some(Arc::clone(&e.index));
+        }
+        let fkey = fingerprint_key(rel, key_pos);
+        if let Some(primary) = self.by_fingerprint.get(&fkey).cloned() {
+            match self.map.get_mut(&primary) {
+                Some(e)
+                    if e.index.relation().schema() == rel.schema()
+                        && e.index.relation().len() == rel.len() =>
+                {
+                    e.last_used = tick;
+                    mjoin_trace::add("index_cache.fingerprint_hit", 1);
+                    return Some(Arc::clone(&e.index));
+                }
+                Some(_) => {}
+                None => {
+                    self.by_fingerprint.remove(&fkey);
+                }
+            }
+        }
+        None
     }
 
     /// Record a statement that reused a cached index: the build pass — and
@@ -146,6 +186,10 @@ impl IndexCache {
             return;
         }
         let key = index_key(index.relation(), index.key_positions());
+        self.by_fingerprint.insert(
+            fingerprint_key(index.relation(), index.key_positions()),
+            key.clone(),
+        );
         self.tick += 1;
         self.resident_tuples += index.tuples() as u64;
         if let Some(old) = self.map.insert(
@@ -630,6 +674,12 @@ fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutc
     let mut sizes = vec![0usize; n];
 
     let sched = schedule(program);
+    // Double-entry race check: in debug builds, never trust a schedule the
+    // independent auditor rejects. Compiled out of release builds.
+    #[cfg(debug_assertions)]
+    if let Err(e) = crate::schedule::audit_schedule(program, &sched) {
+        panic!("schedule failed its audit: {e}");
+    }
     let mut sp = mjoin_trace::span("exec", "execute_parallel");
     if sp.is_active() {
         sp.arg("stmts", n);
@@ -861,6 +911,39 @@ mod tests {
             assert_eq!(par.peak_resident, seq.peak_resident, "threads = {threads}");
             assert_eq!(par.ledger, seq.ledger, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn index_cache_fingerprint_hits_on_tsv_reload() {
+        use mjoin_relation::tsv::{relation_from_tsv, relation_to_tsv};
+        let mut c = Catalog::new();
+        let ab = relation_of_ints(&mut c, "AB", &[&[1, 2], &[5, 6]]).unwrap();
+        let bc = relation_of_ints(&mut c, "BC", &[&[2, 3], &[6, 7]]).unwrap();
+        let db_rel = relation_of_ints(&mut c, "DB", &[&[4, 2], &[9, 6]]).unwrap();
+        // Round-trip BC through TSV: same tuples, a fresh allocation.
+        let text = relation_to_tsv(&c, &bc);
+        let bc_reload = relation_from_tsv(&mut c, &text).unwrap();
+        assert_eq!(bc, bc_reload);
+        assert_eq!(bc.fingerprint(), bc_reload.fingerprint());
+        let scheme = DbScheme::parse(&mut c, &["AB", "BC", "DB", "BC"]);
+        let database = Database::from_relations(vec![ab, bc, db_rel, bc_reload]);
+
+        let mut b = ProgramBuilder::new(&scheme);
+        b.semijoin(Reg::Base(0), Reg::Base(1)); // builds + caches the BC index
+        b.semijoin(Reg::Base(2), Reg::Base(3)); // reloaded BC: fresh Arc, same tuples
+        let p = b.finish(Reg::Base(0));
+
+        mjoin_trace::set_enabled(true);
+        mjoin_trace::clear();
+        let out = execute(&p, &database);
+        let t = mjoin_trace::take();
+        mjoin_trace::set_enabled(false);
+        assert!(
+            t.counter("index_cache.fingerprint_hit").unwrap_or(0) >= 1,
+            "the reloaded relation must reuse the cached index via its fingerprint"
+        );
+        assert!(t.counter("index_cache.hit").unwrap_or(0) >= 1);
+        assert_eq!(out.head_sizes, vec![2, 2]); // every B value appears in BC
     }
 
     #[test]

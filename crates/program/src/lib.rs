@@ -11,10 +11,16 @@
 //!   `Σ_{i=1}^{n+m} |Rᵢ|`;
 //! * [`execute_parallel`]: the same semantics and cost accounting, run
 //!   level-parallel over the statement dependence DAG of [`schedule`];
+//! * [`dataflow`]: bitset register sets and backward liveness, shared by
+//!   [`eliminate_dead_code`] and the `mjoin-analyze` lint passes;
+//! * [`audit_schedule`]: an independent double-entry checker that a
+//!   [`Schedule`] is race-free (no two statements of one level in a
+//!   write/write or read/write conflict, all cross-level hazards ordered);
 //! * [`display::render`]: pretty-printing in the paper's notation.
 
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod display;
 pub mod interp;
 pub mod optimize;
@@ -24,10 +30,11 @@ pub mod schedule;
 pub mod stmt;
 pub mod validate;
 
+pub use dataflow::{BitSet, Liveness};
 pub use interp::{execute, execute_parallel, execute_with, ExecConfig, ExecOutcome};
 pub use optimize::eliminate_dead_code;
 pub use parse::parse_program;
 pub use program::{Program, ProgramBuilder};
-pub use schedule::{schedule, Schedule};
+pub use schedule::{audit_schedule, schedule, Schedule, ScheduleAuditError};
 pub use stmt::{Reg, Stmt};
 pub use validate::{validate, ValidateError, ValidationInfo};

@@ -25,8 +25,7 @@ pub fn rename(rel: &Relation, mapping: &[(AttrId, AttrId)]) -> Result<Relation> 
         mapping
             .iter()
             .find(|(from, _)| *from == a)
-            .map(|&(_, to)| to)
-            .unwrap_or(a)
+            .map_or(a, |&(_, to)| to)
     };
     let new_attrs: Vec<AttrId> = rel.schema().attrs().iter().map(|&a| lookup(a)).collect();
     let new_schema = Schema::new(new_attrs.clone());

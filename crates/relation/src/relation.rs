@@ -10,6 +10,7 @@ use crate::fxhash::FxHashSet;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A tuple: values aligned positionally with the owning relation's schema.
 pub type Row = Box<[Value]>;
@@ -23,6 +24,9 @@ pub type Row = Box<[Value]>;
 pub struct Relation {
     schema: Schema,
     rows: Vec<Row>,
+    /// Lazily computed [`Relation::fingerprint`]; rows are immutable after
+    /// construction, so a computed value never goes stale.
+    fingerprint: OnceLock<u128>,
 }
 
 impl Relation {
@@ -31,6 +35,7 @@ impl Relation {
         Relation {
             schema,
             rows: Vec::new(),
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -40,6 +45,7 @@ impl Relation {
         Relation {
             schema: Schema::empty(),
             rows: vec![Box::from([])],
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -61,7 +67,11 @@ impl Relation {
         } else {
             dedup_parallel(rows)
         };
-        Ok(Relation { schema, rows })
+        Ok(Relation {
+            schema,
+            rows,
+            fingerprint: OnceLock::new(),
+        })
     }
 
     /// Build from `Vec<Vec<Value>>` tuples (convenience for tests/examples).
@@ -80,7 +90,11 @@ impl Relation {
             rows.len(),
             "rows must be distinct"
         );
-        Relation { schema, rows }
+        Relation {
+            schema,
+            rows,
+            fingerprint: OnceLock::new(),
+        }
     }
 
     /// The relation's schema.
@@ -131,6 +145,33 @@ impl Relation {
     /// Render as an aligned table using `catalog` for the header.
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> RelationDisplay<'a> {
         RelationDisplay { rel: self, catalog }
+    }
+
+    /// A cheap structural fingerprint of the relation's *content*: the tuple
+    /// count combined with the xor and wrapping sum of the per-row hashes.
+    /// Row-order independent, so two relations holding the same set of
+    /// tuples — e.g. an original and its TSV round-trip reload — fingerprint
+    /// identically even though they are distinct allocations.
+    ///
+    /// Computed lazily on first call and memoized (rows are immutable).
+    /// This is a hash, not a proof of equality: collisions are possible,
+    /// so callers deciding anything semantic should also compare schemas
+    /// and accept the residual hash-collision risk (the join-index cache
+    /// does, trading it for cross-`Arc` reuse).
+    pub fn fingerprint(&self) -> u128 {
+        *self.fingerprint.get_or_init(|| {
+            use crate::fxhash::FxBuildHasher;
+            use std::hash::BuildHasher;
+            let hasher = FxBuildHasher::default();
+            let mut xor: u64 = 0;
+            let mut sum: u64 = self.rows.len() as u64;
+            for row in &self.rows {
+                let h = hasher.hash_one(row);
+                xor ^= h;
+                sum = sum.wrapping_add(h);
+            }
+            (u128::from(xor) << 64) | u128::from(sum)
+        })
     }
 }
 
@@ -204,10 +245,10 @@ impl fmt::Display for RelationDisplay<'_> {
             .map(|&a| self.catalog.name(a).to_string())
             .collect();
         let rows = self.rel.sorted_rows();
-        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = header.iter().map(String::len).collect();
         let rendered: Vec<Vec<String>> = rows
             .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .map(|r| r.iter().map(std::string::ToString::to_string).collect())
             .collect();
         for row in &rendered {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -307,6 +348,22 @@ mod tests {
         assert_eq!(u.len(), 1);
         assert_eq!(u.schema().arity(), 0);
         assert!(u.contains_row(&[]));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_content_sensitive() {
+        let (_c, s) = schema_ab();
+        let r1 = Relation::from_rows(s.clone(), vec![row(&[1, 2]), row(&[3, 4])]).unwrap();
+        let r2 = Relation::from_rows(s.clone(), vec![row(&[3, 4]), row(&[1, 2])]).unwrap();
+        assert_eq!(r1.fingerprint(), r2.fingerprint(), "order-independent");
+        assert_eq!(r1.fingerprint(), r1.fingerprint(), "memoized value stable");
+        let r3 = Relation::from_rows(s.clone(), vec![row(&[1, 2])]).unwrap();
+        assert_ne!(r1.fingerprint(), r3.fingerprint());
+        assert_ne!(
+            Relation::empty(s).fingerprint(),
+            Relation::nullary_unit().fingerprint(),
+            "empty vs nullary unit differ by the length term"
+        );
     }
 
     #[test]

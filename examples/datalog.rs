@@ -60,7 +60,7 @@ fn main() {
             res.ledger.total()
         );
         for row in res.rows_in_head_order().iter().take(6) {
-            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            let cells: Vec<String> = row.iter().map(std::string::ToString::to_string).collect();
             println!("    ({})", cells.join(", "));
         }
         println!();

@@ -4,9 +4,19 @@
 //! mjoin_cli analyze  R1.tsv R2.tsv …            # scheme diagnostics
 //! mjoin_cli plan     [--optimizer X] R1.tsv …   # show tree + program
 //! mjoin_cli run      [--optimizer X] R1.tsv …   # execute, TSV on stdout
+//! mjoin_cli check    [--scheme AB,BC] [--deny warn] [--format json] P.mj
 //! mjoin_cli query "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …   # conjunctive query
 //! mjoin_cli datalog "t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)." E.tsv …
 //! ```
+//!
+//! `check` lints a program written in the paper's notation (one statement
+//! per line, `#` comments allowed) against its database scheme: Cartesian
+//! joins, no-op semijoins/projections, dead stores, recomputed values,
+//! Claim C's `r(a+5)` bound, and the level schedule's race-freedom. The
+//! scheme comes from `--scheme AB,BC,…` or from a `# scheme: AB,BC,…`
+//! directive in the file itself. Diagnostics go to stderr (`--format json`
+//! for machine consumption); the exit code is nonzero when any finding
+//! reaches the `--deny` threshold (default `error`).
 //!
 //! For `query` and `datalog`, each TSV file defines a predicate named by its
 //! file stem (`edges.tsv` → `edges`), with columns bound positionally in
@@ -35,6 +45,12 @@ struct Args {
     command: String,
     optimizer: String,
     explain: bool,
+    /// `check`: comma-separated relation schemes, e.g. `AB,BC,CD`.
+    scheme: Option<String>,
+    /// `check`: severity that makes the exit code nonzero.
+    deny: String,
+    /// `check`: `text` (default) or `json`.
+    format: String,
     files: Vec<String>,
 }
 
@@ -53,6 +69,9 @@ fn parse_args() -> Result<Parsed, String> {
     }
     let mut optimizer = "greedy".to_string();
     let mut explain = false;
+    let mut scheme = None;
+    let mut deny = "error".to_string();
+    let mut format = "text".to_string();
     let mut files = Vec::new();
     while let Some(arg) = argv.next() {
         if arg == "--help" || arg == "-h" {
@@ -63,6 +82,18 @@ fn parse_args() -> Result<Parsed, String> {
             optimizer = argv.next().ok_or("--optimizer needs a value")?;
         } else if let Some(rest) = arg.strip_prefix("--optimizer=") {
             optimizer = rest.to_string();
+        } else if arg == "--scheme" {
+            scheme = Some(argv.next().ok_or("--scheme needs a value")?);
+        } else if let Some(rest) = arg.strip_prefix("--scheme=") {
+            scheme = Some(rest.to_string());
+        } else if arg == "--deny" {
+            deny = argv.next().ok_or("--deny needs a value")?;
+        } else if let Some(rest) = arg.strip_prefix("--deny=") {
+            deny = rest.to_string();
+        } else if arg == "--format" {
+            format = argv.next().ok_or("--format needs a value")?;
+        } else if let Some(rest) = arg.strip_prefix("--format=") {
+            format = rest.to_string();
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag `{arg}`"));
         } else {
@@ -76,18 +107,26 @@ fn parse_args() -> Result<Parsed, String> {
         command,
         optimizer,
         explain,
+        scheme,
+        deny,
+        format,
         files,
     }))
 }
 
 fn usage() -> String {
-    "usage: mjoin_cli <analyze|plan|run|query|datalog> [--optimizer greedy|dp|dp-cpf|dp-linear] \
-     [--explain-analyze] [\"Q(x) :- …\"] <relation.tsv>…\n\
+    "usage: mjoin_cli <analyze|plan|run|check|query|datalog> [--optimizer greedy|dp|dp-cpf|dp-linear] \
+     [--explain-analyze] [\"Q(x) :- …\"] <relation.tsv|program.mj>…\n\
      \n\
      --optimizer        join-tree search: greedy (default) or exact DP over\n\
      \u{20}                  all / CPF / linear trees\n\
      --explain-analyze  print per-statement timings, operator strategies and\n\
      \u{20}                  schedule shape on stderr after execution\n\
+     --scheme A,B,…     (check) database scheme as comma-separated attribute\n\
+     \u{20}                  sets; overrides the file's `# scheme:` directive\n\
+     --deny SEV         (check) exit nonzero at this severity or above:\n\
+     \u{20}                  note|warn|error (default error)\n\
+     --format FMT       (check) diagnostics as text (default) or json\n\
      --help, -h         this text\n\
      \n\
      environment: MJOIN_TRACE=<path> writes Chrome trace format JSON there"
@@ -212,6 +251,51 @@ fn run(args: &Args, execute_it: bool) -> Result<Option<ExplainInfo>, String> {
     Ok(Some(info))
 }
 
+/// Lint a program file with `mjoin-analyze`. Returns whether the report
+/// stayed below the `--deny` threshold (the process exit status).
+fn check(args: &Args) -> Result<bool, String> {
+    let path = match args.files.as_slice() {
+        [one] => one,
+        _ => return Err("check needs exactly one program file".to_string()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+
+    // The scheme comes from --scheme, else from a `# scheme:` directive.
+    let scheme_text = match &args.scheme {
+        Some(s) => s.clone(),
+        None => text
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("# scheme:"))
+            .map(|s| s.trim().to_string())
+            .next()
+            .ok_or_else(|| {
+                format!("`{path}` has no `# scheme: AB,BC,…` directive; pass --scheme")
+            })?,
+    };
+    let parts: Vec<&str> = scheme_text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if parts.is_empty() {
+        return Err(format!("empty scheme `{scheme_text}`"));
+    }
+    let mut catalog = Catalog::new();
+    let scheme = DbScheme::parse(&mut catalog, &parts);
+
+    let program = mjoin::program::parse_program(&catalog, &scheme, &text)
+        .map_err(|e| format!("`{path}`: {e}"))?;
+    let deny = Severity::parse(&args.deny)
+        .ok_or_else(|| format!("unknown --deny level `{}` (note|warn|error)", args.deny))?;
+    let report = mjoin::analyze::analyze(&program, &scheme, &catalog);
+    match args.format.as_str() {
+        "text" => eprint!("{}", report.render_text()),
+        "json" => eprintln!("{}", report.render_json()),
+        other => return Err(format!("unknown --format `{other}` (text|json)")),
+    }
+    Ok(report.clean_at(deny))
+}
+
 /// Load each TSV file as a predicate named by its file stem.
 fn load_named(files: &[String]) -> Result<NamedDatabase, String> {
     let mut ndb = NamedDatabase::new();
@@ -250,7 +334,7 @@ fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
     eprintln!("{} answers, cost {} tuples", res.len(), res.ledger.total());
     println!("{}", q.head_vars.join("\t"));
     for row in res.rows_in_head_order() {
-        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        let cells: Vec<String> = row.iter().map(std::string::ToString::to_string).collect();
         println!("{}", cells.join("\t"));
     }
     Ok(None)
@@ -279,7 +363,7 @@ fn datalog(args: &Args) -> Result<Option<ExplainInfo>, String> {
         let facts = res.facts_of(p);
         println!("# {p} ({} facts)", facts.len());
         for row in facts {
-            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            let cells: Vec<String> = row.iter().map(std::string::ToString::to_string).collect();
             println!("{}", cells.join("\t"));
         }
     }
@@ -354,6 +438,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.command == "check" {
+        // `check` has its own exit semantics: failure means the program
+        // tripped a lint at the --deny threshold, not that the tool broke.
+        return match check(&args) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.explain {
         mjoin_trace::set_enabled(true);
     }

@@ -45,6 +45,7 @@
 //! ```
 
 pub use mjoin_acyclic as acyclic;
+pub use mjoin_analyze as analyze;
 pub use mjoin_core as core;
 pub use mjoin_cq as cq;
 pub use mjoin_expr as expr;
@@ -61,6 +62,7 @@ pub mod prelude {
         full_reducer_program, fully_reduce, globally_consistent, monotone_join_tree,
         pairwise_consistent, semijoin_fixpoint, yannakakis,
     };
+    pub use mjoin_analyze::{analyze, analyze_with, Diagnostic, Report, Severity};
     pub use mjoin_core::{
         algorithm1, algorithm1_all_outcomes, algorithm1_with_policy, algorithm2, check_theorem1,
         check_theorem2, derive, derive_with_policy, run_pipeline, run_pipeline_parallel,

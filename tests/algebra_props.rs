@@ -7,7 +7,7 @@ use proptest::prelude::*;
 /// Build a relation over `scheme` (single-letter attributes, canonical
 /// catalog) from generated rows; values are kept in written order.
 fn rel(catalog: &mut Catalog, scheme: &str, rows: &[Vec<i64>]) -> Relation {
-    let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(std::vec::Vec::as_slice).collect();
     relation_of_ints(catalog, scheme, &refs).unwrap()
 }
 

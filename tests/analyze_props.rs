@@ -1,0 +1,89 @@
+//! Property: every program the paper's pipeline generates is lint-clean.
+//!
+//! The analyzer's passes encode the invariants Algorithms 1 and 2
+//! guarantee (no Cartesian joins, no dead stores, no recomputation, Claim
+//! C's bound, a race-free schedule), so any error or warning on a derived
+//! program — before or after dead-code elimination, for any choice policy
+//! — is a pipeline bug. Runs 48 cases per property over the named scheme
+//! families.
+
+use mjoin::optimizer::random_tree;
+use mjoin::prelude::*;
+use mjoin::program::eliminate_dead_code;
+use mjoin::workloads::schemes;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A connected scheme drawn from the named families (so shrinking lands on
+/// readable cases). Mirrors `pipeline_props.rs`.
+fn any_scheme() -> impl Strategy<Value = (Catalog, DbScheme)> {
+    (0usize..5, 3usize..6).prop_map(|(family, n)| {
+        let mut c = Catalog::new();
+        let s = match family {
+            0 => schemes::chain(&mut c, n),
+            1 => schemes::cycle(&mut c, n),
+            2 => schemes::star(&mut c, n - 1),
+            3 => schemes::clique(&mut c, 3),
+            _ => schemes::random_connected(&mut c, n, n + 2, 3, n as u64 * 31),
+        };
+        (c, s)
+    })
+}
+
+/// No errors, no warnings; the only tolerated note is the identity
+/// self-projection Algorithm 2's Steps 10/12 faithfully emit.
+fn assert_clean(report: &Report, what: &str) -> Result<(), String> {
+    prop_assert!(
+        report.is_clean(),
+        "{what} must be free of errors and warnings, got:\n{}",
+        report.render_text()
+    );
+    for d in &report.diagnostics {
+        prop_assert_eq!(d.lint, "noop-project", "{}", report.render_text());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_are_lint_clean(
+        (catalog, scheme) in any_scheme(),
+        tree_seed in any::<u64>(),
+        policy_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        let t1 = random_tree(&scheme, &mut rng, false);
+        let mut policy = SeededChoice::new(policy_seed);
+        let program = derive_with_policy(&scheme, &t1, &mut policy).unwrap().program;
+        assert_clean(&analyze(&program, &scheme, &catalog), "derived program")?;
+
+        // Dead-code elimination must not disturb cleanliness (and the
+        // derived program has no dead code for it to remove).
+        let optimized = eliminate_dead_code(&program);
+        prop_assert_eq!(optimized.stmts.len(), program.stmts.len());
+        assert_clean(&analyze(&optimized, &scheme, &catalog), "optimized program")?;
+    }
+
+    #[test]
+    fn optimizer_chosen_trees_derive_clean_programs(
+        (catalog, scheme) in any_scheme(),
+        db_seed in any::<u64>(),
+    ) {
+        let db = random_database(
+            &scheme,
+            &DataGenConfig {
+                tuples_per_relation: 20,
+                domain: 4,
+                seed: db_seed,
+                plant_witness: true,
+            },
+        );
+        let mut oracle = ExactOracle::new(&db);
+        let (t1, _) = greedy(&scheme, &mut oracle, true);
+        let program = derive(&scheme, &t1).unwrap().program;
+        assert_clean(&analyze(&program, &scheme, &catalog), "greedy-tree program")?;
+    }
+}

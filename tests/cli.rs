@@ -222,6 +222,77 @@ fn mjoin_trace_env_writes_chrome_trace_json() {
     assert!(json.contains("\"ph\":\"X\""), "no span events:\n{json}");
 }
 
+fn fixture_path(name: &str) -> String {
+    format!("{}/examples/programs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_accepts_clean_program() {
+    let out = cli(&["check", "--deny", "warn", &fixture_path("example6.mj")]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty(), "check writes nothing to stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("0 error(s), 0 warning(s), 0 note(s)"));
+}
+
+#[test]
+fn check_flags_cartesian_join_and_denies_warn() {
+    let path = fixture_path("cartesian.mj");
+    // Default --deny error: warnings are reported but do not fail the run.
+    let out = cli(&["check", &path]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cartesian-join"), "stderr:\n{stderr}");
+    // --deny warn turns the warning into a nonzero exit.
+    let out = cli(&["check", "--deny", "warn", &path]);
+    assert!(!out.status.success());
+    // --scheme overrides the file's directive (same scheme here).
+    let out = cli(&["check", "--deny", "warn", "--scheme", "AB,BC,CD", &path]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn check_flags_redundant_recompute_as_json() {
+    let out = cli(&[
+        "check",
+        "--deny",
+        "warn",
+        "--format",
+        "json",
+        &fixture_path("redundant.mj"),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("\"lint\":\"redundant-recompute\""),
+        "stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("\"lint\":\"noop-semijoin\""));
+    assert!(stderr.contains("\"warnings\":2"));
+}
+
+#[test]
+fn check_rejects_bad_invocations() {
+    // No scheme anywhere.
+    let dir = tempdir::TempDir::new("check");
+    let p = write_tsv(dir.path(), "p.mj", "R(V) := R(AB) ⋈ R(BC)\n");
+    let out = cli(&["check", p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("# scheme:"), "stderr:\n{stderr}");
+    // Bad deny level / format.
+    let fx = fixture_path("example6.mj");
+    assert!(!cli(&["check", "--deny", "loud", &fx]).status.success());
+    assert!(!cli(&["check", "--format", "xml", &fx]).status.success());
+    // Unparseable program.
+    let bad = write_tsv(dir.path(), "bad.mj", "# scheme: AB,BC\nR(V) = oops\n");
+    assert!(!cli(&["check", bad.to_str().unwrap()]).status.success());
+}
+
 #[test]
 fn errors_exit_nonzero() {
     // Unknown command.

@@ -15,10 +15,10 @@ fn db_strategy() -> impl Strategy<Value = NamedDatabase> {
         .prop_map(|(edges, labels)| {
             let mut db = NamedDatabase::new();
             let erefs: Vec<Vec<i64>> = edges.iter().map(|&(a, b)| vec![a, b]).collect();
-            let eslice: Vec<&[i64]> = erefs.iter().map(|v| v.as_slice()).collect();
+            let eslice: Vec<&[i64]> = erefs.iter().map(std::vec::Vec::as_slice).collect();
             db.add_relation("e", &["s", "d"], &eslice).unwrap();
             let lrefs: Vec<Vec<i64>> = labels.iter().map(|&(n, t)| vec![n, t]).collect();
-            let lslice: Vec<&[i64]> = lrefs.iter().map(|v| v.as_slice()).collect();
+            let lslice: Vec<&[i64]> = lrefs.iter().map(std::vec::Vec::as_slice).collect();
             db.add_relation("l", &["n", "t"], &lslice).unwrap();
             db
         })
