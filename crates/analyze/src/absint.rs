@@ -1,0 +1,221 @@
+//! Cardinality abstract interpretation: per-register `[lo, hi]` interval
+//! bounds propagated from input cardinalities through the §2.2 operators.
+//!
+//! The transfer functions are deliberately simple and *sound in both
+//! directions*:
+//!
+//! * join: `hi = hi_l · hi_r` (Cartesian worst case), refined to
+//!   `hi = hi_l` when the right scheme is contained in the left (the join
+//!   degenerates to a semijoin) and symmetrically; `lo = lo_l · lo_r`
+//!   only when the operand schemes are disjoint (a Cartesian product is
+//!   *exactly* the product), else `0`.
+//! * semijoin: `[0, hi_target]` — a filter never grows its target; if
+//!   the schemes are disjoint and the filter is provably nonempty the
+//!   target passes through unchanged, so `lo = lo_target`.
+//! * project: `hi = hi_src` and `lo = min(lo_src, 1)` (dedup can
+//!   collapse everything to one tuple, never to zero from nonempty);
+//!   identity projections keep `lo = lo_src`.
+//!
+//! On top of the intervals rides the `cost-blowup` lint: a statement
+//! whose *lower* bound already exceeds the whole input is a statically
+//! provable blowup (typically a Cartesian product of large inputs) —
+//! no data distribution can save it.
+
+use crate::cx::AnalysisCx;
+use crate::diagnostic::{Diagnostic, Severity};
+use mjoin_program::dataflow::{num_regs, reg_index};
+use mjoin_program::{Reg, Stmt};
+
+/// A closed interval `[lo, hi]` of possible cardinalities. Arithmetic
+/// saturates at `u64::MAX` (which reads as "unbounded").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardInterval {
+    /// Smallest possible cardinality.
+    pub lo: u64,
+    /// Largest possible cardinality.
+    pub hi: u64,
+}
+
+impl CardInterval {
+    /// The exact interval `[n, n]`.
+    #[must_use]
+    pub fn exact(n: u64) -> Self {
+        CardInterval { lo: n, hi: n }
+    }
+
+    /// Whether a measured cardinality lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, n: u64) -> bool {
+        self.lo <= n && n <= self.hi
+    }
+}
+
+/// Per-statement head intervals for one program, given the input
+/// cardinalities `seeds[i] = |D_i|` (exact sizes or estimator output).
+#[must_use]
+pub fn interval_analysis(cx: &AnalysisCx<'_>, seeds: &[u64]) -> Vec<CardInterval> {
+    let program = cx.program;
+    assert_eq!(
+        seeds.len(),
+        cx.scheme.num_relations(),
+        "one seed cardinality per base relation"
+    );
+    let mut states: Vec<Option<CardInterval>> = vec![None; num_regs(program)];
+    for (i, &n) in seeds.iter().enumerate() {
+        states[i] = Some(CardInterval::exact(n));
+    }
+    let resolve = |states: &[Option<CardInterval>], reg: Reg| -> CardInterval {
+        let mut cur = reg;
+        loop {
+            match states[reg_index(program, cur)] {
+                Some(iv) => return iv,
+                None => match cur {
+                    Reg::Temp(t) => cur = program.temp_init[t].expect("validated alias"),
+                    Reg::Base(_) => unreachable!("bases are seeded"),
+                },
+            }
+        }
+    };
+
+    let mut out = Vec::with_capacity(program.stmts.len());
+    for (i, stmt) in program.stmts.iter().enumerate() {
+        let facts = &cx.stmts[i];
+        let (head, iv) = match stmt {
+            Stmt::Project { dst, src, attrs } => {
+                let s = resolve(&states, *src);
+                let identity = *attrs == facts.operand_schemes[0];
+                let lo = if identity { s.lo } else { s.lo.min(1) };
+                (*dst, CardInterval { lo, hi: s.hi })
+            }
+            Stmt::Semijoin { target, filter } => {
+                let t = resolve(&states, *target);
+                let f = resolve(&states, *filter);
+                let disjoint = facts.operand_schemes[0].is_disjoint(&facts.operand_schemes[1]);
+                let lo = if disjoint && f.lo >= 1 { t.lo } else { 0 };
+                (*target, CardInterval { lo, hi: t.hi })
+            }
+            Stmt::Join { dst, left, right } => {
+                let l = resolve(&states, *left);
+                let r = resolve(&states, *right);
+                let ls = &facts.operand_schemes[0];
+                let rs = &facts.operand_schemes[1];
+                let hi = if rs.is_subset(ls) {
+                    l.hi
+                } else if ls.is_subset(rs) {
+                    r.hi
+                } else {
+                    l.hi.saturating_mul(r.hi)
+                };
+                let lo = if ls.is_disjoint(rs) {
+                    l.lo.saturating_mul(r.lo)
+                } else {
+                    0
+                };
+                (*dst, CardInterval { lo, hi })
+            }
+        };
+        out.push(iv);
+        states[reg_index(program, head)] = Some(iv);
+    }
+    out
+}
+
+/// The `cost-blowup` lint: statements whose interval *lower* bound
+/// exceeds the total input size — a blowup no data can avoid.
+#[must_use]
+pub fn cost_blowup(cx: &AnalysisCx<'_>, seeds: &[u64]) -> Vec<Diagnostic> {
+    let total: u64 = seeds.iter().fold(0, |a, &n| a.saturating_add(n));
+    interval_analysis(cx, seeds)
+        .iter()
+        .enumerate()
+        .filter(|(_, iv)| iv.lo > total)
+        .map(|(i, iv)| Diagnostic {
+            severity: Severity::Warn,
+            lint: "cost-blowup",
+            stmt: Some(i),
+            message: format!(
+                "statically provable blowup: head has at least {} tuples, more than the {} \
+                 input tuples combined",
+                iv.lo, total
+            ),
+            excerpt: cx.excerpt(i),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_hypergraph::DbScheme;
+    use mjoin_program::ProgramBuilder;
+    use mjoin_relation::Catalog;
+
+    fn scheme(schemes: &[&str]) -> (Catalog, DbScheme) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, schemes);
+        (c, s)
+    }
+
+    #[test]
+    fn cartesian_product_interval_is_exact() {
+        let (c, s) = scheme(&["AB", "CD"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp("V");
+        b.join(v, Reg::Base(0), Reg::Base(1));
+        let p = b.finish(v);
+        let cx = AnalysisCx::new(&p, &s, &c).unwrap();
+        let iv = interval_analysis(&cx, &[100, 50]);
+        assert_eq!(iv[0], CardInterval { lo: 5000, hi: 5000 });
+        let diags = cost_blowup(&cx, &[100, 50]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, "cost-blowup");
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn overlapping_join_and_semijoin_bounds() {
+        let (c, s) = scheme(&["AB", "BC"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        b.join(v, v, Reg::Base(1));
+        let p = b.finish(v);
+        let cx = AnalysisCx::new(&p, &s, &c).unwrap();
+        let iv = interval_analysis(&cx, &[10, 20]);
+        // Semijoin: can drop to empty, never grows past the target.
+        assert_eq!(iv[0], CardInterval { lo: 0, hi: 10 });
+        // Overlapping join: up to the product, down to empty.
+        assert_eq!(iv[1], CardInterval { lo: 0, hi: 200 });
+        assert!(cost_blowup(&cx, &[10, 20]).is_empty());
+    }
+
+    #[test]
+    fn semijoin_into_join_refinement() {
+        // Join whose right scheme ⊆ left scheme is a semijoin: hi = hi_left.
+        let (c, s) = scheme(&["ABC", "AB"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp("V");
+        b.join(v, Reg::Base(0), Reg::Base(1));
+        let p = b.finish(v);
+        let cx = AnalysisCx::new(&p, &s, &c).unwrap();
+        let iv = interval_analysis(&cx, &[7, 1000]);
+        assert_eq!(iv[0], CardInterval { lo: 0, hi: 7 });
+    }
+
+    #[test]
+    fn projection_lo_respects_identity() {
+        let (mut c, s) = scheme(&["AB"]);
+        let ab = s.attrs_of(0).clone();
+        let a = mjoin_relation::AttrSet::singleton(c.intern("A"));
+        let mut b = ProgramBuilder::new(&s);
+        let x = b.new_temp("X");
+        let y = b.new_temp("Y");
+        b.project(x, Reg::Base(0), ab);
+        b.project(y, Reg::Base(0), a);
+        let p = b.finish(y);
+        let cx = AnalysisCx::new(&p, &s, &c).unwrap();
+        let iv = interval_analysis(&cx, &[9]);
+        assert_eq!(iv[0], CardInterval { lo: 9, hi: 9 });
+        assert_eq!(iv[1], CardInterval { lo: 1, hi: 9 });
+    }
+}

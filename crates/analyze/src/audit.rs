@@ -1,0 +1,362 @@
+//! The static-vs-measured audit: execute a program, then diff every
+//! statement's measured head count (the §2.3 ledger) against its sound
+//! static bounds — the symbolic Theorem-2 [`Certificate`] evaluated on
+//! the input database, and the [`CardInterval`]s of the cardinality
+//! abstract interpreter.
+//!
+//! A measured head that exceeds its sound static bound is a bug in the
+//! kernel, the scheduler, or the certificate — so it surfaces as an
+//! `error`-severity diagnostic (`audit-bound` / `audit-interval`), the
+//! differential check that matters. The audit also re-derives the ledger
+//! from the per-statement head sizes and the input sizes and errors
+//! (`audit-ledger`) if it disagrees with `ExecOutcome::cost()` — the
+//! ledger must be exactly `Σ inputs + Σ heads`, per §2.3.
+
+use crate::absint::{cost_blowup, interval_analysis, CardInterval};
+use crate::cert::{set_name, Certificate};
+use crate::cx::AnalysisCx;
+use crate::diagnostic::{Diagnostic, Report, Severity};
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_program::{execute_with, validate, ExecConfig, Program, ValidateError};
+use mjoin_relation::{Catalog, CostKind, Database};
+
+/// One statement's row in the audit: measured cost vs static bounds.
+#[derive(Debug, Clone)]
+pub struct StmtAudit {
+    /// Statement index.
+    pub stmt: usize,
+    /// Head tuples this statement actually produced.
+    pub measured: u64,
+    /// The certificate's bound evaluated on the input database.
+    pub bound: u64,
+    /// Whether that bound is a single intermediate (tight) or a product.
+    pub tight: bool,
+    /// The abstract interpreter's interval for this head.
+    pub interval: CardInterval,
+    /// An estimator's guess at the bound (optional, e.g. histogram-based).
+    pub estimate: Option<u64>,
+}
+
+impl StmtAudit {
+    /// `bound / max(measured, 1)` — how loose the certificate is here.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.bound as f64 / (self.measured.max(1)) as f64
+        }
+    }
+}
+
+/// The whole-program audit result.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Diagnostics: `audit-bound` / `audit-interval` / `audit-ledger`
+    /// errors plus any `cost-blowup` warnings.
+    pub report: Report,
+    /// Per-statement rows, in statement order.
+    pub rows: Vec<StmtAudit>,
+    /// Total input tuples charged by the ledger.
+    pub inputs: u64,
+    /// `cost(P(D))` as accounted by the executor.
+    pub cost: u64,
+    /// The symbolic certificate the bounds came from.
+    pub certificate: Certificate,
+}
+
+/// Run the full audit: compute the certificate, execute the program, and
+/// diff. `estimator`, when given, is consulted once per *tight* bound set
+/// (e.g. a histogram oracle) and recorded per row for gap reporting — it
+/// never affects the pass/fail verdict.
+///
+/// # Errors
+///
+/// Returns the validation error if the program is not well-formed over
+/// the scheme.
+pub fn audit(
+    program: &Program,
+    scheme: &DbScheme,
+    catalog: &Catalog,
+    db: &Database,
+    cfg: &ExecConfig,
+    estimator: Option<&mut dyn FnMut(RelSet) -> u64>,
+) -> Result<AuditReport, ValidateError> {
+    validate(program, scheme)?;
+    let cx = AnalysisCx::new(program, scheme, catalog)?;
+    let certificate = Certificate::compute(&cx);
+    audit_with_certificate(&cx, db, cfg, certificate, estimator)
+}
+
+/// The audit core, taking a precomputed certificate. Exposed so tests can
+/// deliberately corrupt the certificate and assert the corruption is
+/// caught (the ablation that proves the differential has teeth).
+///
+/// # Errors
+///
+/// Currently infallible for a validated context; kept as `Result` for
+/// symmetry with [`audit`].
+pub fn audit_with_certificate(
+    cx: &AnalysisCx<'_>,
+    db: &Database,
+    cfg: &ExecConfig,
+    certificate: Certificate,
+    mut estimator: Option<&mut dyn FnMut(RelSet) -> u64>,
+) -> Result<AuditReport, ValidateError> {
+    let seeds: Vec<u64> = db.relations().iter().map(|r| r.len() as u64).collect();
+    let intervals = interval_analysis(cx, &seeds);
+    let bounds = certificate.evaluate(db);
+    let exec = execute_with(cx.program, db, cfg);
+
+    let mut diagnostics: Vec<Diagnostic> = cost_blowup(cx, &seeds);
+    let mut rows = Vec::with_capacity(cx.program.stmts.len());
+    for (i, &measured) in exec.head_sizes.iter().enumerate() {
+        let measured = measured as u64;
+        let b = &certificate.stmts[i];
+        let estimate = match (&mut estimator, b.tight) {
+            (Some(est), true) => Some(est(b.head_set)),
+            _ => None,
+        };
+        if measured > bounds[i] {
+            diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                lint: "audit-bound",
+                stmt: Some(i),
+                message: format!(
+                    "measured head has {measured} tuples but the certificate bounds it by \
+                     {} = {} — kernel, scheduler, or certificate bug",
+                    bounds[i],
+                    certificate.bound_name(i, cx.scheme, cx.catalog)
+                ),
+                excerpt: cx.excerpt(i),
+            });
+        }
+        if !intervals[i].contains(measured) {
+            diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                lint: "audit-interval",
+                stmt: Some(i),
+                message: format!(
+                    "measured head has {measured} tuples, outside the abstract interval \
+                     [{}, {}]",
+                    intervals[i].lo, intervals[i].hi
+                ),
+                excerpt: cx.excerpt(i),
+            });
+        }
+        rows.push(StmtAudit {
+            stmt: i,
+            measured,
+            bound: bounds[i],
+            tight: b.tight,
+            interval: intervals[i],
+            estimate,
+        });
+    }
+
+    // Ledger differential: the §2.3 account must be exactly
+    // Σ inputs + Σ per-statement heads, and the generated entries must
+    // match `head_sizes` one-for-one.
+    let inputs = exec.ledger.input_total();
+    let heads: u64 = exec.head_sizes.iter().map(|&n| n as u64).sum();
+    if inputs.saturating_add(heads) != exec.cost() {
+        diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            lint: "audit-ledger",
+            stmt: None,
+            message: format!(
+                "ledger total {} != inputs {inputs} + statement heads {heads}",
+                exec.cost()
+            ),
+            excerpt: None,
+        });
+    }
+    let generated: Vec<u64> = exec
+        .ledger
+        .entries()
+        .iter()
+        .filter(|e| e.kind == CostKind::Generated)
+        .map(|e| e.tuples)
+        .collect();
+    let head_sizes: Vec<u64> = exec.head_sizes.iter().map(|&n| n as u64).collect();
+    if generated != head_sizes {
+        diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            lint: "audit-ledger",
+            stmt: None,
+            message: "per-statement ledger entries disagree with recorded head sizes".to_string(),
+            excerpt: None,
+        });
+    }
+
+    diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.stmt.cmp(&b.stmt)));
+    Ok(AuditReport {
+        report: Report { diagnostics },
+        rows,
+        inputs,
+        cost: exec.cost(),
+        certificate,
+    })
+}
+
+impl AuditReport {
+    /// Zero bound violations (warnings like `cost-blowup` may remain).
+    #[must_use]
+    pub fn bounds_hold(&self) -> bool {
+        self.report.clean_at(Severity::Error)
+    }
+
+    /// The loosest per-statement gap `bound / measured` in the program.
+    #[must_use]
+    pub fn worst_gap(&self) -> f64 {
+        self.rows.iter().map(StmtAudit::gap).fold(1.0, f64::max)
+    }
+
+    /// Deterministic plain-text rendering (no timings — goldenable).
+    #[must_use]
+    pub fn render_text(&self, cx: &AnalysisCx<'_>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "audit: {} statements, ledger = {} inputs + {} heads = {} total\n",
+            self.rows.len(),
+            self.inputs,
+            self.cost - self.inputs,
+            self.cost
+        ));
+        out.push_str("stmt  measured      bound  kind       symbolic bound\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>4}  {:>8}  {:>9}  {:<9}  {}{}\n",
+                r.stmt,
+                r.measured,
+                r.bound,
+                if r.tight { "tight" } else { "product" },
+                self.certificate.bound_name(r.stmt, cx.scheme, cx.catalog),
+                match r.estimate {
+                    Some(e) => format!("  (est {e})"),
+                    None => String::new(),
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.bounds_hold() {
+                "all measured costs within static bounds"
+            } else {
+                "BOUND VIOLATION — see diagnostics"
+            }
+        ));
+        if !self.report.diagnostics.is_empty() {
+            out.push_str(&self.report.render_text());
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled, like the other renderers).
+    #[must_use]
+    pub fn render_json(&self, scheme: &DbScheme, catalog: &Catalog) -> String {
+        let mut out = format!(
+            "{{\"inputs\":{},\"cost\":{},\"bounds_hold\":{},\"stmts\":[",
+            self.inputs,
+            self.cost,
+            self.bounds_hold()
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stmt\":{},\"measured\":{},\"bound\":{},\"tight\":{},\"lo\":{},\"hi\":{},\
+                 \"set\":\"{}\",\"estimate\":{}}}",
+                r.stmt,
+                r.measured,
+                r.bound,
+                r.tight,
+                r.interval.lo,
+                r.interval.hi,
+                set_name(self.certificate.stmts[r.stmt].head_set, scheme, catalog),
+                match r.estimate {
+                    Some(e) => e.to_string(),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "],\"certificate\":{},\"report\":{}}}",
+            self.certificate.render_json(scheme, catalog),
+            self.report.render_json()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_program::{ProgramBuilder, Reg};
+    use mjoin_relation::relation_of_ints;
+
+    fn fixture() -> (Catalog, DbScheme, Program, Database) {
+        let mut c = Catalog::new();
+        let s = DbScheme::parse(&mut c, &["AB", "BC"]);
+        let mut b = ProgramBuilder::new(&s);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        b.join(v, v, Reg::Base(1));
+        let p = b.finish(v);
+        let ab = relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4], &[5, 2]]).unwrap();
+        let bc = relation_of_ints(&mut c, "BC", &[&[2, 7], &[2, 8]]).unwrap();
+        let db = Database::from_relations(vec![ab, bc]);
+        (c, s, p, db)
+    }
+
+    #[test]
+    fn clean_program_audits_clean() {
+        let (c, s, p, db) = fixture();
+        let rep = audit(&p, &s, &c, &db, &ExecConfig::default(), None).unwrap();
+        assert!(rep.bounds_hold(), "{}", rep.report.render_text());
+        assert_eq!(rep.rows.len(), 2);
+        // Differential: rows sum to the ledger's generated total.
+        let heads: u64 = rep.rows.iter().map(|r| r.measured).sum();
+        assert_eq!(rep.inputs + heads, rep.cost);
+        assert!(rep.worst_gap() >= 1.0);
+    }
+
+    #[test]
+    fn corrupted_certificate_is_caught() {
+        let (c, s, p, db) = fixture();
+        let cx = AnalysisCx::new(&p, &s, &c).unwrap();
+        let mut cert = Certificate::compute(&cx);
+        // Claim the join is bounded by a single base relation — it isn't.
+        cert.stmts[1].factors = vec![RelSet::singleton(1)];
+        let rep = audit_with_certificate(&cx, &db, &ExecConfig::default(), cert, None).unwrap();
+        assert!(!rep.bounds_hold());
+        let bad = rep.report.by_lint("audit-bound");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].severity, Severity::Error);
+        assert_eq!(bad[0].stmt, Some(1));
+    }
+
+    #[test]
+    fn estimator_is_recorded_per_tight_row() {
+        let (c, s, p, db) = fixture();
+        let mut calls = 0u32;
+        let mut est = |set: RelSet| {
+            calls += 1;
+            set.len() as u64 * 100
+        };
+        let rep = audit(&p, &s, &c, &db, &ExecConfig::default(), Some(&mut est)).unwrap();
+        assert!(calls >= 1);
+        assert_eq!(rep.rows[0].estimate, Some(100));
+        assert_eq!(rep.rows[1].estimate, Some(200));
+    }
+
+    #[test]
+    fn json_render_shapes() {
+        let (c, s, p, db) = fixture();
+        let rep = audit(&p, &s, &c, &db, &ExecConfig::default(), None).unwrap();
+        let json = rep.render_json(&s, &c);
+        assert!(json.contains("\"bounds_hold\":true"), "{json}");
+        assert!(json.contains("\"certificate\":{"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

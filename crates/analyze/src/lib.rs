@@ -35,10 +35,16 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
+pub mod audit;
+pub mod cert;
 pub mod cx;
 pub mod diagnostic;
 pub mod passes;
 
+pub use absint::{cost_blowup, interval_analysis, CardInterval};
+pub use audit::{audit, audit_with_certificate, AuditReport, StmtAudit};
+pub use cert::{Certificate, StmtBound};
 pub use cx::{AnalysisCx, ExprKey, StmtFacts, Vn};
 pub use diagnostic::{Diagnostic, Report, Severity};
 pub use passes::{default_passes, Pass};

@@ -10,10 +10,27 @@
 //! `⋈ D[𝒰]` for a node `𝒰` of the *original* tree `T₁` (Theorem 2).
 
 use mjoin_expr::JoinTree;
-use mjoin_hypergraph::DbScheme;
+use mjoin_hypergraph::{DbScheme, RelSet};
 use mjoin_program::{Program, ProgramBuilder, Reg};
 use mjoin_relation::AttrSet;
 use std::fmt;
+
+/// Where one statement of a derived program came from: the paper step of
+/// Algorithm 2 that emitted it, and the S-node `𝒱` being processed at the
+/// time (as its set of base relations). One entry per statement, in
+/// statement order — the raw material for the analyzer's tree-node
+/// attribution of Theorem-2 bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtOrigin {
+    /// The step number in the paper's Algorithm 2 listing (1–18).
+    pub step: u8,
+    /// The relation set of the S-node whose spine walk emitted this
+    /// statement.
+    pub node: RelSet,
+}
+
+/// Per-statement provenance for a whole derived program.
+pub type Alg2Provenance = Vec<StmtOrigin>;
 
 /// Errors from Algorithm 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,9 +67,16 @@ struct Deriver<'a> {
     scheme: &'a DbScheme,
     next_v: usize,
     next_f: usize,
+    origins: Alg2Provenance,
 }
 
 impl Deriver<'_> {
+    /// Record the origin of the statement the builder just emitted.
+    fn mark(&mut self, step: u8, node: RelSet) {
+        self.origins.push(StmtOrigin { step, node });
+        debug_assert_eq!(self.origins.len(), self.builder.len());
+    }
+
     /// Process a node of `S` (the root, or any right child): returns the
     /// register attached to it, holding `⋈ D[𝒱]` at runtime.
     fn process(&mut self, node: &JoinTree) -> Reg {
@@ -77,6 +101,7 @@ impl Deriver<'_> {
         };
 
         // Visit the 𝒲ᵢ (members of S or leaves) bottom-up first.
+        let node_set = node.rel_set();
         let w_regs: Vec<Reg> = ws_rev.iter().rev().map(|w| self.process(w)).collect();
         let w_attrs: Vec<AttrSet> = w_regs
             .iter()
@@ -107,8 +132,10 @@ impl Deriver<'_> {
                 // Steps 5–6.
                 for &j in &f_members {
                     self.builder.join(v, v, w_regs[j - 1]);
+                    self.mark(5, node_set);
                 }
                 self.builder.semijoin(v, w_regs[i - 1]);
+                self.mark(6, node_set);
             } else {
                 // Steps 9–14. For a CPF tree ℱ is nonempty here: 𝒱ᵢ₋₁ and
                 // 𝒲ᵢ share an attribute, and since 𝒱₀'s attributes always
@@ -125,17 +152,22 @@ impl Deriver<'_> {
                 let f = self.builder.new_temp(format!("F{}", self.next_f));
                 // Step 10: R(F) := π_{(∪ℱ) ∩ V} R(V).
                 self.builder.project(f, v, f_union.intersect(&v_attrs));
+                self.mark(10, node_set);
                 // Step 11: join every 𝒲 ∈ ℱ into F.
                 for &j in &f_members {
                     self.builder.join(f, f, w_regs[j - 1]);
+                    self.mark(11, node_set);
                 }
                 // Step 12: R(F) := π_{(V ∪ 𝒲ᵢ) ∩ (∪ℱ)} R(F).
                 self.builder
                     .project(f, f, v_attrs.union(wi).intersect(&f_union));
+                self.mark(12, node_set);
                 // Step 13: R(F) := R(F) ⋉ R(𝒲ᵢ).
                 self.builder.semijoin(f, w_regs[i - 1]);
+                self.mark(13, node_set);
                 // Step 14: R(V) := R(V) ⋈ R(F).
                 self.builder.join(v, v, f);
+                self.mark(14, node_set);
             }
         }
 
@@ -144,6 +176,7 @@ impl Deriver<'_> {
             let wi = &w_attrs[i - 1];
             if !wi.is_subset(self.builder.scheme_of(v)) {
                 self.builder.join(v, v, w_regs[i - 1]);
+                self.mark(17, node_set);
             }
         }
 
@@ -179,6 +212,16 @@ impl Deriver<'_> {
 /// assert!(text.starts_with("R(V1) := R(ABC) ⋉ R(CDE)\n"));
 /// ```
 pub fn algorithm2(scheme: &DbScheme, t2: &JoinTree) -> Result<Program, Alg2Error> {
+    algorithm2_with_provenance(scheme, t2).map(|(p, _)| p)
+}
+
+/// Algorithm 2 with per-statement provenance: which paper step emitted
+/// each statement, processing which S-node. The provenance vector is in
+/// statement order and exactly as long as the program.
+pub fn algorithm2_with_provenance(
+    scheme: &DbScheme,
+    t2: &JoinTree,
+) -> Result<(Program, Alg2Provenance), Alg2Error> {
     if !scheme.fully_connected() {
         return Err(Alg2Error::SchemeNotConnected);
     }
@@ -193,9 +236,12 @@ pub fn algorithm2(scheme: &DbScheme, t2: &JoinTree) -> Result<Program, Alg2Error
         scheme,
         next_v: 0,
         next_f: 0,
+        origins: Vec::new(),
     };
     let result = d.process(t2);
-    Ok(d.builder.finish(result))
+    let program = d.builder.finish(result);
+    debug_assert_eq!(d.origins.len(), program.stmts.len());
+    Ok((program, d.origins))
 }
 
 #[cfg(test)]
@@ -290,6 +336,34 @@ mod tests {
             assert_eq!(*out.result, expected, "tree {}", t2.display(&s, &c));
             assert!((p.len() as u64) < s.quasi_factor());
         }
+    }
+
+    #[test]
+    fn example6_provenance_steps_and_nodes() {
+        let (c, s) = paper();
+        let t2 = fig2(&c, &s);
+        let (p, prov) = algorithm2_with_provenance(&s, &t2).unwrap();
+        assert_eq!(prov.len(), p.stmts.len());
+        // The whole spine belongs to the root node {ABC,CDE,EFG,GHA}.
+        let root = t2.rel_set();
+        assert!(prov.iter().all(|o| o.node == root));
+        // Example 6's step sequence: ⋉ (6), the F-block (10,11,12,13,14),
+        // i=3's join+semijoin (5,6), then two step-17 cleanup joins.
+        let steps: Vec<u8> = prov.iter().map(|o| o.step).collect();
+        assert_eq!(steps, vec![6, 10, 11, 12, 13, 14, 5, 6, 17, 17]);
+    }
+
+    #[test]
+    fn right_deep_provenance_tracks_inner_nodes() {
+        let (c, s) = paper();
+        let t = parse_join_tree(&c, &s, "GHA ⋈ (EFG ⋈ (CDE ⋈ ABC))").unwrap();
+        let (p, prov) = algorithm2_with_provenance(&s, &t).unwrap();
+        assert_eq!(prov.len(), p.stmts.len());
+        // Inner S-nodes are processed before the root, so their sets must
+        // appear in the provenance and differ from the root's.
+        let root = t.rel_set();
+        assert!(prov.iter().any(|o| o.node != root));
+        assert!(prov.iter().any(|o| o.node == root));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod pipeline;
 
 pub use ablate::{ablate_program, Ablation};
 pub use alg1::{algorithm1, algorithm1_all_outcomes, algorithm1_with_policy, Alg1Error};
-pub use alg2::{algorithm2, Alg2Error};
+pub use alg2::{algorithm2, algorithm2_with_provenance, Alg2Error, Alg2Provenance, StmtOrigin};
 pub use bounds::{check_theorem1, check_theorem2, BoundReport};
 pub use choice::{ChoicePolicy, CostAwareChoice, FirstChoice, ScriptedChoice, SeededChoice};
 pub use explain::explain;

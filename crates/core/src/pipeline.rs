@@ -8,7 +8,7 @@
 //! out is quasi-optimal relative to it.
 
 use crate::alg1::{algorithm1_with_policy, Alg1Error};
-use crate::alg2::{algorithm2, Alg2Error};
+use crate::alg2::{algorithm2_with_provenance, Alg2Error, Alg2Provenance};
 use crate::choice::{ChoicePolicy, FirstChoice};
 use mjoin_expr::JoinTree;
 use mjoin_hypergraph::DbScheme;
@@ -56,6 +56,9 @@ pub struct Derivation {
     pub cpf_tree: JoinTree,
     /// Algorithm 2's program `P`.
     pub program: Program,
+    /// Per-statement provenance: which Algorithm 2 step emitted each
+    /// statement, processing which node of `T₂`.
+    pub provenance: Alg2Provenance,
 }
 
 /// Derive a program from an arbitrary join tree over a connected scheme,
@@ -66,8 +69,12 @@ pub fn derive_with_policy(
     policy: &mut dyn ChoicePolicy,
 ) -> Result<Derivation, PipelineError> {
     let cpf_tree = algorithm1_with_policy(scheme, t1, policy)?;
-    let program = algorithm2(scheme, &cpf_tree)?;
-    Ok(Derivation { cpf_tree, program })
+    let (program, provenance) = algorithm2_with_provenance(scheme, &cpf_tree)?;
+    Ok(Derivation {
+        cpf_tree,
+        program,
+        provenance,
+    })
 }
 
 /// Derive with the deterministic first-choice policy.

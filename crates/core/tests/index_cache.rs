@@ -227,6 +227,7 @@ fn tiny_budget_evicts_but_stays_correct() {
                 threads,
                 index_cache: true,
                 cache_budget_tuples: budget,
+                ..ExecConfig::default()
             };
             let out = execute_with(&p, &db, &cfg);
             assert_eq!(

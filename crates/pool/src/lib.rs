@@ -25,7 +25,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -58,8 +58,26 @@ impl ScopeState {
 
 struct Shared {
     queue: Mutex<VecDeque<Task>>,
-    /// Signaled when the queue gains a task or any task completes.
+    /// Signaled when the queue gains a task or any task completes. Only
+    /// scope waiters ([`wait_scope`]) block on this; idle workers park on
+    /// [`Shared::park`] instead, so task completions never wake the whole
+    /// worker herd.
     cv: Condvar,
+    /// Parked workers block here; [`Scope::spawn`] notifies it once per
+    /// push while any worker is parked.
+    park: Condvar,
+    /// Workers currently parked. Incremented under the queue lock before
+    /// waiting (and the spawner reads it under the same lock), so a push
+    /// can never miss a parking worker.
+    parked: AtomicUsize,
+    /// Lifetime count of park events (a worker going to sleep).
+    parks: AtomicU64,
+    /// Lifetime count of productive unparks (woke up and found work).
+    unparks: AtomicU64,
+    /// Lifetime count of unproductive wakeups (woke up to an empty queue —
+    /// a spurious wakeup or a lost race for the task). A quiescent pool
+    /// must not accumulate these; the regression test checks it.
+    empty_wakeups: AtomicU64,
     /// Number of worker threads started so far.
     workers: AtomicUsize,
     /// Serializes pool growth: [`ThreadPool::ensure_at_least`] must read
@@ -112,6 +130,11 @@ impl ThreadPool {
             shared: Arc::new(Shared {
                 queue: Mutex::new(VecDeque::new()),
                 cv: Condvar::new(),
+                park: Condvar::new(),
+                parked: AtomicUsize::new(0),
+                parks: AtomicU64::new(0),
+                unparks: AtomicU64::new(0),
+                empty_wakeups: AtomicU64::new(0),
                 workers: AtomicUsize::new(0),
                 grow: Mutex::new(()),
             }),
@@ -139,20 +162,80 @@ impl ThreadPool {
                 .expect("spawn pool worker");
         }
     }
+
+    /// Run `f` with a [`Scope`] that submits to *this* pool; returns once
+    /// every spawned task has finished. The free function [`scope`] is the
+    /// same thing against the global pool.
+    pub fn scope<'env, F, R>(&'env self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        scope_on(&self.shared, f)
+    }
+
+    /// Workers of this pool currently parked (asleep, burning no CPU).
+    pub fn parked_workers(&self) -> usize {
+        self.shared.parked.load(Ordering::SeqCst)
+    }
+
+    /// Lifetime `(parks, unparks, empty_wakeups)` counters: sleep events,
+    /// wakeups that found work, and wakeups that found the queue empty. A
+    /// quiescent pool accumulates none of the three.
+    pub fn park_stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.parks.load(Ordering::Relaxed),
+            self.shared.unparks.load(Ordering::Relaxed),
+            self.shared.empty_wakeups.load(Ordering::Relaxed),
+        )
+    }
 }
+
+/// Empty pop attempts (with a `yield_now` between each) before an idle
+/// worker parks. Short on purpose: a stream of submissions keeps workers
+/// hot, while a quiescent pool goes fully to sleep within microseconds
+/// instead of spinning or thundering awake on every task completion.
+const SPIN_POPS: usize = 16;
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let task = {
-            let mut q = shared.queue.lock().expect("pool queue poisoned");
-            loop {
-                if let Some(t) = q.pop_front() {
-                    break t;
-                }
-                q = shared.cv.wait(q).expect("pool queue poisoned");
+        let mut task = None;
+        for _ in 0..SPIN_POPS {
+            if let Some(t) = shared
+                .queue
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_front()
+            {
+                task = Some(t);
+                break;
             }
-        };
+            thread::yield_now();
+        }
+        let task = task.unwrap_or_else(|| park_until_task(shared));
         run_task(shared, task, false);
+    }
+}
+
+/// Park on [`Shared::park`] until a task arrives. Workers never block on
+/// the completion condvar, so "quiescent pool" deterministically means
+/// "every worker parked here, burning no CPU".
+fn park_until_task(shared: &Shared) -> Task {
+    let mut q = shared.queue.lock().expect("pool queue poisoned");
+    loop {
+        if let Some(t) = q.pop_front() {
+            return t;
+        }
+        shared.parked.fetch_add(1, Ordering::SeqCst);
+        shared.parks.fetch_add(1, Ordering::Relaxed);
+        mjoin_trace::add("pool.parks", 1);
+        q = shared.park.wait(q).expect("pool queue poisoned");
+        shared.parked.fetch_sub(1, Ordering::SeqCst);
+        if q.is_empty() {
+            shared.empty_wakeups.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.unparks.fetch_add(1, Ordering::Relaxed);
+            mjoin_trace::add("pool.unparks", 1);
+        }
     }
 }
 
@@ -226,6 +309,12 @@ impl<'env> Scope<'env> {
         if mjoin_trace::enabled() {
             mjoin_trace::record_max("pool.max_queue_depth", q.len() as u64);
         }
+        // `parked` is read under the same lock the parker incremented it
+        // under, so this push either wakes a parked worker or is already
+        // visible to a worker still spinning toward its pop.
+        if self.shared.parked.load(Ordering::SeqCst) > 0 {
+            self.shared.park.notify_one();
+        }
         self.shared.cv.notify_one();
     }
 }
@@ -252,21 +341,29 @@ fn wait_scope(shared: &Shared, state: &Arc<ScopeState>) {
     }
 }
 
-/// Run `f` with a [`Scope`]; returns once every spawned task has finished.
-/// The first panic from any task (or from `f` itself) is propagated.
+/// Run `f` with a [`Scope`] on the global pool; returns once every spawned
+/// task has finished. The first panic from any task (or from `f` itself) is
+/// propagated.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: FnOnce(&Scope<'env>) -> R,
 {
-    let pool = global();
+    scope_on(&global().shared, f)
+}
+
+/// [`scope`] against an explicit pool's shared state.
+fn scope_on<'env, F, R>(shared: &'env Shared, f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
     let state = Arc::new(ScopeState::new());
     let s = Scope {
         state: Arc::clone(&state),
-        shared: &pool.shared,
+        shared,
         _marker: PhantomData,
     };
     let body = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
-    wait_scope(&pool.shared, &state);
+    wait_scope(shared, &state);
     let task_panic = state.panic.lock().expect("panic slot poisoned").take();
     match body {
         Ok(r) => {
@@ -440,6 +537,68 @@ mod tests {
             }
         });
         assert_eq!(pool.shared.workers.load(Ordering::Relaxed), target);
+    }
+
+    /// Regression: workers used to block on the completion condvar, so every
+    /// finished task thundered the whole herd awake (and before that, an
+    /// idle pool could spin). A quiescent pool must have every worker parked
+    /// and accumulate zero wakeups while nothing is submitted — then wake
+    /// and run new work. Uses a standalone pool so activity on the global
+    /// pool from other tests can't interfere.
+    #[test]
+    fn quiescent_pool_parks_and_burns_no_wakeups() {
+        let pool = ThreadPool::empty();
+        pool.ensure_at_least(3);
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+
+        // All workers go to sleep once the burst drains.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.parked_workers() < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never parked: {} of 3 after burst",
+                pool.parked_workers()
+            );
+            thread::yield_now();
+        }
+
+        // And stay asleep: no wakeups of any kind while the pool is idle.
+        let (parks_before, unparks_before, empty_before) = pool.park_stats();
+        thread::sleep(std::time::Duration::from_millis(150));
+        assert_eq!(pool.parked_workers(), 3, "a parked worker woke unprompted");
+        let (parks_after, unparks_after, empty_after) = pool.park_stats();
+        assert_eq!(parks_after, parks_before, "idle pool re-parked");
+        assert_eq!(unparks_after, unparks_before, "idle pool unparked");
+        assert_eq!(empty_after, empty_before, "idle pool had empty wakeups");
+
+        // A new submission unparks a worker, which must run the task while
+        // the submitting thread is still inside the scope body — the
+        // helping-waiter path hasn't started yet, so only a woken worker
+        // can complete it.
+        pool.scope(|s| {
+            let hits = &hits;
+            s.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while hits.load(Ordering::Relaxed) < 65 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "parked workers never picked up the new task"
+                );
+                thread::yield_now();
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 65);
     }
 
     #[test]

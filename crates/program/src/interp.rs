@@ -24,7 +24,7 @@ use crate::schedule::schedule;
 use crate::stmt::{Reg, Stmt};
 use mjoin_relation::fxhash::FxHashMap;
 use mjoin_relation::ops::{
-    self, join_key_positions, par_join_indexed, par_semijoin_indexed, JoinIndex, SMALL,
+    self, join_key_positions, par_join_indexed_cutoff, par_semijoin_indexed_cutoff, JoinIndex,
 };
 use mjoin_relation::{CostLedger, Database, Relation, Schema};
 use std::sync::Arc;
@@ -42,6 +42,10 @@ pub struct ExecConfig {
     /// Cache budget: the cache evicts least-recently-used indices once the
     /// total tuples resident in cached indices exceed this.
     pub cache_budget_tuples: u64,
+    /// Row count below which the partitioned operators run sequentially.
+    /// Defaults to the process-wide [`ops::par_cutoff`] (itself seeded from
+    /// `MJOIN_PAR_CUTOFF`, falling back to [`SMALL`]).
+    pub par_cutoff: usize,
 }
 
 impl Default for ExecConfig {
@@ -50,6 +54,7 @@ impl Default for ExecConfig {
             threads: 1,
             index_cache: true,
             cache_budget_tuples: 4 << 20,
+            par_cutoff: ops::par_cutoff(),
         }
     }
 }
@@ -376,13 +381,14 @@ fn eval_stmt(
     m: &Machine,
     stmt: &Stmt,
     threads: usize,
+    cutoff: usize,
     mut idx: IndexMode<'_>,
 ) -> (Reg, Relation) {
     match stmt {
         Stmt::Project { dst, src, attrs } => {
             let src_rel = m.read(program, *src);
             let schema = Schema::from_set(attrs);
-            let projected = ops::par_project(&src_rel, schema.attrs(), threads)
+            let projected = ops::par_project_cutoff(&src_rel, schema.attrs(), threads, cutoff)
                 .expect("validated: projection attrs ⊆ source scheme");
             (*dst, projected)
         }
@@ -393,7 +399,7 @@ fn eval_stmt(
             if lpos.is_empty() {
                 // Cartesian product: an index (one bucket chain holding
                 // everything) buys nothing.
-                return (*dst, ops::par_join(&l, &r, threads));
+                return (*dst, ops::par_join_cutoff(&l, &r, threads, cutoff));
             }
             // Peek both sides; with a choice, keep the index on the larger
             // side so the smaller side does the probing.
@@ -409,7 +415,10 @@ fn eval_stmt(
             };
             if let Some((index, probe)) = hit {
                 IndexCache::note_hit(&index);
-                return (*dst, par_join_indexed(&index, &probe, threads));
+                return (
+                    *dst,
+                    par_join_indexed_cutoff(&index, &probe, threads, cutoff),
+                );
             }
             if idx.counts() {
                 IndexCache::note_miss();
@@ -420,18 +429,18 @@ fn eval_stmt(
             // statements. Parallel big-build joins keep the partitioned
             // paths (radix co-partitioning beats one shared build there).
             let small_is_left = l.len() <= r.len();
-            if idx.builds_on_miss() && (threads == 1 || l.len().min(r.len()) < SMALL) {
+            if idx.builds_on_miss() && (threads == 1 || l.len().min(r.len()) < cutoff) {
                 let (small, spos, big) = if small_is_left {
                     (Arc::clone(&l), lpos, r)
                 } else {
                     (Arc::clone(&r), rpos, l)
                 };
                 let index = Arc::new(JoinIndex::build(small, spos));
-                let out = par_join_indexed(&index, &big, threads);
+                let out = par_join_indexed_cutoff(&index, &big, threads, cutoff);
                 idx.insert(index);
                 return (*dst, out);
             }
-            (*dst, ops::par_join(&l, &r, threads))
+            (*dst, ops::par_join_cutoff(&l, &r, threads, cutoff))
         }
         Stmt::Semijoin { target, filter } => {
             let t = m.read(program, *target);
@@ -439,7 +448,7 @@ fn eval_stmt(
             let common = t.schema().intersect(f.schema());
             if common.is_empty() {
                 // Degenerate case: no per-tuple work to index.
-                return (*target, ops::par_semijoin(&t, &f, threads));
+                return (*target, ops::par_semijoin_cutoff(&t, &f, threads, cutoff));
             }
             let fpos = f
                 .schema()
@@ -447,7 +456,10 @@ fn eval_stmt(
                 .expect("common attrs in filter");
             if let Some(index) = idx.peek(&f, &fpos) {
                 IndexCache::note_hit(&index);
-                return (*target, par_semijoin_indexed(&t, &index, threads));
+                return (
+                    *target,
+                    par_semijoin_indexed_cutoff(&t, &index, threads, cutoff),
+                );
             }
             if idx.counts() {
                 IndexCache::note_miss();
@@ -457,11 +469,11 @@ fn eval_stmt(
                 // set; building it as an index costs the same and is
                 // reusable by every later statement filtering through `f`.
                 let index = Arc::new(JoinIndex::build(Arc::clone(&f), fpos));
-                let out = par_semijoin_indexed(&t, &index, threads);
+                let out = par_semijoin_indexed_cutoff(&t, &index, threads, cutoff);
                 idx.insert(index);
                 return (*target, out);
             }
-            (*target, ops::par_semijoin(&t, &f, threads))
+            (*target, ops::par_semijoin_cutoff(&t, &f, threads, cutoff))
         }
     }
 }
@@ -482,10 +494,11 @@ fn eval_stmt_traced(
     stmt: &Stmt,
     index: usize,
     threads: usize,
+    cutoff: usize,
     idx: IndexMode<'_>,
 ) -> (Reg, Relation) {
     let mut sp = mjoin_trace::span("exec", "stmt");
-    let (head, value) = eval_stmt(program, m, stmt, threads, idx);
+    let (head, value) = eval_stmt(program, m, stmt, threads, cutoff, idx);
     if sp.is_active() {
         sp.arg("index", index);
         sp.arg("kind", stmt_kind(stmt));
@@ -547,8 +560,9 @@ fn execute_seq(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcom
         } else {
             IndexMode::Off
         };
-        let (head, value) = eval_stmt_traced(program, &m, stmt, i, 1, idx);
+        let (head, value) = eval_stmt_traced(program, &m, stmt, i, 1, cfg.par_cutoff, idx);
         ledger.charge_generated(format!("stmt {i}"), value.len());
+        mjoin_trace::add("exec.head_tuples", value.len() as u64);
         head_sizes.push(value.len());
         if let Some(old) = m.write(head, Arc::new(value)) {
             cache.invalidate(&old);
@@ -706,7 +720,15 @@ fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutc
                     };
                     (
                         i,
-                        eval_stmt_traced(program, &m, &program.stmts[i], i, threads, idx),
+                        eval_stmt_traced(
+                            program,
+                            &m,
+                            &program.stmts[i],
+                            i,
+                            threads,
+                            cfg.par_cutoff,
+                            idx,
+                        ),
                     )
                 })
                 .collect()
@@ -719,7 +741,15 @@ fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutc
                 };
                 (
                     i,
-                    eval_stmt_traced(program, &m, &program.stmts[i], i, threads, idx),
+                    eval_stmt_traced(
+                        program,
+                        &m,
+                        &program.stmts[i],
+                        i,
+                        threads,
+                        cfg.par_cutoff,
+                        idx,
+                    ),
                 )
             })
         };
@@ -735,6 +765,7 @@ fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutc
     let mut head_sizes = Vec::with_capacity(n);
     for (i, &size) in sizes.iter().enumerate() {
         ledger.charge_generated(format!("stmt {i}"), size);
+        mjoin_trace::add("exec.head_tuples", size as u64);
         head_sizes.push(size);
     }
 

@@ -17,7 +17,7 @@
 
 use super::hashtable::RawTable;
 use super::join::join_key_positions;
-use super::{hash_at, keys_eq, SMALL};
+use super::{hash_at, keys_eq, par_cutoff};
 use crate::relation::{Relation, Row};
 use std::sync::Arc;
 
@@ -122,6 +122,16 @@ fn splice_plan(index: &JoinIndex, probe: &Relation) -> (Vec<(bool, usize)>, Vec<
 /// already paid for (or shared across statements), probing with the smaller
 /// side wins regardless of which side is bigger.
 pub fn par_join_indexed(index: &JoinIndex, probe: &Relation, threads: usize) -> Relation {
+    par_join_indexed_cutoff(index, probe, threads, par_cutoff())
+}
+
+/// [`par_join_indexed`] with an explicit parallel/sequential cutoff in rows.
+pub fn par_join_indexed_cutoff(
+    index: &JoinIndex,
+    probe: &Relation,
+    threads: usize,
+    cutoff: usize,
+) -> Relation {
     let threads = threads.max(1);
     let mut sp = mjoin_trace::span("op", "join");
     if sp.is_active() {
@@ -153,7 +163,7 @@ pub fn par_join_indexed(index: &JoinIndex, probe: &Relation, threads: usize) -> 
         out
     };
 
-    let rows = if threads == 1 || probe.len() < SMALL {
+    let rows = if threads == 1 || probe.len() < cutoff {
         probe_chunk(probe.rows())
     } else {
         mjoin_pool::par_map_slices(probe.rows(), threads, |_, chunk| probe_chunk(chunk))
@@ -169,6 +179,16 @@ pub fn par_join_indexed(index: &JoinIndex, probe: &Relation, threads: usize) -> 
 /// Semijoin `target ⋉ index.relation()` against a prebuilt index over the
 /// filter side.
 pub fn par_semijoin_indexed(target: &Relation, index: &JoinIndex, threads: usize) -> Relation {
+    par_semijoin_indexed_cutoff(target, index, threads, par_cutoff())
+}
+
+/// [`par_semijoin_indexed`] with an explicit parallel/sequential cutoff.
+pub fn par_semijoin_indexed_cutoff(
+    target: &Relation,
+    index: &JoinIndex,
+    threads: usize,
+    cutoff: usize,
+) -> Relation {
     let threads = threads.max(1);
     let mut sp = mjoin_trace::span("op", "semijoin");
     if sp.is_active() {
@@ -192,7 +212,7 @@ pub fn par_semijoin_indexed(target: &Relation, index: &JoinIndex, threads: usize
         "index key positions must be the semijoin key of its relation"
     );
 
-    let rows: Vec<Row> = if threads == 1 || target.len() < SMALL {
+    let rows: Vec<Row> = if threads == 1 || target.len() < cutoff {
         target
             .rows()
             .iter()

@@ -18,24 +18,63 @@ mod select;
 mod semijoin;
 mod setops;
 
-pub use index::{par_join_indexed, par_semijoin_indexed, JoinIndex};
+pub use index::{
+    par_join_indexed, par_join_indexed_cutoff, par_semijoin_indexed, par_semijoin_indexed_cutoff,
+    JoinIndex,
+};
 pub use join::{join, join_key_positions};
 pub use merge_join::merge_join;
-pub use par_join::par_join;
-pub use project::{par_project, project};
+pub use par_join::{par_join, par_join_cutoff};
+pub use project::{par_project, par_project_cutoff, project};
 pub use rename::rename;
 pub use select::{select_eq, select_where};
-pub use semijoin::{par_semijoin, semijoin};
+pub use semijoin::{par_semijoin, par_semijoin_cutoff, semijoin};
 pub use setops::{difference, intersection, union};
 
 use crate::fxhash::FxBuildHasher;
 use crate::relation::Row;
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Below this row count the parallel operators fall back to their sequential
-/// counterparts: partitioning and task-queue overhead dominate until inputs
-/// reach a few thousand rows.
+/// Default parallel/sequential cutoff: below this row count the parallel
+/// operators fall back to their sequential counterparts — partitioning and
+/// task-queue overhead dominate until inputs reach a few thousand rows
+/// (PR 2's trace timings put the crossover between 2k and 8k rows on the
+/// benchmarked workloads, so the default stays at 4096).
 pub const SMALL: usize = 4096;
+
+/// The process-wide cutoff. `usize::MAX` means "not yet initialized":
+/// the first read seeds it from `MJOIN_PAR_CUTOFF` (falling back to
+/// [`SMALL`]).
+static PAR_CUTOFF: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// The process-wide parallel/sequential cutoff in rows.
+///
+/// Lazily initialized from the `MJOIN_PAR_CUTOFF` environment variable on
+/// first read; [`SMALL`] when unset or unparsable. Overridable at runtime
+/// with [`set_par_cutoff`]. `mjoin_program::ExecConfig` snapshots this as
+/// its default and threads it through every operator call, so per-run
+/// overrides don't need process-global state.
+pub fn par_cutoff() -> usize {
+    let v = PAR_CUTOFF.load(Ordering::Relaxed);
+    if v != usize::MAX {
+        return v;
+    }
+    let init = std::env::var("MJOIN_PAR_CUTOFF")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(SMALL);
+    PAR_CUTOFF.store(init, Ordering::Relaxed);
+    init
+}
+
+/// Override the process-wide cutoff (0 forces the parallel paths on for
+/// any input size; large values force the sequential paths).
+pub fn set_par_cutoff(rows: usize) {
+    // usize::MAX is the "uninitialized" sentinel; clamp just below it so a
+    // caller asking for "always sequential" doesn't re-arm the env read.
+    PAR_CUTOFF.store(rows.min(usize::MAX - 1), Ordering::Relaxed);
+}
 
 /// Hash the values at `positions` of `row` (the partition and join key).
 /// The kernels never materialize keys: this hash plus the positional

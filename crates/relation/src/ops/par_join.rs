@@ -25,15 +25,27 @@
 //! order-blind.
 
 use super::join::{hash_join_rows, join, join_key_positions, JoinKernel};
-use super::{hash_partition, SMALL};
+use super::{hash_partition, par_cutoff};
 use crate::relation::{Relation, Row};
 
-/// Parallel natural join over `threads` partitions (clamped to ≥ 1).
+/// Parallel natural join over `threads` partitions (clamped to ≥ 1), with
+/// the process-wide [`par_cutoff`] deciding the sequential fallback.
 ///
 /// Falls back to the sequential join when either input is small (the
 /// partitioning overhead dominates below a few thousand rows); Cartesian
 /// products (no key to partition on) always take the chunked-probe path.
 pub fn par_join(left: &Relation, right: &Relation, threads: usize) -> Relation {
+    par_join_cutoff(left, right, threads, par_cutoff())
+}
+
+/// [`par_join`] with an explicit parallel/sequential cutoff in rows (the
+/// knob `ExecConfig::par_cutoff` threads through the executor).
+pub fn par_join_cutoff(
+    left: &Relation,
+    right: &Relation,
+    threads: usize,
+    cutoff: usize,
+) -> Relation {
     let threads = threads.max(1);
     let mut sp = mjoin_trace::span("op", "join");
     if sp.is_active() {
@@ -41,7 +53,7 @@ pub fn par_join(left: &Relation, right: &Relation, threads: usize) -> Relation {
         sp.arg("right_rows", right.len());
         sp.arg("threads", threads);
     }
-    if threads == 1 || (left.len() < SMALL && right.len() < SMALL) {
+    if threads == 1 || (left.len() < cutoff && right.len() < cutoff) {
         let out = join(left, right);
         sp.arg("strategy", "sequential");
         sp.arg("out_rows", out.len());
@@ -53,7 +65,7 @@ pub fn par_join(left: &Relation, right: &Relation, threads: usize) -> Relation {
         (right, left)
     };
     let (lkey, rkey) = join_key_positions(left.schema(), right.schema());
-    if build.len() < SMALL || lkey.is_empty() {
+    if build.len() < cutoff || lkey.is_empty() {
         let out = chunked_probe_join(build, probe, threads);
         sp.arg("strategy", "shared_build_probe");
         sp.arg("build_rows", build.len());
@@ -128,6 +140,28 @@ mod tests {
         let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap();
         let s = relation_of_ints(&mut c, "BC", &[&[2, 5]]).unwrap();
         assert_eq!(par_join(&r, &s, 8), join(&r, &s));
+    }
+
+    #[test]
+    fn explicit_cutoff_zero_forces_parallel_paths() {
+        // Tiny inputs driven down the partitioned paths must still agree
+        // with the sequential join.
+        let mut c = Catalog::new();
+        let r = big(&mut c, "AB", 300, 20);
+        let s = big(&mut c, "AC", 200, 20);
+        let seq = join(&r, &s);
+        assert_eq!(par_join_cutoff(&r, &s, 4, 0), seq);
+        // A huge cutoff forces the sequential path regardless of size.
+        assert_eq!(par_join_cutoff(&r, &s, 4, usize::MAX), seq);
+    }
+
+    #[test]
+    fn global_cutoff_roundtrip() {
+        let before = super::super::par_cutoff();
+        super::super::set_par_cutoff(7);
+        assert_eq!(super::super::par_cutoff(), 7);
+        super::super::set_par_cutoff(before);
+        assert_eq!(super::super::par_cutoff(), before);
     }
 
     #[test]

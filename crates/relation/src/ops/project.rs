@@ -1,6 +1,6 @@
 //! Projection (`π`), with set-semantics deduplication.
 
-use super::{hash_partition, SMALL};
+use super::{hash_partition, par_cutoff};
 use crate::attr::AttrId;
 use crate::error::Result;
 use crate::fxhash::FxHashSet;
@@ -42,13 +42,23 @@ pub fn project(rel: &Relation, attrs: &[AttrId]) -> Result<Relation> {
 /// possible). Row order is unspecified but deterministic for a given
 /// `threads` value; `Relation` equality is order-blind.
 pub fn par_project(rel: &Relation, attrs: &[AttrId], threads: usize) -> Result<Relation> {
+    par_project_cutoff(rel, attrs, threads, par_cutoff())
+}
+
+/// [`par_project`] with an explicit parallel/sequential cutoff in rows.
+pub fn par_project_cutoff(
+    rel: &Relation,
+    attrs: &[AttrId],
+    threads: usize,
+    cutoff: usize,
+) -> Result<Relation> {
     let threads = threads.max(1);
     let mut sp = mjoin_trace::span("op", "project");
     if sp.is_active() {
         sp.arg("in_rows", rel.len());
         sp.arg("threads", threads);
     }
-    if threads == 1 || rel.len() < SMALL {
+    if threads == 1 || rel.len() < cutoff {
         let out = project(rel, attrs)?;
         sp.arg("strategy", "sequential");
         sp.arg("out_rows", out.len());

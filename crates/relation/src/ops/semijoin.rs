@@ -1,7 +1,7 @@
 //! Semijoin (`⋉`), the reducer used by Algorithm 2 and by full reducers.
 
 use super::hashtable::RawTable;
-use super::{hash_at, keys_eq, SMALL};
+use super::{hash_at, keys_eq};
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
 
@@ -88,6 +88,16 @@ pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
 /// Falls back to [`semijoin`] for small inputs, a single thread, or the
 /// disjoint-schema degenerate case (which does no per-tuple work).
 pub fn par_semijoin(left: &Relation, right: &Relation, threads: usize) -> Relation {
+    par_semijoin_cutoff(left, right, threads, super::par_cutoff())
+}
+
+/// [`par_semijoin`] with an explicit parallel/sequential cutoff in rows.
+pub fn par_semijoin_cutoff(
+    left: &Relation,
+    right: &Relation,
+    threads: usize,
+    cutoff: usize,
+) -> Relation {
     let threads = threads.max(1);
     let mut sp = mjoin_trace::span("op", "semijoin");
     if sp.is_active() {
@@ -95,7 +105,7 @@ pub fn par_semijoin(left: &Relation, right: &Relation, threads: usize) -> Relati
         sp.arg("right_rows", right.len());
         sp.arg("threads", threads);
     }
-    if threads == 1 || (left.len() < SMALL && right.len() < SMALL) {
+    if threads == 1 || (left.len() < cutoff && right.len() < cutoff) {
         let out = semijoin(left, right);
         sp.arg("strategy", "sequential");
         sp.arg("out_rows", out.len());

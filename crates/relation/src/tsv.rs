@@ -23,12 +23,32 @@ use crate::value::Value;
 /// Parse a relation from TSV text, interning attribute names into `catalog`.
 ///
 /// Column order in the file may differ from canonical schema order; values
-/// are permuted into place.
+/// are permuted into place. Thin wrapper over [`relation_from_tsv_reader`].
 pub fn relation_from_tsv(catalog: &mut Catalog, text: &str) -> Result<Relation> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines
-        .next()
-        .ok_or_else(|| Error::Parse("TSV input has no header line".to_string()))?;
+    relation_from_tsv_reader(catalog, text.as_bytes())
+}
+
+/// Parse a relation by streaming lines from any [`std::io::BufRead`] source
+/// (a `File` behind a `BufReader`, a byte slice, a pipe) — one line resident
+/// at a time instead of the whole file as a `String`. I/O failures surface
+/// as [`Error::Parse`] like any other malformed input.
+pub fn relation_from_tsv_reader<R: std::io::BufRead>(
+    catalog: &mut Catalog,
+    reader: R,
+) -> Result<Relation> {
+    let read_err = |e: std::io::Error| Error::Parse(format!("TSV read error: {e}"));
+    let mut lines = reader.lines();
+    let header = loop {
+        match lines.next() {
+            None => return Err(Error::Parse("TSV input has no header line".to_string())),
+            Some(line) => {
+                let line = line.map_err(read_err)?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+        }
+    };
     let col_names: Vec<&str> = header.split('\t').map(str::trim).collect();
     if col_names.iter().any(|n| n.is_empty()) {
         return Err(Error::Parse(
@@ -54,7 +74,14 @@ pub fn relation_from_tsv(catalog: &mut Catalog, text: &str) -> Result<Relation> 
         .collect();
 
     let mut rows: Vec<Row> = Vec::new();
-    for (lineno, line) in lines.enumerate() {
+    // Index among non-blank data lines, matching the historical in-memory
+    // parser's numbering (blank lines are skipped, not counted).
+    let mut lineno = 0usize;
+    for line in lines {
+        let line = line.map_err(read_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
         let cells: Vec<&str> = line.split('\t').collect();
         if cells.len() != col_ids.len() {
             return Err(Error::Parse(format!(
@@ -69,6 +96,7 @@ pub fn relation_from_tsv(catalog: &mut Catalog, text: &str) -> Result<Relation> 
             row[dest[i]] = cell_from_tsv(cell, lineno + 2)?;
         }
         rows.push(row.into());
+        lineno += 1;
     }
     Relation::from_rows(schema, rows)
 }
@@ -227,6 +255,36 @@ mod tests {
         }
         let back = relation_from_tsv(&mut c, &text).unwrap();
         assert_eq!(back, rel);
+    }
+
+    /// The streaming reader is the same parser: identical result on good
+    /// input, identical line numbering in errors (blank lines skipped, not
+    /// counted), and I/O failures surface as parse errors.
+    #[test]
+    fn reader_streams_like_the_string_parser() {
+        let mut c = Catalog::new();
+        let text = "A\tB\n\n1\t2\n\n3\thi\n";
+        let from_str = relation_from_tsv(&mut c, text).unwrap();
+        let from_reader =
+            relation_from_tsv_reader(&mut c, std::io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(from_str, from_reader);
+
+        let bad = "A\tB\n\n1\t2\n3\n";
+        let e1 = relation_from_tsv(&mut c, bad).unwrap_err().to_string();
+        let e2 = relation_from_tsv_reader(&mut c, bad.as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert_eq!(e1, e2);
+        assert!(e1.contains("line 3"), "{e1}");
+
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk gone"))
+            }
+        }
+        let err = relation_from_tsv_reader(&mut c, std::io::BufReader::new(Failing)).unwrap_err();
+        assert!(err.to_string().contains("TSV read error"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! mjoin_cli plan     [--optimizer X] R1.tsv …   # show tree + program
 //! mjoin_cli run      [--optimizer X] R1.tsv …   # execute, TSV on stdout
 //! mjoin_cli check    [--scheme AB,BC] [--deny warn] [--format json] P.mj
+//! mjoin_cli audit    [--deny error] [--format json] P.mj <data.tsv…|data dir>
 //! mjoin_cli query "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …   # conjunctive query
 //! mjoin_cli datalog "t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)." E.tsv …
 //! ```
@@ -17,6 +18,15 @@
 //! directive in the file itself. Diagnostics go to stderr (`--format json`
 //! for machine consumption); the exit code is nonzero when any finding
 //! reaches the `--deny` threshold (default `error`).
+//!
+//! `audit` goes further: it computes the Theorem-2 cost certificate and the
+//! abstract cardinality intervals for the program, *executes* it over TSV
+//! data (files, or a directory of `.tsv` files, matched to scheme edges by
+//! attribute set), and diffs every statement's measured head count against
+//! its sound static bounds. Any statement exceeding a bound is an `error` —
+//! that means a kernel, scheduler, or certificate bug, not a data problem.
+//! The per-statement table goes to stdout; `check --verify-run P.mj data…`
+//! runs the same audit after linting, reporting on stderr.
 //!
 //! For `query` and `datalog`, each TSV file defines a predicate named by its
 //! file stem (`edges.tsv` → `edges`), with columns bound positionally in
@@ -51,6 +61,9 @@ struct Args {
     deny: String,
     /// `check`: `text` (default) or `json`.
     format: String,
+    /// `check`: also execute the program over supplied data and audit
+    /// measured costs against the static bounds.
+    verify_run: bool,
     files: Vec<String>,
 }
 
@@ -72,12 +85,15 @@ fn parse_args() -> Result<Parsed, String> {
     let mut scheme = None;
     let mut deny = "error".to_string();
     let mut format = "text".to_string();
+    let mut verify_run = false;
     let mut files = Vec::new();
     while let Some(arg) = argv.next() {
         if arg == "--help" || arg == "-h" {
             return Ok(Parsed::Help);
         } else if arg == "--explain-analyze" {
             explain = true;
+        } else if arg == "--verify-run" {
+            verify_run = true;
         } else if arg == "--optimizer" {
             optimizer = argv.next().ok_or("--optimizer needs a value")?;
         } else if let Some(rest) = arg.strip_prefix("--optimizer=") {
@@ -110,23 +126,26 @@ fn parse_args() -> Result<Parsed, String> {
         scheme,
         deny,
         format,
+        verify_run,
         files,
     }))
 }
 
 fn usage() -> String {
-    "usage: mjoin_cli <analyze|plan|run|check|query|datalog> [--optimizer greedy|dp|dp-cpf|dp-linear] \
+    "usage: mjoin_cli <analyze|plan|run|check|audit|query|datalog> [--optimizer greedy|dp|dp-cpf|dp-linear] \
      [--explain-analyze] [\"Q(x) :- …\"] <relation.tsv|program.mj>…\n\
      \n\
      --optimizer        join-tree search: greedy (default) or exact DP over\n\
      \u{20}                  all / CPF / linear trees\n\
      --explain-analyze  print per-statement timings, operator strategies and\n\
      \u{20}                  schedule shape on stderr after execution\n\
-     --scheme A,B,…     (check) database scheme as comma-separated attribute\n\
-     \u{20}                  sets; overrides the file's `# scheme:` directive\n\
-     --deny SEV         (check) exit nonzero at this severity or above:\n\
+     --scheme A,B,…     (check/audit) database scheme as comma-separated\n\
+     \u{20}                  attribute sets; overrides `# scheme:` in the file\n\
+     --deny SEV         (check/audit) exit nonzero at this severity or above:\n\
      \u{20}                  note|warn|error (default error)\n\
-     --format FMT       (check) diagnostics as text (default) or json\n\
+     --format FMT       (check/audit) report as text (default) or json\n\
+     --verify-run       (check) also execute the program over trailing TSV\n\
+     \u{20}                  data and audit measured vs static cost bounds\n\
      --help, -h         this text\n\
      \n\
      environment: MJOIN_TRACE=<path> writes Chrome trace format JSON there"
@@ -152,15 +171,19 @@ fn parse_optimizer(name: &str) -> Result<Optimizer, String> {
     }
 }
 
+/// Stream one TSV file into a relation without materializing the file as a
+/// string first.
+fn load_tsv(catalog: &mut Catalog, path: &str) -> Result<Relation, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    tsv::relation_from_tsv_reader(catalog, std::io::BufReader::new(file))
+        .map_err(|e| format!("`{path}`: {e}"))
+}
+
 fn load(files: &[String]) -> Result<(Catalog, DbScheme, Database), String> {
     let mut catalog = Catalog::new();
     let mut relations = Vec::new();
     for path in files {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        let rel =
-            tsv::relation_from_tsv(&mut catalog, &text).map_err(|e| format!("`{path}`: {e}"))?;
-        relations.push(rel);
+        relations.push(load_tsv(&mut catalog, path)?);
     }
     let db = Database::from_relations(relations);
     let scheme = DbScheme::from_schemas(&db.schemas());
@@ -245,23 +268,26 @@ fn run(args: &Args, execute_it: bool) -> Result<Option<ExplainInfo>, String> {
             run.program_cost(),
             run.exec.peak_resident
         );
+        eprintln!(
+            "ledger: inputs {} + heads {} = cost {}",
+            run.exec.ledger.input_total(),
+            run.exec.ledger.generated_total(),
+            run.exec.ledger.total()
+        );
         eprintln!("result: {} tuples", run.exec.result.len());
         print!("{}", tsv::relation_to_tsv(&catalog, &run.exec.result));
     }
     Ok(Some(info))
 }
 
-/// Lint a program file with `mjoin-analyze`. Returns whether the report
-/// stayed below the `--deny` threshold (the process exit status).
-fn check(args: &Args) -> Result<bool, String> {
-    let path = match args.files.as_slice() {
-        [one] => one,
-        _ => return Err("check needs exactly one program file".to_string()),
-    };
+/// Parse a `.mj` program file plus its database scheme (from `--scheme` or
+/// the file's `# scheme:` directive), interning into a fresh catalog.
+fn parse_program_file(
+    path: &str,
+    scheme_flag: Option<&String>,
+) -> Result<(Catalog, DbScheme, Program), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-
-    // The scheme comes from --scheme, else from a `# scheme:` directive.
-    let scheme_text = match &args.scheme {
+    let scheme_text = match scheme_flag {
         Some(s) => s.clone(),
         None => text
             .lines()
@@ -282,9 +308,154 @@ fn check(args: &Args) -> Result<bool, String> {
     }
     let mut catalog = Catalog::new();
     let scheme = DbScheme::parse(&mut catalog, &parts);
-
     let program = mjoin::program::parse_program(&catalog, &scheme, &text)
         .map_err(|e| format!("`{path}`: {e}"))?;
+    Ok((catalog, scheme, program))
+}
+
+/// Expand data arguments: a directory stands for its `.tsv` files (sorted
+/// by name); anything else is taken as a file path.
+fn expand_data_paths(paths: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        if std::path::Path::new(p).is_dir() {
+            let mut found = Vec::new();
+            let entries =
+                std::fs::read_dir(p).map_err(|e| format!("cannot read directory `{p}`: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("cannot read directory `{p}`: {e}"))?;
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "tsv") {
+                    found.push(path.to_string_lossy().into_owned());
+                }
+            }
+            if found.is_empty() {
+                return Err(format!("directory `{p}` contains no .tsv files"));
+            }
+            found.sort();
+            out.extend(found);
+        } else {
+            out.push(p.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Load TSV files and line them up with the scheme's relations: each file
+/// is matched (and consumed) by the first unmatched scheme edge with the
+/// same attribute set, so file order doesn't matter but every edge needs
+/// exactly one file.
+fn load_db_for_scheme(
+    catalog: &mut Catalog,
+    scheme: &DbScheme,
+    data_paths: &[String],
+) -> Result<Database, String> {
+    let mut loaded: Vec<Option<(String, Relation)>> = data_paths
+        .iter()
+        .map(|p| Ok(Some((p.clone(), load_tsv(catalog, p)?))))
+        .collect::<Result<_, String>>()?;
+    let mut relations = Vec::with_capacity(scheme.num_relations());
+    for i in 0..scheme.num_relations() {
+        let want = scheme.attrs_of(i);
+        let slot = loaded.iter_mut().find(|s| {
+            s.as_ref().is_some_and(|(_, rel)| {
+                AttrSet::from_iter_ids(rel.schema().attrs().iter().copied()) == *want
+            })
+        });
+        match slot {
+            Some(s) => relations.push(s.take().expect("matched above").1),
+            None => {
+                return Err(format!(
+                    "no data file matches scheme relation {} ({})",
+                    i,
+                    Schema::from_set(want).display(catalog)
+                ))
+            }
+        }
+    }
+    if let Some((path, _)) = loaded.iter().flatten().next() {
+        return Err(format!(
+            "data file `{path}` matches no relation of the scheme (or a duplicate)"
+        ));
+    }
+    Ok(Database::from_relations(relations))
+}
+
+/// Execute `program` over the data files/directories in `data_args` and
+/// diff measured per-statement costs against the static certificate and
+/// interval bounds. Returns the rendered report and whether it stayed
+/// below `deny`.
+fn run_audit(
+    catalog: &mut Catalog,
+    scheme: &DbScheme,
+    program: &Program,
+    data_args: &[String],
+    format: &str,
+    deny: Severity,
+) -> Result<(String, bool), String> {
+    if data_args.is_empty() {
+        return Err("audit needs TSV data files (or a directory) after the program".to_string());
+    }
+    let data_paths = expand_data_paths(data_args)?;
+    let db = load_db_for_scheme(catalog, scheme, &data_paths)?;
+    let mut oracle = mjoin::optimizer::HistogramOracle::new(scheme, &db);
+    let mut estimate = |set: RelSet| oracle.subjoin_size(set);
+    let report = mjoin::analyze::audit(
+        program,
+        scheme,
+        catalog,
+        &db,
+        &ExecConfig::default(),
+        Some(&mut estimate),
+    )
+    .map_err(|e| e.to_string())?;
+    let rendered = match format {
+        "text" => {
+            let cx = mjoin::analyze::AnalysisCx::new(program, scheme, catalog)
+                .map_err(|e| e.to_string())?;
+            report.render_text(&cx)
+        }
+        "json" => report.render_json(scheme, catalog),
+        other => return Err(format!("unknown --format `{other}` (text|json)")),
+    };
+    Ok((rendered, report.report.clean_at(deny)))
+}
+
+/// `audit`: one `.mj` program plus data files/directories; the report goes
+/// to stdout, exit status reflects `--deny`.
+fn audit_cmd(args: &Args) -> Result<bool, String> {
+    let (progs, data): (Vec<String>, Vec<String>) =
+        args.files.iter().cloned().partition(|f| f.ends_with(".mj"));
+    let path = match progs.as_slice() {
+        [one] => one,
+        _ => return Err("audit needs exactly one .mj program file".to_string()),
+    };
+    let (mut catalog, scheme, program) = parse_program_file(path, args.scheme.as_ref())?;
+    let deny = Severity::parse(&args.deny)
+        .ok_or_else(|| format!("unknown --deny level `{}` (note|warn|error)", args.deny))?;
+    let (rendered, clean) = run_audit(&mut catalog, &scheme, &program, &data, &args.format, deny)?;
+    match args.format.as_str() {
+        "json" => println!("{rendered}"),
+        _ => print!("{rendered}"),
+    }
+    Ok(clean)
+}
+
+/// Lint a program file with `mjoin-analyze`. Returns whether the report
+/// stayed below the `--deny` threshold (the process exit status). With
+/// `--verify-run`, trailing TSV files/directories are executed against the
+/// program and the measured-vs-static audit must pass too.
+fn check(args: &Args) -> Result<bool, String> {
+    let (progs, data): (Vec<String>, Vec<String>) =
+        args.files.iter().cloned().partition(|f| f.ends_with(".mj"));
+    let path = match progs.as_slice() {
+        [one] => one,
+        _ => return Err("check needs exactly one program file".to_string()),
+    };
+    if !args.verify_run && !data.is_empty() {
+        return Err("check takes only a program file (use --verify-run to pass data)".to_string());
+    }
+    let (mut catalog, scheme, program) = parse_program_file(path, args.scheme.as_ref())?;
     let deny = Severity::parse(&args.deny)
         .ok_or_else(|| format!("unknown --deny level `{}` (note|warn|error)", args.deny))?;
     let report = mjoin::analyze::analyze(&program, &scheme, &catalog);
@@ -293,7 +464,17 @@ fn check(args: &Args) -> Result<bool, String> {
         "json" => eprintln!("{}", report.render_json()),
         other => return Err(format!("unknown --format `{other}` (text|json)")),
     }
-    Ok(report.clean_at(deny))
+    let mut clean = report.clean_at(deny);
+    if args.verify_run {
+        let (rendered, audit_clean) =
+            run_audit(&mut catalog, &scheme, &program, &data, &args.format, deny)?;
+        match args.format.as_str() {
+            "json" => eprintln!("{rendered}"),
+            _ => eprint!("{rendered}"),
+        }
+        clean = clean && audit_clean;
+    }
+    Ok(clean)
 }
 
 /// Load each TSV file as a predicate named by its file stem.
@@ -438,10 +619,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if args.command == "check" {
-        // `check` has its own exit semantics: failure means the program
-        // tripped a lint at the --deny threshold, not that the tool broke.
-        return match check(&args) {
+    if args.command == "check" || args.command == "audit" {
+        // `check`/`audit` have their own exit semantics: failure means the
+        // program tripped a finding at the --deny threshold, not that the
+        // tool broke.
+        let verdict = if args.command == "check" {
+            check(&args)
+        } else {
+            audit_cmd(&args)
+        };
+        return match verdict {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {
