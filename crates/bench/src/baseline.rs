@@ -2,7 +2,8 @@
 //!
 //! Before the zero-copy executor landed, `Machine` registers held owned
 //! `Relation`s and every operand read deep-copied the whole relation
-//! (`self.bases[i].clone()` — an O(|R|) allocation storm per statement).
+//! (an O(|R|) allocation storm per statement — reproduced here explicitly
+//! by [`deep_copy`], since `Relation::clone` itself is `Arc`-cheap now).
 //! This module replicates those semantics exactly, on the sequential
 //! operators, so `exp_par` can measure what the shared-ownership registers
 //! and pooled operators actually buy over the status quo ante — and it
@@ -28,16 +29,24 @@ struct Machine {
     temps: Vec<Option<Relation>>,
 }
 
+/// The seed's per-read copy, reproduced explicitly: a fresh row vector with
+/// every `Box<[Value]>` reallocated. `Relation::clone` no longer does this —
+/// it shares both views by `Arc` — so the baseline must spell the
+/// allocation storm out to keep measuring the status quo ante.
+fn deep_copy(rel: &Relation) -> Relation {
+    Relation::from_distinct_rows(rel.schema().clone(), rel.rows().to_vec())
+}
+
 impl Machine {
     /// Read a register *by deep copy*; unwritten variables read through
-    /// their alias chain. This clone-per-read is the behaviour under test.
+    /// their alias chain. This copy-per-read is the behaviour under test.
     fn read(&self, program: &Program, reg: Reg) -> Relation {
         let mut cur = reg;
         loop {
             match cur {
-                Reg::Base(i) => return self.bases[i].clone(),
+                Reg::Base(i) => return deep_copy(&self.bases[i]),
                 Reg::Temp(t) => match &self.temps[t] {
-                    Some(rel) => return rel.clone(),
+                    Some(rel) => return deep_copy(rel),
                     None => {
                         cur = program.temp_init[t]
                             .expect("validated: unwritten variable has an alias");

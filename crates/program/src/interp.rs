@@ -42,6 +42,13 @@ pub struct ExecConfig {
     /// Cache budget: the cache evicts least-recently-used indices once the
     /// total tuples resident in cached indices exceed this.
     pub cache_budget_tuples: u64,
+    /// Cache budget in resident *bytes* — table heap plus the pinned
+    /// relation's payload ([`JoinIndex::resident_bytes`]: packed columns
+    /// with each dictionary pool counted once under the columnar layout, a
+    /// flat per-cell estimate under the row layout). Eviction runs while
+    /// *either* budget is exceeded, so tuple-cheap but byte-heavy string
+    /// relations cannot pin unbounded memory.
+    pub cache_budget_bytes: u64,
     /// Row count below which the partitioned operators run sequentially.
     /// Defaults to the process-wide [`ops::par_cutoff`] (itself seeded from
     /// `MJOIN_PAR_CUTOFF`, falling back to [`SMALL`]).
@@ -54,6 +61,7 @@ impl Default for ExecConfig {
             threads: 1,
             index_cache: true,
             cache_budget_tuples: 4 << 20,
+            cache_budget_bytes: 256 << 20,
             par_cutoff: ops::par_cutoff(),
         }
     }
@@ -99,6 +107,10 @@ fn fingerprint_key(rel: &Relation, key_pos: &[usize]) -> FingerprintKey {
 
 struct CacheEntry {
     index: Arc<JoinIndex>,
+    /// Resident bytes, frozen at insert time (the live value can change if
+    /// the relation's other view materializes later; accounting must
+    /// subtract exactly what it added).
+    bytes: u64,
     last_used: u64,
 }
 
@@ -111,12 +123,14 @@ struct CacheEntry {
 struct IndexCache {
     enabled: bool,
     budget_tuples: u64,
+    budget_bytes: u64,
     map: FxHashMap<IndexKey, CacheEntry>,
     /// Structural fallback directory: fingerprint key → primary key of a
     /// live entry over content-identical tuples. Entries can dangle after
     /// eviction/invalidation; lookups drop dangling ones lazily.
     by_fingerprint: FxHashMap<FingerprintKey, IndexKey>,
     resident_tuples: u64,
+    resident_bytes: u64,
     tick: u64,
 }
 
@@ -125,11 +139,18 @@ impl IndexCache {
         IndexCache {
             enabled: cfg.index_cache,
             budget_tuples: cfg.cache_budget_tuples,
+            budget_bytes: cfg.cache_budget_bytes,
             map: FxHashMap::default(),
             by_fingerprint: FxHashMap::default(),
             resident_tuples: 0,
+            resident_bytes: 0,
             tick: 0,
         }
+    }
+
+    /// Whether either resident budget (tuples or bytes) is exceeded.
+    fn over_budget(&self) -> bool {
+        self.resident_tuples > self.budget_tuples || self.resident_bytes > self.budget_bytes
     }
 
     /// Look up an index without touching the hit/miss counters (a join
@@ -184,10 +205,13 @@ impl IndexCache {
     }
 
     /// Cache a freshly built index, evicting least-recently-used entries
-    /// until the resident-tuple budget holds. Indices larger than the whole
-    /// budget are not cached (they would only flush everything else).
+    /// until both resident budgets (tuples and bytes) hold. Indices larger
+    /// than a whole budget on either axis are not cached (they would only
+    /// flush everything else).
     fn insert(&mut self, index: Arc<JoinIndex>) {
-        if !self.enabled || index.tuples() as u64 > self.budget_tuples {
+        let bytes = index.resident_bytes() as u64;
+        if !self.enabled || index.tuples() as u64 > self.budget_tuples || bytes > self.budget_bytes
+        {
             return;
         }
         let key = index_key(index.relation(), index.key_positions());
@@ -197,17 +221,22 @@ impl IndexCache {
         );
         self.tick += 1;
         self.resident_tuples += index.tuples() as u64;
+        self.resident_bytes += bytes;
+        mjoin_trace::add("index_cache.insert_tuples", index.tuples() as u64);
+        mjoin_trace::add("index_cache.insert_bytes", bytes);
         if let Some(old) = self.map.insert(
             key.clone(),
             CacheEntry {
                 index,
+                bytes,
                 last_used: self.tick,
             },
         ) {
             self.resident_tuples -= old.index.tuples() as u64;
+            self.resident_bytes -= old.bytes;
         }
         mjoin_trace::add("index_cache.insert", 1);
-        while self.resident_tuples > self.budget_tuples && self.map.len() > 1 {
+        while self.over_budget() && self.map.len() > 1 {
             let lru = self
                 .map
                 .iter()
@@ -217,7 +246,10 @@ impl IndexCache {
                 .expect("map has a non-newest entry");
             let gone = self.map.remove(&lru).expect("key just found");
             self.resident_tuples -= gone.index.tuples() as u64;
+            self.resident_bytes -= gone.bytes;
             mjoin_trace::add("index_cache.evict", 1);
+            mjoin_trace::add("index_cache.evict_tuples", gone.index.tuples() as u64);
+            mjoin_trace::add("index_cache.evict_bytes", gone.bytes);
         }
     }
 
@@ -239,6 +271,7 @@ impl IndexCache {
         for key in stale {
             let gone = self.map.remove(&key).expect("key just listed");
             self.resident_tuples -= gone.index.tuples() as u64;
+            self.resident_bytes -= gone.bytes;
         }
     }
 }

@@ -14,6 +14,15 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// ratio; the exact value only needs to be odd and well-mixed).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// The FxHash mixing step, exposed standalone so batch kernels can fold
+/// precomputed per-cell hashes ([`crate::Value::stable_hash`]) into key
+/// hashes with exactly the word-mixing [`FxHasher`] uses — keeping row-path
+/// and columnar-path key hashes bit-identical.
+#[inline]
+pub fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
 /// The hasher state: a single 64-bit accumulator.
 #[derive(Default, Clone, Copy)]
 pub struct FxHasher {
@@ -23,7 +32,7 @@ pub struct FxHasher {
 impl FxHasher {
     #[inline]
     fn add_to_hash(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        self.hash = mix(self.hash, word);
     }
 }
 

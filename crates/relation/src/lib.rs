@@ -21,6 +21,7 @@
 
 pub mod attr;
 pub mod attrset;
+pub mod column;
 pub mod cost;
 pub mod database;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod value;
 
 pub use attr::{AttrId, Catalog};
 pub use attrset::AttrSet;
+pub use column::{Column, ColumnBuilder, Dict};
 pub use cost::{CostEntry, CostKind, CostLedger};
 pub use database::Database;
 pub use error::{Error, Result};

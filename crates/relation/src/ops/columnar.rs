@@ -1,0 +1,591 @@
+//! The batch-at-a-time columnar kernels.
+//!
+//! Each hot operator has a columnar twin here that works in three phases:
+//!
+//! 1. **Batch key hashing** ([`key_hashes`]): key hashes for *all* rows are
+//!    computed by zipping column slices — a tight loop over one `i64`/`u32`
+//!    vector per key attribute, with interned cells resolved by dictionary
+//!    hash lookup. No per-row key materialization, no `Value` enum walks.
+//! 2. **Selection-vector probing**: the [`RawTable`] is probed with the
+//!    precomputed hashes; candidates verify positionally against column
+//!    data ([`ids_eq`]) and survivors are collected as `u32` row-id vectors,
+//!    never as rows.
+//! 3. **Late materialization**: output columns are produced by gathering
+//!    the selection vectors once per column ([`Column::gather`] /
+//!    [`Column::concat_gathered`]); dictionary columns copy codes and share
+//!    their pool with the input.
+//!
+//! The hashes here agree bit-for-bit with the row engine's
+//! [`super::hash_at`] (both fold [`crate::Value::stable_hash`] through
+//! [`mix`]), so tables and [`super::JoinIndex`]es built by either engine can
+//! be probed by the other.
+
+use super::hashtable::RawTable;
+use crate::column::Column;
+use crate::fxhash::mix;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// Count one columnar batch-kernel invocation (the `--check-strategies`
+/// layout gate watches this counter).
+#[inline]
+pub(crate) fn count_batch() {
+    mjoin_trace::add("layout.columnar_batch", 1);
+}
+
+/// Count one row-engine kernel invocation.
+#[inline]
+pub(crate) fn count_row_path() {
+    mjoin_trace::add("layout.row_path", 1);
+}
+
+/// The key hash of every row of `rel` at `positions`, batch-wise: one
+/// mix-fold pass per key column over its packed payload slice. Agrees
+/// bit-for-bit with the row engine's per-row [`super::hash_at`].
+pub fn key_hashes(rel: &Relation, positions: &[usize]) -> Vec<u64> {
+    let cols = rel.columns();
+    let mut acc = vec![0u64; rel.len()];
+    for &p in positions {
+        cols[p].hash_into(&mut acc, mix);
+    }
+    acc
+}
+
+/// Whether row `i` of `acols` (at `apos`) and row `j` of `bcols` (at `bpos`)
+/// agree on their key — the columnar twin of [`super::keys_eq`].
+#[inline]
+pub(crate) fn ids_eq(
+    acols: &[Column],
+    apos: &[usize],
+    i: usize,
+    bcols: &[Column],
+    bpos: &[usize],
+    j: usize,
+) -> bool {
+    debug_assert_eq!(apos.len(), bpos.len());
+    apos.iter()
+        .zip(bpos)
+        .all(|(&a, &b)| acols[a].cells_eq(i, &bcols[b], j))
+}
+
+/// Gather the rows in `ids` of `rel` into a new relation (all columns, one
+/// gather each). The caller guarantees `ids` selects distinct rows.
+pub(crate) fn gather_relation(rel: &Relation, ids: &[u32]) -> Relation {
+    let cols: Vec<Column> = rel.columns().iter().map(|c| c.gather(ids)).collect();
+    Relation::from_distinct_columns(rel.schema().clone(), ids.len(), cols)
+}
+
+// ---------------------------------------------------------------------------
+// Join.
+
+/// A columnar hash-join, built once and probed in id batches: the build
+/// side's [`RawTable`] over precomputed key hashes, plus the borrowed column
+/// data both probe phases verify against. Read-only after construction, so
+/// the parallel paths share one kernel across pool tasks.
+pub(crate) struct ColJoin<'a> {
+    bcols: &'a [Column],
+    pcols: &'a [Column],
+    bpos: &'a [usize],
+    ppos: &'a [usize],
+    table: RawTable,
+}
+
+impl<'a> ColJoin<'a> {
+    /// Build over all rows of the build side.
+    pub(crate) fn new(
+        build: &'a Relation,
+        probe: &'a Relation,
+        bpos: &'a [usize],
+        ppos: &'a [usize],
+    ) -> Self {
+        let bh = key_hashes(build, bpos);
+        let mut table = RawTable::with_capacity(bh.len());
+        for (i, &h) in bh.iter().enumerate() {
+            table.insert(h, i as u32);
+        }
+        ColJoin {
+            bcols: build.columns(),
+            pcols: probe.columns(),
+            bpos,
+            ppos,
+            table,
+        }
+    }
+
+    /// Build over a subset of build rows (the radix co-partition path);
+    /// `build_hashes` are global (indexed by row id).
+    pub(crate) fn over_ids(
+        build: &'a Relation,
+        probe: &'a Relation,
+        bpos: &'a [usize],
+        ppos: &'a [usize],
+        build_ids: &[u32],
+        build_hashes: &[u64],
+    ) -> Self {
+        let mut table = RawTable::with_capacity(build_ids.len());
+        for &i in build_ids {
+            table.insert(build_hashes[i as usize], i);
+        }
+        ColJoin {
+            bcols: build.columns(),
+            pcols: probe.columns(),
+            bpos,
+            ppos,
+            table,
+        }
+    }
+
+    /// Probe rows `start..end` (with `probe_hashes` indexed globally),
+    /// returning matched `(build_ids, probe_ids)` selection vectors.
+    pub(crate) fn probe_range(
+        &self,
+        probe_hashes: &[u64],
+        start: usize,
+        end: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut bids: Vec<u32> = Vec::new();
+        let mut pids: Vec<u32> = Vec::new();
+        for (j, &hash) in probe_hashes.iter().enumerate().take(end).skip(start) {
+            for bi in self.table.candidates(hash) {
+                if ids_eq(self.bcols, self.bpos, bi, self.pcols, self.ppos, j) {
+                    bids.push(bi as u32);
+                    pids.push(j as u32);
+                }
+            }
+        }
+        (bids, pids)
+    }
+
+    /// Probe an explicit id list (the radix path).
+    pub(crate) fn probe_ids(&self, ids: &[u32], probe_hashes: &[u64]) -> (Vec<u32>, Vec<u32>) {
+        let mut bids: Vec<u32> = Vec::new();
+        let mut pids: Vec<u32> = Vec::new();
+        for &j in ids {
+            let j = j as usize;
+            for bi in self.table.candidates(probe_hashes[j]) {
+                if ids_eq(self.bcols, self.bpos, bi, self.pcols, self.ppos, j) {
+                    bids.push(bi as u32);
+                    pids.push(j as u32);
+                }
+            }
+        }
+        (bids, pids)
+    }
+}
+
+/// Late-materialize a join result from per-part `(build_ids, probe_ids)`
+/// selection vectors: every output column is gathered exactly once, from
+/// the probe side when the attribute is there (key attributes are equal on
+/// both sides anyway), the build side otherwise.
+pub(crate) fn materialize_join(
+    build: &Relation,
+    probe: &Relation,
+    out_schema: &Schema,
+    parts: &[(Vec<u32>, Vec<u32>)],
+) -> Relation {
+    let nrows: usize = parts.iter().map(|(b, _)| b.len()).sum();
+    let bcols = build.columns();
+    let pcols = probe.columns();
+    let cols: Vec<Column> = out_schema
+        .attrs()
+        .iter()
+        .map(|&a| match probe.schema().position(a) {
+            Some(p) => Column::concat_gathered(
+                &parts
+                    .iter()
+                    .map(|(_, pids)| (&pcols[p], pids.as_slice()))
+                    .collect::<Vec<_>>(),
+            ),
+            None => {
+                let p = build.schema().position(a).expect("attr from one side");
+                Column::concat_gathered(
+                    &parts
+                        .iter()
+                        .map(|(bids, _)| (&bcols[p], bids.as_slice()))
+                        .collect::<Vec<_>>(),
+                )
+            }
+        })
+        .collect();
+    // Output rows are distinct without explicit dedup: restricted to the
+    // build schema an output row is its build row, restricted to the probe
+    // schema its probe row, and input pairs are distinct.
+    Relation::from_distinct_columns(out_schema.clone(), nrows, cols)
+}
+
+/// Sequential columnar natural join, building on the smaller side.
+pub(crate) fn col_join(left: &Relation, right: &Relation) -> Relation {
+    count_batch();
+    let out_schema = left.schema().union(right.schema());
+    let (build, probe) = if left.len() <= right.len() {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let (bpos, ppos) = super::join::join_key_positions(build.schema(), probe.schema());
+    let kernel = ColJoin::new(build, probe, &bpos, &ppos);
+    let ph = key_hashes(probe, &ppos);
+    let pair = kernel.probe_range(&ph, 0, probe.len());
+    materialize_join(build, probe, &out_schema, std::slice::from_ref(&pair))
+}
+
+/// Columnar shared-build chunked-probe join: build once, probe contiguous
+/// id ranges concurrently, gather all parts' selection vectors once.
+pub(crate) fn col_join_chunked(build: &Relation, probe: &Relation, threads: usize) -> Relation {
+    count_batch();
+    let out_schema = build.schema().union(probe.schema());
+    let (bpos, ppos) = super::join::join_key_positions(build.schema(), probe.schema());
+    let kernel = ColJoin::new(build, probe, &bpos, &ppos);
+    let ph = key_hashes(probe, &ppos);
+    let ranges = split_ranges(probe.len(), threads);
+    let parts = mjoin_pool::par_map(ranges, |(s, e)| kernel.probe_range(&ph, s, e));
+    materialize_join(build, probe, &out_schema, &parts)
+}
+
+/// Columnar radix co-partition join: both sides' row ids are partitioned by
+/// key hash, partition pairs build+probe independently (parallelizing the
+/// build as well), and the key-disjoint outputs concatenate into one gather.
+pub(crate) fn col_join_radix(left: &Relation, right: &Relation, threads: usize) -> Relation {
+    count_batch();
+    let out_schema = left.schema().union(right.schema());
+    let (build, probe) = if left.len() <= right.len() {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let (bpos, ppos) = super::join::join_key_positions(build.schema(), probe.schema());
+    let bh = key_hashes(build, &bpos);
+    let ph = key_hashes(probe, &ppos);
+    let parts_n = threads.max(1);
+    let bparts = partition_ids(&bh, parts_n);
+    let pparts = partition_ids(&ph, parts_n);
+    let pairs: Vec<(Vec<u32>, Vec<u32>)> = bparts.into_iter().zip(pparts).collect();
+    let parts = mjoin_pool::par_map(pairs, |(bids, pids)| {
+        ColJoin::over_ids(build, probe, &bpos, &ppos, &bids, &bh).probe_ids(&pids, &ph)
+    });
+    materialize_join(build, probe, &out_schema, &parts)
+}
+
+/// Contiguous `(start, end)` ranges covering `0..n` in `pieces` chunks.
+pub(crate) fn split_ranges(n: usize, pieces: usize) -> Vec<(usize, usize)> {
+    let pieces = pieces.clamp(1, n.max(1));
+    let chunk = n.div_ceil(pieces);
+    (0..pieces)
+        .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+        .filter(|(s, e)| s < e || n == 0)
+        .collect()
+}
+
+/// Partition row ids `0..hashes.len()` by hash into `parts` id lists (the
+/// columnar twin of [`super::hash_partition`], minus the row borrows).
+pub(crate) fn partition_ids(hashes: &[u64], parts: usize) -> Vec<Vec<u32>> {
+    let parts = parts.max(1);
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); parts];
+    for (i, &h) in hashes.iter().enumerate() {
+        out[(h as usize) % parts].push(i as u32);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Semijoin.
+
+/// A columnar semijoin filter: key-deduplicated [`RawTable`] over the filter
+/// side's key hashes.
+pub(crate) struct ColFilter<'a> {
+    fcols: &'a [Column],
+    fpos: &'a [usize],
+    table: RawTable,
+}
+
+impl<'a> ColFilter<'a> {
+    pub(crate) fn new(filter: &'a Relation, fpos: &'a [usize]) -> Self {
+        let fh = key_hashes(filter, fpos);
+        let fcols = filter.columns();
+        let mut table = RawTable::with_capacity(fh.len());
+        for (i, &h) in fh.iter().enumerate() {
+            if table
+                .candidates(h)
+                .any(|j| ids_eq(fcols, fpos, j, fcols, fpos, i))
+            {
+                continue;
+            }
+            table.insert(h, i as u32);
+        }
+        ColFilter { fcols, fpos, table }
+    }
+
+    /// Distinct keys in the filter.
+    pub(crate) fn keys(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The ids in `start..end` of the probed side whose key is present.
+    pub(crate) fn matching_range(
+        &self,
+        pcols: &[Column],
+        ppos: &[usize],
+        probe_hashes: &[u64],
+        start: usize,
+        end: usize,
+    ) -> Vec<u32> {
+        (start..end)
+            .filter(|&j| {
+                self.table
+                    .candidates(probe_hashes[j])
+                    .any(|fi| ids_eq(self.fcols, self.fpos, fi, pcols, ppos, j))
+            })
+            .map(|j| j as u32)
+            .collect()
+    }
+}
+
+/// Columnar semijoin body, sequential or chunked over the pool; the caller
+/// has already handled the disjoint-schema degenerate case.
+pub(crate) fn col_semijoin(
+    left: &Relation,
+    right: &Relation,
+    lpos: &[usize],
+    rpos: &[usize],
+    threads: usize,
+) -> (Relation, usize) {
+    count_batch();
+    let filter = ColFilter::new(right, rpos);
+    let lh = key_hashes(left, lpos);
+    let lcols = left.columns();
+    let ids: Vec<u32> = if threads <= 1 {
+        filter.matching_range(lcols, lpos, &lh, 0, left.len())
+    } else {
+        mjoin_pool::par_map(split_ranges(left.len(), threads), |(s, e)| {
+            filter.matching_range(lcols, lpos, &lh, s, e)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    let keys = filter.keys();
+    (gather_relation(left, &ids), keys)
+}
+
+// ---------------------------------------------------------------------------
+// Projection.
+
+/// Columnar projection: dedup by hashing the projected columns batch-wise
+/// (first-occurrence ids survive), then gather only the kept columns.
+/// `positions` map output schema order to input column positions.
+pub(crate) fn col_project_sequential(rel: &Relation, positions: &[usize]) -> Vec<u32> {
+    let h = key_hashes(rel, positions);
+    let cols = rel.columns();
+    dedup_ids_by_key(cols, positions, &h, (0..rel.len()).map(|i| i as u32))
+}
+
+/// Dedup an id stream by projected key: keeps the first occurrence of each
+/// distinct key, in stream order. `hashes` are global (indexed by id).
+pub(crate) fn dedup_ids_by_key(
+    cols: &[Column],
+    positions: &[usize],
+    hashes: &[u64],
+    ids: impl Iterator<Item = u32>,
+) -> Vec<u32> {
+    let (lo, hi) = ids.size_hint();
+    let mut table = RawTable::with_capacity(hi.unwrap_or(lo));
+    let mut out: Vec<u32> = Vec::new();
+    for i in ids {
+        let h = hashes[i as usize];
+        if table
+            .candidates(h)
+            .any(|j| ids_eq(cols, positions, j, cols, positions, i as usize))
+        {
+            continue;
+        }
+        table.insert(h, i);
+        out.push(i);
+    }
+    out
+}
+
+/// Gather the projection's output columns for the surviving `ids`.
+pub(crate) fn materialize_project(
+    rel: &Relation,
+    out_schema: &Schema,
+    positions: &[usize],
+    ids: &[u32],
+) -> Relation {
+    let cols = rel.columns();
+    let out: Vec<Column> = positions.iter().map(|&p| cols[p].gather(ids)).collect();
+    Relation::from_distinct_columns(out_schema.clone(), ids.len(), out)
+}
+
+// ---------------------------------------------------------------------------
+// Selection and set operations.
+
+/// Columnar `select_eq`: scan one column, gather all.
+pub(crate) fn col_select_eq(rel: &Relation, pos: usize, value: &crate::Value) -> Relation {
+    count_batch();
+    let col = &rel.columns()[pos];
+    let ids: Vec<u32> = (0..rel.len())
+        .filter(|&i| col.cell_eq_value(i, value))
+        .map(|i| i as u32)
+        .collect();
+    gather_relation(rel, &ids)
+}
+
+/// Columnar `select_where`: evaluate the row predicate against a transient
+/// scratch tuple (no row-view caching), gather survivors.
+pub(crate) fn col_select_where(rel: &Relation, pred: impl Fn(&[crate::Value]) -> bool) -> Relation {
+    count_batch();
+    let cols = rel.columns();
+    let mut scratch: Vec<crate::Value> = Vec::with_capacity(cols.len());
+    let mut ids: Vec<u32> = Vec::new();
+    for i in 0..rel.len() {
+        scratch.clear();
+        scratch.extend(cols.iter().map(|c| c.value(i)));
+        if pred(&scratch) {
+            ids.push(i as u32);
+        }
+    }
+    gather_relation(rel, &ids)
+}
+
+/// Shared body for the columnar set operations: a full-row hash table over
+/// `right`, membership-checked from `left`.
+struct SetTable<'a> {
+    rcols: &'a [Column],
+    all: Vec<usize>,
+    table: RawTable,
+}
+
+impl<'a> SetTable<'a> {
+    fn new(right: &'a Relation) -> (Self, Vec<u64>) {
+        let all: Vec<usize> = (0..right.schema().arity()).collect();
+        let rh = key_hashes(right, &all);
+        let mut table = RawTable::with_capacity(rh.len());
+        for (i, &h) in rh.iter().enumerate() {
+            table.insert(h, i as u32);
+        }
+        (
+            SetTable {
+                rcols: right.columns(),
+                all,
+                table,
+            },
+            rh,
+        )
+    }
+
+    fn contains(&self, lcols: &[Column], i: usize, hash: u64) -> bool {
+        self.table
+            .candidates(hash)
+            .any(|j| ids_eq(self.rcols, &self.all, j, lcols, &self.all, i))
+    }
+}
+
+/// Columnar union: `left`'s columns pass through; `right` contributes the
+/// rows absent from `left`, appended via one concat-gather per column.
+pub(crate) fn col_union(left: &Relation, right: &Relation) -> Relation {
+    count_batch();
+    let (set, _) = SetTable::new(left);
+    let all: Vec<usize> = (0..right.schema().arity()).collect();
+    let rh = key_hashes(right, &all);
+    let rcols = right.columns();
+    let fresh: Vec<u32> = (0..right.len())
+        .filter(|&i| !set.contains(rcols, i, rh[i]))
+        .map(|i| i as u32)
+        .collect();
+    let keep_left: Vec<u32> = (0..left.len() as u32).collect();
+    let lcols = left.columns();
+    let cols: Vec<Column> = lcols
+        .iter()
+        .zip(rcols.iter())
+        .map(|(lc, rc)| Column::concat_gathered(&[(lc, keep_left.as_slice()), (rc, &fresh)]))
+        .collect();
+    Relation::from_distinct_columns(left.schema().clone(), left.len() + fresh.len(), cols)
+}
+
+/// Columnar difference / intersection: filter `left`'s ids by membership in
+/// `right`, gather.
+pub(crate) fn col_diff_inter(left: &Relation, right: &Relation, keep_present: bool) -> Relation {
+    count_batch();
+    let (set, _) = SetTable::new(right);
+    let all: Vec<usize> = (0..left.schema().arity()).collect();
+    let lh = key_hashes(left, &all);
+    let lcols = left.columns();
+    let ids: Vec<u32> = (0..left.len())
+        .filter(|&i| set.contains(lcols, i, lh[i]) == keep_present)
+        .map(|i| i as u32)
+        .collect();
+    gather_relation(left, &ids)
+}
+
+// ---------------------------------------------------------------------------
+// Rename.
+
+/// Columnar rename: the data never moves — columns are re-ordered into the
+/// new schema's canonical order by `Arc` clone, using the same permutation
+/// the row path applies per tuple.
+pub(crate) fn col_rename(rel: &Relation, new_schema: &Schema, perm: &[usize]) -> Relation {
+    count_batch();
+    let cols = rel.columns();
+    let out: Vec<Column> = perm.iter().map(|&p| cols[p].clone()).collect();
+    Relation::from_distinct_columns(new_schema.clone(), rel.len(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+    use crate::ops::hash_at;
+    use crate::relation_of_ints;
+    use crate::value::Value;
+
+    #[test]
+    fn batch_hashes_match_row_hashes() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 10], &[2, 20], &[3, 10]]).unwrap();
+        let pos = [1usize, 0];
+        let batch = key_hashes(&r, &pos);
+        for (i, row) in r.rows().iter().enumerate() {
+            assert_eq!(batch[i], hash_at(row, &pos), "row {i}");
+        }
+        // Empty key: constant hash in both engines.
+        let empty = key_hashes(&r, &[]);
+        assert!(empty.iter().all(|&h| h == hash_at(&r.rows()[0], &[])));
+    }
+
+    #[test]
+    fn batch_hashes_match_on_strings() {
+        let mut c = Catalog::new();
+        let schema = crate::schema::Schema::from_chars(&mut c, "AB");
+        let rows = vec![
+            vec![Value::Int(1), Value::str("x")].into(),
+            vec![Value::Int(2), Value::str("yy")].into(),
+        ];
+        let r = crate::Relation::from_rows(schema, rows).unwrap();
+        let pos = [0usize, 1];
+        let batch = key_hashes(&r, &pos);
+        for (i, row) in r.rows().iter().enumerate() {
+            assert_eq!(batch[i], hash_at(row, &pos));
+        }
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for (n, pieces) in [(10usize, 3usize), (1, 8), (0, 4), (7, 7), (100, 1)] {
+            let ranges = split_ranges(n, pieces);
+            let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
+            assert_eq!(total, n, "n={n} pieces={pieces}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_ids_is_exhaustive_and_disjoint() {
+        let hashes: Vec<u64> = (0..100).map(|i| i * 2654435761).collect();
+        let parts = partition_ids(&hashes, 4);
+        let mut all: Vec<u32> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<u32>>());
+    }
+}

@@ -17,8 +17,9 @@
 
 use super::hashtable::RawTable;
 use super::join::join_key_positions;
-use super::{hash_at, keys_eq, par_cutoff};
+use super::{columnar, hash_at, keys_eq, layout, par_cutoff, Layout};
 use crate::relation::{Relation, Row};
+use crate::value::Value;
 use std::sync::Arc;
 
 /// A build-side hash table for a `(Arc<Relation>, key positions)` pair.
@@ -35,11 +36,20 @@ pub struct JoinIndex {
 
 impl JoinIndex {
     /// Build the index: one hash pass over the relation, no per-row key
-    /// allocation.
+    /// allocation. Under the columnar layout the hashes come from
+    /// [`columnar::key_hashes`] (batch-wise over column slices, no row view
+    /// materialized); either way the table contents are bit-identical, so an
+    /// index built by one engine can be probed by the other.
     pub fn build(rel: Arc<Relation>, key_pos: Vec<usize>) -> Self {
         let mut table = RawTable::with_capacity(rel.len());
-        for (i, row) in rel.rows().iter().enumerate() {
-            table.insert(hash_at(row, &key_pos), i as u32);
+        if layout() == Layout::Columnar {
+            for (i, h) in columnar::key_hashes(&rel, &key_pos).into_iter().enumerate() {
+                table.insert(h, i as u32);
+            }
+        } else {
+            for (i, row) in rel.rows().iter().enumerate() {
+                table.insert(hash_at(row, &key_pos), i as u32);
+            }
         }
         JoinIndex {
             rel,
@@ -70,6 +80,19 @@ impl JoinIndex {
         self.table.heap_bytes()
     }
 
+    /// Resident bytes — the table's heap plus the pinned relation's payload.
+    /// With the column view materialized this is exact (packed columns plus
+    /// each dictionary pool once); otherwise it is a flat per-cell estimate,
+    /// so budgeting a row-engine cache never forces a layout conversion.
+    pub fn resident_bytes(&self) -> usize {
+        let rel_bytes = if self.rel.columns_materialized() {
+            self.rel.resident_col_bytes()
+        } else {
+            self.rel.len() * self.rel.schema().arity() * std::mem::size_of::<Value>()
+        };
+        self.table.heap_bytes() + rel_bytes
+    }
+
     /// The indexed rows matching `probe` at `probe_pos` (positionally
     /// aligned with this index's key positions).
     #[inline]
@@ -89,6 +112,54 @@ impl JoinIndex {
     #[inline]
     pub fn contains(&self, probe: &Row, probe_pos: &[usize]) -> bool {
         self.matching(probe, probe_pos).next().is_some()
+    }
+
+    /// Columnar probe of rows `start..end` of `probe` (hashes indexed
+    /// globally): matched `(build_ids, probe_ids)` selection vectors,
+    /// candidates verified positionally against column data.
+    fn probe_cols_range(
+        &self,
+        probe: &Relation,
+        probe_pos: &[usize],
+        probe_hashes: &[u64],
+        start: usize,
+        end: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let bcols = self.rel.columns();
+        let pcols = probe.columns();
+        let mut bids: Vec<u32> = Vec::new();
+        let mut pids: Vec<u32> = Vec::new();
+        for (j, &hash) in probe_hashes.iter().enumerate().take(end).skip(start) {
+            for bi in self.table.candidates(hash) {
+                if columnar::ids_eq(bcols, &self.key_pos, bi, pcols, probe_pos, j) {
+                    bids.push(bi as u32);
+                    pids.push(j as u32);
+                }
+            }
+        }
+        (bids, pids)
+    }
+
+    /// Columnar membership filter over rows `start..end` of `target`: the
+    /// ids whose key matches at least one indexed row.
+    fn filter_cols_range(
+        &self,
+        target: &Relation,
+        target_pos: &[usize],
+        target_hashes: &[u64],
+        start: usize,
+        end: usize,
+    ) -> Vec<u32> {
+        let bcols = self.rel.columns();
+        let tcols = target.columns();
+        (start..end)
+            .filter(|&j| {
+                self.table
+                    .candidates(target_hashes[j])
+                    .any(|bi| columnar::ids_eq(bcols, &self.key_pos, bi, tcols, target_pos, j))
+            })
+            .map(|j| j as u32)
+            .collect()
     }
 }
 
@@ -143,6 +214,21 @@ pub fn par_join_indexed_cutoff(
     let (plan, ppos) = splice_plan(index, probe);
     let out_schema = index.relation().schema().union(probe.schema());
 
+    if layout() == Layout::Columnar {
+        columnar::count_batch();
+        let ph = columnar::key_hashes(probe, &ppos);
+        let parts: Vec<(Vec<u32>, Vec<u32>)> = if threads == 1 || probe.len() < cutoff {
+            vec![index.probe_cols_range(probe, &ppos, &ph, 0, probe.len())]
+        } else {
+            mjoin_pool::par_map(columnar::split_ranges(probe.len(), threads), |(s, e)| {
+                index.probe_cols_range(probe, &ppos, &ph, s, e)
+            })
+        };
+        let out = columnar::materialize_join(index.relation(), probe, &out_schema, &parts);
+        sp.arg("out_rows", out.len());
+        return out;
+    }
+    columnar::count_row_path();
     let probe_chunk = |chunk: &[Row]| -> Vec<Row> {
         let mut out = Vec::new();
         for prow in chunk {
@@ -212,6 +298,24 @@ pub fn par_semijoin_indexed_cutoff(
         "index key positions must be the semijoin key of its relation"
     );
 
+    if layout() == Layout::Columnar {
+        columnar::count_batch();
+        let th = columnar::key_hashes(target, &tpos);
+        let ids: Vec<u32> = if threads == 1 || target.len() < cutoff {
+            index.filter_cols_range(target, &tpos, &th, 0, target.len())
+        } else {
+            mjoin_pool::par_map(columnar::split_ranges(target.len(), threads), |(s, e)| {
+                index.filter_cols_range(target, &tpos, &th, s, e)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        let out = columnar::gather_relation(target, &ids);
+        sp.arg("out_rows", out.len());
+        return out;
+    }
+    columnar::count_row_path();
     let rows: Vec<Row> = if threads == 1 || target.len() < cutoff {
         target
             .rows()

@@ -28,7 +28,15 @@ pub fn join_key_positions(left: &Schema, right: &Schema) -> (Vec<usize>, Vec<usi
 /// The output is a set without explicit deduplication: an output row
 /// restricted to `left`'s attributes is the contributing left row and
 /// likewise for `right`, so distinct input pairs produce distinct outputs.
+///
+/// Dispatches on the process [`super::layout`]: the columnar engine hashes
+/// key columns batch-wise and late-materializes output columns from
+/// selection vectors; the row engine is the tuple-at-a-time baseline.
 pub fn join(left: &Relation, right: &Relation) -> Relation {
+    if super::layout() == super::Layout::Columnar {
+        return super::columnar::col_join(left, right);
+    }
+    super::columnar::count_row_path();
     let out_schema = left.schema().union(right.schema());
     let lrows: Vec<&Row> = left.rows().iter().collect();
     let rrows: Vec<&Row> = right.rows().iter().collect();

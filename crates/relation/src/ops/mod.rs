@@ -7,6 +7,7 @@
 //! (§2.3); cost accounting itself lives in [`crate::cost`] and is done by the
 //! callers that orchestrate evaluation.
 
+mod columnar;
 mod hashtable;
 mod index;
 mod join;
@@ -31,10 +32,13 @@ pub use select::{select_eq, select_where};
 pub use semijoin::{par_semijoin, par_semijoin_cutoff, semijoin};
 pub use setops::{difference, intersection, union};
 
-use crate::fxhash::FxBuildHasher;
+pub use columnar::key_hashes;
+// `layout`/`set_layout`/`Layout` are defined below, alongside the
+// `par_cutoff` knobs.
+
+use crate::fxhash::mix;
 use crate::relation::Row;
-use std::hash::{BuildHasher, Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// Default parallel/sequential cutoff: below this row count the parallel
 /// operators fall back to their sequential counterparts — partitioning and
@@ -76,17 +80,73 @@ pub fn set_par_cutoff(rows: usize) {
     PAR_CUTOFF.store(rows.min(usize::MAX - 1), Ordering::Relaxed);
 }
 
+/// The physical storage layout the operators execute against.
+///
+/// The kernels are written twice: the historical tuple-at-a-time **row**
+/// engine (hash one `Row` at a time, splice output rows value-by-value) and
+/// the batch-at-a-time **columnar** engine (hash whole key columns by
+/// zipping column slices, verify candidates positionally against column
+/// data, late-materialize output by gathering selection vectors). Both
+/// produce identical relations — the differential test suite holds them
+/// against each other — and identical key *hashes* (see [`hash_at`]), so an
+/// index built under one layout probes correctly under the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Tuple-at-a-time kernels over the lazily materialized row view.
+    Row,
+    /// Batch kernels over the column vectors (the default).
+    Columnar,
+}
+
+/// Process-wide layout: 0 = uninitialized, 1 = row, 2 = columnar.
+static LAYOUT: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide storage layout the kernels dispatch on.
+///
+/// Lazily initialized from the `MJOIN_LAYOUT` environment variable on first
+/// read (`row` selects the row engine; anything else — including unset — the
+/// columnar engine). Overridable at runtime with [`set_layout`]; the row
+/// engine exists as the honest baseline for `layout_speedup` benchmarking
+/// and for differential testing.
+pub fn layout() -> Layout {
+    match LAYOUT.load(Ordering::Relaxed) {
+        1 => Layout::Row,
+        2 => Layout::Columnar,
+        _ => {
+            let init = match std::env::var("MJOIN_LAYOUT") {
+                Ok(v) if v.trim().eq_ignore_ascii_case("row") => Layout::Row,
+                _ => Layout::Columnar,
+            };
+            set_layout(init);
+            init
+        }
+    }
+}
+
+/// Override the process-wide storage layout.
+pub fn set_layout(l: Layout) {
+    LAYOUT.store(
+        match l {
+            Layout::Row => 1,
+            Layout::Columnar => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
 /// Hash the values at `positions` of `row` (the partition and join key).
 /// The kernels never materialize keys: this hash plus the positional
 /// comparison of [`keys_eq`] replace `Box<[Value]>` key allocation on both
 /// the build and probe sides.
+///
+/// Defined as the [`mix`]-fold of the cells' [`crate::Value::stable_hash`]es
+/// — exactly what the columnar [`key_hashes`] computes batch-wise from
+/// column slices — so the two layouts' hash tables interoperate bit-for-bit.
 #[inline]
 pub(crate) fn hash_at(row: &Row, positions: &[usize]) -> u64 {
-    let mut h = FxBuildHasher::default().build_hasher();
-    for &p in positions {
-        row[p].hash(&mut h);
-    }
-    h.finish()
+    positions
+        .iter()
+        .fold(0u64, |acc, &p| mix(acc, row[p].stable_hash()))
 }
 
 /// Whether `a` restricted to `apos` equals `b` restricted to `bpos`

@@ -25,7 +25,7 @@
 //! order-blind.
 
 use super::join::{hash_join_rows, join, join_key_positions, JoinKernel};
-use super::{hash_partition, par_cutoff};
+use super::{columnar, hash_partition, layout, par_cutoff, Layout};
 use crate::relation::{Relation, Row};
 
 /// Parallel natural join over `threads` partitions (clamped to ≥ 1), with
@@ -66,7 +66,12 @@ pub fn par_join_cutoff(
     };
     let (lkey, rkey) = join_key_positions(left.schema(), right.schema());
     if build.len() < cutoff || lkey.is_empty() {
-        let out = chunked_probe_join(build, probe, threads);
+        let out = if layout() == Layout::Columnar {
+            columnar::col_join_chunked(build, probe, threads)
+        } else {
+            columnar::count_row_path();
+            chunked_probe_join(build, probe, threads)
+        };
         sp.arg("strategy", "shared_build_probe");
         sp.arg("build_rows", build.len());
         sp.arg("probe_rows", probe.len());
@@ -74,6 +79,14 @@ pub fn par_join_cutoff(
         return out;
     }
 
+    if layout() == Layout::Columnar {
+        let out = columnar::col_join_radix(left, right, threads);
+        sp.arg("strategy", "radix_copartition");
+        sp.arg("partitions", threads);
+        sp.arg("out_rows", out.len());
+        return out;
+    }
+    columnar::count_row_path();
     let out_schema = left.schema().union(right.schema());
     let lparts = hash_partition(left.rows(), &lkey, threads);
     let rparts = hash_partition(right.rows(), &rkey, threads);

@@ -45,6 +45,10 @@ pub fn rename(rel: &Relation, mapping: &[(AttrId, AttrId)]) -> Result<Relation> 
                 .expect("bijective rename")
         })
         .collect();
+    if super::layout() == super::Layout::Columnar {
+        return Ok(super::columnar::col_rename(rel, &new_schema, &perm));
+    }
+    super::columnar::count_row_path();
     let rows: Vec<Row> = rel
         .rows()
         .iter()

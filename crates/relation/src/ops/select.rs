@@ -7,11 +7,18 @@ use crate::relation::{Relation, Row};
 use crate::value::Value;
 
 /// Select the tuples whose `attr` column equals `value`.
+///
+/// The columnar engine scans exactly one column and gathers survivors; the
+/// row engine filters and clones whole rows.
 pub fn select_eq(rel: &Relation, attr: AttrId, value: &Value) -> Result<Relation> {
     let pos = rel
         .schema()
         .position(attr)
         .ok_or_else(|| Error::AttributeNotInSchema(attr.to_string()))?;
+    if super::layout() == super::Layout::Columnar {
+        return Ok(super::columnar::col_select_eq(rel, pos, value));
+    }
+    super::columnar::count_row_path();
     let rows: Vec<Row> = rel
         .rows()
         .iter()
@@ -23,8 +30,14 @@ pub fn select_eq(rel: &Relation, attr: AttrId, value: &Value) -> Result<Relation
 
 /// Select the tuples satisfying an arbitrary predicate over the whole row.
 ///
-/// The predicate sees values in the relation's canonical column order.
+/// The predicate sees values in the relation's canonical column order (the
+/// columnar engine feeds it a transient scratch tuple per row, keeping the
+/// output column-major without caching a row view).
 pub fn select_where(rel: &Relation, pred: impl Fn(&[Value]) -> bool) -> Relation {
+    if super::layout() == super::Layout::Columnar {
+        return super::columnar::col_select_where(rel, pred);
+    }
+    super::columnar::count_row_path();
     let rows: Vec<Row> = rel.rows().iter().filter(|r| pred(r)).cloned().collect();
     Relation::from_distinct_rows(rel.schema().clone(), rows)
 }

@@ -1,7 +1,7 @@
 //! Semijoin (`⋉`), the reducer used by Algorithm 2 and by full reducers.
 
 use super::hashtable::RawTable;
-use super::{hash_at, keys_eq};
+use super::{columnar, hash_at, keys_eq, layout, Layout};
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
 
@@ -64,6 +64,10 @@ pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
         .positions_of(common.attrs())
         .expect("common attrs in right");
 
+    if layout() == Layout::Columnar {
+        return columnar::col_semijoin(left, right, &lpos, &rpos, 1).0;
+    }
+    columnar::count_row_path();
     let table = build_filter(right.rows(), &rpos);
 
     let rows = left
@@ -127,6 +131,14 @@ pub fn par_semijoin_cutoff(
         .positions_of(common.attrs())
         .expect("common attrs in right");
 
+    if layout() == Layout::Columnar {
+        let (out, keys) = columnar::col_semijoin(left, right, &lpos, &rpos, threads);
+        sp.arg("strategy", "chunked_probe");
+        sp.arg("build_keys", keys);
+        sp.arg("out_rows", out.len());
+        return out;
+    }
+    columnar::count_row_path();
     let table = build_filter(right.rows(), &rpos);
 
     let outputs = mjoin_pool::par_map_slices(left.rows(), threads, |_, chunk| {

@@ -18,6 +18,10 @@ fn require_same_schema(left: &Relation, right: &Relation) -> Result<()> {
 /// Set union `left ∪ right`.
 pub fn union(left: &Relation, right: &Relation) -> Result<Relation> {
     require_same_schema(left, right)?;
+    if super::layout() == super::Layout::Columnar {
+        return Ok(super::columnar::col_union(left, right));
+    }
+    super::columnar::count_row_path();
     let mut seen: FxHashSet<Row> = left.rows().iter().cloned().collect();
     let mut rows: Vec<Row> = left.rows().to_vec();
     for row in right.rows() {
@@ -31,6 +35,10 @@ pub fn union(left: &Relation, right: &Relation) -> Result<Relation> {
 /// Set difference `left − right`.
 pub fn difference(left: &Relation, right: &Relation) -> Result<Relation> {
     require_same_schema(left, right)?;
+    if super::layout() == super::Layout::Columnar {
+        return Ok(super::columnar::col_diff_inter(left, right, false));
+    }
+    super::columnar::count_row_path();
     let exclude: FxHashSet<&Row> = right.rows().iter().collect();
     let rows: Vec<Row> = left
         .rows()
@@ -44,6 +52,10 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation> {
 /// Set intersection `left ∩ right`.
 pub fn intersection(left: &Relation, right: &Relation) -> Result<Relation> {
     require_same_schema(left, right)?;
+    if super::layout() == super::Layout::Columnar {
+        return Ok(super::columnar::col_diff_inter(left, right, true));
+    }
+    super::columnar::count_row_path();
     let keep: FxHashSet<&Row> = right.rows().iter().collect();
     let rows: Vec<Row> = left
         .rows()

@@ -3,17 +3,40 @@
 //! The paper's model is pure set semantics — a relation is a set of tuples —
 //! and its cost measure counts tuples. `Relation` therefore maintains the
 //! invariant that rows are distinct; every constructor deduplicates.
+//!
+//! # Storage
+//!
+//! Physically a relation is **column-major**: one [`Column`] per attribute
+//! (dense `i64` for all-integer attributes, dictionary-interned `u32` codes
+//! otherwise — see [`crate::column`]). The historical row view
+//! ([`Relation::rows`]/[`Relation::iter`]) is *lazily materialized* and
+//! memoized: a kernel that builds output columnar never pays for rows, a
+//! caller that constructed from rows never pays for columns until a batch
+//! kernel asks, and both views describe the same immutable tuple set in the
+//! same order. Cloning is cheap — O(arity), not O(tuples): both views are
+//! shared (`Arc`-backed payload vectors inside `Column`, an `Arc<[Row]>`
+//! row cache), so an executor handing out per-run copies of its base
+//! relations bumps reference counts instead of copying tuple data.
 
 use crate::attr::Catalog;
+use crate::column::{Column, ColumnBuilder};
 use crate::error::{Error, Result};
-use crate::fxhash::FxHashSet;
+use crate::fxhash::{mix, FxHashSet};
 use crate::schema::Schema;
 use crate::value::Value;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A tuple: values aligned positionally with the owning relation's schema.
 pub type Row = Box<[Value]>;
+
+/// Fold a row's cell hashes into one stable row hash. Computable from either
+/// storage layout (columns fold [`Column::hash_into`] with the same `mix`),
+/// which is what keeps [`Relation::fingerprint`] representation-independent.
+#[inline]
+pub(crate) fn stable_row_hash(row: &[Value]) -> u64 {
+    row.iter().fold(0u64, |acc, v| mix(acc, v.stable_hash()))
+}
 
 /// A set of tuples over a fixed [`Schema`].
 ///
@@ -23,30 +46,43 @@ pub type Row = Box<[Value]>;
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Row>,
-    /// Lazily computed [`Relation::fingerprint`]; rows are immutable after
+    /// Tuple count, known up front regardless of which view is materialized
+    /// (columns cannot carry it for nullary schemas).
+    nrows: usize,
+    /// Column-major view; built on demand from `rows` when a constructor
+    /// supplied rows. Immutable once set.
+    cols: OnceLock<Vec<Column>>,
+    /// Row-major view; built on demand from `cols` when a kernel produced
+    /// columns. Immutable once set, and shared across clones.
+    rows: OnceLock<Arc<[Row]>>,
+    /// Lazily computed [`Relation::fingerprint`]; content is immutable after
     /// construction, so a computed value never goes stale.
     fingerprint: OnceLock<u128>,
 }
 
 impl Relation {
-    /// The empty relation over `schema`.
-    pub fn empty(schema: Schema) -> Self {
+    fn from_rows_unchecked(schema: Schema, rows: Vec<Row>) -> Self {
+        let nrows = rows.len();
+        let cell = OnceLock::new();
+        cell.set(Arc::from(rows)).expect("fresh OnceLock");
         Relation {
             schema,
-            rows: Vec::new(),
+            nrows,
+            cols: OnceLock::new(),
+            rows: cell,
             fingerprint: OnceLock::new(),
         }
+    }
+
+    /// The empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation::from_rows_unchecked(schema, Vec::new())
     }
 
     /// The relation over the empty schema containing the single nullary
     /// tuple. It is the identity of natural join.
     pub fn nullary_unit() -> Self {
-        Relation {
-            schema: Schema::empty(),
-            rows: vec![Box::from([])],
-            fingerprint: OnceLock::new(),
-        }
+        Relation::from_rows_unchecked(Schema::empty(), vec![Box::from([])])
     }
 
     /// Build from rows, checking arity and removing duplicates (keeping each
@@ -67,11 +103,7 @@ impl Relation {
         } else {
             dedup_parallel(rows)
         };
-        Ok(Relation {
-            schema,
-            rows,
-            fingerprint: OnceLock::new(),
-        })
+        Ok(Relation::from_rows_unchecked(schema, rows))
     }
 
     /// Build from `Vec<Vec<Value>>` tuples (convenience for tests/examples).
@@ -80,21 +112,49 @@ impl Relation {
     }
 
     /// Build from rows that are already known to be distinct and of the right
-    /// arity (used by operators that dedup as they produce output).
+    /// arity (used by operators that dedup as they produce output, and by
+    /// harnesses that need an *owned* copy of a relation's tuples without
+    /// re-paying deduplication — e.g. the deep-clone baseline interpreter,
+    /// now that [`Clone`] shares tuple storage instead of copying it).
     ///
-    /// Debug builds verify the invariants.
-    pub(crate) fn from_distinct_rows(schema: Schema, rows: Vec<Row>) -> Self {
+    /// Debug builds verify the invariants; release builds trust the caller.
+    pub fn from_distinct_rows(schema: Schema, rows: Vec<Row>) -> Self {
         debug_assert!(rows.iter().all(|r| r.len() == schema.arity()));
         debug_assert_eq!(
             rows.iter().collect::<FxHashSet<_>>().len(),
             rows.len(),
             "rows must be distinct"
         );
-        Relation {
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// Build column-major from per-attribute columns whose tuples are
+    /// already distinct. `nrows` is explicit because a nullary schema has no
+    /// columns to carry it; for arity ≥ 1 every column must have `nrows`
+    /// entries. This is how the batch kernels construct output — the row
+    /// view stays unmaterialized until something asks for it.
+    ///
+    /// Debug builds verify arity, lengths, and distinctness.
+    pub(crate) fn from_distinct_columns(schema: Schema, nrows: usize, cols: Vec<Column>) -> Self {
+        debug_assert_eq!(cols.len(), schema.arity());
+        debug_assert!(cols.iter().all(|c| c.len() == nrows));
+        let cell = OnceLock::new();
+        cell.set(cols).expect("fresh OnceLock");
+        let rel = Relation {
             schema,
-            rows,
+            nrows,
+            cols: cell,
+            rows: OnceLock::new(),
             fingerprint: OnceLock::new(),
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut seen: FxHashSet<Row> = FxHashSet::default();
+            for i in 0..rel.nrows {
+                assert!(seen.insert(rel.row_at(i)), "columnar rows must be distinct");
+            }
         }
+        rel
     }
 
     /// The relation's schema.
@@ -106,40 +166,118 @@ impl Relation {
     /// Number of tuples — `|R|` in the paper's cost model.
     #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.nrows
     }
 
     /// Whether the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.nrows == 0
     }
 
-    /// The rows, in unspecified order.
+    /// The column-major view: one [`Column`] per schema position. Built on
+    /// demand (and memoized) if this relation was constructed from rows.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        self.cols.get_or_init(|| {
+            let rows = self.rows.get().expect("one view always materialized");
+            let mut builders: Vec<ColumnBuilder> = (0..self.schema.arity())
+                .map(|_| ColumnBuilder::with_capacity(rows.len()))
+                .collect();
+            for row in rows.iter() {
+                for (b, v) in builders.iter_mut().zip(row.iter()) {
+                    b.push(v.clone());
+                }
+            }
+            builders.into_iter().map(ColumnBuilder::finish).collect()
+        })
+    }
+
+    /// Whether the columnar view has been materialized (for tests and
+    /// accounting; never forces a build).
+    pub fn columns_materialized(&self) -> bool {
+        self.cols.get().is_some()
+    }
+
+    /// Materialize row `i` from whichever view is cheapest. Only the debug
+    /// distinctness check in [`Relation::from_distinct_columns`] needs this;
+    /// everything else works batch-wise.
+    #[cfg(debug_assertions)]
+    pub(crate) fn row_at(&self, i: usize) -> Row {
+        if let Some(rows) = self.rows.get() {
+            return rows[i].clone();
+        }
+        let cols = self.cols.get().expect("one view always materialized");
+        cols.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// The rows, in unspecified order. Materialized on demand (and memoized)
+    /// if this relation was built column-major.
     #[inline]
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.rows.get_or_init(|| {
+            let cols = self.cols.get().expect("one view always materialized");
+            (0..self.nrows)
+                .map(|i| cols.iter().map(|c| c.value(i)).collect())
+                .collect()
+        })
     }
 
-    /// Consume the relation, yielding its rows (still distinct).
+    /// Consume the relation, yielding owned rows (still distinct). The row
+    /// cache is `Arc`-shared across clones, so this copies the rows out.
     pub fn into_rows(self) -> Vec<Row> {
-        self.rows
+        self.rows().to_vec()
     }
 
     /// Iterate over rows.
     pub fn iter(&self) -> std::slice::Iter<'_, Row> {
-        self.rows.iter()
+        self.rows().iter()
     }
 
     /// Membership test (linear scan; intended for tests and small relations).
+    /// Checks against whichever view is resident — never materializes the
+    /// other.
     pub fn contains_row(&self, row: &[Value]) -> bool {
-        self.rows.iter().any(|r| r.as_ref() == row)
+        if let Some(rows) = self.rows.get() {
+            return rows.iter().any(|r| r.as_ref() == row);
+        }
+        if row.len() != self.schema.arity() {
+            return false;
+        }
+        let cols = self.cols.get().expect("one view always materialized");
+        (0..self.nrows).any(|i| {
+            cols.iter()
+                .zip(row.iter())
+                .all(|(c, v)| c.cell_eq_value(i, v))
+        })
     }
 
     /// The rows sorted into canonical order (for deterministic output).
     pub fn sorted_rows(&self) -> Vec<Row> {
-        let mut rows = self.rows.clone();
+        let mut rows = self.rows().to_vec();
         rows.sort_unstable();
         rows
+    }
+
+    /// Resident heap bytes of the columnar payloads: per-column code/value
+    /// vectors plus each distinct dictionary pool counted once (columns of
+    /// one relation frequently share a pool after joins/projections).
+    /// Forces the columnar view — callers (the index-cache byte budget) are
+    /// on the columnar path already.
+    pub fn resident_col_bytes(&self) -> usize {
+        let cols = self.columns();
+        let mut total = 0usize;
+        let mut seen: Vec<*const ()> = Vec::new();
+        for c in cols {
+            total += c.payload_bytes();
+            if let Some(d) = c.dict() {
+                let p = std::sync::Arc::as_ptr(d).cast::<()>();
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    total += d.heap_bytes();
+                }
+            }
+        }
+        total
     }
 
     /// Render as an aligned table using `catalog` for the header.
@@ -151,24 +289,38 @@ impl Relation {
     /// count combined with the xor and wrapping sum of the per-row hashes.
     /// Row-order independent, so two relations holding the same set of
     /// tuples — e.g. an original and its TSV round-trip reload — fingerprint
-    /// identically even though they are distinct allocations.
+    /// identically even though they are distinct allocations. Per-row hashes
+    /// fold [`Value::stable_hash`]es, so the fingerprint is also
+    /// *layout*-independent: computed from columns when resident (a table
+    /// lookup per interned cell), from rows otherwise, with bit-identical
+    /// results.
     ///
-    /// Computed lazily on first call and memoized (rows are immutable).
+    /// Computed lazily on first call and memoized (content is immutable).
     /// This is a hash, not a proof of equality: collisions are possible,
     /// so callers deciding anything semantic should also compare schemas
     /// and accept the residual hash-collision risk (the join-index cache
     /// does, trading it for cross-`Arc` reuse).
     pub fn fingerprint(&self) -> u128 {
         *self.fingerprint.get_or_init(|| {
-            use crate::fxhash::FxBuildHasher;
-            use std::hash::BuildHasher;
-            let hasher = FxBuildHasher::default();
             let mut xor: u64 = 0;
-            let mut sum: u64 = self.rows.len() as u64;
-            for row in &self.rows {
-                let h = hasher.hash_one(row);
+            let mut sum: u64 = self.nrows as u64;
+            let mut fold = |h: u64| {
                 xor ^= h;
                 sum = sum.wrapping_add(h);
+            };
+            match (self.cols.get(), self.rows.get()) {
+                (Some(cols), None) => {
+                    let mut acc = vec![0u64; self.nrows];
+                    for c in cols {
+                        c.hash_into(&mut acc, mix);
+                    }
+                    acc.into_iter().for_each(&mut fold);
+                }
+                _ => {
+                    for row in self.rows() {
+                        fold(stable_row_hash(row));
+                    }
+                }
             }
             (u128::from(xor) << 64) | u128::from(sum)
         })
@@ -222,7 +374,7 @@ fn dedup_parallel(rows: Vec<Row>) -> Vec<Row> {
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.schema == other.schema
-            && self.rows.len() == other.rows.len()
+            && self.nrows == other.nrows
             && self.sorted_rows() == other.sorted_rows()
     }
 }
@@ -364,6 +516,59 @@ mod tests {
             Relation::nullary_unit().fingerprint(),
             "empty vs nullary unit differ by the length term"
         );
+    }
+
+    #[test]
+    fn fingerprint_is_layout_independent() {
+        let (_c, s) = schema_ab();
+        let rows = vec![
+            vec![Value::Int(1), Value::str("x")].into(),
+            vec![Value::Int(2), Value::str("y")].into(),
+        ];
+        let by_rows = Relation::from_rows(s.clone(), rows).unwrap();
+        // Same content constructed column-major, fingerprinted before any
+        // row view exists.
+        let cols = by_rows.columns().to_vec();
+        let by_cols = Relation::from_distinct_columns(s, by_rows.len(), cols);
+        assert!(by_cols.rows.get().is_none(), "no row view materialized");
+        assert_eq!(by_rows.fingerprint(), by_cols.fingerprint());
+    }
+
+    #[test]
+    fn views_agree_both_directions() {
+        let (_c, s) = schema_ab();
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::str("a")].into(),
+            vec![Value::Int(2), Value::str("b")].into(),
+        ];
+        let r = Relation::from_rows(s.clone(), rows.clone()).unwrap();
+        // rows → columns
+        let cols = r.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[1].value(1), Value::str("b"));
+        // columns → rows
+        let r2 = Relation::from_distinct_columns(s, r.len(), cols.to_vec());
+        assert_eq!(r2.rows(), &rows[..]);
+        assert!(r2.contains_row(&[Value::Int(1), Value::str("a")]));
+        assert!(!r2.contains_row(&[Value::Int(1), Value::str("b")]));
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn resident_col_bytes_counts_shared_pool_once() {
+        let mut c = Catalog::new();
+        let s = Schema::from_chars(&mut c, "AB");
+        let rows: Vec<Row> = (0..4)
+            .map(|i| vec![Value::str(format!("s{i}")), Value::str("t")].into())
+            .collect();
+        let r = Relation::from_rows(s.clone(), rows).unwrap();
+        let bytes = r.resident_col_bytes();
+        // Two code vectors of 4×u32 plus two distinct pools.
+        assert!(bytes >= 2 * 4 * 4, "codes counted: {bytes}");
+        // A gathered clone sharing both pools costs the same accounting.
+        let cols2: Vec<Column> = r.columns().iter().map(|c| c.gather(&[0, 1])).collect();
+        let r2 = Relation::from_distinct_columns(s, 2, cols2);
+        assert!(r2.resident_col_bytes() < bytes + 64);
     }
 
     #[test]

@@ -161,23 +161,80 @@ fn cell_to_tsv(v: &Value) -> String {
     out
 }
 
-/// Render a relation as TSV (canonical column order, sorted rows).
-pub fn relation_to_tsv(catalog: &Catalog, rel: &Relation) -> String {
-    let mut out = String::new();
+/// Stream a relation as TSV (canonical column order, sorted rows) into any
+/// [`std::io::Write`] sink, one row at a time.
+///
+/// The rows are emitted straight from the column vectors: the row order is a
+/// sorted *id permutation* (compared column-wise, same `Value` ordering as
+/// [`Relation::sorted_rows`]), and each dictionary entry is escaped exactly
+/// once — every later occurrence writes the cached cell bytes. No row view
+/// is materialized and no output `String` proportional to the relation is
+/// built, so dumping a large result costs O(dict + ids) transient memory.
+pub fn relation_to_tsv_writer<W: std::io::Write>(
+    catalog: &Catalog,
+    rel: &Relation,
+    out: &mut W,
+) -> std::io::Result<()> {
     let names: Vec<&str> = rel
         .schema()
         .attrs()
         .iter()
         .map(|&a| catalog.name(a))
         .collect();
-    out.push_str(&names.join("\t"));
-    out.push('\n');
-    for row in rel.sorted_rows() {
-        let cells: Vec<String> = row.iter().map(cell_to_tsv).collect();
-        out.push_str(&cells.join("\t"));
-        out.push('\n');
+    out.write_all(names.join("\t").as_bytes())?;
+    out.write_all(b"\n")?;
+
+    let cols = rel.columns();
+    let mut ids: Vec<u32> = (0..rel.len() as u32).collect();
+    ids.sort_unstable_by(|&a, &b| {
+        cols.iter()
+            .map(|c| c.cells_cmp(a as usize, c, b as usize))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Escape each dictionary entry once, up front; integer cells format
+    // into a reused buffer.
+    let escaped: Vec<Option<Vec<String>>> = cols
+        .iter()
+        .map(|c| {
+            c.dict().map(|d| {
+                (0..d.len() as u32)
+                    .map(|i| cell_to_tsv(d.value(i)))
+                    .collect()
+            })
+        })
+        .collect();
+    let mut intbuf = String::new();
+    for &i in &ids {
+        for (k, col) in cols.iter().enumerate() {
+            if k > 0 {
+                out.write_all(b"\t")?;
+            }
+            match (col, &escaped[k]) {
+                (crate::column::Column::Int(v), _) => {
+                    intbuf.clear();
+                    use std::fmt::Write as _;
+                    let _ = write!(intbuf, "{}", v[i as usize]);
+                    out.write_all(intbuf.as_bytes())?;
+                }
+                (crate::column::Column::Dict { codes, .. }, Some(cache)) => {
+                    out.write_all(cache[codes[i as usize] as usize].as_bytes())?;
+                }
+                (crate::column::Column::Dict { .. }, None) => unreachable!("dict column cached"),
+            }
+        }
+        out.write_all(b"\n")?;
     }
-    out
+    Ok(())
+}
+
+/// Render a relation as TSV (canonical column order, sorted rows). Thin
+/// wrapper over [`relation_to_tsv_writer`] collecting into a `String`.
+pub fn relation_to_tsv(catalog: &Catalog, rel: &Relation) -> String {
+    let mut out: Vec<u8> = Vec::new();
+    relation_to_tsv_writer(catalog, rel, &mut out).expect("Vec sink cannot fail");
+    String::from_utf8(out).expect("TSV output is UTF-8")
 }
 
 #[cfg(test)]
@@ -285,6 +342,39 @@ mod tests {
         }
         let err = relation_from_tsv_reader(&mut c, std::io::BufReader::new(Failing)).unwrap_err();
         assert!(err.to_string().contains("TSV read error"), "{err}");
+    }
+
+    /// The streaming writer emits exactly what the historical String
+    /// renderer did: header, then rows in sorted order, one escape per cell.
+    #[test]
+    fn writer_matches_sorted_row_rendering() {
+        let mut c = Catalog::new();
+        let schema = Schema::from_chars(&mut c, "AB");
+        let rows = (0..50)
+            .map(|i| {
+                vec![
+                    Value::Int(97 - i),
+                    if i % 3 == 0 {
+                        Value::str(format!("s{}", i % 7))
+                    } else {
+                        Value::Int(i)
+                    },
+                ]
+                .into()
+            })
+            .collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let mut expect = String::new();
+        expect.push_str("A\tB\n");
+        for row in rel.sorted_rows() {
+            let cells: Vec<String> = row.iter().map(cell_to_tsv).collect();
+            expect.push_str(&cells.join("\t"));
+            expect.push('\n');
+        }
+        let mut sink: Vec<u8> = Vec::new();
+        relation_to_tsv_writer(&c, &rel, &mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), expect);
+        assert_eq!(relation_to_tsv(&c, &rel), expect);
     }
 
     #[test]

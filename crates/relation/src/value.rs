@@ -28,6 +28,34 @@ impl Value {
         Value::Str(Arc::from(s.as_ref()))
     }
 
+    /// A deterministic 64-bit content hash, independent of where the value
+    /// is stored. This is the *one* per-cell hash the engine uses: the
+    /// row-layout kernels fold it per position, the columnar kernels
+    /// precompute it per dictionary entry, and [`crate::relation::Relation`]
+    /// fingerprints fold it across whole tuples — so hashes computed from
+    /// either storage layout agree bit-for-bit and the two layouts'
+    /// hash tables interoperate.
+    #[inline]
+    pub fn stable_hash(&self) -> u64 {
+        use crate::fxhash::FxHasher;
+        use std::hash::Hasher;
+        match self {
+            Value::Int(v) => {
+                let mut h = FxHasher::default();
+                h.write_u64(*v as u64);
+                h.finish()
+            }
+            Value::Str(s) => {
+                let mut h = FxHasher::default();
+                h.write(s.as_bytes());
+                // Distinguish `Str("5")` from `Int(5)`-adjacent byte streams
+                // and `""` from the hasher's initial state.
+                h.write_u8(0xff);
+                h.finish()
+            }
+        }
+    }
+
     /// Construct an integer value.
     pub fn int(v: i64) -> Self {
         Value::Int(v)

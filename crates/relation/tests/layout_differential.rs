@@ -1,0 +1,221 @@
+//! Differential suite for the two physical layouts: every operator must
+//! produce identical relations from the row engine and the columnar engine,
+//! on random relations (integers, strings, and mixed columns), sequentially
+//! and at 2/4/8 threads.
+//!
+//! The layout switch is process-global, so every test serializes on one
+//! mutex and restores the previous layout before releasing it.
+
+use mjoin_relation::ops::{self, Layout};
+use mjoin_relation::{Catalog, Relation, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn layout_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Run `f` under the row engine, then under the columnar engine, and return
+/// both results. The previous layout is restored before returning.
+fn both<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = layout_lock().lock().unwrap();
+    let before = ops::layout();
+    ops::set_layout(Layout::Row);
+    let by_rows = f();
+    ops::set_layout(Layout::Columnar);
+    let by_cols = f();
+    ops::set_layout(before);
+    (by_rows, by_cols)
+}
+
+/// A random relation over single-letter attributes. `string_cols` marks the
+/// positions (in written order) whose values are strings drawn from a small
+/// alphabet; everything else is a small integer, so joins and dedup both
+/// fire often.
+fn random_rel(
+    c: &mut Catalog,
+    scheme: &str,
+    rows: usize,
+    fanout: i64,
+    string_cols: &[usize],
+    rng: &mut StdRng,
+) -> Relation {
+    let ids = c.intern_chars(scheme);
+    let schema = Schema::new(ids.clone());
+    let dest: Vec<usize> = ids
+        .iter()
+        .map(|&id| schema.position(id).expect("interned"))
+        .collect();
+    let mut out: Vec<Row> = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut row = vec![Value::Int(0); ids.len()];
+        for (i, &d) in dest.iter().enumerate() {
+            let v = rng.gen_range(0..fanout);
+            row[d] = if string_cols.contains(&i) {
+                Value::str(format!("s{v}"))
+            } else {
+                Value::Int(v)
+            };
+        }
+        out.push(row.into());
+    }
+    Relation::from_rows(schema, out).unwrap()
+}
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn joins_agree_across_layouts() {
+    let mut rng = StdRng::seed_from_u64(0x10);
+    for seed in 0..6u64 {
+        let mut c = Catalog::new();
+        let strings: &[usize] = if seed % 2 == 0 { &[1] } else { &[] };
+        let r = random_rel(&mut c, "AB", 700, 40, strings, &mut rng);
+        let s = random_rel(&mut c, "BC", 600, 40, strings, &mut rng);
+        let (row_seq, col_seq) = both(|| ops::join(&r, &s));
+        assert_eq!(row_seq, col_seq, "sequential join, seed {seed}");
+        for threads in THREADS {
+            let (by_rows, by_cols) = both(|| ops::par_join_cutoff(&r, &s, threads, 0));
+            assert_eq!(by_rows, by_cols, "par_join t={threads}, seed {seed}");
+            assert_eq!(by_cols, col_seq, "par vs seq t={threads}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn cartesian_and_multikey_joins_agree() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut c = Catalog::new();
+    let a = random_rel(&mut c, "A", 90, 60, &[], &mut rng);
+    let b = random_rel(&mut c, "B", 80, 60, &[0], &mut rng);
+    let (by_rows, by_cols) = both(|| ops::join(&a, &b));
+    assert_eq!(by_rows, by_cols);
+    assert_eq!(by_cols.len(), a.len() * b.len());
+
+    let l = random_rel(&mut c, "ABX", 800, 12, &[1], &mut rng);
+    let r = random_rel(&mut c, "ABY", 700, 12, &[1], &mut rng);
+    for threads in THREADS {
+        let (by_rows, by_cols) = both(|| ops::par_join_cutoff(&l, &r, threads, 0));
+        assert_eq!(by_rows, by_cols, "multi-key t={threads}");
+    }
+}
+
+#[test]
+fn semijoins_agree_across_layouts() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for seed in 0..4u64 {
+        let mut c = Catalog::new();
+        let strings: &[usize] = if seed % 2 == 0 { &[0] } else { &[] };
+        let l = random_rel(&mut c, "AB", 900, 35, &[], &mut rng);
+        let r = random_rel(&mut c, "BC", 500, 35, strings, &mut rng);
+        let (row_seq, col_seq) = both(|| ops::semijoin(&l, &r));
+        assert_eq!(row_seq, col_seq, "sequential semijoin, seed {seed}");
+        for threads in THREADS {
+            let (by_rows, by_cols) = both(|| ops::par_semijoin_cutoff(&l, &r, threads, 0));
+            assert_eq!(by_rows, by_cols, "par_semijoin t={threads}, seed {seed}");
+            assert_eq!(by_cols, col_seq);
+        }
+        // Disjoint-schema degenerate cases.
+        let d = random_rel(&mut c, "XY", 50, 10, &[], &mut rng);
+        let (by_rows, by_cols) = both(|| ops::semijoin(&l, &d));
+        assert_eq!(by_rows, by_cols);
+        let empty = Relation::empty(d.schema().clone());
+        let (by_rows, by_cols) = both(|| ops::semijoin(&l, &empty));
+        assert_eq!(by_rows, by_cols);
+    }
+}
+
+#[test]
+fn projections_agree_across_layouts() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut c = Catalog::new();
+    let r = random_rel(&mut c, "ABC", 1500, 9, &[2], &mut rng);
+    let a = c.lookup("A").unwrap();
+    let b = c.lookup("B").unwrap();
+    let cc = c.lookup("C").unwrap();
+    for attrs in [vec![a], vec![b], vec![a, cc], vec![cc, b], vec![]] {
+        let (row_seq, col_seq) = both(|| ops::project(&r, &attrs).unwrap());
+        assert_eq!(row_seq, col_seq, "sequential project {attrs:?}");
+        for threads in THREADS {
+            let (by_rows, by_cols) =
+                both(|| ops::par_project_cutoff(&r, &attrs, threads, 0).unwrap());
+            assert_eq!(by_rows, by_cols, "par_project t={threads} {attrs:?}");
+            assert_eq!(by_cols, col_seq);
+        }
+    }
+}
+
+#[test]
+fn select_setops_rename_agree_across_layouts() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut c = Catalog::new();
+    let r = random_rel(&mut c, "AB", 600, 8, &[1], &mut rng);
+    let s = random_rel(&mut c, "AB", 500, 8, &[1], &mut rng);
+    let a = c.lookup("A").unwrap();
+    let b = c.lookup("B").unwrap();
+
+    let (by_rows, by_cols) = both(|| ops::select_eq(&r, a, &Value::Int(3)).unwrap());
+    assert_eq!(by_rows, by_cols, "select_eq int");
+    let (by_rows, by_cols) = both(|| ops::select_eq(&r, b, &Value::str("s5")).unwrap());
+    assert_eq!(by_rows, by_cols, "select_eq str");
+    let (by_rows, by_cols) = both(|| {
+        ops::select_where(&r, |row| {
+            row[0].as_int().unwrap() % 2 == 0 && row[1] != Value::str("s0")
+        })
+    });
+    assert_eq!(by_rows, by_cols, "select_where");
+
+    let (by_rows, by_cols) = both(|| ops::union(&r, &s).unwrap());
+    assert_eq!(by_rows, by_cols, "union");
+    let (by_rows, by_cols) = both(|| ops::difference(&r, &s).unwrap());
+    assert_eq!(by_rows, by_cols, "difference");
+    let (by_rows, by_cols) = both(|| ops::intersection(&r, &s).unwrap());
+    assert_eq!(by_rows, by_cols, "intersection");
+
+    let z = c.intern("Z");
+    let (by_rows, by_cols) = both(|| ops::rename(&r, &[(a, z)]).unwrap());
+    assert_eq!(by_rows, by_cols, "rename");
+    // A rename that reorders columns, then a join against the original.
+    let (by_rows, by_cols) = both(|| {
+        let shifted = ops::rename(&r, &[(a, b), (b, z)]).unwrap();
+        ops::join(&r, &shifted)
+    });
+    assert_eq!(by_rows, by_cols, "self-join via rename");
+}
+
+#[test]
+fn indexed_paths_agree_across_layouts() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let mut c = Catalog::new();
+    let l = random_rel(&mut c, "AB", 900, 45, &[0], &mut rng);
+    let r = random_rel(&mut c, "BC", 700, 45, &[1], &mut rng);
+    let key_l = ops::join_key_positions(l.schema(), r.schema()).0;
+    let key_r = ops::join_key_positions(r.schema(), l.schema()).0;
+    for threads in THREADS {
+        let (by_rows, by_cols) = both(|| {
+            let idx = ops::JoinIndex::build(Arc::new(l.clone()), key_l.clone());
+            ops::par_join_indexed_cutoff(&idx, &r, threads, 0)
+        });
+        assert_eq!(by_rows, by_cols, "indexed join t={threads}");
+        let (by_rows, by_cols) = both(|| {
+            let idx = ops::JoinIndex::build(Arc::new(r.clone()), key_r.clone());
+            ops::par_semijoin_indexed_cutoff(&l, &idx, threads, 0)
+        });
+        assert_eq!(by_rows, by_cols, "indexed semijoin t={threads}");
+    }
+    // Cross-layout interop: an index built by the row engine, probed by the
+    // columnar engine (and vice versa) — the hashes are bit-identical.
+    let _guard = layout_lock().lock().unwrap();
+    let before = ops::layout();
+    ops::set_layout(Layout::Row);
+    let row_built = ops::JoinIndex::build(Arc::new(l.clone()), key_l.clone());
+    ops::set_layout(Layout::Columnar);
+    let col_probe = ops::par_join_indexed_cutoff(&row_built, &r, 4, 0);
+    let col_built = ops::JoinIndex::build(Arc::new(l.clone()), key_l.clone());
+    ops::set_layout(Layout::Row);
+    let row_probe = ops::par_join_indexed_cutoff(&col_built, &r, 4, 0);
+    ops::set_layout(before);
+    assert_eq!(col_probe, row_probe, "cross-layout index interop");
+}

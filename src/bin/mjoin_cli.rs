@@ -275,7 +275,12 @@ fn run(args: &Args, execute_it: bool) -> Result<Option<ExplainInfo>, String> {
             run.exec.ledger.total()
         );
         eprintln!("result: {} tuples", run.exec.result.len());
-        print!("{}", tsv::relation_to_tsv(&catalog, &run.exec.result));
+        // Stream straight from the result's columns — no whole-file String.
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        tsv::relation_to_tsv_writer(&catalog, &run.exec.result, &mut out)
+            .and_then(|()| std::io::Write::flush(&mut out))
+            .map_err(|e| format!("writing result: {e}"))?;
     }
     Ok(Some(info))
 }
@@ -513,11 +518,20 @@ fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
     let res = execute_query(&ndb, &q, strategy).map_err(|e| e.to_string())?;
     eprintln!("{q}");
     eprintln!("{} answers, cost {} tuples", res.len(), res.ledger.total());
-    println!("{}", q.head_vars.join("\t"));
-    for row in res.rows_in_head_order() {
-        let cells: Vec<String> = row.iter().map(std::string::ToString::to_string).collect();
-        println!("{}", cells.join("\t"));
-    }
+    // One locked, buffered writer for the whole dump instead of a flushing
+    // `println!` per answer row.
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let emit = |out: &mut std::io::BufWriter<std::io::StdoutLock>| -> std::io::Result<()> {
+        writeln!(out, "{}", q.head_vars.join("\t"))?;
+        for row in res.rows_in_head_order() {
+            let cells: Vec<String> = row.iter().map(std::string::ToString::to_string).collect();
+            writeln!(out, "{}", cells.join("\t"))?;
+        }
+        out.flush()
+    };
+    emit(&mut out).map_err(|e| format!("writing answers: {e}"))?;
     Ok(None)
 }
 
