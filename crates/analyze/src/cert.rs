@@ -234,15 +234,25 @@ impl Certificate {
 
     /// Evaluate every statement's bound on a concrete database:
     /// `Π |⋈D[S]|` over the statement's factors, with each distinct
-    /// `⋈D[S]` computed once. Saturates at `u64::MAX`.
+    /// `⋈D[S]` computed once. Saturates at `u64::MAX`. Executes real
+    /// sub-joins — exact but expensive; pre-execution admission uses
+    /// [`Certificate::evaluate_with`] with a cheap estimator instead.
     pub fn evaluate(&self, db: &Database) -> Vec<u64> {
         let mut cache: FxHashMap<u64, u64> = FxHashMap::default();
+        self.evaluate_with(|f| join_card(db, f, &mut cache))
+    }
+
+    /// Evaluate every statement's bound with a caller-supplied estimator:
+    /// `card(S)` must return `|⋈D[S]|` or a sound upper bound on it (any
+    /// overestimate keeps the certified bound sound, it only loosens it).
+    /// Products saturate at `u64::MAX`.
+    pub fn evaluate_with(&self, mut card: impl FnMut(RelSet) -> u64) -> Vec<u64> {
         self.stmts
             .iter()
             .map(|b| {
                 let mut acc: u128 = 1;
                 for &f in &b.factors {
-                    acc = acc.saturating_mul(u128::from(join_card(db, f, &mut cache)));
+                    acc = acc.saturating_mul(u128::from(card(f)));
                 }
                 u64::try_from(acc).unwrap_or(u64::MAX)
             })

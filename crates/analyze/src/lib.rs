@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod absint;
+pub mod admission;
 pub mod audit;
 pub mod cert;
 pub mod cx;
@@ -43,6 +44,7 @@ pub mod diagnostic;
 pub mod passes;
 
 pub use absint::{cost_blowup, interval_analysis, CardInterval};
+pub use admission::{admission_report, AdmissionBound, AdmissionReport};
 pub use audit::{audit, audit_with_certificate, AuditReport, StmtAudit};
 pub use cert::{Certificate, StmtBound};
 pub use cx::{AnalysisCx, ExprKey, StmtFacts, Vn};

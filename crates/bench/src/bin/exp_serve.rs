@@ -1,0 +1,201 @@
+//! Experiment S: resident-server warm-vs-cold on a hub-and-spoke reducer.
+//!
+//! The protocol-level analog of `exp_par`'s `hub_fanout_reducer`: a wide
+//! hub relation `AB`, nine spokes `BC`…`BK` hanging off the same key `B`,
+//! and a full-reducer-style program — every spoke semijoined by the hub
+//! (one shared build-side index serves the whole width-9 level), the
+//! surviving keys intersected down a chain, the hub folded back. (The
+//! in-process workload's `C0`…`C9` spoke attributes can't round-trip the
+//! single-char text notation, so the spokes here use attributes `C`…`K`.)
+//!
+//! One server process keeps the catalog, the compiled program, and the
+//! index cache resident. Session 1 pays the cold cost: TSV parse, program
+//! compile, and the hub's build table. Sessions 2…N reconnect fresh — as
+//! a new client would — and only pay probes: the admission check is
+//! arithmetic, the catalog is warm, and every spoke reduction hits the
+//! cached hub index through the structural-fingerprint fallback (each run
+//! re-wraps relations in fresh `Arc`s, so pointer identity never
+//! matches).
+//!
+//! ```text
+//! cargo run --release -p mjoin-bench --bin exp_serve
+//! ```
+
+use mjoin_serve::{Client, ServeConfig, Server, Value};
+use std::time::Instant;
+
+const HUB_ROWS: i64 = 100_000;
+const B_DOMAIN: i64 = 2_000;
+const SPOKE_ROWS: i64 = 4_000;
+const SPOKE_ATTRS: &[char] = &['C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K'];
+const WARM_SESSIONS: usize = 5;
+
+fn hub_tsv() -> String {
+    let mut t = String::from("A\tB\n");
+    for i in 0..HUB_ROWS {
+        t.push_str(&format!("{i}\t{}\n", i % B_DOMAIN));
+    }
+    t
+}
+
+fn spoke_tsv(idx: usize, attr: char) -> String {
+    let mut t = format!("B\t{attr}\n");
+    for j in 0..SPOKE_ROWS {
+        t.push_str(&format!("{}\t{j}\n", (j * 97 + idx as i64 * 13) % B_DOMAIN));
+    }
+    t
+}
+
+/// The reducer in the paper's notation: reduce every spoke by the hub,
+/// project each to its hub key, intersect the keys, fold into the hub.
+fn program_text() -> String {
+    let mut p = String::new();
+    for a in SPOKE_ATTRS {
+        p.push_str(&format!("R(B{a}) := R(B{a}) ⋉ R(AB)\n"));
+    }
+    for (i, a) in SPOKE_ATTRS.iter().enumerate() {
+        p.push_str(&format!("R(K{i}) := π_B R(B{a})\n"));
+    }
+    for i in 1..SPOKE_ATTRS.len() {
+        p.push_str(&format!("R(K0) := R(K0) ⋈ R(K{i})\n"));
+    }
+    p.push_str("R(AB) := R(AB) ⋉ R(K0)\n");
+    p
+}
+
+fn scheme_text() -> String {
+    let mut s = String::from("AB");
+    for a in SPOKE_ATTRS {
+        s.push_str(&format!(",B{a}"));
+    }
+    s
+}
+
+fn expect_ok(resp: &Value) {
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {}",
+        resp.render()
+    );
+}
+
+fn cache_counter(resp: &Value, key: &str) -> u64 {
+    resp.get("cache")
+        .and_then(|c| c.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let server = Server::bind(ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Session 1: cold. Loads the catalog, compiles the program, pays the
+    // hub's build table.
+    let t0 = Instant::now();
+    let mut c = Client::connect(addr).expect("connect");
+    let mut load = |name: String, tsv: String| {
+        let resp = c
+            .cmd(
+                "load",
+                &[
+                    ("catalog", Value::str("hub")),
+                    ("name", Value::str(name)),
+                    ("tsv", Value::str(tsv)),
+                ],
+            )
+            .expect("load");
+        expect_ok(&resp);
+    };
+    load("hub".to_string(), hub_tsv());
+    for (i, &a) in SPOKE_ATTRS.iter().enumerate() {
+        load(format!("spoke_{a}"), spoke_tsv(i, a));
+    }
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let resp = c
+        .cmd(
+            "compile",
+            &[
+                ("catalog", Value::str("hub")),
+                ("name", Value::str("reduce")),
+                ("program", Value::str(program_text())),
+                ("scheme", Value::str(scheme_text())),
+            ],
+        )
+        .expect("compile");
+    expect_ok(&resp);
+
+    let run_once = |c: &mut Client| {
+        let t = Instant::now();
+        let resp = c
+            .cmd(
+                "run",
+                &[
+                    ("catalog", Value::str("hub")),
+                    ("name", Value::str("reduce")),
+                    ("tsv", Value::Bool(false)),
+                ],
+            )
+            .expect("run");
+        expect_ok(&resp);
+        (t.elapsed().as_secs_f64() * 1e3, resp)
+    };
+
+    let (cold_ms, cold) = run_once(&mut c);
+    let cold_hits = cache_counter(&cold, "hit");
+    let cold_misses = cache_counter(&cold, "miss");
+    let rows = cold.get("rows").and_then(Value::as_u64).unwrap_or(0);
+    let peak = cold
+        .get("certified_peak")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    // What a one-shot CLI invocation of the same request pays every time:
+    // parse + load + build every index + run.
+    let one_shot_ms = load_ms + cold_ms;
+
+    println!("# Experiment S: resident server, hub_fanout reducer over the wire");
+    println!(
+        "hub {HUB_ROWS} rows, {} spokes x {SPOKE_ROWS} rows, result {rows} rows, certified peak {peak}",
+        SPOKE_ATTRS.len()
+    );
+    println!("cold session: load+parse {load_ms:.1} ms + run {cold_ms:.1} ms ({cold_hits} hits / {cold_misses} misses)");
+
+    // Sessions 2…N: fresh connections against warm state. Best of three
+    // requests per session so one scheduler hiccup doesn't skew a point.
+    let mut prev_hits = cold_hits;
+    let mut warm_ms = Vec::new();
+    for s in 0..WARM_SESSIONS {
+        let mut w = Client::connect(addr).expect("reconnect");
+        let (mut best, mut last) = run_once(&mut w);
+        for _ in 0..2 {
+            let (ms, resp) = run_once(&mut w);
+            best = best.min(ms);
+            last = resp;
+        }
+        let hits = cache_counter(&last, "hit");
+        let misses = cache_counter(&last, "miss");
+        assert!(
+            hits > prev_hits,
+            "warm session must add cache hits ({hits} vs {prev_hits})"
+        );
+        println!(
+            "warm session {}: run {best:.2} ms ({} new hits, {misses} cumulative misses)",
+            s + 2,
+            hits - prev_hits
+        );
+        prev_hits = hits;
+        warm_ms.push(best);
+    }
+    let best = warm_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "warm request {best:.2} ms vs one-shot equivalent {one_shot_ms:.1} ms — {:.1}x from resident state",
+        one_shot_ms / best
+    );
+
+    let mut bye = Client::connect(addr).expect("reconnect");
+    expect_ok(&bye.cmd("shutdown", &[]).expect("shutdown"));
+    server_thread.join().expect("join").expect("server run");
+}

@@ -124,6 +124,14 @@ pub fn ensure_at_least(n: usize) {
     global().ensure_at_least(n);
 }
 
+/// Block until every worker of the global pool is parked (fully idle,
+/// burning no CPU) or `timeout` elapses; returns whether it quiesced. A
+/// graceful server shutdown calls this after draining in-flight requests so
+/// the process exits with workers asleep instead of mid-spin.
+pub fn quiesce(timeout: std::time::Duration) -> bool {
+    global().quiesce(timeout)
+}
+
 impl ThreadPool {
     fn empty() -> Self {
         ThreadPool {
@@ -187,6 +195,24 @@ impl ThreadPool {
             self.shared.unparks.load(Ordering::Relaxed),
             self.shared.empty_wakeups.load(Ordering::Relaxed),
         )
+    }
+
+    /// Block until every worker of this pool is parked or `timeout`
+    /// elapses; returns whether the pool fully quiesced. Workers park on
+    /// their own within microseconds of the queue draining ([`SPIN_POPS`]);
+    /// this just waits for that to have happened.
+    pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let workers = self.shared.workers.load(Ordering::Relaxed);
+            if self.parked_workers() >= workers {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 }
 
@@ -537,6 +563,25 @@ mod tests {
             }
         });
         assert_eq!(pool.shared.workers.load(Ordering::Relaxed), target);
+    }
+
+    /// `quiesce` observes the pool going fully idle after a burst of work.
+    #[test]
+    fn quiesce_waits_for_all_workers_to_park() {
+        let pool = ThreadPool::empty();
+        pool.ensure_at_least(2);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    std::hint::black_box(42);
+                });
+            }
+        });
+        assert!(
+            pool.quiesce(std::time::Duration::from_secs(5)),
+            "pool never quiesced after its queue drained"
+        );
+        assert_eq!(pool.parked_workers(), 2);
     }
 
     /// Regression: workers used to block on the completion condvar, so every

@@ -27,7 +27,9 @@ use mjoin_relation::ops::{
     self, join_key_positions, par_join_indexed_cutoff, par_semijoin_indexed_cutoff, JoinIndex,
 };
 use mjoin_relation::{CostLedger, Database, Relation, Schema};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Execution knobs for [`execute_with`]. [`execute`] and
 /// [`execute_parallel`] use the defaults (cache on) at their respective
@@ -53,6 +55,18 @@ pub struct ExecConfig {
     /// Defaults to the process-wide [`ops::par_cutoff`] (itself seeded from
     /// `MJOIN_PAR_CUTOFF`, falling back to [`SMALL`]).
     pub par_cutoff: usize,
+    /// A shared cross-run index cache. `None` (the default) gives each run
+    /// a private cache built from the budgets above — the historical
+    /// one-shot behavior. A resident server passes one
+    /// [`SharedIndexCache`] into every request's config so warm state
+    /// survives across runs and sessions; the budgets above are then
+    /// ignored in favor of the shared cache's own.
+    pub cache: Option<SharedIndexCache>,
+    /// Cooperative cancellation: checked at statement boundaries (and at
+    /// level boundaries in the parallel executor). `None` runs to
+    /// completion. Use [`try_execute_with`] to observe a cancellation as a
+    /// value instead of a panic.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecConfig {
@@ -63,6 +77,8 @@ impl Default for ExecConfig {
             cache_budget_tuples: 4 << 20,
             cache_budget_bytes: 256 << 20,
             par_cutoff: ops::par_cutoff(),
+            cache: None,
+            cancel: None,
         }
     }
 }
@@ -83,7 +99,82 @@ impl ExecConfig {
         self.index_cache = false;
         self
     }
+
+    /// The cache this run works against: the shared one if provided, else
+    /// a fresh private cache sized by this config's budgets.
+    fn run_cache(&self) -> SharedIndexCache {
+        self.cache.clone().unwrap_or_else(|| {
+            IndexCache::shared(self.cache_budget_tuples, self.cache_budget_bytes)
+        })
+    }
+
+    /// Whether this run was cancelled (explicitly or by deadline).
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
 }
+
+/// A cooperative cancellation handle: cloned into an [`ExecConfig`] and
+/// polled by the interpreter at statement boundaries. Fires either
+/// explicitly ([`CancelToken::cancel`], e.g. from a server's shutdown path)
+/// or implicitly once a deadline passes (per-request budgets). Clones share
+/// one flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Request cancellation. Execution stops at the next statement (or
+    /// level) boundary; the statement in flight runs to completion.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Relaxed)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Execution stopped at a statement boundary before completing: the
+/// [`CancelToken`] fired (explicit cancel or deadline). Carries the index
+/// of the first statement that did *not* run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Index of the first unexecuted statement.
+    pub at_stmt: usize,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution cancelled before statement {}", self.at_stmt)
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Cache key: the identity of an `Arc<Relation>` plus the key positions an
 /// index was built over. Safe against pointer reuse because every cached
@@ -120,8 +211,12 @@ struct CacheEntry {
 /// a probe-only statement. Bounded by resident tuples with LRU eviction;
 /// entries for a register's old value are dropped when the register is
 /// rewritten.
-struct IndexCache {
-    enabled: bool,
+///
+/// One-shot runs build a private cache per execution; a resident server
+/// shares one behind a mutex across every session (see
+/// [`SharedIndexCache`] and [`ExecConfig::cache`]). The lock is only ever
+/// held for map operations — index *builds* happen outside it.
+pub struct IndexCache {
     budget_tuples: u64,
     budget_bytes: u64,
     map: FxHashMap<IndexKey, CacheEntry>,
@@ -134,18 +229,102 @@ struct IndexCache {
     tick: u64,
 }
 
+/// An [`IndexCache`] shared across runs (and server sessions). Lock
+/// discipline: take the mutex only around cache-map operations, never
+/// across a kernel or an index build.
+pub type SharedIndexCache = Arc<Mutex<IndexCache>>;
+
+/// Lock a shared cache, recovering from poisoning: the cache holds only
+/// immutable `Arc<JoinIndex>` values plus accounting that [`debit`]
+/// saturates, so state left by a panicking peer is still safe to read —
+/// a long-lived server must not let one crashed session wedge the cache.
+///
+/// [`debit`]: IndexCache::debit
+fn lock_cache(cache: &SharedIndexCache) -> MutexGuard<'_, IndexCache> {
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl std::fmt::Debug for IndexCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexCache")
+            .field("entries", &self.map.len())
+            .field("resident_tuples", &self.resident_tuples)
+            .field("resident_bytes", &self.resident_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
 impl IndexCache {
-    fn new(cfg: &ExecConfig) -> Self {
+    /// An empty cache with the given eviction budgets.
+    pub fn with_budgets(budget_tuples: u64, budget_bytes: u64) -> Self {
         IndexCache {
-            enabled: cfg.index_cache,
-            budget_tuples: cfg.cache_budget_tuples,
-            budget_bytes: cfg.cache_budget_bytes,
+            budget_tuples,
+            budget_bytes,
             map: FxHashMap::default(),
             by_fingerprint: FxHashMap::default(),
             resident_tuples: 0,
             resident_bytes: 0,
             tick: 0,
         }
+    }
+
+    /// An empty cache wrapped for sharing across runs/sessions.
+    pub fn shared(budget_tuples: u64, budget_bytes: u64) -> SharedIndexCache {
+        Arc::new(Mutex::new(IndexCache::with_budgets(
+            budget_tuples,
+            budget_bytes,
+        )))
+    }
+
+    /// Number of cached indices.
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total tuples pinned by cached indices.
+    pub fn resident_tuples(&self) -> u64 {
+        self.resident_tuples
+    }
+
+    /// Total bytes pinned by cached indices (insert-time-frozen per entry).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Drop every entry. Accounting must return exactly to zero — each
+    /// entry debits the same frozen figures it credited at insert.
+    pub fn clear(&mut self) {
+        let entries: Vec<CacheEntry> = self.map.drain().map(|(_, e)| e).collect();
+        self.by_fingerprint.clear();
+        for e in entries {
+            self.debit(e.index.tuples() as u64, e.bytes);
+        }
+        debug_assert_eq!(self.resident_tuples, 0, "tuple accounting drifted");
+        debug_assert_eq!(self.resident_bytes, 0, "byte accounting drifted");
+    }
+
+    /// Subtract a removed entry's frozen accounting. Every removal path
+    /// (replace, evict, invalidate, clear) goes through here: the debit
+    /// must mirror the insert-time credit exactly, and because the live
+    /// `JoinIndex::resident_bytes` can drift after insert (shared
+    /// `Arc<Dict>` growth), any mismatch is a bookkeeping bug — loud in
+    /// debug builds, saturated (never wrapped into a phantom multi-EB
+    /// residency that would evict everything) in release.
+    fn debit(&mut self, tuples: u64, bytes: u64) {
+        debug_assert!(
+            self.resident_tuples >= tuples,
+            "cache debits {tuples} tuples but only {} are accounted",
+            self.resident_tuples
+        );
+        debug_assert!(
+            self.resident_bytes >= bytes,
+            "cache debits {bytes} bytes but only {} are accounted",
+            self.resident_bytes
+        );
+        self.resident_tuples = self.resident_tuples.saturating_sub(tuples);
+        self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
     }
 
     /// Whether either resident budget (tuples or bytes) is exceeded.
@@ -163,9 +342,6 @@ impl IndexCache {
     /// remaining exposure is a full 128-bit hash collision between
     /// same-shape relations, which we accept for the reuse it buys.
     fn peek(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<JoinIndex>> {
-        if !self.enabled {
-            return None;
-        }
         self.tick += 1;
         let tick = self.tick;
         if let Some(e) = self.map.get_mut(&index_key(rel, key_pos)) {
@@ -210,8 +386,7 @@ impl IndexCache {
     /// flush everything else).
     fn insert(&mut self, index: Arc<JoinIndex>) {
         let bytes = index.resident_bytes() as u64;
-        if !self.enabled || index.tuples() as u64 > self.budget_tuples || bytes > self.budget_bytes
-        {
+        if index.tuples() as u64 > self.budget_tuples || bytes > self.budget_bytes {
             return;
         }
         let key = index_key(index.relation(), index.key_positions());
@@ -232,8 +407,7 @@ impl IndexCache {
                 last_used: self.tick,
             },
         ) {
-            self.resident_tuples -= old.index.tuples() as u64;
-            self.resident_bytes -= old.bytes;
+            self.debit(old.index.tuples() as u64, old.bytes);
         }
         mjoin_trace::add("index_cache.insert", 1);
         while self.over_budget() && self.map.len() > 1 {
@@ -245,8 +419,7 @@ impl IndexCache {
                 .map(|(k, _)| k.clone())
                 .expect("map has a non-newest entry");
             let gone = self.map.remove(&lru).expect("key just found");
-            self.resident_tuples -= gone.index.tuples() as u64;
-            self.resident_bytes -= gone.bytes;
+            self.debit(gone.index.tuples() as u64, gone.bytes);
             mjoin_trace::add("index_cache.evict", 1);
             mjoin_trace::add("index_cache.evict_tuples", gone.index.tuples() as u64);
             mjoin_trace::add("index_cache.evict_bytes", gone.bytes);
@@ -258,9 +431,6 @@ impl IndexCache {
     /// cost of over-invalidating is a rebuild, never a wrong answer — all
     /// relations are immutable.)
     fn invalidate(&mut self, rel: &Arc<Relation>) {
-        if !self.enabled {
-            return;
-        }
         let ptr = Arc::as_ptr(rel) as usize;
         let stale: Vec<IndexKey> = self
             .map
@@ -270,8 +440,7 @@ impl IndexCache {
             .collect();
         for key in stale {
             let gone = self.map.remove(&key).expect("key just listed");
-            self.resident_tuples -= gone.index.tuples() as u64;
-            self.resident_bytes -= gone.bytes;
+            self.debit(gone.index.tuples() as u64, gone.bytes);
         }
     }
 }
@@ -368,9 +537,11 @@ impl Machine {
 enum IndexMode<'a> {
     /// Cache disabled: always the plain partitioned operators.
     Off,
-    /// Sequential execution: consult the cache, build-and-insert on a miss
-    /// when the build pass is work the plain kernel would do anyway.
-    Cache(&'a mut IndexCache),
+    /// Sequential execution: consult the (possibly shared) cache, build
+    /// and insert on a miss when the build pass is work the plain kernel
+    /// would do anyway. The mutex is taken per peek/insert, never held
+    /// across a kernel.
+    Cache(&'a SharedIndexCache),
     /// One parallel level: probe the level's prebuilt indices; never mutate
     /// (misses fall through to the plain operators).
     Resolved(&'a ResolvedIndices),
@@ -383,7 +554,7 @@ impl IndexMode<'_> {
     fn peek(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<JoinIndex>> {
         match self {
             IndexMode::Off => None,
-            IndexMode::Cache(cache) => cache.peek(rel, key_pos),
+            IndexMode::Cache(cache) => lock_cache(cache).peek(rel, key_pos),
             IndexMode::Resolved(resolved) => resolved.get(&index_key(rel, key_pos)).map(Arc::clone),
         }
     }
@@ -396,7 +567,7 @@ impl IndexMode<'_> {
 
     fn insert(&mut self, index: Arc<JoinIndex>) {
         if let IndexMode::Cache(cache) = self {
-            cache.insert(index);
+            lock_cache(cache).insert(index);
         }
     }
 
@@ -554,7 +725,7 @@ fn check_arity(program: &Program, db: &Database) {
 /// The program should have passed [`crate::validate::validate`]; running an
 /// invalid program may panic (it will not produce wrong answers silently).
 pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
-    execute_seq(program, db, &ExecConfig::default())
+    execute_with(program, db, &ExecConfig::default())
 }
 
 /// Execute `program` on `db` under an explicit [`ExecConfig`]:
@@ -564,6 +735,18 @@ pub fn execute(program: &Program, db: &Database) -> ExecOutcome {
 /// whether the index cache is enabled (the differential tests in
 /// `mjoin-core` enforce this).
 pub fn execute_with(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcome {
+    try_execute_with(program, db, cfg)
+        .expect("execution cancelled — use try_execute_with to observe cancellation")
+}
+
+/// [`execute_with`], but surfacing a fired [`ExecConfig::cancel`] token as
+/// a [`Cancelled`] value instead of a panic. A run with no token (or one
+/// that never fires) always returns `Ok`.
+pub fn try_execute_with(
+    program: &Program,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<ExecOutcome, Cancelled> {
     if cfg.threads <= 1 {
         execute_seq(program, db, cfg)
     } else {
@@ -571,7 +754,11 @@ pub fn execute_with(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecO
     }
 }
 
-fn execute_seq(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcome {
+fn execute_seq(
+    program: &Program,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<ExecOutcome, Cancelled> {
     check_arity(program, db);
     let mut sp = mjoin_trace::span("exec", "execute");
     if sp.is_active() {
@@ -583,13 +770,16 @@ fn execute_seq(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcom
     db.charge_inputs(&mut ledger);
 
     let mut m = Machine::new(program, db);
-    let mut cache = IndexCache::new(cfg);
+    let cache = cfg.run_cache();
     let mut head_sizes = Vec::with_capacity(program.stmts.len());
     let mut peak_resident = m.resident();
 
     for (i, stmt) in program.stmts.iter().enumerate() {
+        if cfg.cancelled() {
+            return Err(Cancelled { at_stmt: i });
+        }
         let idx = if cfg.index_cache {
-            IndexMode::Cache(&mut cache)
+            IndexMode::Cache(&cache)
         } else {
             IndexMode::Off
         };
@@ -598,18 +788,20 @@ fn execute_seq(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcom
         mjoin_trace::add("exec.head_tuples", value.len() as u64);
         head_sizes.push(value.len());
         if let Some(old) = m.write(head, Arc::new(value)) {
-            cache.invalidate(&old);
+            if cfg.index_cache {
+                lock_cache(&cache).invalidate(&old);
+            }
         }
         peak_resident = peak_resident.max(m.resident());
     }
 
     let result = m.read(program, program.result);
-    ExecOutcome {
+    Ok(ExecOutcome {
         result,
         ledger,
         head_sizes,
         peak_resident,
-    }
+    })
 }
 
 /// Execute `program` on `db` with statement-level and operator-level
@@ -625,7 +817,7 @@ fn execute_seq(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcom
 /// all heads are known once execution finishes), which makes the whole
 /// [`ExecOutcome`] byte-identical to [`execute`]'s.
 pub fn execute_parallel(program: &Program, db: &Database, threads: usize) -> ExecOutcome {
-    execute_level(program, db, &ExecConfig::with_threads(threads))
+    execute_with(program, db, &ExecConfig::with_threads(threads))
 }
 
 /// The index opportunities of one statement: `(relation, key positions)`
@@ -674,13 +866,10 @@ fn stmt_index_candidates(
 fn prefetch_level_indices(
     program: &Program,
     m: &Machine,
-    cache: &mut IndexCache,
+    cache: &SharedIndexCache,
     level: &[usize],
 ) -> ResolvedIndices {
     let mut resolved = ResolvedIndices::default();
-    if !cache.enabled {
-        return resolved;
-    }
     let mut wanted: Vec<(Arc<Relation>, Vec<usize>)> = Vec::new();
     for &i in level {
         wanted.extend(stmt_index_candidates(program, m, &program.stmts[i]));
@@ -694,29 +883,38 @@ fn prefetch_level_indices(
         if resolved.contains_key(&key) {
             continue;
         }
-        if let Some(index) = cache.peek(&rel, &pos) {
+        // Bind the peek result before branching: an `if let` scrutinee
+        // would keep the cache guard alive through the `else` branch
+        // (pre-2024-edition temporary lifetime), and the insert below
+        // re-locks the same mutex — a self-deadlock.
+        let hit = lock_cache(cache).peek(&rel, &pos);
+        if let Some(index) = hit {
             resolved.insert(key, index);
         } else if demand[&key] >= 2 {
             // Shared across the level: one build, many probes. Counts as
             // the one miss its build represents; each statement that probes
-            // it then counts a hit.
+            // it then counts a hit. Built outside the lock.
             IndexCache::note_miss();
             let index = Arc::new(JoinIndex::build(rel, pos));
-            cache.insert(Arc::clone(&index));
+            lock_cache(cache).insert(Arc::clone(&index));
             resolved.insert(key, index);
         }
     }
     resolved
 }
 
-fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutcome {
+fn execute_level(
+    program: &Program,
+    db: &Database,
+    cfg: &ExecConfig,
+) -> Result<ExecOutcome, Cancelled> {
     check_arity(program, db);
     let threads = cfg.threads.max(1);
     let mut ledger = CostLedger::new();
     db.charge_inputs(&mut ledger);
 
     let mut m = Machine::new(program, db);
-    let mut cache = IndexCache::new(cfg);
+    let cache = cfg.run_cache();
     let n = program.stmts.len();
     let mut sizes = vec![0usize; n];
 
@@ -736,12 +934,22 @@ fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutc
         sp.arg("index_cache", u64::from(cfg.index_cache));
     }
     for (lv, level) in sched.levels.iter().enumerate() {
+        if cfg.cancelled() {
+            // Levels run in statement order; the first unexecuted
+            // statement is this level's smallest index.
+            let at_stmt = level.iter().copied().min().unwrap_or(n);
+            return Err(Cancelled { at_stmt });
+        }
         let mut level_sp = mjoin_trace::span("exec", "level");
         if level_sp.is_active() {
             level_sp.arg("level", lv + 1);
             level_sp.arg("stmts", level.len());
         }
-        let resolved = prefetch_level_indices(program, &m, &mut cache, level);
+        let resolved = if cfg.index_cache {
+            prefetch_level_indices(program, &m, &cache, level)
+        } else {
+            ResolvedIndices::default()
+        };
         let computed: Vec<(usize, (Reg, Relation))> = if threads == 1 || level.len() == 1 {
             level
                 .iter()
@@ -789,7 +997,9 @@ fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutc
         for (i, (head, value)) in computed {
             sizes[i] = value.len();
             if let Some(old) = m.write(head, Arc::new(value)) {
-                cache.invalidate(&old);
+                if cfg.index_cache {
+                    lock_cache(&cache).invalidate(&old);
+                }
             }
         }
     }
@@ -803,12 +1013,12 @@ fn execute_level(program: &Program, db: &Database, cfg: &ExecConfig) -> ExecOutc
     }
 
     let result = m.read(program, program.result);
-    ExecOutcome {
+    Ok(ExecOutcome {
         result,
         ledger,
         head_sizes,
         peak_resident: simulate_peak_resident(program, db, &sizes),
-    }
+    })
 }
 
 /// Replay register sizes in statement order to recover the sequential
@@ -1008,6 +1218,130 @@ mod tests {
         );
         assert!(t.counter("index_cache.hit").unwrap_or(0) >= 1);
         assert_eq!(out.head_sizes, vec![2, 2]); // every B value appears in BC
+    }
+
+    /// Churn inserts/evictions through a tiny-budget cache using relations
+    /// that *share* dictionary allocations (so the live
+    /// `JoinIndex::resident_bytes` of an entry can differ from what a
+    /// naive re-measure would say), then clear: the frozen-figure
+    /// accounting must land back on exactly zero, never drift or
+    /// underflow.
+    #[test]
+    fn cache_accounting_survives_churn_with_shared_dicts() {
+        use mjoin_relation::Value;
+        let mut c = Catalog::new();
+        let a = c.intern("A");
+        let b = c.intern("B");
+        // One batch of string relations built over a common value pool so
+        // columnar dictionaries share allocations across relations.
+        let make = |salt: usize| {
+            let rows: Vec<mjoin_relation::Row> = (0..64)
+                .map(|i| {
+                    vec![
+                        Value::str(format!("k{}", (i + salt) % 16)),
+                        Value::str(format!("v{i}")),
+                    ]
+                    .into()
+                })
+                .collect();
+            Arc::new(Relation::from_rows(Schema::new(vec![a, b]), rows).unwrap())
+        };
+        let rels: Vec<Arc<Relation>> = (0..12).map(make).collect();
+
+        // Budgets small enough that inserting all 12 indices forces many
+        // evictions (each index pins 64 tuples).
+        let mut cache = IndexCache::with_budgets(200, u64::MAX);
+        for round in 0..4 {
+            for rel in &rels {
+                let idx = Arc::new(JoinIndex::build(Arc::clone(rel), vec![0]));
+                cache.insert(idx);
+                assert!(
+                    cache.resident_tuples() <= 200 + 64,
+                    "round {round}: eviction failed to bound residency"
+                );
+            }
+            // Re-inserting an already-cached key replaces in place.
+            let idx = Arc::new(JoinIndex::build(Arc::clone(&rels[0]), vec![0]));
+            cache.insert(idx);
+            // Invalidate a few by pointer.
+            cache.invalidate(&rels[1]);
+            cache.invalidate(&rels[2]);
+        }
+        assert!(cache.entries() > 0);
+        cache.clear();
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.resident_tuples(), 0, "tuple accounting drifted");
+        assert_eq!(cache.resident_bytes(), 0, "byte accounting drifted");
+    }
+
+    /// A shared cache passed through `ExecConfig.cache` carries warm
+    /// indices from one run into the next — the resident-server path.
+    #[test]
+    fn shared_cache_is_warm_across_runs() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        b.semijoin(Reg::Base(0), Reg::Base(1));
+        let p = b.finish(Reg::Base(0));
+
+        let shared = IndexCache::shared(4 << 20, 256 << 20);
+        let cfg = ExecConfig {
+            cache: Some(Arc::clone(&shared)),
+            ..ExecConfig::default()
+        };
+
+        mjoin_trace::set_enabled(true);
+        mjoin_trace::clear();
+        let first = execute_with(&p, &db, &cfg);
+        let cold = mjoin_trace::take();
+        let second = execute_with(&p, &db, &cfg);
+        let warm = mjoin_trace::take();
+        mjoin_trace::set_enabled(false);
+
+        assert_eq!(*first.result, *second.result);
+        assert_eq!(cold.counter("index_cache.hit").unwrap_or(0), 0);
+        assert!(
+            warm.counter("index_cache.hit").unwrap_or(0) >= 1,
+            "second run must hit the index the first run left in the shared cache"
+        );
+        assert!(lock_cache(&shared).entries() >= 1);
+    }
+
+    /// A pre-fired token stops execution before the first statement; a
+    /// token that never fires changes nothing.
+    #[test]
+    fn cancellation_stops_at_statement_boundaries() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let cfg = ExecConfig {
+                cancel: Some(token.clone()),
+                ..ExecConfig::with_threads(threads)
+            };
+            let err = try_execute_with(&p, &db, &cfg).unwrap_err();
+            assert_eq!(err.at_stmt, 0, "threads = {threads}");
+        }
+
+        let live = ExecConfig {
+            cancel: Some(CancelToken::new()),
+            ..ExecConfig::default()
+        };
+        let out = try_execute_with(&p, &db, &live).unwrap();
+        assert_eq!(*out.result, db.join_all());
+
+        // An already-expired deadline cancels exactly like an explicit
+        // cancel.
+        let expired = ExecConfig {
+            cancel: Some(CancelToken::with_deadline(std::time::Instant::now())),
+            ..ExecConfig::default()
+        };
+        assert!(try_execute_with(&p, &db, &expired).is_err());
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod stmt;
 pub mod validate;
 
 pub use dataflow::{BitSet, Liveness};
-pub use interp::{execute, execute_parallel, execute_with, ExecConfig, ExecOutcome};
+pub use interp::{
+    execute, execute_parallel, execute_with, try_execute_with, CancelToken, Cancelled, ExecConfig,
+    ExecOutcome, IndexCache, SharedIndexCache,
+};
 pub use optimize::eliminate_dead_code;
 pub use parse::parse_program;
 pub use program::{Program, ProgramBuilder};

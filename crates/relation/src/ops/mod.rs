@@ -39,6 +39,7 @@ pub use columnar::key_hashes;
 use crate::fxhash::mix;
 use crate::relation::Row;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Default parallel/sequential cutoff: below this row count the parallel
 /// operators fall back to their sequential counterparts — partitioning and
@@ -47,37 +48,46 @@ use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 /// benchmarked workloads, so the default stays at 4096).
 pub const SMALL: usize = 4096;
 
-/// The process-wide cutoff. `usize::MAX` means "not yet initialized":
-/// the first read seeds it from `MJOIN_PAR_CUTOFF` (falling back to
-/// [`SMALL`]).
-static PAR_CUTOFF: AtomicUsize = AtomicUsize::new(usize::MAX);
+/// Runtime override of the cutoff. `usize::MAX` means "no override": reads
+/// fall through to the once-only environment seed [`par_cutoff_env`].
+/// Readers never store here, so a concurrent [`set_par_cutoff`] can never
+/// be clobbered by a racing first read (the old check-then-store
+/// initialization lost exactly that race in long-lived multi-session
+/// processes).
+static PAR_CUTOFF_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// The environment-seeded cutoff, read exactly once per process.
+fn par_cutoff_env() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MJOIN_PAR_CUTOFF")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(SMALL)
+    })
+}
 
 /// The process-wide parallel/sequential cutoff in rows.
 ///
-/// Lazily initialized from the `MJOIN_PAR_CUTOFF` environment variable on
-/// first read; [`SMALL`] when unset or unparsable. Overridable at runtime
-/// with [`set_par_cutoff`]. `mjoin_program::ExecConfig` snapshots this as
-/// its default and threads it through every operator call, so per-run
-/// overrides don't need process-global state.
+/// Seeded once from the `MJOIN_PAR_CUTOFF` environment variable (behind a
+/// `OnceLock`; [`SMALL`] when unset or unparsable) and overridable at
+/// runtime with [`set_par_cutoff`]. `mjoin_program::ExecConfig` snapshots
+/// this as its default and threads it through every operator call, so
+/// per-run overrides don't need process-global state.
 pub fn par_cutoff() -> usize {
-    let v = PAR_CUTOFF.load(Ordering::Relaxed);
+    let v = PAR_CUTOFF_OVERRIDE.load(Ordering::Relaxed);
     if v != usize::MAX {
         return v;
     }
-    let init = std::env::var("MJOIN_PAR_CUTOFF")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .unwrap_or(SMALL);
-    PAR_CUTOFF.store(init, Ordering::Relaxed);
-    init
+    par_cutoff_env()
 }
 
 /// Override the process-wide cutoff (0 forces the parallel paths on for
 /// any input size; large values force the sequential paths).
 pub fn set_par_cutoff(rows: usize) {
-    // usize::MAX is the "uninitialized" sentinel; clamp just below it so a
-    // caller asking for "always sequential" doesn't re-arm the env read.
-    PAR_CUTOFF.store(rows.min(usize::MAX - 1), Ordering::Relaxed);
+    // usize::MAX is the "no override" sentinel; clamp just below it so a
+    // caller asking for "always sequential" doesn't erase its own override.
+    PAR_CUTOFF_OVERRIDE.store(rows.min(usize::MAX - 1), Ordering::Relaxed);
 }
 
 /// The physical storage layout the operators execute against.
@@ -98,34 +108,39 @@ pub enum Layout {
     Columnar,
 }
 
-/// Process-wide layout: 0 = uninitialized, 1 = row, 2 = columnar.
-static LAYOUT: AtomicU8 = AtomicU8::new(0);
+/// Runtime layout override: 0 = no override (fall through to the env
+/// seed), 1 = row, 2 = columnar. As with [`PAR_CUTOFF_OVERRIDE`], readers
+/// never store here — the old lazy init called `set_layout` from `layout()`
+/// and could overwrite a concurrent runtime override with the env value.
+static LAYOUT_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// The environment-seeded layout, read exactly once per process.
+fn layout_env() -> Layout {
+    static ENV: OnceLock<Layout> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("MJOIN_LAYOUT") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("row") => Layout::Row,
+        _ => Layout::Columnar,
+    })
+}
 
 /// The process-wide storage layout the kernels dispatch on.
 ///
-/// Lazily initialized from the `MJOIN_LAYOUT` environment variable on first
-/// read (`row` selects the row engine; anything else — including unset — the
-/// columnar engine). Overridable at runtime with [`set_layout`]; the row
-/// engine exists as the honest baseline for `layout_speedup` benchmarking
-/// and for differential testing.
+/// Seeded once from the `MJOIN_LAYOUT` environment variable (`row` selects
+/// the row engine; anything else — including unset — the columnar engine).
+/// Overridable at runtime with [`set_layout`]; the row engine exists as the
+/// honest baseline for `layout_speedup` benchmarking and for differential
+/// testing.
 pub fn layout() -> Layout {
-    match LAYOUT.load(Ordering::Relaxed) {
+    match LAYOUT_OVERRIDE.load(Ordering::Relaxed) {
         1 => Layout::Row,
         2 => Layout::Columnar,
-        _ => {
-            let init = match std::env::var("MJOIN_LAYOUT") {
-                Ok(v) if v.trim().eq_ignore_ascii_case("row") => Layout::Row,
-                _ => Layout::Columnar,
-            };
-            set_layout(init);
-            init
-        }
+        _ => layout_env(),
     }
 }
 
 /// Override the process-wide storage layout.
 pub fn set_layout(l: Layout) {
-    LAYOUT.store(
+    LAYOUT_OVERRIDE.store(
         match l {
             Layout::Row => 1,
             Layout::Columnar => 2,

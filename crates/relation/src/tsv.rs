@@ -37,12 +37,23 @@ pub fn relation_from_tsv_reader<R: std::io::BufRead>(
     reader: R,
 ) -> Result<Relation> {
     let read_err = |e: std::io::Error| Error::Parse(format!("TSV read error: {e}"));
+    // `BufRead::lines` strips `\r\n` only on `\n`-terminated lines; a final
+    // record with no trailing newline keeps its `\r` (network clients send
+    // both CRLF endings and unterminated last lines). A raw trailing `\r`
+    // can only be a line-ending artifact — carriage returns *inside* string
+    // values are escaped as `\r` on export — so strip exactly one here.
+    fn chomp_cr(mut line: String) -> String {
+        if line.ends_with('\r') {
+            line.pop();
+        }
+        line
+    }
     let mut lines = reader.lines();
     let header = loop {
         match lines.next() {
             None => return Err(Error::Parse("TSV input has no header line".to_string())),
             Some(line) => {
-                let line = line.map_err(read_err)?;
+                let line = chomp_cr(line.map_err(read_err)?);
                 if !line.trim().is_empty() {
                     break line;
                 }
@@ -78,7 +89,7 @@ pub fn relation_from_tsv_reader<R: std::io::BufRead>(
     // parser's numbering (blank lines are skipped, not counted).
     let mut lineno = 0usize;
     for line in lines {
-        let line = line.map_err(read_err)?;
+        let line = chomp_cr(line.map_err(read_err)?);
         if line.trim().is_empty() {
             continue;
         }
@@ -375,6 +386,45 @@ mod tests {
         relation_to_tsv_writer(&c, &rel, &mut sink).unwrap();
         assert_eq!(String::from_utf8(sink).unwrap(), expect);
         assert_eq!(relation_to_tsv(&c, &rel), expect);
+    }
+
+    /// Network clients send CRLF line endings and files truncated before
+    /// the final newline; both must parse identically to the LF-terminated
+    /// canonical form — including the nasty combination of an *escaped*
+    /// string cell on an unterminated CRLF final record, where the stray
+    /// `\r` used to be absorbed verbatim into the decoded value.
+    #[test]
+    fn crlf_and_missing_final_newline() {
+        let mut c = Catalog::new();
+        let canonical = relation_from_tsv(&mut c, "A\tB\n1\t2\n3\thello\n").unwrap();
+        for variant in [
+            "A\tB\r\n1\t2\r\n3\thello\r\n", // CRLF throughout
+            "A\tB\n1\t2\n3\thello",         // no final newline
+            "A\tB\r\n1\t2\r\n3\thello\r",   // CRLF, final record unterminated
+            "A\tB\r\n1\t2\n3\thello",       // mixed endings
+        ] {
+            let rel = relation_from_tsv(&mut c, variant).unwrap();
+            assert_eq!(rel, canonical, "variant {variant:?}");
+            let rel = relation_from_tsv_reader(&mut c, variant.as_bytes()).unwrap();
+            assert_eq!(rel, canonical, "reader variant {variant:?}");
+        }
+
+        // Escaped cell in final position of an unterminated CRLF record:
+        // the trailing \r is a line ending, not part of the value.
+        let rel = relation_from_tsv(&mut c, "A\r\n\\shello\r").unwrap();
+        assert!(rel.contains_row(&[Value::str("hello")]));
+        // A carriage return that is *part of* the value survives, because
+        // it travels escaped.
+        let rel = relation_from_tsv(&mut c, "A\r\n\\shi\\r\r").unwrap();
+        assert!(rel.contains_row(&[Value::str("hi\r")]));
+
+        // Header-only file with no newline at all still parses (empty
+        // relation), and a CRLF header interns clean attribute names.
+        let rel = relation_from_tsv(&mut c, "A\tB").unwrap();
+        assert_eq!(rel.len(), 0);
+        let rel = relation_from_tsv(&mut c, "Z\tY\r\n1\t2\r\n").unwrap();
+        assert!(c.lookup("Z").is_some() && c.lookup("Y").is_some());
+        assert_eq!(rel.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! The wire protocol: one JSON object per line, each way.
+//!
+//! Every request carries a `"cmd"` field; every response is an object with
+//! `"ok": true` plus command-specific fields, or `"ok": false` with an
+//! `"error"` object carrying a machine-readable `"kind"`, a human
+//! `"message"`, and — for admission rejections — the offending statement
+//! index, its certified numeric bound, the budget, and the certificate's
+//! symbolic bound (see `mjoin_analyze::admission`).
+//!
+//! Commands:
+//!
+//! | cmd        | fields                                               | effect |
+//! |------------|------------------------------------------------------|--------|
+//! | `ping`     |                                                      | liveness check |
+//! | `load`     | `catalog`, `tsv`, opt. `name`                        | add a TSV relation to a named server-side catalog |
+//! | `compile`  | `catalog`, `name`, `program`, opt. `scheme`          | parse + validate a §2.2 program against the catalog |
+//! | `run`      | `catalog`, `name` or `program` (+opt. `scheme`), opt. `deadline_ms`, opt. `tsv` | admission-gate, execute, return result |
+//! | `query`    | `catalog`, opt. `optimizer`, opt. `deadline_ms`, opt. `tsv` | derive a program for all loaded relations (Alg. 1+2) and run it |
+//! | `explain`  | `catalog`, `name` or `program` (+opt. `scheme`)      | admission report without executing |
+//! | `stats`    |                                                      | cumulative counters, cache residency, catalogs |
+//! | `shutdown` |                                                      | drain in-flight requests and stop the server |
+
+use crate::json::Value;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Add a TSV relation to catalog `catalog`.
+    Load {
+        /// Server-side catalog name.
+        catalog: String,
+        /// Optional display name for the relation.
+        name: Option<String>,
+        /// The relation as TSV text (header + rows).
+        tsv: String,
+    },
+    /// Parse and validate a program, storing it under `name`.
+    Compile {
+        /// Server-side catalog name.
+        catalog: String,
+        /// Name to store the compiled program under.
+        name: String,
+        /// Program text in paper notation.
+        program: String,
+        /// Database scheme (`"AB,BC"`); defaults to the program's
+        /// `# scheme:` directive.
+        scheme: Option<String>,
+    },
+    /// Execute a compiled (`name`) or inline (`program`) program.
+    Run {
+        /// Server-side catalog name.
+        catalog: String,
+        /// Name of a previously compiled program.
+        name: Option<String>,
+        /// Inline program text (alternative to `name`).
+        program: Option<String>,
+        /// Scheme for an inline program.
+        scheme: Option<String>,
+        /// Per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Whether to include the result TSV (default true).
+        tsv: bool,
+    },
+    /// Derive (Algorithm 1 + 2) and run a program joining every relation
+    /// loaded in the catalog.
+    Query {
+        /// Server-side catalog name.
+        catalog: String,
+        /// Join-tree search: `greedy` (default), `dp`, `dp-cpf`, `dp-linear`.
+        optimizer: Option<String>,
+        /// Per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Whether to include the result TSV (default true).
+        tsv: bool,
+    },
+    /// Admission report for a program, without executing it.
+    Explain {
+        /// Server-side catalog name.
+        catalog: String,
+        /// Name of a previously compiled program.
+        name: Option<String>,
+        /// Inline program text (alternative to `name`).
+        program: Option<String>,
+        /// Scheme for an inline program.
+        scheme: Option<String>,
+    },
+    /// Cumulative server counters and cache stats.
+    Stats,
+    /// Graceful shutdown: drain in-flight requests, park the pool, exit.
+    Shutdown,
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn opt_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Value::parse(line)?;
+        let cmd = req_str(&v, "cmd")?;
+        match cmd.as_str() {
+            "ping" => Ok(Request::Ping),
+            "load" => Ok(Request::Load {
+                catalog: req_str(&v, "catalog")?,
+                name: opt_str(&v, "name"),
+                tsv: req_str(&v, "tsv")?,
+            }),
+            "compile" => Ok(Request::Compile {
+                catalog: req_str(&v, "catalog")?,
+                name: req_str(&v, "name")?,
+                program: req_str(&v, "program")?,
+                scheme: opt_str(&v, "scheme"),
+            }),
+            "run" => {
+                let name = opt_str(&v, "name");
+                let program = opt_str(&v, "program");
+                if name.is_none() == program.is_none() {
+                    return Err("run takes exactly one of `name` or `program`".to_string());
+                }
+                Ok(Request::Run {
+                    catalog: req_str(&v, "catalog")?,
+                    name,
+                    program,
+                    scheme: opt_str(&v, "scheme"),
+                    deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+                    tsv: v.get("tsv").and_then(Value::as_bool).unwrap_or(true),
+                })
+            }
+            "query" => Ok(Request::Query {
+                catalog: req_str(&v, "catalog")?,
+                optimizer: opt_str(&v, "optimizer"),
+                deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+                tsv: v.get("tsv").and_then(Value::as_bool).unwrap_or(true),
+            }),
+            "explain" => {
+                let name = opt_str(&v, "name");
+                let program = opt_str(&v, "program");
+                if name.is_none() == program.is_none() {
+                    return Err("explain takes exactly one of `name` or `program`".to_string());
+                }
+                Ok(Request::Explain {
+                    catalog: req_str(&v, "catalog")?,
+                    name,
+                    program,
+                    scheme: opt_str(&v, "scheme"),
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd `{other}`")),
+        }
+    }
+}
+
+/// Build an `ok` response skeleton for `cmd`.
+pub fn ok(cmd: &str) -> Value {
+    Value::obj()
+        .set("ok", Value::Bool(true))
+        .set("cmd", Value::str(cmd))
+}
+
+/// Build an error response of the given kind.
+pub fn err(kind: &str, message: impl Into<String>) -> Value {
+    Value::obj().set("ok", Value::Bool(false)).set(
+        "error",
+        Value::obj()
+            .set("kind", Value::str(kind))
+            .set("message", Value::Str(message.into())),
+    )
+}
+
+/// Attach extra fields to an error response's `error` object.
+pub fn err_with(kind: &str, message: impl Into<String>, extra: Vec<(String, Value)>) -> Value {
+    let mut e = Value::obj()
+        .set("kind", Value::str(kind))
+        .set("message", Value::Str(message.into()));
+    for (k, v) in extra {
+        e = e.set(&k, v);
+    }
+    Value::obj().set("ok", Value::Bool(false)).set("error", e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(Request::parse("{\"cmd\":\"ping\"}").unwrap(), Request::Ping);
+        let r = Request::parse(
+            "{\"cmd\":\"run\",\"catalog\":\"c\",\"name\":\"q\",\"deadline_ms\":100}",
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Run {
+                catalog: "c".into(),
+                name: Some("q".into()),
+                program: None,
+                scheme: None,
+                deadline_ms: Some(100),
+                tsv: true,
+            }
+        );
+        assert!(Request::parse("{\"cmd\":\"run\",\"catalog\":\"c\"}").is_err());
+        assert!(Request::parse(
+            "{\"cmd\":\"run\",\"catalog\":\"c\",\"name\":\"q\",\"program\":\"x\"}"
+        )
+        .is_err());
+        assert!(Request::parse("{\"cmd\":\"nope\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn error_payloads_carry_kind() {
+        let e = err("admission", "too expensive");
+        assert_eq!(e.get("ok").and_then(Value::as_bool), Some(false));
+        let kind = e
+            .get("error")
+            .and_then(|er| er.get("kind"))
+            .and_then(Value::as_str);
+        assert_eq!(kind, Some("admission"));
+    }
+}

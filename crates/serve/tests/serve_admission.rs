@@ -1,0 +1,127 @@
+//! Admission control end to end: a certified-blowup program is rejected
+//! *before* execution — the error names the offending statement and its
+//! bound, and the process counters show zero operator activity — while a
+//! CPF program under the same budget is admitted and runs.
+//!
+//! Kept as a single test so the process-global trace sink (which the
+//! zero-operator-activity assertion reads through `stats`) is not muddied
+//! by a sibling test's server.
+
+use mjoin_serve::{Client, ServeConfig, Server, Value};
+
+/// `rows` tuples over two single-char attributes, chained so every tuple
+/// of one relation matches the next: (i, i+1).
+fn chain_tsv(a: &str, b: &str, rows: u32) -> String {
+    let mut t = format!("{a}\t{b}\n");
+    for i in 0..rows {
+        t.push_str(&format!("{i}\t{}\n", i + 1));
+    }
+    t
+}
+
+fn load(c: &mut Client, name: &str, tsv: String) {
+    let resp = c
+        .cmd(
+            "load",
+            &[
+                ("catalog", Value::str("c")),
+                ("name", Value::str(name)),
+                ("tsv", Value::str(tsv)),
+            ],
+        )
+        .unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "load failed: {}",
+        resp.render()
+    );
+}
+
+#[test]
+fn certified_blowup_is_rejected_before_any_operator_runs() {
+    let server = Server::bind(ServeConfig {
+        max_cost: Some(50),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut c = Client::connect(addr).unwrap();
+    load(&mut c, "ab", chain_tsv("A", "B", 7));
+    load(&mut c, "bc", chain_tsv("B", "C", 7));
+    load(&mut c, "cd", chain_tsv("C", "D", 20));
+
+    // AB ⋈ CD shares no attributes — a Cartesian product with certified
+    // bound 7·20 = 140, over the budget of 50.
+    let resp = c
+        .cmd(
+            "run",
+            &[
+                ("catalog", Value::str("c")),
+                ("program", Value::str("R(V) := R(AB) ⋈ R(CD)")),
+                ("scheme", Value::str("AB,CD")),
+            ],
+        )
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+    let e = resp.get("error").expect("error payload");
+    assert_eq!(e.get("kind").and_then(Value::as_str), Some("admission"));
+    assert_eq!(e.get("stmt").and_then(Value::as_u64), Some(0));
+    assert_eq!(e.get("bound").and_then(Value::as_u64), Some(140));
+    assert_eq!(e.get("budget").and_then(Value::as_u64), Some(50));
+    let symbolic = e.get("symbolic").and_then(Value::as_str).unwrap();
+    assert!(
+        symbolic.contains("AB") && symbolic.contains("CD"),
+        "symbolic bound names the Cartesian pair: {symbolic}"
+    );
+    assert!(e.get("excerpt").and_then(Value::as_str).is_some());
+
+    // Zero operator activity: the rejection happened before execution, so
+    // no statement head was ever produced and no run was admitted.
+    let stats = c.cmd("stats", &[]).unwrap();
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(
+        counters
+            .get("serve.admission_reject")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    assert!(
+        counters.get("serve.run").is_none(),
+        "no run was admitted: {}",
+        counters.render()
+    );
+    assert!(
+        counters.get("exec.head_tuples").is_none(),
+        "no operator produced tuples: {}",
+        counters.render()
+    );
+
+    // A CPF program over the connected pair is admitted under the same
+    // budget and runs: peak bound 7·7 = 49 ≤ 50.
+    let cpf = "R(V) := R(AB) ⋉ R(BC)\nR(V) := R(V) ⋈ R(BC)";
+    let resp = c
+        .cmd(
+            "run",
+            &[
+                ("catalog", Value::str("c")),
+                ("program", Value::str(cpf)),
+                ("scheme", Value::str("AB,BC")),
+            ],
+        )
+        .unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "CPF program admitted: {}",
+        resp.render()
+    );
+    assert_eq!(resp.get("certified_peak").and_then(Value::as_u64), Some(49));
+    assert_eq!(resp.get("rows").and_then(Value::as_u64), Some(6));
+
+    let bye = c.cmd("shutdown", &[]).unwrap();
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap().unwrap();
+}

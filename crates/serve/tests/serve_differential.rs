@@ -1,0 +1,127 @@
+//! Differential test: the resident server returns byte-identical results
+//! to the one-shot pipeline, at 1/2/4/8 concurrent sessions, and the
+//! process-wide index cache warms monotonically across waves.
+
+use mjoin_core::derive;
+use mjoin_hypergraph::DbScheme;
+use mjoin_optimizer::{greedy, EstimateOracle};
+use mjoin_program::execute;
+use mjoin_relation::{tsv, Catalog, Database, Relation};
+use mjoin_serve::{Client, ServeConfig, Server, Value};
+
+/// A chain AB–BC–CD with enough skew that join order matters and the
+/// result is non-trivial.
+fn fixture_tsvs() -> Vec<String> {
+    let mut ab = String::from("A\tB\n");
+    let mut bc = String::from("B\tC\n");
+    let mut cd = String::from("C\tD\n");
+    for i in 0..60u32 {
+        ab.push_str(&format!("a{}\tb{}\n", i % 7, i % 20));
+        bc.push_str(&format!("b{}\tc{}\n", i % 20, i % 11));
+        cd.push_str(&format!("c{}\td{}\n", i % 11, i % 5));
+    }
+    vec![ab, bc, cd]
+}
+
+/// The one-shot pipeline the server's `query` command mirrors: load in
+/// order, estimate-based greedy tree, derive, execute, render TSV.
+fn one_shot(tsvs: &[String]) -> String {
+    let mut catalog = Catalog::new();
+    let rels: Vec<Relation> = tsvs
+        .iter()
+        .map(|t| tsv::relation_from_tsv_reader(&mut catalog, t.as_bytes()).unwrap())
+        .collect();
+    let db = Database::from_relations(rels);
+    let scheme = DbScheme::from_schemas(&db.schemas());
+    let mut oracle = EstimateOracle::new(&scheme, &db);
+    let (tree, _) = greedy(&scheme, &mut oracle, true);
+    let d = derive(&scheme, &tree).unwrap();
+    let out = execute(&d.program, &db);
+    let mut buf = Vec::new();
+    tsv::relation_to_tsv_writer(&catalog, &out.result, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// One session: load the fixture into a fresh catalog, run `query`, return
+/// the result TSV and the cumulative cache-hit counter.
+fn session(addr: std::net::SocketAddr, catalog: &str, tsvs: &[String]) -> (String, u64) {
+    let mut c = Client::connect(addr).unwrap();
+    for (i, t) in tsvs.iter().enumerate() {
+        let resp = c
+            .cmd(
+                "load",
+                &[
+                    ("catalog", Value::str(catalog)),
+                    ("name", Value::str(format!("r{i}"))),
+                    ("tsv", Value::str(t.as_str())),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "load failed: {}",
+            resp.render()
+        );
+    }
+    let resp = c.cmd("query", &[("catalog", Value::str(catalog))]).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "query failed: {}",
+        resp.render()
+    );
+    let tsv = resp.get("tsv").and_then(Value::as_str).unwrap().to_string();
+    let hits = resp
+        .get("cache")
+        .and_then(|c| c.get("hit"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    (tsv, hits)
+}
+
+#[test]
+fn concurrent_sessions_match_one_shot_and_warm_the_cache() {
+    let tsvs = fixture_tsvs();
+    let baseline = one_shot(&tsvs);
+    assert!(baseline.lines().count() > 1, "fixture joins to something");
+
+    let server = Server::bind(ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Waves of 1, 2, 4, 8 concurrent sessions. Every session must be
+    // byte-identical to the one-shot result; the cumulative hit counter
+    // must be strictly increasing from the second session on (warm
+    // sessions hit the fingerprint fallback — each run re-wraps relations
+    // in fresh `Arc`s, so pointer identity never matches across sessions).
+    let mut wave_hits = Vec::new();
+    for (wave, &n) in [1usize, 2, 4, 8].iter().enumerate() {
+        let results: Vec<(String, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let name = format!("w{wave}s{i}");
+                    let tsvs = &tsvs;
+                    s.spawn(move || session(addr, &name, tsvs))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (tsv, _) in &results {
+            assert_eq!(
+                tsv, &baseline,
+                "wave of {n}: server result differs from one-shot"
+            );
+        }
+        wave_hits.push(results.iter().map(|(_, h)| *h).max().unwrap());
+    }
+    assert!(
+        wave_hits.windows(2).all(|w| w[1] > w[0]),
+        "cache hits must strictly increase across waves: {wave_hits:?}"
+    );
+
+    let mut c = Client::connect(addr).unwrap();
+    let bye = c.cmd("shutdown", &[]).unwrap();
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap().unwrap();
+}

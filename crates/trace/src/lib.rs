@@ -326,6 +326,21 @@ pub struct AggRow {
 }
 
 impl Trace {
+    /// Fold another drained trace into this one: events are appended,
+    /// counters are summed by name. A resident server drains the sink per
+    /// request and merges into a cumulative trace, so per-process totals
+    /// survive `take()` boundaries. Additive counters merge exactly;
+    /// high-water-mark counters (`record_max`) merge as sums, i.e. as an
+    /// upper bound on the true process-wide mark.
+    pub fn merge(&mut self, other: Trace) {
+        self.events.extend(other.events);
+        let mut totals: BTreeMap<&'static str, u64> = self.counters.drain(..).collect();
+        for (name, v) in other.counters {
+            *totals.entry(name).or_insert(0) += v;
+        }
+        self.counters = totals.into_iter().collect();
+    }
+
     /// Counter value by name, if recorded.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
@@ -573,6 +588,33 @@ mod tests {
     fn json_escape_controls() {
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_appends_events() {
+        let _g = guard();
+        set_enabled(true);
+        clear();
+        add("x", 2);
+        {
+            let _sp = span("exec", "stmt");
+        }
+        let mut total = take();
+        add("x", 3);
+        add("y", 1);
+        {
+            let _sp = span("exec", "stmt");
+        }
+        total.merge(take());
+        set_enabled(false);
+        assert_eq!(total.counter("x"), Some(5));
+        assert_eq!(total.counter("y"), Some(1));
+        assert_eq!(total.events.len(), 2);
+        // Counters stay sorted by name after a merge.
+        let names: Vec<_> = total.counters.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! mjoin_cli audit    [--deny error] [--format json] P.mj <data.tsv…|data dir>
 //! mjoin_cli query "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …   # conjunctive query
 //! mjoin_cli datalog "t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)." E.tsv …
+//! mjoin_cli serve   [--addr 127.0.0.1:7878] [--max-cost N] [--threads N]
+//! mjoin_cli client  [--addr 127.0.0.1:7878]   # requests on stdin, one per line
 //! ```
 //!
 //! `check` lints a program written in the paper's notation (one statement
@@ -64,6 +66,16 @@ struct Args {
     /// `check`: also execute the program over supplied data and audit
     /// measured costs against the static bounds.
     verify_run: bool,
+    /// `serve`/`client`: TCP address to listen on / connect to.
+    addr: String,
+    /// `serve`: worker threads per request.
+    threads: usize,
+    /// `serve`: admission budget — reject requests whose certified
+    /// per-statement bound exceeds this.
+    max_cost: Option<u64>,
+    /// `serve`: bounded-FIFO depth for requests queued on the capacity
+    /// gate.
+    queue_depth: usize,
     files: Vec<String>,
 }
 
@@ -71,7 +83,7 @@ struct Args {
 /// (which is *not* an error: `--help` must exit successfully).
 enum Parsed {
     Help,
-    Run(Args),
+    Run(Box<Args>),
 }
 
 fn parse_args() -> Result<Parsed, String> {
@@ -86,6 +98,10 @@ fn parse_args() -> Result<Parsed, String> {
     let mut deny = "error".to_string();
     let mut format = "text".to_string();
     let mut verify_run = false;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut threads = 1usize;
+    let mut max_cost = None;
+    let mut queue_depth = 16usize;
     let mut files = Vec::new();
     while let Some(arg) = argv.next() {
         if arg == "--help" || arg == "-h" {
@@ -110,16 +126,44 @@ fn parse_args() -> Result<Parsed, String> {
             format = argv.next().ok_or("--format needs a value")?;
         } else if let Some(rest) = arg.strip_prefix("--format=") {
             format = rest.to_string();
+        } else if arg == "--addr" {
+            addr = argv.next().ok_or("--addr needs a value")?;
+        } else if let Some(rest) = arg.strip_prefix("--addr=") {
+            addr = rest.to_string();
+        } else if arg == "--threads" {
+            let v = argv.next().ok_or("--threads needs a value")?;
+            threads = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+        } else if let Some(rest) = arg.strip_prefix("--threads=") {
+            threads = rest
+                .parse()
+                .map_err(|_| format!("bad --threads `{rest}`"))?;
+        } else if arg == "--max-cost" {
+            let v = argv.next().ok_or("--max-cost needs a value")?;
+            max_cost = Some(v.parse().map_err(|_| format!("bad --max-cost `{v}`"))?);
+        } else if let Some(rest) = arg.strip_prefix("--max-cost=") {
+            max_cost = Some(
+                rest.parse()
+                    .map_err(|_| format!("bad --max-cost `{rest}`"))?,
+            );
+        } else if arg == "--queue-depth" {
+            let v = argv.next().ok_or("--queue-depth needs a value")?;
+            queue_depth = v.parse().map_err(|_| format!("bad --queue-depth `{v}`"))?;
+        } else if let Some(rest) = arg.strip_prefix("--queue-depth=") {
+            queue_depth = rest
+                .parse()
+                .map_err(|_| format!("bad --queue-depth `{rest}`"))?;
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag `{arg}`"));
         } else {
             files.push(arg);
         }
     }
-    if files.is_empty() {
+    // `serve` holds state loaded over the wire and `client` reads stdin;
+    // neither takes file arguments.
+    if files.is_empty() && !matches!(command.as_str(), "serve" | "client") {
         return Err("no input files".to_string());
     }
-    Ok(Parsed::Run(Args {
+    Ok(Parsed::Run(Box::new(Args {
         command,
         optimizer,
         explain,
@@ -127,12 +171,16 @@ fn parse_args() -> Result<Parsed, String> {
         deny,
         format,
         verify_run,
+        addr,
+        threads,
+        max_cost,
+        queue_depth,
         files,
-    }))
+    })))
 }
 
 fn usage() -> String {
-    "usage: mjoin_cli <analyze|plan|run|check|audit|query|datalog> [--optimizer greedy|dp|dp-cpf|dp-linear] \
+    "usage: mjoin_cli <analyze|plan|run|check|audit|query|datalog|serve|client> [--optimizer greedy|dp|dp-cpf|dp-linear] \
      [--explain-analyze] [\"Q(x) :- …\"] <relation.tsv|program.mj>…\n\
      \n\
      --optimizer        join-tree search: greedy (default) or exact DP over\n\
@@ -146,6 +194,12 @@ fn usage() -> String {
      --format FMT       (check/audit) report as text (default) or json\n\
      --verify-run       (check) also execute the program over trailing TSV\n\
      \u{20}                  data and audit measured vs static cost bounds\n\
+     --addr HOST:PORT   (serve/client) listen/connect address, default\n\
+     \u{20}                  127.0.0.1:7878; port 0 picks a free port\n\
+     --threads N        (serve) worker threads per request (default 1)\n\
+     --max-cost N       (serve) reject requests whose certified Theorem-2\n\
+     \u{20}                  bound exceeds N tuples (default: no limit)\n\
+     --queue-depth N    (serve) admission queue length (default 16)\n\
      --help, -h         this text\n\
      \n\
      environment: MJOIN_TRACE=<path> writes Chrome trace format JSON there"
@@ -565,6 +619,59 @@ fn datalog(args: &Args) -> Result<Option<ExplainInfo>, String> {
     Ok(None)
 }
 
+/// Run the resident query server until a client sends `shutdown`. The
+/// bound address goes to stdout first (port `0` picks a free one) so
+/// scripts can scrape it; everything else stays on stderr.
+fn serve_cmd(args: &Args) -> Result<Option<ExplainInfo>, String> {
+    let cfg = mjoin::serve::ServeConfig {
+        addr: args.addr.clone(),
+        threads: args.threads,
+        max_cost: args.max_cost,
+        queue_depth: args.queue_depth,
+        ..Default::default()
+    };
+    let server =
+        mjoin::serve::Server::bind(cfg).map_err(|e| format!("cannot bind `{}`: {e}", args.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("serve: listening on {addr}");
+    use std::io::Write as _;
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!("serve: drained and stopped");
+    Ok(None)
+}
+
+/// Send each non-empty, non-comment stdin line to the server as one
+/// request; print each response line to stdout. Exits nonzero if any
+/// response carried `"ok": false`, so scripts can assert on rejections.
+fn client_cmd(args: &Args) -> Result<Option<ExplainInfo>, String> {
+    use std::io::BufRead as _;
+    let mut client = mjoin::serve::Client::connect(&args.addr)
+        .map_err(|e| format!("cannot connect to `{}`: {e}", args.addr))?;
+    let mut failures = 0u64;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let resp = client
+            .request_line(trimmed)
+            .map_err(|e| format!("request failed: {e}"))?;
+        println!("{}", resp.render());
+        if resp.get("ok").and_then(mjoin::serve::Value::as_bool) == Some(false) {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        return Err(format!("server rejected {failures} request(s)"));
+    }
+    Ok(None)
+}
+
 /// Drain the trace sink once and surface it: the EXPLAIN ANALYZE report on
 /// stderr (when requested) and/or a Chrome trace JSON file (when
 /// `MJOIN_TRACE` names a path). Stdout is never touched — it stays a TSV.
@@ -664,6 +771,8 @@ fn main() -> ExitCode {
         "run" => run(&args, true),
         "query" => query(&args),
         "datalog" => datalog(&args),
+        "serve" => serve_cmd(&args),
+        "client" => client_cmd(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match outcome {

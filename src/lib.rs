@@ -53,6 +53,7 @@ pub use mjoin_hypergraph as hypergraph;
 pub use mjoin_optimizer as optimizer;
 pub use mjoin_program as program;
 pub use mjoin_relation as relation;
+pub use mjoin_serve as serve;
 pub use mjoin_trace as trace;
 pub use mjoin_workloads as workloads;
 
@@ -81,8 +82,8 @@ pub mod prelude {
         ExactOracle, IiConfig, SaConfig, SearchSpace,
     };
     pub use mjoin_program::{
-        execute, execute_parallel, execute_with, schedule, validate, ExecConfig, Program,
-        ProgramBuilder, Reg, Stmt,
+        execute, execute_parallel, execute_with, schedule, try_execute_with, validate, CancelToken,
+        Cancelled, ExecConfig, IndexCache, Program, ProgramBuilder, Reg, SharedIndexCache, Stmt,
     };
     pub use mjoin_relation::{
         ops, relation_of_ints, AttrId, AttrSet, Catalog, CostLedger, Database, Relation, Schema,

@@ -1,0 +1,130 @@
+//! End-to-end tests of `mjoin_cli serve` / `mjoin_cli client`: a real
+//! server process on an OS-assigned port, driven over the wire.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+/// Spawn `mjoin_cli serve` on port 0 and scrape the bound address from
+/// the `serve: listening on <addr>` line — the same contract scripts
+/// (and the CI smoke step) rely on.
+fn spawn_server(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mjoin_cli"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("banner line");
+    let addr = line
+        .trim()
+        .strip_prefix("serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Run `mjoin_cli client` against `addr`, feeding `requests` on stdin.
+/// Returns (exit ok, stdout).
+fn run_client(addr: &str, requests: &str) -> (bool, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mjoin_cli"))
+        .args(["client", "--addr", addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("client spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(requests.as_bytes())
+        .expect("requests written");
+    let out = child.wait_with_output().expect("client exits");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn serve_and_client_round_trip_with_admission_gate() {
+    // Budget 100: the two-relation CPF program (bounds 7 and 49) is
+    // admitted; the Cartesian AB ⋈ CD (bound 7·20 = 140) is not.
+    let (mut server, addr) = spawn_server(&["--max-cost", "100"]);
+
+    // Happy path: load a catalog, run a compiled program, inspect stats.
+    let (ok, out) = run_client(
+        &addr,
+        concat!(
+            "{\"cmd\":\"ping\"}\n",
+            "# comments and blank lines are skipped\n",
+            "\n",
+            "{\"cmd\":\"load\",\"catalog\":\"c\",\"name\":\"ab\",\"tsv\":\"A\\tB\\n0\\t1\\n1\\t2\\n2\\t3\\n\"}\n",
+            "{\"cmd\":\"load\",\"catalog\":\"c\",\"name\":\"bc\",\"tsv\":\"B\\tC\\n1\\t2\\n2\\t3\\n3\\t4\\n\"}\n",
+            "{\"cmd\":\"compile\",\"catalog\":\"c\",\"name\":\"p\",\"scheme\":\"AB,BC\",\
+             \"program\":\"R(V) := R(AB) ⋉ R(BC)\\nR(V) := R(V) ⋈ R(BC)\"}\n",
+            "{\"cmd\":\"run\",\"catalog\":\"c\",\"name\":\"p\"}\n",
+            "{\"cmd\":\"explain\",\"catalog\":\"c\",\"name\":\"p\"}\n",
+            "{\"cmd\":\"stats\"}\n",
+        ),
+    );
+    assert!(ok, "all requests admitted, client exits 0:\n{out}");
+    assert!(out.contains("\"rows\":"), "run reports rows:\n{out}");
+    assert!(
+        out.contains("\"admitted\":true"),
+        "explain reports the admission verdict:\n{out}"
+    );
+    assert!(
+        out.contains("\"serve.run\":"),
+        "stats carries the serve.* counters:\n{out}"
+    );
+
+    // The blowup guard: a certified-Cartesian inline program is refused
+    // before execution, the error payload names the statement and bound,
+    // and the client's exit status makes the rejection script-visible.
+    // 11 × 11 rows certify a 121-tuple product, over the budget of 100.
+    let tsv_json = |a: &str, b: &str| {
+        let mut t = format!("{a}\\t{b}\\n");
+        for i in 0..11 {
+            t.push_str(&format!("{i}\\t{}\\n", i + 1));
+        }
+        t
+    };
+    let (ok, out) = run_client(
+        &addr,
+        &format!(
+            concat!(
+                "{{\"cmd\":\"load\",\"catalog\":\"x\",\"name\":\"ab\",\"tsv\":\"{}\"}}\n",
+                "{{\"cmd\":\"load\",\"catalog\":\"x\",\"name\":\"cd\",\"tsv\":\"{}\"}}\n",
+                "{{\"cmd\":\"run\",\"catalog\":\"x\",\"scheme\":\"AB,CD\",\
+                 \"program\":\"R(V) := R(AB) \u{22c8} R(CD)\"}}\n",
+            ),
+            tsv_json("A", "B"),
+            tsv_json("C", "D"),
+        ),
+    );
+    assert!(!ok, "a rejected request must fail the client:\n{out}");
+    assert!(
+        out.contains("\"kind\":\"admission\""),
+        "structured admission error:\n{out}"
+    );
+    assert!(
+        out.contains("\"stmt\":0"),
+        "offending statement named:\n{out}"
+    );
+    assert!(
+        out.contains("\"bound\":"),
+        "certified bound reported:\n{out}"
+    );
+
+    // Graceful shutdown: the server process exits cleanly.
+    let (ok, _) = run_client(&addr, "{\"cmd\":\"shutdown\"}\n");
+    assert!(ok, "shutdown acknowledged");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exits 0 after shutdown");
+}

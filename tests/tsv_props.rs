@@ -66,6 +66,34 @@ proptest! {
         prop_assert_eq!(back, original);
     }
 
+    /// Network clients re-frame the same records with CRLF endings and may
+    /// omit the final newline; neither transformation of the *framing* may
+    /// change the parsed relation (values containing \r or \n travel
+    /// escaped, so only real line endings are rewritten here).
+    #[test]
+    fn tsv_round_trip_survives_crlf_and_unterminated_tail(
+        rows in prop::collection::vec(prop::collection::vec(cell(), 2), 0..12),
+        crlf in any::<bool>(),
+        drop_final_newline in any::<bool>(),
+    ) {
+        let mut catalog = Catalog::new();
+        let original = relation(&mut catalog, rows);
+        let mut text = relation_to_tsv(&catalog, &original);
+        if crlf {
+            text = text.replace('\n', "\r\n");
+        }
+        if drop_final_newline {
+            // Strip the terminator of the last physical line ("\n" or
+            // "\r\n" → nothing; keep the possible "\r" when only the \n is
+            // conceptually dropped by a truncating writer).
+            if text.ends_with('\n') {
+                text.pop();
+            }
+        }
+        let back = relation_from_tsv(&mut catalog, &text).unwrap();
+        prop_assert_eq!(back, original);
+    }
+
     #[test]
     fn tsv_round_trip_preserves_integer_typing(n in -1000..1000i64) {
         // An Int exports as plain digits and re-imports as an Int, while the
