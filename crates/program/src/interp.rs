@@ -338,9 +338,13 @@ impl IndexCache {
     /// A pointer-identity miss falls back to the structural fingerprint, so
     /// a semantically identical relation reloaded into a fresh `Arc` (the
     /// TSV round-trip case) still reuses the cached index. The fallback
-    /// re-checks schema and tuple count against the cached relation; the
-    /// remaining exposure is a full 128-bit hash collision between
-    /// same-shape relations, which we accept for the reuse it buys.
+    /// re-checks the cached relation's own (memoized) fingerprint — not just
+    /// schema and tuple count — because a `by_fingerprint` alias can go
+    /// stale: after its primary entry is evicted the allocator may recycle
+    /// the raw-pointer key for a *different* relation's entry, and without
+    /// the content check a stale alias would serve that other relation's
+    /// index. The remaining exposure is a full 128-bit hash collision,
+    /// which we accept for the reuse it buys.
     fn peek(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<JoinIndex>> {
         self.tick += 1;
         let tick = self.tick;
@@ -353,19 +357,35 @@ impl IndexCache {
             match self.map.get_mut(&primary) {
                 Some(e)
                     if e.index.relation().schema() == rel.schema()
-                        && e.index.relation().len() == rel.len() =>
+                        && e.index.relation().len() == rel.len()
+                        && e.index.relation().fingerprint() == fkey.0 =>
                 {
                     e.last_used = tick;
                     mjoin_trace::add("index_cache.fingerprint_hit", 1);
                     return Some(Arc::clone(&e.index));
                 }
-                Some(_) => {}
-                None => {
+                // The entry the alias points at does not hold this content
+                // (recycled pointer or vanished entry) — drop the alias.
+                Some(_) | None => {
                     self.by_fingerprint.remove(&fkey);
                 }
             }
         }
         None
+    }
+
+    /// Remove one primary entry: debit its frozen accounting and drop its
+    /// fingerprint alias if (and only if) the alias still points at it, so
+    /// stale aliases cannot outlive the entry and later resolve to a
+    /// recycled-pointer key.
+    fn remove_entry(&mut self, key: &IndexKey) -> Option<CacheEntry> {
+        let gone = self.map.remove(key)?;
+        let fkey = fingerprint_key(gone.index.relation(), gone.index.key_positions());
+        if self.by_fingerprint.get(&fkey) == Some(key) {
+            self.by_fingerprint.remove(&fkey);
+        }
+        self.debit(gone.index.tuples() as u64, gone.bytes);
+        Some(gone)
     }
 
     /// Record a statement that reused a cached index: the build pass — and
@@ -418,8 +438,7 @@ impl IndexCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
                 .expect("map has a non-newest entry");
-            let gone = self.map.remove(&lru).expect("key just found");
-            self.debit(gone.index.tuples() as u64, gone.bytes);
+            let gone = self.remove_entry(&lru).expect("key just found");
             mjoin_trace::add("index_cache.evict", 1);
             mjoin_trace::add("index_cache.evict_tuples", gone.index.tuples() as u64);
             mjoin_trace::add("index_cache.evict_bytes", gone.bytes);
@@ -439,8 +458,7 @@ impl IndexCache {
             .cloned()
             .collect();
         for key in stale {
-            let gone = self.map.remove(&key).expect("key just listed");
-            self.debit(gone.index.tuples() as u64, gone.bytes);
+            self.remove_entry(&key).expect("key just listed");
         }
     }
 }
@@ -1272,6 +1290,43 @@ mod tests {
         assert_eq!(cache.entries(), 0);
         assert_eq!(cache.resident_tuples(), 0, "tuple accounting drifted");
         assert_eq!(cache.resident_bytes(), 0, "byte accounting drifted");
+    }
+
+    /// Regression: a `by_fingerprint` alias must never serve another
+    /// relation's index. Removal paths drop the alias with the entry, and
+    /// even an alias that survives into the pointer-reuse window (grafted
+    /// by hand here: same schema, same row count, different content — the
+    /// shape the old schema+len validation could not tell apart) must fail
+    /// the content check and miss instead of returning the wrong index.
+    #[test]
+    fn stale_fingerprint_alias_never_serves_another_relations_index() {
+        let mut c = Catalog::new();
+        let r1 = Arc::new(relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap());
+        let r2 = Arc::new(relation_of_ints(&mut c, "AB", &[&[5, 6], &[7, 8]]).unwrap());
+        let mut cache = IndexCache::with_budgets(u64::MAX, u64::MAX);
+
+        cache.insert(Arc::new(JoinIndex::build(Arc::clone(&r1), vec![0])));
+        cache.invalidate(&r1);
+        assert!(
+            cache.by_fingerprint.is_empty(),
+            "the alias must die with its primary entry"
+        );
+
+        cache.insert(Arc::new(JoinIndex::build(Arc::clone(&r2), vec![0])));
+        cache
+            .by_fingerprint
+            .insert(fingerprint_key(&r1, &[0]), index_key(&r2, &[0]));
+        // A fresh allocation with r1's content takes the fallback path.
+        let r1_again = Arc::new(relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap());
+        assert!(
+            cache.peek(&r1_again, &[0]).is_none(),
+            "stale alias served a different relation's index"
+        );
+        // The poisoned alias is dropped; r2's own entry is untouched.
+        assert!(!cache
+            .by_fingerprint
+            .contains_key(&fingerprint_key(&r1, &[0])));
+        assert!(cache.peek(&r2, &[0]).is_some());
     }
 
     /// A shared cache passed through `ExecConfig.cache` carries warm

@@ -283,6 +283,7 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
+        let digits = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
@@ -291,6 +292,11 @@ impl Parser<'_> {
                 "floats are not part of the protocol (byte {})",
                 self.pos
             ));
+        }
+        // JSON numbers are canonical: no leading zeros (`007`). The sign is
+        // handled above, so `i128::parse`'s laxer grammar never leaks in.
+        if self.pos - digits > 1 && self.bytes[digits] == b'0' {
+            return Err(format!("leading zero in number (byte {digits})"));
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
         text.parse::<i128>()
@@ -332,8 +338,7 @@ impl Parser<'_> {
                                 .get(self.pos..self.pos + 4)
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .ok_or_else(|| "truncated \\u escape".to_string())?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            let cp = parse_hex4(hex)?;
                             self.pos += 4;
                             // Surrogate pair: \uD800-\uDBFF must be followed
                             // by a low surrogate.
@@ -347,8 +352,7 @@ impl Parser<'_> {
                                     .get(self.pos..self.pos + 4)
                                     .and_then(|h| std::str::from_utf8(h).ok())
                                     .ok_or_else(|| "truncated surrogate".to_string())?;
-                                let lo = u32::from_str_radix(hex2, 16)
-                                    .map_err(|_| format!("bad \\u escape `{hex2}`"))?;
+                                let lo = parse_hex4(hex2)?;
                                 self.pos += 4;
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err("invalid low surrogate".to_string());
@@ -383,6 +387,17 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+}
+
+/// Parse exactly four ASCII hex digits (a `\u` escape's payload).
+/// `u32::from_str_radix` alone is too lax — it accepts a leading `+`, so
+/// `\u+041` would silently parse as U+0041.
+fn parse_hex4(hex: &str) -> Result<u32, String> {
+    if hex.len() == 4 && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        Ok(u32::from_str_radix(hex, 16).expect("four hex digits"))
+    } else {
+        Err(format!("bad \\u escape `{hex}`"))
     }
 }
 
@@ -431,6 +446,22 @@ mod tests {
         // Control characters render as \u escapes and round-trip.
         let v = Value::str("\u{1}\u{7f}");
         assert_eq!(Value::parse(&v.render()).unwrap(), v);
+    }
+
+    /// Regression: `u32::from_str_radix` accepts a leading `+` and
+    /// `i128::parse` accepts leading zeros — neither is JSON.
+    #[test]
+    fn rejects_non_canonical_escapes_and_numbers() {
+        assert!(Value::parse("\"\\u+041\"").is_err());
+        assert!(Value::parse("\"\\u00 1\"").is_err());
+        assert!(Value::parse("\"\\ud83d\\u+e00\"").is_err());
+        assert!(Value::parse("007").is_err());
+        assert!(Value::parse("-01").is_err());
+        assert!(Value::parse("+7").is_err());
+        // Canonical forms still parse.
+        assert_eq!(Value::parse("0").unwrap(), Value::Int(0));
+        assert_eq!(Value::parse("-0").unwrap(), Value::Int(0));
+        assert_eq!(Value::parse("10").unwrap(), Value::Int(10));
     }
 
     #[test]

@@ -38,8 +38,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How long a session blocks in one read attempt before re-checking the
-/// shutdown flag. Partial lines survive the timeout (`read_line` keeps
-/// bytes already read in its buffer on `Err`), so slow writers are safe.
+/// shutdown flag. Lines are read as raw bytes (`read_until`), which keeps
+/// every byte already appended when the timeout fires — `read_line` would
+/// discard a partial chunk if the tick landed mid multi-byte UTF-8
+/// character — so slow writers are safe even with non-ASCII payloads.
 const READ_TICK: Duration = Duration::from_millis(250);
 
 /// Accept-loop poll interval while no connection is pending.
@@ -323,16 +325,33 @@ fn session(shared: &Shared, stream: TcpStream) {
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut ledger = SessionLedger::default();
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
             break;
         }
-        match reader.read_line(&mut line) {
+        match reader.read_until(b'\n', &mut line) {
             Ok(0) => break,
             Ok(_) => {
-                let complete = line.ends_with('\n');
-                let request = line.trim_end().to_string();
+                let complete = line.last() == Some(&b'\n');
+                // Decode once, only now that the full line has arrived —
+                // partial reads above never touch UTF-8 boundaries.
+                let request = match std::str::from_utf8(&line) {
+                    Ok(s) => s.trim_end().to_string(),
+                    Err(_) => {
+                        line.clear();
+                        trace::add("serve.protocol_error", 1);
+                        let resp = err("protocol", "request line is not valid UTF-8");
+                        if writeln!(writer, "{}", resp.render())
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                            || !complete
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                };
                 line.clear();
                 if !request.is_empty() {
                     let resp = dispatch(shared, &request, &mut ledger);
@@ -349,8 +368,8 @@ fn session(shared: &Shared, stream: TcpStream) {
                     break;
                 }
             }
-            // Timeout: partial bytes stay in `line`'s buffer inside the
-            // BufReader — loop to re-check the shutdown flag.
+            // Timeout: every byte read so far stays appended in `line` —
+            // loop to re-check the shutdown flag and keep accumulating.
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(_) => break,
         }
@@ -439,20 +458,54 @@ fn dispatch(shared: &Shared, request_line: &str, ledger: &mut SessionLedger) -> 
 }
 
 fn handle_load(shared: &Shared, catalog: &str, name: Option<String>, text: &str) -> J {
-    let mut catalogs = lock(&shared.catalogs);
-    let entry = catalogs.entry(catalog.to_string()).or_default();
-    let rel = match tsv::relation_from_tsv_reader(&mut entry.catalog, text.as_bytes()) {
+    // Parse against a catalog *snapshot* with the lock released — a large
+    // TSV payload must not stall every other session's resolve/load/
+    // compile — then re-validate the interned header ids under the lock.
+    let mut snapshot = {
+        let mut catalogs = lock(&shared.catalogs);
+        catalogs
+            .entry(catalog.to_string())
+            .or_default()
+            .catalog
+            .clone()
+    };
+    let parsed = match tsv::relation_from_tsv_reader(&mut snapshot, text.as_bytes()) {
         Ok(r) => r,
         Err(e) => return err("data", format!("bad TSV: {e}")),
+    };
+    // Pay the structural fingerprint once at load time (also outside the
+    // lock): clones handed to each run inherit the memoized value, so
+    // cross-session index-cache peeks don't re-hash a large resident
+    // relation on every request.
+    parsed.fingerprint();
+    let mut catalogs = lock(&shared.catalogs);
+    let entry = catalogs.entry(catalog.to_string()).or_default();
+    // Fresh ids are assigned sequentially and schema attrs are sorted, so
+    // replaying the header names in ascending-id order reproduces the
+    // snapshot's assignments — unless a concurrent load interned other
+    // attributes in between, in which case the snapshot's ids are stale
+    // and the (rare) parse is redone under the lock against the live
+    // catalog.
+    let consistent = parsed
+        .schema()
+        .attrs()
+        .iter()
+        .all(|&id| entry.catalog.intern(snapshot.name(id)) == id);
+    let rel = if consistent {
+        parsed
+    } else {
+        match tsv::relation_from_tsv_reader(&mut entry.catalog, text.as_bytes()) {
+            Ok(r) => {
+                r.fingerprint();
+                r
+            }
+            Err(e) => return err("data", format!("bad TSV: {e}")),
+        }
     };
     let name = name.unwrap_or_else(|| format!("r{}", entry.relations.len()));
     if entry.relations.iter().any(|(n, _)| *n == name) {
         return err("data", format!("relation `{name}` already loaded"));
     }
-    // Pay the structural fingerprint once at load time: clones handed to
-    // each run inherit the memoized value, so cross-session index-cache
-    // peeks don't re-hash a large resident relation on every request.
-    rel.fingerprint();
     let rows = rel.len();
     let attrs = format!("{}", rel.schema().display(&entry.catalog));
     entry.relations.push((name.clone(), rel));
@@ -792,11 +845,13 @@ fn handle_query(
     want_tsv: bool,
     ledger: &mut SessionLedger,
 ) -> J {
-    // Derive the program under the catalog lock (cheap: estimation only,
-    // no tuples touched), then release it for execution.
-    let (r, tree_text) = {
-        let mut catalogs = lock(&shared.catalogs);
-        let entry = match catalogs.get_mut(catalog) {
+    // Snapshot the catalog entry (relation `Arc` clones + the interner),
+    // then release the lock: the tree search below can be exponential
+    // (`dp` over SearchSpace::All) and must not stall every other
+    // session's resolve/load/compile.
+    let (db, catalog_snapshot) = {
+        let catalogs = lock(&shared.catalogs);
+        let entry = match catalogs.get(catalog) {
             Some(e) => e,
             None => return err("not_found", format!("no catalog `{catalog}`")),
         };
@@ -805,51 +860,49 @@ fn handle_query(
         }
         let db =
             Database::from_relations(entry.relations.iter().map(|(_, rel)| rel.clone()).collect());
-        let scheme = DbScheme::from_schemas(&db.schemas());
-        if !scheme.fully_connected() {
-            return err(
-                "data",
-                "the loaded relations' scheme is disconnected; the result would be a \
-                 Cartesian product across components — query each component separately",
-            );
+        (db, entry.catalog.clone())
+    };
+    let scheme = DbScheme::from_schemas(&db.schemas());
+    if !scheme.fully_connected() {
+        return err(
+            "data",
+            "the loaded relations' scheme is disconnected; the result would be a \
+             Cartesian product across components — query each component separately",
+        );
+    }
+    // Estimation-based tree search: the exact oracle would execute the
+    // very subjoins admission is about to gate.
+    let mut oracle = EstimateOracle::new(&scheme, &db);
+    let tree = match optimizer.unwrap_or("greedy") {
+        "greedy" => greedy(&scheme, &mut oracle, true).0,
+        dp @ ("dp" | "dp-cpf" | "dp-linear") => {
+            let space = match dp {
+                "dp" => SearchSpace::All,
+                "dp-cpf" => SearchSpace::Cpf,
+                _ => SearchSpace::Linear,
+            };
+            match optimize(&scheme, &mut oracle, space) {
+                Some(opt) => opt.tree,
+                None => return err("data", "optimizer search space is empty for this scheme"),
+            }
         }
-        // Estimation-based tree search: the exact oracle would execute the
-        // very subjoins admission is about to gate.
-        let mut oracle = EstimateOracle::new(&scheme, &db);
-        let tree = match optimizer.unwrap_or("greedy") {
-            "greedy" => greedy(&scheme, &mut oracle, true).0,
-            dp @ ("dp" | "dp-cpf" | "dp-linear") => {
-                let space = match dp {
-                    "dp" => SearchSpace::All,
-                    "dp-cpf" => SearchSpace::Cpf,
-                    _ => SearchSpace::Linear,
-                };
-                match optimize(&scheme, &mut oracle, space) {
-                    Some(opt) => opt.tree,
-                    None => return err("data", "optimizer search space is empty for this scheme"),
-                }
-            }
-            other => {
-                return err(
-                    "protocol",
-                    format!("unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)"),
-                )
-            }
-        };
-        let d = match derive(&scheme, &tree) {
-            Ok(d) => d,
-            Err(e) => return err("data", e.to_string()),
-        };
-        let tree_text = format!("{}", tree.display(&scheme, &entry.catalog));
-        (
-            Resolved {
-                program: d.program,
-                scheme,
-                db,
-                catalog: entry.catalog.clone(),
-            },
-            tree_text,
-        )
+        other => {
+            return err(
+                "protocol",
+                format!("unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)"),
+            )
+        }
+    };
+    let d = match derive(&scheme, &tree) {
+        Ok(d) => d,
+        Err(e) => return err("data", e.to_string()),
+    };
+    let tree_text = format!("{}", tree.display(&scheme, &catalog_snapshot));
+    let r = Resolved {
+        program: d.program,
+        scheme,
+        db,
+        catalog: catalog_snapshot,
     };
     let report = match admit(shared, &r) {
         Ok(rep) => rep,
