@@ -15,13 +15,17 @@
 
 use crate::ast::{Atom, ConjunctiveQuery, Term};
 use crate::storage::NamedDatabase;
-use mjoin_core::{run_pipeline, FirstChoice};
+use mjoin_analyze::{AnalysisCx, Certificate};
+use mjoin_core::{derive, run_pipeline, run_pipeline_parallel, FirstChoice};
 use mjoin_expr::JoinTree;
-use mjoin_hypergraph::DbScheme;
+use mjoin_hypergraph::{agm_ln, bound_u64, DbScheme};
 use mjoin_optimizer::{greedy, optimize, ExactOracle, SearchSpace};
+use mjoin_program::SharedIndexCache;
 use mjoin_relation::{
     ops, AttrId, Catalog, CostLedger, Database, Error, Relation, Result, Row, Schema, Value,
 };
+use mjoin_wcoj::{select, wcoj_join, ExecutorKind};
+use std::sync::Arc;
 
 /// How to choose each component's join tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +38,38 @@ pub enum PlanStrategy {
     DpCpf,
     /// Exact DP over linear (left-deep) trees.
     DpLinear,
+}
+
+/// Execution knobs beyond the planning strategy: which executor runs each
+/// component, how many threads a program execution may use, and an optional
+/// shared index cache (the resident server's — hash indices and sorted
+/// tries both live in it).
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Executor choice ([`ExecutorKind::Program`] is the default; `Auto`
+    /// compares bounds per component).
+    pub executor: ExecutorKind,
+    /// Threads for program execution (`0`/`1` = sequential).
+    pub threads: usize,
+    /// Shared index cache for trie views (WCOJ path). `None` builds
+    /// per-query throwaway tries.
+    pub cache: Option<SharedIndexCache>,
+}
+
+/// How one connected component of a query was executed, with the bounds
+/// that justified the choice (populated in `auto` mode; a forced executor
+/// reports only what it computed).
+#[derive(Debug, Clone)]
+pub struct ComponentDecision {
+    /// The component, as a relation-index set (e.g. `{0, 2}`).
+    pub component: String,
+    /// The executor the component actually ran on (never `Auto`).
+    pub executor: ExecutorKind,
+    /// AGM bound of the component hypergraph, when computed.
+    pub agm_bound: Option<u64>,
+    /// Theorem-2 certificate bound of the chosen program (evaluated with
+    /// AGM sub-bounds), when a program was derived.
+    pub cert_bound: Option<u64>,
 }
 
 /// The answer to a query.
@@ -152,17 +188,30 @@ fn bind_atom(ndb: &NamedDatabase, atom: &Atom, qcat: &mut Catalog) -> Result<Rel
     Relation::from_rows(out_schema, out_rows)
 }
 
-/// Execute `query` against `ndb`.
+/// Execute `query` against `ndb` on the default (program) executor.
 pub fn execute_query(
     ndb: &NamedDatabase,
     query: &ConjunctiveQuery,
     strategy: PlanStrategy,
 ) -> Result<QueryResult> {
+    execute_query_with(ndb, query, strategy, &ExecOptions::default()).map(|(r, _)| r)
+}
+
+/// Execute `query` against `ndb` with explicit executor options, returning
+/// the per-component executor decisions alongside the result (for
+/// `--explain`-style surfaces).
+pub fn execute_query_with(
+    ndb: &NamedDatabase,
+    query: &ConjunctiveQuery,
+    strategy: PlanStrategy,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, Vec<ComponentDecision>)> {
     if !query.is_safe() {
         return Err(Error::Parse("unsafe query".to_string()));
     }
     let mut qcat = Catalog::new();
     let mut ledger = CostLedger::new();
+    let mut decisions: Vec<ComponentDecision> = Vec::new();
 
     // Stage 1: bind atoms. Boolean (nullary) bindings fold into a flag.
     let mut bound: Vec<Relation> = Vec::new();
@@ -191,24 +240,30 @@ pub fn execute_query(
     let head_schema = Schema::new(head_attrs.clone());
 
     if boolean_false || bound.iter().any(mjoin_relation::Relation::is_empty) {
-        return Ok(QueryResult {
-            relation: Relation::empty(head_schema),
-            head_attrs,
-            catalog: qcat,
-            ledger,
-        });
+        return Ok((
+            QueryResult {
+                relation: Relation::empty(head_schema),
+                head_attrs,
+                catalog: qcat,
+                ledger,
+            },
+            decisions,
+        ));
     }
     if bound.is_empty() {
         // All atoms were satisfied constants: the answer is the unit.
-        return Ok(QueryResult {
-            relation: Relation::nullary_unit(),
-            head_attrs,
-            catalog: qcat,
-            ledger,
-        });
+        return Ok((
+            QueryResult {
+                relation: Relation::nullary_unit(),
+                head_attrs,
+                catalog: qcat,
+                ledger,
+            },
+            decisions,
+        ));
     }
 
-    // Stage 2+3: per connected component, plan and run the pipeline.
+    // Stage 2+3: per connected component, plan and run either executor.
     let db = Database::from_relations(bound);
     let scheme = DbScheme::from_schemas(&db.schemas());
     let mut full = Relation::nullary_unit();
@@ -217,17 +272,19 @@ pub fn execute_query(
         let comp_db = db.restrict(&indices);
         let comp_scheme = DbScheme::from_schemas(&comp_db.schemas());
         let comp_result = if indices.len() == 1 {
-            std::sync::Arc::new(comp_db.relation(0).clone())
+            Arc::new(comp_db.relation(0).clone())
         } else {
-            let tree = pick_tree(&comp_scheme, &comp_db, strategy)?;
-            let run = run_pipeline(&comp_scheme, &tree, &comp_db, &mut FirstChoice)
-                .map_err(|e| Error::Parse(e.to_string()))?;
-            // Program cost minus the inputs (already charged at binding).
-            ledger.charge_generated(
-                format!("program over component {comp}"),
-                (run.program_cost() - comp_db.total_tuples()) as usize,
-            );
-            run.exec.result
+            let (result, decision) = run_component(
+                &comp_scheme,
+                &comp_db,
+                &qcat,
+                strategy,
+                opts,
+                &comp.to_string(),
+                &mut ledger,
+            )?;
+            decisions.push(decision);
+            result
         };
         // Cross-component combination: a forced Cartesian product.
         full = ops::join(&full, &comp_result);
@@ -237,12 +294,106 @@ pub fn execute_query(
     // Stage 4: the head projection.
     let relation = ops::project(&full, head_schema.attrs())?;
     ledger.charge_generated("head projection", relation.len());
-    Ok(QueryResult {
-        relation,
-        head_attrs,
-        catalog: qcat,
-        ledger,
-    })
+    Ok((
+        QueryResult {
+            relation,
+            head_attrs,
+            catalog: qcat,
+            ledger,
+        },
+        decisions,
+    ))
+}
+
+/// Run one multi-relation component on the executor `opts` calls for.
+///
+/// `Auto` derives the strategy-chosen program first, computes its Theorem-2
+/// certificate, and compares the certificate bound (evaluated with AGM
+/// sub-bounds) against the component's AGM bound — WCOJ runs exactly when
+/// its bound is strictly smaller (see [`mjoin_wcoj::select`]). Ties and
+/// wins go to the program path, preserving the engine's §2.3 cost story.
+fn run_component(
+    comp_scheme: &DbScheme,
+    comp_db: &Database,
+    qcat: &Catalog,
+    strategy: PlanStrategy,
+    opts: &ExecOptions,
+    comp_name: &str,
+    ledger: &mut CostLedger,
+) -> Result<(Arc<Relation>, ComponentDecision)> {
+    let sizes: Vec<u64> = comp_db.relations().iter().map(|r| r.len() as u64).collect();
+    let run_wcoj = |ledger: &mut CostLedger| -> Arc<Relation> {
+        let rel = wcoj_join(comp_scheme, comp_db, opts.cache.as_ref());
+        ledger.charge_generated(format!("wcoj over component {comp_name}"), rel.len());
+        Arc::new(rel)
+    };
+    let run_program = |tree: &JoinTree, ledger: &mut CostLedger| -> Result<Arc<Relation>> {
+        let run = if opts.threads > 1 {
+            run_pipeline_parallel(comp_scheme, tree, comp_db, &mut FirstChoice, opts.threads)
+        } else {
+            run_pipeline(comp_scheme, tree, comp_db, &mut FirstChoice)
+        }
+        .map_err(|e| Error::Parse(e.to_string()))?;
+        // Program cost minus the inputs (already charged at binding).
+        ledger.charge_generated(
+            format!("program over component {comp_name}"),
+            (run.program_cost() - comp_db.total_tuples()) as usize,
+        );
+        Ok(run.exec.result)
+    };
+
+    match opts.executor {
+        ExecutorKind::Wcoj => {
+            let agm = bound_u64(agm_ln(comp_scheme, comp_scheme.all(), &sizes));
+            Ok((
+                run_wcoj(ledger),
+                ComponentDecision {
+                    component: comp_name.to_string(),
+                    executor: ExecutorKind::Wcoj,
+                    agm_bound: Some(agm),
+                    cert_bound: None,
+                },
+            ))
+        }
+        ExecutorKind::Program => {
+            let tree = pick_tree(comp_scheme, comp_db, strategy)?;
+            Ok((
+                run_program(&tree, ledger)?,
+                ComponentDecision {
+                    component: comp_name.to_string(),
+                    executor: ExecutorKind::Program,
+                    agm_bound: None,
+                    cert_bound: None,
+                },
+            ))
+        }
+        ExecutorKind::Auto => {
+            let tree = pick_tree(comp_scheme, comp_db, strategy)?;
+            let derivation = derive(comp_scheme, &tree).map_err(|e| Error::Parse(e.to_string()))?;
+            let cx = AnalysisCx::new(&derivation.program, comp_scheme, qcat)
+                .map_err(|e| Error::Parse(e.to_string()))?;
+            let cert = Certificate::compute(&cx);
+            let sel = select(comp_scheme, &sizes, &cert);
+            let result = if sel.use_wcoj {
+                run_wcoj(ledger)
+            } else {
+                run_program(&tree, ledger)?
+            };
+            Ok((
+                result,
+                ComponentDecision {
+                    component: comp_name.to_string(),
+                    executor: if sel.use_wcoj {
+                        ExecutorKind::Wcoj
+                    } else {
+                        ExecutorKind::Program
+                    },
+                    agm_bound: Some(sel.agm_bound),
+                    cert_bound: Some(sel.cert_bound),
+                },
+            ))
+        }
+    }
 }
 
 /// Reference executor: bind atoms, fold-join them naively (in body order,
@@ -407,6 +558,60 @@ mod tests {
         assert_eq!(a.rows_in_head_order(), b.rows_in_head_order());
         assert_eq!(a.rows_in_head_order(), c.rows_in_head_order());
         assert_eq!(a.rows_in_head_order(), d.rows_in_head_order());
+    }
+
+    #[test]
+    fn executors_agree_and_auto_reports_bounds() {
+        let mut db = NamedDatabase::new();
+        // A graph with triangles: 0–1–2, 0–2–3 share edge 0–2.
+        db.add_relation(
+            "e",
+            &["a", "b"],
+            &[&[0, 1], &[1, 2], &[0, 2], &[2, 3], &[0, 3], &[2, 0]],
+        )
+        .unwrap();
+        let q = parse_query("Q(x, y, z) :- e(x, y), e(y, z), e(z, x).").unwrap();
+        let prog = execute_query_with(&db, &q, PlanStrategy::Greedy, &ExecOptions::default())
+            .unwrap()
+            .0;
+        let wcoj = execute_query_with(
+            &db,
+            &q,
+            PlanStrategy::Greedy,
+            &ExecOptions {
+                executor: ExecutorKind::Wcoj,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap()
+        .0;
+        let (auto, decisions) = execute_query_with(
+            &db,
+            &q,
+            PlanStrategy::Greedy,
+            &ExecOptions {
+                executor: ExecutorKind::Auto,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(prog.rows_in_head_order(), wcoj.rows_in_head_order());
+        assert_eq!(prog.rows_in_head_order(), auto.rows_in_head_order());
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert!(d.agm_bound.is_some() && d.cert_bound.is_some());
+        assert_ne!(
+            d.executor,
+            ExecutorKind::Auto,
+            "auto resolves to a real executor"
+        );
+        // The invariant behind `auto`: the selected executor's stated bound
+        // is never the strictly larger one.
+        if d.executor == ExecutorKind::Wcoj {
+            assert!(d.agm_bound.unwrap() < d.cert_bound.unwrap());
+        } else {
+            assert!(d.agm_bound.unwrap() >= d.cert_bound.unwrap());
+        }
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub mod parse;
 pub mod storage;
 
 pub use ast::{Atom, ConjunctiveQuery, Term};
-pub use compile::{execute_query, execute_query_naive, PlanStrategy, QueryResult};
+pub use compile::{
+    execute_query, execute_query_naive, execute_query_with, ComponentDecision, ExecOptions,
+    PlanStrategy, QueryResult,
+};
 pub use datalog::{evaluate_datalog, parse_rules, DatalogResult};
+pub use mjoin_wcoj::ExecutorKind;
 pub use parse::parse_query;
 pub use storage::{NamedDatabase, StoredRelation};

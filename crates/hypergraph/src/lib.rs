@@ -9,14 +9,19 @@
 //! * [`DbScheme`]: the scheme itself — connectivity, connected components,
 //!   attribute unions, and the Theorem 2 factor `r(a+5)`;
 //! * [`gyo`]: the classical GYO ear-reduction acyclicity test and join
-//!   forest, which the acyclic baselines (full reducer, Yannakakis) consume.
+//!   forest, which the acyclic baselines (full reducer, Yannakakis) consume;
+//! * [`cover`]: fractional edge covers and the AGM output bound, which the
+//!   worst-case-optimal executor (`mjoin-wcoj`) compares against Theorem-2
+//!   certificates when choosing an execution strategy.
 
 #![warn(missing_docs)]
 
+pub mod cover;
 pub mod gyo;
 pub mod relset;
 pub mod scheme;
 
+pub use cover::{agm_ln, best_cover, bound_u64, Cover};
 pub use gyo::{gyo, is_acyclic, GyoResult};
 pub use relset::RelSet;
 pub use scheme::DbScheme;

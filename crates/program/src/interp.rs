@@ -25,6 +25,7 @@ use crate::stmt::{Reg, Stmt};
 use mjoin_relation::fxhash::FxHashMap;
 use mjoin_relation::ops::{
     self, join_key_positions, par_join_indexed_cutoff, par_semijoin_indexed_cutoff, JoinIndex,
+    TrieIndex,
 };
 use mjoin_relation::{CostLedger, Database, Relation, Schema};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -176,28 +177,84 @@ impl std::fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
-/// Cache key: the identity of an `Arc<Relation>` plus the key positions an
-/// index was built over. Safe against pointer reuse because every cached
-/// [`JoinIndex`] holds its relation's `Arc` — the allocation cannot be
-/// freed (and its address recycled) while the entry exists.
-type IndexKey = (usize, Box<[usize]>);
+/// Discriminant for hash-table entries ([`JoinIndex`]) in the cache keys.
+const KIND_HASH: u8 = 0;
+/// Discriminant for sorted-trie entries ([`TrieIndex`]) in the cache keys.
+const KIND_TRIE: u8 = 1;
+
+/// Cache key: the identity of an `Arc<Relation>`, the index *kind* (hash
+/// table or sorted trie — the same relation and key positions yield
+/// different structures), and the key positions the index was built over.
+/// Safe against pointer reuse because every cached index holds its
+/// relation's `Arc` — the allocation cannot be freed (and its address
+/// recycled) while the entry exists.
+type IndexKey = (usize, u8, Box<[usize]>);
 
 fn index_key(rel: &Arc<Relation>, key_pos: &[usize]) -> IndexKey {
-    (Arc::as_ptr(rel) as usize, key_pos.into())
+    (Arc::as_ptr(rel) as usize, KIND_HASH, key_pos.into())
 }
 
 /// Fallback cache key: the relation's structural [`Relation::fingerprint`]
-/// plus the key positions. Two `Arc`s holding the same set of tuples — an
-/// original and its TSV round-trip reload, say — share this key even though
-/// their pointer-identity [`IndexKey`]s differ.
-type FingerprintKey = (u128, Box<[usize]>);
+/// plus kind and key positions. Two `Arc`s holding the same set of tuples —
+/// an original and its TSV round-trip reload, say — share this key even
+/// though their pointer-identity [`IndexKey`]s differ.
+type FingerprintKey = (u128, u8, Box<[usize]>);
 
-fn fingerprint_key(rel: &Relation, key_pos: &[usize]) -> FingerprintKey {
-    (rel.fingerprint(), key_pos.into())
+fn fingerprint_key_of(rel: &Relation, kind: u8, key_pos: &[usize]) -> FingerprintKey {
+    (rel.fingerprint(), kind, key_pos.into())
+}
+
+/// A cached index of either kind. The cache stores both the program
+/// interpreter's build-side hash tables and the WCOJ executor's sorted trie
+/// views under one budget, so a resident server balances the two uses
+/// instead of double-budgeting.
+#[derive(Clone)]
+pub(crate) enum CachedIndex {
+    /// A build-side hash table (the binary program executor's index).
+    Hash(Arc<JoinIndex>),
+    /// A sorted trie view (the worst-case-optimal executor's index).
+    Trie(Arc<TrieIndex>),
+}
+
+impl CachedIndex {
+    fn kind(&self) -> u8 {
+        match self {
+            CachedIndex::Hash(_) => KIND_HASH,
+            CachedIndex::Trie(_) => KIND_TRIE,
+        }
+    }
+
+    fn relation(&self) -> &Arc<Relation> {
+        match self {
+            CachedIndex::Hash(i) => i.relation(),
+            CachedIndex::Trie(i) => i.relation(),
+        }
+    }
+
+    fn key_positions(&self) -> &[usize] {
+        match self {
+            CachedIndex::Hash(i) => i.key_positions(),
+            CachedIndex::Trie(i) => i.key_positions(),
+        }
+    }
+
+    fn tuples(&self) -> usize {
+        match self {
+            CachedIndex::Hash(i) => i.tuples(),
+            CachedIndex::Trie(i) => i.tuples(),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match self {
+            CachedIndex::Hash(i) => i.resident_bytes(),
+            CachedIndex::Trie(i) => i.resident_bytes(),
+        }
+    }
 }
 
 struct CacheEntry {
-    index: Arc<JoinIndex>,
+    index: CachedIndex,
     /// Resident bytes, frozen at insert time (the live value can change if
     /// the relation's other view materializes later; accounting must
     /// subtract exactly what it added).
@@ -346,13 +403,47 @@ impl IndexCache {
     /// index. The remaining exposure is a full 128-bit hash collision,
     /// which we accept for the reuse it buys.
     fn peek(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<JoinIndex>> {
+        match self.peek_cached(rel, KIND_HASH, key_pos)? {
+            CachedIndex::Hash(i) => Some(i),
+            CachedIndex::Trie(_) => unreachable!("kind-tagged key returned wrong index kind"),
+        }
+    }
+
+    /// Trie-view twin of `peek`, for the WCOJ executor. Unlike the hash
+    /// path (where a join peeks both sides before deciding which lookup
+    /// counts), every trie lookup counts, so the `index_cache.trie_hit` /
+    /// `trie_miss` counters are maintained here.
+    pub fn peek_trie(&mut self, rel: &Arc<Relation>, key_pos: &[usize]) -> Option<Arc<TrieIndex>> {
+        match self.peek_cached(rel, KIND_TRIE, key_pos) {
+            Some(CachedIndex::Trie(i)) => {
+                mjoin_trace::add("index_cache.trie_hit", 1);
+                mjoin_trace::add("index_cache.bytes_not_allocated", i.heap_bytes() as u64);
+                Some(i)
+            }
+            Some(CachedIndex::Hash(_)) => {
+                unreachable!("kind-tagged key returned wrong index kind")
+            }
+            None => {
+                mjoin_trace::add("index_cache.trie_miss", 1);
+                None
+            }
+        }
+    }
+
+    fn peek_cached(
+        &mut self,
+        rel: &Arc<Relation>,
+        kind: u8,
+        key_pos: &[usize],
+    ) -> Option<CachedIndex> {
         self.tick += 1;
         let tick = self.tick;
-        if let Some(e) = self.map.get_mut(&index_key(rel, key_pos)) {
+        let key = (Arc::as_ptr(rel) as usize, kind, key_pos.into());
+        if let Some(e) = self.map.get_mut(&key) {
             e.last_used = tick;
-            return Some(Arc::clone(&e.index));
+            return Some(e.index.clone());
         }
-        let fkey = fingerprint_key(rel, key_pos);
+        let fkey = fingerprint_key_of(rel, kind, key_pos);
         if let Some(primary) = self.by_fingerprint.get(&fkey).cloned() {
             match self.map.get_mut(&primary) {
                 Some(e)
@@ -362,7 +453,7 @@ impl IndexCache {
                 {
                     e.last_used = tick;
                     mjoin_trace::add("index_cache.fingerprint_hit", 1);
-                    return Some(Arc::clone(&e.index));
+                    return Some(e.index.clone());
                 }
                 // The entry the alias points at does not hold this content
                 // (recycled pointer or vanished entry) — drop the alias.
@@ -380,7 +471,11 @@ impl IndexCache {
     /// recycled-pointer key.
     fn remove_entry(&mut self, key: &IndexKey) -> Option<CacheEntry> {
         let gone = self.map.remove(key)?;
-        let fkey = fingerprint_key(gone.index.relation(), gone.index.key_positions());
+        let fkey = fingerprint_key_of(
+            gone.index.relation(),
+            gone.index.kind(),
+            gone.index.key_positions(),
+        );
         if self.by_fingerprint.get(&fkey) == Some(key) {
             self.by_fingerprint.remove(&fkey);
         }
@@ -405,13 +500,29 @@ impl IndexCache {
     /// than a whole budget on either axis are not cached (they would only
     /// flush everything else).
     fn insert(&mut self, index: Arc<JoinIndex>) {
+        mjoin_trace::add("index_cache.insert", 1);
+        self.insert_cached(CachedIndex::Hash(index));
+    }
+
+    /// Trie-view twin of `insert`: cache a freshly sorted trie under the
+    /// same budgets (and the same LRU) as the hash entries.
+    pub fn insert_trie(&mut self, index: Arc<TrieIndex>) {
+        mjoin_trace::add("index_cache.trie_insert", 1);
+        self.insert_cached(CachedIndex::Trie(index));
+    }
+
+    fn insert_cached(&mut self, index: CachedIndex) {
         let bytes = index.resident_bytes() as u64;
         if index.tuples() as u64 > self.budget_tuples || bytes > self.budget_bytes {
             return;
         }
-        let key = index_key(index.relation(), index.key_positions());
+        let key = (
+            Arc::as_ptr(index.relation()) as usize,
+            index.kind(),
+            index.key_positions().into(),
+        );
         self.by_fingerprint.insert(
-            fingerprint_key(index.relation(), index.key_positions()),
+            fingerprint_key_of(index.relation(), index.kind(), index.key_positions()),
             key.clone(),
         );
         self.tick += 1;
@@ -429,7 +540,6 @@ impl IndexCache {
         ) {
             self.debit(old.index.tuples() as u64, old.bytes);
         }
-        mjoin_trace::add("index_cache.insert", 1);
         while self.over_budget() && self.map.len() > 1 {
             let lru = self
                 .map
@@ -439,7 +549,11 @@ impl IndexCache {
                 .map(|(k, _)| k.clone())
                 .expect("map has a non-newest entry");
             let gone = self.remove_entry(&lru).expect("key just found");
-            mjoin_trace::add("index_cache.evict", 1);
+            let evict_name = match gone.index {
+                CachedIndex::Hash(_) => "index_cache.evict",
+                CachedIndex::Trie(_) => "index_cache.trie_evict",
+            };
+            mjoin_trace::add(evict_name, 1);
             mjoin_trace::add("index_cache.evict_tuples", gone.index.tuples() as u64);
             mjoin_trace::add("index_cache.evict_bytes", gone.bytes);
         }
@@ -454,7 +568,7 @@ impl IndexCache {
         let stale: Vec<IndexKey> = self
             .map
             .keys()
-            .filter(|(p, _)| *p == ptr)
+            .filter(|(p, _, _)| *p == ptr)
             .cloned()
             .collect();
         for key in stale {
@@ -1313,9 +1427,10 @@ mod tests {
         );
 
         cache.insert(Arc::new(JoinIndex::build(Arc::clone(&r2), vec![0])));
-        cache
-            .by_fingerprint
-            .insert(fingerprint_key(&r1, &[0]), index_key(&r2, &[0]));
+        cache.by_fingerprint.insert(
+            fingerprint_key_of(&r1, KIND_HASH, &[0]),
+            index_key(&r2, &[0]),
+        );
         // A fresh allocation with r1's content takes the fallback path.
         let r1_again = Arc::new(relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap());
         assert!(
@@ -1325,8 +1440,44 @@ mod tests {
         // The poisoned alias is dropped; r2's own entry is untouched.
         assert!(!cache
             .by_fingerprint
-            .contains_key(&fingerprint_key(&r1, &[0])));
+            .contains_key(&fingerprint_key_of(&r1, KIND_HASH, &[0])));
         assert!(cache.peek(&r2, &[0]).is_some());
+    }
+
+    /// Trie views live in the same cache as hash indices: kind-tagged keys
+    /// keep them apart for the same `(relation, positions)` pair, both
+    /// count against one budget, and the trie counters are distinct.
+    #[test]
+    fn trie_and_hash_entries_coexist_under_one_budget() {
+        use mjoin_relation::ops::TrieIndex;
+        mjoin_trace::set_enabled(true);
+        let _ = mjoin_trace::take();
+        let mut c = Catalog::new();
+        let r = Arc::new(relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap());
+        let mut cache = IndexCache::with_budgets(u64::MAX, u64::MAX);
+
+        assert!(cache.peek_trie(&r, &[0, 1]).is_none(), "cold cache");
+        cache.insert(Arc::new(JoinIndex::build(Arc::clone(&r), vec![0, 1])));
+        assert!(
+            cache.peek_trie(&r, &[0, 1]).is_none(),
+            "a hash entry must not satisfy a trie lookup"
+        );
+        cache.insert_trie(Arc::new(TrieIndex::build(Arc::clone(&r), vec![0, 1])));
+        assert_eq!(cache.entries(), 2, "same (rel, positions), two kinds");
+        assert!(cache.peek(&r, &[0, 1]).is_some());
+        assert!(cache.peek_trie(&r, &[0, 1]).is_some());
+        assert_eq!(cache.resident_tuples(), 4, "both entries pin their tuples");
+
+        // Fingerprint fallback works for tries too: same content, new Arc.
+        let r_again = Arc::new(relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap());
+        assert!(cache.peek_trie(&r_again, &[0, 1]).is_some());
+
+        cache.clear();
+        let t = mjoin_trace::take();
+        mjoin_trace::set_enabled(false);
+        assert_eq!(t.counter("index_cache.trie_insert"), Some(1));
+        assert_eq!(t.counter("index_cache.trie_miss"), Some(2));
+        assert_eq!(t.counter("index_cache.trie_hit"), Some(2));
     }
 
     /// A shared cache passed through `ExecConfig.cache` carries warm

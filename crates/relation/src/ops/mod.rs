@@ -18,6 +18,7 @@ mod rename;
 mod select;
 mod semijoin;
 mod setops;
+mod trie;
 
 pub use index::{
     par_join_indexed, par_join_indexed_cutoff, par_semijoin_indexed, par_semijoin_indexed_cutoff,
@@ -31,6 +32,7 @@ pub use rename::rename;
 pub use select::{select_eq, select_where};
 pub use semijoin::{par_semijoin, par_semijoin_cutoff, semijoin};
 pub use setops::{difference, intersection, union};
+pub use trie::TrieIndex;
 
 pub use columnar::key_hashes;
 // `layout`/`set_layout`/`Layout` are defined below, alongside the

@@ -15,7 +15,7 @@
 //! | `load`     | `catalog`, `tsv`, opt. `name`                        | add a TSV relation to a named server-side catalog |
 //! | `compile`  | `catalog`, `name`, `program`, opt. `scheme`          | parse + validate a §2.2 program against the catalog |
 //! | `run`      | `catalog`, `name` or `program` (+opt. `scheme`), opt. `deadline_ms`, opt. `tsv` | admission-gate, execute, return result |
-//! | `query`    | `catalog`, opt. `optimizer`, opt. `deadline_ms`, opt. `tsv` | derive a program for all loaded relations (Alg. 1+2) and run it |
+//! | `query`    | `catalog`, opt. `optimizer`, opt. `executor`, opt. `deadline_ms`, opt. `tsv` | derive a program for all loaded relations (Alg. 1+2) and run it — `executor` picks `program` (default), `wcoj`, or `auto` (AGM vs certificate) |
 //! | `explain`  | `catalog`, `name` or `program` (+opt. `scheme`)      | admission report without executing |
 //! | `stats`    |                                                      | cumulative counters, cache residency, catalogs |
 //! | `shutdown` |                                                      | drain in-flight requests and stop the server |
@@ -70,6 +70,9 @@ pub enum Request {
         catalog: String,
         /// Join-tree search: `greedy` (default), `dp`, `dp-cpf`, `dp-linear`.
         optimizer: Option<String>,
+        /// Join executor: `program` (default), `wcoj`, or `auto` (pick by
+        /// AGM bound vs the derived program's Theorem-2 certificate).
+        executor: Option<String>,
         /// Per-request deadline in milliseconds.
         deadline_ms: Option<u64>,
         /// Whether to include the result TSV (default true).
@@ -139,6 +142,7 @@ impl Request {
             "query" => Ok(Request::Query {
                 catalog: req_str(&v, "catalog")?,
                 optimizer: opt_str(&v, "optimizer"),
+                executor: opt_str(&v, "executor"),
                 deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
                 tsv: v.get("tsv").and_then(Value::as_bool).unwrap_or(true),
             }),

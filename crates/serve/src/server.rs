@@ -20,16 +20,17 @@
 
 use crate::json::Value as J;
 use crate::protocol::{err, err_with, ok, Request};
-use mjoin_analyze::{admission_report, AdmissionReport, AnalysisCx};
+use mjoin_analyze::{admission_report, AdmissionReport, AnalysisCx, Certificate};
 use mjoin_core::derive;
 use mjoin_hypergraph::DbScheme;
 use mjoin_optimizer::{greedy, optimize, EstimateOracle, SearchSpace};
 use mjoin_program::{
-    display, parse_program, try_execute_with, CancelToken, ExecConfig, ExecOutcome, IndexCache,
-    Program, SharedIndexCache,
+    display, parse_program, try_execute_with, CancelToken, ExecConfig, IndexCache, Program,
+    SharedIndexCache,
 };
-use mjoin_relation::{tsv, AttrSet, Catalog, Database, Relation, Schema};
+use mjoin_relation::{tsv, AttrSet, Catalog, CostLedger, Database, Relation, Schema};
 use mjoin_trace as trace;
+use mjoin_wcoj::{select, wcoj_join, ExecutorKind, Selection};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -420,12 +421,14 @@ fn dispatch(shared: &Shared, request_line: &str, ledger: &mut SessionLedger) -> 
         Request::Query {
             catalog,
             optimizer,
+            executor,
             deadline_ms,
             tsv,
         } => handle_query(
             shared,
             &catalog,
             optimizer.as_deref(),
+            executor.as_deref(),
             deadline_ms,
             tsv,
             ledger,
@@ -694,6 +697,39 @@ fn admit(shared: &Shared, r: &Resolved) -> Result<AdmissionReport, J> {
     Ok(report)
 }
 
+/// Acquire the capacity gate for `cost`, mapping each refusal to its
+/// protocol error. Shared by the program and WCOJ execution paths.
+fn acquire_permit<'a>(
+    shared: &'a Shared,
+    cost: u64,
+    deadline: Option<Instant>,
+) -> Result<Permit<'a>, J> {
+    match shared.gate.acquire(cost, deadline, &shared.shutdown) {
+        Ok(p) => Ok(p),
+        Err(GateErr::QueueFull) => {
+            trace::add("serve.queue_reject", 1);
+            Err(err_with(
+                "queue_full",
+                "admission queue is full; retry later",
+                vec![(
+                    "queue_depth".to_string(),
+                    J::u64(shared.cfg.queue_depth as u64),
+                )],
+            ))
+        }
+        Err(GateErr::Deadline) => {
+            trace::add("serve.deadline_cancel", 1);
+            Err(err(
+                "deadline",
+                "deadline expired while queued for capacity",
+            ))
+        }
+        Err(GateErr::ShuttingDown) => {
+            Err(err("shutting_down", "server is draining; no new requests"))
+        }
+    }
+}
+
 /// Gate + execute an admitted program; shared by `run` and `query`.
 fn execute_admitted(
     shared: &Shared,
@@ -705,26 +741,9 @@ fn execute_admitted(
     response: J,
 ) -> J {
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let _permit = match shared.gate.acquire(report.peak, deadline, &shared.shutdown) {
+    let _permit = match acquire_permit(shared, report.peak, deadline) {
         Ok(p) => p,
-        Err(GateErr::QueueFull) => {
-            trace::add("serve.queue_reject", 1);
-            return err_with(
-                "queue_full",
-                "admission queue is full; retry later",
-                vec![(
-                    "queue_depth".to_string(),
-                    J::u64(shared.cfg.queue_depth as u64),
-                )],
-            );
-        }
-        Err(GateErr::Deadline) => {
-            trace::add("serve.deadline_cancel", 1);
-            return err("deadline", "deadline expired while queued for capacity");
-        }
-        Err(GateErr::ShuttingDown) => {
-            return err("shutting_down", "server is draining; no new requests")
-        }
+        Err(e) => return e,
     };
     let cancel = match deadline {
         Some(d) => CancelToken::with_deadline(d),
@@ -748,7 +767,45 @@ fn execute_admitted(
             );
         }
     };
-    render_outcome(shared, r, &out, want_tsv, ledger, response)
+    render_outcome(
+        shared,
+        r,
+        &out.result,
+        &out.ledger,
+        want_tsv,
+        ledger,
+        response,
+    )
+}
+
+/// Gate + execute a query on the worst-case-optimal executor. The gate
+/// cost is the AGM bound — the certified output bound for generic join.
+/// The deadline still bounds the queue wait, but a WCOJ execution is not
+/// cancellable mid-join (there is no per-statement boundary to observe a
+/// token at).
+fn execute_wcoj(
+    shared: &Shared,
+    r: &Resolved,
+    gate_cost: u64,
+    deadline_ms: Option<u64>,
+    want_tsv: bool,
+    ledger: &mut SessionLedger,
+    response: J,
+) -> J {
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let _permit = match acquire_permit(shared, gate_cost, deadline) {
+        Ok(p) => p,
+        Err(e) => return e,
+    };
+    trace::add("serve.run", 1);
+    trace::add("serve.wcoj_run", 1);
+    let result = wcoj_join(&r.scheme, &r.db, Some(&shared.cache));
+    let mut cost = CostLedger::new();
+    for (i, rel) in r.db.relations().iter().enumerate() {
+        cost.charge_input(format!("input {i}"), rel.len());
+    }
+    cost.charge_generated("wcoj join", result.len());
+    render_outcome(shared, r, &result, &cost, want_tsv, ledger, response)
 }
 
 /// Build the success payload for an executed request: result size (and
@@ -756,28 +813,29 @@ fn execute_admitted(
 fn render_outcome(
     shared: &Shared,
     r: &Resolved,
-    out: &ExecOutcome,
+    result: &Relation,
+    cost: &CostLedger,
     want_tsv: bool,
     ledger: &mut SessionLedger,
     response: J,
 ) -> J {
     ledger.requests += 1;
-    ledger.inputs += out.ledger.input_total();
-    ledger.generated += out.ledger.generated_total();
+    ledger.inputs += cost.input_total();
+    ledger.generated += cost.generated_total();
     let mut resp = response
-        .set("rows", J::u64(out.result.len() as u64))
+        .set("rows", J::u64(result.len() as u64))
         .set(
             "ledger",
             J::obj()
-                .set("inputs", J::u64(out.ledger.input_total()))
-                .set("generated", J::u64(out.ledger.generated_total()))
-                .set("total", J::u64(out.ledger.total()))
+                .set("inputs", J::u64(cost.input_total()))
+                .set("generated", J::u64(cost.generated_total()))
+                .set("total", J::u64(cost.total()))
                 .set("session_total", J::u64(ledger.inputs + ledger.generated)),
         )
         .set("cache", cache_stats(shared));
     if want_tsv {
         let mut buf = Vec::new();
-        match tsv::relation_to_tsv_writer(&r.catalog, &out.result, &mut buf) {
+        match tsv::relation_to_tsv_writer(&r.catalog, result, &mut buf) {
             Ok(()) => {
                 resp = resp.set(
                     "tsv",
@@ -837,14 +895,20 @@ fn handle_run(
     execute_admitted(shared, &r, &report, deadline_ms, want_tsv, ledger, resp)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_query(
     shared: &Shared,
     catalog: &str,
     optimizer: Option<&str>,
+    executor: Option<&str>,
     deadline_ms: Option<u64>,
     want_tsv: bool,
     ledger: &mut SessionLedger,
 ) -> J {
+    let requested = match ExecutorKind::parse(executor.unwrap_or("program")) {
+        Ok(k) => k,
+        Err(e) => return err("protocol", e),
+    };
     // Snapshot the catalog entry (relation `Arc` clones + the interner),
     // then release the lock: the tree search below can be exponential
     // (`dp` over SearchSpace::All) and must not stall every other
@@ -904,9 +968,23 @@ fn handle_query(
         db,
         catalog: catalog_snapshot,
     };
-    let report = match admit(shared, &r) {
-        Ok(rep) => rep,
+    // AGM bound of the whole scheme vs the derived program's Theorem-2
+    // certificate — computed for every query so the response always
+    // reports both sides of the executor decision.
+    let sel = match selection_for(&r) {
+        Ok(s) => s,
         Err(e) => return e,
+    };
+    let chosen = match requested {
+        ExecutorKind::Program => ExecutorKind::Program,
+        ExecutorKind::Wcoj => ExecutorKind::Wcoj,
+        ExecutorKind::Auto => {
+            if sel.use_wcoj {
+                ExecutorKind::Wcoj
+            } else {
+                ExecutorKind::Program
+            }
+        }
     };
     let resp = ok("query")
         .set("catalog", J::str(catalog))
@@ -915,8 +993,53 @@ fn handle_query(
             "program",
             J::Str(display::render(&r.program, &r.scheme, &r.catalog)),
         )
-        .set("certified_peak", J::u64(report.peak));
-    execute_admitted(shared, &r, &report, deadline_ms, want_tsv, ledger, resp)
+        .set("executor", J::str(chosen.name()))
+        .set("agm_bound", J::u64(sel.agm_bound))
+        .set("cert_bound", J::u64(sel.cert_bound));
+    if chosen == ExecutorKind::Wcoj {
+        // Admission for generic join: its certified output bound is the
+        // AGM bound, so that (not the program certificate) gates it.
+        if let Some(budget) = shared.cfg.max_cost {
+            if sel.agm_bound > budget {
+                trace::add("serve.admission_reject", 1);
+                return err_with(
+                    "admission",
+                    format!("AGM bound {} exceeds --max-cost {budget}", sel.agm_bound),
+                    vec![
+                        ("bound".to_string(), J::u64(sel.agm_bound)),
+                        ("budget".to_string(), J::u64(budget)),
+                    ],
+                );
+            }
+        }
+        let resp = resp.set("certified_peak", J::u64(sel.agm_bound));
+        execute_wcoj(
+            shared,
+            &r,
+            sel.agm_bound,
+            deadline_ms,
+            want_tsv,
+            ledger,
+            resp,
+        )
+    } else {
+        let report = match admit(shared, &r) {
+            Ok(rep) => rep,
+            Err(e) => return e,
+        };
+        let resp = resp.set("certified_peak", J::u64(report.peak));
+        execute_admitted(shared, &r, &report, deadline_ms, want_tsv, ledger, resp)
+    }
+}
+
+/// Compute the executor selection for a resolved query: the scheme's AGM
+/// bound against the derived program's Theorem-2 certificate.
+fn selection_for(r: &Resolved) -> Result<Selection, J> {
+    let cx = AnalysisCx::new(&r.program, &r.scheme, &r.catalog)
+        .map_err(|e| err("data", e.to_string()))?;
+    let cert = Certificate::compute(&cx);
+    let sizes: Vec<u64> = r.db.relations().iter().map(|x| x.len() as u64).collect();
+    Ok(select(&r.scheme, &sizes, &cert))
 }
 
 fn handle_explain(
@@ -959,6 +1082,17 @@ fn handle_explain(
         .set("peak", J::u64(report.peak));
     if let Some(p) = report.peak_stmt {
         resp = resp.set("peak_stmt", J::u64(p as u64));
+    }
+    // Executor hint: which backend `query --executor auto` would pick for
+    // this scheme and these cardinalities.
+    if let Ok(sel) = selection_for(&r) {
+        resp = resp
+            .set("agm_bound", J::u64(sel.agm_bound))
+            .set("cert_bound", J::u64(sel.cert_bound))
+            .set(
+                "executor_hint",
+                J::str(if sel.use_wcoj { "wcoj" } else { "program" }),
+            );
     }
     if let Some(budget) = shared.cfg.max_cost {
         resp = resp

@@ -1,0 +1,114 @@
+//! The server's `query` command with an `executor` field: `program`,
+//! `wcoj`, and `auto` return the same answer set on a cyclic scheme, the
+//! response reports both sides of the AGM-vs-certificate decision, and a
+//! bad executor name is a protocol error.
+
+use mjoin_serve::{Client, ServeConfig, Server, Value};
+
+/// Triangle AB–BC–CA: cyclic, so every binary join program pays more than
+/// the AGM bound and `auto` must route to the worst-case-optimal backend.
+fn triangle_tsvs() -> Vec<String> {
+    let e1 = "A\tB\n1\t2\n1\t3\n4\t5\n".to_string();
+    let e2 = "B\tC\n2\t7\n3\t7\n3\t8\n5\t6\n".to_string();
+    let e3 = "C\tA\n7\t1\n8\t1\n6\t4\n".to_string();
+    vec![e1, e2, e3]
+}
+
+fn load_fixture(c: &mut Client, catalog: &str) {
+    for (i, t) in triangle_tsvs().iter().enumerate() {
+        let resp = c
+            .cmd(
+                "load",
+                &[
+                    ("catalog", Value::str(catalog)),
+                    ("name", Value::str(format!("e{i}"))),
+                    ("tsv", Value::str(t.as_str())),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "load failed: {}",
+            resp.render()
+        );
+    }
+}
+
+/// Run `query` with the given executor and return the response.
+fn query(c: &mut Client, catalog: &str, executor: &str) -> Value {
+    c.cmd(
+        "query",
+        &[
+            ("catalog", Value::str(catalog)),
+            ("executor", Value::str(executor)),
+        ],
+    )
+    .unwrap()
+}
+
+fn sorted_lines(tsv: &str) -> Vec<&str> {
+    let mut lines: Vec<&str> = tsv.lines().collect();
+    lines.sort_unstable();
+    lines
+}
+
+#[test]
+fn executors_agree_and_auto_reports_its_decision() {
+    let server = Server::bind(ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut c = Client::connect(addr).unwrap();
+    load_fixture(&mut c, "tri");
+
+    let mut answers = Vec::new();
+    for executor in ["program", "wcoj", "auto"] {
+        let resp = query(&mut c, "tri", executor);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "query --executor {executor} failed: {}",
+            resp.render()
+        );
+        let agm = resp.get("agm_bound").and_then(Value::as_u64).unwrap();
+        let cert = resp.get("cert_bound").and_then(Value::as_u64).unwrap();
+        let chosen = resp.get("executor").and_then(Value::as_str).unwrap();
+        match executor {
+            "program" => assert_eq!(chosen, "program"),
+            "wcoj" => assert_eq!(chosen, "wcoj"),
+            // Cyclic triangle: AGM (N^1.5) undercuts every binary
+            // program's certificate, so `auto` must route to wcoj.
+            _ => {
+                assert!(agm < cert, "triangle: AGM {agm} must undercut cert {cert}");
+                assert_eq!(chosen, "wcoj");
+            }
+        }
+        let tsv = resp.get("tsv").and_then(Value::as_str).unwrap().to_string();
+        answers.push(tsv);
+    }
+    assert_eq!(
+        sorted_lines(&answers[0]),
+        sorted_lines(&answers[1]),
+        "program and wcoj answers differ"
+    );
+    assert_eq!(
+        sorted_lines(&answers[1]),
+        sorted_lines(&answers[2]),
+        "wcoj and auto answers differ"
+    );
+    assert_eq!(sorted_lines(&answers[0]).len(), 5, "header + 4 triangles");
+
+    // An unknown executor is a protocol error, mirroring the CLI parser.
+    let bad = query(&mut c, "tri", "bogus");
+    assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+    let kind = bad
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Value::as_str);
+    assert_eq!(kind, Some("protocol"));
+
+    let bye = c.cmd("shutdown", &[]).unwrap();
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap().unwrap();
+}

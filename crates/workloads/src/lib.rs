@@ -8,17 +8,23 @@
 //! * [`schemes`]: chain / cycle / star / clique / grid / random connected
 //!   scheme generators;
 //! * [`datagen`]: random databases with a planted witness (`⋈D ≠ ∅`, as
-//!   Theorem 2 requires).
+//!   Theorem 2 requires);
+//! * [`HubGraph`]: binary cyclic queries (triangles, cycles, cliques)
+//!   over hub-patterned data where every pairwise join is `Θ(m²)` but the
+//!   full join is `Θ(m)` — the separation the worst-case-optimal executor
+//!   exploits.
 
 #![warn(missing_docs)]
 
 pub mod cycle_gap;
 pub mod datagen;
 pub mod example3;
+pub mod hub;
 pub mod schemes;
 pub mod star_schema;
 
 pub use cycle_gap::CycleGap;
 pub use datagen::{random_database, DataGenConfig};
 pub use example3::Example3;
+pub use hub::HubGraph;
 pub use star_schema::{star_schema, StarSchemaConfig};

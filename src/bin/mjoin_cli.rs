@@ -6,7 +6,7 @@
 //! mjoin_cli run      [--optimizer X] R1.tsv …   # execute, TSV on stdout
 //! mjoin_cli check    [--scheme AB,BC] [--deny warn] [--format json] P.mj
 //! mjoin_cli audit    [--deny error] [--format json] P.mj <data.tsv…|data dir>
-//! mjoin_cli query "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …   # conjunctive query
+//! mjoin_cli query [--executor program|wcoj|auto] "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …
 //! mjoin_cli datalog "t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)." E.tsv …
 //! mjoin_cli serve   [--addr 127.0.0.1:7878] [--max-cost N] [--threads N]
 //! mjoin_cli client  [--addr 127.0.0.1:7878]   # requests on stdin, one per line
@@ -56,6 +56,11 @@ use std::process::ExitCode;
 struct Args {
     command: String,
     optimizer: String,
+    /// `query`: which join executor runs each connected component —
+    /// `program` (the paper's §2.2 pipeline, default), `wcoj`
+    /// (worst-case-optimal generic join), or `auto` (AGM bound vs the
+    /// program's Theorem-2 certificate, per component).
+    executor: String,
     explain: bool,
     /// `check`: comma-separated relation schemes, e.g. `AB,BC,CD`.
     scheme: Option<String>,
@@ -68,7 +73,7 @@ struct Args {
     verify_run: bool,
     /// `serve`/`client`: TCP address to listen on / connect to.
     addr: String,
-    /// `serve`: worker threads per request.
+    /// `serve`/`query`: worker threads per request / per component.
     threads: usize,
     /// `serve`: admission budget — reject requests whose certified
     /// per-statement bound exceeds this.
@@ -93,6 +98,7 @@ fn parse_args() -> Result<Parsed, String> {
         return Ok(Parsed::Help);
     }
     let mut optimizer = "greedy".to_string();
+    let mut executor = "program".to_string();
     let mut explain = false;
     let mut scheme = None;
     let mut deny = "error".to_string();
@@ -114,6 +120,10 @@ fn parse_args() -> Result<Parsed, String> {
             optimizer = argv.next().ok_or("--optimizer needs a value")?;
         } else if let Some(rest) = arg.strip_prefix("--optimizer=") {
             optimizer = rest.to_string();
+        } else if arg == "--executor" {
+            executor = argv.next().ok_or("--executor needs a value")?;
+        } else if let Some(rest) = arg.strip_prefix("--executor=") {
+            executor = rest.to_string();
         } else if arg == "--scheme" {
             scheme = Some(argv.next().ok_or("--scheme needs a value")?);
         } else if let Some(rest) = arg.strip_prefix("--scheme=") {
@@ -166,6 +176,7 @@ fn parse_args() -> Result<Parsed, String> {
     Ok(Parsed::Run(Box::new(Args {
         command,
         optimizer,
+        executor,
         explain,
         scheme,
         deny,
@@ -185,6 +196,9 @@ fn usage() -> String {
      \n\
      --optimizer        join-tree search: greedy (default) or exact DP over\n\
      \u{20}                  all / CPF / linear trees\n\
+     --executor         (query) per-component join executor: program\n\
+     \u{20}                  (default), wcoj (worst-case-optimal generic join),\n\
+     \u{20}                  or auto (pick by AGM bound vs Theorem-2 certificate)\n\
      --explain-analyze  print per-statement timings, operator strategies and\n\
      \u{20}                  schedule shape on stderr after execution\n\
      --scheme A,B,…     (check/audit) database scheme as comma-separated\n\
@@ -196,7 +210,7 @@ fn usage() -> String {
      \u{20}                  data and audit measured vs static cost bounds\n\
      --addr HOST:PORT   (serve/client) listen/connect address, default\n\
      \u{20}                  127.0.0.1:7878; port 0 picks a free port\n\
-     --threads N        (serve) worker threads per request (default 1)\n\
+     --threads N        (serve/query) worker threads per request (default 1)\n\
      --max-cost N       (serve) reject requests whose certified Theorem-2\n\
      \u{20}                  bound exceeds N tuples (default: no limit)\n\
      --queue-depth N    (serve) admission queue length (default 16)\n\
@@ -569,8 +583,24 @@ fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
     let ndb = load_named(files)?;
     let q = parse_query(query_text).map_err(|e| e.to_string())?;
     let strategy = plan_strategy(&args.optimizer)?;
-    let res = execute_query(&ndb, &q, strategy).map_err(|e| e.to_string())?;
+    let opts = ExecOptions {
+        executor: ExecutorKind::parse(&args.executor)?,
+        threads: args.threads,
+        cache: None,
+    };
+    let (res, decisions) =
+        execute_query_with(&ndb, &q, strategy, &opts).map_err(|e| e.to_string())?;
     eprintln!("{q}");
+    for d in &decisions {
+        match (d.agm_bound, d.cert_bound) {
+            (Some(agm), Some(cert)) => eprintln!(
+                "component {}: executor {} (AGM bound {agm} vs certificate bound {cert})",
+                d.component,
+                d.executor.name()
+            ),
+            _ => eprintln!("component {}: executor {}", d.component, d.executor.name()),
+        }
+    }
     eprintln!("{} answers, cost {} tuples", res.len(), res.ledger.total());
     // One locked, buffered writer for the whole dump instead of a flushing
     // `println!` per answer row.

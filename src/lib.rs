@@ -55,6 +55,7 @@ pub use mjoin_program as program;
 pub use mjoin_relation as relation;
 pub use mjoin_serve as serve;
 pub use mjoin_trace as trace;
+pub use mjoin_wcoj as wcoj;
 pub use mjoin_workloads as workloads;
 
 /// One-stop imports for examples and downstream users.
@@ -70,7 +71,8 @@ pub mod prelude {
         ChoicePolicy, Derivation, FirstChoice, PipelineRun, SeededChoice,
     };
     pub use mjoin_cq::{
-        evaluate_datalog, execute_query, parse_query, parse_rules, ConjunctiveQuery, NamedDatabase,
+        evaluate_datalog, execute_query, execute_query_with, parse_query, parse_rules,
+        ComponentDecision, ConjunctiveQuery, ExecOptions, ExecutorKind, NamedDatabase,
         PlanStrategy,
     };
     pub use mjoin_expr::{

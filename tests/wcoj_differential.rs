@@ -1,0 +1,225 @@
+//! Differential suite for the executor triad: the worst-case-optimal
+//! backend, the sequential program interpreter, and the parallel program
+//! interpreter (1/2/4/8 threads) must agree tuple-for-tuple on cyclic,
+//! acyclic, empty, and skewed inputs — with the naive fold-join as the
+//! reference — and `auto`'s reported bounds must always justify its pick:
+//! the selected executor is never the one whose stated bound is larger.
+
+use mjoin::cq::{
+    execute_query_naive, execute_query_with, parse_query, ComponentDecision, ExecOptions,
+    ExecutorKind, NamedDatabase, PlanStrategy,
+};
+use mjoin::relation::Relation;
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const EXECUTORS: [ExecutorKind; 3] = [
+    ExecutorKind::Program,
+    ExecutorKind::Wcoj,
+    ExecutorKind::Auto,
+];
+
+fn run(
+    db: &NamedDatabase,
+    query: &str,
+    executor: ExecutorKind,
+    threads: usize,
+) -> (Relation, Vec<ComponentDecision>) {
+    let q = parse_query(query).unwrap();
+    let opts = ExecOptions {
+        executor,
+        threads,
+        cache: None,
+    };
+    let (res, decisions) = execute_query_with(db, &q, PlanStrategy::Greedy, &opts).unwrap();
+    (res.relation, decisions)
+}
+
+/// Every executor × thread-count combination must reproduce the naive
+/// fold-join reference exactly.
+fn assert_all_agree(db: &NamedDatabase, query: &str) {
+    let q = parse_query(query).unwrap();
+    let expected = execute_query_naive(db, &q).unwrap();
+    for executor in EXECUTORS {
+        for threads in THREADS {
+            let (got, _) = run(db, query, executor, threads);
+            assert_eq!(
+                got,
+                expected,
+                "{query} diverged under {} at {threads} threads",
+                executor.name()
+            );
+        }
+    }
+}
+
+/// Hub-patterned triangle over named relations: `(0, v)` and `(u, 0)` rows
+/// make every pairwise join quadratic while the cyclic output stays linear
+/// — maximal skew, the WCOJ backend's home terrain.
+fn hub_triangle(m: i64) -> NamedDatabase {
+    let mut rows: Vec<Vec<i64>> = Vec::new();
+    for v in 0..=m {
+        rows.push(vec![0, v]);
+    }
+    for u in 1..=m {
+        rows.push(vec![u, 0]);
+    }
+    let slices: Vec<&[i64]> = rows.iter().map(std::vec::Vec::as_slice).collect();
+    let mut db = NamedDatabase::new();
+    db.add_relation("r", &["a", "b"], &slices).unwrap();
+    db.add_relation("s", &["b", "c"], &slices).unwrap();
+    db.add_relation("t", &["c", "a"], &slices).unwrap();
+    db
+}
+
+const TRIANGLE: &str = "Q(x, y, z) :- r(x, y), s(y, z), t(z, x).";
+
+#[test]
+fn executors_agree_on_the_skewed_cyclic_triangle() {
+    assert_all_agree(&hub_triangle(25), TRIANGLE);
+}
+
+#[test]
+fn executors_agree_on_an_acyclic_chain() {
+    let mut db = NamedDatabase::new();
+    db.add_relation("r", &["a", "b"], &[&[1, 10], &[2, 10], &[3, 11], &[3, 12]])
+        .unwrap();
+    db.add_relation("s", &["b", "c"], &[&[10, 20], &[11, 21], &[12, 22]])
+        .unwrap();
+    db.add_relation("t", &["c", "d"], &[&[20, 5], &[21, 5], &[22, 6]])
+        .unwrap();
+    assert_all_agree(&db, "Q(a, d) :- r(a, b), s(b, c), t(c, d).");
+}
+
+#[test]
+fn executors_agree_when_one_relation_is_empty() {
+    let mut db = hub_triangle(10);
+    db.add_relation("z", &["b", "c"], &[]).unwrap();
+    // The empty atom annihilates the whole (connected) join.
+    assert_all_agree(&db, "Q(x, y, z) :- r(x, y), z(y, z), t(z, x).");
+}
+
+#[test]
+fn executors_agree_across_disconnected_components() {
+    let mut db = hub_triangle(8);
+    db.add_relation("u", &["p", "q"], &[&[1, 2], &[3, 4]])
+        .unwrap();
+    // Two components: the cyclic triangle and an independent edge — the
+    // per-component decisions may differ, the cross product must not.
+    assert_all_agree(&db, "Q(x, p) :- r(x, y), s(y, z), t(z, x), u(p, q).");
+}
+
+#[test]
+fn auto_routes_the_triangle_to_wcoj_with_justifying_bounds() {
+    let db = hub_triangle(25);
+    let (_, decisions) = run(&db, TRIANGLE, ExecutorKind::Auto, 1);
+    assert_eq!(decisions.len(), 1);
+    let d = &decisions[0];
+    assert_eq!(d.executor, ExecutorKind::Wcoj);
+    let (agm, cert) = (d.agm_bound.unwrap(), d.cert_bound.unwrap());
+    assert!(
+        agm < cert,
+        "wcoj selected but AGM {agm} does not undercut certificate {cert}"
+    );
+}
+
+#[test]
+fn auto_keeps_the_program_engine_on_a_tie() {
+    let mut db = NamedDatabase::new();
+    db.add_relation("r", &["a", "b"], &[&[1, 2], &[2, 2]])
+        .unwrap();
+    db.add_relation("s", &["b", "c"], &[&[2, 3], &[2, 4]])
+        .unwrap();
+    // A single binary join: the final statement's certificate IS the AGM
+    // bound of the whole component, so the bounds tie and the tie keeps
+    // the program engine.
+    let (_, decisions) = run(&db, "Q(a, c) :- r(a, b), s(b, c).", ExecutorKind::Auto, 1);
+    assert_eq!(decisions.len(), 1);
+    let d = &decisions[0];
+    assert_eq!(d.executor, ExecutorKind::Program);
+    assert_eq!(d.agm_bound, d.cert_bound);
+}
+
+/// `auto` may only pick an executor whose stated bound is the smaller
+/// side: WCOJ needs a strict AGM win, the program engine keeps ties.
+fn assert_decisions_justified(decisions: &[ComponentDecision], ctx: &str) {
+    for d in decisions {
+        let (Some(agm), Some(cert)) = (d.agm_bound, d.cert_bound) else {
+            continue;
+        };
+        match d.executor {
+            ExecutorKind::Wcoj => assert!(
+                agm < cert,
+                "{ctx}: component {} ran wcoj with AGM {agm} >= certificate {cert}",
+                d.component
+            ),
+            ExecutorKind::Program => assert!(
+                agm >= cert,
+                "{ctx}: component {} kept the program with AGM {agm} < certificate {cert}",
+                d.component
+            ),
+            ExecutorKind::Auto => panic!("{ctx}: a decision must name a concrete executor"),
+        }
+    }
+}
+
+/// Random edge + label relations, as in the cq property suite.
+fn db_strategy() -> impl Strategy<Value = NamedDatabase> {
+    (
+        prop::collection::vec((0i64..8, 0i64..8), 1..40),
+        prop::collection::vec((0i64..8, 0i64..3), 1..12),
+    )
+        .prop_map(|(edges, labels)| {
+            let mut db = NamedDatabase::new();
+            let erefs: Vec<Vec<i64>> = edges.iter().map(|&(a, b)| vec![a, b]).collect();
+            let eslice: Vec<&[i64]> = erefs.iter().map(std::vec::Vec::as_slice).collect();
+            db.add_relation("e", &["s", "d"], &eslice).unwrap();
+            let lrefs: Vec<Vec<i64>> = labels.iter().map(|&(n, t)| vec![n, t]).collect();
+            let lslice: Vec<&[i64]> = lrefs.iter().map(std::vec::Vec::as_slice).collect();
+            db.add_relation("l", &["n", "t"], &lslice).unwrap();
+            db
+        })
+}
+
+const QUERIES: &[&str] = &[
+    "Q(x, z) :- e(x, y), e(y, z).",
+    "Q(x, y, z) :- e(x, y), e(y, z), e(z, x).",
+    "Q(a, b, c, d) :- e(a, b), e(b, c), e(c, d), e(d, a).",
+    "Q(a, d) :- e(a, b), e(b, c), e(c, d).",
+    "Q(x, t) :- e(x, y), l(y, t).",
+    "Q(x) :- e(x, y), l(y, 1).",
+    "Q(x, w) :- e(x, y), e(z, w), l(y, 0), l(z, 0).",
+    "Q(a, c) :- e(a, b), e(b, c), e(a, c).",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_executors_match_the_naive_reference(
+        db in db_strategy(),
+        qidx in 0usize..QUERIES.len(),
+    ) {
+        let q = parse_query(QUERIES[qidx]).unwrap();
+        let expected = execute_query_naive(&db, &q).unwrap();
+        for executor in EXECUTORS {
+            for threads in [1usize, 4] {
+                let (got, _) = run(&db, QUERIES[qidx], executor, threads);
+                prop_assert_eq!(
+                    &got, &expected,
+                    "query {} under {} at {} threads",
+                    QUERIES[qidx], executor.name(), threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_never_selects_the_larger_bound(
+        db in db_strategy(),
+        qidx in 0usize..QUERIES.len(),
+    ) {
+        let (_, decisions) = run(&db, QUERIES[qidx], ExecutorKind::Auto, 1);
+        assert_decisions_justified(&decisions, QUERIES[qidx]);
+    }
+}
