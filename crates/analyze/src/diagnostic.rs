@@ -168,21 +168,11 @@ impl Report {
     }
 }
 
-/// Append `s` to `out` as a JSON string literal.
+/// Append `s` to `out` as a JSON string literal (the workspace-shared
+/// escaper — the server's wire protocol uses the same one, so escaping
+/// rules cannot drift between the two renderers).
 fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    mjoin_relation::json::string_into(s, out);
 }
 
 #[cfg(test)]

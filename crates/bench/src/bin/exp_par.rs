@@ -25,7 +25,7 @@ use mjoin_program::{
     execute_parallel, execute_with, schedule, ExecConfig, Program, ProgramBuilder, Reg,
 };
 use mjoin_relation::ops::{set_layout, Layout};
-use mjoin_relation::{Catalog, Database};
+use mjoin_relation::{json, Catalog, Database};
 use mjoin_workloads::{star_schema, CycleGap, Example3, StarSchemaConfig};
 use std::time::Instant;
 
@@ -539,10 +539,6 @@ fn measure(w: &Workload) -> Measurement {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Measurement]) {
     let mut j = String::new();
     j.push_str("{\n");
@@ -560,7 +556,7 @@ fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Me
     j.push_str("  \"workloads\": [\n");
     for (i, m) in ms.iter().enumerate() {
         j.push_str("    {\n");
-        j.push_str(&format!("      \"name\": \"{}\",\n", json_escape(m.name)));
+        j.push_str(&format!("      \"name\": {},\n", json::string(m.name)));
         j.push_str(&format!("      \"relations\": {},\n", m.relations));
         j.push_str(&format!("      \"input_tuples\": {},\n", m.input_tuples));
         j.push_str(&format!("      \"result_tuples\": {},\n", m.result_tuples));
@@ -649,8 +645,8 @@ fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Me
             .iter()
             .map(|(k, calls, total_ms)| {
                 format!(
-                    "\"{}\": {{\"calls\": {calls}, \"total_ms\": {total_ms:.3}}}",
-                    json_escape(k)
+                    "{}: {{\"calls\": {calls}, \"total_ms\": {total_ms:.3}}}",
+                    json::string(k)
                 )
             })
             .collect();
@@ -660,7 +656,7 @@ fn write_json(path: &str, pool_threads: usize, host_parallelism: usize, ms: &[Me
         let cells: Vec<String> = m
             .trace_counters
             .iter()
-            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .map(|(k, v)| format!("{}: {v}", json::string(k)))
             .collect();
         j.push_str(&cells.join(", "));
         j.push_str("}\n");

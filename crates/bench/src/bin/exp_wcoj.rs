@@ -38,7 +38,7 @@ use mjoin_expr::JoinTree;
 use mjoin_hypergraph::DbScheme;
 use mjoin_optimizer::{greedy, optimize, EstimateOracle, SearchSpace};
 use mjoin_program::{execute_parallel, Program};
-use mjoin_relation::{Catalog, Database};
+use mjoin_relation::{json, Catalog, Database};
 use mjoin_wcoj::{select, wcoj_join, Selection};
 use mjoin_workloads::HubGraph;
 use std::time::Instant;
@@ -230,10 +230,6 @@ fn measure(w: &Workload) -> Measurement {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn write_json(path: &str, host_parallelism: usize, ms: &[Measurement]) {
     let mut j = String::new();
     j.push_str("{\n");
@@ -247,7 +243,7 @@ fn write_json(path: &str, host_parallelism: usize, ms: &[Measurement]) {
     j.push_str("  \"workloads\": [\n");
     for (i, m) in ms.iter().enumerate() {
         j.push_str("    {\n");
-        j.push_str(&format!("      \"name\": \"{}\",\n", json_escape(m.name)));
+        j.push_str(&format!("      \"name\": {},\n", json::string(m.name)));
         j.push_str(&format!("      \"relations\": {},\n", m.relations));
         j.push_str(&format!("      \"input_tuples\": {},\n", m.input_tuples));
         j.push_str(&format!("      \"output_tuples\": {},\n", m.output_tuples));
@@ -283,7 +279,7 @@ fn write_json(path: &str, host_parallelism: usize, ms: &[Measurement]) {
         let cells: Vec<String> = m
             .wcoj_counters
             .iter()
-            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .map(|(k, v)| format!("{}: {v}", json::string(k)))
             .collect();
         j.push_str(&cells.join(", "));
         j.push_str("}\n");

@@ -14,12 +14,13 @@
 //! 4. **Projection** — the full join is projected onto the head variables.
 
 use crate::ast::{Atom, ConjunctiveQuery, Term};
+use crate::minimize::{differential_validate, minimize};
 use crate::storage::NamedDatabase;
 use mjoin_analyze::{AnalysisCx, Certificate};
 use mjoin_core::{derive, run_pipeline, run_pipeline_parallel, FirstChoice};
 use mjoin_expr::JoinTree;
 use mjoin_hypergraph::{agm_ln, bound_u64, DbScheme};
-use mjoin_optimizer::{greedy, optimize, ExactOracle, SearchSpace};
+use mjoin_optimizer::{greedy, optimize, EstimateOracle, SearchSpace};
 use mjoin_program::SharedIndexCache;
 use mjoin_relation::{
     ops, AttrId, Catalog, CostLedger, Database, Error, Relation, Result, Row, Schema, Value,
@@ -41,10 +42,10 @@ pub enum PlanStrategy {
 }
 
 /// Execution knobs beyond the planning strategy: which executor runs each
-/// component, how many threads a program execution may use, and an optional
+/// component, how many threads a program execution may use, an optional
 /// shared index cache (the resident server's — hash indices and sorted
-/// tries both live in it).
-#[derive(Debug, Clone, Default)]
+/// tries both live in it), and whether to core-minimize the query first.
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Executor choice ([`ExecutorKind::Program`] is the default; `Auto`
     /// compares bounds per component).
@@ -54,6 +55,39 @@ pub struct ExecOptions {
     /// Shared index cache for trie views (WCOJ path). `None` builds
     /// per-query throwaway tries.
     pub cache: Option<SharedIndexCache>,
+    /// Core-minimize the query before binding (**on** by default; the
+    /// `--minimize=off` opt-out). Rewrites are applied only under a
+    /// verified two-way homomorphism proof plus differential execution
+    /// against the unminimized query on generated databases.
+    pub minimize: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            executor: ExecutorKind::default(),
+            threads: 0,
+            cache: None,
+            minimize: true,
+        }
+    }
+}
+
+/// What core minimization did to a query, with the hypergraph bounds it
+/// moved: AGM fractional-cover bounds of the query's join hypergraph
+/// (stored relation sizes, constants not yet applied) before and after.
+#[derive(Debug, Clone)]
+pub struct MinimizeSummary {
+    /// Body atoms before minimization.
+    pub atoms_before: usize,
+    /// Body atoms in the compiled core.
+    pub atoms_after: usize,
+    /// The dropped atoms, rendered.
+    pub dropped: Vec<String>,
+    /// AGM bound of the original query's hypergraph.
+    pub agm_before: u64,
+    /// AGM bound of the core's hypergraph (equal when nothing dropped).
+    pub agm_after: u64,
 }
 
 /// How one connected component of a query was executed, with the bounds
@@ -83,6 +117,9 @@ pub struct QueryResult {
     pub catalog: Catalog,
     /// Total §2.3 cost across binding, programs, and projection.
     pub ledger: CostLedger,
+    /// What minimization did (`None` when it was skipped — opted out,
+    /// single-atom body, or unresolvable predicates).
+    pub minimize: Option<MinimizeSummary>,
 }
 
 impl QueryResult {
@@ -209,6 +246,15 @@ pub fn execute_query_with(
     if !query.is_safe() {
         return Err(Error::Parse("unsafe query".to_string()));
     }
+
+    // Stage 0: core minimization (opt-out). Only attempted when every
+    // predicate resolves (so unknown-relation/arity errors surface exactly
+    // as they would unminimized), and only applied under a verified two-way
+    // homomorphism proof *plus* differential execution of original vs core
+    // on small generated databases.
+    let (core, min_summary) = minimize_for_compile(ndb, query, opts);
+    let query = core.as_ref().unwrap_or(query);
+
     let mut qcat = Catalog::new();
     let mut ledger = CostLedger::new();
     let mut decisions: Vec<ComponentDecision> = Vec::new();
@@ -246,6 +292,7 @@ pub fn execute_query_with(
                 head_attrs,
                 catalog: qcat,
                 ledger,
+                minimize: min_summary,
             },
             decisions,
         ));
@@ -258,6 +305,7 @@ pub fn execute_query_with(
                 head_attrs,
                 catalog: qcat,
                 ledger,
+                minimize: min_summary,
             },
             decisions,
         ));
@@ -300,9 +348,95 @@ pub fn execute_query_with(
             head_attrs,
             catalog: qcat,
             ledger,
+            minimize: min_summary,
         },
         decisions,
     ))
+}
+
+/// Differential-validation budget: beyond this many body atoms, the naive
+/// validator could get expensive, so compile trusts the (already verified)
+/// homomorphism proof alone.
+const DIFF_VALIDATE_MAX_ATOMS: usize = 8;
+
+/// Stage 0 of [`execute_query_with`]: compute the core and decide whether to
+/// compile it. Returns the replacement query (if any) and the summary for
+/// the result (if minimization ran at all).
+fn minimize_for_compile(
+    ndb: &NamedDatabase,
+    query: &ConjunctiveQuery,
+    opts: &ExecOptions,
+) -> (Option<ConjunctiveQuery>, Option<MinimizeSummary>) {
+    let resolvable = query.body.iter().all(|atom| {
+        ndb.get(&atom.predicate)
+            .is_some_and(|s| s.columns.len() == atom.terms.len())
+    });
+    if !opts.minimize || query.body.len() < 2 || !resolvable {
+        return (None, None);
+    }
+    let m = minimize(query);
+    if !m.proof.verified {
+        return (None, None);
+    }
+    if m.proof.dropped.is_empty() {
+        let agm = query_agm_bound(ndb, &query.body);
+        return (
+            None,
+            Some(MinimizeSummary {
+                atoms_before: query.body.len(),
+                atoms_after: query.body.len(),
+                dropped: Vec::new(),
+                agm_before: agm,
+                agm_after: agm,
+            }),
+        );
+    }
+    // Dynamic check on top of the static proof; a failure (which a verified
+    // proof rules out, but the check is cheap insurance) rejects the rewrite.
+    if query.body.len() <= DIFF_VALIDATE_MAX_ATOMS
+        && differential_validate(query, &m.core, 0x517c_c1b7_2722_0a95, 2).is_err()
+    {
+        return (None, None);
+    }
+    let summary = MinimizeSummary {
+        atoms_before: query.body.len(),
+        atoms_after: m.core.body.len(),
+        dropped: m
+            .proof
+            .dropped
+            .iter()
+            .map(|&i| query.body[i].to_string())
+            .collect(),
+        agm_before: query_agm_bound(ndb, &query.body),
+        agm_after: query_agm_bound(ndb, &m.core.body),
+    };
+    (Some(m.core), Some(summary))
+}
+
+/// AGM fractional-cover bound of a query's join hypergraph, evaluated with
+/// *stored* relation sizes (before constant selection): one hyperedge per
+/// atom with at least one variable, weighted by its relation's cardinality.
+/// All-constant atoms contribute nothing; a body with no variables bounds
+/// at 1 (the nullary unit).
+pub fn query_agm_bound(ndb: &NamedDatabase, body: &[Atom]) -> u64 {
+    let mut cat = Catalog::new();
+    let mut schemas: Vec<Schema> = Vec::new();
+    let mut sizes: Vec<u64> = Vec::new();
+    for atom in body {
+        let vars = atom.variables();
+        if vars.is_empty() {
+            continue;
+        }
+        let attrs: Vec<AttrId> = vars.iter().map(|v| cat.intern(v)).collect();
+        schemas.push(Schema::new(attrs));
+        let size = ndb.get(&atom.predicate).map_or(0, |s| s.relation.len());
+        sizes.push(size as u64);
+    }
+    if schemas.is_empty() {
+        return 1;
+    }
+    let scheme = DbScheme::from_schemas(&schemas);
+    bound_u64(agm_ln(&scheme, scheme.all(), &sizes))
 }
 
 /// Run one multi-relation component on the executor `opts` calls for.
@@ -422,7 +556,12 @@ pub fn execute_query_naive(ndb: &NamedDatabase, query: &ConjunctiveQuery) -> Res
 }
 
 fn pick_tree(scheme: &DbScheme, db: &Database, strategy: PlanStrategy) -> Result<JoinTree> {
-    let mut oracle = ExactOracle::new(db);
+    // Estimation-based tree search (the same call the server's query path
+    // makes): the exact oracle would *materialize* every candidate subjoin
+    // it ranks — including the Cartesian pairs the greedy scan probes —
+    // which on queries with repeated predicates costs more than the join
+    // being planned.
+    let mut oracle = EstimateOracle::new(scheme, db);
     let tree = match strategy {
         PlanStrategy::Greedy => greedy(scheme, &mut oracle, true).0,
         PlanStrategy::DpOptimal => {

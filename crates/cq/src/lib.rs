@@ -13,15 +13,21 @@
 pub mod ast;
 pub mod compile;
 pub mod datalog;
+pub mod hom;
+pub mod minimize;
 pub mod parse;
+pub mod query_lints;
 pub mod storage;
 
 pub use ast::{Atom, ConjunctiveQuery, Term};
 pub use compile::{
-    execute_query, execute_query_naive, execute_query_with, ComponentDecision, ExecOptions,
-    PlanStrategy, QueryResult,
+    execute_query, execute_query_naive, execute_query_with, query_agm_bound, ComponentDecision,
+    ExecOptions, MinimizeSummary, PlanStrategy, QueryResult,
 };
 pub use datalog::{evaluate_datalog, parse_rules, DatalogResult};
+pub use hom::{contains, equivalent, homomorphism, Hom};
+pub use minimize::{differential_validate, minimize, MinimizeProof, Minimized};
 pub use mjoin_wcoj::ExecutorKind;
 pub use parse::parse_query;
+pub use query_lints::{lint_query, lint_rules};
 pub use storage::{NamedDatabase, StoredRelation};

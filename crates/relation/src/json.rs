@@ -1,0 +1,74 @@
+//! JSON string escaping, shared by every hand-rolled renderer.
+//!
+//! The workspace is offline (no serde), so several crates render JSON by
+//! hand: the analyzer's diagnostic reports, the server's wire protocol, the
+//! experiment harness. They must all escape strings *identically* — a
+//! renderer that misses a control character produces output another
+//! component cannot parse back — so the escaping lives here, in the one
+//! crate they all already depend on.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (quotes included).
+///
+/// Escapes `"`, `\`, the common control shorthands (`\n`, `\r`, `\t`), and
+/// every remaining control character as `\u00XX`. Everything else — UTF-8
+/// included — passes through verbatim, which every JSON parser accepts.
+pub fn string_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as an owned JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    string_into(s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_are_quoted_verbatim() {
+        assert_eq!(string("hello"), "\"hello\"");
+        assert_eq!(string(""), "\"\"");
+        assert_eq!(string("π ⋈ σ"), "\"π ⋈ σ\"");
+    }
+
+    #[test]
+    fn specials_escape() {
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\tc\r"), "\"a\\nb\\tc\\r\"");
+    }
+
+    #[test]
+    fn control_characters_become_unicode_escapes() {
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(string("\u{1f}"), "\"\\u001f\"");
+        // 0x20 (space) and above pass through.
+        assert_eq!(string(" "), "\" \"");
+    }
+
+    #[test]
+    fn string_into_appends() {
+        let mut out = String::from("{\"k\":");
+        string_into("v", &mut out);
+        assert_eq!(out, "{\"k\":\"v\"");
+    }
+}

@@ -151,22 +151,10 @@ impl Value {
     }
 }
 
+/// Render a JSON string literal via the workspace-shared escaper (also used
+/// by the analyzer's diagnostic reports, so escaping rules cannot drift).
 fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    mjoin_relation::json::string_into(s, out);
 }
 
 /// Nesting depth cap: a hostile client cannot overflow the parser stack.

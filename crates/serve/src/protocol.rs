@@ -15,8 +15,8 @@
 //! | `load`     | `catalog`, `tsv`, opt. `name`                        | add a TSV relation to a named server-side catalog |
 //! | `compile`  | `catalog`, `name`, `program`, opt. `scheme`          | parse + validate a §2.2 program against the catalog |
 //! | `run`      | `catalog`, `name` or `program` (+opt. `scheme`), opt. `deadline_ms`, opt. `tsv` | admission-gate, execute, return result |
-//! | `query`    | `catalog`, opt. `optimizer`, opt. `executor`, opt. `deadline_ms`, opt. `tsv` | derive a program for all loaded relations (Alg. 1+2) and run it — `executor` picks `program` (default), `wcoj`, or `auto` (AGM vs certificate) |
-//! | `explain`  | `catalog`, `name` or `program` (+opt. `scheme`)      | admission report without executing |
+//! | `query`    | `catalog`, opt. `cq`, opt. `optimizer`, opt. `executor`, opt. `minimize`, opt. `deadline_ms`, opt. `tsv` | derive a program for all loaded relations (Alg. 1+2) and run it — `executor` picks `program` (default), `wcoj`, or `auto` (AGM vs certificate). With `cq`, run that conjunctive query over the loaded relations instead; its core is compiled (`minimize: false` opts out) and the response reports atoms dropped plus pre/post AGM bounds |
+//! | `explain`  | `catalog`, `name` or `program` or `cq` (+opt. `scheme`) | admission report without executing; with `cq`, the minimization report (core, dropped atoms, pre/post AGM bounds) plus query lints |
 //! | `stats`    |                                                      | cumulative counters, cache residency, catalogs |
 //! | `shutdown` |                                                      | drain in-flight requests and stop the server |
 
@@ -68,17 +68,25 @@ pub enum Request {
     Query {
         /// Server-side catalog name.
         catalog: String,
+        /// A conjunctive query (`Q(x, z) :- r(x, y), s(y, z)`) over the
+        /// loaded relations (by name, columns bound positionally). When
+        /// absent, the full natural join of every loaded relation runs.
+        cq: Option<String>,
         /// Join-tree search: `greedy` (default), `dp`, `dp-cpf`, `dp-linear`.
         optimizer: Option<String>,
         /// Join executor: `program` (default), `wcoj`, or `auto` (pick by
         /// AGM bound vs the derived program's Theorem-2 certificate).
         executor: Option<String>,
+        /// (`cq` only) compile the query's core (Chandra–Merlin
+        /// minimization) instead of the literal body. Default true.
+        minimize: bool,
         /// Per-request deadline in milliseconds.
         deadline_ms: Option<u64>,
         /// Whether to include the result TSV (default true).
         tsv: bool,
     },
-    /// Admission report for a program, without executing it.
+    /// Admission report for a program — or, with `cq`, the minimization
+    /// and lint report for a conjunctive query — without executing.
     Explain {
         /// Server-side catalog name.
         catalog: String,
@@ -86,8 +94,12 @@ pub enum Request {
         name: Option<String>,
         /// Inline program text (alternative to `name`).
         program: Option<String>,
+        /// A conjunctive query to analyze (alternative to `name`/`program`).
+        cq: Option<String>,
         /// Scheme for an inline program.
         scheme: Option<String>,
+        /// (`cq` only) report the minimized core. Default true.
+        minimize: bool,
     },
     /// Cumulative server counters and cache stats.
     Stats,
@@ -141,22 +153,33 @@ impl Request {
             }
             "query" => Ok(Request::Query {
                 catalog: req_str(&v, "catalog")?,
+                cq: opt_str(&v, "cq"),
                 optimizer: opt_str(&v, "optimizer"),
                 executor: opt_str(&v, "executor"),
+                minimize: v.get("minimize").and_then(Value::as_bool).unwrap_or(true),
                 deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
                 tsv: v.get("tsv").and_then(Value::as_bool).unwrap_or(true),
             }),
             "explain" => {
                 let name = opt_str(&v, "name");
                 let program = opt_str(&v, "program");
-                if name.is_none() == program.is_none() {
-                    return Err("explain takes exactly one of `name` or `program`".to_string());
+                let cq = opt_str(&v, "cq");
+                let given = [&name, &program, &cq]
+                    .iter()
+                    .filter(|o| o.is_some())
+                    .count();
+                if given != 1 {
+                    return Err(
+                        "explain takes exactly one of `name`, `program`, or `cq`".to_string()
+                    );
                 }
                 Ok(Request::Explain {
                     catalog: req_str(&v, "catalog")?,
                     name,
                     program,
+                    cq,
                     scheme: opt_str(&v, "scheme"),
+                    minimize: v.get("minimize").and_then(Value::as_bool).unwrap_or(true),
                 })
             }
             "stats" => Ok(Request::Stats),

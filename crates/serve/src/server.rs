@@ -22,6 +22,10 @@ use crate::json::Value as J;
 use crate::protocol::{err, err_with, ok, Request};
 use mjoin_analyze::{admission_report, AdmissionReport, AnalysisCx, Certificate};
 use mjoin_core::derive;
+use mjoin_cq::{
+    execute_query_with, parse_query, query_agm_bound, ExecOptions as CqExecOptions,
+    MinimizeSummary, NamedDatabase, PlanStrategy,
+};
 use mjoin_hypergraph::DbScheme;
 use mjoin_optimizer::{greedy, optimize, EstimateOracle, SearchSpace};
 use mjoin_program::{
@@ -420,31 +424,49 @@ fn dispatch(shared: &Shared, request_line: &str, ledger: &mut SessionLedger) -> 
         ),
         Request::Query {
             catalog,
+            cq,
             optimizer,
             executor,
+            minimize,
             deadline_ms,
             tsv,
-        } => handle_query(
-            shared,
-            &catalog,
-            optimizer.as_deref(),
-            executor.as_deref(),
-            deadline_ms,
-            tsv,
-            ledger,
-        ),
+        } => match cq {
+            Some(cq) => handle_cq_query(
+                shared,
+                &catalog,
+                &cq,
+                optimizer.as_deref(),
+                executor.as_deref(),
+                minimize,
+                tsv,
+            ),
+            None => handle_query(
+                shared,
+                &catalog,
+                optimizer.as_deref(),
+                executor.as_deref(),
+                deadline_ms,
+                tsv,
+                ledger,
+            ),
+        },
         Request::Explain {
             catalog,
             name,
             program,
+            cq,
             scheme,
-        } => handle_explain(
-            shared,
-            &catalog,
-            name.as_deref(),
-            program.as_deref(),
-            scheme.as_deref(),
-        ),
+            minimize,
+        } => match cq {
+            Some(cq) => handle_cq_explain(shared, &catalog, &cq, minimize),
+            None => handle_explain(
+                shared,
+                &catalog,
+                name.as_deref(),
+                program.as_deref(),
+                scheme.as_deref(),
+            ),
+        },
         Request::Stats => handle_stats(shared, ledger),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::Relaxed);
@@ -1030,6 +1052,238 @@ fn handle_query(
         let resp = resp.set("certified_peak", J::u64(report.peak));
         execute_admitted(shared, &r, &report, deadline_ms, want_tsv, ledger, resp)
     }
+}
+
+/// Snapshot a catalog entry's relations into a [`NamedDatabase`] for the
+/// conjunctive-query front end: each loaded relation becomes a predicate
+/// under its load name, columns bound positionally in the relation's
+/// canonical attribute order.
+fn named_db_snapshot(shared: &Shared, catalog: &str) -> Result<NamedDatabase, J> {
+    let (pairs, cat) = {
+        let catalogs = lock(&shared.catalogs);
+        let entry = match catalogs.get(catalog) {
+            Some(e) => e,
+            None => return Err(err("not_found", format!("no catalog `{catalog}`"))),
+        };
+        if entry.relations.is_empty() {
+            return Err(err("data", "catalog has no loaded relations"));
+        }
+        (entry.relations.clone(), entry.catalog.clone())
+    };
+    let mut ndb = NamedDatabase::new();
+    for (name, rel) in &pairs {
+        let cols: Vec<&str> = rel.schema().attrs().iter().map(|&a| cat.name(a)).collect();
+        let rows: Vec<Vec<mjoin_relation::Value>> = rel.rows().iter().map(|r| r.to_vec()).collect();
+        if let Err(e) = ndb.add_relation_values(name, &cols, rows) {
+            return Err(err("data", format!("relation `{name}`: {e}")));
+        }
+    }
+    Ok(ndb)
+}
+
+/// Map a wire optimizer name onto the CQ planner's strategy.
+fn plan_strategy_of(name: &str) -> Result<PlanStrategy, J> {
+    Ok(match name {
+        "greedy" => PlanStrategy::Greedy,
+        "dp" => PlanStrategy::DpOptimal,
+        "dp-cpf" => PlanStrategy::DpCpf,
+        "dp-linear" => PlanStrategy::DpLinear,
+        other => {
+            return Err(err(
+                "protocol",
+                format!("unknown optimizer `{other}` (try greedy|dp|dp-cpf|dp-linear)"),
+            ))
+        }
+    })
+}
+
+/// Render the compile-time minimization summary (or `null` when
+/// minimization did not run).
+fn minimize_summary_json(m: Option<&MinimizeSummary>) -> J {
+    match m {
+        None => J::Null,
+        Some(m) => J::obj()
+            .set("atoms_before", J::u64(m.atoms_before as u64))
+            .set("atoms_after", J::u64(m.atoms_after as u64))
+            .set(
+                "dropped",
+                J::Arr(m.dropped.iter().map(|d| J::Str(d.clone())).collect()),
+            )
+            .set("agm_before", J::u64(m.agm_before))
+            .set("agm_after", J::u64(m.agm_after)),
+    }
+}
+
+/// `query` with a `cq` payload: run one conjunctive query over the loaded
+/// relations. The query's core is compiled unless `minimize` is false, and
+/// admission gates on the AGM bound of the body that will actually run —
+/// so a query rejected verbatim can be admitted once its redundant atoms
+/// fold away.
+fn handle_cq_query(
+    shared: &Shared,
+    catalog: &str,
+    cq: &str,
+    optimizer: Option<&str>,
+    executor: Option<&str>,
+    minimize: bool,
+    want_tsv: bool,
+) -> J {
+    let requested = match ExecutorKind::parse(executor.unwrap_or("program")) {
+        Ok(k) => k,
+        Err(e) => return err("protocol", e),
+    };
+    let strategy = match plan_strategy_of(optimizer.unwrap_or("greedy")) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
+    let q = match parse_query(cq) {
+        Ok(q) => q,
+        Err(e) => return err("protocol", format!("bad cq: {e}")),
+    };
+    let ndb = match named_db_snapshot(shared, catalog) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    if let Some(budget) = shared.cfg.max_cost {
+        let compiled_body = if minimize {
+            let m = mjoin_cq::minimize(&q);
+            if m.proof.verified {
+                m.core.body
+            } else {
+                q.body.clone()
+            }
+        } else {
+            q.body.clone()
+        };
+        let bound = query_agm_bound(&ndb, &compiled_body);
+        if bound > budget {
+            trace::add("serve.admission_reject", 1);
+            return err_with(
+                "admission",
+                format!("AGM bound {bound} exceeds --max-cost {budget}"),
+                vec![
+                    ("bound".to_string(), J::u64(bound)),
+                    ("budget".to_string(), J::u64(budget)),
+                ],
+            );
+        }
+    }
+    let opts = CqExecOptions {
+        executor: requested,
+        threads: shared.cfg.threads,
+        cache: None,
+        minimize,
+    };
+    let (res, decisions) = match execute_query_with(&ndb, &q, strategy, &opts) {
+        Ok(r) => r,
+        Err(e) => return err("data", e.to_string()),
+    };
+    trace::add("serve.cq_query", 1);
+    let components: Vec<J> = decisions
+        .iter()
+        .map(|d| {
+            let mut o = J::obj()
+                .set("component", J::Str(d.component.clone()))
+                .set("executor", J::str(d.executor.name()));
+            if let Some(agm) = d.agm_bound {
+                o = o.set("agm_bound", J::u64(agm));
+            }
+            if let Some(cert) = d.cert_bound {
+                o = o.set("cert_bound", J::u64(cert));
+            }
+            o
+        })
+        .collect();
+    let mut resp = ok("query")
+        .set("catalog", J::str(catalog))
+        .set("cq", J::Str(q.to_string()))
+        .set("minimize", minimize_summary_json(res.minimize.as_ref()))
+        .set("components", J::Arr(components))
+        .set("rows", J::u64(res.len() as u64))
+        .set("cost", J::u64(res.ledger.total()));
+    if want_tsv {
+        let mut out = String::new();
+        out.push_str(&q.head_vars.join("\t"));
+        out.push('\n');
+        for row in res.rows_in_head_order() {
+            let cells: Vec<String> = row.iter().map(std::string::ToString::to_string).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        resp = resp.set("tsv", J::Str(out));
+    }
+    resp
+}
+
+/// `explain` with a `cq` payload: the minimization report (core, dropped
+/// atoms, pre/post AGM bounds) plus the query lints — no execution.
+fn handle_cq_explain(shared: &Shared, catalog: &str, cq: &str, minimize: bool) -> J {
+    let q = match parse_query(cq) {
+        Ok(q) => q,
+        Err(e) => return err("protocol", format!("bad cq: {e}")),
+    };
+    let ndb = match named_db_snapshot(shared, catalog) {
+        Ok(n) => n,
+        Err(e) => return e,
+    };
+    trace::add("serve.explain", 1);
+    let report = mjoin_cq::lint_query(&q);
+    let lints: Vec<J> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut o = J::obj()
+                .set("severity", J::str(d.severity.as_str()))
+                .set("lint", J::str(d.lint))
+                .set("message", J::Str(d.message.clone()));
+            if let Some(s) = d.stmt {
+                o = o.set("stmt", J::u64(s as u64));
+            }
+            if let Some(x) = &d.excerpt {
+                o = o.set("excerpt", J::Str(x.clone()));
+            }
+            o
+        })
+        .collect();
+    let agm_before = query_agm_bound(&ndb, &q.body);
+    let mut resp = ok("explain")
+        .set("catalog", J::str(catalog))
+        .set("cq", J::Str(q.to_string()))
+        .set("lints", J::Arr(lints))
+        .set("agm_bound", J::u64(agm_before));
+    let mut admission_bound = agm_before;
+    if minimize {
+        let m = mjoin_cq::minimize(&q);
+        if m.proof.verified {
+            let agm_after = query_agm_bound(&ndb, &m.core.body);
+            admission_bound = agm_after;
+            resp = resp.set(
+                "minimize",
+                J::obj()
+                    .set("atoms_before", J::u64(q.body.len() as u64))
+                    .set("atoms_after", J::u64(m.core.body.len() as u64))
+                    .set(
+                        "dropped",
+                        J::Arr(
+                            m.proof
+                                .dropped
+                                .iter()
+                                .map(|&i| J::Str(q.body[i].to_string()))
+                                .collect(),
+                        ),
+                    )
+                    .set("agm_before", J::u64(agm_before))
+                    .set("agm_after", J::u64(agm_after))
+                    .set("core", J::Str(m.core.to_string())),
+            );
+        }
+    }
+    if let Some(budget) = shared.cfg.max_cost {
+        resp = resp
+            .set("budget", J::u64(budget))
+            .set("admitted", J::Bool(admission_bound <= budget));
+    }
+    resp
 }
 
 /// Compute the executor selection for a resolved query: the scheme's AGM

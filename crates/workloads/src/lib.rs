@@ -12,7 +12,10 @@
 //! * [`HubGraph`]: binary cyclic queries (triangles, cycles, cliques)
 //!   over hub-patterned data where every pairwise join is `Θ(m²)` but the
 //!   full join is `Θ(m)` — the separation the worst-case-optimal executor
-//!   exploits.
+//!   exploits;
+//! * [`PlantedRedundancy`]: chain queries with planted foldable atoms
+//!   (known core size, closed-form output and full-join sizes) — the
+//!   corpus and bench workload for query-core minimization.
 
 #![warn(missing_docs)]
 
@@ -20,6 +23,7 @@ pub mod cycle_gap;
 pub mod datagen;
 pub mod example3;
 pub mod hub;
+pub mod redundant;
 pub mod schemes;
 pub mod star_schema;
 
@@ -27,4 +31,5 @@ pub use cycle_gap::CycleGap;
 pub use datagen::{random_database, DataGenConfig};
 pub use example3::Example3;
 pub use hub::HubGraph;
+pub use redundant::PlantedRedundancy;
 pub use star_schema::{star_schema, StarSchemaConfig};

@@ -5,6 +5,7 @@
 //! mjoin_cli plan     [--optimizer X] R1.tsv …   # show tree + program
 //! mjoin_cli run      [--optimizer X] R1.tsv …   # execute, TSV on stdout
 //! mjoin_cli check    [--scheme AB,BC] [--deny warn] [--format json] P.mj
+//! mjoin_cli check    [--query] [--deny warn] Q.cq …  # query lints (core, ×, …)
 //! mjoin_cli audit    [--deny error] [--format json] P.mj <data.tsv…|data dir>
 //! mjoin_cli query [--executor program|wcoj|auto] "Q(x,z) :- r1(x,y), r2(y,z)" R1.tsv …
 //! mjoin_cli datalog "t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)." E.tsv …
@@ -71,6 +72,12 @@ struct Args {
     /// `check`: also execute the program over supplied data and audit
     /// measured costs against the static bounds.
     verify_run: bool,
+    /// `check`: treat every input file as a conjunctive-query/Datalog
+    /// source and run the query lints (implied for `.cq`/`.dl` files).
+    query_lint: bool,
+    /// `query`: compile the query's core (Chandra–Merlin minimization)
+    /// before planning. Default on; `--minimize off` opts out.
+    minimize: bool,
     /// `serve`/`client`: TCP address to listen on / connect to.
     addr: String,
     /// `serve`/`query`: worker threads per request / per component.
@@ -104,6 +111,8 @@ fn parse_args() -> Result<Parsed, String> {
     let mut deny = "error".to_string();
     let mut format = "text".to_string();
     let mut verify_run = false;
+    let mut query_lint = false;
+    let mut minimize = true;
     let mut addr = "127.0.0.1:7878".to_string();
     let mut threads = 1usize;
     let mut max_cost = None;
@@ -116,6 +125,13 @@ fn parse_args() -> Result<Parsed, String> {
             explain = true;
         } else if arg == "--verify-run" {
             verify_run = true;
+        } else if arg == "--query" {
+            query_lint = true;
+        } else if arg == "--minimize" {
+            let v = argv.next().ok_or("--minimize needs a value (on|off)")?;
+            minimize = parse_on_off(&v)?;
+        } else if let Some(rest) = arg.strip_prefix("--minimize=") {
+            minimize = parse_on_off(rest)?;
         } else if arg == "--optimizer" {
             optimizer = argv.next().ok_or("--optimizer needs a value")?;
         } else if let Some(rest) = arg.strip_prefix("--optimizer=") {
@@ -182,6 +198,8 @@ fn parse_args() -> Result<Parsed, String> {
         deny,
         format,
         verify_run,
+        query_lint,
+        minimize,
         addr,
         threads,
         max_cost,
@@ -208,6 +226,10 @@ fn usage() -> String {
      --format FMT       (check/audit) report as text (default) or json\n\
      --verify-run       (check) also execute the program over trailing TSV\n\
      \u{20}                  data and audit measured vs static cost bounds\n\
+     --query            (check) lint conjunctive-query/Datalog sources\n\
+     \u{20}                  instead of .mj programs (implied for .cq/.dl files)\n\
+     --minimize on|off  (query) compile the query's core (Chandra–Merlin\n\
+     \u{20}                  minimization) before planning (default on)\n\
      --addr HOST:PORT   (serve/client) listen/connect address, default\n\
      \u{20}                  127.0.0.1:7878; port 0 picks a free port\n\
      --threads N        (serve/query) worker threads per request (default 1)\n\
@@ -218,6 +240,14 @@ fn usage() -> String {
      \n\
      environment: MJOIN_TRACE=<path> writes Chrome trace format JSON there"
         .to_string()
+}
+
+fn parse_on_off(v: &str) -> Result<bool, String> {
+    match v {
+        "on" | "true" => Ok(true),
+        "off" | "false" => Ok(false),
+        other => Err(format!("bad boolean `{other}` (on|off)")),
+    }
 }
 
 /// The one optimizer-name parser, shared by `plan`/`run` (join trees) and
@@ -518,7 +548,62 @@ fn audit_cmd(args: &Args) -> Result<bool, String> {
 /// stayed below the `--deny` threshold (the process exit status). With
 /// `--verify-run`, trailing TSV files/directories are executed against the
 /// program and the measured-vs-static audit must pass too.
+/// Lint one conjunctive-query/Datalog source file (`#` comment lines
+/// allowed) with the query lints: redundant atoms (Chandra–Merlin core),
+/// Cartesian components, duplicate and dominated atoms. Returns whether
+/// the report stayed below `deny`.
+fn check_query_file(path: &str, deny: Severity, format: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let stripped: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .collect();
+    let rules = parse_rules(&stripped.join("\n")).map_err(|e| format!("`{path}`: {e}"))?;
+    let report = match rules.as_slice() {
+        [one] => lint_query(one),
+        many => lint_rules(many),
+    };
+    match format {
+        "text" => eprint!("{path}:\n{}", report.render_text()),
+        "json" => eprintln!("{}", report.render_json()),
+        other => return Err(format!("unknown --format `{other}` (text|json)")),
+    }
+    Ok(report.clean_at(deny))
+}
+
 fn check(args: &Args) -> Result<bool, String> {
+    let deny_parsed = Severity::parse(&args.deny)
+        .ok_or_else(|| format!("unknown --deny level `{}` (note|warn|error)", args.deny))?;
+    let query_files: Vec<&String> = if args.query_lint {
+        args.files.iter().collect()
+    } else {
+        args.files
+            .iter()
+            .filter(|f| f.ends_with(".cq") || f.ends_with(".dl"))
+            .collect()
+    };
+    if !query_files.is_empty() {
+        // Under --query every file is linted as a query source, so a stray
+        // .mj or .tsv argument is still a mix-up worth naming, not a parse
+        // error deep inside the query parser.
+        let mixed = query_files.len() != args.files.len()
+            || query_files
+                .iter()
+                .any(|f| f.ends_with(".mj") || f.ends_with(".tsv"));
+        if mixed {
+            return Err(
+                "check cannot mix query sources (.cq/.dl) with .mj programs or data".to_string(),
+            );
+        }
+        if args.verify_run {
+            return Err("--verify-run applies to .mj programs, not query sources".to_string());
+        }
+        let mut clean = true;
+        for path in query_files {
+            clean &= check_query_file(path, deny_parsed, &args.format)?;
+        }
+        return Ok(clean);
+    }
     let (progs, data): (Vec<String>, Vec<String>) =
         args.files.iter().cloned().partition(|f| f.ends_with(".mj"));
     let path = match progs.as_slice() {
@@ -529,8 +614,7 @@ fn check(args: &Args) -> Result<bool, String> {
         return Err("check takes only a program file (use --verify-run to pass data)".to_string());
     }
     let (mut catalog, scheme, program) = parse_program_file(path, args.scheme.as_ref())?;
-    let deny = Severity::parse(&args.deny)
-        .ok_or_else(|| format!("unknown --deny level `{}` (note|warn|error)", args.deny))?;
+    let deny = deny_parsed;
     let report = mjoin::analyze::analyze(&program, &scheme, &catalog);
     match args.format.as_str() {
         "text" => eprint!("{}", report.render_text()),
@@ -587,10 +671,28 @@ fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
         executor: ExecutorKind::parse(&args.executor)?,
         threads: args.threads,
         cache: None,
+        minimize: args.minimize,
     };
     let (res, decisions) =
         execute_query_with(&ndb, &q, strategy, &opts).map_err(|e| e.to_string())?;
     eprintln!("{q}");
+    if let Some(m) = &res.minimize {
+        if m.atoms_after < m.atoms_before {
+            eprintln!(
+                "minimize: dropped {} of {} atoms ({}); AGM bound {} -> {}",
+                m.atoms_before - m.atoms_after,
+                m.atoms_before,
+                m.dropped.join(", "),
+                m.agm_before,
+                m.agm_after
+            );
+        } else {
+            eprintln!(
+                "minimize: query is its own core ({} atoms, AGM bound {})",
+                m.atoms_before, m.agm_before
+            );
+        }
+    }
     for d in &decisions {
         match (d.agm_bound, d.cert_bound) {
             (Some(agm), Some(cert)) => eprintln!(

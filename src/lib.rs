@@ -71,9 +71,9 @@ pub mod prelude {
         ChoicePolicy, Derivation, FirstChoice, PipelineRun, SeededChoice,
     };
     pub use mjoin_cq::{
-        evaluate_datalog, execute_query, execute_query_with, parse_query, parse_rules,
-        ComponentDecision, ConjunctiveQuery, ExecOptions, ExecutorKind, NamedDatabase,
-        PlanStrategy,
+        contains, equivalent, evaluate_datalog, execute_query, execute_query_with, lint_query,
+        lint_rules, minimize, parse_query, parse_rules, ComponentDecision, ConjunctiveQuery,
+        ExecOptions, ExecutorKind, MinimizeSummary, Minimized, NamedDatabase, PlanStrategy,
     };
     pub use mjoin_expr::{
         all_trees, cost_of, cpf_trees, evaluate, linear_trees, parse_join_tree, JoinTree,
@@ -91,7 +91,7 @@ pub mod prelude {
         ops, relation_of_ints, AttrId, AttrSet, Catalog, CostLedger, Database, Relation, Schema,
         Value,
     };
-    pub use mjoin_workloads::{random_database, DataGenConfig, Example3};
+    pub use mjoin_workloads::{random_database, DataGenConfig, Example3, PlantedRedundancy};
 }
 
 #[cfg(test)]

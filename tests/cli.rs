@@ -348,3 +348,124 @@ fn datalog_command_computes_fixpoint_and_traces_iterations() {
     assert!(stderr.contains("datalog/iteration"), "stderr:\n{stderr}");
     assert!(stderr.contains("datalog/fixpoint"), "stderr:\n{stderr}");
 }
+
+fn query_fixture(name: &str) -> String {
+    format!("{}/examples/queries/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_query_lints_cq_fixtures() {
+    // All three fixtures are clean at the default --deny error threshold:
+    // the planted redundancy and the Cartesian split are warnings.
+    let out = cli(&[
+        "check",
+        "--query",
+        &query_fixture("redundant.cq"),
+        &query_fixture("cartesian.cq"),
+        &query_fixture("clean.cq"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty(), "check writes nothing to stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("redundant-atom"), "stderr:\n{stderr}");
+    assert!(stderr.contains("cartesian-component"), "stderr:\n{stderr}");
+    // The redundancy diagnostic carries its proof: the equivalent core.
+    assert!(stderr.contains("2-atom core"), "stderr:\n{stderr}");
+
+    // --deny warn flips the planted fixture to a nonzero exit …
+    let out = cli(&[
+        "check",
+        "--query",
+        "--deny",
+        "warn",
+        &query_fixture("redundant.cq"),
+    ]);
+    assert!(!out.status.success());
+    // … while the fixture that is its own core stays clean.
+    let out = cli(&[
+        "check",
+        "--query",
+        "--deny",
+        "warn",
+        &query_fixture("clean.cq"),
+    ]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn check_autodetects_cq_sources_and_emits_json() {
+    // A `.cq` extension routes through the query linter without --query.
+    let out = cli(&[
+        "check",
+        "--deny",
+        "warn",
+        "--format",
+        "json",
+        &query_fixture("redundant.cq"),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("\"lint\":\"redundant-atom\""),
+        "stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn check_rejects_mixed_query_and_program_sources() {
+    let out = cli(&[
+        "check",
+        "--query",
+        &query_fixture("clean.cq"),
+        &fixture_path("example6.mj"),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("mix"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn query_minimize_flag_controls_core_compilation() {
+    let dir = tempdir::TempDir::new("minimize");
+    let edges = write_tsv(dir.path(), "e.tsv", "s\td\n0\t1\n1\t2\n2\t3\n");
+    let q = "Q(x, z) :- e(x, y), e(y, z), e(x, d)";
+    // Default: the planted atom is folded away and reported on stderr.
+    let out = cli(&["query", q, edges.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let on_stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("minimize: dropped 1 of 3 atoms"),
+        "stderr:\n{stderr}"
+    );
+    // Opting out executes the literal body — same answers, no fold note.
+    let out = cli(&["query", "--minimize", "off", q, edges.to_str().unwrap()]);
+    assert!(out.status.success());
+    let off_stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        on_stdout, off_stdout,
+        "answers must not depend on --minimize"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("minimize:"), "stderr:\n{stderr}");
+    // A query that is its own core says so.
+    let out = cli(&[
+        "query",
+        "Q(x, z) :- e(x, y), e(y, z)",
+        edges.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("minimize: query is its own core"),
+        "stderr:\n{stderr}"
+    );
+}

@@ -128,3 +128,75 @@ fn serve_and_client_round_trip_with_admission_gate() {
     let status = server.wait().expect("server exits");
     assert!(status.success(), "server exits 0 after shutdown");
 }
+
+#[test]
+fn cq_query_and_explain_with_minimization_over_the_wire() {
+    // Budget 10 against a 3-tuple edge relation: the literal 4-atom body
+    // certifies an AGM bound of 27 (three forced cover atoms) and is
+    // rejected, while its 2-atom core certifies 9 and is admitted — the
+    // same query gets through *because* the server compiled the core.
+    let (mut server, addr) = spawn_server(&["--max-cost", "10"]);
+    let load = "{\"cmd\":\"load\",\"catalog\":\"c\",\"name\":\"e\",\
+                \"tsv\":\"s\\td\\n0\\t1\\n1\\t2\\n2\\t3\\n\"}\n";
+    let cq = "Q(x, z) :- e(x, y), e(y, z), e(x, d), e(y, d2)";
+
+    // Explain: lints + the minimization report, no execution.
+    let (ok, out) = run_client(
+        &addr,
+        &format!("{load}{{\"cmd\":\"explain\",\"catalog\":\"c\",\"cq\":\"{cq}\"}}\n"),
+    );
+    assert!(ok, "explain succeeds:\n{out}");
+    assert!(
+        out.contains("\"lint\":\"redundant-atom\""),
+        "explain reports query lints:\n{out}"
+    );
+    assert!(
+        out.contains("\"atoms_before\":4") && out.contains("\"atoms_after\":2"),
+        "explain reports the fold:\n{out}"
+    );
+    assert!(
+        out.contains("\"admitted\":true"),
+        "the core's bound fits the budget:\n{out}"
+    );
+
+    // Query with minimization (the default): admitted, answers returned,
+    // and the response says what was dropped.
+    let (ok, out) = run_client(
+        &addr,
+        &format!("{{\"cmd\":\"query\",\"catalog\":\"c\",\"cq\":\"{cq}\"}}\n"),
+    );
+    assert!(ok, "minimized query admitted:\n{out}");
+    assert!(out.contains("\"rows\":2"), "two 2-step pairs:\n{out}");
+    assert!(
+        out.contains("\"dropped\":["),
+        "response lists dropped atoms:\n{out}"
+    );
+
+    // The same query with minimize:false must bounce off the admission
+    // gate: the literal body's bound exceeds the budget.
+    let (ok, out) = run_client(
+        &addr,
+        &format!("{{\"cmd\":\"query\",\"catalog\":\"c\",\"cq\":\"{cq}\",\"minimize\":false}}\n"),
+    );
+    assert!(!ok, "unminimized query rejected:\n{out}");
+    assert!(
+        out.contains("\"kind\":\"admission\""),
+        "structured admission error:\n{out}"
+    );
+
+    // Malformed: explain with both name and cq is a protocol error.
+    let (ok, out) = run_client(
+        &addr,
+        "{\"cmd\":\"explain\",\"catalog\":\"c\",\"name\":\"p\",\"cq\":\"Q(x) :- e(x, y)\"}\n",
+    );
+    assert!(!ok, "ambiguous explain rejected:\n{out}");
+    assert!(
+        out.contains("exactly one of"),
+        "error names the contract:\n{out}"
+    );
+
+    let (ok, _) = run_client(&addr, "{\"cmd\":\"shutdown\"}\n");
+    assert!(ok, "shutdown acknowledged");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exits 0 after shutdown");
+}

@@ -30,6 +30,7 @@ fn run(
         executor,
         threads,
         cache: None,
+        minimize: false,
     };
     let (res, decisions) = execute_query_with(db, &q, PlanStrategy::Greedy, &opts).unwrap();
     (res.relation, decisions)
