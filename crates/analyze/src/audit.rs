@@ -46,6 +46,19 @@ impl StmtAudit {
             self.bound as f64 / (self.measured.max(1)) as f64
         }
     }
+
+    /// The q-error of the estimator on this row: the max-ratio
+    /// `max(est, measured) / min(est, measured)` with both sides clamped
+    /// to ≥ 1, the standard symmetric accuracy measure for cardinality
+    /// estimates (1.0 = exact, always ≥ 1). `None` when no estimate was
+    /// recorded for this row.
+    #[must_use]
+    pub fn q_error(&self) -> Option<f64> {
+        let est = self.estimate?.max(1);
+        let measured = self.measured.max(1);
+        #[allow(clippy::cast_precision_loss)]
+        Some(est.max(measured) as f64 / est.min(measured) as f64)
+    }
 }
 
 /// The whole-program audit result.
@@ -211,6 +224,20 @@ impl AuditReport {
         self.rows.iter().map(StmtAudit::gap).fold(1.0, f64::max)
     }
 
+    /// The statement where the estimator was most wrong: `(stmt index,
+    /// q-error)` of the largest [`StmtAudit::q_error`], or `None` when no
+    /// row carries an estimate.
+    #[must_use]
+    pub fn worst_q_error(&self) -> Option<(usize, f64)> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.q_error().map(|q| (r.stmt, q)))
+            .fold(None, |acc, (stmt, q)| match acc {
+                Some((_, best)) if best >= q => acc,
+                _ => Some((stmt, q)),
+            })
+    }
+
     /// Deterministic plain-text rendering (no timings — goldenable).
     #[must_use]
     pub fn render_text(&self, cx: &AnalysisCx<'_>) -> String {
@@ -235,6 +262,13 @@ impl AuditReport {
                     Some(e) => format!("  (est {e})"),
                     None => String::new(),
                 }
+            ));
+        }
+        if let Some((stmt, q)) = self.worst_q_error() {
+            out.push_str(&format!(
+                "estimator: worst q-error {q:.2} at statement {stmt} (est {} vs measured {})\n",
+                self.rows[stmt].estimate.unwrap_or(0),
+                self.rows[stmt].measured
             ));
         }
         out.push_str(&format!(
@@ -266,7 +300,7 @@ impl AuditReport {
             }
             out.push_str(&format!(
                 "{{\"stmt\":{},\"measured\":{},\"bound\":{},\"tight\":{},\"lo\":{},\"hi\":{},\
-                 \"set\":\"{}\",\"estimate\":{}}}",
+                 \"set\":\"{}\",\"estimate\":{},\"q_error\":{}}}",
                 r.stmt,
                 r.measured,
                 r.bound,
@@ -276,6 +310,10 @@ impl AuditReport {
                 set_name(self.certificate.stmts[r.stmt].head_set, scheme, catalog),
                 match r.estimate {
                     Some(e) => e.to_string(),
+                    None => "null".to_string(),
+                },
+                match r.q_error() {
+                    Some(q) => format!("{q:.4}"),
                     None => "null".to_string(),
                 }
             ));
@@ -348,6 +386,44 @@ mod tests {
         assert!(calls >= 1);
         assert_eq!(rep.rows[0].estimate, Some(100));
         assert_eq!(rep.rows[1].estimate, Some(200));
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_worst_offender_is_reported() {
+        let (c, s, p, db) = fixture();
+        // Overestimate row 0 by 50× and underestimate row 1 by the same
+        // factor: the q-error must treat both directions alike.
+        let mut first = true;
+        let mut est = |_set: RelSet| {
+            if std::mem::take(&mut first) {
+                100 // measured 2 → q = 50
+            } else {
+                1 // measured 4 → q = 4
+            }
+        };
+        let rep = audit(&p, &s, &c, &db, &ExecConfig::default(), Some(&mut est)).unwrap();
+        let q0 = rep.rows[0].q_error().unwrap();
+        let q1 = rep.rows[1].q_error().unwrap();
+        assert!(q0 > q1, "overestimate dominates: {q0} vs {q1}");
+        assert_eq!(rep.worst_q_error(), Some((0, q0)));
+        let text = rep.render_text(&AnalysisCx::new(&p, &s, &c).unwrap());
+        assert!(
+            text.contains("worst q-error") && text.contains("at statement 0"),
+            "{text}"
+        );
+        let json = rep.render_json(&s, &c);
+        assert!(json.contains("\"q_error\":"), "{json}");
+    }
+
+    #[test]
+    fn q_error_absent_without_an_estimator() {
+        let (c, s, p, db) = fixture();
+        let rep = audit(&p, &s, &c, &db, &ExecConfig::default(), None).unwrap();
+        assert!(rep.rows.iter().all(|r| r.q_error().is_none()));
+        assert_eq!(rep.worst_q_error(), None);
+        assert!(!rep
+            .render_text(&AnalysisCx::new(&p, &s, &c).unwrap())
+            .contains("q-error"));
     }
 
     #[test]

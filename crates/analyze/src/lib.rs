@@ -41,6 +41,7 @@ pub mod audit;
 pub mod cert;
 pub mod cx;
 pub mod diagnostic;
+pub mod memory;
 pub mod passes;
 
 pub use absint::{cost_blowup, interval_analysis, CardInterval};
@@ -49,6 +50,7 @@ pub use audit::{audit, audit_with_certificate, AuditReport, StmtAudit};
 pub use cert::{Certificate, StmtBound};
 pub use cx::{AnalysisCx, ExprKey, StmtFacts, Vn};
 pub use diagnostic::{Diagnostic, Report, Severity};
+pub use memory::{mem_blowup, memory_report, memory_report_with, MemCertificate, MemStmt};
 pub use passes::{default_passes, Pass};
 
 use mjoin_hypergraph::DbScheme;

@@ -1,0 +1,598 @@
+//! Static peak-memory certificates: the byte-level companion of the
+//! Theorem-2 cost certificate.
+//!
+//! [`memory_report`] abstract-interprets a §2.2 program *without touching a
+//! tuple*: it replays the register file over the certified per-statement
+//! cardinality bounds (the elementwise minimum of the [`Certificate`]
+//! product bounds and the [`interval_analysis`] highs — the same admitted
+//! bound the cost gate uses) and converts tuples to bytes under the
+//! columnar layout's model. The result is a [`MemCertificate`]: for every
+//! statement the bytes resident before it, the bytes its head and its hash
+//! build side can add while it runs, and the statement-local peak — plus
+//! the program-wide peak and the statement carrying it.
+//!
+//! ## The byte model
+//!
+//! * A register holding `n` tuples of arity `a` costs `n · a · 8` bytes:
+//!   packed ints are 8 bytes per cell, dict-interned strings are 4-byte
+//!   codes plus a shared value pool whose amortized share the flat 8 covers.
+//! * A keyed join additionally builds a hash table over its smaller
+//!   operand: `RawTable::with_capacity(n)` allocates
+//!   `(max(n,1)·2).next_power_of_two()` 4-byte buckets plus 16 bytes per
+//!   entry, and the build rows themselves are counted at the operands'
+//!   larger arity (which side is smaller is not known statically).
+//! * Cartesian joins and semijoins build no table in this model; their
+//!   footprint is operands + head, both already counted.
+//!
+//! ## What the certificate guarantees
+//!
+//! The *tuple* replay ([`MemCertificate::peak_tuples`]) mirrors the
+//! executor's `peak_resident` accounting statement for statement, over
+//! bounds that are sound per-statement — so it is monotone in the input
+//! cardinalities and never below the measured high-water mark (the
+//! property suite in `tests/spill_differential.rs` holds both). The byte
+//! figures inherit per-statement soundness of the tuple bounds but are a
+//! *model* of the allocator, not a measurement; they are what the spill
+//! gate and the `mem-blowup` lint act on.
+//!
+//! ## Acting on it
+//!
+//! [`MemCertificate::spill_plan`] turns the certificate into a
+//! [`SpillPlan`]: every keyed-join statement whose certified build-side
+//! bytes exceed the budget is scheduled for a Grace-hash spill with enough
+//! partitions that one partition's build side fits. The executor consumes
+//! the plan statically — under-budget statements never pay a runtime
+//! check. [`mem_blowup`] is the lint face of the same comparison, and
+//! servers admission-gate on [`MemCertificate::peak_bytes`] next to the
+//! cost bound.
+
+use crate::absint::interval_analysis;
+use crate::cert::Certificate;
+use crate::cx::AnalysisCx;
+use crate::diagnostic::{Diagnostic, Severity};
+use mjoin_program::dataflow::{num_regs, reg_index};
+use mjoin_program::{Reg, SpillPlan, Stmt};
+use mjoin_relation::AttrSet;
+
+/// Bytes per relation cell under the columnar model (see the module docs).
+pub const CELL_BYTES: u64 = 8;
+
+/// Cap on Grace-hash partitions per statement: beyond this, partition
+/// files get too small to amortize their I/O.
+pub const MAX_SPILL_PARTITIONS: u64 = 256;
+
+/// Bytes of a register holding at most `tuples` tuples of arity `arity`.
+fn rel_bytes(tuples: u64, arity: u64) -> u64 {
+    tuples.saturating_mul(arity).saturating_mul(CELL_BYTES)
+}
+
+/// Heap bytes of a build-side hash table over `n` rows, mirroring the
+/// executor's `RawTable::with_capacity` (bucket array of 4-byte slots at
+/// twice the row count rounded up to a power of two, 16-byte entries).
+fn hashtable_bytes(n: u64) -> u64 {
+    let buckets = n
+        .max(1)
+        .saturating_mul(2)
+        .checked_next_power_of_two()
+        .unwrap_or(u64::MAX);
+    buckets
+        .saturating_mul(4)
+        .saturating_add(n.saturating_mul(16))
+}
+
+fn arity_of(attrs: &AttrSet) -> u64 {
+    mjoin_relation::Schema::from_set(attrs).arity() as u64
+}
+
+/// The memory footprint certified for one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemStmt {
+    /// Statement index.
+    pub stmt: usize,
+    /// `"join"`, `"semijoin"` or `"project"`.
+    pub kind: &'static str,
+    /// Certified bound on the head's cardinality (the admitted bound:
+    /// `min(certificate product, interval hi)`).
+    pub out_tuples: u64,
+    /// The head's bytes under the model: `out_tuples · arity · 8`.
+    pub out_bytes: u64,
+    /// For keyed joins: bound on the hash build side's row count
+    /// (`min` of the operand bounds — the executor builds the smaller
+    /// side). `None` for other statement kinds and Cartesian joins.
+    pub build_tuples: Option<u64>,
+    /// For keyed joins: transient build-side bytes (hash table heap plus
+    /// the build rows at the operands' larger arity). This is the figure
+    /// the spill gate compares against the budget.
+    pub build_bytes: Option<u64>,
+    /// Bytes resident across all registers *before* this statement runs.
+    pub resident_bytes: u64,
+    /// Peak bytes while this statement runs: `resident_bytes` + the head
+    /// being materialized + the build side (old head value still live —
+    /// destructive assignment happens after evaluation).
+    pub peak_bytes: u64,
+    /// The certificate's symbolic cardinality bound for the head, e.g.
+    /// `|⋈D[{AB,BC}]|`.
+    pub symbolic: String,
+    /// Whether that bound is a single intermediate (Theorem-2 shape).
+    pub tight: bool,
+    /// Tree-node provenance, when the certificate carries attribution
+    /// (Algorithm 2's S-node), rendered like `{AB,BC}`.
+    pub node: Option<String>,
+    /// The statement in paper notation.
+    pub excerpt: Option<String>,
+}
+
+/// The whole-program memory certificate. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MemCertificate {
+    /// Per-statement footprints, in statement order.
+    pub stmts: Vec<MemStmt>,
+    /// Bytes of the inputs alone (the floor no plan can undercut).
+    pub input_bytes: u64,
+    /// The program-wide peak in bytes: the largest per-statement peak, or
+    /// `input_bytes` for an empty program.
+    pub peak_bytes: u64,
+    /// The statement carrying [`MemCertificate::peak_bytes`].
+    pub peak_stmt: Option<usize>,
+    /// Peak resident *tuples* over the replay: the static counterpart of
+    /// the executor's `peak_resident`, guaranteed `>=` the measured value.
+    pub peak_tuples: u64,
+}
+
+impl MemCertificate {
+    /// The first statement whose peak exceeds `budget`, if any — the
+    /// statement a rejection or a `mem-blowup` diagnostic names.
+    #[must_use]
+    pub fn violation(&self, budget: u64) -> Option<&MemStmt> {
+        self.stmts.iter().find(|s| s.peak_bytes > budget)
+    }
+
+    /// Derive the spill schedule for `budget` bytes: every keyed-join
+    /// statement whose certified build-side bytes exceed the budget spills
+    /// into the smallest power-of-two partition count that brings one
+    /// partition's build side under it (capped at
+    /// [`MAX_SPILL_PARTITIONS`]). Everything else — including Cartesian
+    /// joins, which have no key to partition by — keeps the in-memory
+    /// path.
+    #[must_use]
+    pub fn spill_plan(&self, budget: u64) -> SpillPlan {
+        let budget = budget.max(1);
+        let parts = self
+            .stmts
+            .iter()
+            .map(|s| match s.build_bytes {
+                Some(b) if b > budget => {
+                    let want = b.div_ceil(budget);
+                    let p = want
+                        .checked_next_power_of_two()
+                        .unwrap_or(MAX_SPILL_PARTITIONS)
+                        .min(MAX_SPILL_PARTITIONS);
+                    Some(usize::try_from(p).expect("partition cap fits usize"))
+                }
+                _ => None,
+            })
+            .collect();
+        SpillPlan::new(parts)
+    }
+
+    /// Plain-text rendering: one line per statement plus the summary.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "memory: peak ≤ {} bytes{} (≤ {} resident tuples); inputs {} bytes\n",
+            self.peak_bytes,
+            match self.peak_stmt {
+                Some(i) => format!(" at stmt {i}"),
+                None => String::new(),
+            },
+            self.peak_tuples,
+            self.input_bytes
+        ));
+        for s in &self.stmts {
+            let build = match s.build_bytes {
+                Some(b) => format!("build {b}"),
+                None => "no build".to_string(),
+            };
+            let node = match &s.node {
+                Some(n) => format!("  [node {n}]"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  stmt {:>3}  {:<8} peak {:>12}  resident {:>12}  out {:>12}  {}  |head| ≤ {}{}{}  {}\n",
+                s.stmt,
+                s.kind,
+                s.peak_bytes,
+                s.resident_bytes,
+                s.out_bytes,
+                build,
+                s.symbolic,
+                if s.tight { "" } else { "  (product)" },
+                node,
+                s.excerpt.clone().unwrap_or_default()
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled like the other reports; the workspace
+    /// is offline, no serde).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"stmts\":[");
+        for (i, s) in self.stmts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let opt = |v: Option<u64>| v.map_or("null".to_string(), |b| b.to_string());
+            out.push_str(&format!(
+                "{{\"stmt\":{},\"kind\":\"{}\",\"out_tuples\":{},\"out_bytes\":{},\
+                 \"build_tuples\":{},\"build_bytes\":{},\"resident_bytes\":{},\
+                 \"peak_bytes\":{},\"tight\":{},\"symbolic\":{},\"node\":{}}}",
+                s.stmt,
+                s.kind,
+                s.out_tuples,
+                s.out_bytes,
+                opt(s.build_tuples),
+                opt(s.build_bytes),
+                s.resident_bytes,
+                s.peak_bytes,
+                s.tight,
+                json_str(&s.symbolic),
+                match &s.node {
+                    Some(n) => json_str(n),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "],\"input_bytes\":{},\"peak_bytes\":{},\"peak_stmt\":{},\"peak_tuples\":{}}}",
+            self.input_bytes,
+            self.peak_bytes,
+            self.peak_stmt.map_or("null".to_string(), |i| i.to_string()),
+            self.peak_tuples
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escape for the symbolic bounds (they contain `⋈`
+/// and braces, never control characters — but escape defensively anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Compute the memory certificate for an analyzed program given the input
+/// cardinalities `seeds[i] = |D_i|`, deriving a fresh (unattributed)
+/// Theorem-2 certificate. Use [`memory_report_with`] to thread a
+/// certificate that already carries tree-node provenance.
+#[must_use]
+pub fn memory_report(cx: &AnalysisCx<'_>, seeds: &[u64]) -> MemCertificate {
+    memory_report_with(cx, seeds, &Certificate::compute(cx))
+}
+
+/// [`memory_report`] over a caller-supplied [`Certificate`] (typically one
+/// attributed with Algorithm 2's tree-node provenance, so every
+/// [`MemStmt::node`] names the CPF-tree node the statement came from).
+#[must_use]
+pub fn memory_report_with(
+    cx: &AnalysisCx<'_>,
+    seeds: &[u64],
+    cert: &Certificate,
+) -> MemCertificate {
+    let program = cx.program;
+    // The admitted cardinality bound per statement: certificate product
+    // (each |⋈D[S]| over-approximated by Π|D_i|) refined by the interval
+    // highs — identical to the cost-admission bound.
+    let cert_bounds = cert.evaluate_with(|set| {
+        let mut acc: u128 = 1;
+        for i in set.iter() {
+            acc = acc.saturating_mul(u128::from(seeds[i]));
+        }
+        u64::try_from(acc).unwrap_or(u64::MAX)
+    });
+    let intervals = interval_analysis(cx, seeds);
+    debug_assert_eq!(cert_bounds.len(), intervals.len());
+    let bounds: Vec<u64> = cert_bounds
+        .iter()
+        .zip(&intervals)
+        .map(|(&cb, iv)| cb.min(iv.hi))
+        .collect();
+
+    // Per-register replay over the bounds, mirroring the executor's
+    // resident accounting: bases seeded at their exact sizes, temps empty,
+    // each statement replacing its head slot. Tracked twice — tuples (the
+    // proptest-guaranteed mirror of `peak_resident`) and `(tuples, arity)`
+    // for bytes.
+    let n_regs = num_regs(program);
+    let n_bases = cx.scheme.num_relations();
+    let mut slots: Vec<Option<(u64, u64)>> = vec![None; n_regs];
+    for (i, &n) in seeds.iter().enumerate().take(n_bases) {
+        slots[i] = Some((n, arity_of(cx.scheme.attrs_of(i))));
+    }
+    let resolve = |slots: &[Option<(u64, u64)>], reg: Reg| -> (u64, u64) {
+        let mut cur = reg;
+        loop {
+            match slots[reg_index(program, cur)] {
+                Some(v) => return v,
+                None => match cur {
+                    Reg::Temp(t) => cur = program.temp_init[t].expect("validated alias"),
+                    Reg::Base(_) => unreachable!("bases are seeded"),
+                },
+            }
+        }
+    };
+    let slot_bytes = |slots: &[Option<(u64, u64)>]| -> u64 {
+        slots
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, &(n, a)| acc.saturating_add(rel_bytes(n, a)))
+    };
+    let slot_tuples = |slots: &[Option<(u64, u64)>]| -> u64 {
+        slots
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, &(n, _)| acc.saturating_add(n))
+    };
+
+    let input_bytes = slot_bytes(&slots);
+    let mut peak_tuples = slot_tuples(&slots);
+    let mut stmts = Vec::with_capacity(program.stmts.len());
+    for (i, stmt) in program.stmts.iter().enumerate() {
+        let facts = &cx.stmts[i];
+        let head_arity = arity_of(&facts.head_scheme);
+        let out_tuples = bounds[i];
+        let out_bytes = rel_bytes(out_tuples, head_arity);
+        let resident_bytes = slot_bytes(&slots);
+
+        let (head, build) = match stmt {
+            Stmt::Project { dst, .. } => (*dst, None),
+            Stmt::Semijoin { target, .. } => (*target, None),
+            Stmt::Join { dst, left, right } => {
+                let keyed = !facts.operand_schemes[0].is_disjoint(&facts.operand_schemes[1]);
+                if keyed {
+                    let (lt, la) = resolve(&slots, *left);
+                    let (rt, ra) = resolve(&slots, *right);
+                    let build_tuples = lt.min(rt);
+                    let build_bytes = hashtable_bytes(build_tuples)
+                        .saturating_add(rel_bytes(build_tuples, la.max(ra)));
+                    (*dst, Some((build_tuples, build_bytes)))
+                } else {
+                    (*dst, None)
+                }
+            }
+        };
+        let peak_bytes = resident_bytes
+            .saturating_add(out_bytes)
+            .saturating_add(build.map_or(0, |(_, b)| b));
+
+        stmts.push(MemStmt {
+            stmt: i,
+            kind: cert.stmts[i].kind,
+            out_tuples,
+            out_bytes,
+            build_tuples: build.map(|(t, _)| t),
+            build_bytes: build.map(|(_, b)| b),
+            resident_bytes,
+            peak_bytes,
+            symbolic: cert.bound_name(i, cx.scheme, cx.catalog),
+            tight: cert.stmts[i].tight,
+            node: cert.stmts[i]
+                .node
+                .map(|n| crate::cert::set_name(n, cx.scheme, cx.catalog)),
+            excerpt: cx.excerpt(i),
+        });
+
+        slots[reg_index(program, head)] = Some((out_tuples, head_arity));
+        peak_tuples = peak_tuples.max(slot_tuples(&slots));
+    }
+
+    let peak_stmt = stmts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.peak_bytes)
+        .map(|(i, _)| i);
+    let peak_bytes = peak_stmt.map_or(input_bytes, |i| stmts[i].peak_bytes);
+    MemCertificate {
+        stmts,
+        input_bytes,
+        peak_bytes,
+        peak_stmt,
+        peak_tuples,
+    }
+}
+
+/// The `mem-blowup` lint: statements whose certified memory peak exceeds
+/// `budget` bytes. Like `cost-blowup` this is a standalone, seed-driven
+/// pass (it needs input cardinalities and a budget, so it does not run in
+/// the default pass list); `mjoin_cli check --memory` wires it up.
+#[must_use]
+pub fn mem_blowup(cx: &AnalysisCx<'_>, seeds: &[u64], budget: u64) -> Vec<Diagnostic> {
+    memory_report(cx, seeds)
+        .stmts
+        .iter()
+        .filter(|s| s.peak_bytes > budget)
+        .map(|s| Diagnostic {
+            severity: Severity::Warn,
+            lint: "mem-blowup",
+            stmt: Some(s.stmt),
+            message: format!(
+                "certified memory peak {} bytes exceeds the {budget}-byte budget \
+                 (resident {} + head {} + build {}; |head| ≤ {})",
+                s.peak_bytes,
+                s.resident_bytes,
+                s.out_bytes,
+                s.build_bytes.unwrap_or(0),
+                s.symbolic
+            ),
+            excerpt: s.excerpt.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_hypergraph::DbScheme;
+    use mjoin_program::{execute, ProgramBuilder};
+    use mjoin_relation::{relation_of_ints, Catalog, Database};
+
+    fn cx_parts(schemes: &[&str]) -> (Catalog, DbScheme) {
+        let mut c = Catalog::new();
+        let scheme = DbScheme::parse(&mut c, schemes);
+        (c, scheme)
+    }
+
+    fn chain_program(scheme: &DbScheme) -> mjoin_program::Program {
+        let mut b = ProgramBuilder::new(scheme);
+        let v = b.new_temp_alias("V", mjoin_program::Reg::Base(0));
+        b.join(v, v, mjoin_program::Reg::Base(1));
+        b.join(v, v, mjoin_program::Reg::Base(2));
+        b.finish(v)
+    }
+
+    #[test]
+    fn certificate_covers_the_measured_high_water_mark() {
+        let mut c = Catalog::new();
+        let r = relation_of_ints(&mut c, "AB", &[&[1, 2], &[2, 3], &[9, 8]]).unwrap();
+        let s = relation_of_ints(&mut c, "BC", &[&[2, 3], &[3, 4], &[3, 5]]).unwrap();
+        let t = relation_of_ints(&mut c, "CD", &[&[4, 1], &[5, 1]]).unwrap();
+        let scheme = DbScheme::parse(&mut c, &["AB", "BC", "CD"]);
+        let db = Database::from_relations(vec![r, s, t]);
+        let p = chain_program(&scheme);
+        let cx = AnalysisCx::new(&p, &scheme, &c).unwrap();
+        let seeds: Vec<u64> = db.relations().iter().map(|r| r.len() as u64).collect();
+        let cert = memory_report(&cx, &seeds);
+
+        let out = execute(&p, &db);
+        assert!(
+            cert.peak_tuples >= out.peak_resident,
+            "certified peak {} below measured {}",
+            cert.peak_tuples,
+            out.peak_resident
+        );
+        // Per-statement head bounds are sound too.
+        for (s, &measured) in cert.stmts.iter().zip(&out.head_sizes) {
+            assert!(s.out_tuples >= measured as u64);
+        }
+        assert_eq!(cert.stmts.len(), 2);
+        assert!(cert.peak_bytes >= cert.input_bytes);
+        assert!(cert.peak_stmt.is_some());
+    }
+
+    #[test]
+    fn peak_is_monotone_in_relation_sizes() {
+        let (c, scheme) = cx_parts(&["AB", "BC", "CD"]);
+        let p = chain_program(&scheme);
+        let cx = AnalysisCx::new(&p, &scheme, &c).unwrap();
+        let small = memory_report(&cx, &[10, 10, 10]);
+        let big = memory_report(&cx, &[10, 50, 10]);
+        assert!(big.peak_bytes >= small.peak_bytes);
+        assert!(big.peak_tuples >= small.peak_tuples);
+    }
+
+    #[test]
+    fn spill_plan_targets_only_over_budget_keyed_joins() {
+        let (c, scheme) = cx_parts(&["AB", "BC", "CD"]);
+        let p = chain_program(&scheme);
+        let cx = AnalysisCx::new(&p, &scheme, &c).unwrap();
+        let cert = memory_report(&cx, &[1000, 1000, 1000]);
+
+        // A huge budget spills nothing.
+        let plan = cert.spill_plan(u64::MAX);
+        assert!(!plan.any());
+
+        // A tiny budget spills every keyed join, with power-of-two counts.
+        let plan = cert.spill_plan(64);
+        assert!(plan.any());
+        for (i, s) in cert.stmts.iter().enumerate() {
+            match s.build_bytes {
+                Some(b) if b > 64 => {
+                    let parts = plan.partitions(i).expect("over-budget join must spill");
+                    assert!(parts.is_power_of_two());
+                    assert!(parts as u64 <= MAX_SPILL_PARTITIONS);
+                }
+                _ => assert_eq!(plan.partitions(i), None),
+            }
+        }
+    }
+
+    #[test]
+    fn cartesian_join_never_spills_but_trips_mem_blowup() {
+        let (c, scheme) = cx_parts(&["AB", "CD"]);
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp("V");
+        b.join(v, mjoin_program::Reg::Base(0), mjoin_program::Reg::Base(1));
+        let p = b.finish(v);
+        let cx = AnalysisCx::new(&p, &scheme, &c).unwrap();
+        let cert = memory_report(&cx, &[1000, 1000]);
+        assert_eq!(cert.stmts[0].build_bytes, None, "no key, no build table");
+        assert!(!cert.spill_plan(1).any(), "nothing to partition by");
+
+        let diags = mem_blowup(&cx, &[1000, 1000], 1024);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, "mem-blowup");
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert_eq!(diags[0].stmt, Some(0));
+        assert!(mem_blowup(&cx, &[1000, 1000], u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn violation_names_the_first_offender_and_renders() {
+        let (c, scheme) = cx_parts(&["AB", "BC", "CD"]);
+        let p = chain_program(&scheme);
+        let cx = AnalysisCx::new(&p, &scheme, &c).unwrap();
+        let cert = memory_report(&cx, &[100, 100, 100]);
+        assert!(cert.violation(u64::MAX).is_none());
+        let v = cert.violation(0).expect("everything exceeds 0");
+        assert_eq!(v.stmt, 0);
+
+        let text = cert.render_text();
+        assert!(text.contains("memory: peak ≤"), "{text}");
+        assert!(text.contains("|⋈D[{AB,BC}]|"), "{text}");
+        let json = cert.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"peak_bytes\""), "{json}");
+        assert!(json.contains("\"build_bytes\""), "{json}");
+    }
+
+    #[test]
+    fn provenance_flows_through_attributed_certificates() {
+        use mjoin_hypergraph::RelSet;
+        let (c, scheme) = cx_parts(&["AB", "BC"]);
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", mjoin_program::Reg::Base(0));
+        b.join(v, v, mjoin_program::Reg::Base(1));
+        let p = b.finish(v);
+        let cx = AnalysisCx::new(&p, &scheme, &c).unwrap();
+        let mut cert = Certificate::compute(&cx);
+        cert.attribute(&[RelSet::from_indices([0, 1])]);
+        let mem = memory_report_with(&cx, &[10, 10], &cert);
+        assert_eq!(mem.stmts[0].node.as_deref(), Some("{AB,BC}"));
+        assert!(mem.render_text().contains("[node {AB,BC}]"));
+    }
+
+    #[test]
+    fn hashtable_model_matches_rawtable_shape() {
+        // 3 rows → 8 buckets of 4 bytes + 3 entries of 16 bytes.
+        assert_eq!(hashtable_bytes(3), 8 * 4 + 3 * 16);
+        // 0 rows still allocates the minimum 2-bucket array.
+        assert_eq!(hashtable_bytes(0), 2 * 4);
+        // Saturates instead of overflowing.
+        assert_eq!(hashtable_bytes(u64::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,393 @@
+//! `exp_spill` — the certificate-gated Grace-hash spill bakeoff.
+//!
+//! Skewed chain joins (`AB ⋈ BC ⋈ CD` with a four-valued join attribute,
+//! so the first join is quadratic) are executed twice: fully in memory,
+//! and under a deliberately tiny `mem_budget` that forces the statically
+//! selected statements through the Grace-hash partition-to-disk path. The
+//! headline numbers are the price of spilling (wall-clock ratio) and its
+//! footprint (`mem.partitions`, `mem.spilled_bytes` from a traced run),
+//! next to the static [`memory_report`] peak the gate was derived from.
+//! Both runs are asserted tuple-identical before anything is timed.
+//!
+//! Results land in `BENCH_spill.json` at the repo root (or the path given
+//! as the first CLI argument). `--check` is the CI regression gate: an
+//! over-provisioned budget must produce an empty spill plan and a run
+//! with no `mem.passes` counter, while a starved budget must partition
+//! (`mem.partitions > 0`) and still match the in-memory rows.
+
+use mjoin_analyze::{memory_report, AnalysisCx, MemCertificate};
+use mjoin_bench::print_table;
+use mjoin_core::derive;
+use mjoin_program::{execute_with, ExecConfig, Program};
+use mjoin_relation::{json, relation_of_ints, Catalog, Database};
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+struct Workload {
+    name: &'static str,
+    catalog: Catalog,
+    scheme: mjoin_hypergraph::DbScheme,
+    db: Database,
+}
+
+/// Skewed 3-chains at two scales. `check` shrinks them for the CI gate —
+/// the spill/no-spill decision is a pure function of the certificate and
+/// the budget, so the gate outcome is scale-invariant.
+fn workloads(check: bool) -> Vec<Workload> {
+    let s = |bench: i64, gate: i64| if check { gate } else { bench };
+    [("chain_skew", s(700, 48)), ("chain_skew_wide", s(1400, 64))]
+        .into_iter()
+        .map(|(name, n)| {
+            let mut catalog = Catalog::new();
+            let scheme = mjoin_hypergraph::DbScheme::parse(&mut catalog, &["AB", "BC", "CD"]);
+            let ab: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i % 4]).collect();
+            let bc: Vec<Vec<i64>> = (0..n).map(|i| vec![i % 4, i]).collect();
+            let cd: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i % 3]).collect();
+            let db = Database::from_relations(vec![
+                rel_of(&mut catalog, "AB", &ab),
+                rel_of(&mut catalog, "BC", &bc),
+                rel_of(&mut catalog, "CD", &cd),
+            ]);
+            Workload {
+                name,
+                catalog,
+                scheme,
+                db,
+            }
+        })
+        .collect()
+}
+
+fn rel_of(catalog: &mut Catalog, name: &str, rows: &[Vec<i64>]) -> mjoin_relation::Relation {
+    let slices: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    relation_of_ints(catalog, name, &slices).expect("workload relation")
+}
+
+/// Derive the chain program and its memory certificate on the real sizes.
+fn derived(w: &Workload) -> (Program, MemCertificate) {
+    let tree =
+        mjoin_expr::parse_join_tree(&w.catalog, &w.scheme, "(AB ⋈ BC) ⋈ CD").expect("chain tree");
+    let program = derive(&w.scheme, &tree).expect("derivation").program;
+    let seeds: Vec<u64> = w.db.relations().iter().map(|r| r.len() as u64).collect();
+    let cx = AnalysisCx::new(&program, &w.scheme, &w.catalog).expect("analysis");
+    let mem = memory_report(&cx, &seeds);
+    (program, mem)
+}
+
+fn time_once<F: FnMut()>(f: &mut F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// One traced (untimed) run; returns the `mem.*` counters.
+fn traced_counters(program: &Program, db: &Database, cfg: &ExecConfig) -> Vec<(String, u64)> {
+    mjoin_trace::clear();
+    mjoin_trace::set_enabled(true);
+    {
+        let out = execute_with(program, db, cfg);
+        std::hint::black_box(out.result.len());
+    }
+    mjoin_trace::set_enabled(false);
+    let trace = mjoin_trace::take();
+    trace
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("mem."))
+        .map(|(n, v)| (n.to_string(), *v))
+        .collect()
+}
+
+struct Measurement {
+    name: &'static str,
+    input_tuples: usize,
+    output_tuples: usize,
+    peak_bytes: u64,
+    budget: u64,
+    spilled_stmts: usize,
+    mem_ms: f64,
+    spill_ms: f64,
+    counters: Vec<(String, u64)>,
+}
+
+impl Measurement {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    fn slowdown(&self) -> f64 {
+        self.spill_ms / self.mem_ms.max(1e-6)
+    }
+}
+
+/// A budget the certificate must refuse: half the largest certified
+/// build side, so the gate (`build_bytes > budget`) trips on at least
+/// one join while staying a plausible per-operator cap.
+fn starved_budget(mem: &MemCertificate) -> u64 {
+    mem.stmts
+        .iter()
+        .filter_map(|s| s.build_bytes)
+        .max()
+        .map_or(1, |b| (b / 2).max(1))
+}
+
+fn measure(w: &Workload) -> Measurement {
+    let (program, mem) = derived(w);
+    let budget = starved_budget(&mem);
+    let plan = Arc::new(mem.spill_plan(budget));
+    assert!(
+        plan.any(),
+        "{}: half the largest build side must force at least one spill",
+        w.name
+    );
+    let spill_cfg = ExecConfig {
+        mem_budget: Some(budget),
+        spill: Some(Arc::clone(&plan)),
+        ..ExecConfig::default()
+    };
+
+    // Correctness gate before any timing: spilled == in-memory.
+    let baseline = execute_with(&program, &w.db, &ExecConfig::default());
+    let spilled = execute_with(&program, &w.db, &spill_cfg);
+    assert_eq!(
+        *baseline.result, *spilled.result,
+        "{}: the spilled run diverged from the in-memory run",
+        w.name
+    );
+
+    for rel in w.db.relations() {
+        let _ = rel.rows();
+        let _ = rel.columns();
+    }
+    let mut mem_ms = f64::INFINITY;
+    let mut spill_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        mem_ms = mem_ms.min(time_once(&mut || {
+            let out = execute_with(&program, &w.db, &ExecConfig::default());
+            std::hint::black_box(out.result.len());
+        }));
+        spill_ms = spill_ms.min(time_once(&mut || {
+            let out = execute_with(&program, &w.db, &spill_cfg);
+            std::hint::black_box(out.result.len());
+        }));
+    }
+
+    let counters = traced_counters(&program, &w.db, &spill_cfg);
+    Measurement {
+        name: w.name,
+        input_tuples: w
+            .db
+            .relations()
+            .iter()
+            .map(mjoin_relation::Relation::len)
+            .sum(),
+        output_tuples: baseline.result.len(),
+        peak_bytes: mem.peak_bytes,
+        budget,
+        spilled_stmts: plan.spilled_stmts(),
+        mem_ms,
+        spill_ms,
+        counters,
+    }
+}
+
+fn write_json(path: &str, ms: &[Measurement]) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"experiment\": \"spill\",\n");
+    j.push_str("  \"command\": \"cargo run --release -p mjoin-bench --bin exp_spill\",\n");
+    j.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
+    j.push_str(
+        "  \"note\": \"budget = half the largest certified build side; the spill plan is computed statically from the memory certificate, never from runtime sizes; the spilled run is asserted tuple-identical to the in-memory run before timing\",\n",
+    );
+    j.push_str("  \"workloads\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        j.push_str("    {\n");
+        j.push_str(&format!("      \"name\": {},\n", json::string(m.name)));
+        j.push_str(&format!("      \"input_tuples\": {},\n", m.input_tuples));
+        j.push_str(&format!("      \"output_tuples\": {},\n", m.output_tuples));
+        j.push_str(&format!(
+            "      \"certified_peak_bytes\": {},\n",
+            m.peak_bytes
+        ));
+        j.push_str(&format!("      \"mem_budget\": {},\n", m.budget));
+        j.push_str(&format!("      \"spilled_stmts\": {},\n", m.spilled_stmts));
+        j.push_str(&format!("      \"in_memory_ms\": {:.3},\n", m.mem_ms));
+        j.push_str(&format!("      \"spill_ms\": {:.3},\n", m.spill_ms));
+        j.push_str(&format!("      \"spill_slowdown\": {:.2},\n", m.slowdown()));
+        j.push_str("      \"counters\": {");
+        let cells: Vec<String> = m
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", json::string(k)))
+            .collect();
+        j.push_str(&cells.join(", "));
+        j.push_str("}\n");
+        j.push_str(if i + 1 == ms.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(path, j).expect("write BENCH_spill.json");
+}
+
+/// CI regression gate (`--check`): the budget decides, and only the
+/// budget.
+///
+/// * Over-provisioned (`2 × certified peak`): the spill plan is empty and
+///   a run under that budget never touches the spill path — no `mem.*`
+///   counter fires.
+/// * Starved (half the largest certified build side): the plan is
+///   non-empty, the run partitions
+///   (`mem.partitions > 0`, `mem.spilled_bytes > 0`) and its rows equal
+///   the in-memory run's.
+fn check(ws: &[Workload]) -> bool {
+    let mut ok = true;
+    let mut gate = |name: &str, label: &str, cond: bool, detail: String| {
+        if cond {
+            println!("  ok   {name}: {label} ({detail})");
+        } else {
+            println!("  FAIL {name}: {label} ({detail})");
+            ok = false;
+        }
+    };
+    for w in ws {
+        let (program, mem) = derived(w);
+        let baseline = execute_with(&program, &w.db, &ExecConfig::default());
+
+        let roomy = mem.peak_bytes.saturating_mul(2);
+        let under_plan = mem.spill_plan(roomy);
+        gate(
+            w.name,
+            "over-provisioned budget yields an empty spill plan",
+            !under_plan.any(),
+            format!("peak {} budget {roomy}", mem.peak_bytes),
+        );
+        let under_cfg = ExecConfig {
+            mem_budget: Some(roomy),
+            spill: Some(Arc::new(under_plan)),
+            ..ExecConfig::default()
+        };
+        let under_counters = traced_counters(&program, &w.db, &under_cfg);
+        gate(
+            w.name,
+            "under-budget run never spills",
+            under_counters.is_empty(),
+            format!("mem.* counters: {under_counters:?}"),
+        );
+
+        let tight = starved_budget(&mem);
+        let over_plan = Arc::new(mem.spill_plan(tight));
+        gate(
+            w.name,
+            "starved budget forces a spill plan",
+            over_plan.any(),
+            format!("peak {} budget {tight}", mem.peak_bytes),
+        );
+        let over_cfg = ExecConfig {
+            mem_budget: Some(tight),
+            spill: Some(Arc::clone(&over_plan)),
+            ..ExecConfig::default()
+        };
+        let spilled = execute_with(&program, &w.db, &over_cfg);
+        gate(
+            w.name,
+            "spilled rows equal the in-memory rows",
+            *spilled.result == *baseline.result,
+            format!(
+                "{} vs {} tuples",
+                spilled.result.len(),
+                baseline.result.len()
+            ),
+        );
+        let over_counters = traced_counters(&program, &w.db, &over_cfg);
+        let partitions = over_counters
+            .iter()
+            .find(|(n, _)| n == "mem.partitions")
+            .map_or(0, |(_, v)| *v);
+        let bytes = over_counters
+            .iter()
+            .find(|(n, _)| n == "mem.spilled_bytes")
+            .map_or(0, |(_, v)| *v);
+        gate(
+            w.name,
+            "over-budget run actually partitions",
+            partitions > 0 && bytes > 0,
+            format!("mem.partitions {partitions}, mem.spilled_bytes {bytes}"),
+        );
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        let ws = workloads(true);
+        println!("exp_spill --check: {} workloads\n", ws.len());
+        if check(&ws) {
+            println!("\ncheck: the budget gate held on both sides");
+            return;
+        }
+        eprintln!("\ncheck: spill gating regressed (see FAIL lines above)");
+        std::process::exit(1);
+    }
+    let path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_spill.json".into());
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        eprintln!("exp_spill: cannot open output path {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("exp_spill: best of {REPS}\n");
+
+    let ws = workloads(false);
+    let measurements: Vec<Measurement> = ws
+        .iter()
+        .map(|w| {
+            println!("running {} ...", w.name);
+            measure(w)
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                m.input_tuples.to_string(),
+                m.output_tuples.to_string(),
+                m.peak_bytes.to_string(),
+                m.budget.to_string(),
+                m.spilled_stmts.to_string(),
+                m.counter("mem.partitions").to_string(),
+                m.counter("mem.spilled_bytes").to_string(),
+                format!("{:.1}", m.mem_ms),
+                format!("{:.1}", m.spill_ms),
+                format!("{:.2}×", m.slowdown()),
+            ]
+        })
+        .collect();
+    println!();
+    print_table(
+        &[
+            "workload", "input", "output", "peak B", "budget", "spilled", "parts", "bytes",
+            "mem ms", "spill ms", "slowdown",
+        ],
+        &rows,
+    );
+
+    write_json(&path, &measurements);
+    println!("\nwrote {path}");
+}

@@ -12,7 +12,7 @@ use crate::alg2::{algorithm2_with_provenance, Alg2Error, Alg2Provenance};
 use crate::choice::{ChoicePolicy, FirstChoice};
 use mjoin_expr::JoinTree;
 use mjoin_hypergraph::DbScheme;
-use mjoin_program::{execute, execute_parallel, ExecOutcome, Program};
+use mjoin_program::{execute, execute_parallel, execute_with, ExecConfig, ExecOutcome, Program};
 use mjoin_relation::Database;
 use std::fmt;
 
@@ -149,6 +149,34 @@ pub fn run_pipeline_parallel(
     })
 }
 
+/// [`run_pipeline`], but executing under a caller-built [`ExecConfig`].
+///
+/// The config is built by a closure *over the finished derivation*, so
+/// callers can run static analysis on the derived program — compute a
+/// memory certificate, turn it into a spill plan, pick a thread count —
+/// before a single tuple moves. This is how `mjoin_cli run --mem-budget`
+/// and the CQ compiler wire certificate-gated Grace-hash spilling in
+/// without this crate depending on the analyzer (the dependency points the
+/// other way).
+pub fn run_pipeline_with(
+    scheme: &DbScheme,
+    t1: &JoinTree,
+    db: &Database,
+    policy: &mut dyn ChoicePolicy,
+    cfg_of: impl FnOnce(&Derivation) -> ExecConfig,
+) -> Result<PipelineRun, PipelineError> {
+    let derivation = derive_with_policy(scheme, t1, policy)?;
+    let tree_cost = mjoin_expr::cost_of(t1, db);
+    let cfg = cfg_of(&derivation);
+    let exec = execute_with(&derivation.program, db, &cfg);
+    Ok(PipelineRun {
+        derivation,
+        tree_cost,
+        exec,
+        quasi_factor: scheme.quasi_factor(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +220,23 @@ mod tests {
         let d = derive(&s, &t1).unwrap();
         assert!(d.cpf_tree.is_cpf(&s));
         assert!(!d.program.is_empty());
+    }
+
+    #[test]
+    fn pipeline_with_config_closure_sees_the_derivation() {
+        let (c, s, db) = setup();
+        let t1 = parse_join_tree(&c, &s, "((ABC ⋈ CDE) ⋈ EFG) ⋈ GHA").unwrap();
+        let mut saw_stmts = 0;
+        let run = run_pipeline_with(&s, &t1, &db, &mut FirstChoice, |d| {
+            saw_stmts = d.program.stmts.len();
+            ExecConfig::with_threads(2)
+        })
+        .unwrap();
+        assert!(saw_stmts > 0, "closure ran over the derived program");
+        assert_eq!(*run.exec.result, db.join_all());
+        let seq = run_pipeline(&s, &t1, &db, &mut FirstChoice).unwrap();
+        assert_eq!(run.exec.head_sizes, seq.exec.head_sizes);
+        assert_eq!(run.program_cost(), seq.program_cost());
     }
 
     #[test]

@@ -16,12 +16,12 @@
 use crate::ast::{Atom, ConjunctiveQuery, Term};
 use crate::minimize::{differential_validate, minimize};
 use crate::storage::NamedDatabase;
-use mjoin_analyze::{AnalysisCx, Certificate};
-use mjoin_core::{derive, run_pipeline, run_pipeline_parallel, FirstChoice};
+use mjoin_analyze::{memory_report, AnalysisCx, Certificate};
+use mjoin_core::{derive, run_pipeline_with, FirstChoice};
 use mjoin_expr::JoinTree;
 use mjoin_hypergraph::{agm_ln, bound_u64, DbScheme};
 use mjoin_optimizer::{greedy, optimize, EstimateOracle, SearchSpace};
-use mjoin_program::SharedIndexCache;
+use mjoin_program::{ExecConfig, SharedIndexCache};
 use mjoin_relation::{
     ops, AttrId, Catalog, CostLedger, Database, Error, Relation, Result, Row, Schema, Value,
 };
@@ -60,6 +60,13 @@ pub struct ExecOptions {
     /// verified two-way homomorphism proof plus differential execution
     /// against the unminimized query on generated databases.
     pub minimize: bool,
+    /// Per-statement memory budget in bytes. When set, each component's
+    /// derived program gets a static memory certificate
+    /// ([`mjoin_analyze::memory_report`]) and any join whose certified
+    /// build-side bytes exceed the budget runs the Grace-hash spill path —
+    /// decided before execution starts, never at runtime. `None` (the
+    /// default) keeps every statement in memory.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for ExecOptions {
@@ -69,6 +76,7 @@ impl Default for ExecOptions {
             threads: 0,
             cache: None,
             minimize: true,
+            mem_budget: None,
         }
     }
 }
@@ -462,11 +470,22 @@ fn run_component(
         Arc::new(rel)
     };
     let run_program = |tree: &JoinTree, ledger: &mut CostLedger| -> Result<Arc<Relation>> {
-        let run = if opts.threads > 1 {
-            run_pipeline_parallel(comp_scheme, tree, comp_db, &mut FirstChoice, opts.threads)
-        } else {
-            run_pipeline(comp_scheme, tree, comp_db, &mut FirstChoice)
-        }
+        let run = run_pipeline_with(comp_scheme, tree, comp_db, &mut FirstChoice, |d| {
+            let mut cfg = ExecConfig::with_threads(opts.threads);
+            if let Some(budget) = opts.mem_budget {
+                cfg.mem_budget = Some(budget);
+                // Certify the derived program and gate the spill path on
+                // the certificate — an unanalyzable program (which the
+                // pipeline never produces) just runs unspilled.
+                if let Ok(cx) = AnalysisCx::new(&d.program, comp_scheme, qcat) {
+                    let plan = memory_report(&cx, &sizes).spill_plan(budget);
+                    if plan.any() {
+                        cfg.spill = Some(Arc::new(plan));
+                    }
+                }
+            }
+            cfg
+        })
         .map_err(|e| Error::Parse(e.to_string()))?;
         // Program cost minus the inputs (already charged at binding).
         ledger.charge_generated(

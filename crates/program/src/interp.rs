@@ -68,6 +68,55 @@ pub struct ExecConfig {
     /// completion. Use [`try_execute_with`] to observe a cancellation as a
     /// value instead of a panic.
     pub cancel: Option<CancelToken>,
+    /// The peak-memory budget (bytes) this run was admitted under, if any.
+    /// The interpreter never compares against it at runtime — the
+    /// per-statement decision is precomputed into [`ExecConfig::spill`] by
+    /// the static memory analysis — but carrying the figure here keeps the
+    /// gate auditable (trace spans and servers can report what the run was
+    /// budgeted at).
+    pub mem_budget: Option<u64>,
+    /// The statically derived spill schedule: statements the memory
+    /// certificate proved cannot fit `mem_budget` take the Grace-hash
+    /// out-of-core join path with the planned partition count; everything
+    /// else runs the in-memory kernels with no runtime check at all.
+    /// `None` (the default) never spills.
+    pub spill: Option<Arc<SpillPlan>>,
+}
+
+/// A statically derived spill schedule: for each statement of a program,
+/// either the number of Grace-hash partitions to run it with, or nothing —
+/// the in-memory path. Produced by the memory analysis
+/// (`mjoin_analyze::memory::MemCertificate::spill_plan`) from the certified
+/// per-statement build-side bounds and a byte budget; consumed by
+/// [`execute_with`] via [`ExecConfig::spill`]. Plain data, so the executor
+/// crate needs no dependency on the analyzer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillPlan {
+    parts: Vec<Option<usize>>,
+}
+
+impl SpillPlan {
+    /// A plan from per-statement partition counts (`parts[i]` is `Some(p)`
+    /// when statement `i` must spill into `p` partitions).
+    pub fn new(parts: Vec<Option<usize>>) -> Self {
+        SpillPlan { parts }
+    }
+
+    /// The planned partition count for statement `stmt`, or `None` for the
+    /// in-memory path (also `None` past the end of the plan).
+    pub fn partitions(&self, stmt: usize) -> Option<usize> {
+        self.parts.get(stmt).copied().flatten()
+    }
+
+    /// Whether any statement is scheduled to spill.
+    pub fn any(&self) -> bool {
+        self.parts.iter().any(Option::is_some)
+    }
+
+    /// Number of statements scheduled to spill.
+    pub fn spilled_stmts(&self) -> usize {
+        self.parts.iter().filter(|p| p.is_some()).count()
+    }
 }
 
 impl Default for ExecConfig {
@@ -80,6 +129,8 @@ impl Default for ExecConfig {
             par_cutoff: ops::par_cutoff(),
             cache: None,
             cancel: None,
+            mem_budget: None,
+            spill: None,
         }
     }
 }
@@ -112,6 +163,12 @@ impl ExecConfig {
     /// Whether this run was cancelled (explicitly or by deadline).
     fn cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// The planned Grace-hash partition count for statement `stmt`, if the
+    /// static analysis scheduled it to spill.
+    fn spill_partitions(&self, stmt: usize) -> Option<usize> {
+        self.spill.as_ref().and_then(|p| p.partitions(stmt))
     }
 }
 
@@ -718,6 +775,7 @@ fn eval_stmt(
     stmt: &Stmt,
     threads: usize,
     cutoff: usize,
+    spill: Option<usize>,
     mut idx: IndexMode<'_>,
 ) -> (Reg, Relation) {
     match stmt {
@@ -734,8 +792,21 @@ fn eval_stmt(
             let (lpos, rpos) = join_key_positions(l.schema(), r.schema());
             if lpos.is_empty() {
                 // Cartesian product: an index (one bucket chain holding
-                // everything) buys nothing.
+                // everything) buys nothing, and there is no key to spill
+                // by — the memory analysis never schedules these.
                 return (*dst, ops::par_join_cutoff(&l, &r, threads, cutoff));
+            }
+            if let Some(p) = spill {
+                // The certificate proved this statement's build side cannot
+                // fit the budget: Grace-hash through temp files. On an I/O
+                // failure (temp dir full, disk gone) fall through to the
+                // in-memory path rather than lose the query.
+                if let Ok((out, stats)) = ops::grace_hash_join(&l, &r, p) {
+                    mjoin_trace::add("mem.partitions", stats.partitions);
+                    mjoin_trace::add("mem.spilled_bytes", stats.spilled_bytes);
+                    mjoin_trace::add("mem.passes", 1);
+                    return (*dst, out);
+                }
             }
             // Peek both sides; with a choice, keep the index on the larger
             // side so the smaller side does the probing.
@@ -824,6 +895,7 @@ fn stmt_kind(stmt: &Stmt) -> &'static str {
 
 /// [`eval_stmt`] wrapped in an `exec/stmt` span carrying the statement
 /// index, kind, and output cardinality (the data EXPLAIN ANALYZE reports).
+#[allow(clippy::too_many_arguments)]
 fn eval_stmt_traced(
     program: &Program,
     m: &Machine,
@@ -831,14 +903,18 @@ fn eval_stmt_traced(
     index: usize,
     threads: usize,
     cutoff: usize,
+    spill: Option<usize>,
     idx: IndexMode<'_>,
 ) -> (Reg, Relation) {
     let mut sp = mjoin_trace::span("exec", "stmt");
-    let (head, value) = eval_stmt(program, m, stmt, threads, cutoff, idx);
+    let (head, value) = eval_stmt(program, m, stmt, threads, cutoff, spill, idx);
     if sp.is_active() {
         sp.arg("index", index);
         sp.arg("kind", stmt_kind(stmt));
         sp.arg("out_rows", value.len());
+        if let Some(p) = spill {
+            sp.arg("spill_partitions", p);
+        }
     }
     (head, value)
 }
@@ -915,7 +991,16 @@ fn execute_seq(
         } else {
             IndexMode::Off
         };
-        let (head, value) = eval_stmt_traced(program, &m, stmt, i, 1, cfg.par_cutoff, idx);
+        let (head, value) = eval_stmt_traced(
+            program,
+            &m,
+            stmt,
+            i,
+            1,
+            cfg.par_cutoff,
+            cfg.spill_partitions(i),
+            idx,
+        );
         ledger.charge_generated(format!("stmt {i}"), value.len());
         mjoin_trace::add("exec.head_tuples", value.len() as u64);
         head_sizes.push(value.len());
@@ -1100,6 +1185,7 @@ fn execute_level(
                             i,
                             threads,
                             cfg.par_cutoff,
+                            cfg.spill_partitions(i),
                             idx,
                         ),
                     )
@@ -1121,6 +1207,7 @@ fn execute_level(
                         i,
                         threads,
                         cfg.par_cutoff,
+                        cfg.spill_partitions(i),
                         idx,
                     ),
                 )
@@ -1478,6 +1565,78 @@ mod tests {
         assert_eq!(t.counter("index_cache.trie_insert"), Some(1));
         assert_eq!(t.counter("index_cache.trie_miss"), Some(2));
         assert_eq!(t.counter("index_cache.trie_hit"), Some(2));
+    }
+
+    /// Regression: `TrieIndex::heap_bytes` must include the sort
+    /// permutation vector, so a cached trie's frozen byte accounting in
+    /// the [`IndexCache`] covers everything the entry actually pins. The
+    /// old figure under-counted every trie entry by `4 × tuples` bytes
+    /// against the cache's byte budget.
+    #[test]
+    fn trie_cache_accounting_includes_permutation_bytes() {
+        use mjoin_relation::ops::TrieIndex;
+        let mut c = Catalog::new();
+        let r = Arc::new(relation_of_ints(&mut c, "AB", &[&[1, 2], &[3, 4]]).unwrap());
+        let t = Arc::new(TrieIndex::build(Arc::clone(&r), vec![0, 1]));
+        let perm_bytes = t.tuples() * std::mem::size_of::<u32>();
+        let level_bytes = t.depth() * t.tuples() * 8; // two permuted i64 levels
+        assert_eq!(t.heap_bytes(), level_bytes + perm_bytes);
+
+        let mut cache = IndexCache::with_budgets(u64::MAX, u64::MAX);
+        let resident = t.resident_bytes() as u64;
+        cache.insert_trie(t);
+        assert_eq!(cache.resident_bytes(), resident);
+        assert!(
+            cache.resident_bytes() >= (level_bytes + perm_bytes) as u64,
+            "cache accounting must cover the permutation vector"
+        );
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    /// A [`SpillPlan`] routes exactly the scheduled statements through the
+    /// Grace-hash path; the result is identical to the in-memory run and
+    /// the `mem.*` counters record the partition work.
+    #[test]
+    fn spill_plan_routes_statements_through_grace_hash() {
+        let (_c, scheme, db) = chain_db();
+        let mut b = ProgramBuilder::new(&scheme);
+        let v = b.new_temp_alias("V", Reg::Base(0));
+        b.join(v, v, Reg::Base(1));
+        b.join(v, v, Reg::Base(2));
+        let p = b.finish(v);
+        let unbudgeted = execute(&p, &db);
+
+        for threads in [1usize, 4] {
+            let cfg = ExecConfig {
+                mem_budget: Some(1),
+                spill: Some(Arc::new(SpillPlan::new(vec![Some(2), None]))),
+                ..ExecConfig::with_threads(threads)
+            };
+            mjoin_trace::set_enabled(true);
+            mjoin_trace::clear();
+            let out = execute_with(&p, &db, &cfg);
+            let t = mjoin_trace::take();
+            mjoin_trace::set_enabled(false);
+            assert_eq!(*out.result, *unbudgeted.result, "threads = {threads}");
+            assert_eq!(out.head_sizes, unbudgeted.head_sizes);
+            assert_eq!(
+                t.counter("mem.passes"),
+                Some(1),
+                "exactly the one planned statement spills (threads = {threads})"
+            );
+            assert_eq!(t.counter("mem.partitions"), Some(2));
+            assert!(t.counter("mem.spilled_bytes").unwrap_or(0) > 0);
+        }
+
+        // No plan → no spill, no counters.
+        mjoin_trace::set_enabled(true);
+        mjoin_trace::clear();
+        let out = execute(&p, &db);
+        let t = mjoin_trace::take();
+        mjoin_trace::set_enabled(false);
+        assert_eq!(*out.result, *unbudgeted.result);
+        assert_eq!(t.counter("mem.passes"), None);
     }
 
     /// A shared cache passed through `ExecConfig.cache` carries warm

@@ -33,7 +33,7 @@ pub mod validate;
 pub use dataflow::{BitSet, Liveness};
 pub use interp::{
     execute, execute_parallel, execute_with, try_execute_with, CancelToken, Cancelled, ExecConfig,
-    ExecOutcome, IndexCache, SharedIndexCache,
+    ExecOutcome, IndexCache, SharedIndexCache, SpillPlan,
 };
 pub use optimize::eliminate_dead_code;
 pub use parse::parse_program;

@@ -18,6 +18,7 @@ mod rename;
 mod select;
 mod semijoin;
 mod setops;
+mod spill;
 mod trie;
 
 pub use index::{
@@ -32,6 +33,7 @@ pub use rename::rename;
 pub use select::{select_eq, select_where};
 pub use semijoin::{par_semijoin, par_semijoin_cutoff, semijoin};
 pub use setops::{difference, intersection, union};
+pub use spill::{grace_hash_join, SpillStats};
 pub use trie::TrieIndex;
 
 pub use columnar::key_hashes;

@@ -38,6 +38,11 @@ pub struct TrieIndex {
     /// Per-level columns, permuted into trie order (row `i` of every level
     /// is the same source tuple).
     levels: Vec<Column>,
+    /// The sort permutation mapping trie row `i` back to source row
+    /// `perm[i]`. Kept so callers can recover source tuples from trie
+    /// positions; it is real resident memory and counts toward
+    /// [`TrieIndex::heap_bytes`].
+    perm: Box<[u32]>,
 }
 
 impl TrieIndex {
@@ -67,7 +72,13 @@ impl TrieIndex {
             rel,
             key_pos: key_pos.into(),
             levels,
+            perm: perm.into(),
         }
+    }
+
+    /// The source row index of trie row `i` (the sort permutation).
+    pub fn source_row(&self, i: usize) -> usize {
+        self.perm[i] as usize
     }
 
     /// The indexed relation.
@@ -90,11 +101,15 @@ impl TrieIndex {
         self.rel.len()
     }
 
-    /// Heap bytes of the permuted level columns themselves (excluding the
-    /// pinned relation and shared dictionary pools): the allocation a cache
-    /// hit avoids re-sorting.
+    /// Heap bytes of the permuted level columns themselves plus the sort
+    /// permutation vector (excluding the pinned relation and shared
+    /// dictionary pools): the allocation a cache hit avoids re-sorting.
+    /// The permutation is included because it is retained for the life of
+    /// the trie — omitting it under-counted every cached trie by
+    /// `4 × tuples` bytes against the cache's byte budget.
     pub fn heap_bytes(&self) -> usize {
-        self.levels.iter().map(Column::payload_bytes).sum()
+        self.levels.iter().map(Column::payload_bytes).sum::<usize>()
+            + self.perm.len() * std::mem::size_of::<u32>()
     }
 
     /// Resident bytes — the level columns plus the pinned relation's
@@ -319,8 +334,13 @@ mod tests {
         assert_eq!(Arc::as_ptr(t.relation()), ptr);
         assert_eq!(t.tuples(), 2);
         assert_eq!(t.depth(), 2);
-        assert_eq!(t.heap_bytes(), 2 * 2 * 8, "two permuted i64 levels");
+        assert_eq!(
+            t.heap_bytes(),
+            2 * 2 * 8 + 2 * 4,
+            "two permuted i64 levels plus the u32 permutation"
+        );
         assert!(t.resident_bytes() >= t.heap_bytes());
+        assert_eq!(t.source_row(0), 0);
     }
 
     #[test]

@@ -172,6 +172,53 @@ fn cell_to_tsv(v: &Value) -> String {
     out
 }
 
+/// Write one body row (no header) as one TSV line, cells in the row's own
+/// order, returning the bytes written. Counterpart of [`read_rows_tsv`];
+/// the Grace-hash spill path streams partition files through this pair, so
+/// it uses the same cell escaping as the relation writer and hostile
+/// strings round-trip bit-for-bit.
+pub(crate) fn write_row_tsv<W: std::io::Write>(out: &mut W, row: &Row) -> std::io::Result<usize> {
+    let mut n = 0usize;
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b"\t")?;
+            n += 1;
+        }
+        let cell = cell_to_tsv(v);
+        out.write_all(cell.as_bytes())?;
+        n += cell.len();
+    }
+    out.write_all(b"\n")?;
+    Ok(n + 1)
+}
+
+/// Parse header-less TSV body rows of known `arity`, as written by
+/// [`write_row_tsv`]. Cells land positionally — spill files store rows in
+/// schema-canonical order already, so no catalog or column permutation is
+/// involved.
+pub(crate) fn read_rows_tsv<R: std::io::BufRead>(reader: R, arity: usize) -> Result<Vec<Row>> {
+    let read_err = |e: std::io::Error| Error::Parse(format!("TSV read error: {e}"));
+    let mut rows: Vec<Row> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(read_err)?;
+        let line = line.strip_suffix('\r').unwrap_or(&line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() != arity {
+            return Err(Error::Parse(format!(
+                "spill row {}: expected {arity} values, found {}",
+                lineno + 1,
+                cells.len()
+            )));
+        }
+        let row: Result<Vec<Value>> = cells.iter().map(|c| cell_from_tsv(c, lineno + 1)).collect();
+        rows.push(row?.into());
+    }
+    Ok(rows)
+}
+
 /// Stream a relation as TSV (canonical column order, sorted rows) into any
 /// [`std::io::Write`] sink, one row at a time.
 ///

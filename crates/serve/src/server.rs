@@ -20,7 +20,7 @@
 
 use crate::json::Value as J;
 use crate::protocol::{err, err_with, ok, Request};
-use mjoin_analyze::{admission_report, AdmissionReport, AnalysisCx, Certificate};
+use mjoin_analyze::{admission_report, memory_report, AdmissionReport, AnalysisCx, Certificate};
 use mjoin_core::derive;
 use mjoin_cq::{
     execute_query_with, parse_query, query_agm_bound, ExecOptions as CqExecOptions,
@@ -70,6 +70,13 @@ pub struct ServeConfig {
     pub cache_budget_tuples: u64,
     /// Shared index-cache budget in resident bytes.
     pub cache_budget_bytes: u64,
+    /// Memory admission budget in bytes: reject any `run`/`query` program
+    /// whose statically certified peak-resident bytes
+    /// ([`mjoin_analyze::memory_report`]) exceed this. `cq` queries are
+    /// not rejected — their per-component programs instead route
+    /// over-budget join build sides through the Grace-hash spill path.
+    /// `None` disables both.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +88,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             cache_budget_tuples: 4 << 20,
             cache_budget_bytes: 256 << 20,
+            mem_budget: None,
         }
     }
 }
@@ -716,6 +724,30 @@ fn admit(shared: &Shared, r: &Resolved) -> Result<AdmissionReport, J> {
             ));
         }
     }
+    if let Some(budget) = shared.cfg.mem_budget {
+        let mem = memory_report(&cx, &seeds);
+        if let Some(v) = mem.violation(budget) {
+            trace::add("serve.admission_reject", 1);
+            let mut extra = vec![
+                ("stmt".to_string(), J::u64(v.stmt as u64)),
+                ("kind_of_stmt".to_string(), J::str(v.kind)),
+                ("peak_bytes".to_string(), J::u64(v.peak_bytes)),
+                ("mem_budget".to_string(), J::u64(budget)),
+                ("symbolic".to_string(), J::Str(v.symbolic.clone())),
+            ];
+            if let Some(x) = &v.excerpt {
+                extra.push(("excerpt".to_string(), J::Str(x.clone())));
+            }
+            return Err(err_with(
+                "admission",
+                format!(
+                    "certified memory peak {} bytes for statement {} exceeds --mem-budget {}",
+                    v.peak_bytes, v.stmt, budget
+                ),
+                extra,
+            ));
+        }
+    }
     Ok(report)
 }
 
@@ -775,6 +807,10 @@ fn execute_admitted(
         threads: shared.cfg.threads,
         cache: Some(Arc::clone(&shared.cache)),
         cancel: Some(cancel),
+        // Admission already proved the certified peak fits the budget (a
+        // build side is never larger than its statement's peak, so an
+        // admitted program needs no spill plan).
+        mem_budget: shared.cfg.mem_budget,
         ..ExecConfig::default()
     };
     trace::add("serve.run", 1);
@@ -1173,6 +1209,7 @@ fn handle_cq_query(
         threads: shared.cfg.threads,
         cache: None,
         minimize,
+        mem_budget: shared.cfg.mem_budget,
     };
     let (res, decisions) = match execute_query_with(&ndb, &q, strategy, &opts) {
         Ok(r) => r,
@@ -1352,6 +1389,20 @@ fn handle_explain(
         resp = resp
             .set("budget", J::u64(budget))
             .set("admitted", J::Bool(report.violation(budget).is_none()));
+    }
+    // The static memory certificate: the same peak-resident bound the
+    // memory admission gate and the spill planner act on.
+    let mem = memory_report(&cx, &seeds);
+    resp = resp
+        .set("mem_peak_bytes", J::u64(mem.peak_bytes))
+        .set("mem_peak_tuples", J::u64(mem.peak_tuples));
+    if let Some(p) = mem.peak_stmt {
+        resp = resp.set("mem_peak_stmt", J::u64(p as u64));
+    }
+    if let Some(budget) = shared.cfg.mem_budget {
+        resp = resp
+            .set("mem_budget", J::u64(budget))
+            .set("mem_admitted", J::Bool(mem.violation(budget).is_none()));
     }
     resp
 }

@@ -88,6 +88,14 @@ struct Args {
     /// `serve`: bounded-FIFO depth for requests queued on the capacity
     /// gate.
     queue_depth: usize,
+    /// `run`/`query`/`serve`: per-statement memory budget in bytes. Joins
+    /// whose certified build-side bound exceeds it run the Grace-hash
+    /// spill path; `serve` additionally rejects requests whose certified
+    /// peak exceeds it. `check --memory` lints against it (`mem-blowup`).
+    mem_budget: Option<u64>,
+    /// `check`: print the static memory certificate (peak-resident bytes
+    /// per statement); with `--mem-budget` also run the `mem-blowup` lint.
+    memory: bool,
     files: Vec<String>,
 }
 
@@ -117,6 +125,8 @@ fn parse_args() -> Result<Parsed, String> {
     let mut threads = 1usize;
     let mut max_cost = None;
     let mut queue_depth = 16usize;
+    let mut mem_budget = None;
+    let mut memory = false;
     let mut files = Vec::new();
     while let Some(arg) = argv.next() {
         if arg == "--help" || arg == "-h" {
@@ -171,6 +181,16 @@ fn parse_args() -> Result<Parsed, String> {
                 rest.parse()
                     .map_err(|_| format!("bad --max-cost `{rest}`"))?,
             );
+        } else if arg == "--memory" {
+            memory = true;
+        } else if arg == "--mem-budget" {
+            let v = argv.next().ok_or("--mem-budget needs a value (bytes)")?;
+            mem_budget = Some(v.parse().map_err(|_| format!("bad --mem-budget `{v}`"))?);
+        } else if let Some(rest) = arg.strip_prefix("--mem-budget=") {
+            mem_budget = Some(
+                rest.parse()
+                    .map_err(|_| format!("bad --mem-budget `{rest}`"))?,
+            );
         } else if arg == "--queue-depth" {
             let v = argv.next().ok_or("--queue-depth needs a value")?;
             queue_depth = v.parse().map_err(|_| format!("bad --queue-depth `{v}`"))?;
@@ -204,6 +224,8 @@ fn parse_args() -> Result<Parsed, String> {
         threads,
         max_cost,
         queue_depth,
+        mem_budget,
+        memory,
         files,
     })))
 }
@@ -236,6 +258,15 @@ fn usage() -> String {
      --max-cost N       (serve) reject requests whose certified Theorem-2\n\
      \u{20}                  bound exceeds N tuples (default: no limit)\n\
      --queue-depth N    (serve) admission queue length (default 16)\n\
+     --memory           (check) print the static memory certificate: peak\n\
+     \u{20}                  resident bytes per statement, from the Theorem-2\n\
+     \u{20}                  cardinality bounds (trailing TSV data seeds the\n\
+     \u{20}                  input sizes; without data, 1024 tuples/relation)\n\
+     --mem-budget N     (run/query/serve) per-statement memory budget in\n\
+     \u{20}                  bytes: joins whose certified build side exceeds it\n\
+     \u{20}                  spill via Grace hashing; serve also rejects\n\
+     \u{20}                  requests whose certified peak exceeds it; with\n\
+     \u{20}                  `check --memory`, budget for the mem-blowup lint\n\
      --help, -h         this text\n\
      \n\
      environment: MJOIN_TRACE=<path> writes Chrome trace format JSON there"
@@ -359,7 +390,34 @@ fn run(args: &Args, execute_it: bool) -> Result<Option<ExplainInfo>, String> {
     let info = ExplainInfo::of(&d.program, &scheme, &catalog);
 
     if execute_it {
-        let run = run_pipeline(&scheme, &t1, &db, &mut FirstChoice).map_err(|e| e.to_string())?;
+        let run = match args.mem_budget {
+            Some(budget) => {
+                run_pipeline_with(&scheme, &t1, &db, &mut FirstChoice, |d| {
+                    let mut cfg = ExecConfig::with_threads(args.threads);
+                    cfg.mem_budget = Some(budget);
+                    // Certify the derived program's memory footprint and
+                    // route over-budget build sides through the Grace-hash
+                    // spill path — decided here, before execution.
+                    if let Ok(cx) = mjoin::analyze::AnalysisCx::new(&d.program, &scheme, &catalog) {
+                        let sizes: Vec<u64> =
+                            db.relations().iter().map(|r| r.len() as u64).collect();
+                        let mem = memory_report(&cx, &sizes);
+                        eprintln!(
+                            "memory: certified peak {} bytes (budget {budget})",
+                            mem.peak_bytes
+                        );
+                        let plan = mem.spill_plan(budget);
+                        if plan.any() {
+                            eprintln!("memory: spilling statements {:?}", plan.spilled_stmts());
+                            cfg.spill = Some(std::sync::Arc::new(plan));
+                        }
+                    }
+                    cfg
+                })
+            }
+            None => run_pipeline(&scheme, &t1, &db, &mut FirstChoice),
+        }
+        .map_err(|e| e.to_string())?;
         eprintln!("cost(T1(D)) = {}", run.tree_cost);
         eprintln!(
             "cost(P(D))  = {} (peak resident {})",
@@ -610,8 +668,11 @@ fn check(args: &Args) -> Result<bool, String> {
         [one] => one,
         _ => return Err("check needs exactly one program file".to_string()),
     };
-    if !args.verify_run && !data.is_empty() {
-        return Err("check takes only a program file (use --verify-run to pass data)".to_string());
+    if !args.verify_run && !args.memory && !data.is_empty() {
+        return Err(
+            "check takes only a program file (use --verify-run or --memory to pass data)"
+                .to_string(),
+        );
     }
     let (mut catalog, scheme, program) = parse_program_file(path, args.scheme.as_ref())?;
     let deny = deny_parsed;
@@ -622,6 +683,35 @@ fn check(args: &Args) -> Result<bool, String> {
         other => return Err(format!("unknown --format `{other}` (text|json)")),
     }
     let mut clean = report.clean_at(deny);
+    if args.memory {
+        // Seed the certificate's input cardinalities from the data files
+        // when given; otherwise a flat default, which still exposes the
+        // program's *shape* (which statement peaks, what spills).
+        let seeds: Vec<u64> = if data.is_empty() {
+            vec![1024; scheme.num_relations()]
+        } else {
+            let data_paths = expand_data_paths(&data)?;
+            let db = load_db_for_scheme(&mut catalog, &scheme, &data_paths)?;
+            db.relations().iter().map(|r| r.len() as u64).collect()
+        };
+        let cx = mjoin::analyze::AnalysisCx::new(&program, &scheme, &catalog)
+            .map_err(|e| e.to_string())?;
+        let mem = memory_report(&cx, &seeds);
+        match args.format.as_str() {
+            "json" => eprintln!("{}", mem.render_json()),
+            _ => eprint!("{}", mem.render_text()),
+        }
+        if let Some(budget) = args.mem_budget {
+            let blowups = Report {
+                diagnostics: mem_blowup(&cx, &seeds, budget),
+            };
+            match args.format.as_str() {
+                "json" => eprintln!("{}", blowups.render_json()),
+                _ => eprint!("{}", blowups.render_text()),
+            }
+            clean = clean && blowups.clean_at(deny);
+        }
+    }
     if args.verify_run {
         let (rendered, audit_clean) =
             run_audit(&mut catalog, &scheme, &program, &data, &args.format, deny)?;
@@ -672,6 +762,7 @@ fn query(args: &Args) -> Result<Option<ExplainInfo>, String> {
         threads: args.threads,
         cache: None,
         minimize: args.minimize,
+        mem_budget: args.mem_budget,
     };
     let (res, decisions) =
         execute_query_with(&ndb, &q, strategy, &opts).map_err(|e| e.to_string())?;
@@ -760,6 +851,7 @@ fn serve_cmd(args: &Args) -> Result<Option<ExplainInfo>, String> {
         threads: args.threads,
         max_cost: args.max_cost,
         queue_depth: args.queue_depth,
+        mem_budget: args.mem_budget,
         ..Default::default()
     };
     let server =

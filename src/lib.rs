@@ -64,11 +64,14 @@ pub mod prelude {
         full_reducer_program, fully_reduce, globally_consistent, monotone_join_tree,
         pairwise_consistent, semijoin_fixpoint, yannakakis,
     };
-    pub use mjoin_analyze::{analyze, analyze_with, Diagnostic, Report, Severity};
+    pub use mjoin_analyze::{
+        analyze, analyze_with, mem_blowup, memory_report, Diagnostic, MemCertificate, Report,
+        Severity,
+    };
     pub use mjoin_core::{
         algorithm1, algorithm1_all_outcomes, algorithm1_with_policy, algorithm2, check_theorem1,
         check_theorem2, derive, derive_with_policy, run_pipeline, run_pipeline_parallel,
-        ChoicePolicy, Derivation, FirstChoice, PipelineRun, SeededChoice,
+        run_pipeline_with, ChoicePolicy, Derivation, FirstChoice, PipelineRun, SeededChoice,
     };
     pub use mjoin_cq::{
         contains, equivalent, evaluate_datalog, execute_query, execute_query_with, lint_query,
@@ -85,7 +88,8 @@ pub mod prelude {
     };
     pub use mjoin_program::{
         execute, execute_parallel, execute_with, schedule, try_execute_with, validate, CancelToken,
-        Cancelled, ExecConfig, IndexCache, Program, ProgramBuilder, Reg, SharedIndexCache, Stmt,
+        Cancelled, ExecConfig, IndexCache, Program, ProgramBuilder, Reg, SharedIndexCache,
+        SpillPlan, Stmt,
     };
     pub use mjoin_relation::{
         ops, relation_of_ints, AttrId, AttrSet, Catalog, CostLedger, Database, Relation, Schema,

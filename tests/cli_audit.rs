@@ -361,6 +361,7 @@ stmt  measured      bound  kind       symbolic bound
    7         1          1  tight      |⋈D[{ABC,CDE,EFG}]|  (est 1)
    8         1          1  tight      |⋈D[{ABC,CDE,EFG}]|  (est 1)
    9         1          1  tight      |⋈D[{ABC,CDE,EFG,AGH}]|  (est 1)
+estimator: worst q-error 2.00 at statement 0 (est 2 vs measured 1)
 verdict: all measured costs within static bounds
 ";
     assert_eq!(stdout, expected, "golden audit report drifted:\n{stdout}");

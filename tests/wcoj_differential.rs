@@ -31,6 +31,7 @@ fn run(
         threads,
         cache: None,
         minimize: false,
+        mem_budget: None,
     };
     let (res, decisions) = execute_query_with(db, &q, PlanStrategy::Greedy, &opts).unwrap();
     (res.relation, decisions)
